@@ -1,0 +1,63 @@
+//! The ARLDM-like baseline: auto-regressive latent diffusion.
+
+use crate::latent::LatentCore;
+use crate::model::{
+    clip_image_condition, clip_text_condition, naive_caption, BaselineConfig, GenerativeModel,
+};
+use aero_scene::{AerialDataset, DatasetItem, Image};
+use aero_tensor::Tensor;
+use aerodiffusion::SubstrateBundle;
+use rand::rngs::StdRng;
+
+/// Auto-Regressive Latent Diffusion (story visualization): each frame is
+/// conditioned on the *previous frame's* image embedding plus the caption.
+/// At evaluation time the reference image plays the previous frame, which
+/// makes this the strongest conditional baseline in Table I — it sees
+/// real image content, just without region augmentation or keypoint text.
+#[derive(Debug)]
+pub struct ArldmLike {
+    core: LatentCore,
+}
+
+impl ArldmLike {
+    /// Creates an unfitted baseline.
+    pub fn new(config: BaselineConfig) -> Self {
+        ArldmLike { core: LatentCore::new(config, 0) }
+    }
+
+    fn ensure_dim(&mut self, bundle: &SubstrateBundle) {
+        if self.core.cond_dim() == 0 {
+            let d = clip_text_condition(bundle, "probe").shape()[1];
+            let cfg = *self.core.config();
+            self.core = LatentCore::new(cfg, 2 * d);
+        }
+    }
+
+    fn condition(&self, item: &DatasetItem, bundle: &SubstrateBundle, caption_seed: u64) -> Tensor {
+        let size = self.core.config().image_size;
+        let img_c = clip_image_condition(bundle, &item.rendered.image, size);
+        let txt_c = clip_text_condition(bundle, &naive_caption(item, caption_seed));
+        Tensor::concat(&[&img_c, &txt_c], 1)
+    }
+}
+
+impl GenerativeModel for ArldmLike {
+    fn name(&self) -> &'static str {
+        "ARLDM"
+    }
+
+    fn fit(&mut self, train: &AerialDataset, bundle: &SubstrateBundle, seed: u64) {
+        self.ensure_dim(bundle);
+        let conds: Vec<Tensor> = train
+            .iter()
+            .enumerate()
+            .map(|(i, item)| self.condition(item, bundle, seed ^ i as u64))
+            .collect();
+        self.core.fit(train, bundle, &conds, seed);
+    }
+
+    fn generate(&self, item: &DatasetItem, bundle: &SubstrateBundle, rng: &mut StdRng) -> Image {
+        let cond = self.condition(item, bundle, 0);
+        self.core.generate(bundle, &cond, rng)
+    }
+}

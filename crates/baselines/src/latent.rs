@@ -1,0 +1,116 @@
+//! Shared latent-diffusion machinery for the conditional baselines.
+
+use crate::model::BaselineConfig;
+use aero_diffusion::{CondUnet, DdimSampler, DiffusionTrainer, TrainBatch, UnetConfig};
+use aero_scene::{AerialDataset, Image};
+use aero_tensor::Tensor;
+use aero_vision::vae::LATENT_CHANNELS;
+use aerodiffusion::SubstrateBundle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A conditional latent-diffusion core: UNet + trainer + sampler over the
+/// bundle's frozen VAE latent space. Baselines differ only in how they
+/// build their condition vectors.
+#[derive(Debug)]
+pub(crate) struct LatentCore {
+    config: BaselineConfig,
+    cond_dim: usize,
+    unet: Option<CondUnet>,
+    trainer: DiffusionTrainer,
+}
+
+impl LatentCore {
+    pub(crate) fn new(config: BaselineConfig, cond_dim: usize) -> Self {
+        LatentCore {
+            config,
+            cond_dim,
+            unet: None,
+            trainer: DiffusionTrainer::new(config.diffusion),
+        }
+    }
+
+    /// Trains the UNet on (latent, condition) pairs. `conds[i]` must be
+    /// `[1, cond_dim]` and aligned with `train.items[i]`.
+    pub(crate) fn fit(
+        &mut self,
+        train: &AerialDataset,
+        bundle: &SubstrateBundle,
+        conds: &[Tensor],
+        seed: u64,
+    ) {
+        assert_eq!(train.len(), conds.len(), "one condition per item");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let unet = CondUnet::new(
+            UnetConfig {
+                in_channels: LATENT_CHANNELS,
+                base_channels: self.config.unet_channels,
+                cond_dim: self.cond_dim,
+                time_embed_dim: 32,
+                cond_tokens: 1,
+                spatial_cond_cells: (self.config.image_size / 8) * (self.config.image_size / 8),
+            },
+            &mut rng,
+        );
+        let s = self.config.image_size;
+        let latents: Vec<Tensor> = train
+            .iter()
+            .map(|i| {
+                let img = i.rendered.image.to_tensor().reshape(&[1, 3, s, s]);
+                let z = bundle.vae.encode_tensor(&img);
+                let sh = z.shape().to_vec();
+                z.reshape(&[sh[1], sh[2], sh[3]])
+            })
+            .collect();
+        let batches: Vec<TrainBatch> = (0..train.len())
+            .collect::<Vec<_>>()
+            .chunks(self.config.batch_size.max(1))
+            .map(|chunk| {
+                let zs: Vec<&Tensor> = chunk.iter().map(|&i| &latents[i]).collect();
+                let cs: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| conds[i].reshape(&[self.cond_dim]))
+                    .collect();
+                let c_refs: Vec<&Tensor> = cs.iter().collect();
+                TrainBatch { z0: Tensor::stack(&zs), cond: Some(Tensor::stack(&c_refs)) }
+            })
+            .collect();
+        self.trainer.train(&unet, &batches, self.config.epochs, self.config.lr, &mut rng);
+        self.unet = Some(unet);
+    }
+
+    /// Generates one image from a `[1, cond_dim]` condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`LatentCore::fit`].
+    pub(crate) fn generate(
+        &self,
+        bundle: &SubstrateBundle,
+        cond: &Tensor,
+        rng: &mut StdRng,
+    ) -> Image {
+        let unet = self.unet.as_ref().expect("fit() must be called before generate()");
+        let s = self.config.image_size;
+        let latent_side = s / 4;
+        let sampler =
+            DdimSampler::new(self.config.diffusion.ddim_steps, self.config.diffusion.guidance_scale);
+        let z = sampler.sample(
+            unet,
+            self.trainer.schedule(),
+            &[1, LATENT_CHANNELS, latent_side, latent_side],
+            Some(cond),
+            rng,
+        );
+        let decoded = bundle.vae.decode_tensor(&z);
+        Image::from_tensor(&decoded.reshape(&[3, s, s]))
+    }
+
+    pub(crate) fn cond_dim(&self) -> usize {
+        self.cond_dim
+    }
+
+    pub(crate) fn config(&self) -> &BaselineConfig {
+        &self.config
+    }
+}

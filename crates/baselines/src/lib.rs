@@ -1,0 +1,48 @@
+//! Baseline generative models benchmarked against AeroDiffusion in the
+//! paper's Table I.
+//!
+//! Each baseline is a faithful miniature of the cited system's
+//! *conditioning mechanism* — the axis the paper's comparison isolates —
+//! built on the same substrates (VAE, CLIP, detector) as AeroDiffusion so
+//! that quality differences come from conditioning, not capacity:
+//!
+//! * [`DdpmBaseline`] — unconditional **pixel-space** DDPM (Dhariwal &
+//!   Nichol): ancestral sampling directly in RGB.
+//! * [`StableDiffusionLike`] — latent diffusion conditioned on CLIP text
+//!   from plain one-line captions (Rombach et al.).
+//! * [`ArldmLike`] — auto-regressive latent diffusion (Pan et al.):
+//!   conditions on the CLIP embedding of the previous "story frame"
+//!   (here: the reference image) plus text.
+//! * [`VersatileDiffusionLike`] — multi-flow conditioning (Xu et al.):
+//!   an averaged image/text context vector.
+//! * [`MakeASceneLike`] — scene-layout conditioning (Gafni et al.): a
+//!   rasterized object-layout grid concatenated with text.
+//!
+//! All baselines implement [`GenerativeModel`], the uniform train/generate
+//! interface the Table I harness drives.
+
+mod arldm;
+mod ddpm;
+mod latent;
+mod make_a_scene;
+mod model;
+mod stable_diffusion;
+mod versatile;
+
+pub use arldm::ArldmLike;
+pub use ddpm::DdpmBaseline;
+pub use make_a_scene::MakeASceneLike;
+pub use model::{BaselineConfig, GenerativeModel};
+pub use stable_diffusion::StableDiffusionLike;
+pub use versatile::VersatileDiffusionLike;
+
+/// All five baselines, boxed, in the paper's Table I row order.
+pub fn all_baselines(config: BaselineConfig) -> Vec<Box<dyn GenerativeModel>> {
+    vec![
+        Box::new(DdpmBaseline::new(config)),
+        Box::new(StableDiffusionLike::new(config)),
+        Box::new(ArldmLike::new(config)),
+        Box::new(VersatileDiffusionLike::new(config)),
+        Box::new(MakeASceneLike::new(config)),
+    ]
+}

@@ -1,0 +1,98 @@
+//! The uniform baseline interface and shared helpers.
+
+use aero_diffusion::DiffusionConfig;
+use aero_scene::{AerialDataset, DatasetItem, Image};
+use aero_tensor::Tensor;
+use aero_text::llm::{LlmProvider, SimulatedLlm};
+use aero_text::prompt::PromptTemplate;
+use aerodiffusion::SubstrateBundle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyperparameters shared by all baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfig {
+    /// Square image size (must match the substrate bundle).
+    pub image_size: usize,
+    /// Diffusion settings.
+    pub diffusion: DiffusionConfig,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// UNet base channels.
+    pub unet_channels: usize,
+}
+
+impl BaselineConfig {
+    /// CI-scale preset aligned with `PipelineConfig::small`.
+    pub fn small(image_size: usize) -> Self {
+        BaselineConfig {
+            image_size,
+            diffusion: DiffusionConfig::small(),
+            epochs: 8,
+            batch_size: 6,
+            lr: 2e-3,
+            unet_channels: 8,
+        }
+    }
+
+    /// Minimal preset for unit tests.
+    pub fn smoke(image_size: usize) -> Self {
+        BaselineConfig {
+            image_size,
+            diffusion: DiffusionConfig::small(),
+            epochs: 2,
+            batch_size: 4,
+            lr: 3e-3,
+            unet_channels: 4,
+        }
+    }
+}
+
+/// The uniform train/generate interface driven by the Table I harness.
+pub trait GenerativeModel {
+    /// Table I row label.
+    fn name(&self) -> &'static str;
+
+    /// Trains the model on the training split, using the shared
+    /// substrates where the original system used pretrained components.
+    fn fit(&mut self, train: &AerialDataset, bundle: &SubstrateBundle, seed: u64);
+
+    /// Generates one image conditioned per the model's own mechanism.
+    fn generate(&self, item: &DatasetItem, bundle: &SubstrateBundle, rng: &mut StdRng) -> Image;
+}
+
+/// The plain one-line caption the non-keypoint baselines condition on.
+pub fn naive_caption(item: &DatasetItem, seed: u64) -> String {
+    let llm = SimulatedLlm::new(LlmProvider::BlipCaption);
+    let mut rng = StdRng::seed_from_u64(seed);
+    llm.describe(&item.spec, &PromptTemplate::traditional(), &mut rng)
+}
+
+/// Encodes a caption with the bundle's frozen CLIP text tower: `[1, d]`.
+pub fn clip_text_condition(bundle: &SubstrateBundle, caption: &str) -> Tensor {
+    let tokens = bundle.tokenizer.encode(caption);
+    bundle.clip.encode_text(&[tokens])
+}
+
+/// Encodes a reference image with the bundle's frozen CLIP image tower:
+/// `[1, d]`.
+pub fn clip_image_condition(bundle: &SubstrateBundle, image: &Image, size: usize) -> Tensor {
+    let t = image.resize(size, size).to_tensor().reshape(&[1, 3, size, size]);
+    bundle.clip.encode_image(&t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let c = BaselineConfig::small(32);
+        assert_eq!(c.image_size, 32);
+        assert!(c.epochs > BaselineConfig::smoke(32).epochs);
+    }
+}

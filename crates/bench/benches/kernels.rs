@@ -1,0 +1,86 @@
+//! Criterion benches for the numerical kernels behind every experiment.
+
+use aero_diffusion::{BetaSchedule, CondUnet, NoiseSchedule, UnetConfig};
+use aero_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::randn(&[64, 64], &mut rng);
+    let b = Tensor::randn(&[64, 64], &mut rng);
+    c.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(black_box(&b))))
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::randn(&[1, 8, 32, 32], &mut rng);
+    let w = Tensor::randn(&[16, 8, 3, 3], &mut rng);
+    c.bench_function("conv2d_8to16_32px", |bench| {
+        bench.iter(|| black_box(x.conv2d(black_box(&w), None, 1, 1)))
+    });
+}
+
+fn bench_unet_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let unet = CondUnet::new(
+        UnetConfig { in_channels: 4, base_channels: 16, cond_dim: 96, time_embed_dim: 32, cond_tokens: 3, spatial_cond_cells: 16 },
+        &mut rng,
+    );
+    let z = Tensor::randn(&[1, 4, 8, 8], &mut rng);
+    let cond = Tensor::randn(&[1, 96], &mut rng);
+    c.bench_function("unet_forward_latent8", |bench| {
+        bench.iter(|| black_box(unet.predict(black_box(&z), &[10], Some(&cond))))
+    });
+}
+
+fn bench_forward_process(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let schedule = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
+    let z0 = Tensor::randn(&[4, 4, 8, 8], &mut rng);
+    let eps = Tensor::randn(&[4, 4, 8, 8], &mut rng);
+    c.bench_function("q_sample_t500", |bench| {
+        bench.iter(|| black_box(schedule.q_sample(black_box(&z0), 500, &eps)))
+    });
+}
+
+fn bench_scene_render(c: &mut Criterion) {
+    use aero_scene::{Rasterizer, SceneGenerator, SceneGeneratorConfig};
+    let gen = SceneGenerator::new(SceneGeneratorConfig::default());
+    let spec = gen.generate(&mut StdRng::seed_from_u64(5));
+    let raster = Rasterizer::new(32, 32);
+    c.bench_function("scene_render_32px", |bench| {
+        bench.iter(|| black_box(raster.render(black_box(&spec))))
+    });
+}
+
+fn bench_caption(c: &mut Criterion) {
+    use aero_scene::{SceneGenerator, SceneGeneratorConfig};
+    use aero_text::llm::{LlmProvider, SimulatedLlm};
+    use aero_text::prompt::PromptTemplate;
+    let gen = SceneGenerator::new(SceneGeneratorConfig::default());
+    let spec = gen.generate(&mut StdRng::seed_from_u64(6));
+    let llm = SimulatedLlm::new(LlmProvider::KeypointAware);
+    let prompt = PromptTemplate::keypoint_aware();
+    c.bench_function("keypoint_caption", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(llm.describe(black_box(&spec), &prompt, &mut rng))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv2d,
+    bench_unet_forward,
+    bench_forward_process,
+    bench_scene_render,
+    bench_caption
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for the evaluation metrics (the scoring half of
+//! every table).
+
+use aero_metrics::{fid, kid, psnr_batch, FeatureExtractor};
+use aero_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sets(n: usize) -> (Vec<Tensor>, Vec<Tensor>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mk = |rng: &mut StdRng| -> Vec<Tensor> {
+        (0..n).map(|_| Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, rng)).collect()
+    };
+    (mk(&mut rng), mk(&mut rng))
+}
+
+fn bench_fid(c: &mut Criterion) {
+    let e = FeatureExtractor::default();
+    let (real, gen) = sets(16);
+    c.bench_function("fid_16_images", |b| {
+        b.iter(|| black_box(fid(&e, black_box(&real), black_box(&gen)).expect("fid")))
+    });
+}
+
+fn bench_kid(c: &mut Criterion) {
+    let e = FeatureExtractor::default();
+    let (real, gen) = sets(16);
+    c.bench_function("kid_16_images", |b| {
+        b.iter(|| black_box(kid(&e, black_box(&real), black_box(&gen))))
+    });
+}
+
+fn bench_psnr(c: &mut Criterion) {
+    let (real, gen) = sets(16);
+    c.bench_function("psnr_16_images", |b| {
+        b.iter(|| black_box(psnr_batch(black_box(&real), black_box(&gen))))
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let e = FeatureExtractor::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let batch = Tensor::rand_uniform(&[16, 3, 32, 32], 0.0, 1.0, &mut rng);
+    c.bench_function("feature_extract_batch16", |b| {
+        b.iter(|| black_box(e.features(black_box(&batch))))
+    });
+}
+
+criterion_group!(benches, bench_fid, bench_kid, bench_psnr, bench_feature_extraction);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benches for the pipeline stages backing Tables I–IV.
+
+use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
+use aero_text::llm::LlmProvider;
+use aero_text::prompt::PromptTemplate;
+use aerodiffusion::substrate::caption_dataset;
+use aerodiffusion::{AeroDiffusionPipeline, ConditionNetwork, PipelineConfig, RegionAugmenter, SubstrateBundle};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn smoke_world() -> (aero_scene::AerialDataset, PipelineConfig) {
+    let cfg = PipelineConfig::smoke();
+    let ds = build_dataset(&DatasetConfig {
+        n_scenes: 4,
+        image_size: cfg.vision.image_size,
+        seed: 9,
+        generator: SceneGeneratorConfig { min_objects: 4, max_objects: 8, night_probability: 0.2 },
+    });
+    (ds, cfg)
+}
+
+fn bench_region_augmentation(c: &mut Criterion) {
+    let (ds, cfg) = smoke_world();
+    let mut rng = StdRng::seed_from_u64(1);
+    let aug = RegionAugmenter::new(&cfg, &mut rng);
+    let item = &ds.items[0];
+    let mut group = c.benchmark_group("augment");
+    group.sample_size(20);
+    group.bench_function("region_augment_one_image", |b| {
+        b.iter(|| black_box(aug.augment(&item.rendered.image, &item.rendered.boxes).to_tensor()))
+    });
+}
+
+fn bench_condition_vector(c: &mut Criterion) {
+    let (ds, cfg) = smoke_world();
+    let mut rng = StdRng::seed_from_u64(2);
+    let net = ConditionNetwork::new(60, &cfg, &mut rng);
+    let clip = aero_vision::clip::ClipModel::new(60, cfg.vision, &mut rng);
+    let item = &ds.items[0];
+    let inputs = [aerodiffusion::condition::ConditionInputs {
+        image: &item.rendered.image,
+        tokens_g: vec![1; cfg.vision.max_text_len],
+        tokens_g_prime: vec![2; cfg.vision.max_text_len],
+        rois: &item.rendered.boxes,
+    }];
+    let mut group = c.benchmark_group("condition");
+    group.sample_size(20);
+    group.bench_function("condition_vector_build", |b| {
+        b.iter(|| black_box(net.build_batch(&clip, &inputs).to_tensor()))
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let (ds, cfg) = smoke_world();
+    let pipeline = AeroDiffusionPipeline::fit(&ds, cfg, 3);
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    group.bench_function("ddim_generate_one_sample", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            black_box(pipeline.generate(&ds.items[0], &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_substrate_training(c: &mut Criterion) {
+    let (ds, cfg) = smoke_world();
+    let captions =
+        caption_dataset(&ds, LlmProvider::KeypointAware, &PromptTemplate::keypoint_aware(), 5);
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.bench_function("bundle_train_smoke", |b| {
+        b.iter(|| black_box(SubstrateBundle::train(&ds, &captions, &cfg, 6)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_region_augmentation,
+    bench_condition_vector,
+    bench_generation,
+    bench_substrate_training
+);
+criterion_main!(benches);

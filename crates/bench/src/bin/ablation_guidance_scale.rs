@@ -1,0 +1,37 @@
+//! Design-choice ablation: classifier-free guidance scale sweep.
+//!
+//! The paper fixes the guidance scale at 7.0 without analysis; this bench
+//! sweeps it, reporting FID/PSNR per scale so the sensitivity of the
+//! pipeline to the choice is visible (the DESIGN.md ablation list).
+
+use aero_bench::{ExperimentScale, Protocol};
+use aero_diffusion::DdimSampler;
+use aero_metrics::MetricRow;
+use aero_metrics::MetricTable;
+use aerodiffusion::AeroDiffusionPipeline;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Ablation: classifier-free guidance scale sweep (scale: {scale:?})\n");
+    let protocol = Protocol::new(scale, 77);
+    let cfg = scale.pipeline_config();
+    let pipeline = AeroDiffusionPipeline::fit(&protocol.train, cfg, 77);
+
+    let mut table = MetricTable::new("Guidance-scale sweep", &["FID ↓", "PSNR ↑", "KID ↓"]);
+    for g in [1.0f32, 3.0, 5.0, 7.0, 10.0] {
+        let sampler = DdimSampler::new(cfg.diffusion.ddim_steps, g);
+        let mut rng = StdRng::seed_from_u64(78);
+        let generated: Vec<aero_scene::Image> = protocol
+            .eval
+            .iter()
+            .map(|item| pipeline.generate_with_sampler(item, &sampler, &mut rng))
+            .collect();
+        let m = protocol.score(&generated);
+        table.push(MetricRow::new(format!("guidance {g:.1}"), vec![m.fid, m.psnr, m.kid]));
+    }
+    println!("{table}");
+    println!("The paper's operating point (7.0) sits on this curve; at reduced");
+    println!("scale moderate guidance typically gives the best FID.");
+}

@@ -1,0 +1,42 @@
+//! Design-choice ablation: beta-schedule comparison.
+//!
+//! Compares the paper's linear schedule against the cosine and
+//! scaled-linear alternatives under an identical training budget — one of
+//! the ablation benches DESIGN.md calls out for design choices the paper
+//! fixes without analysis.
+
+use aero_bench::{ExperimentScale, Protocol};
+use aero_diffusion::{BetaSchedule, DiffusionConfig};
+use aero_metrics::{MetricRow, MetricTable};
+use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Ablation: noise-schedule comparison (scale: {scale:?})\n");
+    let protocol = Protocol::new(scale, 88);
+    let base_cfg = scale.pipeline_config();
+
+    let schedules: [(&str, BetaSchedule); 3] = [
+        ("linear (paper)", base_cfg.diffusion.schedule),
+        ("cosine", BetaSchedule::Cosine),
+        (
+            "scaled-linear",
+            BetaSchedule::ScaledLinear { beta_start: 0.02, beta_end: 0.25 },
+        ),
+    ];
+    let mut table = MetricTable::new("Beta-schedule comparison", &["FID ↓", "PSNR ↑", "KID ↓"]);
+    for (name, schedule) in schedules {
+        let cfg = PipelineConfig {
+            diffusion: DiffusionConfig { schedule, ..base_cfg.diffusion },
+            ..base_cfg
+        };
+        let pipeline = AeroDiffusionPipeline::fit(&protocol.train, cfg, 88);
+        let mut rng = StdRng::seed_from_u64(89);
+        let generated = pipeline.generate_eval(&protocol.eval, &mut rng);
+        let m = protocol.score(&generated);
+        table.push(MetricRow::new(name, vec![m.fid, m.psnr, m.kid]));
+    }
+    println!("{table}");
+}

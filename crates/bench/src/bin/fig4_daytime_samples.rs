@@ -1,0 +1,21 @@
+//! Regenerates Fig. 4: daytime sample gallery.
+
+use aero_bench::{run_fig4, ExperimentScale};
+use std::path::Path;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Fig. 4 — generated daytime samples (scale: {scale:?})\n");
+    let gallery = run_fig4(scale, 46);
+    let dir = Path::new("target/experiments/fig4");
+    gallery.save_ppm(dir).expect("write gallery");
+    for (label, img, lum) in &gallery.samples {
+        println!(
+            "{label}: {}x{}, mean luminance {:.3}",
+            img.width(),
+            img.height(),
+            lum
+        );
+    }
+    println!("\nwrote {} samples + {} references to {}", gallery.samples.len(), gallery.references.len(), dir.display());
+}

@@ -1,0 +1,38 @@
+//! Regenerates Table III: viewpoint-transition synthesis.
+
+use aero_bench::{run_table3, ExperimentScale};
+use std::path::Path;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Table III — viewpoint transition image synthesis (scale: {scale:?})\n");
+    let r = run_table3(scale, 44);
+    for (i, row) in r.rows.iter().enumerate() {
+        println!("=== Transition {} ===", i + 1);
+        println!(
+            "target viewpoint: altitude {:.2}, pitch {:.0}°, heading {:.0}°",
+            row.target_viewpoint.altitude, row.target_viewpoint.pitch_deg, row.target_viewpoint.heading_deg
+        );
+        println!("G  (reference): {}", excerpt(&row.reference_description));
+        println!("G' (target):    {}", excerpt(&row.target_description));
+        println!(
+            "CLIP alignment of generated image: to G' {:.2}, to G {:.2}\n",
+            row.alignment_to_target, row.alignment_to_reference
+        );
+    }
+    let dir = Path::new("target/experiments/table3");
+    std::fs::create_dir_all(dir).expect("create output dir");
+    for (i, img) in r.images.iter().enumerate() {
+        let path = dir.join(format!("transition_{i}.ppm"));
+        img.save_ppm(&path).expect("write ppm");
+        println!("wrote {}", path.display());
+    }
+}
+
+fn excerpt(s: &str) -> String {
+    if s.len() > 110 {
+        format!("{}…", &s[..110])
+    } else {
+        s.to_string()
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `run_*` function implements one experiment's full protocol —
+//! dataset construction, substrate/model training, generation, scoring —
+//! and returns a structured result that the corresponding binary prints
+//! and the integration tests assert on. Scale is controlled by
+//! [`ExperimentScale`] (the `AERO_SCALE` environment variable in the
+//! binaries): `Smoke` for seconds-level CI runs, `Small` for the default
+//! minutes-level reproduction, `Paper` for the full configuration.
+
+pub mod experiments;
+pub mod protocol;
+
+pub use experiments::{
+    run_fig1, run_fig3, run_fig4, run_fig5, run_table1, run_table2, run_table3, run_table4,
+    Fig1Result, Fig3Result, SampleGallery, Table1Result, Table2Result, Table3Result, Table4Result,
+};
+pub use protocol::{EvalMetrics, ExperimentScale, Protocol};

@@ -1,0 +1,140 @@
+//! Shared evaluation protocol: dataset sizes, splits, and scoring.
+
+use aero_metrics::{fid, kid, psnr_batch, FeatureExtractor};
+use aero_scene::{
+    build_dataset, AerialDataset, DatasetConfig, Image, SceneGeneratorConfig,
+};
+use aero_tensor::Tensor;
+use aerodiffusion::PipelineConfig;
+
+/// Experiment scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExperimentScale {
+    /// Seconds: used by integration tests.
+    Smoke,
+    /// Minutes: the default for `cargo run` reproductions.
+    #[default]
+    Small,
+    /// The paper-faithful configuration (hours on CPU).
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Reads `AERO_SCALE` (`smoke`/`small`/`paper`), defaulting to small.
+    pub fn from_env() -> Self {
+        match std::env::var("AERO_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "smoke" => ExperimentScale::Smoke,
+            "paper" => ExperimentScale::Paper,
+            _ => ExperimentScale::Small,
+        }
+    }
+
+    /// The pipeline configuration for this scale.
+    pub fn pipeline_config(self) -> PipelineConfig {
+        match self {
+            ExperimentScale::Smoke => PipelineConfig::smoke(),
+            ExperimentScale::Small => PipelineConfig::small(),
+            ExperimentScale::Paper => PipelineConfig::paper(),
+        }
+    }
+
+    /// (train, eval) dataset sizes. The paper trains on 6,471 images and
+    /// evaluates on 3,200 samples; lower scales shrink proportionally.
+    pub fn split_sizes(self) -> (usize, usize) {
+        match self {
+            ExperimentScale::Smoke => (6, 4),
+            ExperimentScale::Small => (32, 24),
+            ExperimentScale::Paper => (6471, 3200),
+        }
+    }
+}
+
+/// FID / PSNR / KID of one generated set (a Table I/IV cell row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalMetrics {
+    /// Fréchet distance to the real eval set (lower better).
+    pub fid: f32,
+    /// Mean PSNR against the paired references (higher better).
+    pub psnr: f32,
+    /// Kernel distance to the real eval set (lower better).
+    pub kid: f32,
+}
+
+/// The shared experiment protocol: one dataset, one split, one extractor.
+#[derive(Debug)]
+pub struct Protocol {
+    /// Training split.
+    pub train: AerialDataset,
+    /// Evaluation split (references for PSNR; real set for FID/KID).
+    pub eval: AerialDataset,
+    /// The fixed FID/KID feature extractor.
+    pub extractor: FeatureExtractor,
+    /// The scale this protocol was built at.
+    pub scale: ExperimentScale,
+}
+
+impl Protocol {
+    /// Builds the dataset and split for a scale.
+    pub fn new(scale: ExperimentScale, seed: u64) -> Self {
+        let (n_train, n_eval) = scale.split_sizes();
+        let cfg = scale.pipeline_config();
+        let ds = build_dataset(&DatasetConfig {
+            n_scenes: n_train + n_eval,
+            image_size: cfg.vision.image_size,
+            seed,
+            generator: SceneGeneratorConfig::default(),
+        });
+        let (train, eval) = ds.split(n_train as f32 / (n_train + n_eval) as f32);
+        Protocol { train, eval, extractor: FeatureExtractor::default(), scale }
+    }
+
+    /// Real eval images as tensors.
+    pub fn real_eval_tensors(&self) -> Vec<Tensor> {
+        self.eval.iter().map(|i| i.rendered.image.to_tensor()).collect()
+    }
+
+    /// Scores a generated set against the eval split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generated` does not pair 1:1 with the eval split.
+    pub fn score(&self, generated: &[Image]) -> EvalMetrics {
+        assert_eq!(generated.len(), self.eval.len(), "one generated image per eval item");
+        let real = self.real_eval_tensors();
+        let gen: Vec<Tensor> = generated.iter().map(Image::to_tensor).collect();
+        EvalMetrics {
+            fid: fid(&self.extractor, &real, &gen).expect("fid computation"),
+            psnr: psnr_batch(&real, &gen),
+            kid: kid(&self.extractor, &real, &gen),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_protocol_builds_split() {
+        let p = Protocol::new(ExperimentScale::Smoke, 1);
+        assert_eq!(p.train.len(), 6);
+        assert_eq!(p.eval.len(), 4);
+    }
+
+    #[test]
+    fn real_vs_real_scores_near_perfect() {
+        let p = Protocol::new(ExperimentScale::Smoke, 2);
+        let copies: Vec<Image> = p.eval.iter().map(|i| i.rendered.image.clone()).collect();
+        let m = p.score(&copies);
+        assert!(m.fid < 1e-2, "self-FID {}", m.fid);
+        assert_eq!(m.psnr, f32::INFINITY);
+        // the unbiased KID estimator is negative for identical small sets
+        assert!(m.kid <= 1e-3 && m.kid > -1.0, "self-KID {}", m.kid);
+    }
+
+    #[test]
+    fn scale_from_env_fallback() {
+        // no env set in tests: defaults to Small
+        assert_eq!(ExperimentScale::from_env(), ExperimentScale::Small);
+    }
+}

@@ -1,0 +1,119 @@
+//! The Table IV ablation grid.
+
+use aero_text::prompt::PromptTemplate;
+
+/// One row of the paper's ablation study (Table IV).
+///
+/// The three axes are: keypoint-aware LLM captions ("Our LLMs"), object
+/// detection for feature augmentation ("OD"), and BLIP deep fusion
+/// ("BLIP"). The paper's four rows form a cumulative ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AblationVariant {
+    /// Row 1: fine-tuned Stable Diffusion base — naive captions, no BLIP,
+    /// no object detection.
+    BaseSd,
+    /// Row 2: + BLIP deep text-visual fusion.
+    WithBlip,
+    /// Row 3: + keypoint-aware text generation.
+    WithKeypointText,
+    /// Row 4: + object detection / region augmentation (full model).
+    Full,
+}
+
+impl AblationVariant {
+    /// The paper's four rows in order.
+    pub const ALL: [AblationVariant; 4] = [
+        AblationVariant::BaseSd,
+        AblationVariant::WithBlip,
+        AblationVariant::WithKeypointText,
+        AblationVariant::Full,
+    ];
+
+    /// Whether BLIP fusion is active.
+    pub fn uses_blip(self) -> bool {
+        !matches!(self, AblationVariant::BaseSd)
+    }
+
+    /// Whether keypoint-aware captions are used (vs the traditional
+    /// prompt).
+    pub fn uses_keypoint_text(self) -> bool {
+        matches!(self, AblationVariant::WithKeypointText | AblationVariant::Full)
+    }
+
+    /// Whether object detection / region augmentation is active.
+    pub fn uses_object_detection(self) -> bool {
+        matches!(self, AblationVariant::Full)
+    }
+
+    /// The captioning prompt this variant trains with.
+    pub fn prompt(self) -> PromptTemplate {
+        if self.uses_keypoint_text() {
+            PromptTemplate::keypoint_aware()
+        } else {
+            PromptTemplate::traditional()
+        }
+    }
+
+    /// Display label matching the Table IV row.
+    pub fn label(self) -> &'static str {
+        match self {
+            AblationVariant::BaseSd => "base SD",
+            AblationVariant::WithBlip => "+ BLIP",
+            AblationVariant::WithKeypointText => "+ BLIP + LLM text",
+            AblationVariant::Full => "+ BLIP + LLM text + OD (full)",
+        }
+    }
+}
+
+/// A named ablation specification (variant + expected paper numbers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationSpec {
+    /// The pipeline variant.
+    pub variant: AblationVariant,
+    /// FID the paper reports for this row.
+    pub paper_fid: f32,
+    /// PSNR the paper reports for this row.
+    pub paper_psnr: f32,
+    /// KID the paper reports for this row.
+    pub paper_kid: f32,
+}
+
+impl AblationSpec {
+    /// The paper's Table IV rows.
+    pub const TABLE_IV: [AblationSpec; 4] = [
+        AblationSpec { variant: AblationVariant::BaseSd, paper_fid: 132.60, paper_psnr: 4.80, paper_kid: 0.09 },
+        AblationSpec { variant: AblationVariant::WithBlip, paper_fid: 119.13, paper_psnr: 4.85, paper_kid: 0.07 },
+        AblationSpec { variant: AblationVariant::WithKeypointText, paper_fid: 108.23, paper_psnr: 4.92, paper_kid: 0.05 },
+        AblationSpec { variant: AblationVariant::Full, paper_fid: 78.15, paper_psnr: 5.98, paper_kid: 0.04 },
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_cumulative() {
+        assert!(!AblationVariant::BaseSd.uses_blip());
+        assert!(AblationVariant::WithBlip.uses_blip());
+        assert!(!AblationVariant::WithBlip.uses_keypoint_text());
+        assert!(AblationVariant::WithKeypointText.uses_blip());
+        assert!(AblationVariant::WithKeypointText.uses_keypoint_text());
+        assert!(!AblationVariant::WithKeypointText.uses_object_detection());
+        assert!(AblationVariant::Full.uses_object_detection());
+    }
+
+    #[test]
+    fn paper_numbers_improve_monotonically() {
+        for w in AblationSpec::TABLE_IV.windows(2) {
+            assert!(w[1].paper_fid < w[0].paper_fid);
+            assert!(w[1].paper_kid <= w[0].paper_kid);
+        }
+    }
+
+    #[test]
+    fn prompts_match_text_axis() {
+        assert_eq!(AblationVariant::BaseSd.prompt(), PromptTemplate::traditional());
+        assert_eq!(AblationVariant::Full.prompt(), PromptTemplate::keypoint_aware());
+    }
+}

@@ -1,0 +1,113 @@
+//! Command-line interface for training, persisting, and sampling
+//! AeroDiffusion pipelines.
+//!
+//! ```text
+//! aerodiffusion_cli train  <model-dir> [--scenes N] [--seed S] [--scale smoke|small|paper]
+//! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--scale …]
+//! aerodiffusion_cli info   <model-dir>
+//! ```
+
+use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
+use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::process::ExitCode;
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn scale_config(args: &[String]) -> PipelineConfig {
+    match parse_flag(args, "--scale").as_deref() {
+        Some("paper") => PipelineConfig::paper(),
+        Some("small") => PipelineConfig::small(),
+        _ => PipelineConfig::smoke(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("sample") => cmd_sample(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: aerodiffusion_cli <train|sample|info> <model-dir> [args]\n\
+                 \n  train  <dir> [--scenes N] [--seed S] [--scale smoke|small|paper]\n\
+                 \n  sample <dir> <out.ppm> [--seed S] [--night] [--scale …]\n\
+                 \n  info   <dir>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_train(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let dir = args.first().ok_or("train requires a model directory")?;
+    let n_scenes: usize =
+        parse_flag(args, "--scenes").map(|v| v.parse()).transpose()?.unwrap_or(8);
+    let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(42);
+    let config = scale_config(args);
+    println!("building {n_scenes}-scene dataset…");
+    let dataset = build_dataset(&DatasetConfig {
+        n_scenes,
+        image_size: config.vision.image_size,
+        seed,
+        generator: SceneGeneratorConfig::default(),
+    });
+    println!("training pipeline (this is CPU-bound)…");
+    let pipeline = AeroDiffusionPipeline::fit(&dataset, config, seed);
+    pipeline.save(dir)?;
+    println!("saved trained pipeline to {dir}");
+    Ok(())
+}
+
+fn cmd_sample(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let dir = args.first().ok_or("sample requires a model directory")?;
+    let out = args.get(1).ok_or("sample requires an output .ppm path")?;
+    let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(7);
+    let config = scale_config(args);
+    let pipeline = AeroDiffusionPipeline::load(dir, config)?;
+    // a fresh reference scene to condition on
+    let dataset = build_dataset(&DatasetConfig {
+        n_scenes: 1,
+        image_size: config.vision.image_size,
+        seed: seed ^ 0x5EED,
+        generator: SceneGeneratorConfig::default(),
+    });
+    let item = &dataset.items[0];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let image = if args.iter().any(|a| a == "--night") {
+        aerodiffusion::viewpoint::night_synthesis(&pipeline, item, &mut rng).image
+    } else {
+        pipeline.generate(item, &mut rng)
+    };
+    image.save_ppm(out)?;
+    println!("wrote {out} ({}x{})", image.width(), image.height());
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let dir = args.first().ok_or("info requires a model directory")?;
+    let meta = std::fs::read_to_string(std::path::Path::new(dir).join("meta.txt"))?;
+    let vocab = std::fs::read_to_string(std::path::Path::new(dir).join("vocab.txt"))?;
+    println!("pipeline at {dir}:");
+    for line in meta.lines() {
+        println!("  {line}");
+    }
+    println!("  vocabulary: {} entries", vocab.lines().count());
+    for f in ["clip.aero", "vae.aero", "detector.aero", "condition.aero", "unet.aero"] {
+        let size = std::fs::metadata(std::path::Path::new(dir).join(f))?.len();
+        println!("  {f}: {size} bytes");
+    }
+    Ok(())
+}

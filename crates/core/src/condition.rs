@@ -1,0 +1,301 @@
+//! The feature-augmented condition network (Section IV-C-2, Eq. 5).
+//!
+//! Builds `C = [C_xg; C_g; f̂_X]`:
+//!
+//! * `C_xg = BLIP(X_i, G_i)` — deep image/text fusion (trainable),
+//! * `C_g = CLIP(G'_i)` — the frozen CLIP encoding of the *target*
+//!   description, the knob that steers viewpoint/night transitions,
+//! * `f̂_X` — the region-augmented image feature (trainable).
+//!
+//! Disabled components (for the Table IV ablations) contribute a zero
+//! block so the condition dimensionality — and therefore the UNet — is
+//! identical across variants.
+
+use crate::config::PipelineConfig;
+use crate::region::RegionAugmenter;
+use aero_nn::{Module, Var};
+use aero_scene::{Annotation, Image};
+use aero_tensor::Tensor;
+use aero_vision::blip::BlipFusion;
+use aero_vision::clip::ClipModel;
+use rand::Rng;
+
+/// Inputs for one conditioned sample.
+#[derive(Debug, Clone)]
+pub struct ConditionInputs<'a> {
+    /// The source/reference image `X_i`.
+    pub image: &'a Image,
+    /// Token ids of the source caption `G_i`.
+    pub tokens_g: Vec<usize>,
+    /// Token ids of the target description `G'_i`.
+    pub tokens_g_prime: Vec<usize>,
+    /// Regions of interest for feature augmentation.
+    pub rois: &'a [Annotation],
+}
+
+/// The trainable condition network.
+#[derive(Debug, Clone)]
+pub struct ConditionNetwork {
+    blip: BlipFusion,
+    augmenter: RegionAugmenter,
+    use_blip: bool,
+    use_region: bool,
+    embed_dim: usize,
+    image_size: usize,
+}
+
+impl ConditionNetwork {
+    /// Creates an untrained condition network with all components active.
+    pub fn new<R: Rng + ?Sized>(vocab: usize, config: &PipelineConfig, rng: &mut R) -> Self {
+        Self::with_components(vocab, config, true, true, rng)
+    }
+
+    /// Creates a network with ablation toggles (Table IV).
+    pub fn with_components<R: Rng + ?Sized>(
+        vocab: usize,
+        config: &PipelineConfig,
+        use_blip: bool,
+        use_region: bool,
+        rng: &mut R,
+    ) -> Self {
+        ConditionNetwork {
+            blip: BlipFusion::new(vocab, config.vision, rng),
+            augmenter: RegionAugmenter::new(config, rng),
+            use_blip,
+            use_region,
+            embed_dim: config.vision.embed_dim,
+            image_size: config.vision.image_size,
+        }
+    }
+
+    /// Whether the BLIP fusion branch is active.
+    pub fn uses_blip(&self) -> bool {
+        self.use_blip
+    }
+
+    /// Whether the region-augmentation branch is active.
+    pub fn uses_region(&self) -> bool {
+        self.use_region
+    }
+
+    /// The condition dimensionality (`3 · embed_dim`).
+    pub fn cond_dim(&self) -> usize {
+        3 * self.embed_dim
+    }
+
+    /// Pretrains the trainable branches to align with the frozen CLIP
+    /// image space: `C_xg` and `f̂_X` regress the CLIP embedding of their
+    /// image. This plays the role of the *pretrained* BLIP/ViT weights
+    /// the paper starts from — without it the condition network begins as
+    /// noise and the joint diffusion stage has nothing to condition on.
+    ///
+    /// Returns per-epoch mean losses.
+    pub fn pretrain_alignment<R: rand::Rng + ?Sized>(
+        &self,
+        clip: &ClipModel,
+        inputs: &[ConditionInputs<'_>],
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        if self.params().is_empty() || inputs.is_empty() {
+            return Vec::new();
+        }
+        let s = self.image_size;
+        let d = self.embed_dim;
+        let mut opt = aero_nn::optim::Adam::new(self.params(), lr);
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let mut total = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(batch_size.max(1)) {
+                let sel: Vec<ConditionInputs<'_>> =
+                    chunk.iter().map(|&i| inputs[i].clone()).collect();
+                let imgs: Vec<Tensor> =
+                    sel.iter().map(|i| i.image.resize(s, s).to_tensor()).collect();
+                let refs: Vec<&Tensor> = imgs.iter().collect();
+                let target = clip.encode_image(&Tensor::stack(&refs));
+                opt.zero_grad();
+                let c = self.build_batch(clip, &sel);
+                let n = sel.len();
+                let mut loss_terms = Vec::new();
+                if self.use_blip {
+                    loss_terms.push(c.narrow(1, 0, d).mse_loss(&target));
+                }
+                if self.use_region {
+                    loss_terms.push(c.narrow(1, 2 * d, d).mse_loss(&target));
+                }
+                let _ = n;
+                let Some(mut loss) = loss_terms.pop() else { continue };
+                for t in loss_terms {
+                    loss = loss.add(&t);
+                }
+                total += loss.value().item();
+                batches += 1;
+                loss.backward();
+                opt.step();
+            }
+            history.push(if batches > 0 { total / batches as f32 } else { 0.0 });
+        }
+        history
+    }
+
+    /// Builds the differentiable condition batch `[n, 3d]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn build_batch(&self, clip: &ClipModel, inputs: &[ConditionInputs<'_>]) -> Var {
+        assert!(!inputs.is_empty(), "condition batch cannot be empty");
+        let n = inputs.len();
+        let s = self.image_size;
+        let d = self.embed_dim;
+
+        // C_xg: BLIP fusion of source image and caption (trainable).
+        let c_xg = if self.use_blip {
+            let imgs: Vec<Tensor> = inputs
+                .iter()
+                .map(|i| i.image.resize(s, s).to_tensor())
+                .collect();
+            let refs: Vec<&Tensor> = imgs.iter().collect();
+            let image_batch = Tensor::stack(&refs);
+            let tokens: Vec<Vec<usize>> = inputs.iter().map(|i| i.tokens_g.clone()).collect();
+            self.blip.fuse_tensors(&image_batch, &tokens)
+        } else {
+            Var::constant(Tensor::zeros(&[n, d]))
+        };
+
+        // C_g: frozen CLIP encoding of the target description G'.
+        let g_prime: Vec<Vec<usize>> = inputs.iter().map(|i| i.tokens_g_prime.clone()).collect();
+        let c_g = Var::constant(clip.encode_text(&g_prime));
+
+        // f̂_X: region-augmented image feature (trainable).
+        let f_hat = if self.use_region {
+            let items: Vec<(&Image, &[Annotation])> =
+                inputs.iter().map(|i| (i.image, i.rois)).collect();
+            self.augmenter.augment_batch(&items)
+        } else {
+            Var::constant(Tensor::zeros(&[n, d]))
+        };
+
+        Var::concat(&[&c_xg, &c_g, &f_hat], 1)
+    }
+}
+
+impl Module for ConditionNetwork {
+    fn params(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        if self.use_blip {
+            p.extend(self.blip.params());
+        }
+        if self.use_region {
+            p.extend(self.augmenter.params());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ConditionNetwork, ClipModel, aero_scene::AerialDataset, PipelineConfig) {
+        let cfg = PipelineConfig::smoke();
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = ConditionNetwork::new(40, &cfg, &mut rng);
+        let clip = ClipModel::new(40, cfg.vision, &mut rng);
+        let ds = build_dataset(&DatasetConfig {
+            n_scenes: 2,
+            image_size: cfg.vision.image_size,
+            seed: 4,
+            generator: SceneGeneratorConfig { min_objects: 4, max_objects: 7, night_probability: 0.0 },
+        });
+        (net, clip, ds, cfg)
+    }
+
+    fn inputs<'a>(
+        ds: &'a aero_scene::AerialDataset,
+        cfg: &PipelineConfig,
+    ) -> Vec<ConditionInputs<'a>> {
+        ds.iter()
+            .map(|item| ConditionInputs {
+                image: &item.rendered.image,
+                tokens_g: vec![1; cfg.vision.max_text_len],
+                tokens_g_prime: vec![2; cfg.vision.max_text_len],
+                rois: &item.rendered.boxes,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn condition_shape_is_three_blocks() {
+        let (net, clip, ds, cfg) = setup();
+        let c = net.build_batch(&clip, &inputs(&ds, &cfg));
+        assert_eq!(c.shape(), vec![2, 3 * cfg.vision.embed_dim]);
+    }
+
+    #[test]
+    fn disabled_blocks_are_zero() {
+        let cfg = PipelineConfig::smoke();
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = ConditionNetwork::with_components(40, &cfg, false, false, &mut rng);
+        let clip = ClipModel::new(40, cfg.vision, &mut rng);
+        let ds = build_dataset(&DatasetConfig {
+            n_scenes: 1,
+            image_size: cfg.vision.image_size,
+            seed: 6,
+            generator: SceneGeneratorConfig::default(),
+        });
+        let c = net.build_batch(&clip, &inputs(&ds, &cfg)).to_tensor();
+        let d = cfg.vision.embed_dim;
+        // first block (BLIP) zero
+        assert_eq!(c.narrow(1, 0, d).abs().max(), 0.0);
+        // last block (region) zero
+        assert_eq!(c.narrow(1, 2 * d, d).abs().max(), 0.0);
+        // CLIP block alive
+        assert!(c.narrow(1, d, d).abs().max() > 0.0);
+    }
+
+    #[test]
+    fn g_prime_steers_the_condition() {
+        let (net, clip, ds, cfg) = setup();
+        let mut a = inputs(&ds, &cfg);
+        let base = net.build_batch(&clip, &a).to_tensor();
+        for i in &mut a {
+            i.tokens_g_prime = vec![9; cfg.vision.max_text_len];
+        }
+        let steered = net.build_batch(&clip, &a).to_tensor();
+        assert!(base.sub(&steered).abs().max() > 1e-6);
+    }
+
+    #[test]
+    fn trainable_params_respect_ablation() {
+        let cfg = PipelineConfig::smoke();
+        let mut rng = StdRng::seed_from_u64(7);
+        let full = ConditionNetwork::with_components(40, &cfg, true, true, &mut rng);
+        let none = ConditionNetwork::with_components(40, &cfg, false, false, &mut rng);
+        assert!(full.param_count() > 0);
+        assert_eq!(none.param_count(), 0);
+    }
+
+    #[test]
+    fn gradients_reach_condition_params() {
+        let (net, clip, ds, cfg) = setup();
+        net.build_batch(&clip, &inputs(&ds, &cfg)).sum().backward();
+        let with_grad = net.params().iter().filter(|p| p.grad().is_some()).count();
+        // unused pooled/patch heads may be exempt
+        assert!(
+            with_grad * 10 >= net.params().len() * 8,
+            "most params should receive grads: {with_grad}/{}",
+            net.params().len()
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Persistence of trained pipelines.
+//!
+//! A trained [`AeroDiffusionPipeline`](crate::pipeline::AeroDiffusionPipeline)
+//! is written as a directory:
+//!
+//! ```text
+//! <dir>/
+//!   vocab.txt        one vocabulary word per line (ids are line order)
+//!   meta.txt         key=value lines: max_len, latent_scale, provider, variant
+//!   clip.aero        CLIP weights        (aero-nn binary weight format)
+//!   vae.aero         VAE weights
+//!   detector.aero    YOLO-lite weights
+//!   condition.aero   condition-network weights
+//!   unet.aero        UNet weights
+//! ```
+//!
+//! Loading reconstructs the models from a [`PipelineConfig`] and the
+//! stored vocabulary, then restores every weight tensor; the config must
+//! match the one the pipeline was trained with.
+
+use crate::ablation::AblationVariant;
+use crate::config::PipelineConfig;
+use aero_nn::serialize::{load_params, save_params, LoadWeightsError};
+use aero_text::llm::LlmProvider;
+use aero_text::tokenizer::{Tokenizer, Vocabulary};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Error loading or saving a pipeline directory.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A weight blob failed to decode or mismatch the models.
+    Weights(LoadWeightsError),
+    /// The metadata file is malformed.
+    Meta(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o failure: {e}"),
+            PersistError::Weights(e) => write!(f, "weight failure: {e}"),
+            PersistError::Meta(d) => write!(f, "malformed metadata: {d}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Weights(e) => Some(e),
+            PersistError::Meta(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<LoadWeightsError> for PersistError {
+    fn from(e: LoadWeightsError) -> Self {
+        PersistError::Weights(e)
+    }
+}
+
+/// The dataset-independent state restored on load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineMeta {
+    /// Token sequence length.
+    pub max_len: usize,
+    /// VAE latent scale.
+    pub latent_scale: f32,
+    /// Caption provider.
+    pub provider: LlmProvider,
+    /// Ablation variant.
+    pub variant: AblationVariant,
+}
+
+pub(crate) fn write_vocab(vocab: &Vocabulary, path: &Path) -> Result<(), PersistError> {
+    let mut out = String::new();
+    for id in 0..vocab.len() {
+        out.push_str(vocab.word(id));
+        out.push('\n');
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+pub(crate) fn read_tokenizer(dir: &Path, max_len: usize) -> Result<Tokenizer, PersistError> {
+    let text = fs::read_to_string(dir.join("vocab.txt"))?;
+    let words: Vec<&str> = text.lines().collect();
+    if words.len() < 4 {
+        return Err(PersistError::Meta("vocabulary too short".into()));
+    }
+    // Rebuild a vocabulary with identical ids: feed the non-special words
+    // with descending artificial frequency so Vocabulary::build preserves
+    // order.
+    let mut corpus = String::new();
+    let content = &words[4..];
+    for (i, w) in content.iter().enumerate() {
+        for _ in 0..(content.len() - i) {
+            corpus.push_str(w);
+            corpus.push(' ');
+        }
+    }
+    let vocab = Vocabulary::build([corpus.as_str()], 1);
+    // sanity: ids must round-trip
+    for (i, w) in words.iter().enumerate() {
+        if vocab.word(i) != *w {
+            return Err(PersistError::Meta(format!(
+                "vocabulary order not reproducible at id {i}: {w:?} vs {:?}",
+                vocab.word(i)
+            )));
+        }
+    }
+    Ok(Tokenizer::new(vocab, max_len))
+}
+
+pub(crate) fn write_meta(meta: &PipelineMeta, path: &Path) -> Result<(), PersistError> {
+    let provider = match meta.provider {
+        LlmProvider::KeypointAware => "keypoint",
+        LlmProvider::GeminiLike => "gemini",
+        LlmProvider::Gpt4oLike => "gpt4o",
+        LlmProvider::BlipCaption => "blip",
+    };
+    let variant = match meta.variant {
+        AblationVariant::BaseSd => "base_sd",
+        AblationVariant::WithBlip => "with_blip",
+        AblationVariant::WithKeypointText => "with_keypoint_text",
+        AblationVariant::Full => "full",
+    };
+    fs::write(
+        path,
+        format!(
+            "max_len={}\nlatent_scale={}\nprovider={provider}\nvariant={variant}\n",
+            meta.max_len, meta.latent_scale
+        ),
+    )?;
+    Ok(())
+}
+
+pub(crate) fn read_meta(path: &Path) -> Result<PipelineMeta, PersistError> {
+    let text = fs::read_to_string(path)?;
+    let mut max_len = None;
+    let mut latent_scale = None;
+    let mut provider = None;
+    let mut variant = None;
+    for line in text.lines() {
+        let Some((k, v)) = line.split_once('=') else { continue };
+        match k {
+            "max_len" => max_len = v.parse().ok(),
+            "latent_scale" => latent_scale = v.parse().ok(),
+            "provider" => {
+                provider = Some(match v {
+                    "keypoint" => LlmProvider::KeypointAware,
+                    "gemini" => LlmProvider::GeminiLike,
+                    "gpt4o" => LlmProvider::Gpt4oLike,
+                    "blip" => LlmProvider::BlipCaption,
+                    other => return Err(PersistError::Meta(format!("unknown provider {other}"))),
+                })
+            }
+            "variant" => {
+                variant = Some(match v {
+                    "base_sd" => AblationVariant::BaseSd,
+                    "with_blip" => AblationVariant::WithBlip,
+                    "with_keypoint_text" => AblationVariant::WithKeypointText,
+                    "full" => AblationVariant::Full,
+                    other => return Err(PersistError::Meta(format!("unknown variant {other}"))),
+                })
+            }
+            _ => {}
+        }
+    }
+    Ok(PipelineMeta {
+        max_len: max_len.ok_or_else(|| PersistError::Meta("missing max_len".into()))?,
+        latent_scale: latent_scale.ok_or_else(|| PersistError::Meta("missing latent_scale".into()))?,
+        provider: provider.ok_or_else(|| PersistError::Meta("missing provider".into()))?,
+        variant: variant.ok_or_else(|| PersistError::Meta("missing variant".into()))?,
+    })
+}
+
+pub(crate) fn save_module(params: &[aero_nn::Var], path: &Path) -> Result<(), PersistError> {
+    save_params(params, path)?;
+    Ok(())
+}
+
+pub(crate) fn load_module(params: &[aero_nn::Var], path: &Path) -> Result<(), PersistError> {
+    load_params(params, path)?;
+    Ok(())
+}
+
+/// A convenience: config hash so loads against a different geometry fail
+/// fast with a clear message instead of a shape mismatch deep inside.
+pub(crate) fn config_fingerprint(config: &PipelineConfig) -> String {
+    format!(
+        "s{}d{}c{}t{}u{}",
+        config.vision.image_size,
+        config.vision.embed_dim,
+        config.vision.base_channels,
+        config.vision.max_text_len,
+        config.unet_channels
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_round_trip() {
+        let dir = std::env::temp_dir().join("aero_persist_meta");
+        fs::create_dir_all(&dir).unwrap();
+        let meta = PipelineMeta {
+            max_len: 24,
+            latent_scale: 1.25,
+            provider: LlmProvider::GeminiLike,
+            variant: AblationVariant::WithKeypointText,
+        };
+        let path = dir.join("meta.txt");
+        write_meta(&meta, &path).unwrap();
+        assert_eq!(read_meta(&path).unwrap(), meta);
+    }
+
+    #[test]
+    fn vocab_round_trip() {
+        let dir = std::env::temp_dir().join("aero_persist_vocab");
+        fs::create_dir_all(&dir).unwrap();
+        let vocab = Vocabulary::build(["the car drives past the tree on the road"], 1);
+        write_vocab(&vocab, &dir.join("vocab.txt")).unwrap();
+        let tok = read_tokenizer(&dir, 10).unwrap();
+        for id in 0..vocab.len() {
+            assert_eq!(tok.vocab().word(id), vocab.word(id), "id {id}");
+        }
+    }
+
+    #[test]
+    fn meta_rejects_garbage() {
+        let dir = std::env::temp_dir().join("aero_persist_bad");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("meta.txt");
+        fs::write(&path, "provider=alien\n").unwrap();
+        assert!(read_meta(&path).is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = config_fingerprint(&PipelineConfig::smoke());
+        let b = config_fingerprint(&PipelineConfig::small());
+        assert_ne!(a, b);
+    }
+}

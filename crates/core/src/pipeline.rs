@@ -1,0 +1,480 @@
+//! The end-to-end AeroDiffusion pipeline.
+
+use crate::ablation::AblationVariant;
+use crate::condition::{ConditionInputs, ConditionNetwork};
+use crate::config::PipelineConfig;
+use crate::substrate::{caption_dataset, SubstrateBundle};
+use aero_diffusion::{CondUnet, DdimSampler, DiffusionTrainer, UnetConfig};
+use aero_nn::optim::Adam;
+use aero_nn::Module;
+use aero_scene::{AerialDataset, Annotation, DatasetItem, Image};
+use aero_tensor::Tensor;
+use aero_text::llm::{LlmProvider, SimulatedLlm};
+use aero_text::prompt::PromptTemplate;
+use aero_vision::vae::LATENT_CHANNELS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully trained AeroDiffusion system.
+#[derive(Debug)]
+pub struct AeroDiffusionPipeline {
+    config: PipelineConfig,
+    bundle: SubstrateBundle,
+    condition: ConditionNetwork,
+    unet: CondUnet,
+    trainer: DiffusionTrainer,
+    provider: LlmProvider,
+    variant: AblationVariant,
+}
+
+impl AeroDiffusionPipeline {
+    /// Trains the full pipeline on a dataset with the paper's default
+    /// keypoint-aware captioning.
+    pub fn fit(dataset: &AerialDataset, config: PipelineConfig, seed: u64) -> Self {
+        Self::fit_with_options(dataset, config, LlmProvider::KeypointAware, AblationVariant::Full, seed)
+    }
+
+    /// Trains with an explicit caption provider (Table II) and ablation
+    /// variant (Table IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit_with_options(
+        dataset: &AerialDataset,
+        config: PipelineConfig,
+        provider: LlmProvider,
+        variant: AblationVariant,
+        seed: u64,
+    ) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit on an empty dataset");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prompt = variant.prompt();
+        let captions = caption_dataset(dataset, provider, &prompt, seed);
+        let bundle = SubstrateBundle::train(dataset, &captions, &config, seed);
+
+        let vocab = bundle.tokenizer.vocab().len();
+        let condition = ConditionNetwork::with_components(
+            vocab,
+            &config,
+            variant.uses_blip(),
+            variant.uses_object_detection(),
+            &mut rng,
+        );
+        let unet = CondUnet::new(
+            UnetConfig {
+                in_channels: LATENT_CHANNELS,
+                base_channels: config.unet_channels,
+                cond_dim: config.cond_dim(),
+                time_embed_dim: 32,
+                cond_tokens: 3,
+                spatial_cond_cells: (config.vision.image_size / 8) * (config.vision.image_size / 8),
+            },
+            &mut rng,
+        );
+        let trainer = DiffusionTrainer::new(config.diffusion);
+
+        let mut pipeline = AeroDiffusionPipeline {
+            config,
+            bundle,
+            condition,
+            unet,
+            trainer,
+            provider,
+            variant,
+        };
+        pipeline.train_joint(dataset, &captions, &mut rng);
+        pipeline
+    }
+
+    /// The joint diffusion + condition-network training stage (Eq. 6:
+    /// "both the parameters θ of the denoising network and those involved
+    /// in generating the condition vector C are jointly updated").
+    fn train_joint(&mut self, dataset: &AerialDataset, captions: &[String], rng: &mut StdRng) {
+        // Precompute frozen quantities: latents, tokens, ROIs.
+        let latents: Vec<Tensor> = dataset
+            .iter()
+            .map(|item| {
+                let s = self.config.vision.image_size;
+                let img = item.rendered.image.to_tensor().reshape(&[1, 3, s, s]);
+                self.bundle.vae.encode_tensor(&img)
+            })
+            .collect();
+        let tokens: Vec<Vec<usize>> =
+            captions.iter().map(|c| self.bundle.tokenizer.encode(c)).collect();
+        let rois: Vec<Vec<Annotation>> = dataset
+            .iter()
+            .map(|item| self.propose_rois(&item.rendered.image))
+            .collect();
+
+        // Alignment pretraining: stands in for the pretrained BLIP/ViT
+        // checkpoints the paper's condition network starts from.
+        let pretrain_inputs: Vec<ConditionInputs<'_>> = (0..dataset.len())
+            .map(|i| ConditionInputs {
+                image: &dataset.items[i].rendered.image,
+                tokens_g: tokens[i].clone(),
+                tokens_g_prime: tokens[i].clone(),
+                rois: &rois[i],
+            })
+            .collect();
+        self.condition.pretrain_alignment(
+            &self.bundle.clip,
+            &pretrain_inputs,
+            self.config.clip_epochs,
+            self.config.batch_size,
+            self.config.substrate_lr,
+            rng,
+        );
+
+        let joint = self.config.joint_condition_training;
+        let mut params = self.unet.params();
+        if joint {
+            params.extend(self.condition.params());
+        }
+        let mut opt = Adam::new(params, self.config.diffusion_lr).with_weight_decay(1e-5);
+
+        // Frozen-condition fast path: precompute every condition vector
+        // once (the alignment-pretrained network is treated like the
+        // frozen pretrained encoders the baselines use).
+        let frozen_conds: Vec<Tensor> = if joint {
+            Vec::new()
+        } else {
+            (0..dataset.len())
+                .map(|i| {
+                    let inputs = [ConditionInputs {
+                        image: &dataset.items[i].rendered.image,
+                        tokens_g: tokens[i].clone(),
+                        tokens_g_prime: tokens[i].clone(),
+                        rois: &rois[i],
+                    }];
+                    let c = self.condition.build_batch(&self.bundle.clip, &inputs).to_tensor();
+                    let d = c.shape()[1];
+                    c.reshape(&[d])
+                })
+                .collect()
+        };
+
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        for _ in 0..self.config.diffusion_epochs {
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for chunk in order.chunks(self.config.diffusion_batch_size.max(1)) {
+                let cond = if joint {
+                    let inputs: Vec<ConditionInputs<'_>> = chunk
+                        .iter()
+                        .map(|&i| ConditionInputs {
+                            image: &dataset.items[i].rendered.image,
+                            tokens_g: tokens[i].clone(),
+                            // during training the target description equals
+                            // the source description
+                            tokens_g_prime: tokens[i].clone(),
+                            rois: &rois[i],
+                        })
+                        .collect();
+                    self.condition.build_batch(&self.bundle.clip, &inputs)
+                } else {
+                    let c_refs: Vec<&Tensor> = chunk.iter().map(|&i| &frozen_conds[i]).collect();
+                    aero_nn::Var::constant(Tensor::stack(&c_refs))
+                };
+                let z_refs: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| {
+                        let sh = latents[i].shape();
+                        latents[i].reshape(&[sh[1], sh[2], sh[3]])
+                    })
+                    .collect();
+                let refs: Vec<&Tensor> = z_refs.iter().collect();
+                let z0 = Tensor::stack(&refs);
+                opt.zero_grad();
+                let loss = self.trainer.loss(&self.unet, &z0, Some(&cond), rng);
+                loss.backward();
+                opt.step();
+            }
+        }
+    }
+
+    /// ROIs for an image: detector output ordered by confidence. When the
+    /// detector abstains entirely at the configured threshold, the
+    /// threshold is relaxed once (mirroring the paper's object-retrieval
+    /// step, which always extracts the highest-importance regions).
+    pub fn propose_rois(&self, image: &Image) -> Vec<Annotation> {
+        let tensor = image.to_tensor();
+        let mut dets = self.bundle.detector.detect(&tensor, self.config.roi_confidence, 0.4);
+        if dets.is_empty() {
+            dets = self.bundle.detector.detect(&tensor, self.config.roi_confidence * 0.25, 0.4);
+        }
+        dets.into_iter().map(|d| d.to_annotation()).collect()
+    }
+
+    /// Generates an image conditioned on a reference item, using the
+    /// item's own description as the target `G'` (the Table I protocol).
+    pub fn generate<R: Rng + ?Sized>(&self, item: &DatasetItem, rng: &mut R) -> Image {
+        let caption = self.caption_for(item, rng);
+        self.generate_with_description(item, &caption, rng)
+    }
+
+    /// Generates an image conditioned on a reference item and an explicit
+    /// target description `G'` (viewpoint transition / night synthesis).
+    pub fn generate_with_description<R: Rng + ?Sized>(
+        &self,
+        item: &DatasetItem,
+        g_prime: &str,
+        rng: &mut R,
+    ) -> Image {
+        let sampler = DdimSampler::new(
+            self.config.diffusion.ddim_steps,
+            self.config.diffusion.guidance_scale,
+        );
+        self.generate_with_description_and_sampler(item, g_prime, &sampler, rng)
+    }
+
+    /// Generates with an explicit DDIM sampler (guidance/step sweeps).
+    pub fn generate_with_sampler<R: Rng + ?Sized>(
+        &self,
+        item: &DatasetItem,
+        sampler: &DdimSampler,
+        rng: &mut R,
+    ) -> Image {
+        let caption = self.caption_for(item, rng);
+        self.generate_with_description_and_sampler(item, &caption, sampler, rng)
+    }
+
+    /// The fully explicit generation entry point.
+    pub fn generate_with_description_and_sampler<R: Rng + ?Sized>(
+        &self,
+        item: &DatasetItem,
+        g_prime: &str,
+        sampler: &DdimSampler,
+        rng: &mut R,
+    ) -> Image {
+        let caption_g = self.caption_for(item, rng);
+        let rois = self.propose_rois(&item.rendered.image);
+        let inputs = [ConditionInputs {
+            image: &item.rendered.image,
+            tokens_g: self.bundle.tokenizer.encode(&caption_g),
+            tokens_g_prime: self.bundle.tokenizer.encode(g_prime),
+            rois: &rois,
+        }];
+        let cond = self.condition.build_batch(&self.bundle.clip, &inputs).to_tensor();
+        let latent_side = self.config.vision.image_size / 4;
+        let z = sampler.sample(
+            &self.unet,
+            self.trainer.schedule(),
+            &[1, LATENT_CHANNELS, latent_side, latent_side],
+            Some(&cond),
+            rng,
+        );
+        let decoded = self.bundle.vae.decode_tensor(&z);
+        let s = self.config.vision.image_size;
+        Image::from_tensor(&decoded.reshape(&[3, s, s]))
+    }
+
+    /// Generates one image per evaluation item.
+    pub fn generate_eval<R: Rng + ?Sized>(&self, eval: &AerialDataset, rng: &mut R) -> Vec<Image> {
+        eval.iter().map(|item| self.generate(item, rng)).collect()
+    }
+
+    /// The caption this pipeline's provider/prompt produces for an item.
+    pub fn caption_for<R: Rng + ?Sized>(&self, item: &DatasetItem, rng: &mut R) -> String {
+        let llm = SimulatedLlm::new(self.provider);
+        llm.describe(&item.spec, &self.variant.prompt(), rng)
+    }
+
+    /// CLIP score of generated images against their target captions.
+    pub fn clip_score(&self, images: &[Image], captions: &[String]) -> f32 {
+        let tensors: Vec<Tensor> = images.iter().map(Image::to_tensor).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let batch = Tensor::stack(&refs);
+        let tokens: Vec<Vec<usize>> =
+            captions.iter().map(|c| self.bundle.tokenizer.encode(c)).collect();
+        self.bundle.clip.clip_score(&batch, &tokens)
+    }
+
+    /// The trained substrate bundle.
+    pub fn bundle(&self) -> &SubstrateBundle {
+        &self.bundle
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The caption provider the pipeline was trained with.
+    pub fn provider(&self) -> LlmProvider {
+        self.provider
+    }
+
+    /// The ablation variant the pipeline was trained as.
+    pub fn variant(&self) -> AblationVariant {
+        self.variant
+    }
+
+    /// The simulated LLM used for target descriptions.
+    pub fn llm(&self) -> SimulatedLlm {
+        SimulatedLlm::new(self.provider)
+    }
+
+    /// The raw condition vector the pipeline would use for an item (with
+    /// `G' = G`) — exposed for diagnostics and analysis.
+    pub fn condition_vector(&self, item: &DatasetItem) -> Tensor {
+        let caption = self.caption_for(item, &mut StdRng::seed_from_u64(0));
+        let rois = self.propose_rois(&item.rendered.image);
+        let tokens = self.bundle.tokenizer.encode(&caption);
+        let inputs = [ConditionInputs {
+            image: &item.rendered.image,
+            tokens_g: tokens.clone(),
+            tokens_g_prime: tokens,
+            rois: &rois,
+        }];
+        self.condition.build_batch(&self.bundle.clip, &inputs).to_tensor()
+    }
+
+    /// Saves the trained pipeline to a directory (see [`crate::persist`]
+    /// for the layout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<P: AsRef<std::path::Path>>(&self, dir: P) -> Result<(), crate::persist::PersistError> {
+        use crate::persist;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        persist::write_vocab(self.bundle.tokenizer.vocab(), &dir.join("vocab.txt"))?;
+        persist::write_meta(
+            &crate::persist::PipelineMeta {
+                max_len: self.bundle.tokenizer.max_len(),
+                latent_scale: self.bundle.vae.latent_scale(),
+                provider: self.provider,
+                variant: self.variant,
+            },
+            &dir.join("meta.txt"),
+        )?;
+        std::fs::write(dir.join("config.txt"), persist::config_fingerprint(&self.config))?;
+        persist::save_module(&self.bundle.clip.params(), &dir.join("clip.aero"))?;
+        persist::save_module(&self.bundle.vae.params(), &dir.join("vae.aero"))?;
+        persist::save_module(&self.bundle.detector.params(), &dir.join("detector.aero"))?;
+        persist::save_module(&self.condition.params(), &dir.join("condition.aero"))?;
+        persist::save_module(&self.unet.params(), &dir.join("unet.aero"))?;
+        Ok(())
+    }
+
+    /// Loads a pipeline saved by [`AeroDiffusionPipeline::save`]. The
+    /// provided `config` must match the training configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, malformed metadata, a configuration
+    /// fingerprint mismatch, or weight/shape mismatches.
+    pub fn load<P: AsRef<std::path::Path>>(
+        dir: P,
+        config: PipelineConfig,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist;
+        let dir = dir.as_ref();
+        let fingerprint = std::fs::read_to_string(dir.join("config.txt"))?;
+        if fingerprint != persist::config_fingerprint(&config) {
+            return Err(crate::persist::PersistError::Meta(format!(
+                "config fingerprint mismatch: saved {fingerprint}, requested {}",
+                persist::config_fingerprint(&config)
+            )));
+        }
+        let meta = persist::read_meta(&dir.join("meta.txt"))?;
+        let tokenizer = persist::read_tokenizer(dir, meta.max_len)?;
+        let mut bundle = SubstrateBundle::new_untrained(tokenizer, &config, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let vocab = bundle.tokenizer.vocab().len();
+        let condition = ConditionNetwork::with_components(
+            vocab,
+            &config,
+            meta.variant.uses_blip(),
+            meta.variant.uses_object_detection(),
+            &mut rng,
+        );
+        let unet = CondUnet::new(
+            UnetConfig {
+                in_channels: LATENT_CHANNELS,
+                base_channels: config.unet_channels,
+                cond_dim: config.cond_dim(),
+                time_embed_dim: 32,
+                cond_tokens: 3,
+                spatial_cond_cells: (config.vision.image_size / 8) * (config.vision.image_size / 8),
+            },
+            &mut rng,
+        );
+        persist::load_module(&bundle.clip.params(), &dir.join("clip.aero"))?;
+        persist::load_module(&bundle.vae.params(), &dir.join("vae.aero"))?;
+        persist::load_module(&bundle.detector.params(), &dir.join("detector.aero"))?;
+        persist::load_module(&condition.params(), &dir.join("condition.aero"))?;
+        persist::load_module(&unet.params(), &dir.join("unet.aero"))?;
+        bundle.vae.set_latent_scale(meta.latent_scale);
+        Ok(AeroDiffusionPipeline {
+            config,
+            bundle,
+            condition,
+            unet,
+            trainer: DiffusionTrainer::new(config.diffusion),
+            provider: meta.provider,
+            variant: meta.variant,
+        })
+    }
+
+    /// The prompt template in use.
+    pub fn prompt(&self) -> PromptTemplate {
+        self.variant.prompt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
+
+    fn tiny_dataset(n: usize) -> AerialDataset {
+        build_dataset(&DatasetConfig {
+            n_scenes: n,
+            image_size: PipelineConfig::smoke().vision.image_size,
+            seed: 21,
+            generator: SceneGeneratorConfig { min_objects: 4, max_objects: 8, night_probability: 0.2 },
+        })
+    }
+
+    #[test]
+    fn fit_and_generate_smoke() {
+        let ds = tiny_dataset(5);
+        let pipeline = AeroDiffusionPipeline::fit(&ds, PipelineConfig::smoke(), 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let img = pipeline.generate(&ds.items[0], &mut rng);
+        let s = pipeline.config().vision.image_size;
+        assert_eq!((img.width(), img.height()), (s, s));
+        let t = img.to_tensor();
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+        assert!(t.min() >= 0.0 && t.max() <= 1.0);
+    }
+
+    #[test]
+    fn generation_responds_to_g_prime() {
+        let ds = tiny_dataset(5);
+        let pipeline = AeroDiffusionPipeline::fit(&ds, PipelineConfig::smoke(), 5);
+        let item = &ds.items[0];
+        let a = pipeline.generate_with_description(item, "a daytime aerial image of a busy highway", &mut StdRng::seed_from_u64(9));
+        let b = pipeline.generate_with_description(item, "a nighttime aerial image of a tranquil park", &mut StdRng::seed_from_u64(9));
+        let diff = a.to_tensor().sub(&b.to_tensor()).abs().max();
+        assert!(diff > 1e-6, "target description must steer generation");
+    }
+
+    #[test]
+    fn clip_score_runs_on_generated_batch() {
+        let ds = tiny_dataset(4);
+        let pipeline = AeroDiffusionPipeline::fit(&ds, PipelineConfig::smoke(), 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let images = pipeline.generate_eval(&ds, &mut rng);
+        let captions: Vec<String> = ds
+            .iter()
+            .map(|i| pipeline.caption_for(i, &mut StdRng::seed_from_u64(0)))
+            .collect();
+        let score = pipeline.clip_score(&images, &captions);
+        assert!(score.is_finite());
+    }
+}

@@ -1,0 +1,235 @@
+//! Noise schedules and the closed-form forward process (Eq. 4).
+
+use aero_tensor::Tensor;
+use rand::Rng;
+
+/// The β-schedule family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BetaSchedule {
+    /// Linearly spaced betas (the paper's choice: 0.001 → 0.012).
+    Linear {
+        /// β at step 1.
+        beta_start: f32,
+        /// β at step T.
+        beta_end: f32,
+    },
+    /// The cosine schedule of Nichol & Dhariwal (improved DDPM).
+    Cosine,
+    /// Linear in `sqrt(β)` (Stable Diffusion's "scaled linear").
+    ScaledLinear {
+        /// β at step 1.
+        beta_start: f32,
+        /// β at step T.
+        beta_end: f32,
+    },
+}
+
+/// Precomputed schedule quantities for `T` steps.
+///
+/// Step indices are zero-based: `t ∈ 0..T`, with `alpha_bar` strictly
+/// decreasing (the paper's constraint `β_{t-1} < β_t` holds for the
+/// linear schedule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseSchedule {
+    betas: Vec<f32>,
+    alphas: Vec<f32>,
+    alpha_bars: Vec<f32>,
+}
+
+impl NoiseSchedule {
+    /// Builds a schedule with `timesteps` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps == 0` or a beta falls outside `(0, 1)`.
+    pub fn new(schedule: BetaSchedule, timesteps: usize) -> Self {
+        assert!(timesteps > 0, "schedule needs at least one step");
+        let betas: Vec<f32> = match schedule {
+            BetaSchedule::Linear { beta_start, beta_end } => (0..timesteps)
+                .map(|t| {
+                    if timesteps == 1 {
+                        beta_start
+                    } else {
+                        beta_start + (beta_end - beta_start) * t as f32 / (timesteps - 1) as f32
+                    }
+                })
+                .collect(),
+            BetaSchedule::ScaledLinear { beta_start, beta_end } => {
+                let (s, e) = (beta_start.sqrt(), beta_end.sqrt());
+                (0..timesteps)
+                    .map(|t| {
+                        let v = if timesteps == 1 {
+                            s
+                        } else {
+                            s + (e - s) * t as f32 / (timesteps - 1) as f32
+                        };
+                        v * v
+                    })
+                    .collect()
+            }
+            BetaSchedule::Cosine => {
+                let f = |t: f32| ((t + 0.008) / 1.008 * std::f32::consts::FRAC_PI_2).cos().powi(2);
+                (0..timesteps)
+                    .map(|t| {
+                        let t0 = t as f32 / timesteps as f32;
+                        let t1 = (t + 1) as f32 / timesteps as f32;
+                        (1.0 - f(t1) / f(t0)).clamp(1e-5, 0.999)
+                    })
+                    .collect()
+            }
+        };
+        for &b in &betas {
+            assert!((0.0..1.0).contains(&b), "beta {b} outside (0, 1)");
+        }
+        let alphas: Vec<f32> = betas.iter().map(|b| 1.0 - b).collect();
+        let mut alpha_bars = Vec::with_capacity(timesteps);
+        let mut acc = 1.0f32;
+        for &a in &alphas {
+            acc *= a;
+            alpha_bars.push(acc);
+        }
+        NoiseSchedule { betas, alphas, alpha_bars }
+    }
+
+    /// Number of steps `T`.
+    pub fn timesteps(&self) -> usize {
+        self.betas.len()
+    }
+
+    /// `β_t`.
+    pub fn beta(&self, t: usize) -> f32 {
+        self.betas[t]
+    }
+
+    /// `α_t = 1 − β_t`.
+    pub fn alpha(&self, t: usize) -> f32 {
+        self.alphas[t]
+    }
+
+    /// `ᾱ_t = Π α_s`.
+    pub fn alpha_bar(&self, t: usize) -> f32 {
+        self.alpha_bars[t]
+    }
+
+    /// Closed-form forward sample:
+    /// `z_t = sqrt(ᾱ_t) z_0 + sqrt(1 − ᾱ_t) ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or `t` is out of range.
+    pub fn q_sample(&self, z0: &Tensor, t: usize, eps: &Tensor) -> Tensor {
+        assert_eq!(z0.shape(), eps.shape(), "q_sample shape mismatch");
+        let ab = self.alpha_bar(t);
+        z0.mul_scalar(ab.sqrt()).add(&eps.mul_scalar((1.0 - ab).sqrt()))
+    }
+
+    /// Reconstructs `ẑ_0` from `z_t` and a noise prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or `t` is out of range.
+    pub fn predict_z0(&self, zt: &Tensor, t: usize, eps_hat: &Tensor) -> Tensor {
+        let ab = self.alpha_bar(t);
+        zt.sub(&eps_hat.mul_scalar((1.0 - ab).sqrt())).mul_scalar(1.0 / ab.sqrt().max(1e-6))
+    }
+
+    /// Draws a uniform training timestep.
+    pub fn sample_timestep<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.gen_range(0..self.timesteps())
+    }
+
+    /// Evenly spaced DDIM sub-sequence (descending), always containing
+    /// the final timestep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or exceeds `T`.
+    pub fn ddim_timesteps(&self, steps: usize) -> Vec<usize> {
+        assert!(steps > 0 && steps <= self.timesteps(), "invalid ddim step count");
+        let stride = self.timesteps() as f32 / steps as f32;
+        let mut ts: Vec<usize> = (0..steps)
+            .map(|i| ((i as f32 + 0.5) * stride) as usize)
+            .map(|t| t.min(self.timesteps() - 1))
+            .collect();
+        ts.dedup();
+        *ts.last_mut().expect("nonempty") = self.timesteps() - 1;
+        ts.dedup();
+        ts.reverse();
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_schedule_endpoints() {
+        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
+        assert!((s.beta(0) - 0.001).abs() < 1e-7);
+        assert!((s.beta(999) - 0.012).abs() < 1e-7);
+        // the paper's constraint: betas strictly increase
+        for t in 1..1000 {
+            assert!(s.beta(t) > s.beta(t - 1));
+        }
+    }
+
+    #[test]
+    fn alpha_bar_monotone_decreasing_to_small() {
+        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
+        for t in 1..1000 {
+            assert!(s.alpha_bar(t) < s.alpha_bar(t - 1));
+        }
+        assert!(s.alpha_bar(999) < 0.05, "terminal alpha_bar {}", s.alpha_bar(999));
+    }
+
+    #[test]
+    fn cosine_schedule_valid() {
+        let s = NoiseSchedule::new(BetaSchedule::Cosine, 100);
+        for t in 0..100 {
+            assert!((0.0..1.0).contains(&s.beta(t)));
+        }
+        assert!(s.alpha_bar(99) < 0.1);
+    }
+
+    #[test]
+    fn q_sample_variance_preserving() {
+        // Var[z_t] ≈ ᾱ Var[z_0] + (1 − ᾱ) for unit-variance inputs.
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.05 }, 100);
+        let z0 = Tensor::randn(&[10_000], &mut rng);
+        let eps = Tensor::randn(&[10_000], &mut rng);
+        let zt = s.q_sample(&z0, 50, &eps);
+        assert!((zt.var() - 1.0).abs() < 0.08, "var {}", zt.var());
+    }
+
+    #[test]
+    fn predict_z0_inverts_q_sample() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.05 }, 100);
+        let z0 = Tensor::randn(&[64], &mut rng);
+        let eps = Tensor::randn(&[64], &mut rng);
+        let zt = s.q_sample(&z0, 30, &eps);
+        let rec = s.predict_z0(&zt, 30, &eps);
+        assert!(rec.sub(&z0).abs().max() < 1e-4);
+    }
+
+    #[test]
+    fn ddim_subsequence_properties() {
+        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
+        let ts = s.ddim_timesteps(250);
+        assert_eq!(ts[0], 999, "must start at T-1");
+        for w in ts.windows(2) {
+            assert!(w[0] > w[1], "must strictly descend");
+        }
+        assert!(ts.len() >= 240 && ts.len() <= 250);
+    }
+
+    #[test]
+    fn ddim_single_step() {
+        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.01, beta_end: 0.02 }, 10);
+        assert_eq!(s.ddim_timesteps(1), vec![9]);
+    }
+}

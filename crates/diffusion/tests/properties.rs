@@ -1,0 +1,70 @@
+//! Property-based tests for schedule and forward-process invariants.
+
+use aero_diffusion::{BetaSchedule, NoiseSchedule};
+use aero_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn alpha_bar_strictly_decreasing(t_steps in 2usize..200, b0 in 1e-4f32..5e-3, spread in 1e-3f32..5e-2) {
+        let s = NoiseSchedule::new(
+            BetaSchedule::Linear { beta_start: b0, beta_end: b0 + spread },
+            t_steps,
+        );
+        for t in 1..t_steps {
+            prop_assert!(s.alpha_bar(t) < s.alpha_bar(t - 1));
+            prop_assert!(s.alpha_bar(t) > 0.0);
+        }
+    }
+
+    #[test]
+    fn q_sample_interpolates_between_signal_and_noise(seed in 0u64..500, t in 0usize..100) {
+        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.03 }, 100);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let z0 = Tensor::randn(&[32], &mut rng);
+        let eps = Tensor::randn(&[32], &mut rng);
+        let zt = s.q_sample(&z0, t, &eps);
+        // coefficients satisfy a² + b² = 1 (variance preserving)
+        let ab = s.alpha_bar(t);
+        let (a, b) = (ab.sqrt(), (1.0 - ab).sqrt());
+        prop_assert!((a * a + b * b - 1.0).abs() < 1e-5);
+        // reconstruction from known eps is exact
+        let rec = s.predict_z0(&zt, t, &eps);
+        prop_assert!(rec.sub(&z0).abs().max() < 1e-3);
+    }
+
+    #[test]
+    fn ddim_subsequence_always_valid(t_steps in 4usize..500, frac in 2usize..10) {
+        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.02 }, t_steps);
+        let steps = (t_steps / frac).max(1);
+        let ts = s.ddim_timesteps(steps);
+        prop_assert_eq!(ts[0], t_steps - 1);
+        for w in ts.windows(2) {
+            prop_assert!(w[0] > w[1]);
+        }
+        prop_assert!(*ts.last().unwrap() < t_steps);
+    }
+
+    #[test]
+    fn cosine_schedule_always_valid(t_steps in 2usize..300) {
+        let s = NoiseSchedule::new(BetaSchedule::Cosine, t_steps);
+        for t in 0..t_steps {
+            prop_assert!((0.0..1.0).contains(&s.beta(t)));
+        }
+    }
+
+    #[test]
+    fn scaled_linear_matches_sqrt_spacing(t_steps in 2usize..100) {
+        let s = NoiseSchedule::new(
+            BetaSchedule::ScaledLinear { beta_start: 0.001, beta_end: 0.02 },
+            t_steps,
+        );
+        // endpoints preserved
+        prop_assert!((s.beta(0) - 0.001).abs() < 1e-6);
+        prop_assert!((s.beta(t_steps - 1) - 0.02).abs() < 1e-6);
+    }
+}

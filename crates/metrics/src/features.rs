@@ -1,0 +1,153 @@
+//! The fixed feature extractor behind FID and KID.
+
+use aero_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed fixing the extractor weights — never change this, or every FID
+/// in the repository shifts.
+const WEIGHT_SEED: u64 = 0xAE40_F1D0;
+
+/// A fixed, seeded two-layer convolutional feature network.
+///
+/// Images `[3, s, s]` map to `5·c`-dimensional features: the per-channel
+/// mean over each of the four spatial quadrants (capturing coarse layout,
+/// not just colour statistics) plus the per-channel spatial standard
+/// deviation of the second conv's tanh activations. Weights are drawn
+/// once from a fixed seed, so features are identical across runs and
+/// machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureExtractor {
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+    channels: usize,
+}
+
+impl FeatureExtractor {
+    /// Creates the extractor with `channels` second-layer channels
+    /// (feature dimension `2 · channels`).
+    pub fn new(channels: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(WEIGHT_SEED);
+        let c1 = channels / 2;
+        let c1 = c1.max(4);
+        FeatureExtractor {
+            w1: Tensor::randn(&[c1, 3, 3, 3], &mut rng).mul_scalar((2.0 / 27.0f32).sqrt()),
+            b1: Tensor::zeros(&[c1]),
+            w2: Tensor::randn(&[channels, c1, 3, 3], &mut rng)
+                .mul_scalar((2.0 / (9.0 * c1 as f32)).sqrt()),
+            b2: Tensor::zeros(&[channels]),
+            channels,
+        }
+    }
+
+    /// The output feature dimensionality (`5 · channels`).
+    pub fn dim(&self) -> usize {
+        5 * self.channels
+    }
+
+    /// Features for a batch of images `[n, 3, s, s] → [n, dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the input is a rank-4 RGB batch.
+    pub fn features(&self, images: &Tensor) -> Tensor {
+        assert_eq!(images.rank(), 4, "feature extractor expects [n, 3, s, s]");
+        assert_eq!(images.shape()[1], 3, "feature extractor expects RGB");
+        let h1 = images.conv2d(&self.w1, Some(&self.b1), 2, 1).map(f32::tanh);
+        let h2 = h1.conv2d(&self.w2, Some(&self.b2), 2, 1).map(f32::tanh);
+        let (n, c) = (h2.shape()[0], h2.shape()[1]);
+        let (gh, gw) = (h2.shape()[2], h2.shape()[3]);
+        let plane = gh * gw;
+        let mut out = Tensor::zeros(&[n, 5 * c]);
+        let src = h2.as_slice();
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * plane;
+                let slice = &src[base..base + plane];
+                // quadrant means: coarse spatial layout
+                let mut quad = [0.0f32; 4];
+                let mut quad_n = [0usize; 4];
+                for y in 0..gh {
+                    for x in 0..gw {
+                        let q = (y >= gh / 2) as usize * 2 + (x >= gw / 2) as usize;
+                        quad[q] += slice[y * gw + x];
+                        quad_n[q] += 1;
+                    }
+                }
+                for q in 0..4 {
+                    out.set(&[b, q * c + ch], quad[q] / quad_n[q].max(1) as f32);
+                }
+                let mean: f32 = slice.iter().sum::<f32>() / plane as f32;
+                let var: f32 =
+                    slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / plane as f32;
+                out.set(&[b, 4 * c + ch], var.sqrt());
+            }
+        }
+        out
+    }
+
+    /// Convenience: features of a slice of single images `[3, s, s]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or shapes differ.
+    pub fn features_of(&self, images: &[Tensor]) -> Tensor {
+        assert!(!images.is_empty(), "need at least one image");
+        let refs: Vec<&Tensor> = images.iter().collect();
+        self.features(&Tensor::stack(&refs))
+    }
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        FeatureExtractor::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = FeatureExtractor::new(16);
+        let b = FeatureExtractor::new(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        assert_eq!(a.features(&img), b.features(&img));
+    }
+
+    #[test]
+    fn feature_dim_matches() {
+        let e = FeatureExtractor::new(16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let img = Tensor::rand_uniform(&[3, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let f = e.features(&img);
+        assert_eq!(f.shape(), &[3, e.dim()]);
+    }
+
+    #[test]
+    fn distinct_images_get_distinct_features() {
+        let e = FeatureExtractor::new(16);
+        let black = Tensor::zeros(&[1, 3, 16, 16]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = Tensor::from_vec(
+            (0..3 * 256).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            &[1, 3, 16, 16],
+        );
+        let fb = e.features(&black);
+        let fn_ = e.features(&noisy);
+        assert!(fb.sub(&fn_).abs().max() > 1e-3);
+    }
+
+    #[test]
+    fn features_bounded_by_tanh() {
+        let e = FeatureExtractor::new(8);
+        let img = Tensor::full(&[1, 3, 16, 16], 100.0);
+        let f = e.features(&img);
+        assert!(f.abs().max() <= 1.0 + 1e-5);
+    }
+}

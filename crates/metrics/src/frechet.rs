@@ -1,0 +1,105 @@
+//! Fréchet Inception Distance over the fixed feature extractor.
+
+use crate::features::FeatureExtractor;
+use aero_tensor::{covariance, matrix_sqrt_psd, trace, Tensor, TensorError};
+
+/// Computes FID between two image sets (each image `[3, s, s]`).
+///
+/// `FID = ‖μ_r − μ_g‖² + tr(Σ_r + Σ_g − 2 (Σ_r^{1/2} Σ_g Σ_r^{1/2})^{1/2})`,
+/// using the symmetric-product form to keep every square root PSD.
+///
+/// # Errors
+///
+/// Propagates eigendecomposition failures.
+///
+/// # Panics
+///
+/// Panics if either set is empty or image shapes are inconsistent.
+pub fn fid(
+    extractor: &FeatureExtractor,
+    real: &[Tensor],
+    generated: &[Tensor],
+) -> Result<f32, TensorError> {
+    let fr = extractor.features_of(real);
+    let fg = extractor.features_of(generated);
+    frechet_distance(&fr, &fg)
+}
+
+/// Fréchet distance between two feature matrices `[n, d]`.
+///
+/// # Errors
+///
+/// Propagates eigendecomposition failures.
+pub fn frechet_distance(fr: &Tensor, fg: &Tensor) -> Result<f32, TensorError> {
+    let (mu_r, cov_r) = covariance(fr);
+    let (mu_g, cov_g) = covariance(fg);
+    let diff = mu_r.sub(&mu_g);
+    let mean_term = diff.dot(&diff);
+    let sqrt_r = matrix_sqrt_psd(&cov_r)?;
+    let inner = sqrt_r.matmul(&cov_g).matmul(&sqrt_r);
+    // symmetrize against round-off before the second square root
+    let inner = inner.add(&inner.transpose()).mul_scalar(0.5);
+    let sqrt_mix = matrix_sqrt_psd(&inner)?;
+    let cov_term = trace(&cov_r) + trace(&cov_g) - 2.0 * trace(&sqrt_mix);
+    Ok((mean_term + cov_term).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn images(n: usize, bias: f32, rng: &mut StdRng) -> Vec<Tensor> {
+        (0..n)
+            .map(|_| {
+                Tensor::from_vec(
+                    (0..3 * 16 * 16).map(|_| (rng.gen_range(0.0..1.0f32) + bias).clamp(0.0, 1.0)).collect(),
+                    &[3, 16, 16],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fid_of_identical_sets_is_zero() {
+        let e = FeatureExtractor::new(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let set = images(10, 0.0, &mut rng);
+        let v = fid(&e, &set, &set).unwrap();
+        assert!(v < 1e-3, "self-FID {v}");
+    }
+
+    #[test]
+    fn fid_grows_with_distribution_shift() {
+        let e = FeatureExtractor::new(8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let real = images(16, 0.0, &mut rng);
+        let near = images(16, 0.05, &mut rng);
+        let far = images(16, 0.5, &mut rng);
+        let d_near = fid(&e, &real, &near).unwrap();
+        let d_far = fid(&e, &real, &far).unwrap();
+        assert!(d_far > d_near, "far {d_far} should exceed near {d_near}");
+    }
+
+    #[test]
+    fn fid_symmetric() {
+        let e = FeatureExtractor::new(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = images(12, 0.0, &mut rng);
+        let b = images(12, 0.2, &mut rng);
+        let ab = fid(&e, &a, &b).unwrap();
+        let ba = fid(&e, &b, &a).unwrap();
+        assert!((ab - ba).abs() < 0.05 * ab.abs().max(1.0), "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn frechet_distance_of_gaussian_shift() {
+        // Two unit-variance gaussians d apart in mean: FID ≈ d².
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::randn(&[4000, 3], &mut rng);
+        let b = Tensor::randn(&[4000, 3], &mut rng).add_scalar(1.0);
+        let d = frechet_distance(&a, &b).unwrap();
+        assert!((d - 3.0).abs() < 0.4, "expected ~3.0, got {d}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Image-synthesis evaluation metrics.
+//!
+//! The paper reports FID, KID, and PSNR (Table I, Table IV) plus CLIP
+//! score (Table II; computed by the CLIP model in `aero-vision`). FID and
+//! KID conventionally use Inception-v3 features; with no pretrained
+//! checkpoint available, [`FeatureExtractor`] is a *fixed, seeded*
+//! random-weight convolutional network — a standard random-features proxy
+//! that preserves the ordering between generators evaluated on the same
+//! data, which is what the paper's comparisons measure.
+//!
+//! # Example
+//!
+//! ```
+//! use aero_metrics::{FeatureExtractor, fid};
+//! use aero_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let extractor = FeatureExtractor::new(16);
+//! let real: Vec<Tensor> = (0..8).map(|_| Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng)).collect();
+//! let same = fid(&extractor, &real, &real)?;
+//! assert!(same < 1e-3, "FID of a set with itself is ~0, got {same}");
+//! # Ok::<(), aero_tensor::TensorError>(())
+//! ```
+
+mod features;
+mod frechet;
+mod kernel;
+mod psnr;
+mod report;
+
+pub use features::FeatureExtractor;
+pub use frechet::fid;
+pub use kernel::kid;
+pub use psnr::{psnr, psnr_batch};
+pub use report::{MetricRow, MetricTable};

@@ -1,0 +1,67 @@
+//! Peak signal-to-noise ratio.
+
+use aero_tensor::Tensor;
+
+/// PSNR (dB) between two `[0, 1]`-valued images of equal shape.
+///
+/// Returns `f32::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn psnr(reference: &Tensor, generated: &Tensor) -> f32 {
+    assert_eq!(reference.shape(), generated.shape(), "psnr shape mismatch");
+    let mse = reference.sub(generated).powf(2.0).mean();
+    if mse <= 0.0 {
+        return f32::INFINITY;
+    }
+    10.0 * (1.0 / mse).log10()
+}
+
+/// Mean PSNR over paired image sets.
+///
+/// # Panics
+///
+/// Panics if the sets differ in length or are empty.
+pub fn psnr_batch(reference: &[Tensor], generated: &[Tensor]) -> f32 {
+    assert_eq!(reference.len(), generated.len(), "psnr_batch length mismatch");
+    assert!(!reference.is_empty(), "psnr_batch needs at least one pair");
+    let sum: f32 = reference.iter().zip(generated).map(|(r, g)| psnr(r, g)).sum();
+    sum / reference.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_infinite() {
+        let a = Tensor::full(&[3, 4, 4], 0.5);
+        assert_eq!(psnr(&a, &a), f32::INFINITY);
+    }
+
+    #[test]
+    fn known_value_for_constant_error() {
+        let a = Tensor::zeros(&[3, 4, 4]);
+        let b = Tensor::full(&[3, 4, 4], 0.1);
+        // mse = 0.01 -> psnr = 20 dB
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn closer_images_score_higher() {
+        let a = Tensor::zeros(&[3, 4, 4]);
+        let near = Tensor::full(&[3, 4, 4], 0.05);
+        let far = Tensor::full(&[3, 4, 4], 0.5);
+        assert!(psnr(&a, &near) > psnr(&a, &far));
+    }
+
+    #[test]
+    fn batch_averages() {
+        let a = Tensor::zeros(&[3, 2, 2]);
+        let b = Tensor::full(&[3, 2, 2], 0.1); // 20 dB
+        let c = Tensor::full(&[3, 2, 2], 1.0); // 0 dB
+        let v = psnr_batch(&[a.clone(), a.clone()], &[b, c]);
+        assert!((v - 10.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Table formatting for experiment reports.
+
+use std::fmt;
+
+/// One table row: a model name plus metric values in column order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Row label (model or configuration name).
+    pub name: String,
+    /// Metric values, in the table's column order.
+    pub values: Vec<f32>,
+}
+
+impl MetricRow {
+    /// Creates a row.
+    pub fn new(name: impl Into<String>, values: Vec<f32>) -> Self {
+        MetricRow { name: name.into(), values }
+    }
+}
+
+/// A formatted metric table in the style of the paper's Tables I/II/IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricTable {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<MetricRow>,
+}
+
+impl MetricTable {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        MetricTable {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the column count.
+    pub fn push(&mut self, row: MetricRow) {
+        assert_eq!(row.values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// The rows added so far.
+    pub fn rows(&self) -> &[MetricRow] {
+        &self.rows
+    }
+
+    /// The row whose first-column value is lowest (best for ↓ metrics).
+    pub fn best_by_column(&self, col: usize, lower_is_better: bool) -> Option<&MetricRow> {
+        self.rows.iter().min_by(|a, b| {
+            let (x, y) = (a.values[col], b.values[col]);
+            let ord = x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal);
+            if lower_is_better {
+                ord
+            } else {
+                ord.reverse()
+            }
+        })
+    }
+}
+
+impl fmt::Display for MetricTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .chain(std::iter::once("Model".len()))
+            .max()
+            .unwrap_or(8);
+        write!(f, "| {:name_w$} ", "Model")?;
+        for c in &self.columns {
+            write!(f, "| {c:>10} ")?;
+        }
+        writeln!(f, "|")?;
+        write!(f, "|{:-<w$}", "", w = name_w + 2)?;
+        for _ in &self.columns {
+            write!(f, "|{:-<12}", "")?;
+        }
+        writeln!(f, "|")?;
+        for r in &self.rows {
+            write!(f, "| {:name_w$} ", r.name)?;
+            for v in &r.values {
+                write!(f, "| {v:>10.2} ")?;
+            }
+            writeln!(f, "|")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_and_finds_best() {
+        let mut t = MetricTable::new("Table I", &["FID ↓", "PSNR ↑", "KID ↓"]);
+        t.push(MetricRow::new("DDPM", vec![217.95, 10.38, 0.18]));
+        t.push(MetricRow::new("AeroDiffusion", vec![78.15, 5.98, 0.04]));
+        let s = t.to_string();
+        assert!(s.contains("DDPM") && s.contains("78.15"));
+        assert_eq!(t.best_by_column(0, true).unwrap().name, "AeroDiffusion");
+        assert_eq!(t.best_by_column(1, false).unwrap().name, "DDPM");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = MetricTable::new("t", &["a", "b"]);
+        t.push(MetricRow::new("x", vec![1.0]));
+    }
+}

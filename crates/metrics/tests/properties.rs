@@ -1,0 +1,55 @@
+//! Property-based tests for metric invariants.
+
+use aero_metrics::{fid, kid, psnr, FeatureExtractor};
+use aero_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_images(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fid_nonnegative_and_self_zero(seed in 0u64..500, n in 4usize..12) {
+        let e = FeatureExtractor::new(4);
+        let set = random_images(n, seed);
+        let self_fid = fid(&e, &set, &set).unwrap();
+        prop_assert!((0.0..1e-2).contains(&self_fid), "self fid {self_fid}");
+        let other = random_images(n, seed ^ 999);
+        prop_assert!(fid(&e, &set, &other).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn kid_roughly_symmetric(seed in 0u64..300) {
+        let e = FeatureExtractor::new(4);
+        let a = random_images(8, seed);
+        let b = random_images(8, seed ^ 1234);
+        let ab = kid(&e, &a, &b);
+        let ba = kid(&e, &b, &a);
+        prop_assert!((ab - ba).abs() < 1e-5, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn psnr_monotone_in_noise(seed in 0u64..300, eps1 in 0.01f32..0.2, extra in 0.05f32..0.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reference = Tensor::rand_uniform(&[3, 8, 8], 0.2, 0.8, &mut rng);
+        let near = reference.add_scalar(eps1).clamp(0.0, 1.0);
+        let far = reference.add_scalar(eps1 + extra).clamp(0.0, 1.0);
+        prop_assert!(psnr(&reference, &near) >= psnr(&reference, &far));
+    }
+
+    #[test]
+    fn features_are_deterministic_and_bounded(seed in 0u64..300) {
+        let e = FeatureExtractor::new(4);
+        let imgs = random_images(3, seed);
+        let f1 = e.features_of(&imgs);
+        let f2 = e.features_of(&imgs);
+        prop_assert_eq!(&f1, &f2);
+        prop_assert!(f1.abs().max() <= 1.0 + 1e-5);
+    }
+}

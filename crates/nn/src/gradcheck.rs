@@ -1,0 +1,93 @@
+//! Finite-difference gradient checking used by the test suites.
+
+use crate::autograd::Var;
+use aero_tensor::Tensor;
+
+/// Outcome of a gradient check: the largest relative error observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Maximum relative error across all checked coordinates.
+    pub max_rel_error: f32,
+    /// Number of coordinates compared.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed under a tolerance.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_error <= tol
+    }
+}
+
+/// Compares the analytic gradient of `f` at `x0` against central finite
+/// differences on up to `max_coords` coordinates.
+///
+/// `f` must rebuild the graph from a fresh parameter each call and return
+/// a scalar loss `Var`.
+///
+/// # Panics
+///
+/// Panics if `f` returns a non-scalar or produces no gradient.
+pub fn check_gradient<F>(f: F, x0: &Tensor, eps: f32, max_coords: usize) -> GradCheckReport
+where
+    F: Fn(&Var) -> Var,
+{
+    let x = Var::parameter(x0.clone());
+    let loss = f(&x);
+    loss.backward();
+    let analytic = x.grad().expect("loss must depend on x");
+
+    let n = x0.numel().min(max_coords);
+    // Spread checked coordinates across the tensor.
+    let stride = (x0.numel() / n.max(1)).max(1);
+    let mut max_rel = 0.0f32;
+    let mut checked = 0;
+    for k in 0..n {
+        let i = (k * stride).min(x0.numel() - 1);
+        let mut plus = x0.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = x0.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let fp = f(&Var::constant(plus)).value().item();
+        let fm = f(&Var::constant(minus)).value().item();
+        let numeric = (fp - fm) / (2.0 * eps);
+        let a = analytic.as_slice()[i];
+        let denom = a.abs().max(numeric.abs()).max(1e-3);
+        let rel = (a - numeric).abs() / denom;
+        if rel > max_rel {
+            max_rel = rel;
+        }
+        checked += 1;
+    }
+    GradCheckReport { max_rel_error: max_rel, checked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn passes_for_simple_composite() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let x0 = Tensor::randn(&[3, 3], &mut rng);
+        let report = check_gradient(|x| x.tanh().mul(x).mean(), &x0, 1e-3, 9);
+        assert!(report.passes(1e-2), "max rel err {}", report.max_rel_error);
+        assert_eq!(report.checked, 9);
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        // A "loss" whose graph-side gradient is cut by detach will not
+        // match finite differences of the true function.
+        let x0 = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let report = check_gradient(
+            |x| x.detach().mul(x).sum(), // analytic grad misses one factor
+            &x0,
+            1e-3,
+            2,
+        );
+        assert!(!report.passes(1e-2));
+    }
+}

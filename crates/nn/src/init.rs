@@ -1,0 +1,59 @@
+//! Weight initialization helpers.
+
+use aero_tensor::Tensor;
+use rand::Rng;
+
+/// Kaiming/He-normal initialization for layers followed by a ReLU-family
+/// activation: `N(0, sqrt(2 / fan_in))`.
+pub fn he_normal<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(shape, rng).mul_scalar(std)
+}
+
+/// Xavier/Glorot-uniform initialization: `U(−a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+/// Small-scale normal initialization used for output projections so
+/// freshly initialized residual branches start near the identity.
+pub fn scaled_normal<R: Rng + ?Sized>(shape: &[usize], std: f32, rng: &mut R) -> Tensor {
+    Tensor::randn(shape, rng).mul_scalar(std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = he_normal(&[100, 100], 100, &mut rng);
+        let var = t.var();
+        assert!((var - 0.02).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = xavier_uniform(&[50, 50], 50, 50, &mut rng);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+    }
+
+    #[test]
+    fn scaled_normal_std() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = scaled_normal(&[10_000], 0.01, &mut rng);
+        assert!(t.var().sqrt() < 0.02);
+    }
+}

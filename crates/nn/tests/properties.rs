@@ -1,0 +1,87 @@
+//! Property-based tests for autograd invariants.
+
+use aero_nn::{gradcheck::check_gradient, optim::Adam, Var};
+use aero_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sum_gradient_is_ones(seed in 0u64..500, n in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Var::parameter(Tensor::randn(&[n], &mut rng));
+        x.sum().backward();
+        let g = x.grad().unwrap();
+        prop_assert!(g.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn linearity_of_gradients(seed in 0u64..500, a in -3.0f32..3.0) {
+        // d(a·sum(x))/dx = a
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Var::parameter(Tensor::randn(&[4], &mut rng));
+        x.sum().scale(a).backward();
+        let g = x.grad().unwrap();
+        prop_assert!(g.as_slice().iter().all(|&v| (v - a).abs() < 1e-5));
+    }
+
+    #[test]
+    fn gradcheck_random_composites(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = Tensor::randn(&[2, 3], &mut rng);
+        let report = check_gradient(
+            |x| x.silu().mul(&x.sigmoid()).sum().add(&x.tanh().mean()),
+            &x0,
+            1e-3,
+            6,
+        );
+        prop_assert!(report.passes(5e-2), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn softmax_then_sum_has_zero_gradient(seed in 0u64..300) {
+        // sum(softmax(x)) == rows, constant -> gradient must vanish
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Var::parameter(Tensor::randn(&[2, 4], &mut rng));
+        x.softmax_last_axis().sum().backward();
+        let g = x.grad().unwrap();
+        prop_assert!(g.abs().max() < 1e-5, "grad {:?}", g.as_slice());
+    }
+
+    #[test]
+    fn adam_descends_on_convex_bowl(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Var::parameter(Tensor::randn(&[3], &mut rng).mul_scalar(3.0));
+        let start = p.value().powf(2.0).sum();
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        for _ in 0..60 {
+            opt.zero_grad();
+            p.mul(&p).sum().backward();
+            opt.step();
+        }
+        let end = p.value().powf(2.0).sum();
+        prop_assert!(end < start, "{start} -> {end}");
+    }
+
+    #[test]
+    fn detach_blocks_all_gradient(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Var::parameter(Tensor::randn(&[4], &mut rng));
+        x.detach().powf(2.0).sum().backward();
+        prop_assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn serialization_round_trip_any_shapes(dims in prop::collection::vec(1usize..5, 1..4), seed in 0u64..300) {
+        use aero_nn::serialize::{decode_tensors, encode_params, load_into_params};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Var::parameter(Tensor::randn(&dims, &mut rng));
+        let blob = encode_params(&[p.clone()]);
+        let q = Var::parameter(Tensor::zeros(&dims));
+        load_into_params(&[q.clone()], decode_tensors(&blob).unwrap()).unwrap();
+        prop_assert_eq!(p.to_tensor(), q.to_tensor());
+    }
+}

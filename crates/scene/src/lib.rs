@@ -1,0 +1,44 @@
+//! Procedural aerial-scene substrate standing in for VisDrone-DET.
+//!
+//! The paper trains and evaluates on VisDrone-DET — 10,209 drone images
+//! with 2.6 million annotated boxes over pedestrians, cars, vans, trucks
+//! and more, captured across 14 cities at varying altitudes, angles, and
+//! times of day. That dataset is not available in this environment, so
+//! this crate generates a synthetic equivalent that preserves the
+//! *statistics the paper's arguments depend on*:
+//!
+//! * dense scenes with roughly 20–90 small objects per image (Fig. 1),
+//! * structured layouts (highways, intersections, markets, campuses,
+//!   parks, residential blocks) with spatially correlated object
+//!   placement,
+//! * a parametric drone viewpoint (altitude, pitch, heading) so
+//!   viewpoint-transition synthesis (Table III) has ground truth,
+//! * day/night lighting (Fig. 5), and
+//! * exact bounding-box + class annotations for every object, which the
+//!   paper gets from VisDrone labels and uses both to train YOLO and to
+//!   build keypoint-aware captions.
+//!
+//! # Example
+//!
+//! ```
+//! use aero_scene::{SceneGenerator, SceneGeneratorConfig, Rasterizer};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let spec = SceneGenerator::new(SceneGeneratorConfig::default()).generate(&mut rng);
+//! let annotated = Rasterizer::new(32, 32).render(&spec);
+//! assert!(!annotated.boxes.is_empty());
+//! ```
+
+mod dataset;
+mod layout;
+mod raster;
+mod types;
+
+pub use dataset::{
+    build_classical_dataset, build_dataset, AerialDataset, DatasetConfig, DatasetItem,
+    ObjectCountStats,
+};
+pub use layout::{Layout, RoadSegment, SceneGenerator, SceneGeneratorConfig};
+pub use raster::{Image, Rasterizer};
+pub use types::{Annotation, BBox, ObjectClass, SceneKind, SceneObject, SceneSpec, TimeOfDay, Viewpoint};

@@ -1,0 +1,78 @@
+//! Property-based tests for the scene substrate.
+
+use aero_scene::{
+    BBox, Rasterizer, SceneGenerator, SceneGeneratorConfig, TimeOfDay, Viewpoint,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scenes_respect_object_bounds(seed in 0u64..10_000, lo in 3usize..10, extra in 1usize..30) {
+        let hi = lo + extra;
+        let gen = SceneGenerator::new(SceneGeneratorConfig {
+            min_objects: lo,
+            max_objects: hi,
+            night_probability: 0.3,
+        });
+        let spec = gen.generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert!((lo..=hi).contains(&spec.objects.len()));
+    }
+
+    #[test]
+    fn rendered_pixels_always_in_unit_range(seed in 0u64..5_000) {
+        let gen = SceneGenerator::default();
+        let spec = gen.generate(&mut StdRng::seed_from_u64(seed));
+        let img = Rasterizer::new(16, 16).render(&spec).image;
+        let t = img.to_tensor();
+        prop_assert!(t.min() >= 0.0 && t.max() <= 1.0);
+    }
+
+    #[test]
+    fn annotations_always_clipped(seed in 0u64..5_000) {
+        let gen = SceneGenerator::default();
+        let spec = gen.generate(&mut StdRng::seed_from_u64(seed));
+        let a = Rasterizer::new(24, 24).render(&spec);
+        for b in &a.boxes {
+            prop_assert!(b.bbox.x0 >= 0.0 && b.bbox.y0 >= 0.0);
+            prop_assert!(b.bbox.x1 <= 24.0 && b.bbox.y1 <= 24.0);
+            prop_assert!(b.bbox.is_visible());
+        }
+    }
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(
+        ax in 0.0f32..10.0, ay in 0.0f32..10.0, aw in 0.1f32..10.0, ah in 0.1f32..10.0,
+        bx in 0.0f32..10.0, by in 0.0f32..10.0, bw in 0.1f32..10.0, bh in 0.1f32..10.0,
+    ) {
+        let a = BBox::new(ax, ay, ax + aw, ay + ah);
+        let b = BBox::new(bx, by, bx + bw, by + bh);
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn night_never_brighter_than_day(seed in 0u64..2_000) {
+        let gen = SceneGenerator::default();
+        let spec = gen.generate(&mut StdRng::seed_from_u64(seed));
+        let r = Rasterizer::new(16, 16);
+        let day = r.render(&spec.with_time(TimeOfDay::Day)).image.mean_luminance();
+        let night = r.render(&spec.with_time(TimeOfDay::Night)).image.mean_luminance();
+        prop_assert!(night <= day, "night {night} vs day {day}");
+    }
+
+    #[test]
+    fn projection_center_is_fixed_point(alt in 0.35f32..1.0, pitch in 35.0f32..90.0, heading in 0.0f32..360.0) {
+        // the world centre maps to the image centre for every viewpoint
+        let r = Rasterizer::new(64, 64);
+        let vp = Viewpoint { altitude: alt, pitch_deg: pitch, heading_deg: heading };
+        let (x, y) = r.world_to_pixel(0.5, 0.5, &vp);
+        prop_assert!((x - 32.0).abs() < 1e-3 && (y - 32.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fallible tensor operations.
+///
+/// Most tensor methods panic on shape mismatch (the convention of numeric
+/// libraries, documented per-method under `# Panics`); the `try_` variants
+/// and the linear-algebra routines that can fail numerically return this
+/// type instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by a shape does not match the data length.
+    ShapeDataMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes cannot be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// An operation required a different rank or dimension.
+    DimensionMismatch {
+        /// Human-readable description of the violated expectation.
+        detail: String,
+    },
+    /// A numerical routine failed to converge or met a singular input.
+    Numerical {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => {
+                write!(f, "shape implies {expected} elements but {actual} were provided")
+            }
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs:?} and {rhs:?} cannot be broadcast together")
+            }
+            TensorError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            TensorError::Numerical { detail } => write!(f, "numerical failure: {detail}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = TensorError::ShapeDataMismatch { expected: 4, actual: 3 };
+        let msg = err.to_string();
+        assert!(msg.contains('4') && msg.contains('3'));
+        assert!(msg.chars().next().is_some_and(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,36 @@
+//! Minimal ND `f32` tensor library backing the AeroDiffusion reproduction.
+//!
+//! This crate provides the dense numerical substrate every other crate in
+//! the workspace builds on: an owned, row-major [`Tensor`] with NumPy-style
+//! broadcasting, the convolution/matmul/pooling kernels needed by the
+//! neural-network crate, and the small dense linear-algebra routines
+//! (symmetric eigendecomposition, matrix square root) needed by the FID
+//! metric.
+//!
+//! The design goal is *correct and predictable*, not peak performance:
+//! everything is plain safe Rust over `Vec<f32>`, seeded and deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use aero_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+mod error;
+mod linalg;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use linalg::{cholesky, covariance, matrix_sqrt_psd, symmetric_eigen, trace};
+pub use shape::{broadcast_shapes, strides_for};
+pub use tensor::Tensor;
+
+/// Convenience result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,282 @@
+//! Small dense linear-algebra routines needed by the evaluation metrics.
+//!
+//! FID requires the trace of a matrix square root of a product of
+//! covariance matrices; we compute symmetric square roots via a cyclic
+//! Jacobi eigendecomposition, which is simple, robust, and plenty fast for
+//! the ≤128-dimensional feature covariances used in this reproduction.
+
+use crate::tensor::Tensor;
+use crate::TensorError;
+
+/// Result of a symmetric eigendecomposition: `a == v * diag(w) * v^T`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in unspecified order.
+    pub eigenvalues: Vec<f32>,
+    /// Column-eigenvector matrix `v` (shape `[n, n]`).
+    pub eigenvectors: Tensor,
+}
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] for non-square input and
+/// [`TensorError::Numerical`] if the sweep limit is exhausted before
+/// off-diagonals vanish.
+///
+/// # Example
+///
+/// ```
+/// use aero_tensor::{symmetric_eigen, Tensor};
+///
+/// let a = Tensor::from_vec(vec![2.0, 1.0, 1.0, 2.0], &[2, 2]);
+/// let eig = symmetric_eigen(&a)?;
+/// let mut w = eig.eigenvalues.clone();
+/// w.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+/// assert!((w[0] - 1.0).abs() < 1e-4 && (w[1] - 3.0).abs() < 1e-4);
+/// # Ok::<(), aero_tensor::TensorError>(())
+/// ```
+pub fn symmetric_eigen(a: &Tensor) -> Result<SymmetricEigen, TensorError> {
+    if a.rank() != 2 || a.shape()[0] != a.shape()[1] {
+        return Err(TensorError::DimensionMismatch {
+            detail: format!("symmetric_eigen requires a square matrix, got {:?}", a.shape()),
+        });
+    }
+    let n = a.shape()[0];
+    let mut m = a.as_slice().to_vec();
+    let mut v = Tensor::eye(n).into_vec();
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[i * n + j] * m[i * n + j];
+            }
+        }
+        // f32 round-off floors the achievable off-diagonal norm at about
+        // 1e-6 of the matrix scale; demanding more never converges.
+        if off.sqrt() < 1e-5 * (1.0 + frobenius(&m)) {
+            let eigenvalues = (0..n).map(|i| m[i * n + i]).collect();
+            return Ok(SymmetricEigen {
+                eigenvalues,
+                eigenvectors: Tensor::from_vec(v, &[n, n]),
+            });
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-12 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, θ) on both sides: m = G^T m G.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(TensorError::Numerical { detail: "jacobi eigendecomposition did not converge".into() })
+}
+
+fn frobenius(m: &[f32]) -> f32 {
+    m.iter().map(|&v| v * v).sum::<f32>().sqrt()
+}
+
+/// Symmetric positive-semidefinite matrix square root.
+///
+/// Negative eigenvalues caused by round-off are clamped to zero.
+///
+/// # Errors
+///
+/// Propagates failures from [`symmetric_eigen`].
+pub fn matrix_sqrt_psd(a: &Tensor) -> Result<Tensor, TensorError> {
+    let eig = symmetric_eigen(a)?;
+    let n = eig.eigenvalues.len();
+    let v = &eig.eigenvectors;
+    let mut d = Tensor::zeros(&[n, n]);
+    for (i, &w) in eig.eigenvalues.iter().enumerate() {
+        d.set(&[i, i], w.max(0.0).sqrt());
+    }
+    Ok(v.matmul(&d).matmul(&v.transpose()))
+}
+
+/// Cholesky factor `l` of a symmetric positive-definite matrix (`a = l l^T`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] for non-square input and
+/// [`TensorError::Numerical`] if a pivot is non-positive.
+pub fn cholesky(a: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 || a.shape()[0] != a.shape()[1] {
+        return Err(TensorError::DimensionMismatch {
+            detail: format!("cholesky requires a square matrix, got {:?}", a.shape()),
+        });
+    }
+    let n = a.shape()[0];
+    let src = a.as_slice();
+    let mut l = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = src[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(TensorError::Numerical {
+                        detail: format!("non-positive pivot {sum} at row {i}"),
+                    });
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(l, &[n, n]))
+}
+
+/// Trace of a square matrix.
+///
+/// # Panics
+///
+/// Panics for non-square input.
+pub fn trace(a: &Tensor) -> f32 {
+    assert!(a.rank() == 2 && a.shape()[0] == a.shape()[1], "trace requires a square matrix");
+    let n = a.shape()[0];
+    (0..n).map(|i| a.as_slice()[i * n + i]).sum()
+}
+
+/// Sample mean and covariance of row-vector samples `x` of shape `[n, d]`.
+///
+/// Uses the unbiased (n−1) normalization when `n > 1`.
+///
+/// # Panics
+///
+/// Panics unless `x` is rank-2 with at least one row.
+pub fn covariance(x: &Tensor) -> (Tensor, Tensor) {
+    assert_eq!(x.rank(), 2, "covariance requires [n, d] samples");
+    let (n, d) = (x.shape()[0], x.shape()[1]);
+    assert!(n > 0, "covariance requires at least one sample");
+    let mean = x.mean_axis(0);
+    let centered = x.sub(&mean.reshape(&[1, d]));
+    let denom = if n > 1 { (n - 1) as f32 } else { 1.0 };
+    let cov = centered.transpose().matmul(&centered).mul_scalar(1.0 / denom);
+    (mean, cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_spd(n: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[n, n], &mut rng);
+        // a a^T + n I is symmetric positive definite.
+        a.matmul(&a.transpose()).add(&Tensor::eye(n).mul_scalar(n as f32))
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = random_spd(6, 3);
+        let eig = symmetric_eigen(&a).unwrap();
+        let n = 6;
+        let mut d = Tensor::zeros(&[n, n]);
+        for (i, &w) in eig.eigenvalues.iter().enumerate() {
+            d.set(&[i, i], w);
+        }
+        let rec = eig.eigenvectors.matmul(&d).matmul(&eig.eigenvectors.transpose());
+        let err = rec.sub(&a).abs().max();
+        assert!(err < 1e-3, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn eigen_vectors_orthonormal() {
+        let a = random_spd(5, 4);
+        let eig = symmetric_eigen(&a).unwrap();
+        let vtv = eig.eigenvectors.transpose().matmul(&eig.eigenvectors);
+        let err = vtv.sub(&Tensor::eye(5)).abs().max();
+        assert!(err < 1e-4, "orthonormality error {err}");
+    }
+
+    #[test]
+    fn eigen_rejects_non_square() {
+        assert!(symmetric_eigen(&Tensor::zeros(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let a = random_spd(4, 5);
+        let s = matrix_sqrt_psd(&a).unwrap();
+        let err = s.matmul(&s).sub(&a).abs().max();
+        assert!(err < 1e-2, "sqrt error {err}");
+    }
+
+    #[test]
+    fn sqrt_of_identity() {
+        let s = matrix_sqrt_psd(&Tensor::eye(3)).unwrap();
+        assert!(s.sub(&Tensor::eye(3)).abs().max() < 1e-5);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = random_spd(5, 6);
+        let l = cholesky(&a).unwrap();
+        let err = l.matmul(&l.transpose()).sub(&a).abs().max();
+        assert!(err < 1e-2, "cholesky error {err}");
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Tensor::from_vec(vec![-1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn trace_known() {
+        let a = Tensor::from_vec(vec![1.0, 9.0, 9.0, 2.0], &[2, 2]);
+        assert_eq!(trace(&a), 3.0);
+    }
+
+    #[test]
+    fn covariance_of_identical_rows_is_zero() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0], &[3, 2]);
+        let (mean, cov) = covariance(&x);
+        assert_eq!(mean.as_slice(), &[1.0, 2.0]);
+        assert!(cov.abs().max() < 1e-6);
+    }
+
+    #[test]
+    fn covariance_diagonal_for_independent_axes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::randn(&[4000, 2], &mut rng);
+        let (_, cov) = covariance(&x);
+        assert!((cov.get(&[0, 0]) - 1.0).abs() < 0.1);
+        assert!((cov.get(&[1, 1]) - 1.0).abs() < 0.1);
+        assert!(cov.get(&[0, 1]).abs() < 0.1);
+    }
+}

@@ -1,0 +1,493 @@
+//! Dense neural-network kernels: matmul, convolution, pooling, softmax.
+//!
+//! Convolutions use the im2col strategy: patches are gathered into a
+//! matrix and the convolution reduces to one matmul, which keeps the inner
+//! loop cache-friendly without unsafe code.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul inner dimensions {k} vs {k2} differ");
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: streams through b rows, accumulates into out rows.
+        for i in 0..m {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product of two rank-3 tensors `[b, m, k] x [b, k, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or batch/inner dimension mismatch.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm lhs must be rank-3");
+        assert_eq!(other.rank(), 3, "bmm rhs must be rank-3");
+        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        assert_eq!(other.shape()[0], b, "bmm batch mismatch");
+        assert_eq!(other.shape()[1], k, "bmm inner dimension mismatch");
+        let n = other.shape()[2];
+        let mut out = Tensor::zeros(&[b, m, n]);
+        for i in 0..b {
+            let lhs = self.narrow(0, i, 1).reshape(&[m, k]);
+            let rhs = other.narrow(0, i, 1).reshape(&[k, n]);
+            let prod = lhs.matmul(&rhs);
+            out.as_mut_slice()[i * m * n..(i + 1) * m * n].copy_from_slice(prod.as_slice());
+        }
+        out
+    }
+
+    /// Gathers sliding `kh`×`kw` patches of an `[n, c, h, w]` tensor into a
+    /// `[n, c*kh*kw, oh*ow]` matrix (the "im2col" layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank-4 and the padded input fits at
+    /// least one window.
+    pub fn im2col(&self, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
+        assert_eq!(self.rank(), 4, "im2col requires [n, c, h, w]");
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let oh = (h + 2 * pad).checked_sub(kh).expect("kernel taller than padded input") / stride + 1;
+        let ow = (w + 2 * pad).checked_sub(kw).expect("kernel wider than padded input") / stride + 1;
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; n * c * kh * kw * oh * ow];
+        let col_stride = oh * ow;
+        for b in 0..n {
+            for ch in 0..c {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let row = ((ch * kh + ky) * kw + kx) * col_stride + b * c * kh * kw * col_stride;
+                        for oy in 0..oh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for ox in 0..ow {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                out[row + oy * ow + ox] =
+                                    src[((b * c + ch) * h + iy as usize) * w + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c * kh * kw, oh * ow])
+    }
+
+    /// Scatter-adds an im2col matrix back to image layout (adjoint of
+    /// [`Tensor::im2col`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column layout is inconsistent with the target shape.
+    pub fn col2im(
+        &self,
+        out_shape: &[usize],
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        assert_eq!(self.rank(), 3, "col2im requires [n, c*kh*kw, oh*ow]");
+        assert_eq!(out_shape.len(), 4, "col2im target must be [n, c, h, w]");
+        let (n, c, h, w) = (out_shape[0], out_shape[1], out_shape[2], out_shape[3]);
+        let oh = (h + 2 * pad - kh) / stride + 1;
+        let ow = (w + 2 * pad - kw) / stride + 1;
+        assert_eq!(self.shape()[0], n, "col2im batch mismatch");
+        assert_eq!(self.shape()[1], c * kh * kw, "col2im channel-patch mismatch");
+        assert_eq!(self.shape()[2], oh * ow, "col2im spatial mismatch");
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; n * c * h * w];
+        let col_stride = oh * ow;
+        for b in 0..n {
+            for ch in 0..c {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let row = ((ch * kh + ky) * kw + kx) * col_stride + b * c * kh * kw * col_stride;
+                        for oy in 0..oh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for ox in 0..ow {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                out[((b * c + ch) * h + iy as usize) * w + ix as usize] +=
+                                    src[row + oy * ow + ox];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, out_shape)
+    }
+
+    /// 2-D convolution of `[n, cin, h, w]` with weights `[cout, cin, kh, kw]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel mismatches.
+    pub fn conv2d(&self, weight: &Tensor, bias: Option<&Tensor>, stride: usize, pad: usize) -> Tensor {
+        assert_eq!(self.rank(), 4, "conv2d input must be [n, cin, h, w]");
+        assert_eq!(weight.rank(), 4, "conv2d weight must be [cout, cin, kh, kw]");
+        let (n, cin, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (cout, wcin, kh, kw) =
+            (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+        assert_eq!(cin, wcin, "conv2d channel mismatch");
+        let oh = (h + 2 * pad - kh) / stride + 1;
+        let ow = (w + 2 * pad - kw) / stride + 1;
+        let cols = self.im2col(kh, kw, stride, pad);
+        let wmat = weight.reshape(&[cout, cin * kh * kw]);
+        let mut out = Tensor::zeros(&[n, cout, oh, ow]);
+        for b in 0..n {
+            let col_b = cols.narrow(0, b, 1).reshape(&[cin * kh * kw, oh * ow]);
+            let res = wmat.matmul(&col_b);
+            out.as_mut_slice()[b * cout * oh * ow..(b + 1) * cout * oh * ow]
+                .copy_from_slice(res.as_slice());
+        }
+        if let Some(bias) = bias {
+            assert_eq!(bias.numel(), cout, "conv2d bias must have cout elements");
+            let bslice = bias.as_slice().to_vec();
+            let plane = oh * ow;
+            let data = out.as_mut_slice();
+            for b in 0..n {
+                for (co, &bv) in bslice.iter().enumerate() {
+                    let base = (b * cout + co) * plane;
+                    for v in &mut data[base..base + plane] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed 2-D convolution (fractionally strided) of `[n, cin, h, w]`
+    /// with weights `[cin, cout, kh, kw]`.
+    ///
+    /// Output spatial size is `(h - 1) * stride - 2*pad + kh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel mismatches.
+    pub fn conv_transpose2d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        assert_eq!(self.rank(), 4, "conv_transpose2d input must be [n, cin, h, w]");
+        assert_eq!(weight.rank(), 4, "conv_transpose2d weight must be [cin, cout, kh, kw]");
+        let (n, cin, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (wcin, cout, kh, kw) =
+            (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+        assert_eq!(cin, wcin, "conv_transpose2d channel mismatch");
+        let oh = (h - 1) * stride + kh - 2 * pad;
+        let ow = (w - 1) * stride + kw - 2 * pad;
+        // cols[b] = W^T @ x[b]  with W viewed as [cin, cout*kh*kw]
+        let wmat = weight.reshape(&[cin, cout * kh * kw]).transpose(); // [cout*kh*kw, cin]
+        let mut cols = Tensor::zeros(&[n, cout * kh * kw, h * w]);
+        for b in 0..n {
+            let x_b = self.narrow(0, b, 1).reshape(&[cin, h * w]);
+            let res = wmat.matmul(&x_b);
+            let len = cout * kh * kw * h * w;
+            cols.as_mut_slice()[b * len..(b + 1) * len].copy_from_slice(res.as_slice());
+        }
+        let mut out = cols.col2im(&[n, cout, oh, ow], kh, kw, stride, pad);
+        if let Some(bias) = bias {
+            assert_eq!(bias.numel(), cout, "conv_transpose2d bias must have cout elements");
+            let plane = oh * ow;
+            let bslice = bias.as_slice().to_vec();
+            let data = out.as_mut_slice();
+            for b in 0..n {
+                for (co, &bv) in bslice.iter().enumerate() {
+                    let base = (b * cout + co) * plane;
+                    for v in &mut data[base..base + plane] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// 2-D average pooling with square window `k` and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank-4 and `h`, `w` divide by `k`.
+    pub fn avg_pool2d(&self, k: usize) -> Tensor {
+        assert_eq!(self.rank(), 4, "avg_pool2d requires [n, c, h, w]");
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        assert!(h % k == 0 && w % k == 0, "pooling window must divide spatial dims");
+        let (oh, ow) = (h / k, w / k);
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let inv = 1.0 / (k * k) as f32;
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                acc += src[((b * c + ch) * h + oy * k + ky) * w + ox * k + kx];
+                            }
+                        }
+                        out[((b * c + ch) * oh + oy) * ow + ox] = acc * inv;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    /// 2-D max pooling with square window `k` and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank-4 and `h`, `w` divide by `k`.
+    pub fn max_pool2d(&self, k: usize) -> Tensor {
+        assert_eq!(self.rank(), 4, "max_pool2d requires [n, c, h, w]");
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        assert!(h % k == 0 && w % k == 0, "pooling window must divide spatial dims");
+        let (oh, ow) = (h / k, w / k);
+        let src = self.as_slice();
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let dst = ((b * c + ch) * oh + oy) * ow + ox;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let v = src[((b * c + ch) * h + oy * k + ky) * w + ox * k + kx];
+                                if v > out[dst] {
+                                    out[dst] = v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    /// Nearest-neighbour 2× upsampling of an `[n, c, h, w]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank-4.
+    pub fn upsample_nearest2x(&self) -> Tensor {
+        assert_eq!(self.rank(), 4, "upsample requires [n, c, h, w]");
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; n * c * 4 * h * w];
+        let (oh, ow) = (2 * h, 2 * w);
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        out[((b * c + ch) * oh + y) * ow + x] =
+                            src[((b * c + ch) * h + y / 2) * w + x / 2];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    /// Numerically stable softmax along the last axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a rank-0 tensor.
+    pub fn softmax_last_axis(&self) -> Tensor {
+        assert!(self.rank() >= 1, "softmax requires rank >= 1");
+        let last = *self.shape().last().expect("nonzero rank");
+        let mut out = self.clone();
+        for row in out.as_mut_slice().chunks_mut(last) {
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - mx).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn bmm_batches_independent() {
+        let a = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 2, 2]);
+        let b = Tensor::stack(&[&Tensor::eye(2), &Tensor::eye(2).mul_scalar(2.0)]);
+        let c = a.bmm(&b);
+        assert_eq!(c.narrow(0, 0, 1).reshape(&[2, 2]), a.narrow(0, 0, 1).reshape(&[2, 2]));
+        assert_eq!(
+            c.narrow(0, 1, 1).reshape(&[2, 2]).as_slice(),
+            a.narrow(0, 1, 1).reshape(&[2, 2]).mul_scalar(2.0).as_slice()
+        );
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let w = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]);
+        let y = x.conv2d(&w, None, 1, 0);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn conv2d_box_filter_known() {
+        // 3x3 all-ones kernel over a 3x3 all-ones image with pad 1:
+        // the centre sees 9 ones, an edge sees 6, a corner sees 4.
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = x.conv2d(&w, None, 1, 1);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.get(&[0, 0, 1, 1]), 9.0);
+        assert_eq!(y.get(&[0, 0, 0, 1]), 6.0);
+        assert_eq!(y.get(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn conv2d_stride_and_bias() {
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let w = Tensor::ones(&[2, 1, 2, 2]);
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let y = x.conv2d(&w, Some(&b), 2, 0);
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        assert_eq!(y.get(&[0, 0, 0, 0]), 4.5);
+        assert_eq!(y.get(&[0, 1, 0, 0]), 3.5);
+    }
+
+    #[test]
+    fn conv_transpose_inverts_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&[2, 3, 4, 4], &mut rng);
+        let w = Tensor::randn(&[3, 5, 2, 2], &mut rng);
+        let y = x.conv_transpose2d(&w, None, 2, 0);
+        assert_eq!(y.shape(), &[2, 5, 8, 8]);
+    }
+
+    #[test]
+    fn conv_transpose_adjoint_of_conv() {
+        // conv_transpose2d is defined as the adjoint of conv2d, so
+        // <conv(x; W), y> == <x, conv_transpose(y; W)> with the same W
+        // (conv reads it as [cout, cin, kh, kw]; the adjoint reads the
+        // identical buffer as [cin_t = cout, cout_t = cin, kh, kw]).
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(&[1, 2, 6, 6], &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let y = Tensor::randn(&[1, 3, 6, 6], &mut rng);
+        let conv_x = x.conv2d(&w, None, 1, 1);
+        let lhs: f32 = conv_x.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let back = y.conv_transpose2d(&w, None, 1, 1);
+        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn pooling_known_values() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let a = x.avg_pool2d(2);
+        assert_eq!(a.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+        let m = x.max_pool2d(2);
+        assert_eq!(m.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn upsample_doubles() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = x.upsample_nearest2x();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert_eq!(y.get(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(y.get(&[0, 0, 3, 3]), 4.0);
+    }
+
+    #[test]
+    fn softmax_rows_normalize() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let s = x.softmax_last_axis();
+        for row in s.as_slice().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!((s.get(&[1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let s = x.softmax_last_axis();
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn im2col_col2im_roundtrip_counts() {
+        // col2im(im2col(x)) multiplies each pixel by how many windows cover it.
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let cols = x.im2col(2, 2, 1, 0);
+        let back = cols.col2im(&[1, 1, 3, 3], 2, 2, 1, 0);
+        // centre pixel covered by 4 windows, corners by 1, edges by 2
+        assert_eq!(back.get(&[0, 0, 1, 1]), 4.0);
+        assert_eq!(back.get(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(back.get(&[0, 0, 0, 1]), 2.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Shape and stride helpers shared by the tensor kernels.
+
+use crate::TensorError;
+
+/// Computes row-major strides for a shape.
+///
+/// The last axis is contiguous (stride 1); zero-sized axes are permitted.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(aero_tensor::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Computes the broadcast shape of two shapes under NumPy rules.
+///
+/// Shapes are right-aligned; each axis pair must be equal or contain a 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastMismatch`] when an axis pair conflicts.
+///
+/// # Example
+///
+/// ```
+/// let out = aero_tensor::broadcast_shapes(&[2, 1, 4], &[3, 1])?;
+/// assert_eq!(out, vec![2, 3, 4]);
+/// # Ok::<(), aero_tensor::TensorError>(())
+/// ```
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, TensorError> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let l = if i < rank - lhs.len() { 1 } else { lhs[i - (rank - lhs.len())] };
+        let r = if i < rank - rhs.len() { 1 } else { rhs[i - (rank - rhs.len())] };
+        out[i] = if l == r {
+            l
+        } else if l == 1 {
+            r
+        } else if r == 1 {
+            l
+        } else {
+            return Err(TensorError::BroadcastMismatch { lhs: lhs.to_vec(), rhs: rhs.to_vec() });
+        };
+    }
+    Ok(out)
+}
+
+/// Number of elements implied by a shape (product of axes; empty shape = 1).
+pub(crate) fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[4]), vec![1]);
+        assert_eq!(strides_for(&[2, 3]), vec![3, 1]);
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[2, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_conflict() {
+        assert!(broadcast_shapes(&[2, 3], &[4, 3]).is_err());
+        assert!(broadcast_shapes(&[5], &[4]).is_err());
+    }
+
+    #[test]
+    fn numel_counts() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[0, 5]), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for tensor invariants.
+
+use aero_tensor::{broadcast_shapes, covariance, matrix_sqrt_psd, Tensor};
+use proptest::prelude::*;
+
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 0..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn broadcast_is_commutative(a in small_shape(), b in small_shape()) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        prop_assert_eq!(ab.is_ok(), ba.is_ok());
+        if let (Ok(x), Ok(y)) = (ab, ba) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn broadcast_with_self_is_identity(a in small_shape()) {
+        prop_assert_eq!(broadcast_shapes(&a, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn reshape_preserves_data(data in prop::collection::vec(-100.0f32..100.0, 1..30)) {
+        let n = data.len();
+        let t = Tensor::from_vec(data.clone(), &[n]);
+        let r = t.reshape(&[1, n]).reshape(&[n, 1]).flatten();
+        prop_assert_eq!(r.as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one(rows in 1usize..5, cols in 1usize..6, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::randn(&[rows, cols], &mut rng).mul_scalar(10.0);
+        let s = t.softmax_last_axis();
+        for row in s.as_slice().chunks(cols) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn add_commutes_under_broadcast(seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[3, 1, 4], &mut rng);
+        let b = Tensor::randn(&[2, 4], &mut rng);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(n in 1usize..6, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let prod = a.matmul(&Tensor::eye(n));
+        let err = prod.sub(&a).abs().max();
+        prop_assert!(err < 1e-5);
+    }
+
+    #[test]
+    fn transpose_is_involution(r in 1usize..6, c in 1usize..6, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[r, c], &mut rng);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matrix_sqrt_round_trip(n in 1usize..5, seed in 0u64..200) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let spd = a.matmul(&a.transpose()).add(&Tensor::eye(n).mul_scalar(0.5));
+        let s = matrix_sqrt_psd(&spd).unwrap();
+        let err = s.matmul(&s).sub(&spd).abs().max();
+        let scale = spd.abs().max().max(1.0);
+        prop_assert!(err < 1e-2 * scale, "err={} scale={}", err, scale);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diag(seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[16, 3], &mut rng);
+        let (_, cov) = covariance(&x);
+        for i in 0..3 {
+            prop_assert!(cov.get(&[i, i]) >= 0.0);
+            for j in 0..3 {
+                prop_assert!((cov.get(&[i, j]) - cov.get(&[j, i])).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_concat_round_trip(seed in 0u64..500, split in 1usize..4) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::randn(&[4, 5], &mut rng);
+        let split = split.min(3);
+        let a = t.narrow(0, 0, split);
+        let b = t.narrow(0, split, 4 - split);
+        prop_assert_eq!(Tensor::concat(&[&a, &b], 0), t);
+    }
+}

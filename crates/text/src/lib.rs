@@ -1,0 +1,41 @@
+//! Keypoint-aware text generation substrate.
+//!
+//! The paper prompts black-box LLM APIs (GPT-4o, Gemini; BLIP captioning
+//! as a baseline) to describe each aerial image, contrasting a
+//! *traditional prompt* ("write a description for this image") with a
+//! *keypoint-aware prompt* that names the time of day, the drone's
+//! viewpoint, and the ground-truth object list `o_1 … o_n` (Fig. 3,
+//! Eq. 1: `G_i = LLM(X_i, O_i, P_i)`).
+//!
+//! No LLM API is reachable here, so this crate simulates the captioners.
+//! Each [`llm::CaptionProfile`] controls the *information content* of the
+//! produced text — which keypoints survive (time, viewpoint, layout,
+//! object classes, spatial relations), how often objects are omitted, and
+//! how often spurious ones are hallucinated. That is exactly the variable
+//! the paper's Table II and Fig. 3 manipulate, and it is measured here by
+//! [`coverage::keypoint_coverage`].
+//!
+//! # Example
+//!
+//! ```
+//! use aero_text::llm::{LlmProvider, SimulatedLlm};
+//! use aero_text::prompt::PromptTemplate;
+//! use aero_scene::{SceneGenerator, SceneGeneratorConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let spec = SceneGenerator::new(SceneGeneratorConfig::default()).generate(&mut rng);
+//! let llm = SimulatedLlm::new(LlmProvider::KeypointAware);
+//! let caption = llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut rng);
+//! assert!(caption.contains("aerial"));
+//! ```
+
+pub mod coverage;
+pub mod llm;
+pub mod prompt;
+pub mod tokenizer;
+
+pub use coverage::{keypoint_coverage, CoverageReport};
+pub use llm::{CaptionProfile, LlmProvider, SimulatedLlm};
+pub use prompt::PromptTemplate;
+pub use tokenizer::{Tokenizer, Vocabulary};

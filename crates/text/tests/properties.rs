@@ -1,0 +1,79 @@
+//! Property-based tests for the text substrate.
+
+use aero_scene::{SceneGenerator, SceneGeneratorConfig};
+use aero_text::coverage::keypoint_coverage;
+use aero_text::llm::{LlmProvider, SimulatedLlm};
+use aero_text::prompt::PromptTemplate;
+use aero_text::tokenizer::{tokenize_words, Tokenizer, Vocabulary};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tokenize_produces_lowercase_alphanumeric(text in ".{0,200}") {
+        for tok in tokenize_words(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+            prop_assert!(!tok.chars().any(|c| c.is_uppercase()));
+        }
+    }
+
+    #[test]
+    fn encode_always_fixed_length(text in "[a-z ]{0,300}", max_len in 4usize..40) {
+        let vocab = Vocabulary::build([text.as_str()], 1);
+        let tok = Tokenizer::new(vocab, max_len);
+        let ids = tok.encode(&text);
+        prop_assert_eq!(ids.len(), max_len);
+        prop_assert_eq!(ids[0], 2, "starts with <bos>");
+        prop_assert!(ids.contains(&3), "contains <eos>");
+    }
+
+    #[test]
+    fn known_words_round_trip(words in prop::collection::vec("[a-z]{2,8}", 1..8)) {
+        let text = words.join(" ");
+        let vocab = Vocabulary::build([text.as_str()], 1);
+        let tok = Tokenizer::new(vocab, words.len() + 2);
+        let decoded = tok.decode(&tok.encode(&text));
+        let mut expected = words.clone();
+        expected.dedup();
+        // decoding preserves word sequence (duplicates allowed)
+        prop_assert_eq!(decoded.split(' ').count(), words.len());
+    }
+
+    #[test]
+    fn captions_never_empty(seed in 0u64..3000) {
+        let spec = SceneGenerator::new(SceneGeneratorConfig::default())
+            .generate(&mut StdRng::seed_from_u64(seed));
+        for provider in LlmProvider::ALL {
+            let llm = SimulatedLlm::new(provider);
+            for prompt in [PromptTemplate::traditional(), PromptTemplate::keypoint_aware()] {
+                let cap = llm.describe(&spec, &prompt, &mut StdRng::seed_from_u64(seed));
+                prop_assert!(!cap.is_empty(), "{provider:?}/{}", prompt.name);
+                prop_assert!(cap.ends_with('.'), "{cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_score_bounded(seed in 0u64..2000) {
+        let spec = SceneGenerator::new(SceneGeneratorConfig::default())
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let llm = SimulatedLlm::new(LlmProvider::Gpt4oLike);
+        let cap = llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(seed));
+        let score = keypoint_coverage(&cap, &spec).score();
+        prop_assert!((0.0..=1.0).contains(&score), "score {score}");
+    }
+
+    #[test]
+    fn keypoint_captions_deterministic_given_seed(seed in 0u64..2000) {
+        let spec = SceneGenerator::new(SceneGeneratorConfig::default())
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let llm = SimulatedLlm::new(LlmProvider::KeypointAware);
+        let a = llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(1));
+        let b = llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(1));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,157 @@
+//! Evaluation utilities for the vision substrates: detector
+//! precision/recall curves and CLIP retrieval accuracy.
+
+use crate::clip::ClipModel;
+use crate::detector::{detection_pr, YoloLite};
+use aero_scene::Annotation;
+use aero_tensor::Tensor;
+
+/// Aggregate detector quality over a dataset at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorReport {
+    /// Confidence threshold evaluated.
+    pub confidence: f32,
+    /// Mean precision over images (images with no detections count 0).
+    pub precision: f32,
+    /// Mean recall over images.
+    pub recall: f32,
+    /// Mean detections per image.
+    pub mean_detections: f32,
+}
+
+impl DetectorReport {
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f32 {
+        let denom = self.precision + self.recall;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / denom
+        }
+    }
+}
+
+/// Evaluates a detector over (image, ground-truth) pairs at an IoU
+/// threshold, for each confidence operating point.
+pub fn evaluate_detector(
+    detector: &YoloLite,
+    samples: &[(Tensor, Vec<Annotation>)],
+    confidences: &[f32],
+    iou_threshold: f32,
+) -> Vec<DetectorReport> {
+    confidences
+        .iter()
+        .map(|&conf| {
+            let mut p_sum = 0.0;
+            let mut r_sum = 0.0;
+            let mut d_sum = 0.0;
+            for (image, truth) in samples {
+                let dets = detector.detect(image, conf, 0.4);
+                let (p, r) = detection_pr(&dets, truth, iou_threshold);
+                p_sum += p;
+                r_sum += r;
+                d_sum += dets.len() as f32;
+            }
+            let n = samples.len().max(1) as f32;
+            DetectorReport {
+                confidence: conf,
+                precision: p_sum / n,
+                recall: r_sum / n,
+                mean_detections: d_sum / n,
+            }
+        })
+        .collect()
+}
+
+/// CLIP retrieval accuracy: fraction of images whose own caption is the
+/// nearest text embedding among all captions (R@1, image→text).
+///
+/// # Panics
+///
+/// Panics if the pair lists are empty or mismatched.
+pub fn clip_retrieval_at_1(clip: &ClipModel, images: &Tensor, token_batches: &[Vec<usize>]) -> f32 {
+    let n = token_batches.len();
+    assert!(n > 0, "retrieval needs at least one pair");
+    assert_eq!(images.shape()[0], n, "one image per caption");
+    let img = clip.encode_image(images);
+    let txt = clip.encode_text(token_batches);
+    let d = img.shape()[1];
+    let mut hits = 0usize;
+    for i in 0..n {
+        let qi = img.narrow(0, i, 1).reshape(&[d]);
+        let mut best = 0usize;
+        let mut best_sim = f32::NEG_INFINITY;
+        for j in 0..n {
+            let tj = txt.narrow(0, j, 1).reshape(&[d]);
+            let sim = qi.dot(&tj);
+            if sim > best_sim {
+                best_sim = sim;
+                best = j;
+            }
+        }
+        if best == i {
+            hits += 1;
+        }
+    }
+    hits as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clip::ClipPair;
+    use crate::VisionConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn f1_of_perfect_report_is_one() {
+        let r = DetectorReport { confidence: 0.5, precision: 1.0, recall: 1.0, mean_detections: 3.0 };
+        assert_eq!(r.f1(), 1.0);
+        let z = DetectorReport { confidence: 0.5, precision: 0.0, recall: 0.0, mean_detections: 0.0 };
+        assert_eq!(z.f1(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_detector_monotone_detection_count() {
+        // Lower confidence thresholds can only produce >= detections.
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = VisionConfig::tiny();
+        let det = YoloLite::new(cfg, &mut rng);
+        let samples: Vec<(Tensor, Vec<Annotation>)> = (0..3)
+            .map(|i| {
+                (
+                    Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut StdRng::seed_from_u64(i)),
+                    Vec::new(),
+                )
+            })
+            .collect();
+        let reports = evaluate_detector(&det, &samples, &[0.5, 0.1, 0.01], 0.3);
+        assert!(reports[0].mean_detections <= reports[1].mean_detections);
+        assert!(reports[1].mean_detections <= reports[2].mean_detections);
+    }
+
+    #[test]
+    fn trained_clip_retrieval_beats_chance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = VisionConfig::tiny();
+        let mut clip = ClipModel::new(20, cfg, &mut rng);
+        // strongly distinguishable pairs
+        let pairs: Vec<ClipPair> = (0..6)
+            .map(|i| {
+                let mut img = Tensor::zeros(&[3, cfg.image_size, cfg.image_size]);
+                let plane = cfg.image_size * cfg.image_size;
+                for v in &mut img.as_mut_slice()[(i % 3) * plane..(i % 3 + 1) * plane] {
+                    *v = 0.2 + 0.25 * (i / 3) as f32 + 0.3;
+                }
+                ClipPair { image: img, tokens: vec![4 + i; cfg.max_text_len] }
+            })
+            .collect();
+        clip.train_contrastive(&pairs, 15, 6, 5e-3, &mut rng);
+        let refs: Vec<&Tensor> = pairs.iter().map(|p| &p.image).collect();
+        let images = Tensor::stack(&refs);
+        let tokens: Vec<Vec<usize>> = pairs.iter().map(|p| p.tokens.clone()).collect();
+        let r1 = clip_retrieval_at_1(&clip, &images, &tokens);
+        assert!(r1 > 1.0 / 6.0, "R@1 {r1} should beat chance");
+    }
+}

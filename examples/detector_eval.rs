@@ -1,0 +1,54 @@
+//! Train and evaluate the YOLO-lite ROI detector on the synthetic aerial
+//! dataset — the substrate behind the paper's region-level feature
+//! augmentation. Prints a precision/recall operating curve.
+//!
+//! Run with: `cargo run --release --example detector_eval`
+
+use aero_scene::{build_dataset, Annotation, DatasetConfig, SceneGeneratorConfig};
+use aero_tensor::Tensor;
+use aero_vision::detector::YoloLite;
+use aero_vision::eval::evaluate_detector;
+use aero_vision::VisionConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cfg = VisionConfig::default();
+    let dataset = build_dataset(&DatasetConfig {
+        n_scenes: 24,
+        image_size: cfg.image_size,
+        seed: 5,
+        generator: SceneGeneratorConfig { min_objects: 8, max_objects: 20, night_probability: 0.0 },
+    });
+    let samples: Vec<(Tensor, Vec<Annotation>)> = dataset
+        .iter()
+        .map(|i| (i.rendered.image.to_tensor(), i.rendered.boxes.clone()))
+        .collect();
+    let (train, eval) = samples.split_at(18);
+
+    println!("training YOLO-lite on {} images…", train.len());
+    let mut detector = YoloLite::new(cfg, &mut StdRng::seed_from_u64(1));
+    let history = detector.train(train, 30, 6, 3e-3, &mut StdRng::seed_from_u64(2));
+    println!(
+        "detection loss: {:.4} -> {:.4}",
+        history.first().copied().unwrap_or(0.0),
+        history.last().copied().unwrap_or(0.0)
+    );
+
+    println!("\noperating curve on {} held-out images (IoU ≥ 0.3):", eval.len());
+    println!("{:>10} {:>10} {:>8} {:>8} {:>12}", "confidence", "precision", "recall", "F1", "dets/img");
+    for report in evaluate_detector(&detector, eval, &[0.3, 0.2, 0.1, 0.05, 0.02], 0.3) {
+        println!(
+            "{:>10.2} {:>10.2} {:>8.2} {:>8.2} {:>12.1}",
+            report.confidence,
+            report.precision,
+            report.recall,
+            report.f1(),
+            report.mean_detections
+        );
+    }
+    println!("\nThese detections are the regions of interest feeding AeroDiffusion's");
+    println!("feature augmentation (Section IV-B of the paper).");
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Workspace umbrella crate for the AeroDiffusion reproduction.
+//!
+//! This crate exists so that the repository root can host `examples/` and
+//! cross-crate integration `tests/`; the actual functionality lives in the
+//! `crates/` members. The most useful entry point is [`aerodiffusion`].
+
+pub use aero_baselines as baselines;
+pub use aero_diffusion as diffusion;
+pub use aero_metrics as metrics;
+pub use aero_nn as nn;
+pub use aero_scene as scene;
+pub use aero_tensor as tensor;
+pub use aero_text as text;
+pub use aero_vision as vision;
+pub use aerodiffusion as core;

@@ -1,0 +1,52 @@
+//! Shape checks on the experiment harness at smoke scale: the qualitative
+//! claims that must hold at any scale.
+
+use aero_bench::{run_fig1, run_fig3, ExperimentScale};
+
+#[test]
+fn fig1_complexity_gap_holds() {
+    let r = run_fig1(ExperimentScale::Smoke, 1);
+    assert!(r.aerial.min >= 20, "aerial min {}", r.aerial.min);
+    assert!(r.aerial.max <= 90, "aerial max {}", r.aerial.max);
+    assert!(r.classical.max <= 2, "classical max {}", r.classical.max);
+    assert!(
+        r.aerial.mean > 10.0 * r.classical.mean,
+        "aerial {} vs classical {}",
+        r.aerial.mean,
+        r.classical.mean
+    );
+}
+
+#[test]
+fn fig3_keypoint_prompt_beats_traditional() {
+    let r = run_fig3(3);
+    assert!(
+        r.keypoint_score > r.traditional_score,
+        "keypoint {} vs traditional {}",
+        r.keypoint_score,
+        r.traditional_score
+    );
+    assert!(r.keypoint_caption.len() > r.traditional_caption.len());
+    assert!(r.keypoint_prompt.contains("time of day"));
+    assert_eq!(r.traditional_prompt, "Write a description for this image.");
+}
+
+#[test]
+fn protocol_scoring_is_sound() {
+    use aero_bench::Protocol;
+    let p = Protocol::new(ExperimentScale::Smoke, 5);
+    // generated == real must score (near) perfectly on all three metrics
+    let perfect: Vec<_> = p.eval.iter().map(|i| i.rendered.image.clone()).collect();
+    let m = p.score(&perfect);
+    assert!(m.fid < 1e-2, "self-FID {}", m.fid);
+    // the unbiased KID estimator is ≤ 0 for identical small sets
+    assert!(m.kid <= 1e-3 && m.kid > -1.0, "self-KID {}", m.kid);
+    // black frames must score far worse
+    let s = p.eval.image_size;
+    let black: Vec<_> = (0..p.eval.len())
+        .map(|_| aero_scene::Image::new(s, s))
+        .collect();
+    let bad = p.score(&black);
+    assert!(bad.fid > m.fid);
+    assert!(bad.psnr < 30.0);
+}

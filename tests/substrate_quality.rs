@@ -1,0 +1,98 @@
+//! Quality gates on the trained substrates: the components the paper
+//! takes as pretrained checkpoints must actually learn their jobs on the
+//! synthetic corpus.
+
+use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
+use aero_tensor::Tensor;
+use aero_text::llm::LlmProvider;
+use aero_text::prompt::PromptTemplate;
+use aero_vision::eval::{clip_retrieval_at_1, evaluate_detector};
+use aerodiffusion::substrate::caption_dataset;
+use aerodiffusion::{PipelineConfig, SubstrateBundle};
+
+fn trained_world() -> (aero_scene::AerialDataset, SubstrateBundle, PipelineConfig) {
+    // more training than smoke so the quality gates are meaningful, and
+    // 32-px geometry so objects cover more than a pixel — still seconds
+    let mut cfg = PipelineConfig::smoke();
+    cfg.vision = aero_vision::VisionConfig::default();
+    cfg.clip_epochs = 12;
+    cfg.vae_epochs = 40;
+    cfg.detector_epochs = 40;
+    let ds = build_dataset(&DatasetConfig {
+        n_scenes: 10,
+        image_size: cfg.vision.image_size,
+        seed: 71,
+        generator: SceneGeneratorConfig { min_objects: 5, max_objects: 10, night_probability: 0.3 },
+    });
+    let captions =
+        caption_dataset(&ds, LlmProvider::KeypointAware, &PromptTemplate::keypoint_aware(), 72);
+    let bundle = SubstrateBundle::train(&ds, &captions, &cfg, 73);
+    (ds, bundle, cfg)
+}
+
+#[test]
+fn clip_retrieval_beats_chance_on_real_pairs() {
+    let (ds, bundle, _) = trained_world();
+    let captions =
+        caption_dataset(&ds, LlmProvider::KeypointAware, &PromptTemplate::keypoint_aware(), 72);
+    let imgs: Vec<Tensor> = ds.iter().map(|i| i.rendered.image.to_tensor()).collect();
+    let refs: Vec<&Tensor> = imgs.iter().collect();
+    let tokens: Vec<Vec<usize>> = captions.iter().map(|c| bundle.tokenizer.encode(c)).collect();
+    let r1 = clip_retrieval_at_1(&bundle.clip, &Tensor::stack(&refs), &tokens);
+    let chance = 1.0 / ds.len() as f32;
+    assert!(r1 > chance, "R@1 {r1} must beat chance {chance}");
+}
+
+#[test]
+fn vae_beats_mean_image_baseline() {
+    let (ds, bundle, cfg) = trained_world();
+    let s = cfg.vision.image_size;
+    // mean image of the corpus
+    let mut mean = Tensor::zeros(&[3, s, s]);
+    for item in ds.iter() {
+        mean = mean.add(&item.rendered.image.to_tensor());
+    }
+    let mean = mean.mul_scalar(1.0 / ds.len() as f32);
+    let mut vae_mse = 0.0;
+    let mut mean_mse = 0.0;
+    for item in ds.iter() {
+        let t = item.rendered.image.to_tensor();
+        let batch = t.reshape(&[1, 3, s, s]);
+        let recon = bundle.vae.reconstruct(&batch).reshape(&[3, s, s]);
+        vae_mse += recon.sub(&t).powf(2.0).mean();
+        mean_mse += mean.sub(&t).powf(2.0).mean();
+    }
+    assert!(
+        vae_mse < mean_mse,
+        "VAE reconstruction ({vae_mse}) must beat the constant mean image ({mean_mse})"
+    );
+}
+
+#[test]
+fn detector_finds_objects_with_nonzero_recall() {
+    let (ds, bundle, _) = trained_world();
+    let samples: Vec<(Tensor, Vec<aero_scene::Annotation>)> = ds
+        .iter()
+        .map(|i| (i.rendered.image.to_tensor(), i.rendered.boxes.clone()))
+        .collect();
+    let reports = evaluate_detector(&bundle.detector, &samples, &[0.02], 0.1);
+    assert!(
+        reports[0].recall > 0.0,
+        "trained detector should recover some objects: {:?}",
+        reports[0]
+    );
+    assert!(reports[0].mean_detections > 0.0);
+}
+
+#[test]
+fn tokenizer_covers_caption_corpus() {
+    let (ds, bundle, _) = trained_world();
+    let captions =
+        caption_dataset(&ds, LlmProvider::KeypointAware, &PromptTemplate::keypoint_aware(), 72);
+    // every caption word must be in-vocabulary (no <unk> ids)
+    for cap in &captions {
+        let ids = bundle.tokenizer.encode(cap);
+        let unk = ids.iter().filter(|&&i| i == 1).count();
+        assert_eq!(unk, 0, "caption should be fully covered: {cap}");
+    }
+}
