@@ -1,0 +1,27 @@
+//! Demonstrates both analysis passes on deliberately broken models:
+//! shape inference on a mis-wired UNet description, and the graph
+//! linter on a loss with training hazards.
+//!
+//! ```bash
+//! cargo run --offline -p aero-analysis --example broken_unet
+//! ```
+
+use aero_analysis::{lint_graph, UnetShapeDesc};
+use aero_diffusion::UnetConfig;
+use aero_nn::Var;
+use aero_tensor::Tensor;
+
+fn main() {
+    // Pass 1: break the channel ladder of an otherwise-healthy UNet.
+    let mut desc = UnetShapeDesc::from_config(&UnetConfig::latent(96), 8);
+    desc.downsample.cout = 24; // the bottleneck expects 2 * base_channels = 32
+    println!("-- shape inference on a broken UNet description --");
+    print!("{}", desc.lint().render());
+
+    // Pass 2: a loss that takes ln(0) and declares a parameter it never uses.
+    let w = Var::parameter(Tensor::from_vec(vec![0.5, 0.0], &[2]));
+    let orphan = Var::parameter(Tensor::from_vec(vec![1.0], &[1]));
+    let loss = w.ln().sum();
+    println!("-- graph lint on a hazardous loss --");
+    print!("{}", lint_graph(&loss, &[w, orphan]).render());
+}

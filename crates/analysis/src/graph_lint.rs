@@ -1,0 +1,246 @@
+//! Lints a built autograd graph for training hazards.
+//!
+//! Given the root of a loss graph and the model's declared parameters,
+//! [`lint_graph`] walks the differentiable subgraph (the same edges
+//! `backward()` will traverse — gradient-stopped inputs are not recorded
+//! as parents) and reports:
+//!
+//! - **AD0101** parameters unreachable from the loss (never trained),
+//! - **AD0102** explicit gradient cuts (`detach` nodes, or a root that
+//!   does not require gradients at all),
+//! - **AD0103** `ln` applied to non-positive or unclamped inputs,
+//! - **AD0104** NaN-prone division / `sqrt`,
+//! - **AD0105** branches multiplied by an all-zero constant (dead
+//!   gradient pathways that silently train nothing).
+
+use crate::diag::{DiagCode, Report, Severity};
+use aero_nn::Var;
+use std::collections::HashSet;
+
+/// Margin below which an `ln`/`div` input counts as unclamped.
+const CLAMP_MARGIN: f32 = 1e-6;
+
+fn site(v: &Var) -> String {
+    format!("node#{}({})", v.id(), v.op())
+}
+
+fn min_of(v: &Var) -> f32 {
+    v.value().as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+}
+
+fn min_abs_of(v: &Var) -> f32 {
+    v.value().as_slice().iter().map(|x| x.abs()).fold(f32::INFINITY, f32::min)
+}
+
+fn is_all_zero(v: &Var) -> bool {
+    v.value().as_slice().iter().all(|&x| x == 0.0)
+}
+
+fn check_node(v: &Var, report: &mut Report) {
+    let parents = v.parents();
+    match v.op() {
+        "ln" => {
+            if let Some(p) = parents.first() {
+                let m = min_of(p);
+                if m <= 0.0 {
+                    report.push_with_severity(
+                        DiagCode::UnclampedLn,
+                        Severity::Error,
+                        site(v),
+                        format!("ln input minimum is {m}; the result is -inf/NaN and will poison gradients"),
+                    );
+                } else if m < CLAMP_MARGIN {
+                    report.push(
+                        DiagCode::UnclampedLn,
+                        site(v),
+                        format!("ln input minimum is {m:.2e} (< {CLAMP_MARGIN:.0e}); clamp or add an epsilon before taking the log"),
+                    );
+                }
+            }
+        }
+        "sqrt" => {
+            if let Some(p) = parents.first() {
+                let m = min_of(p);
+                if m < 0.0 {
+                    report.push_with_severity(
+                        DiagCode::NanProneOp,
+                        Severity::Error,
+                        site(v),
+                        format!("sqrt input minimum is {m}; negative inputs produce NaN"),
+                    );
+                } else if m < CLAMP_MARGIN {
+                    report.push(
+                        DiagCode::NanProneOp,
+                        site(v),
+                        format!(
+                            "sqrt input minimum is {m:.2e}; the gradient 1/(2*sqrt(x)) is unbounded near zero"
+                        ),
+                    );
+                }
+            }
+        }
+        "div" => {
+            if let Some(d) = parents.get(1) {
+                let m = min_abs_of(d);
+                if m < CLAMP_MARGIN {
+                    report.push(
+                        DiagCode::NanProneOp,
+                        site(v),
+                        format!("division by a denominator with min |x| = {m:.2e}; clamp it away from zero"),
+                    );
+                }
+            }
+        }
+        "mul"
+            // A learnable branch multiplied by an all-zero constant can
+            // never influence the loss: its gradient is identically zero.
+            if parents.len() == 2 => {
+                for (zero, live) in [(&parents[0], &parents[1]), (&parents[1], &parents[0])] {
+                    if zero.is_leaf()
+                        && !zero.requires_grad()
+                        && is_all_zero(zero)
+                        && live.requires_grad()
+                    {
+                        report.push(
+                            DiagCode::DeadBranch,
+                            site(v),
+                            "multiplication by an all-zero constant: the other operand's subgraph receives zero gradient".to_string(),
+                        );
+                        break;
+                    }
+                }
+            }
+        "detach" => {
+            report.push(
+                DiagCode::DetachedSubgraph,
+                site(v),
+                "gradient flow is explicitly cut here; verify the upstream subgraph is meant to be frozen".to_string(),
+            );
+        }
+        _ => {}
+    }
+}
+
+/// Walks the differentiable graph under `root` and lints it.
+///
+/// `params` are the model's declared trainable parameters (in the order
+/// [`aero_nn::Module::params`] returns them); any of them not reachable
+/// from `root` through differentiable edges is reported as AD0101.
+#[must_use]
+pub fn lint_graph(root: &Var, params: &[Var]) -> Report {
+    let mut report = Report::new();
+
+    if !root.requires_grad() {
+        report.push_with_severity(
+            DiagCode::DetachedSubgraph,
+            Severity::Error,
+            format!("root {}", site(root)),
+            "the loss does not require gradients; backward() would train nothing".to_string(),
+        );
+    }
+
+    // Iterative DFS over the recorded (differentiable) edges.
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut stack = vec![root.clone()];
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v.id()) {
+            continue;
+        }
+        check_node(&v, &mut report);
+        stack.extend(v.parents());
+    }
+
+    for (i, p) in params.iter().enumerate() {
+        if !p.requires_grad() {
+            report.push(
+                DiagCode::DetachedParameter,
+                format!("parameter[{i}] {}", site(p)),
+                "declared as trainable but does not require gradients".to_string(),
+            );
+        } else if !seen.contains(&p.id()) {
+            report.push(
+                DiagCode::DetachedParameter,
+                format!("parameter[{i}] {}", site(p)),
+                "unreachable from the loss: backward() will never populate its gradient"
+                    .to_string(),
+            );
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_tensor::Tensor;
+
+    fn param(data: Vec<f32>, shape: &[usize]) -> Var {
+        Var::parameter(Tensor::from_vec(data, shape))
+    }
+
+    #[test]
+    fn healthy_graph_is_clean() {
+        let w = param(vec![0.5, -0.25], &[2]);
+        let x = Var::constant(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let loss = w.mul(&x).sum();
+        let report = lint_graph(&loss, &[w]);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.warning_count(), 0);
+    }
+
+    #[test]
+    fn unreachable_parameter_fires_ad0101() {
+        let used = param(vec![1.0], &[1]);
+        let unused = param(vec![1.0], &[1]);
+        let loss = used.mul(&used).sum();
+        let report = lint_graph(&loss, &[used, unused]);
+        assert!(report.has_code(DiagCode::DetachedParameter), "{}", report.render());
+        assert_eq!(report.error_count(), 1);
+    }
+
+    #[test]
+    fn detach_fires_ad0102() {
+        let w = param(vec![2.0], &[1]);
+        let frozen = w.mul(&w).detach();
+        let loss = frozen.mul(&w).sum();
+        let report = lint_graph(&loss, &[w]);
+        assert!(report.has_code(DiagCode::DetachedSubgraph), "{}", report.render());
+    }
+
+    #[test]
+    fn grad_free_root_is_an_error() {
+        let x = Var::constant(Tensor::from_vec(vec![1.0], &[1]));
+        let loss = x.mul(&x).sum();
+        let report = lint_graph(&loss, &[]);
+        assert!(report.has_code(DiagCode::DetachedSubgraph));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn unclamped_ln_fires_ad0103() {
+        let w = param(vec![0.0, 1.0], &[2]);
+        let loss = w.ln().sum();
+        let report = lint_graph(&loss, &[w]);
+        assert!(report.has_code(DiagCode::UnclampedLn), "{}", report.render());
+        assert!(!report.is_clean(), "ln(0) must be an error");
+    }
+
+    #[test]
+    fn near_zero_division_fires_ad0104() {
+        let w = param(vec![1.0], &[1]);
+        let denom = Var::constant(Tensor::from_vec(vec![1e-9], &[1]));
+        let loss = w.div(&denom).sum();
+        let report = lint_graph(&loss, &[w]);
+        assert!(report.has_code(DiagCode::NanProneOp), "{}", report.render());
+    }
+
+    #[test]
+    fn zero_constant_mul_fires_ad0105() {
+        let w = param(vec![3.0], &[1]);
+        let gate = Var::constant(Tensor::zeros(&[1]));
+        let loss = w.mul(&gate).sum();
+        let report = lint_graph(&loss, &[w]);
+        assert!(report.has_code(DiagCode::DeadBranch), "{}", report.render());
+    }
+}

@@ -1,0 +1,658 @@
+//! Symbolic shape programs mirroring the AeroDiffusion model architectures.
+//!
+//! Each `*ShapeDesc` is a plain-data description of one model's geometry
+//! with every layer dimension exposed as a public field. The `check`
+//! methods replay the model's forward pass over [`ShapeSpec`]s with a
+//! symbolic batch dimension `B`, proving (or refuting) that every matmul,
+//! convolution, reshape, and broadcast is consistent — before a single
+//! weight is allocated. Because the fields are public, tests (and future
+//! config surfaces) can deliberately break a channel ladder and watch the
+//! analyzer catch it.
+
+use crate::diag::{DiagCode, Report};
+use crate::shape_infer::ShapeCtx;
+use aero_diffusion::UnetConfig;
+use aero_tensor::sym::{Dim, ShapeSpec};
+use aero_vision::VisionConfig;
+
+/// Symbolic batch label used by every shape program.
+pub const BATCH: &str = "B";
+
+fn batched(rest: &[usize]) -> ShapeSpec {
+    ShapeSpec::batched(BATCH, rest)
+}
+
+fn with_batch_of(spec: &ShapeSpec, rest: &[usize]) -> ShapeSpec {
+    let mut dims = vec![spec.dims()[0].clone()];
+    dims.extend(rest.iter().map(|&d| Dim::Fixed(d)));
+    ShapeSpec::new(dims)
+}
+
+/// Geometry of a fully connected layer (`weight: [in_dim, out_dim]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearDesc {
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Output feature width.
+    pub out_dim: usize,
+}
+
+impl LinearDesc {
+    fn weight(&self) -> ShapeSpec {
+        ShapeSpec::fixed(&[self.in_dim, self.out_dim])
+    }
+
+    fn apply(&self, ctx: &mut ShapeCtx, name: &str, input: &ShapeSpec) -> Option<ShapeSpec> {
+        ctx.scoped(name, |ctx| ctx.matmul(input, &self.weight()))
+    }
+}
+
+/// Geometry of a square-kernel convolution (`weight: [cout, cin, k, k]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvDesc {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Kernel side.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+}
+
+impl ConvDesc {
+    fn weight(&self) -> [usize; 4] {
+        [self.cout, self.cin, self.k, self.k]
+    }
+
+    fn apply(&self, ctx: &mut ShapeCtx, name: &str, input: &ShapeSpec) -> Option<ShapeSpec> {
+        ctx.scoped(name, |ctx| ctx.conv2d(input, &self.weight(), self.stride, self.pad))
+    }
+}
+
+/// Geometry of a transposed convolution (`weight: [cin, cout, k, k]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvTDesc {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Kernel side.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+}
+
+impl ConvTDesc {
+    fn weight(&self) -> [usize; 4] {
+        [self.cin, self.cout, self.k, self.k]
+    }
+
+    fn apply(&self, ctx: &mut ShapeCtx, name: &str, input: &ShapeSpec) -> Option<ShapeSpec> {
+        ctx.scoped(name, |ctx| ctx.conv_transpose2d(input, &self.weight(), self.stride, self.pad))
+    }
+}
+
+/// Geometry of the UNet residual block (conv1 → FiLM → conv2 → skip).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResBlockDesc {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Width of the time/condition embedding the FiLM projection reads.
+    pub emb_dim: usize,
+}
+
+impl ResBlockDesc {
+    /// Replays the residual block: `conv1`, FiLM modulation from `emb`,
+    /// `conv2`, and the (possibly projected) skip connection.
+    pub fn check(
+        &self,
+        ctx: &mut ShapeCtx,
+        name: &str,
+        x: &ShapeSpec,
+        emb: &ShapeSpec,
+    ) -> Option<ShapeSpec> {
+        ctx.scoped(name, |ctx| {
+            let conv1 = ConvDesc { cin: self.cin, cout: self.cout, k: 3, stride: 1, pad: 1 };
+            let h = conv1.apply(ctx, "conv1", x)?;
+            // FiLM: emb -> [B, 2*cout], narrowed to scale/shift and
+            // reshaped to [B, cout, 1, 1] for a broadcast modulation.
+            let film_proj = LinearDesc { in_dim: self.emb_dim, out_dim: 2 * self.cout };
+            let film = film_proj.apply(ctx, "film", emb)?;
+            let scale = ctx.scoped("film", |ctx| {
+                let narrowed = ctx.narrow(&film, 1, 0, self.cout)?;
+                ctx.reshape(&narrowed, &with_batch_of(&narrowed, &[self.cout, 1, 1]))
+            })?;
+            let h = ctx.scoped("film", |ctx| ctx.broadcast(&h, &scale))?;
+            let conv2 = ConvDesc { cin: self.cout, cout: self.cout, k: 3, stride: 1, pad: 1 };
+            let h = conv2.apply(ctx, "conv2", &h)?;
+            let skip = if self.cin == self.cout {
+                x.clone()
+            } else {
+                let skip_conv =
+                    ConvDesc { cin: self.cin, cout: self.cout, k: 1, stride: 1, pad: 0 };
+                skip_conv.apply(ctx, "skip", x)?
+            };
+            ctx.scoped("residual_add", |ctx| ctx.broadcast(&h, &skip))
+        })
+    }
+}
+
+/// Full symbolic description of [`aero_diffusion::CondUnet`].
+///
+/// Built from a [`UnetConfig`] plus the latent grid side; every layer's
+/// channel counts are independent public fields so a test (or a lint of a
+/// hand-edited config) can introduce a ladder inconsistency and the
+/// analyzer will localise it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnetShapeDesc {
+    /// Latent (input/output) channels.
+    pub in_channels: usize,
+    /// Side of the square latent grid the UNet denoises.
+    pub latent_side: usize,
+    /// Time-embedding width.
+    pub time_embed_dim: usize,
+    /// Condition vector width (0 = unconditional).
+    pub cond_dim: usize,
+    /// Cross-attention token count (0 disables cross-attention).
+    pub cond_tokens: usize,
+    /// Bottleneck cell count for the spatial condition projection.
+    pub spatial_cond_cells: usize,
+    /// Stem convolution `in_channels -> c`.
+    pub conv_in: ConvDesc,
+    /// Full-resolution residual block `c -> c`.
+    pub res_down: ResBlockDesc,
+    /// Strided downsampling convolution `c -> 2c`.
+    pub downsample: ConvDesc,
+    /// First bottleneck residual block `2c -> 2c`.
+    pub res_mid1: ResBlockDesc,
+    /// Bottleneck self-attention width (must equal bottleneck channels).
+    pub mid_attn_dim: usize,
+    /// Bottleneck self-attention heads.
+    pub mid_attn_heads: usize,
+    /// Condition-token projection `cond_dim / cond_tokens -> 2c`.
+    pub cond_token_proj: Option<LinearDesc>,
+    /// Spatial condition projection `cond_dim -> 2c * cells`.
+    pub cond_spatial_proj: Option<LinearDesc>,
+    /// Second bottleneck residual block `2c -> 2c`.
+    pub res_mid2: ResBlockDesc,
+    /// Post-upsample convolution `2c -> c`.
+    pub up_conv: ConvDesc,
+    /// Skip-merge residual block `2c -> c`.
+    pub res_up: ResBlockDesc,
+    /// Output convolution `c -> in_channels`.
+    pub conv_out: ConvDesc,
+    /// Time MLP layers `e -> e`.
+    pub time_mlp1: LinearDesc,
+    /// Second time MLP layer.
+    pub time_mlp2: LinearDesc,
+    /// Condition MLP `cond_dim -> e` (conditional models only).
+    pub cond_mlp1: Option<LinearDesc>,
+    /// Condition MLP `e -> e`.
+    pub cond_mlp2: Option<LinearDesc>,
+}
+
+impl UnetShapeDesc {
+    /// Derives the (consistent) description the real [`aero_diffusion::CondUnet`]
+    /// constructor would build for `config` on a `latent_side²` grid.
+    #[must_use]
+    pub fn from_config(config: &UnetConfig, latent_side: usize) -> Self {
+        let c = config.base_channels;
+        let e = config.time_embed_dim;
+        let conditional = config.cond_dim > 0;
+        let cross = conditional && config.cond_tokens > 0;
+        UnetShapeDesc {
+            in_channels: config.in_channels,
+            latent_side,
+            time_embed_dim: e,
+            cond_dim: config.cond_dim,
+            cond_tokens: config.cond_tokens,
+            spatial_cond_cells: config.spatial_cond_cells,
+            conv_in: ConvDesc { cin: config.in_channels, cout: c, k: 3, stride: 1, pad: 1 },
+            res_down: ResBlockDesc { cin: c, cout: c, emb_dim: e },
+            downsample: ConvDesc { cin: c, cout: 2 * c, k: 3, stride: 2, pad: 1 },
+            res_mid1: ResBlockDesc { cin: 2 * c, cout: 2 * c, emb_dim: e },
+            mid_attn_dim: 2 * c,
+            mid_attn_heads: 2,
+            cond_token_proj: cross.then(|| LinearDesc {
+                in_dim: config.cond_dim / config.cond_tokens.max(1),
+                out_dim: 2 * c,
+            }),
+            cond_spatial_proj: (conditional && config.spatial_cond_cells > 0).then(|| LinearDesc {
+                in_dim: config.cond_dim,
+                out_dim: 2 * c * config.spatial_cond_cells,
+            }),
+            res_mid2: ResBlockDesc { cin: 2 * c, cout: 2 * c, emb_dim: e },
+            up_conv: ConvDesc { cin: 2 * c, cout: c, k: 3, stride: 1, pad: 1 },
+            res_up: ResBlockDesc { cin: 2 * c, cout: c, emb_dim: e },
+            conv_out: ConvDesc { cin: c, cout: config.in_channels, k: 3, stride: 1, pad: 1 },
+            time_mlp1: LinearDesc { in_dim: e, out_dim: e },
+            time_mlp2: LinearDesc { in_dim: e, out_dim: e },
+            cond_mlp1: conditional.then_some(LinearDesc { in_dim: config.cond_dim, out_dim: e }),
+            cond_mlp2: conditional.then_some(LinearDesc { in_dim: e, out_dim: e }),
+        }
+    }
+
+    /// Replays the UNet forward pass symbolically under the site `unet`.
+    ///
+    /// `cond` is the condition spec arriving from upstream (the condition
+    /// network); when present it must match `[B, cond_dim]` — a mismatch
+    /// is the classic "wrong condition dimension" wiring bug (AD0001).
+    pub fn check(&self, ctx: &mut ShapeCtx, cond: Option<&ShapeSpec>) {
+        ctx.scoped("unet", |ctx| {
+            if !ctx.require(
+                self.in_channels > 0 && self.latent_side > 0 && self.time_embed_dim > 0,
+                DiagCode::InvalidConfig,
+                format!(
+                    "in_channels ({}), latent_side ({}), and time_embed_dim ({}) must all be positive",
+                    self.in_channels, self.latent_side, self.time_embed_dim
+                ),
+            ) {
+                return;
+            }
+
+            // Embedding pathway: sinusoidal features through the time MLP,
+            // plus (when conditional) the condition MLP.
+            let temb = batched(&[self.time_embed_dim]);
+            let emb = self
+                .time_mlp1
+                .apply(ctx, "time_mlp1", &temb)
+                .and_then(|h| self.time_mlp2.apply(ctx, "time_mlp2", &h));
+            let Some(mut emb) = emb else { return };
+
+            let cond_spec = match (self.cond_dim > 0, cond) {
+                (true, Some(c)) => {
+                    ctx.scoped("condition", |ctx| {
+                        ctx.require_same_shape(c, &batched(&[self.cond_dim]), "condition input");
+                    });
+                    Some(batched(&[self.cond_dim]))
+                }
+                (true, None) => Some(batched(&[self.cond_dim])),
+                (false, _) => None,
+            };
+            if let (Some(m1), Some(m2), Some(c)) = (&self.cond_mlp1, &self.cond_mlp2, &cond_spec) {
+                let cemb = m1.apply(ctx, "cond_mlp1", c).and_then(|h| m2.apply(ctx, "cond_mlp2", &h));
+                if let Some(cemb) = cemb {
+                    if let Some(joint) = ctx.scoped("emb_add", |ctx| ctx.broadcast(&emb, &cemb)) {
+                        emb = joint;
+                    }
+                }
+            }
+
+            // Spatial trunk.
+            let x = batched(&[self.in_channels, self.latent_side, self.latent_side]);
+            let Some(h0) = self.conv_in.apply(ctx, "conv_in", &x) else { return };
+            let Some(h1) = self.res_down.check(ctx, "res_down", &h0, &emb) else { return };
+            let Some(h2) = self.downsample.apply(ctx, "downsample", &h1) else { return };
+            let Some(mut h3) = self.res_mid1.check(ctx, "res_mid1", &h2, &emb) else { return };
+
+            let (Some(c2), Some(hh), Some(ww)) = (
+                h3.dims()[1].as_fixed(),
+                h3.dims()[2].as_fixed(),
+                h3.dims()[3].as_fixed(),
+            ) else {
+                return;
+            };
+            ctx.scoped("mid_attn", |ctx| {
+                ctx.require(
+                    self.mid_attn_dim == c2,
+                    DiagCode::ShapeMismatch,
+                    format!("attention width {} != bottleneck channels {c2}", self.mid_attn_dim),
+                );
+                ctx.require_divides(self.mid_attn_heads, self.mid_attn_dim, "attention heads");
+            });
+
+            if let (Some(proj), Some(c)) = (&self.cond_spatial_proj, &cond_spec) {
+                let mapped = proj.apply(ctx, "cond_spatial_proj", c).and_then(|map| {
+                    ctx.scoped("cond_spatial_proj", |ctx| {
+                        ctx.reshape(&map, &with_batch_of(&map, &[c2, hh, ww]))
+                    })
+                });
+                if let Some(map) = mapped {
+                    if let Some(h) = ctx.scoped("cond_spatial_add", |ctx| ctx.broadcast(&h3, &map)) {
+                        h3 = h;
+                    }
+                }
+            }
+
+            let tokens = ctx.scoped("mid_tokens", |ctx| {
+                let flat = ctx.reshape(&h3, &with_batch_of(&h3, &[c2, hh * ww]))?;
+                ctx.permute(&flat, &[0, 2, 1])
+            });
+            let Some(tokens) = tokens else { return };
+
+            if let (Some(proj), Some(_)) = (&self.cond_token_proj, &cond_spec) {
+                ctx.scoped("cond_cross_attn", |ctx| {
+                    if ctx.require_divides(self.cond_tokens, self.cond_dim, "condition tokens") {
+                        let td = self.cond_dim / self.cond_tokens;
+                        ctx.require(
+                            proj.in_dim == td,
+                            DiagCode::ShapeMismatch,
+                            format!(
+                                "token projection reads {} features per token, but splitting \
+                                 cond_dim {} into {} tokens yields {td}",
+                                proj.in_dim, self.cond_dim, self.cond_tokens
+                            ),
+                        );
+                    }
+                    ctx.require(
+                        proj.out_dim == c2,
+                        DiagCode::ShapeMismatch,
+                        format!(
+                            "condition tokens project to {} channels, bottleneck has {c2}",
+                            proj.out_dim
+                        ),
+                    );
+                });
+            }
+
+            let h3b = ctx.scoped("mid_tokens", |ctx| {
+                let back = ctx.permute(&tokens, &[0, 2, 1])?;
+                ctx.reshape(&back, &with_batch_of(&back, &[c2, hh, ww]))
+            });
+            let Some(h3b) = h3b else { return };
+
+            let Some(h4) = self.res_mid2.check(ctx, "res_mid2", &h3b, &emb) else { return };
+            let up = ctx.scoped("upsample", |ctx| ctx.upsample2x(&h4));
+            let Some(up) = up else { return };
+            let Some(up) = self.up_conv.apply(ctx, "up_conv", &up) else { return };
+            let cat = ctx.scoped("skip_concat", |ctx| ctx.concat(&[&up, &h1], 1));
+            let Some(cat) = cat else { return };
+            let Some(h5) = self.res_up.check(ctx, "res_up", &cat, &emb) else { return };
+            if let Some(out) = self.conv_out.apply(ctx, "conv_out", &h5) {
+                ctx.scoped("conv_out", |ctx| {
+                    ctx.require_same_shape(&out, &x, "denoiser output must match its input");
+                });
+            }
+        });
+    }
+
+    /// Convenience: runs [`UnetShapeDesc::check`] in a fresh context.
+    #[must_use]
+    pub fn lint(&self) -> Report {
+        let mut ctx = ShapeCtx::new();
+        self.check(&mut ctx, None);
+        ctx.into_report()
+    }
+}
+
+/// Symbolic description of the vision substrate (VAE, image/text encoders,
+/// BLIP fusion) as configured by a [`VisionConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VisionShapeDesc {
+    /// Square image side.
+    pub image_size: usize,
+    /// Joint embedding width.
+    pub embed_dim: usize,
+    /// Base convolution width.
+    pub base_channels: usize,
+    /// Fixed text token length.
+    pub max_text_len: usize,
+    /// Latent channels produced by the VAE.
+    pub latent_channels: usize,
+    /// Input width of the image-encoder global projection
+    /// (`2c * (image_size / 4)²` when consistent) — public so tests can
+    /// break it.
+    pub image_proj_in: usize,
+}
+
+/// Latent channel count of the VAE (mirrors `aero_vision::vae`).
+pub const LATENT_CHANNELS: usize = 4;
+
+impl From<&VisionConfig> for VisionShapeDesc {
+    fn from(config: &VisionConfig) -> Self {
+        let c = config.base_channels;
+        let grid = config.image_size / 4;
+        VisionShapeDesc {
+            image_size: config.image_size,
+            embed_dim: config.embed_dim,
+            base_channels: c,
+            max_text_len: config.max_text_len,
+            latent_channels: LATENT_CHANNELS,
+            image_proj_in: 2 * c * grid * grid,
+        }
+    }
+}
+
+impl VisionShapeDesc {
+    fn attn_heads(&self) -> usize {
+        2.min(self.embed_dim / 4).max(1)
+    }
+
+    /// Replays the VAE round trip, both encoders, and the BLIP fusion.
+    pub fn check(&self, ctx: &mut ShapeCtx) {
+        let (s, c, d) = (self.image_size, self.base_channels, self.embed_dim);
+        if !ctx.require(
+            s > 0 && c > 0 && d > 0 && self.max_text_len > 0,
+            DiagCode::InvalidConfig,
+            format!(
+                "image_size ({s}), base_channels ({c}), embed_dim ({d}), and max_text_len ({}) must all be positive",
+                self.max_text_len
+            ),
+        ) {
+            return;
+        }
+        ctx.require_divides(4, s, "image_size (two stride-2 encoder stages)");
+
+        let image = batched(&[3, s, s]);
+        ctx.scoped("vae", |ctx| {
+            let enc1 = ConvDesc { cin: 3, cout: c, k: 3, stride: 2, pad: 1 };
+            let enc2 = ConvDesc { cin: c, cout: 2 * c, k: 3, stride: 2, pad: 1 };
+            let to_mu =
+                ConvDesc { cin: 2 * c, cout: self.latent_channels, k: 1, stride: 1, pad: 0 };
+            let dec_in =
+                ConvDesc { cin: self.latent_channels, cout: 2 * c, k: 1, stride: 1, pad: 0 };
+            let dec1 = ConvTDesc { cin: 2 * c, cout: c, k: 2, stride: 2, pad: 0 };
+            let dec2 = ConvTDesc { cin: c, cout: c, k: 2, stride: 2, pad: 0 };
+            let dec_out = ConvDesc { cin: c, cout: 3, k: 3, stride: 1, pad: 1 };
+            let latent = enc1
+                .apply(ctx, "enc1", &image)
+                .and_then(|h| enc2.apply(ctx, "enc2", &h))
+                .and_then(|h| to_mu.apply(ctx, "to_mu", &h));
+            let recon = latent
+                .and_then(|z| dec_in.apply(ctx, "dec_in", &z))
+                .and_then(|h| dec1.apply(ctx, "dec1", &h))
+                .and_then(|h| dec2.apply(ctx, "dec2", &h))
+                .and_then(|h| dec_out.apply(ctx, "dec_out", &h));
+            if let Some(recon) = recon {
+                ctx.require_same_shape(&recon, &image, "VAE reconstruction");
+            }
+        });
+
+        ctx.scoped("image_encoder", |ctx| {
+            let conv1 = ConvDesc { cin: 3, cout: c, k: 3, stride: 2, pad: 1 };
+            let conv2 = ConvDesc { cin: c, cout: 2 * c, k: 3, stride: 2, pad: 1 };
+            let grid =
+                conv1.apply(ctx, "conv1", &image).and_then(|h| conv2.apply(ctx, "conv2", &h));
+            if let Some(grid) = grid {
+                let (gc, gh, gw) = (
+                    grid.dims()[1].as_fixed().unwrap_or(0),
+                    grid.dims()[2].as_fixed().unwrap_or(0),
+                    grid.dims()[3].as_fixed().unwrap_or(0),
+                );
+                let flat = ctx.scoped("flatten", |ctx| {
+                    ctx.reshape(&grid, &with_batch_of(&grid, &[gc * gh * gw]))
+                });
+                let proj = LinearDesc { in_dim: self.image_proj_in, out_dim: d };
+                if let Some(flat) = flat {
+                    proj.apply(ctx, "proj", &flat);
+                }
+                let patch_proj = LinearDesc { in_dim: gc, out_dim: d };
+                // Per-patch tokens: [B·g², 2c] through the patch projection.
+                let patches = ShapeSpec::new(vec![Dim::sym("BP"), Dim::Fixed(gc)]);
+                patch_proj.apply(ctx, "patch_proj", &patches);
+            }
+        });
+
+        ctx.scoped("text_encoder", |ctx| {
+            ctx.require_divides(self.attn_heads(), d, "text attention heads");
+            // Per-token features: [B·L, d] through the feed-forward pair.
+            let tokens = ShapeSpec::new(vec![Dim::sym("BT"), Dim::Fixed(d)]);
+            let ff1 = LinearDesc { in_dim: d, out_dim: 2 * d };
+            let ff2 = LinearDesc { in_dim: 2 * d, out_dim: d };
+            let proj = LinearDesc { in_dim: d, out_dim: d };
+            ff1.apply(ctx, "ff1", &tokens)
+                .and_then(|h| ff2.apply(ctx, "ff2", &h))
+                .and_then(|h| proj.apply(ctx, "proj", &h));
+        });
+
+        ctx.scoped("blip_fusion", |ctx| {
+            ctx.require_divides(self.attn_heads(), d, "fusion attention heads");
+            let pooled = batched(&[d]);
+            let proj = LinearDesc { in_dim: d, out_dim: d };
+            proj.apply(ctx, "proj", &pooled);
+        });
+    }
+
+    /// Convenience: runs [`VisionShapeDesc::check`] in a fresh context.
+    #[must_use]
+    pub fn lint(&self) -> Report {
+        let mut ctx = ShapeCtx::new();
+        ctx.scoped("vision", |ctx| self.check(ctx));
+        ctx.into_report()
+    }
+}
+
+/// End-to-end description: vision substrate, condition network, and UNet.
+///
+/// The condition network concatenates `cond_blocks` embedding-width blocks
+/// (`C = [C_xg; C_g; f̂_X]` in the paper), so the UNet's declared
+/// `cond_dim` must equal `cond_blocks * embed_dim`; the check feeds the
+/// concatenated spec into [`UnetShapeDesc::check`] so a mismatch surfaces
+/// as AD0001 at `unet.condition`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineShapeDesc {
+    /// The vision substrate description.
+    pub vision: VisionShapeDesc,
+    /// Number of condition blocks concatenated by the condition network.
+    pub cond_blocks: usize,
+    /// The UNet description.
+    pub unet: UnetShapeDesc,
+}
+
+impl PipelineShapeDesc {
+    /// Builds the end-to-end description for a vision config, UNet config,
+    /// and the latent grid side the UNet denoises.
+    #[must_use]
+    pub fn new(vision: &VisionConfig, unet: &UnetConfig, latent_side: usize) -> Self {
+        PipelineShapeDesc {
+            vision: VisionShapeDesc::from(vision),
+            cond_blocks: 3,
+            unet: UnetShapeDesc::from_config(unet, latent_side),
+        }
+    }
+
+    /// Checks the vision substrate, then the condition-network → UNet
+    /// wiring, then the UNet trunk.
+    pub fn check(&self, ctx: &mut ShapeCtx) {
+        ctx.scoped("vision", |ctx| self.vision.check(ctx));
+        // Condition network: concat of `cond_blocks` [B, d] blocks.
+        let block = batched(&[self.vision.embed_dim]);
+        let blocks: Vec<&ShapeSpec> = (0..self.cond_blocks).map(|_| &block).collect();
+        let cond = ctx.scoped("condition_network", |ctx| ctx.concat(&blocks, 1));
+        self.unet.check(ctx, cond.as_ref());
+    }
+
+    /// Convenience: runs [`PipelineShapeDesc::check`] in a fresh context.
+    #[must_use]
+    pub fn lint(&self) -> Report {
+        let mut ctx = ShapeCtx::new();
+        self.check(&mut ctx);
+        ctx.into_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latent_desc() -> UnetShapeDesc {
+        UnetShapeDesc::from_config(&UnetConfig::latent(96), 8)
+    }
+
+    #[test]
+    fn consistent_unet_is_clean() {
+        let report = latent_desc().lint();
+        assert!(report.is_clean(), "unexpected diagnostics:\n{}", report.render());
+    }
+
+    #[test]
+    fn pixel_unet_is_clean() {
+        let report = UnetShapeDesc::from_config(&UnetConfig::pixel(), 8).lint();
+        assert!(report.is_clean(), "unexpected diagnostics:\n{}", report.render());
+    }
+
+    #[test]
+    fn broken_channel_ladder_is_localised() {
+        let mut desc = latent_desc();
+        // up_conv now emits 3 channels; the skip concat feeds res_up the
+        // wrong width and its conv1 must reject it.
+        desc.up_conv.cout = 3;
+        let report = desc.lint();
+        assert!(report.has_code(DiagCode::ShapeMismatch), "{}", report.render());
+        assert!(
+            report.diagnostics().iter().any(|d| d.site.contains("res_up")),
+            "expected the ladder break to surface under unet.res_up:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn wrong_spatial_cells_fire_reshape_mismatch() {
+        let mut desc = latent_desc();
+        // 25 cells cannot tile the 4x4 bottleneck grid.
+        desc.spatial_cond_cells = 25;
+        if let Some(p) = desc.cond_spatial_proj.as_mut() {
+            p.out_dim = 2 * 16 * 25;
+        }
+        let report = desc.lint();
+        assert!(report.has_code(DiagCode::ReshapeMismatch), "{}", report.render());
+    }
+
+    #[test]
+    fn nondividing_cond_tokens_fire_ad0004() {
+        let mut desc = latent_desc();
+        desc.cond_tokens = 5; // does not divide cond_dim = 96
+        let report = desc.lint();
+        assert!(report.has_code(DiagCode::DivisibilityViolation), "{}", report.render());
+    }
+
+    #[test]
+    fn vision_desc_round_trips_cleanly() {
+        let report = VisionShapeDesc::from(&VisionConfig::default()).lint();
+        assert!(report.is_clean(), "unexpected diagnostics:\n{}", report.render());
+    }
+
+    #[test]
+    fn broken_image_projection_is_caught() {
+        let mut desc = VisionShapeDesc::from(&VisionConfig::default());
+        desc.image_proj_in += 1;
+        let report = desc.lint();
+        assert!(report.has_code(DiagCode::ShapeMismatch), "{}", report.render());
+        assert!(report.diagnostics().iter().any(|d| d.site.contains("image_encoder.proj")));
+    }
+
+    #[test]
+    fn pipeline_wiring_checks_condition_dim() {
+        let vision = VisionConfig::default();
+        // Correct wiring: cond_dim = 3 * embed_dim.
+        let good = PipelineShapeDesc::new(&vision, &UnetConfig::latent(3 * vision.embed_dim), 8);
+        assert!(good.lint().is_clean(), "{}", good.lint().render());
+        // Wrong wiring: UNet declares a cond_dim the condition network
+        // does not produce.
+        let bad = PipelineShapeDesc::new(&vision, &UnetConfig::latent(3 * vision.embed_dim + 3), 8);
+        let report = bad.lint();
+        assert!(report.has_code(DiagCode::ShapeMismatch), "{}", report.render());
+        assert!(
+            report.diagnostics().iter().any(|d| d.site == "unet.condition"),
+            "expected the wiring bug at unet.condition:\n{}",
+            report.render()
+        );
+    }
+}

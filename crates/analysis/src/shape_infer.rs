@@ -1,0 +1,306 @@
+//! The shape-inference context: a thin accounting layer over the pure
+//! symbolic shape rules in [`aero_tensor::sym`].
+//!
+//! [`ShapeCtx`] tracks a dotted component path (`unet.res_up.conv1`) and
+//! converts rule failures into coded [`Diagnostic`](crate::Diagnostic)s
+//! instead of panics. Each wrapper returns `Option<ShapeSpec>`; `None`
+//! means the operation was inconsistent and downstream checks that depend
+//! on its output should be skipped (the diagnostic has already been
+//! recorded).
+
+use crate::diag::{DiagCode, Report};
+use aero_nn::Module;
+use aero_tensor::sym::{self, ShapeSpec};
+use aero_tensor::TensorError;
+
+/// Accumulates diagnostics while a shape program walks a model description.
+#[derive(Debug, Default)]
+pub struct ShapeCtx {
+    stack: Vec<String>,
+    report: Report,
+}
+
+impl ShapeCtx {
+    /// A fresh context with an empty site stack.
+    #[must_use]
+    pub fn new() -> Self {
+        ShapeCtx::default()
+    }
+
+    /// Runs `f` with `name` pushed onto the component path.
+    pub fn scoped<T>(&mut self, name: &str, f: impl FnOnce(&mut ShapeCtx) -> T) -> T {
+        self.stack.push(name.to_string());
+        let out = f(self);
+        self.stack.pop();
+        out
+    }
+
+    /// The current dotted component path.
+    #[must_use]
+    pub fn site(&self) -> String {
+        if self.stack.is_empty() {
+            "<model>".to_string()
+        } else {
+            self.stack.join(".")
+        }
+    }
+
+    /// Records a diagnostic at the current site.
+    pub fn error(&mut self, code: DiagCode, message: impl Into<String>) {
+        let site = self.site();
+        self.report.push(code, site, message);
+    }
+
+    /// Requires `cond`; records `code` with `message` otherwise.
+    pub fn require(&mut self, cond: bool, code: DiagCode, message: impl Into<String>) -> bool {
+        if !cond {
+            self.error(code, message);
+        }
+        cond
+    }
+
+    /// Requires that `div` divides `n` (AD0004 otherwise).
+    pub fn require_divides(&mut self, div: usize, n: usize, what: &str) -> bool {
+        if div == 0 || !n.is_multiple_of(div) {
+            self.error(DiagCode::DivisibilityViolation, format!("{what}: {div} must divide {n}"));
+            return false;
+        }
+        true
+    }
+
+    /// Requires two specs to be identical dimension-for-dimension
+    /// (AD0001 otherwise).
+    pub fn require_same_shape(&mut self, got: &ShapeSpec, want: &ShapeSpec, what: &str) -> bool {
+        let same = got.rank() == want.rank()
+            && got.dims().iter().zip(want.dims()).all(|(a, b)| sym::dim_eq(a, b));
+        if !same {
+            self.error(DiagCode::ShapeMismatch, format!("{what}: got {got}, expected {want}"));
+        }
+        same
+    }
+
+    fn record(&mut self, code: DiagCode, e: &TensorError) {
+        self.error(code, e.to_string());
+    }
+
+    /// Symbolic matmul; AD0001 on failure.
+    pub fn matmul(&mut self, lhs: &ShapeSpec, rhs: &ShapeSpec) -> Option<ShapeSpec> {
+        match sym::sym_matmul(lhs, rhs) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::ShapeMismatch, &e);
+                None
+            }
+        }
+    }
+
+    /// Symbolic bmm; AD0001 on failure.
+    pub fn bmm(&mut self, lhs: &ShapeSpec, rhs: &ShapeSpec) -> Option<ShapeSpec> {
+        match sym::sym_bmm(lhs, rhs) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::ShapeMismatch, &e);
+                None
+            }
+        }
+    }
+
+    /// Symbolic elementwise broadcast; AD0002 on failure.
+    pub fn broadcast(&mut self, lhs: &ShapeSpec, rhs: &ShapeSpec) -> Option<ShapeSpec> {
+        match sym::sym_broadcast(lhs, rhs) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::BroadcastConflict, &e);
+                None
+            }
+        }
+    }
+
+    /// Symbolic reshape; AD0003 on failure.
+    pub fn reshape(&mut self, from: &ShapeSpec, to: &ShapeSpec) -> Option<ShapeSpec> {
+        match sym::sym_reshape(from, to) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::ReshapeMismatch, &e);
+                None
+            }
+        }
+    }
+
+    /// Symbolic conv2d; AD0001 on failure.
+    pub fn conv2d(
+        &mut self,
+        input: &ShapeSpec,
+        weight: &[usize],
+        stride: usize,
+        pad: usize,
+    ) -> Option<ShapeSpec> {
+        match sym::sym_conv2d(input, weight, stride, pad) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::ShapeMismatch, &e);
+                None
+            }
+        }
+    }
+
+    /// Symbolic transposed conv2d; AD0001 on failure.
+    pub fn conv_transpose2d(
+        &mut self,
+        input: &ShapeSpec,
+        weight: &[usize],
+        stride: usize,
+        pad: usize,
+    ) -> Option<ShapeSpec> {
+        match sym::sym_conv_transpose2d(input, weight, stride, pad) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::ShapeMismatch, &e);
+                None
+            }
+        }
+    }
+
+    /// Symbolic pooling; AD0004 on failure (window must tile the input).
+    pub fn pool2d(&mut self, input: &ShapeSpec, k: usize) -> Option<ShapeSpec> {
+        match sym::sym_pool2d(input, k) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::DivisibilityViolation, &e);
+                None
+            }
+        }
+    }
+
+    /// Symbolic nearest-neighbour upsampling; AD0001 on failure.
+    pub fn upsample2x(&mut self, input: &ShapeSpec) -> Option<ShapeSpec> {
+        match sym::sym_upsample2x(input) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::ShapeMismatch, &e);
+                None
+            }
+        }
+    }
+
+    /// Symbolic concat; AD0001 on failure.
+    pub fn concat(&mut self, specs: &[&ShapeSpec], axis: usize) -> Option<ShapeSpec> {
+        match sym::sym_concat(specs, axis) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::ShapeMismatch, &e);
+                None
+            }
+        }
+    }
+
+    /// Symbolic narrow; AD0001 on failure.
+    pub fn narrow(
+        &mut self,
+        spec: &ShapeSpec,
+        axis: usize,
+        start: usize,
+        len: usize,
+    ) -> Option<ShapeSpec> {
+        match sym::sym_narrow(spec, axis, start, len) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::ShapeMismatch, &e);
+                None
+            }
+        }
+    }
+
+    /// Symbolic permute; AD0001 on failure.
+    pub fn permute(&mut self, spec: &ShapeSpec, axes: &[usize]) -> Option<ShapeSpec> {
+        match sym::sym_permute(spec, axes) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                self.record(DiagCode::ShapeMismatch, &e);
+                None
+            }
+        }
+    }
+
+    /// Runs a live module's [`Module::infer_shape`] hook under `name`,
+    /// classifying failures by the underlying error kind.
+    pub fn module(
+        &mut self,
+        name: &str,
+        module: &dyn Module,
+        input: &ShapeSpec,
+    ) -> Option<ShapeSpec> {
+        self.scoped(name, |ctx| match module.infer_shape(input) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                let code = match &e {
+                    TensorError::BroadcastMismatch { .. } => DiagCode::BroadcastConflict,
+                    TensorError::ShapeDataMismatch { .. } => DiagCode::ReshapeMismatch,
+                    _ => DiagCode::ShapeMismatch,
+                };
+                ctx.error(code, format!("{}: {e}", module.describe()));
+                None
+            }
+        })
+    }
+
+    /// Consumes the context, yielding the accumulated report.
+    #[must_use]
+    pub fn into_report(self) -> Report {
+        self.report
+    }
+
+    /// Read access to the report while the walk is still running.
+    #[must_use]
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_tensor::sym::Dim;
+
+    #[test]
+    fn sites_nest_and_failures_map_to_codes() {
+        let mut ctx = ShapeCtx::new();
+        ctx.scoped("unet", |ctx| {
+            ctx.scoped("mid", |ctx| {
+                assert_eq!(ctx.site(), "unet.mid");
+                // Inner-dim conflict -> AD0001.
+                ctx.matmul(&ShapeSpec::fixed(&[2, 3]), &ShapeSpec::fixed(&[4, 5]));
+                // Broadcast conflict -> AD0002.
+                ctx.broadcast(&ShapeSpec::fixed(&[2, 3]), &ShapeSpec::fixed(&[2, 4]));
+                // Element-count change -> AD0003.
+                ctx.reshape(&ShapeSpec::fixed(&[2, 3]), &ShapeSpec::fixed(&[7]));
+            });
+        });
+        let r = ctx.into_report();
+        assert!(r.has_code(DiagCode::ShapeMismatch));
+        assert!(r.has_code(DiagCode::BroadcastConflict));
+        assert!(r.has_code(DiagCode::ReshapeMismatch));
+        assert!(r.diagnostics().iter().all(|d| d.site == "unet.mid"));
+    }
+
+    #[test]
+    fn successful_ops_flow_symbolic_batches() {
+        let mut ctx = ShapeCtx::new();
+        let x = ShapeSpec::batched("B", &[8]);
+        let w = ShapeSpec::fixed(&[8, 4]);
+        let y = ctx.matmul(&x, &w).expect("consistent matmul");
+        assert_eq!(y.dims()[0], Dim::sym("B"));
+        assert_eq!(y.dims()[1], Dim::Fixed(4));
+        assert!(ctx.into_report().is_clean());
+    }
+
+    #[test]
+    fn require_divides_flags_ad0004() {
+        let mut ctx = ShapeCtx::new();
+        assert!(ctx.require_divides(2, 8, "attention heads"));
+        assert!(!ctx.require_divides(3, 8, "attention heads"));
+        let r = ctx.into_report();
+        assert!(r.has_code(DiagCode::DivisibilityViolation));
+        assert_eq!(r.error_count(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end acceptance tests: deliberately broken models must trip the
+//! analyzer with the right diagnostic codes, and the real (healthy)
+//! models must lint clean.
+
+use aero_analysis::{lint_graph, DiagCode, PipelineShapeDesc, ShapeCtx, UnetShapeDesc};
+use aero_diffusion::{CondUnet, UnetConfig};
+use aero_nn::{Module, Var};
+use aero_tensor::sym::ShapeSpec;
+use aero_tensor::Tensor;
+use aero_vision::VisionConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// AD0001 — a condition network wired to the wrong UNet `cond_dim`.
+#[test]
+fn wrong_condition_dim_fires_ad0001() {
+    let vision = VisionConfig::default(); // embed_dim 32 -> condition is [B, 96]
+    let unet = UnetConfig::latent(64); // but the UNet expects [B, 64]
+    let report = PipelineShapeDesc::new(&vision, &unet, 8).lint();
+    assert!(report.has_code(DiagCode::ShapeMismatch), "{}", report.render());
+    assert!(
+        report.diagnostics().iter().any(|d| d.site == "unet.condition"),
+        "expected the wiring bug at unet.condition:\n{}",
+        report.render()
+    );
+}
+
+/// AD0001 — a mismatched channel ladder inside the UNet trunk.
+#[test]
+fn mismatched_channel_ladder_fires_ad0001() {
+    let mut desc = UnetShapeDesc::from_config(&UnetConfig::latent(96), 8);
+    desc.downsample.cout = 24; // bottleneck blocks still expect 2c = 32
+    let report = desc.lint();
+    assert!(report.has_code(DiagCode::ShapeMismatch), "{}", report.render());
+    assert!(
+        report.diagnostics().iter().any(|d| d.site.starts_with("unet.res_mid1")),
+        "expected the first bottleneck block to reject 24 channels:\n{}",
+        report.render()
+    );
+}
+
+/// AD0002 — operands that cannot be broadcast together.
+#[test]
+fn broadcast_conflict_fires_ad0002() {
+    let mut ctx = ShapeCtx::new();
+    ctx.scoped("film", |ctx| {
+        let feature_map = ShapeSpec::batched("B", &[16, 8, 8]);
+        let modulation = ShapeSpec::batched("B", &[12, 1, 1]); // wrong channel count
+        assert!(ctx.broadcast(&feature_map, &modulation).is_none());
+    });
+    let report = ctx.into_report();
+    assert!(report.has_code(DiagCode::BroadcastConflict), "{}", report.render());
+}
+
+/// AD0101 — a declared parameter the loss never touches.
+#[test]
+fn detached_parameter_fires_ad0101() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let config = UnetConfig {
+        in_channels: 4,
+        base_channels: 8,
+        cond_dim: 6,
+        time_embed_dim: 16,
+        cond_tokens: 3,
+        spatial_cond_cells: 16,
+    };
+    let unet = CondUnet::new(config, &mut rng);
+    let z = Var::constant(Tensor::randn(&[1, 4, 8, 8], &mut rng));
+    let c = Var::constant(Tensor::randn(&[1, 6], &mut rng));
+    let loss = unet.forward(&z, &[3], Some(&c)).sum();
+
+    // The real UNet trains every parameter...
+    let healthy = lint_graph(&loss, &unet.params());
+    assert!(healthy.is_clean(), "{}", healthy.render());
+
+    // ...but declaring an extra, never-used parameter is caught.
+    let mut params = unet.params();
+    params.push(Var::parameter(Tensor::zeros(&[4, 4])));
+    let report = lint_graph(&loss, &params);
+    assert!(report.has_code(DiagCode::DetachedParameter), "{}", report.render());
+    assert!(!report.is_clean());
+}
+
+/// AD0103 — an `ln` whose input is not clamped away from zero.
+#[test]
+fn unclamped_ln_fires_ad0103() {
+    let sigma = Var::parameter(Tensor::from_vec(vec![0.5, 0.0], &[2]));
+    let nll = sigma.ln().sum(); // ln(0) = -inf
+    let report = lint_graph(&nll, &[sigma]);
+    assert!(report.has_code(DiagCode::UnclampedLn), "{}", report.render());
+    assert!(!report.is_clean(), "ln of an exact zero must be an error");
+}
+
+/// Five distinct codes across the two passes, in one place.
+#[test]
+fn five_distinct_codes_fire() {
+    let mut codes = std::collections::HashSet::new();
+
+    // Shape pass: AD0001, AD0003, AD0004.
+    let mut desc = UnetShapeDesc::from_config(&UnetConfig::latent(96), 8);
+    desc.up_conv.cout = 3;
+    desc.cond_tokens = 5;
+    desc.spatial_cond_cells = 25;
+    if let Some(p) = desc.cond_spatial_proj.as_mut() {
+        p.out_dim = 2 * 16 * 25;
+    }
+    for d in desc.lint().diagnostics() {
+        codes.insert(d.code);
+    }
+
+    // Shape pass: AD0002.
+    let mut ctx = ShapeCtx::new();
+    ctx.broadcast(&ShapeSpec::fixed(&[2, 3]), &ShapeSpec::fixed(&[2, 4]));
+    for d in ctx.into_report().diagnostics() {
+        codes.insert(d.code);
+    }
+
+    // Graph pass: AD0101, AD0102, AD0103.
+    let w = Var::parameter(Tensor::from_vec(vec![0.0], &[1]));
+    let orphan = Var::parameter(Tensor::from_vec(vec![1.0], &[1]));
+    let loss = w.ln().add(&w.detach()).sum();
+    for d in lint_graph(&loss, &[w, orphan]).diagnostics() {
+        codes.insert(d.code);
+    }
+
+    assert!(
+        codes.len() >= 5,
+        "expected at least five distinct diagnostic codes, got {:?}",
+        codes.iter().map(|c| c.code()).collect::<Vec<_>>()
+    );
+}
+
+/// All shipped UNet presets and the default pipeline wiring lint clean.
+#[test]
+fn shipped_configs_lint_clean() {
+    for (name, config, side) in
+        [("latent", UnetConfig::latent(96), 8), ("pixel", UnetConfig::pixel(), 8)]
+    {
+        let report = UnetShapeDesc::from_config(&config, side).lint();
+        assert!(report.is_clean(), "{name} preset:\n{}", report.render());
+    }
+    let vision = VisionConfig::default();
+    let report = PipelineShapeDesc::new(
+        &vision,
+        &UnetConfig::latent(3 * vision.embed_dim),
+        vision.image_size / 4,
+    )
+    .lint();
+    assert!(report.is_clean(), "{}", report.render());
+}

@@ -76,9 +76,9 @@ impl GenerativeModel for DdpmBaseline {
 mod tests {
     use super::*;
     use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
-    use aerodiffusion::{substrate::caption_dataset, PipelineConfig};
     use aero_text::llm::LlmProvider;
     use aero_text::prompt::PromptTemplate;
+    use aerodiffusion::{substrate::caption_dataset, PipelineConfig};
 
     #[test]
     fn ddpm_fits_and_generates() {
@@ -87,7 +87,11 @@ mod tests {
             n_scenes: 4,
             image_size: cfg.vision.image_size,
             seed: 41,
-            generator: SceneGeneratorConfig { min_objects: 3, max_objects: 6, night_probability: 0.0 },
+            generator: SceneGeneratorConfig {
+                min_objects: 3,
+                max_objects: 6,
+                night_probability: 0.0,
+            },
         });
         let captions =
             caption_dataset(&ds, LlmProvider::BlipCaption, &PromptTemplate::traditional(), 1);

@@ -67,10 +67,8 @@ impl LatentCore {
             .chunks(self.config.batch_size.max(1))
             .map(|chunk| {
                 let zs: Vec<&Tensor> = chunk.iter().map(|&i| &latents[i]).collect();
-                let cs: Vec<Tensor> = chunk
-                    .iter()
-                    .map(|&i| conds[i].reshape(&[self.cond_dim]))
-                    .collect();
+                let cs: Vec<Tensor> =
+                    chunk.iter().map(|&i| conds[i].reshape(&[self.cond_dim])).collect();
                 let c_refs: Vec<&Tensor> = cs.iter().collect();
                 TrainBatch { z0: Tensor::stack(&zs), cond: Some(Tensor::stack(&c_refs)) }
             })
@@ -93,8 +91,10 @@ impl LatentCore {
         let unet = self.unet.as_ref().expect("fit() must be called before generate()");
         let s = self.config.image_size;
         let latent_side = s / 4;
-        let sampler =
-            DdimSampler::new(self.config.diffusion.ddim_steps, self.config.diffusion.guidance_scale);
+        let sampler = DdimSampler::new(
+            self.config.diffusion.ddim_steps,
+            self.config.diffusion.guidance_scale,
+        );
         let z = sampler.sample(
             unet,
             self.trainer.schedule(),

@@ -62,6 +62,10 @@ pub trait GenerativeModel {
     fn fit(&mut self, train: &AerialDataset, bundle: &SubstrateBundle, seed: u64);
 
     /// Generates one image conditioned per the model's own mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called before [`GenerativeModel::fit`].
     fn generate(&self, item: &DatasetItem, bundle: &SubstrateBundle, rng: &mut StdRng) -> Image;
 }
 

@@ -12,7 +12,7 @@ fn bench_matmul(c: &mut Criterion) {
     let a = Tensor::randn(&[64, 64], &mut rng);
     let b = Tensor::randn(&[64, 64], &mut rng);
     c.bench_function("matmul_64x64", |bench| {
-        bench.iter(|| black_box(a.matmul(black_box(&b))))
+        bench.iter(|| black_box(a.matmul(black_box(&b))));
     });
 }
 
@@ -21,30 +21,38 @@ fn bench_conv2d(c: &mut Criterion) {
     let x = Tensor::randn(&[1, 8, 32, 32], &mut rng);
     let w = Tensor::randn(&[16, 8, 3, 3], &mut rng);
     c.bench_function("conv2d_8to16_32px", |bench| {
-        bench.iter(|| black_box(x.conv2d(black_box(&w), None, 1, 1)))
+        bench.iter(|| black_box(x.conv2d(black_box(&w), None, 1, 1)));
     });
 }
 
 fn bench_unet_forward(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let unet = CondUnet::new(
-        UnetConfig { in_channels: 4, base_channels: 16, cond_dim: 96, time_embed_dim: 32, cond_tokens: 3, spatial_cond_cells: 16 },
+        UnetConfig {
+            in_channels: 4,
+            base_channels: 16,
+            cond_dim: 96,
+            time_embed_dim: 32,
+            cond_tokens: 3,
+            spatial_cond_cells: 16,
+        },
         &mut rng,
     );
     let z = Tensor::randn(&[1, 4, 8, 8], &mut rng);
     let cond = Tensor::randn(&[1, 96], &mut rng);
     c.bench_function("unet_forward_latent8", |bench| {
-        bench.iter(|| black_box(unet.predict(black_box(&z), &[10], Some(&cond))))
+        bench.iter(|| black_box(unet.predict(black_box(&z), &[10], Some(&cond))));
     });
 }
 
 fn bench_forward_process(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
-    let schedule = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
+    let schedule =
+        NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
     let z0 = Tensor::randn(&[4, 4, 8, 8], &mut rng);
     let eps = Tensor::randn(&[4, 4, 8, 8], &mut rng);
     c.bench_function("q_sample_t500", |bench| {
-        bench.iter(|| black_box(schedule.q_sample(black_box(&z0), 500, &eps)))
+        bench.iter(|| black_box(schedule.q_sample(black_box(&z0), 500, &eps)));
     });
 }
 
@@ -54,7 +62,7 @@ fn bench_scene_render(c: &mut Criterion) {
     let spec = gen.generate(&mut StdRng::seed_from_u64(5));
     let raster = Rasterizer::new(32, 32);
     c.bench_function("scene_render_32px", |bench| {
-        bench.iter(|| black_box(raster.render(black_box(&spec))))
+        bench.iter(|| black_box(raster.render(black_box(&spec))));
     });
 }
 
@@ -70,7 +78,7 @@ fn bench_caption(c: &mut Criterion) {
         bench.iter(|| {
             let mut rng = StdRng::seed_from_u64(7);
             black_box(llm.describe(black_box(&spec), &prompt, &mut rng))
-        })
+        });
     });
 }
 

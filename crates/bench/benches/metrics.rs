@@ -20,7 +20,7 @@ fn bench_fid(c: &mut Criterion) {
     let e = FeatureExtractor::default();
     let (real, gen) = sets(16);
     c.bench_function("fid_16_images", |b| {
-        b.iter(|| black_box(fid(&e, black_box(&real), black_box(&gen)).expect("fid")))
+        b.iter(|| black_box(fid(&e, black_box(&real), black_box(&gen)).expect("fid")));
     });
 }
 
@@ -28,14 +28,14 @@ fn bench_kid(c: &mut Criterion) {
     let e = FeatureExtractor::default();
     let (real, gen) = sets(16);
     c.bench_function("kid_16_images", |b| {
-        b.iter(|| black_box(kid(&e, black_box(&real), black_box(&gen))))
+        b.iter(|| black_box(kid(&e, black_box(&real), black_box(&gen))));
     });
 }
 
 fn bench_psnr(c: &mut Criterion) {
     let (real, gen) = sets(16);
     c.bench_function("psnr_16_images", |b| {
-        b.iter(|| black_box(psnr_batch(black_box(&real), black_box(&gen))))
+        b.iter(|| black_box(psnr_batch(black_box(&real), black_box(&gen))));
     });
 }
 
@@ -44,7 +44,7 @@ fn bench_feature_extraction(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let batch = Tensor::rand_uniform(&[16, 3, 32, 32], 0.0, 1.0, &mut rng);
     c.bench_function("feature_extract_batch16", |b| {
-        b.iter(|| black_box(e.features(black_box(&batch))))
+        b.iter(|| black_box(e.features(black_box(&batch))));
     });
 }
 

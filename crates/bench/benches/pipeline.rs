@@ -4,7 +4,9 @@ use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
 use aero_text::llm::LlmProvider;
 use aero_text::prompt::PromptTemplate;
 use aerodiffusion::substrate::caption_dataset;
-use aerodiffusion::{AeroDiffusionPipeline, ConditionNetwork, PipelineConfig, RegionAugmenter, SubstrateBundle};
+use aerodiffusion::{
+    AeroDiffusionPipeline, ConditionNetwork, PipelineConfig, RegionAugmenter, SubstrateBundle,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +31,7 @@ fn bench_region_augmentation(c: &mut Criterion) {
     let mut group = c.benchmark_group("augment");
     group.sample_size(20);
     group.bench_function("region_augment_one_image", |b| {
-        b.iter(|| black_box(aug.augment(&item.rendered.image, &item.rendered.boxes).to_tensor()))
+        b.iter(|| black_box(aug.augment(&item.rendered.image, &item.rendered.boxes).to_tensor()));
     });
 }
 
@@ -48,7 +50,7 @@ fn bench_condition_vector(c: &mut Criterion) {
     let mut group = c.benchmark_group("condition");
     group.sample_size(20);
     group.bench_function("condition_vector_build", |b| {
-        b.iter(|| black_box(net.build_batch(&clip, &inputs).to_tensor()))
+        b.iter(|| black_box(net.build_batch(&clip, &inputs).to_tensor()));
     });
     group.finish();
 }
@@ -62,7 +64,7 @@ fn bench_generation(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(4);
             black_box(pipeline.generate(&ds.items[0], &mut rng))
-        })
+        });
     });
     group.finish();
 }
@@ -74,7 +76,7 @@ fn bench_substrate_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate");
     group.sample_size(10);
     group.bench_function("bundle_train_smoke", |b| {
-        b.iter(|| black_box(SubstrateBundle::train(&ds, &captions, &cfg, 6)))
+        b.iter(|| black_box(SubstrateBundle::train(&ds, &captions, &cfg, 6)));
     });
     group.finish();
 }

@@ -21,10 +21,7 @@ fn main() {
     let schedules: [(&str, BetaSchedule); 3] = [
         ("linear (paper)", base_cfg.diffusion.schedule),
         ("cosine", BetaSchedule::Cosine),
-        (
-            "scaled-linear",
-            BetaSchedule::ScaledLinear { beta_start: 0.02, beta_end: 0.25 },
-        ),
+        ("scaled-linear", BetaSchedule::ScaledLinear { beta_start: 0.02, beta_end: 0.25 }),
     ];
     let mut table = MetricTable::new("Beta-schedule comparison", &["FID ↓", "PSNR ↑", "KID ↓"]);
     for (name, schedule) in schedules {

@@ -65,10 +65,18 @@ fn main() {
         let item = &protocol.eval.items[i];
         let other = &protocol.eval.items[(i + 1) % n];
         let own_caption = pipeline.caption_for(item, &mut StdRng::seed_from_u64(7));
-        let own = pipeline.generate_with_description(item, &own_caption, &mut StdRng::seed_from_u64(100 + i as u64));
+        let own = pipeline.generate_with_description(
+            item,
+            &own_caption,
+            &mut StdRng::seed_from_u64(100 + i as u64),
+        );
         // cross: other item's condition content, same start noise
         let cross_caption = pipeline.caption_for(other, &mut StdRng::seed_from_u64(7));
-        let cross = pipeline.generate_with_description(other, &cross_caption, &mut StdRng::seed_from_u64(100 + i as u64));
+        let cross = pipeline.generate_with_description(
+            other,
+            &cross_caption,
+            &mut StdRng::seed_from_u64(100 + i as u64),
+        );
         let reference = item.rendered.image.to_tensor();
         let own_psnr = psnr(&reference, &own.to_tensor());
         let cross_psnr = psnr(&reference, &cross.to_tensor());

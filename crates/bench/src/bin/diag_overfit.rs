@@ -15,9 +15,7 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let n_scenes: usize = std::env::var("SCENES").ok().and_then(|v| v.parse().ok()).unwrap_or(6);
-    let latents: Vec<Tensor> = (0..n_scenes)
-        .map(|_| Tensor::randn(&[4, 8, 8], &mut rng))
-        .collect();
+    let latents: Vec<Tensor> = (0..n_scenes).map(|_| Tensor::randn(&[4, 8, 8], &mut rng)).collect();
     let onehot = |i: usize| {
         let mut c = Tensor::zeros(&[1, n_scenes]);
         c.set(&[0, i], 1.0);
@@ -55,6 +53,7 @@ fn main() {
     let sampler = DdimSampler::new(10, 3.0);
     let mut own_sum = 0.0;
     let mut cross_sum = 0.0;
+    #[allow(clippy::needless_range_loop)] // `i` indexes two rotated views, not one slice
     for i in 0..n_scenes {
         let own = sampler.sample(
             &unet,

@@ -10,12 +10,12 @@ fn main() {
     let dir = Path::new("target/experiments/fig4");
     gallery.save_ppm(dir).expect("write gallery");
     for (label, img, lum) in &gallery.samples {
-        println!(
-            "{label}: {}x{}, mean luminance {:.3}",
-            img.width(),
-            img.height(),
-            lum
-        );
+        println!("{label}: {}x{}, mean luminance {:.3}", img.width(), img.height(), lum);
     }
-    println!("\nwrote {} samples + {} references to {}", gallery.samples.len(), gallery.references.len(), dir.display());
+    println!(
+        "\nwrote {} samples + {} references to {}",
+        gallery.samples.len(),
+        gallery.references.len(),
+        dir.display()
+    );
 }

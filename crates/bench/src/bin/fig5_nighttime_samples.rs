@@ -18,6 +18,11 @@ fn main() {
             reference.mean_luminance()
         );
     }
-    println!("\nwrote {} samples + {} references to {}", gallery.samples.len(), gallery.references.len(), dir.display());
+    println!(
+        "\nwrote {} samples + {} references to {}",
+        gallery.samples.len(),
+        gallery.references.len(),
+        dir.display()
+    );
     println!("Expected shape: generated night samples are markedly darker than day renders.");
 }

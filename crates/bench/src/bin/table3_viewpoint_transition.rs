@@ -11,7 +11,9 @@ fn main() {
         println!("=== Transition {} ===", i + 1);
         println!(
             "target viewpoint: altitude {:.2}, pitch {:.0}°, heading {:.0}°",
-            row.target_viewpoint.altitude, row.target_viewpoint.pitch_deg, row.target_viewpoint.heading_deg
+            row.target_viewpoint.altitude,
+            row.target_viewpoint.pitch_deg,
+            row.target_viewpoint.heading_deg
         );
         println!("G  (reference): {}", excerpt(&row.reference_description));
         println!("G' (target):    {}", excerpt(&row.target_description));

@@ -1,6 +1,7 @@
 //! One function per table/figure of the paper.
 
 use crate::protocol::{EvalMetrics, ExperimentScale, Protocol};
+use aero_baselines::{all_baselines, BaselineConfig};
 use aero_metrics::{MetricRow, MetricTable};
 use aero_scene::{
     build_classical_dataset, build_dataset, DatasetConfig, Image, ObjectCountStats,
@@ -12,7 +13,6 @@ use aero_text::llm::{LlmProvider, SimulatedLlm};
 use aero_text::prompt::PromptTemplate;
 use aerodiffusion::viewpoint::{night_synthesis, viewpoint_transition};
 use aerodiffusion::{AblationVariant, AeroDiffusionPipeline, SubstrateBundle};
-use aero_baselines::{all_baselines, BaselineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
@@ -43,10 +43,7 @@ pub fn run_fig1(scale: ExperimentScale, seed: u64) -> Fig1Result {
         generator: SceneGeneratorConfig::default(),
     });
     let classical = build_classical_dataset(n, 16, seed);
-    Fig1Result {
-        aerial: aerial.object_count_stats(),
-        classical: classical.object_count_stats(),
-    }
+    Fig1Result { aerial: aerial.object_count_stats(), classical: classical.object_count_stats() }
 }
 
 // ------------------------------------------------------------------ Fig 3
@@ -155,11 +152,8 @@ pub fn run_table1(scale: ExperimentScale, seed: u64) -> Table1Result {
         let model_seed = seed.wrapping_add(1 + idx as u64).wrapping_mul(0x9E37_79B9);
         model.fit(&protocol.train, &bundle, model_seed);
         let mut rng = StdRng::seed_from_u64(model_seed ^ 0xBEEF);
-        let generated: Vec<Image> = protocol
-            .eval
-            .iter()
-            .map(|item| model.generate(item, &bundle, &mut rng))
-            .collect();
+        let generated: Vec<Image> =
+            protocol.eval.iter().map(|item| model.generate(item, &bundle, &mut rng)).collect();
         rows.push((model.name().to_string(), protocol.score(&generated)));
     }
 
@@ -384,10 +378,8 @@ impl SampleGallery {
     pub fn save_ppm(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         for (i, (label, img, _)) in self.samples.iter().enumerate() {
-            let safe: String = label
-                .chars()
-                .map(|c| if c.is_alphanumeric() { c } else { '_' })
-                .collect();
+            let safe: String =
+                label.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
             img.save_ppm(dir.join(format!("{i:02}_{safe}.ppm")))?;
         }
         for (i, r) in self.references.iter().enumerate() {
@@ -405,12 +397,8 @@ pub fn run_fig4(scale: ExperimentScale, seed: u64) -> SampleGallery {
     let pipeline = AeroDiffusionPipeline::fit(&protocol.train, cfg, seed);
     let mut samples = Vec::new();
     let mut references = Vec::new();
-    let day_items: Vec<_> = protocol
-        .eval
-        .iter()
-        .filter(|i| i.spec.time == TimeOfDay::Day)
-        .take(4)
-        .collect();
+    let day_items: Vec<_> =
+        protocol.eval.iter().filter(|i| i.spec.time == TimeOfDay::Day).take(4).collect();
     for (i, item) in day_items.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(seed ^ (1000 + i as u64));
         let img = pipeline.generate(item, &mut rng);
@@ -433,10 +421,7 @@ pub fn run_fig5(scale: ExperimentScale, seed: u64) -> SampleGallery {
         let mut rng = StdRng::seed_from_u64(seed ^ (2000 + i as u64));
         let result = night_synthesis(&pipeline, item, &mut rng);
         samples.push((format!("aerodiffusion_night_{i}"), result.image, result.luminance));
-        references.push(aerodiffusion::viewpoint::night_reference(
-            item,
-            cfg.vision.image_size,
-        ));
+        references.push(aerodiffusion::viewpoint::night_reference(item, cfg.vision.image_size));
     }
     SampleGallery { samples, references }
 }

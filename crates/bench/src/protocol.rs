@@ -1,9 +1,7 @@
 //! Shared evaluation protocol: dataset sizes, splits, and scoring.
 
 use aero_metrics::{fid, kid, psnr_batch, FeatureExtractor};
-use aero_scene::{
-    build_dataset, AerialDataset, DatasetConfig, Image, SceneGeneratorConfig,
-};
+use aero_scene::{build_dataset, AerialDataset, DatasetConfig, Image, SceneGeneratorConfig};
 use aero_tensor::Tensor;
 use aerodiffusion::PipelineConfig;
 
@@ -97,7 +95,8 @@ impl Protocol {
     ///
     /// # Panics
     ///
-    /// Panics if `generated` does not pair 1:1 with the eval split.
+    /// Panics if `generated` does not pair 1:1 with the eval split, or if
+    /// the FID covariance square root fails to converge numerically.
     pub fn score(&self, generated: &[Image]) -> EvalMetrics {
         assert_eq!(generated.len(), self.eval.len(), "one generated image per eval item");
         let real = self.real_eval_tensors();

@@ -81,10 +81,30 @@ pub struct AblationSpec {
 impl AblationSpec {
     /// The paper's Table IV rows.
     pub const TABLE_IV: [AblationSpec; 4] = [
-        AblationSpec { variant: AblationVariant::BaseSd, paper_fid: 132.60, paper_psnr: 4.80, paper_kid: 0.09 },
-        AblationSpec { variant: AblationVariant::WithBlip, paper_fid: 119.13, paper_psnr: 4.85, paper_kid: 0.07 },
-        AblationSpec { variant: AblationVariant::WithKeypointText, paper_fid: 108.23, paper_psnr: 4.92, paper_kid: 0.05 },
-        AblationSpec { variant: AblationVariant::Full, paper_fid: 78.15, paper_psnr: 5.98, paper_kid: 0.04 },
+        AblationSpec {
+            variant: AblationVariant::BaseSd,
+            paper_fid: 132.60,
+            paper_psnr: 4.80,
+            paper_kid: 0.09,
+        },
+        AblationSpec {
+            variant: AblationVariant::WithBlip,
+            paper_fid: 119.13,
+            paper_psnr: 4.85,
+            paper_kid: 0.07,
+        },
+        AblationSpec {
+            variant: AblationVariant::WithKeypointText,
+            paper_fid: 108.23,
+            paper_psnr: 4.92,
+            paper_kid: 0.05,
+        },
+        AblationSpec {
+            variant: AblationVariant::Full,
+            paper_fid: 78.15,
+            paper_psnr: 5.98,
+            paper_kid: 0.04,
+        },
     ];
 }
 

@@ -5,7 +5,12 @@
 //! aerodiffusion_cli train  <model-dir> [--scenes N] [--seed S] [--scale smoke|small|paper]
 //! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--scale …]
 //! aerodiffusion_cli info   <model-dir>
+//! aerodiffusion_cli lint   [--scale smoke|small|paper] [--all]
 //! ```
+//!
+//! `lint` statically validates the model geometry a configuration would
+//! realise — symbolic shape inference over the whole pipeline — and exits
+//! non-zero if any `ADxxxx` error is found, without training anything.
 
 use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
 use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig};
@@ -32,12 +37,14 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         _ => {
             eprintln!(
-                "usage: aerodiffusion_cli <train|sample|info> <model-dir> [args]\n\
+                "usage: aerodiffusion_cli <train|sample|info|lint> [args]\n\
                  \n  train  <dir> [--scenes N] [--seed S] [--scale smoke|small|paper]\n\
                  \n  sample <dir> <out.ppm> [--seed S] [--night] [--scale …]\n\
-                 \n  info   <dir>"
+                 \n  info   <dir>\n\
+                 \n  lint   [--scale smoke|small|paper] [--all]"
             );
             return ExitCode::from(2);
         }
@@ -53,8 +60,7 @@ fn main() -> ExitCode {
 
 fn cmd_train(args: &[String]) -> Result<(), Box<dyn Error>> {
     let dir = args.first().ok_or("train requires a model directory")?;
-    let n_scenes: usize =
-        parse_flag(args, "--scenes").map(|v| v.parse()).transpose()?.unwrap_or(8);
+    let n_scenes: usize = parse_flag(args, "--scenes").map(|v| v.parse()).transpose()?.unwrap_or(8);
     let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(42);
     let config = scale_config(args);
     println!("building {n_scenes}-scene dataset…");
@@ -93,6 +99,38 @@ fn cmd_sample(args: &[String]) -> Result<(), Box<dyn Error>> {
     };
     image.save_ppm(out)?;
     println!("wrote {out} ({}x{})", image.width(), image.height());
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let configs: Vec<(String, PipelineConfig)> = if args.iter().any(|a| a == "--all") {
+        vec![
+            ("paper".to_string(), PipelineConfig::paper()),
+            ("small".to_string(), PipelineConfig::small()),
+            ("smoke".to_string(), PipelineConfig::smoke()),
+        ]
+    } else {
+        let name = parse_flag(args, "--scale").unwrap_or_else(|| "smoke".to_string());
+        let config = match name.as_str() {
+            "paper" => PipelineConfig::paper(),
+            "small" => PipelineConfig::small(),
+            "smoke" => PipelineConfig::smoke(),
+            other => {
+                return Err(format!("unknown --scale '{other}' (expected smoke|small|paper)").into())
+            }
+        };
+        vec![(name, config)]
+    };
+    let mut failed = false;
+    for (name, config) in configs {
+        let report = aerodiffusion::lint_config(&config);
+        println!("== {name} ==");
+        print!("{}", report.render());
+        failed |= !report.is_clean();
+    }
+    if failed {
+        return Err("lint found errors".into());
+    }
     Ok(())
 }
 

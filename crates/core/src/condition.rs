@@ -158,10 +158,8 @@ impl ConditionNetwork {
 
         // C_xg: BLIP fusion of source image and caption (trainable).
         let c_xg = if self.use_blip {
-            let imgs: Vec<Tensor> = inputs
-                .iter()
-                .map(|i| i.image.resize(s, s).to_tensor())
-                .collect();
+            let imgs: Vec<Tensor> =
+                inputs.iter().map(|i| i.image.resize(s, s).to_tensor()).collect();
             let refs: Vec<&Tensor> = imgs.iter().collect();
             let image_batch = Tensor::stack(&refs);
             let tokens: Vec<Vec<usize>> = inputs.iter().map(|i| i.tokens_g.clone()).collect();
@@ -216,7 +214,11 @@ mod tests {
             n_scenes: 2,
             image_size: cfg.vision.image_size,
             seed: 4,
-            generator: SceneGeneratorConfig { min_objects: 4, max_objects: 7, night_probability: 0.0 },
+            generator: SceneGeneratorConfig {
+                min_objects: 4,
+                max_objects: 7,
+                night_probability: 0.0,
+            },
         });
         (net, clip, ds, cfg)
     }

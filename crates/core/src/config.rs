@@ -47,7 +47,12 @@ impl PipelineConfig {
     /// simulator's native resolution, everything else matches Section V).
     pub fn paper() -> Self {
         PipelineConfig {
-            vision: VisionConfig { image_size: 32, embed_dim: 32, base_channels: 8, max_text_len: 48 },
+            vision: VisionConfig {
+                image_size: 32,
+                embed_dim: 32,
+                base_channels: 8,
+                max_text_len: 48,
+            },
             diffusion: DiffusionConfig::paper(),
             clip_epochs: 30,
             vae_epochs: 40,
@@ -67,7 +72,12 @@ impl PipelineConfig {
     /// A CI/bench-scale preset: same code paths, minutes not hours.
     pub fn small() -> Self {
         PipelineConfig {
-            vision: VisionConfig { image_size: 32, embed_dim: 24, base_channels: 6, max_text_len: 32 },
+            vision: VisionConfig {
+                image_size: 32,
+                embed_dim: 24,
+                base_channels: 6,
+                max_text_len: 32,
+            },
             diffusion: DiffusionConfig::small(),
             clip_epochs: 10,
             vae_epochs: 14,

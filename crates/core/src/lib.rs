@@ -25,6 +25,7 @@
 pub mod ablation;
 pub mod condition;
 pub mod config;
+pub mod lint;
 pub mod persist;
 pub mod pipeline;
 pub mod region;
@@ -34,6 +35,7 @@ pub mod viewpoint;
 pub use ablation::{AblationSpec, AblationVariant};
 pub use condition::ConditionNetwork;
 pub use config::PipelineConfig;
+pub use lint::lint_config;
 pub use pipeline::AeroDiffusionPipeline;
 pub use region::RegionAugmenter;
 pub use substrate::SubstrateBundle;

@@ -1,0 +1,70 @@
+//! Pre-flight static validation of a [`PipelineConfig`].
+//!
+//! [`lint_config`] builds the [`aero_analysis::PipelineShapeDesc`] the
+//! pipeline constructor would realise — the same vision geometry, the
+//! same `C = [C_xg; C_g; f̂_X]` condition concatenation, and the exact
+//! [`UnetConfig`] that [`crate::pipeline::AeroDiffusionPipeline::fit`]
+//! instantiates — and replays every matmul, convolution, reshape, and
+//! broadcast symbolically. A misconfigured stack is reported with stable
+//! `ADxxxx` diagnostics in seconds instead of panicking minutes into
+//! training.
+
+use crate::config::PipelineConfig;
+use aero_analysis::{PipelineShapeDesc, Report, ShapeCtx};
+use aero_diffusion::UnetConfig;
+use aero_vision::vae::LATENT_CHANNELS;
+
+/// The UNet configuration [`crate::pipeline::AeroDiffusionPipeline::fit`]
+/// builds for `config` (kept in one place so the linter can never drift
+/// from the constructor).
+#[must_use]
+pub fn unet_config(config: &PipelineConfig) -> UnetConfig {
+    UnetConfig {
+        in_channels: LATENT_CHANNELS,
+        base_channels: config.unet_channels,
+        cond_dim: config.cond_dim(),
+        time_embed_dim: 32,
+        cond_tokens: 3,
+        spatial_cond_cells: (config.vision.image_size / 8) * (config.vision.image_size / 8),
+    }
+}
+
+/// The shape description of the full pipeline `config` would realise.
+#[must_use]
+pub fn pipeline_desc(config: &PipelineConfig) -> PipelineShapeDesc {
+    let latent_side = config.vision.image_size / 4;
+    PipelineShapeDesc::new(&config.vision, &unet_config(config), latent_side)
+}
+
+/// Statically validates `config`, returning the full diagnostic report.
+#[must_use]
+pub fn lint_config(config: &PipelineConfig) -> Report {
+    let mut ctx = ShapeCtx::new();
+    pipeline_desc(config).check(&mut ctx);
+    ctx.into_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_presets_lint_clean() {
+        for (name, config) in [
+            ("paper", PipelineConfig::paper()),
+            ("small", PipelineConfig::small()),
+            ("smoke", PipelineConfig::smoke()),
+        ] {
+            let report = lint_config(&config);
+            assert!(report.is_clean(), "{name} preset:\n{}", report.render());
+        }
+    }
+
+    #[test]
+    fn broken_vision_geometry_is_rejected() {
+        let mut config = PipelineConfig::smoke();
+        config.vision.image_size = 30; // not divisible by 4
+        let report = lint_config(&config);
+        assert!(!report.is_clean(), "expected diagnostics:\n{}", report.render());
+    }
+}

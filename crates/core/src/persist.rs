@@ -165,7 +165,7 @@ pub(crate) fn read_meta(path: &Path) -> Result<PipelineMeta, PersistError> {
                     "gpt4o" => LlmProvider::Gpt4oLike,
                     "blip" => LlmProvider::BlipCaption,
                     other => return Err(PersistError::Meta(format!("unknown provider {other}"))),
-                })
+                });
             }
             "variant" => {
                 variant = Some(match v {
@@ -174,14 +174,15 @@ pub(crate) fn read_meta(path: &Path) -> Result<PipelineMeta, PersistError> {
                     "with_keypoint_text" => AblationVariant::WithKeypointText,
                     "full" => AblationVariant::Full,
                     other => return Err(PersistError::Meta(format!("unknown variant {other}"))),
-                })
+                });
             }
             _ => {}
         }
     }
     Ok(PipelineMeta {
         max_len: max_len.ok_or_else(|| PersistError::Meta("missing max_len".into()))?,
-        latent_scale: latent_scale.ok_or_else(|| PersistError::Meta("missing latent_scale".into()))?,
+        latent_scale: latent_scale
+            .ok_or_else(|| PersistError::Meta("missing latent_scale".into()))?,
         provider: provider.ok_or_else(|| PersistError::Meta("missing provider".into()))?,
         variant: variant.ok_or_else(|| PersistError::Meta("missing variant".into()))?,
     })

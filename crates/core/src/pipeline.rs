@@ -4,7 +4,7 @@ use crate::ablation::AblationVariant;
 use crate::condition::{ConditionInputs, ConditionNetwork};
 use crate::config::PipelineConfig;
 use crate::substrate::{caption_dataset, SubstrateBundle};
-use aero_diffusion::{CondUnet, DdimSampler, DiffusionTrainer, UnetConfig};
+use aero_diffusion::{CondUnet, DdimSampler, DiffusionTrainer};
 use aero_nn::optim::Adam;
 use aero_nn::Module;
 use aero_scene::{AerialDataset, Annotation, DatasetItem, Image};
@@ -31,7 +31,13 @@ impl AeroDiffusionPipeline {
     /// Trains the full pipeline on a dataset with the paper's default
     /// keypoint-aware captioning.
     pub fn fit(dataset: &AerialDataset, config: PipelineConfig, seed: u64) -> Self {
-        Self::fit_with_options(dataset, config, LlmProvider::KeypointAware, AblationVariant::Full, seed)
+        Self::fit_with_options(
+            dataset,
+            config,
+            LlmProvider::KeypointAware,
+            AblationVariant::Full,
+            seed,
+        )
     }
 
     /// Trains with an explicit caption provider (Table II) and ablation
@@ -61,28 +67,11 @@ impl AeroDiffusionPipeline {
             variant.uses_object_detection(),
             &mut rng,
         );
-        let unet = CondUnet::new(
-            UnetConfig {
-                in_channels: LATENT_CHANNELS,
-                base_channels: config.unet_channels,
-                cond_dim: config.cond_dim(),
-                time_embed_dim: 32,
-                cond_tokens: 3,
-                spatial_cond_cells: (config.vision.image_size / 8) * (config.vision.image_size / 8),
-            },
-            &mut rng,
-        );
+        let unet = CondUnet::new(crate::lint::unet_config(&config), &mut rng);
         let trainer = DiffusionTrainer::new(config.diffusion);
 
-        let mut pipeline = AeroDiffusionPipeline {
-            config,
-            bundle,
-            condition,
-            unet,
-            trainer,
-            provider,
-            variant,
-        };
+        let mut pipeline =
+            AeroDiffusionPipeline { config, bundle, condition, unet, trainer, provider, variant };
         pipeline.train_joint(dataset, &captions, &mut rng);
         pipeline
     }
@@ -102,10 +91,8 @@ impl AeroDiffusionPipeline {
             .collect();
         let tokens: Vec<Vec<usize>> =
             captions.iter().map(|c| self.bundle.tokenizer.encode(c)).collect();
-        let rois: Vec<Vec<Annotation>> = dataset
-            .iter()
-            .map(|item| self.propose_rois(&item.rendered.image))
-            .collect();
+        let rois: Vec<Vec<Annotation>> =
+            dataset.iter().map(|item| self.propose_rois(&item.rendered.image)).collect();
 
         // Alignment pretraining: stands in for the pretrained BLIP/ViT
         // checkpoints the paper's condition network starts from.
@@ -337,7 +324,10 @@ impl AeroDiffusionPipeline {
     /// # Errors
     ///
     /// Propagates I/O failures.
-    pub fn save<P: AsRef<std::path::Path>>(&self, dir: P) -> Result<(), crate::persist::PersistError> {
+    pub fn save<P: AsRef<std::path::Path>>(
+        &self,
+        dir: P,
+    ) -> Result<(), crate::persist::PersistError> {
         use crate::persist;
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -392,17 +382,7 @@ impl AeroDiffusionPipeline {
             meta.variant.uses_object_detection(),
             &mut rng,
         );
-        let unet = CondUnet::new(
-            UnetConfig {
-                in_channels: LATENT_CHANNELS,
-                base_channels: config.unet_channels,
-                cond_dim: config.cond_dim(),
-                time_embed_dim: 32,
-                cond_tokens: 3,
-                spatial_cond_cells: (config.vision.image_size / 8) * (config.vision.image_size / 8),
-            },
-            &mut rng,
-        );
+        let unet = CondUnet::new(crate::lint::unet_config(&config), &mut rng);
         persist::load_module(&bundle.clip.params(), &dir.join("clip.aero"))?;
         persist::load_module(&bundle.vae.params(), &dir.join("vae.aero"))?;
         persist::load_module(&bundle.detector.params(), &dir.join("detector.aero"))?;
@@ -436,7 +416,11 @@ mod tests {
             n_scenes: n,
             image_size: PipelineConfig::smoke().vision.image_size,
             seed: 21,
-            generator: SceneGeneratorConfig { min_objects: 4, max_objects: 8, night_probability: 0.2 },
+            generator: SceneGeneratorConfig {
+                min_objects: 4,
+                max_objects: 8,
+                night_probability: 0.2,
+            },
         })
     }
 
@@ -458,8 +442,16 @@ mod tests {
         let ds = tiny_dataset(5);
         let pipeline = AeroDiffusionPipeline::fit(&ds, PipelineConfig::smoke(), 5);
         let item = &ds.items[0];
-        let a = pipeline.generate_with_description(item, "a daytime aerial image of a busy highway", &mut StdRng::seed_from_u64(9));
-        let b = pipeline.generate_with_description(item, "a nighttime aerial image of a tranquil park", &mut StdRng::seed_from_u64(9));
+        let a = pipeline.generate_with_description(
+            item,
+            "a daytime aerial image of a busy highway",
+            &mut StdRng::seed_from_u64(9),
+        );
+        let b = pipeline.generate_with_description(
+            item,
+            "a nighttime aerial image of a tranquil park",
+            &mut StdRng::seed_from_u64(9),
+        );
         let diff = a.to_tensor().sub(&b.to_tensor()).abs().max();
         assert!(diff > 1e-6, "target description must steer generation");
     }
@@ -470,10 +462,8 @@ mod tests {
         let pipeline = AeroDiffusionPipeline::fit(&ds, PipelineConfig::smoke(), 6);
         let mut rng = StdRng::seed_from_u64(7);
         let images = pipeline.generate_eval(&ds, &mut rng);
-        let captions: Vec<String> = ds
-            .iter()
-            .map(|i| pipeline.caption_for(i, &mut StdRng::seed_from_u64(0)))
-            .collect();
+        let captions: Vec<String> =
+            ds.iter().map(|i| pipeline.caption_for(i, &mut StdRng::seed_from_u64(0))).collect();
         let score = pipeline.clip_score(&images, &captions);
         assert!(score.is_finite());
     }

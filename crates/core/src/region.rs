@@ -79,7 +79,7 @@ impl RegionAugmenter {
         }
         let refs: Vec<&Var> = tokens.iter().collect();
         let f = Var::concat(&refs, 1); // [1, 1+R, d]
-        // Multi-head self-attention over the aggregated feature set (Eq. 2).
+                                       // Multi-head self-attention over the aggregated feature set (Eq. 2).
         let fused = f.add(&self.self_attn.forward(&f, &f));
         // Pool to the augmented image representation.
         fused.mean_axis_keepdim(1).reshape(&[1, d])
@@ -123,7 +123,11 @@ mod tests {
             n_scenes: 3,
             image_size: cfg.vision.image_size,
             seed: 2,
-            generator: SceneGeneratorConfig { min_objects: 5, max_objects: 9, night_probability: 0.0 },
+            generator: SceneGeneratorConfig {
+                min_objects: 5,
+                max_objects: 9,
+                night_probability: 0.0,
+            },
         });
         (aug, ds, cfg)
     }
@@ -154,7 +158,8 @@ mod tests {
         // (the cross-attention consumes label embeddings).
         let (aug, ds, _) = setup();
         let item = &ds.items[0];
-        let boxes = vec![Annotation { class: ObjectClass::Car, bbox: BBox::new(2.0, 2.0, 8.0, 8.0) }];
+        let boxes =
+            vec![Annotation { class: ObjectClass::Car, bbox: BBox::new(2.0, 2.0, 8.0, 8.0) }];
         let relabeled =
             vec![Annotation { class: ObjectClass::Bus, bbox: BBox::new(2.0, 2.0, 8.0, 8.0) }];
         let a = aug.augment(&item.rendered.image, &boxes).to_tensor();

@@ -143,15 +143,21 @@ mod tests {
             n_scenes: 6,
             image_size: 16,
             seed: 11,
-            generator: SceneGeneratorConfig { min_objects: 4, max_objects: 8, night_probability: 0.2 },
+            generator: SceneGeneratorConfig {
+                min_objects: 4,
+                max_objects: 8,
+                night_probability: 0.2,
+            },
         })
     }
 
     #[test]
     fn captions_are_deterministic_and_per_item() {
         let ds = tiny_dataset();
-        let a = caption_dataset(&ds, LlmProvider::KeypointAware, &PromptTemplate::keypoint_aware(), 5);
-        let b = caption_dataset(&ds, LlmProvider::KeypointAware, &PromptTemplate::keypoint_aware(), 5);
+        let a =
+            caption_dataset(&ds, LlmProvider::KeypointAware, &PromptTemplate::keypoint_aware(), 5);
+        let b =
+            caption_dataset(&ds, LlmProvider::KeypointAware, &PromptTemplate::keypoint_aware(), 5);
         assert_eq!(a, b);
         assert_eq!(a.len(), ds.len());
         assert!(a.iter().all(|c| !c.is_empty()));

@@ -31,7 +31,12 @@ pub fn viewpoint_transition<R: Rng + ?Sized>(
     let reference_description = llm.describe(&item.spec, &pipeline.prompt(), rng);
     let target_description = llm.describe_with_viewpoint(&item.spec, target, rng);
     let image = pipeline.generate_with_description(item, &target_description, rng);
-    ViewpointTransition { reference_description, target_description, target_viewpoint: target, image }
+    ViewpointTransition {
+        reference_description,
+        target_description,
+        target_viewpoint: target,
+        image,
+    }
 }
 
 /// The result of one nighttime synthesis (Fig. 5).
@@ -79,7 +84,11 @@ mod tests {
             n_scenes: 4,
             image_size: cfg.vision.image_size,
             seed: 31,
-            generator: SceneGeneratorConfig { min_objects: 4, max_objects: 8, night_probability: 0.0 },
+            generator: SceneGeneratorConfig {
+                min_objects: 4,
+                max_objects: 8,
+                night_probability: 0.0,
+            },
         });
         (AeroDiffusionPipeline::fit(&ds, cfg, 32), ds)
     }

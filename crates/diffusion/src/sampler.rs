@@ -92,9 +92,7 @@ impl DdimSampler {
                 Some(c) if self.guidance_scale != 1.0 => {
                     let cond_eps = unet.predict(&z, &batch_ts, Some(c));
                     let uncond_eps = unet.predict(&z, &batch_ts, None);
-                    uncond_eps.add(
-                        &cond_eps.sub(&uncond_eps).mul_scalar(self.guidance_scale),
-                    )
+                    uncond_eps.add(&cond_eps.sub(&uncond_eps).mul_scalar(self.guidance_scale))
                 }
                 other => unet.predict(&z, &batch_ts, other),
             };
@@ -130,7 +128,14 @@ mod tests {
     fn tiny_setup() -> (CondUnet, NoiseSchedule) {
         let mut rng = StdRng::seed_from_u64(1);
         let unet = CondUnet::new(
-            UnetConfig { in_channels: 2, base_channels: 4, cond_dim: 3, time_embed_dim: 8, cond_tokens: 1, spatial_cond_cells: 16 },
+            UnetConfig {
+                in_channels: 2,
+                base_channels: 4,
+                cond_dim: 3,
+                time_embed_dim: 8,
+                cond_tokens: 1,
+                spatial_cond_cells: 16,
+            },
             &mut rng,
         );
         let schedule =

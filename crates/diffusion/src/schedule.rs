@@ -167,7 +167,8 @@ mod tests {
 
     #[test]
     fn paper_schedule_endpoints() {
-        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
+        let s =
+            NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
         assert!((s.beta(0) - 0.001).abs() < 1e-7);
         assert!((s.beta(999) - 0.012).abs() < 1e-7);
         // the paper's constraint: betas strictly increase
@@ -178,7 +179,8 @@ mod tests {
 
     #[test]
     fn alpha_bar_monotone_decreasing_to_small() {
-        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
+        let s =
+            NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
         for t in 1..1000 {
             assert!(s.alpha_bar(t) < s.alpha_bar(t - 1));
         }
@@ -218,7 +220,8 @@ mod tests {
 
     #[test]
     fn ddim_subsequence_properties() {
-        let s = NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
+        let s =
+            NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 1000);
         let ts = s.ddim_timesteps(250);
         assert_eq!(ts[0], 999, "must start at T-1");
         for w in ts.windows(2) {

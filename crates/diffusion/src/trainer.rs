@@ -64,8 +64,7 @@ impl DiffusionTrainer {
             let zi = z0.narrow(0, i, 1);
             let ei = eps.narrow(0, i, 1);
             let noised = self.schedule.q_sample(&zi, t, &ei);
-            z_t.as_mut_slice()[i * per_item..(i + 1) * per_item]
-                .copy_from_slice(noised.as_slice());
+            z_t.as_mut_slice()[i * per_item..(i + 1) * per_item].copy_from_slice(noised.as_slice());
         }
         let drop = cond.is_some() && rng.gen_bool(self.config.cond_dropout);
         let effective_cond = if drop { None } else { cond };
@@ -127,7 +126,14 @@ mod tests {
     fn training_reduces_noise_prediction_loss() {
         let mut rng = StdRng::seed_from_u64(1);
         let unet = CondUnet::new(
-            UnetConfig { in_channels: 2, base_channels: 4, cond_dim: 0, time_embed_dim: 8, cond_tokens: 0, spatial_cond_cells: 0 },
+            UnetConfig {
+                in_channels: 2,
+                base_channels: 4,
+                cond_dim: 0,
+                time_embed_dim: 8,
+                cond_tokens: 0,
+                spatial_cond_cells: 0,
+            },
             &mut rng,
         );
         let trainer = DiffusionTrainer::new(DiffusionConfig::small());
@@ -151,7 +157,14 @@ mod tests {
     fn conditional_loss_accepts_var_condition() {
         let mut rng = StdRng::seed_from_u64(2);
         let unet = CondUnet::new(
-            UnetConfig { in_channels: 2, base_channels: 4, cond_dim: 3, time_embed_dim: 8, cond_tokens: 1, spatial_cond_cells: 16 },
+            UnetConfig {
+                in_channels: 2,
+                base_channels: 4,
+                cond_dim: 3,
+                time_embed_dim: 8,
+                cond_tokens: 1,
+                spatial_cond_cells: 16,
+            },
             &mut rng,
         );
         let trainer = DiffusionTrainer::new(DiffusionConfig::small());

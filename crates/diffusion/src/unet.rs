@@ -52,7 +52,14 @@ impl UnetConfig {
 
     /// A pixel-space configuration (for the DDPM baseline).
     pub fn pixel() -> Self {
-        UnetConfig { in_channels: 3, base_channels: 16, cond_dim: 0, time_embed_dim: 32, cond_tokens: 0, spatial_cond_cells: 0 }
+        UnetConfig {
+            in_channels: 3,
+            base_channels: 16,
+            cond_dim: 0,
+            time_embed_dim: 32,
+            cond_tokens: 0,
+            spatial_cond_cells: 0,
+        }
     }
 }
 
@@ -219,7 +226,11 @@ impl CondUnet {
         if let (Some(m1), Some(m2)) = (&self.cond_mlp1, &self.cond_mlp2) {
             let c = match cond {
                 Some(c) => {
-                    assert_eq!(c.shape(), vec![n, self.config.cond_dim], "condition shape mismatch");
+                    assert_eq!(
+                        c.shape(),
+                        vec![n, self.config.cond_dim],
+                        "condition shape mismatch"
+                    );
                     c.clone()
                 }
                 None => Var::constant(Tensor::zeros(&[n, self.config.cond_dim])),
@@ -323,7 +334,17 @@ mod tests {
     #[test]
     fn output_shape_matches_input() {
         let mut rng = StdRng::seed_from_u64(1);
-        let unet = CondUnet::new(UnetConfig { in_channels: 4, base_channels: 8, cond_dim: 6, time_embed_dim: 16, cond_tokens: 3, spatial_cond_cells: 16 }, &mut rng);
+        let unet = CondUnet::new(
+            UnetConfig {
+                in_channels: 4,
+                base_channels: 8,
+                cond_dim: 6,
+                time_embed_dim: 16,
+                cond_tokens: 3,
+                spatial_cond_cells: 16,
+            },
+            &mut rng,
+        );
         let z = Tensor::randn(&[2, 4, 8, 8], &mut rng);
         let c = Tensor::randn(&[2, 6], &mut rng);
         let out = unet.predict(&z, &[3, 7], Some(&c));
@@ -352,7 +373,17 @@ mod tests {
     #[test]
     fn condition_changes_prediction() {
         let mut rng = StdRng::seed_from_u64(4);
-        let unet = CondUnet::new(UnetConfig { in_channels: 4, base_channels: 8, cond_dim: 6, time_embed_dim: 16, cond_tokens: 3, spatial_cond_cells: 16 }, &mut rng);
+        let unet = CondUnet::new(
+            UnetConfig {
+                in_channels: 4,
+                base_channels: 8,
+                cond_dim: 6,
+                time_embed_dim: 16,
+                cond_tokens: 3,
+                spatial_cond_cells: 16,
+            },
+            &mut rng,
+        );
         let z = Tensor::randn(&[1, 4, 8, 8], &mut rng);
         let c1 = Tensor::randn(&[1, 6], &mut rng);
         let c2 = Tensor::randn(&[1, 6], &mut rng);
@@ -364,7 +395,17 @@ mod tests {
     #[test]
     fn gradients_reach_all_params_and_condition() {
         let mut rng = StdRng::seed_from_u64(5);
-        let unet = CondUnet::new(UnetConfig { in_channels: 4, base_channels: 8, cond_dim: 6, time_embed_dim: 16, cond_tokens: 3, spatial_cond_cells: 16 }, &mut rng);
+        let unet = CondUnet::new(
+            UnetConfig {
+                in_channels: 4,
+                base_channels: 8,
+                cond_dim: 6,
+                time_embed_dim: 16,
+                cond_tokens: 3,
+                spatial_cond_cells: 16,
+            },
+            &mut rng,
+        );
         let z = Var::constant(Tensor::randn(&[1, 4, 8, 8], &mut rng));
         let c = Var::parameter(Tensor::randn(&[1, 6], &mut rng));
         unet.forward(&z, &[2], Some(&c)).sum().backward();

@@ -54,7 +54,9 @@ mod tests {
         (0..n)
             .map(|_| {
                 Tensor::from_vec(
-                    (0..3 * 16 * 16).map(|_| (rng.gen_range(0.0..1.0f32) + bias).clamp(0.0, 1.0)).collect(),
+                    (0..3 * 16 * 16)
+                        .map(|_| (rng.gen_range(0.0..1.0f32) + bias).clamp(0.0, 1.0))
+                        .collect(),
                     &[3, 16, 16],
                 )
             })

@@ -31,7 +31,7 @@ impl MetricTable {
     pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
         MetricTable {
             title: title.into(),
-            columns: columns.iter().map(|s| s.to_string()).collect(),
+            columns: columns.iter().map(std::string::ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }

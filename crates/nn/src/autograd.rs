@@ -22,6 +22,10 @@ type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
 
 struct Node {
     id: usize,
+    /// Name of the operation that produced this node (`"parameter"`,
+    /// `"constant"`, `"detach"`, or the method name for interior ops).
+    /// Consumed by `aero-analysis` when linting a built graph.
+    op: &'static str,
     value: Tensor,
     grad: Option<Tensor>,
     parents: Vec<Var>,
@@ -57,18 +61,19 @@ impl Var {
 
     /// Creates a trainable leaf.
     pub fn parameter(value: Tensor) -> Self {
-        Self::leaf(value, true)
+        Self::leaf(value, true, "parameter")
     }
 
     /// Creates a frozen leaf that never receives gradients.
     pub fn constant(value: Tensor) -> Self {
-        Self::leaf(value, false)
+        Self::leaf(value, false, "constant")
     }
 
-    fn leaf(value: Tensor, requires_grad: bool) -> Self {
+    fn leaf(value: Tensor, requires_grad: bool, op: &'static str) -> Self {
         Var {
             inner: Rc::new(RefCell::new(Node {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                op,
                 value,
                 grad: None,
                 parents: Vec::new(),
@@ -78,11 +83,12 @@ impl Var {
         }
     }
 
-    fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Self {
+    fn from_op(op: &'static str, value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Self {
         let requires_grad = parents.iter().any(Var::requires_grad);
         Var {
             inner: Rc::new(RefCell::new(Node {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                op,
                 value,
                 grad: None,
                 parents: if requires_grad { parents } else { Vec::new() },
@@ -137,11 +143,35 @@ impl Var {
 
     /// A frozen copy of this node's current value, cut off from the graph.
     pub fn detach(&self) -> Var {
-        Var::constant(self.to_tensor())
+        Var::leaf(self.to_tensor(), false, "detach")
     }
 
-    fn id(&self) -> usize {
+    /// Unique id of this node within the process (monotonic per creation).
+    pub fn id(&self) -> usize {
         self.inner.borrow().id
+    }
+
+    /// Name of the operation that produced this node.
+    ///
+    /// Leaves report `"parameter"`, `"constant"`, or `"detach"`; interior
+    /// nodes report the producing method (`"matmul"`, `"ln"`, ...). This is
+    /// the hook the `aero-analysis` graph linter walks.
+    pub fn op(&self) -> &'static str {
+        self.inner.borrow().op
+    }
+
+    /// Clones the parent handles of this node.
+    ///
+    /// Interior nodes whose inputs all had `requires_grad == false` drop
+    /// their parents (nothing to backpropagate into), so a walk over
+    /// `parents()` sees exactly the differentiable subgraph.
+    pub fn parents(&self) -> Vec<Var> {
+        self.inner.borrow().parents.clone()
+    }
+
+    /// Whether this node has no recorded parents (a leaf of the tape).
+    pub fn is_leaf(&self) -> bool {
+        self.inner.borrow().parents.is_empty()
     }
 
     // ------------------------------------------------------------ backward
@@ -223,18 +253,24 @@ impl Var {
     pub fn add(&self, other: &Var) -> Var {
         let (a, b) = (self.to_tensor(), other.to_tensor());
         let (sa, sb) = (a.shape().to_vec(), b.shape().to_vec());
-        Var::from_op(a.add(&b), vec![self.clone(), other.clone()], Box::new(move |g| {
-            vec![unbroadcast(g, &sa), unbroadcast(g, &sb)]
-        }))
+        Var::from_op(
+            "add",
+            a.add(&b),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| vec![unbroadcast(g, &sa), unbroadcast(g, &sb)]),
+        )
     }
 
     /// Broadcasting elementwise subtraction.
     pub fn sub(&self, other: &Var) -> Var {
         let (a, b) = (self.to_tensor(), other.to_tensor());
         let (sa, sb) = (a.shape().to_vec(), b.shape().to_vec());
-        Var::from_op(a.sub(&b), vec![self.clone(), other.clone()], Box::new(move |g| {
-            vec![unbroadcast(g, &sa), unbroadcast(&g.neg(), &sb)]
-        }))
+        Var::from_op(
+            "sub",
+            a.sub(&b),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| vec![unbroadcast(g, &sa), unbroadcast(&g.neg(), &sb)]),
+        )
     }
 
     /// Broadcasting elementwise multiplication.
@@ -242,9 +278,12 @@ impl Var {
         let (a, b) = (self.to_tensor(), other.to_tensor());
         let (sa, sb) = (a.shape().to_vec(), b.shape().to_vec());
         let (ac, bc) = (a.clone(), b.clone());
-        Var::from_op(a.mul(&b), vec![self.clone(), other.clone()], Box::new(move |g| {
-            vec![unbroadcast(&g.mul(&bc), &sa), unbroadcast(&g.mul(&ac), &sb)]
-        }))
+        Var::from_op(
+            "mul",
+            a.mul(&b),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| vec![unbroadcast(&g.mul(&bc), &sa), unbroadcast(&g.mul(&ac), &sb)]),
+        )
     }
 
     /// Broadcasting elementwise division.
@@ -252,23 +291,28 @@ impl Var {
         let (a, b) = (self.to_tensor(), other.to_tensor());
         let (sa, sb) = (a.shape().to_vec(), b.shape().to_vec());
         let (ac, bc) = (a.clone(), b.clone());
-        Var::from_op(a.div(&b), vec![self.clone(), other.clone()], Box::new(move |g| {
-            let da = g.div(&bc);
-            let db = g.mul(&ac).div(&bc.mul(&bc)).neg();
-            vec![unbroadcast(&da, &sa), unbroadcast(&db, &sb)]
-        }))
+        Var::from_op(
+            "div",
+            a.div(&b),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                let da = g.div(&bc);
+                let db = g.mul(&ac).div(&bc.mul(&bc)).neg();
+                vec![unbroadcast(&da, &sa), unbroadcast(&db, &sb)]
+            }),
+        )
     }
 
     /// Multiplies every element by a constant.
     pub fn scale(&self, s: f32) -> Var {
         let v = self.to_tensor().mul_scalar(s);
-        Var::from_op(v, vec![self.clone()], Box::new(move |g| vec![g.mul_scalar(s)]))
+        Var::from_op("scale", v, vec![self.clone()], Box::new(move |g| vec![g.mul_scalar(s)]))
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&self, s: f32) -> Var {
         let v = self.to_tensor().add_scalar(s);
-        Var::from_op(v, vec![self.clone()], Box::new(|g| vec![g.clone()]))
+        Var::from_op("add_scalar", v, vec![self.clone()], Box::new(|g| vec![g.clone()]))
     }
 
     /// Elementwise negation.
@@ -280,59 +324,74 @@ impl Var {
     pub fn exp(&self) -> Var {
         let out = self.to_tensor().exp();
         let out_c = out.clone();
-        Var::from_op(out, vec![self.clone()], Box::new(move |g| vec![g.mul(&out_c)]))
+        Var::from_op("exp", out, vec![self.clone()], Box::new(move |g| vec![g.mul(&out_c)]))
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&self) -> Var {
         let x = self.to_tensor();
         let xc = x.clone();
-        Var::from_op(x.ln(), vec![self.clone()], Box::new(move |g| vec![g.div(&xc)]))
+        Var::from_op("ln", x.ln(), vec![self.clone()], Box::new(move |g| vec![g.div(&xc)]))
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Var {
         let out = self.to_tensor().sqrt();
         let out_c = out.clone();
-        Var::from_op(out, vec![self.clone()], Box::new(move |g| {
-            vec![g.div(&out_c.mul_scalar(2.0))]
-        }))
+        Var::from_op(
+            "sqrt",
+            out,
+            vec![self.clone()],
+            Box::new(move |g| vec![g.div(&out_c.mul_scalar(2.0))]),
+        )
     }
 
     /// Elementwise power with a constant exponent.
     pub fn powf(&self, p: f32) -> Var {
         let x = self.to_tensor();
         let xc = x.clone();
-        Var::from_op(x.powf(p), vec![self.clone()], Box::new(move |g| {
-            vec![g.mul(&xc.powf(p - 1.0).mul_scalar(p))]
-        }))
+        Var::from_op(
+            "powf",
+            x.powf(p),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.mul(&xc.powf(p - 1.0).mul_scalar(p))]),
+        )
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Var {
         let x = self.to_tensor();
         let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-        Var::from_op(x.map(|v| v.max(0.0)), vec![self.clone()], Box::new(move |g| {
-            vec![g.mul(&mask)]
-        }))
+        Var::from_op(
+            "relu",
+            x.map(|v| v.max(0.0)),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.mul(&mask)]),
+        )
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var {
         let out = self.to_tensor().map(|v| 1.0 / (1.0 + (-v).exp()));
         let out_c = out.clone();
-        Var::from_op(out, vec![self.clone()], Box::new(move |g| {
-            vec![g.mul(&out_c.map(|s| s * (1.0 - s)))]
-        }))
+        Var::from_op(
+            "sigmoid",
+            out,
+            vec![self.clone()],
+            Box::new(move |g| vec![g.mul(&out_c.map(|s| s * (1.0 - s)))]),
+        )
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Var {
         let out = self.to_tensor().map(f32::tanh);
         let out_c = out.clone();
-        Var::from_op(out, vec![self.clone()], Box::new(move |g| {
-            vec![g.mul(&out_c.map(|t| 1.0 - t * t))]
-        }))
+        Var::from_op(
+            "tanh",
+            out,
+            vec![self.clone()],
+            Box::new(move |g| vec![g.mul(&out_c.map(|t| 1.0 - t * t))]),
+        )
     }
 
     /// SiLU (swish): `x * sigmoid(x)` — the UNet's activation.
@@ -340,13 +399,18 @@ impl Var {
         let x = self.to_tensor();
         let xc = x.clone();
         let out = x.map(|v| v / (1.0 + (-v).exp()));
-        Var::from_op(out, vec![self.clone()], Box::new(move |g| {
-            let d = xc.map(|v| {
-                let s = 1.0 / (1.0 + (-v).exp());
-                s * (1.0 + v * (1.0 - s))
-            });
-            vec![g.mul(&d)]
-        }))
+        Var::from_op(
+            "silu",
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let d = xc.map(|v| {
+                    let s = 1.0 / (1.0 + (-v).exp());
+                    s * (1.0 + v * (1.0 - s))
+                });
+                vec![g.mul(&d)]
+            }),
+        )
     }
 
     /// Gaussian error linear unit (tanh approximation).
@@ -355,15 +419,20 @@ impl Var {
         let x = self.to_tensor();
         let xc = x.clone();
         let out = x.map(|v| 0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh()));
-        Var::from_op(out, vec![self.clone()], Box::new(move |g| {
-            let d = xc.map(|v| {
-                let inner = C * (v + 0.044715 * v * v * v);
-                let t = inner.tanh();
-                let dinner = C * (1.0 + 3.0 * 0.044715 * v * v);
-                0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner
-            });
-            vec![g.mul(&d)]
-        }))
+        Var::from_op(
+            "gelu",
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let d = xc.map(|v| {
+                    let inner = C * (v + 0.044715 * v * v * v);
+                    let t = inner.tanh();
+                    let dinner = C * (1.0 + 3.0 * 0.044715 * v * v);
+                    0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner
+                });
+                vec![g.mul(&d)]
+            }),
+        )
     }
 
     // ------------------------------------------------------- linear algebra
@@ -376,9 +445,12 @@ impl Var {
     pub fn matmul(&self, other: &Var) -> Var {
         let (a, b) = (self.to_tensor(), other.to_tensor());
         let (ac, bc) = (a.clone(), b.clone());
-        Var::from_op(a.matmul(&b), vec![self.clone(), other.clone()], Box::new(move |g| {
-            vec![g.matmul(&bc.transpose()), ac.transpose().matmul(g)]
-        }))
+        Var::from_op(
+            "matmul",
+            a.matmul(&b),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| vec![g.matmul(&bc.transpose()), ac.transpose().matmul(g)]),
+        )
     }
 
     /// Batched rank-3 matrix multiplication `[b, m, k] x [b, k, n]`.
@@ -389,11 +461,16 @@ impl Var {
     pub fn bmm(&self, other: &Var) -> Var {
         let (a, b) = (self.to_tensor(), other.to_tensor());
         let (ac, bc) = (a.clone(), b.clone());
-        Var::from_op(a.bmm(&b), vec![self.clone(), other.clone()], Box::new(move |g| {
-            let da = g.bmm(&bc.permute(&[0, 2, 1]));
-            let db = ac.permute(&[0, 2, 1]).bmm(g);
-            vec![da, db]
-        }))
+        Var::from_op(
+            "bmm",
+            a.bmm(&b),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                let da = g.bmm(&bc.permute(&[0, 2, 1]));
+                let db = ac.permute(&[0, 2, 1]).bmm(g);
+                vec![da, db]
+            }),
+        )
     }
 
     // ------------------------------------------------------- shape plumbing
@@ -406,7 +483,7 @@ impl Var {
     pub fn reshape(&self, shape: &[usize]) -> Var {
         let old = self.shape();
         let v = self.to_tensor().reshape(shape);
-        Var::from_op(v, vec![self.clone()], Box::new(move |g| vec![g.reshape(&old)]))
+        Var::from_op("reshape", v, vec![self.clone()], Box::new(move |g| vec![g.reshape(&old)]))
     }
 
     /// Permutes axes.
@@ -420,7 +497,7 @@ impl Var {
             inverse[a] = i;
         }
         let v = self.to_tensor().permute(axes);
-        Var::from_op(v, vec![self.clone()], Box::new(move |g| vec![g.permute(&inverse)]))
+        Var::from_op("permute", v, vec![self.clone()], Box::new(move |g| vec![g.permute(&inverse)]))
     }
 
     /// Selects a contiguous range along an axis.
@@ -431,20 +508,26 @@ impl Var {
     pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Var {
         let full = self.shape();
         let v = self.to_tensor().narrow(axis, start, len);
-        Var::from_op(v, vec![self.clone()], Box::new(move |g| {
-            // Scatter the slice gradient back into a zero tensor.
-            let mut out = Tensor::zeros(&full);
-            let outer: usize = full[..axis].iter().product();
-            let inner: usize = full[axis + 1..].iter().product();
-            let dst = out.as_mut_slice();
-            let src = g.as_slice();
-            for o in 0..outer {
-                let dbase = o * full[axis] * inner + start * inner;
-                let sbase = o * len * inner;
-                dst[dbase..dbase + len * inner].copy_from_slice(&src[sbase..sbase + len * inner]);
-            }
-            vec![out]
-        }))
+        Var::from_op(
+            "narrow",
+            v,
+            vec![self.clone()],
+            Box::new(move |g| {
+                // Scatter the slice gradient back into a zero tensor.
+                let mut out = Tensor::zeros(&full);
+                let outer: usize = full[..axis].iter().product();
+                let inner: usize = full[axis + 1..].iter().product();
+                let dst = out.as_mut_slice();
+                let src = g.as_slice();
+                for o in 0..outer {
+                    let dbase = o * full[axis] * inner + start * inner;
+                    let sbase = o * len * inner;
+                    dst[dbase..dbase + len * inner]
+                        .copy_from_slice(&src[sbase..sbase + len * inner]);
+                }
+                vec![out]
+            }),
+        )
     }
 
     /// Concatenates along an axis.
@@ -459,15 +542,20 @@ impl Var {
         let out = Tensor::concat(&refs, axis);
         let lens: Vec<usize> = tensors.iter().map(|t| t.shape()[axis]).collect();
         let parents: Vec<Var> = vars.iter().map(|&v| v.clone()).collect();
-        Var::from_op(out, parents, Box::new(move |g| {
-            let mut grads = Vec::with_capacity(lens.len());
-            let mut start = 0;
-            for &len in &lens {
-                grads.push(g.narrow(axis, start, len));
-                start += len;
-            }
-            grads
-        }))
+        Var::from_op(
+            "concat",
+            out,
+            parents,
+            Box::new(move |g| {
+                let mut grads = Vec::with_capacity(lens.len());
+                let mut start = 0;
+                for &len in &lens {
+                    grads.push(g.narrow(axis, start, len));
+                    start += len;
+                }
+                grads
+            }),
+        )
     }
 
     /// Selects rows along axis 0 (embedding lookup); gradient scatter-adds.
@@ -479,18 +567,23 @@ impl Var {
         let full = self.shape();
         let idx = indices.to_vec();
         let v = self.to_tensor().index_select(0, indices);
-        Var::from_op(v, vec![self.clone()], Box::new(move |g| {
-            let mut out = Tensor::zeros(&full);
-            let row: usize = full[1..].iter().product();
-            let dst = out.as_mut_slice();
-            let src = g.as_slice();
-            for (k, &i) in idx.iter().enumerate() {
-                for j in 0..row {
-                    dst[i * row + j] += src[k * row + j];
+        Var::from_op(
+            "index_select0",
+            v,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut out = Tensor::zeros(&full);
+                let row: usize = full[1..].iter().product();
+                let dst = out.as_mut_slice();
+                let src = g.as_slice();
+                for (k, &i) in idx.iter().enumerate() {
+                    for j in 0..row {
+                        dst[i * row + j] += src[k * row + j];
+                    }
                 }
-            }
-            vec![out]
-        }))
+                vec![out]
+            }),
+        )
     }
 
     // ---------------------------------------------------------- reductions
@@ -499,9 +592,12 @@ impl Var {
     pub fn sum(&self) -> Var {
         let shape = self.shape();
         let v = Tensor::scalar(self.value().sum());
-        Var::from_op(v, vec![self.clone()], Box::new(move |g| {
-            vec![Tensor::full(&shape, g.item())]
-        }))
+        Var::from_op(
+            "sum",
+            v,
+            vec![self.clone()],
+            Box::new(move |g| vec![Tensor::full(&shape, g.item())]),
+        )
     }
 
     /// Mean of all elements (rank-0 result).
@@ -520,9 +616,12 @@ impl Var {
         let mut kept = full.clone();
         kept[axis] = 1;
         let v = self.to_tensor().sum_axis(axis).reshape(&kept);
-        Var::from_op(v, vec![self.clone()], Box::new(move |g| {
-            vec![g.broadcast_to(&full)]
-        }))
+        Var::from_op(
+            "sum_axis_keepdim",
+            v,
+            vec![self.clone()],
+            Box::new(move |g| vec![g.broadcast_to(&full)]),
+        )
     }
 
     /// Mean along an axis, keeping it with size 1.
@@ -536,23 +635,32 @@ impl Var {
     }
 
     /// Numerically stable softmax along the last axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a rank-0 tensor.
     pub fn softmax_last_axis(&self) -> Var {
         let out = self.to_tensor().softmax_last_axis();
         let out_c = out.clone();
         let last = *out.shape().last().expect("softmax needs rank >= 1");
-        Var::from_op(out, vec![self.clone()], Box::new(move |g| {
-            // dx = s ⊙ (g − Σ(g ⊙ s)) per row
-            let mut dx = g.mul(&out_c);
-            let sums: Vec<f32> = dx.as_slice().chunks(last).map(|r| r.iter().sum()).collect();
-            let data = dx.as_mut_slice();
-            for (row_idx, row) in data.chunks_mut(last).enumerate() {
-                for v in row.iter_mut() {
-                    *v = -sums[row_idx];
+        Var::from_op(
+            "softmax_last_axis",
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                // dx = s ⊙ (g − Σ(g ⊙ s)) per row
+                let mut dx = g.mul(&out_c);
+                let sums: Vec<f32> = dx.as_slice().chunks(last).map(|r| r.iter().sum()).collect();
+                let data = dx.as_mut_slice();
+                for (row_idx, row) in data.chunks_mut(last).enumerate() {
+                    for v in row.iter_mut() {
+                        *v = -sums[row_idx];
+                    }
                 }
-            }
-            let centered = g.add(&dx);
-            vec![centered.mul(&out_c)]
-        }))
+                let centered = g.add(&dx);
+                vec![centered.mul(&out_c)]
+            }),
+        )
     }
 
     // -------------------------------------------------------- convolutions
@@ -573,40 +681,45 @@ impl Var {
         if let Some(bv) = bias {
             parents.push(bv.clone());
         }
-        Var::from_op(out, parents, Box::new(move |g| {
-            let (cout, cin, kh, kw) =
-                (wc.shape()[0], wc.shape()[1], wc.shape()[2], wc.shape()[3]);
-            let n = xc.shape()[0];
-            let (oh, ow) = (g.shape()[2], g.shape()[3]);
-            // dX = adjoint conv, computed via col2im with the *known* input
-            // geometry (conv_transpose2d would infer an ambiguous size when
-            // stride does not divide the padded input exactly).
-            let wmat_t = wc.reshape(&[cout, cin * kh * kw]).transpose();
-            let mut dcols = Tensor::zeros(&[n, cin * kh * kw, oh * ow]);
-            for bi in 0..n {
-                let g_b = g.narrow(0, bi, 1).reshape(&[cout, oh * ow]);
-                let d_b = wmat_t.matmul(&g_b);
-                let len = cin * kh * kw * oh * ow;
-                dcols.as_mut_slice()[bi * len..(bi + 1) * len].copy_from_slice(d_b.as_slice());
-            }
-            let dx = dcols.col2im(xc.shape(), kh, kw, stride, pad);
-            // dW: accumulate g_b [cout, oh*ow] @ cols_b^T [oh*ow, cin*kh*kw].
-            let cols = xc.im2col(kh, kw, stride, pad);
-            let mut dw = Tensor::zeros(&[cout, cin * kh * kw]);
-            for bi in 0..n {
-                let g_b = g.narrow(0, bi, 1).reshape(&[cout, oh * ow]);
-                let col_b = cols.narrow(0, bi, 1).reshape(&[cin * kh * kw, oh * ow]);
-                dw = dw.add(&g_b.matmul(&col_b.transpose()));
-            }
-            let dw = dw.reshape(&[cout, cin, kh, kw]);
-            let mut grads = vec![dx, dw];
-            if has_bias {
-                // db = sum over batch and spatial dims.
-                let db = g.sum_axis(3).sum_axis(2).sum_axis(0);
-                grads.push(db);
-            }
-            grads
-        }))
+        Var::from_op(
+            "conv2d",
+            out,
+            parents,
+            Box::new(move |g| {
+                let (cout, cin, kh, kw) =
+                    (wc.shape()[0], wc.shape()[1], wc.shape()[2], wc.shape()[3]);
+                let n = xc.shape()[0];
+                let (oh, ow) = (g.shape()[2], g.shape()[3]);
+                // dX = adjoint conv, computed via col2im with the *known* input
+                // geometry (conv_transpose2d would infer an ambiguous size when
+                // stride does not divide the padded input exactly).
+                let wmat_t = wc.reshape(&[cout, cin * kh * kw]).transpose();
+                let mut dcols = Tensor::zeros(&[n, cin * kh * kw, oh * ow]);
+                for bi in 0..n {
+                    let g_b = g.narrow(0, bi, 1).reshape(&[cout, oh * ow]);
+                    let d_b = wmat_t.matmul(&g_b);
+                    let len = cin * kh * kw * oh * ow;
+                    dcols.as_mut_slice()[bi * len..(bi + 1) * len].copy_from_slice(d_b.as_slice());
+                }
+                let dx = dcols.col2im(xc.shape(), kh, kw, stride, pad);
+                // dW: accumulate g_b [cout, oh*ow] @ cols_b^T [oh*ow, cin*kh*kw].
+                let cols = xc.im2col(kh, kw, stride, pad);
+                let mut dw = Tensor::zeros(&[cout, cin * kh * kw]);
+                for bi in 0..n {
+                    let g_b = g.narrow(0, bi, 1).reshape(&[cout, oh * ow]);
+                    let col_b = cols.narrow(0, bi, 1).reshape(&[cin * kh * kw, oh * ow]);
+                    dw = dw.add(&g_b.matmul(&col_b.transpose()));
+                }
+                let dw = dw.reshape(&[cout, cin, kh, kw]);
+                let mut grads = vec![dx, dw];
+                if has_bias {
+                    // db = sum over batch and spatial dims.
+                    let db = g.sum_axis(3).sum_axis(2).sum_axis(0);
+                    grads.push(db);
+                }
+                grads
+            }),
+        )
     }
 
     /// Transposed 2-D convolution; see [`Tensor::conv_transpose2d`].
@@ -631,30 +744,35 @@ impl Var {
         if let Some(bv) = bias {
             parents.push(bv.clone());
         }
-        Var::from_op(out, parents, Box::new(move |g| {
-            let (cin, cout, kh, kw) =
-                (wc.shape()[0], wc.shape()[1], wc.shape()[2], wc.shape()[3]);
-            let n = xc.shape()[0];
-            let (h, w_sp) = (xc.shape()[2], xc.shape()[3]);
-            // conv_transpose is the adjoint of conv2d with the same buffer,
-            // so its input gradient is the forward conv2d.
-            let dx = g.conv2d(&wc, None, stride, pad);
-            // dW: out = col2im(W_mat^T x) ⇒ dW_mat = Σ_b x_b @ im2col(g)_b^T.
-            let gcols = g.im2col(kh, kw, stride, pad); // [n, cout*kh*kw, h*w]
-            let mut dw = Tensor::zeros(&[cin, cout * kh * kw]);
-            for bi in 0..n {
-                let x_b = xc.narrow(0, bi, 1).reshape(&[cin, h * w_sp]);
-                let gc_b = gcols.narrow(0, bi, 1).reshape(&[cout * kh * kw, h * w_sp]);
-                dw = dw.add(&x_b.matmul(&gc_b.transpose()));
-            }
-            let dw = dw.reshape(&[cin, cout, kh, kw]);
-            let mut grads = vec![dx, dw];
-            if has_bias {
-                let db = g.sum_axis(3).sum_axis(2).sum_axis(0);
-                grads.push(db);
-            }
-            grads
-        }))
+        Var::from_op(
+            "conv_transpose2d",
+            out,
+            parents,
+            Box::new(move |g| {
+                let (cin, cout, kh, kw) =
+                    (wc.shape()[0], wc.shape()[1], wc.shape()[2], wc.shape()[3]);
+                let n = xc.shape()[0];
+                let (h, w_sp) = (xc.shape()[2], xc.shape()[3]);
+                // conv_transpose is the adjoint of conv2d with the same buffer,
+                // so its input gradient is the forward conv2d.
+                let dx = g.conv2d(&wc, None, stride, pad);
+                // dW: out = col2im(W_mat^T x) ⇒ dW_mat = Σ_b x_b @ im2col(g)_b^T.
+                let gcols = g.im2col(kh, kw, stride, pad); // [n, cout*kh*kw, h*w]
+                let mut dw = Tensor::zeros(&[cin, cout * kh * kw]);
+                for bi in 0..n {
+                    let x_b = xc.narrow(0, bi, 1).reshape(&[cin, h * w_sp]);
+                    let gc_b = gcols.narrow(0, bi, 1).reshape(&[cout * kh * kw, h * w_sp]);
+                    dw = dw.add(&x_b.matmul(&gc_b.transpose()));
+                }
+                let dw = dw.reshape(&[cin, cout, kh, kw]);
+                let mut grads = vec![dx, dw];
+                if has_bias {
+                    let db = g.sum_axis(3).sum_axis(2).sum_axis(0);
+                    grads.push(db);
+                }
+                grads
+            }),
+        )
     }
 
     /// Average pooling with square window `k`, stride `k`.
@@ -666,29 +784,35 @@ impl Var {
         let x = self.to_tensor();
         let in_shape = x.shape().to_vec();
         let out = x.avg_pool2d(k);
-        Var::from_op(out, vec![self.clone()], Box::new(move |g| {
-            let (n, c, oh, ow) = (g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]);
-            let mut dx = Tensor::zeros(&in_shape);
-            let (h, w) = (in_shape[2], in_shape[3]);
-            let inv = 1.0 / (k * k) as f32;
-            let src = g.as_slice();
-            let dst = dx.as_mut_slice();
-            for b in 0..n {
-                for ch in 0..c {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let gv = src[((b * c + ch) * oh + oy) * ow + ox] * inv;
-                            for ky in 0..k {
-                                for kx in 0..k {
-                                    dst[((b * c + ch) * h + oy * k + ky) * w + ox * k + kx] += gv;
+        Var::from_op(
+            "avg_pool2d",
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let (n, c, oh, ow) = (g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]);
+                let mut dx = Tensor::zeros(&in_shape);
+                let (h, w) = (in_shape[2], in_shape[3]);
+                let inv = 1.0 / (k * k) as f32;
+                let src = g.as_slice();
+                let dst = dx.as_mut_slice();
+                for b in 0..n {
+                    for ch in 0..c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let gv = src[((b * c + ch) * oh + oy) * ow + ox] * inv;
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        dst[((b * c + ch) * h + oy * k + ky) * w + ox * k + kx] +=
+                                            gv;
+                                    }
                                 }
                             }
                         }
                     }
                 }
-            }
-            vec![dx]
-        }))
+                vec![dx]
+            }),
+        )
     }
 
     /// Nearest-neighbour 2× upsampling.
@@ -698,10 +822,15 @@ impl Var {
     /// Panics unless the tensor is rank-4.
     pub fn upsample_nearest2x(&self) -> Var {
         let out = self.to_tensor().upsample_nearest2x();
-        Var::from_op(out, vec![self.clone()], Box::new(move |g| {
-            // Gradient of nearest-2x is the sum over each 2×2 cell.
-            vec![g.avg_pool2d(2).mul_scalar(4.0)]
-        }))
+        Var::from_op(
+            "upsample_nearest2x",
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                // Gradient of nearest-2x is the sum over each 2×2 cell.
+                vec![g.avg_pool2d(2).mul_scalar(4.0)]
+            }),
+        )
     }
 
     // ------------------------------------------------------------- losses
@@ -907,10 +1036,7 @@ mod tests {
         };
         let x = Var::parameter(x0.clone());
         let w = Var::parameter(w0.clone());
-        x.conv_transpose2d(&w, None, 2, 0)
-            .mul(&Var::constant(proj.clone()))
-            .sum()
-            .backward();
+        x.conv_transpose2d(&w, None, 2, 0).mul(&Var::constant(proj.clone())).sum().backward();
         let eps = 1e-2;
         for i in [0usize, 5, 17] {
             let mut p = x0.clone();
@@ -932,7 +1058,8 @@ mod tests {
 
     #[test]
     fn pooling_and_upsample_grads() {
-        let x = Var::parameter(Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]));
+        let x =
+            Var::parameter(Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]));
         x.avg_pool2d(2).sum().backward();
         assert!(x.grad().unwrap().as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
 
@@ -988,7 +1115,10 @@ mod tests {
     #[test]
     fn sum_axis_keepdim_grad_broadcasts() {
         let x = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
-        x.sum_axis_keepdim(1).mul(&Var::constant(Tensor::from_vec(vec![10.0, 20.0], &[2, 1]))).sum().backward();
+        x.sum_axis_keepdim(1)
+            .mul(&Var::constant(Tensor::from_vec(vec![10.0, 20.0], &[2, 1])))
+            .sum()
+            .backward();
         assert_eq!(x.grad().unwrap().as_slice(), &[10.0, 10.0, 20.0, 20.0]);
     }
 

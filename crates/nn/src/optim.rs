@@ -42,17 +42,7 @@ impl Adam {
     pub fn new(params: Vec<Var>, lr: f32) -> Self {
         let m = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
         let v = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
-        Adam {
-            params,
-            lr,
-            beta1: 0.9,
-            beta2: 0.999,
-            eps: 1e-8,
-            weight_decay: 0.0,
-            step: 0,
-            m,
-            v,
-        }
+        Adam { params, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, step: 0, m, v }
     }
 
     /// Sets decoupled weight decay (the paper uses `1e-5`).
@@ -90,11 +80,8 @@ impl Adam {
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             let (b1, b2) = (self.beta1, self.beta2);
-            for ((mv, vv), g) in m
-                .as_mut_slice()
-                .iter_mut()
-                .zip(v.as_mut_slice().iter_mut())
-                .zip(grad.as_slice())
+            for ((mv, vv), g) in
+                m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(grad.as_slice())
             {
                 *mv = b1 * *mv + (1.0 - b1) * g;
                 *vv = b2 * *vv + (1.0 - b2) * g * g;
@@ -103,11 +90,7 @@ impl Adam {
             let lr = self.lr;
             let eps = self.eps;
             let wd = self.weight_decay;
-            for ((x, mv), vv) in value
-                .as_mut_slice()
-                .iter_mut()
-                .zip(m.as_slice())
-                .zip(v.as_slice())
+            for ((x, mv), vv) in value.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
             {
                 let mhat = mv / bc1;
                 let vhat = vv / bc2;

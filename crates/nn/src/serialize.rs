@@ -208,9 +208,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("weights.aero");
         let p = Var::parameter(Tensor::from_vec(vec![1.5, -2.5], &[2]));
-        save_params(&[p.clone()], &path).unwrap();
+        save_params(std::slice::from_ref(&p), &path).unwrap();
         let q = Var::parameter(Tensor::zeros(&[2]));
-        load_params(&[q.clone()], &path).unwrap();
+        load_params(std::slice::from_ref(&q), &path).unwrap();
         assert_eq!(*p.value(), *q.value());
         let _ = std::fs::remove_file(path);
     }

@@ -79,9 +79,9 @@ proptest! {
         use aero_nn::serialize::{decode_tensors, encode_params, load_into_params};
         let mut rng = StdRng::seed_from_u64(seed);
         let p = Var::parameter(Tensor::randn(&dims, &mut rng));
-        let blob = encode_params(&[p.clone()]);
+        let blob = encode_params(std::slice::from_ref(&p));
         let q = Var::parameter(Tensor::zeros(&dims));
-        load_into_params(&[q.clone()], decode_tensors(&blob).unwrap()).unwrap();
+        load_into_params(std::slice::from_ref(&q), decode_tensors(&blob).unwrap()).unwrap();
         prop_assert_eq!(p.to_tensor(), q.to_tensor());
     }
 }

@@ -86,10 +86,15 @@ impl Default for DatasetConfig {
 /// Builds the synthetic aerial dataset, parallelizing rendering across
 /// threads (each scene is generated from an independent per-index seed so
 /// the result is deterministic regardless of thread count).
+///
+/// # Panics
+///
+/// Panics if a rendering worker thread panics.
 pub fn build_dataset(config: &DatasetConfig) -> AerialDataset {
     let generator = SceneGenerator::new(config.generator);
     let rasterizer = Rasterizer::new(config.image_size, config.image_size);
-    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let n_threads =
+        std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(4).min(8);
     let chunk = config.n_scenes.div_ceil(n_threads.max(1)).max(1);
     let mut items: Vec<Option<DatasetItem>> = vec![None; config.n_scenes];
     crossbeam::thread::scope(|scope| {
@@ -101,8 +106,9 @@ pub fn build_dataset(config: &DatasetConfig) -> AerialDataset {
             scope.spawn(move |_| {
                 for (k, slot) in slot_chunk.iter_mut().enumerate() {
                     let idx = base + k;
-                    let mut rng =
-                        StdRng::seed_from_u64(seed.wrapping_add(0x51ED_2701).wrapping_add(idx as u64 * 0x9E37));
+                    let mut rng = StdRng::seed_from_u64(
+                        seed.wrapping_add(0x51ED_2701).wrapping_add(idx as u64 * 0x9E37),
+                    );
                     let spec = generator.generate(&mut rng);
                     let rendered = rasterizer.render(&spec);
                     *slot = Some(DatasetItem { spec, rendered });
@@ -180,7 +186,8 @@ mod tests {
 
     #[test]
     fn build_dataset_deterministic_and_sized() {
-        let cfg = DatasetConfig { n_scenes: 8, image_size: 16, seed: 3, ..DatasetConfig::default() };
+        let cfg =
+            DatasetConfig { n_scenes: 8, image_size: 16, seed: 3, ..DatasetConfig::default() };
         let a = build_dataset(&cfg);
         let b = build_dataset(&cfg);
         assert_eq!(a.len(), 8);
@@ -190,7 +197,8 @@ mod tests {
 
     #[test]
     fn split_partitions() {
-        let cfg = DatasetConfig { n_scenes: 10, image_size: 8, seed: 1, ..DatasetConfig::default() };
+        let cfg =
+            DatasetConfig { n_scenes: 10, image_size: 8, seed: 1, ..DatasetConfig::default() };
         let ds = build_dataset(&cfg);
         let (train, eval) = ds.split(0.7);
         assert_eq!(train.len(), 7);

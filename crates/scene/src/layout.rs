@@ -201,7 +201,11 @@ impl SceneGenerator {
         let (x0, y0, x1, y1) = region;
         for _ in 0..n {
             objects.push(SceneObject {
-                class: if rng.gen_bool(0.85) { ObjectClass::Pedestrian } else { ObjectClass::Bicycle },
+                class: if rng.gen_bool(0.85) {
+                    ObjectClass::Pedestrian
+                } else {
+                    ObjectClass::Bicycle
+                },
                 x: rng.gen_range(x0..x1),
                 y: rng.gen_range(y0..y1),
                 heading: rng.gen_range(0.0..std::f32::consts::TAU),
@@ -243,7 +247,12 @@ impl SceneGenerator {
         for _ in 0..vehicles {
             objects.push(Self::place_on_road(&road, Self::vehicle_mix(rng), rng));
         }
-        Self::scatter_pedestrians(&mut objects, n - vehicles, (0.05, 0.02, 0.95, (y - 0.12).max(0.05)), rng);
+        Self::scatter_pedestrians(
+            &mut objects,
+            n - vehicles,
+            (0.05, 0.02, 0.95, (y - 0.12).max(0.05)),
+            rng,
+        );
         (layout, objects)
     }
 
@@ -300,7 +309,12 @@ impl SceneGenerator {
         let n = self.target_count(rng);
         let mut objects = Vec::with_capacity(n);
         let peds = (n as f32 * 0.7) as usize;
-        Self::scatter_pedestrians(&mut objects, peds, ((x - 0.07).max(0.02), 0.02, (x + 0.07).min(0.98), 0.98), rng);
+        Self::scatter_pedestrians(
+            &mut objects,
+            peds,
+            ((x - 0.07).max(0.02), 0.02, (x + 0.07).min(0.98), 0.98),
+            rng,
+        );
         for _ in 0..(n - peds) {
             let class = if rng.gen_bool(0.5) { ObjectClass::Van } else { Self::vehicle_mix(rng) };
             objects.push(Self::place_on_road(&street, class, rng));

@@ -41,4 +41,6 @@ pub use dataset::{
 };
 pub use layout::{Layout, RoadSegment, SceneGenerator, SceneGeneratorConfig};
 pub use raster::{Image, Rasterizer};
-pub use types::{Annotation, BBox, ObjectClass, SceneKind, SceneObject, SceneSpec, TimeOfDay, Viewpoint};
+pub use types::{
+    Annotation, BBox, ObjectClass, SceneKind, SceneObject, SceneSpec, TimeOfDay, Viewpoint,
+};

@@ -80,7 +80,9 @@ impl Image {
         let plane = self.width * self.height;
         let mut acc = 0.0;
         for i in 0..plane {
-            acc += 0.299 * self.data[i] + 0.587 * self.data[plane + i] + 0.114 * self.data[2 * plane + i];
+            acc += 0.299 * self.data[i]
+                + 0.587 * self.data[plane + i]
+                + 0.114 * self.data[2 * plane + i];
         }
         acc / plane as f32
     }

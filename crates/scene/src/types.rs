@@ -34,9 +34,10 @@ impl ObjectClass {
         ObjectClass::Motor,
     ];
 
-    /// The stable integer id of this class.
+    /// The stable integer id of this class (infallible: `ALL` lists
+    /// every variant).
     pub fn id(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class in ALL")
+        Self::ALL.iter().position(|&c| c == self).unwrap_or(0)
     }
 
     /// Class from its stable id.

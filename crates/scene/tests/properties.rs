@@ -1,8 +1,6 @@
 //! Property-based tests for the scene substrate.
 
-use aero_scene::{
-    BBox, Rasterizer, SceneGenerator, SceneGeneratorConfig, TimeOfDay, Viewpoint,
-};
+use aero_scene::{BBox, Rasterizer, SceneGenerator, SceneGeneratorConfig, TimeOfDay, Viewpoint};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

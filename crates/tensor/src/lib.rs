@@ -25,11 +25,16 @@ mod error;
 mod linalg;
 mod ops;
 mod shape;
+pub mod sym;
 mod tensor;
 
 pub use error::TensorError;
 pub use linalg::{cholesky, covariance, matrix_sqrt_psd, symmetric_eigen, trace};
-pub use shape::{broadcast_shapes, strides_for};
+pub use shape::{
+    bmm_shape, broadcast_shapes, concat_shape, conv2d_shape, conv_out_dim, conv_transpose2d_shape,
+    matmul_shape, narrow_shape, permute_shape, pool2d_shape, reshape_check, strides_for,
+    upsample2x_shape,
+};
 pub use tensor::Tensor;
 
 /// Convenience result alias for fallible tensor operations.

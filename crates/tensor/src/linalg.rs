@@ -58,10 +58,7 @@ pub fn symmetric_eigen(a: &Tensor) -> Result<SymmetricEigen, TensorError> {
         // 1e-6 of the matrix scale; demanding more never converges.
         if off.sqrt() < 1e-5 * (1.0 + frobenius(&m)) {
             let eigenvalues = (0..n).map(|i| m[i * n + i]).collect();
-            return Ok(SymmetricEigen {
-                eigenvalues,
-                eigenvectors: Tensor::from_vec(v, &[n, n]),
-            });
+            return Ok(SymmetricEigen { eigenvalues, eigenvectors: Tensor::from_vec(v, &[n, n]) });
         }
         for p in 0..n {
             for q in (p + 1)..n {

@@ -4,6 +4,7 @@
 //! matrix and the convolution reduces to one matmul, which keeps the inner
 //! loop cache-friendly without unsafe code.
 
+use crate::shape::{bmm_shape, conv2d_shape, conv_transpose2d_shape, matmul_shape, pool2d_shape};
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -13,11 +14,10 @@ impl Tensor {
     ///
     /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
-        assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
-        let (m, k) = (self.shape()[0], self.shape()[1]);
-        let (k2, n) = (other.shape()[0], other.shape()[1]);
-        assert_eq!(k, k2, "matmul inner dimensions {k} vs {k2} differ");
+        let out_shape =
+            matmul_shape(self.shape(), other.shape()).unwrap_or_else(|e| panic!("matmul: {e}"));
+        let (m, n) = (out_shape[0], out_shape[1]);
+        let k = self.shape()[1];
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -44,12 +44,10 @@ impl Tensor {
     ///
     /// Panics on rank or batch/inner dimension mismatch.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 3, "bmm lhs must be rank-3");
-        assert_eq!(other.rank(), 3, "bmm rhs must be rank-3");
-        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
-        assert_eq!(other.shape()[0], b, "bmm batch mismatch");
-        assert_eq!(other.shape()[1], k, "bmm inner dimension mismatch");
-        let n = other.shape()[2];
+        let out_shape =
+            bmm_shape(self.shape(), other.shape()).unwrap_or_else(|e| panic!("bmm: {e}"));
+        let (b, m, n) = (out_shape[0], out_shape[1], out_shape[2]);
+        let k = self.shape()[2];
         let mut out = Tensor::zeros(&[b, m, n]);
         for i in 0..b {
             let lhs = self.narrow(0, i, 1).reshape(&[m, k]);
@@ -70,8 +68,10 @@ impl Tensor {
     pub fn im2col(&self, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
         assert_eq!(self.rank(), 4, "im2col requires [n, c, h, w]");
         let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
-        let oh = (h + 2 * pad).checked_sub(kh).expect("kernel taller than padded input") / stride + 1;
-        let ow = (w + 2 * pad).checked_sub(kw).expect("kernel wider than padded input") / stride + 1;
+        let oh = crate::shape::conv_out_dim(h, kh, stride, pad)
+            .unwrap_or_else(|e| panic!("im2col: {e}"));
+        let ow = crate::shape::conv_out_dim(w, kw, stride, pad)
+            .unwrap_or_else(|e| panic!("im2col: {e}"));
         let src = self.as_slice();
         let mut out = vec![0.0f32; n * c * kh * kw * oh * ow];
         let col_stride = oh * ow;
@@ -79,7 +79,8 @@ impl Tensor {
             for ch in 0..c {
                 for ky in 0..kh {
                     for kx in 0..kw {
-                        let row = ((ch * kh + ky) * kw + kx) * col_stride + b * c * kh * kw * col_stride;
+                        let row =
+                            ((ch * kh + ky) * kw + kx) * col_stride + b * c * kh * kw * col_stride;
                         for oy in 0..oh {
                             let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
@@ -130,7 +131,8 @@ impl Tensor {
             for ch in 0..c {
                 for ky in 0..kh {
                     for kx in 0..kw {
-                        let row = ((ch * kh + ky) * kw + kx) * col_stride + b * c * kh * kw * col_stride;
+                        let row =
+                            ((ch * kh + ky) * kw + kx) * col_stride + b * c * kh * kw * col_stride;
                         for oy in 0..oh {
                             let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
@@ -157,15 +159,18 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics on rank or channel mismatches.
-    pub fn conv2d(&self, weight: &Tensor, bias: Option<&Tensor>, stride: usize, pad: usize) -> Tensor {
-        assert_eq!(self.rank(), 4, "conv2d input must be [n, cin, h, w]");
-        assert_eq!(weight.rank(), 4, "conv2d weight must be [cout, cin, kh, kw]");
-        let (n, cin, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
-        let (cout, wcin, kh, kw) =
-            (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
-        assert_eq!(cin, wcin, "conv2d channel mismatch");
-        let oh = (h + 2 * pad - kh) / stride + 1;
-        let ow = (w + 2 * pad - kw) / stride + 1;
+    pub fn conv2d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let out_shape = conv2d_shape(self.shape(), weight.shape(), stride, pad)
+            .unwrap_or_else(|e| panic!("conv2d: {e}"));
+        let (n, cin) = (self.shape()[0], self.shape()[1]);
+        let (cout, kh, kw) = (weight.shape()[0], weight.shape()[2], weight.shape()[3]);
+        let (oh, ow) = (out_shape[2], out_shape[3]);
         let cols = self.im2col(kh, kw, stride, pad);
         let wmat = weight.reshape(&[cout, cin * kh * kw]);
         let mut out = Tensor::zeros(&[n, cout, oh, ow]);
@@ -207,14 +212,11 @@ impl Tensor {
         stride: usize,
         pad: usize,
     ) -> Tensor {
-        assert_eq!(self.rank(), 4, "conv_transpose2d input must be [n, cin, h, w]");
-        assert_eq!(weight.rank(), 4, "conv_transpose2d weight must be [cin, cout, kh, kw]");
+        let out_shape = conv_transpose2d_shape(self.shape(), weight.shape(), stride, pad)
+            .unwrap_or_else(|e| panic!("conv_transpose2d: {e}"));
         let (n, cin, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
-        let (wcin, cout, kh, kw) =
-            (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
-        assert_eq!(cin, wcin, "conv_transpose2d channel mismatch");
-        let oh = (h - 1) * stride + kh - 2 * pad;
-        let ow = (w - 1) * stride + kw - 2 * pad;
+        let (cout, kh, kw) = (weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+        let (oh, ow) = (out_shape[2], out_shape[3]);
         // cols[b] = W^T @ x[b]  with W viewed as [cin, cout*kh*kw]
         let wmat = weight.reshape(&[cin, cout * kh * kw]).transpose(); // [cout*kh*kw, cin]
         let mut cols = Tensor::zeros(&[n, cout * kh * kw, h * w]);
@@ -248,10 +250,9 @@ impl Tensor {
     ///
     /// Panics unless the tensor is rank-4 and `h`, `w` divide by `k`.
     pub fn avg_pool2d(&self, k: usize) -> Tensor {
-        assert_eq!(self.rank(), 4, "avg_pool2d requires [n, c, h, w]");
+        let out_shape = pool2d_shape(self.shape(), k).unwrap_or_else(|e| panic!("avg_pool2d: {e}"));
         let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
-        assert!(h % k == 0 && w % k == 0, "pooling window must divide spatial dims");
-        let (oh, ow) = (h / k, w / k);
+        let (oh, ow) = (out_shape[2], out_shape[3]);
         let src = self.as_slice();
         let mut out = vec![0.0f32; n * c * oh * ow];
         let inv = 1.0 / (k * k) as f32;
@@ -279,10 +280,9 @@ impl Tensor {
     ///
     /// Panics unless the tensor is rank-4 and `h`, `w` divide by `k`.
     pub fn max_pool2d(&self, k: usize) -> Tensor {
-        assert_eq!(self.rank(), 4, "max_pool2d requires [n, c, h, w]");
+        let out_shape = pool2d_shape(self.shape(), k).unwrap_or_else(|e| panic!("max_pool2d: {e}"));
         let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
-        assert!(h % k == 0 && w % k == 0, "pooling window must divide spatial dims");
-        let (oh, ow) = (h / k, w / k);
+        let (oh, ow) = (out_shape[2], out_shape[3]);
         let src = self.as_slice();
         let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
         for b in 0..n {

@@ -58,6 +58,260 @@ pub(crate) fn numel(shape: &[usize]) -> usize {
     shape.iter().product()
 }
 
+fn dim_err(detail: String) -> TensorError {
+    TensorError::DimensionMismatch { detail }
+}
+
+/// Output shape of a rank-2 matrix product `[m, k] x [k, n] -> [m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on wrong rank or inner-dimension
+/// conflict.
+pub fn matmul_shape(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, TensorError> {
+    if lhs.len() != 2 || rhs.len() != 2 {
+        return Err(dim_err(format!("matmul requires rank-2 operands, got {lhs:?} x {rhs:?}")));
+    }
+    if lhs[1] != rhs[0] {
+        return Err(dim_err(format!("matmul inner dimensions differ: {lhs:?} x {rhs:?}")));
+    }
+    Ok(vec![lhs[0], rhs[1]])
+}
+
+/// Output shape of a batched matrix product `[b, m, k] x [b, k, n] -> [b, m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on wrong rank, batch conflict,
+/// or inner-dimension conflict.
+pub fn bmm_shape(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, TensorError> {
+    if lhs.len() != 3 || rhs.len() != 3 {
+        return Err(dim_err(format!("bmm requires rank-3 operands, got {lhs:?} x {rhs:?}")));
+    }
+    if lhs[0] != rhs[0] {
+        return Err(dim_err(format!("bmm batch dimensions differ: {lhs:?} x {rhs:?}")));
+    }
+    if lhs[2] != rhs[1] {
+        return Err(dim_err(format!("bmm inner dimensions differ: {lhs:?} x {rhs:?}")));
+    }
+    Ok(vec![lhs[0], lhs[1], rhs[2]])
+}
+
+/// Output spatial extent of one convolution axis: `(d + 2*pad - k) / stride + 1`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when the kernel exceeds the
+/// padded input or `stride` is zero.
+pub fn conv_out_dim(d: usize, k: usize, stride: usize, pad: usize) -> Result<usize, TensorError> {
+    if stride == 0 {
+        return Err(dim_err("convolution stride must be nonzero".to_string()));
+    }
+    let padded = d + 2 * pad;
+    if k == 0 || k > padded {
+        return Err(dim_err(format!(
+            "kernel extent {k} does not fit padded input extent {padded}"
+        )));
+    }
+    Ok((padded - k) / stride + 1)
+}
+
+/// Output shape of `conv2d`: input `[n, cin, h, w]`, weight `[cout, cin, kh, kw]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on rank or channel conflicts,
+/// or when the kernel does not fit the padded input.
+pub fn conv2d_shape(
+    input: &[usize],
+    weight: &[usize],
+    stride: usize,
+    pad: usize,
+) -> Result<Vec<usize>, TensorError> {
+    if input.len() != 4 {
+        return Err(dim_err(format!("conv2d input must be [n, cin, h, w], got {input:?}")));
+    }
+    if weight.len() != 4 {
+        return Err(dim_err(format!("conv2d weight must be [cout, cin, kh, kw], got {weight:?}")));
+    }
+    if input[1] != weight[1] {
+        return Err(dim_err(format!(
+            "conv2d channel mismatch: input has {} channels, weight expects {}",
+            input[1], weight[1]
+        )));
+    }
+    let oh = conv_out_dim(input[2], weight[2], stride, pad)?;
+    let ow = conv_out_dim(input[3], weight[3], stride, pad)?;
+    Ok(vec![input[0], weight[0], oh, ow])
+}
+
+/// Output shape of `conv_transpose2d`: input `[n, cin, h, w]`, weight
+/// `[cin, cout, kh, kw]`; spatial extent is `(d - 1) * stride + k - 2*pad`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on rank or channel conflicts,
+/// or when the parameters imply a non-positive output extent.
+pub fn conv_transpose2d_shape(
+    input: &[usize],
+    weight: &[usize],
+    stride: usize,
+    pad: usize,
+) -> Result<Vec<usize>, TensorError> {
+    if input.len() != 4 {
+        return Err(dim_err(format!(
+            "conv_transpose2d input must be [n, cin, h, w], got {input:?}"
+        )));
+    }
+    if weight.len() != 4 {
+        return Err(dim_err(format!(
+            "conv_transpose2d weight must be [cin, cout, kh, kw], got {weight:?}"
+        )));
+    }
+    if input[1] != weight[0] {
+        return Err(dim_err(format!(
+            "conv_transpose2d channel mismatch: input has {} channels, weight expects {}",
+            input[1], weight[0]
+        )));
+    }
+    if stride == 0 {
+        return Err(dim_err("conv_transpose2d stride must be nonzero".to_string()));
+    }
+    let out_dim = |d: usize, k: usize| -> Result<usize, TensorError> {
+        if d == 0 {
+            return Err(dim_err("conv_transpose2d input extent must be nonzero".to_string()));
+        }
+        ((d - 1) * stride + k).checked_sub(2 * pad).filter(|&v| v > 0).ok_or_else(|| {
+            dim_err(format!(
+                "conv_transpose2d padding {pad} swallows output for extent {d}, kernel {k}"
+            ))
+        })
+    };
+    let oh = out_dim(input[2], weight[2])?;
+    let ow = out_dim(input[3], weight[3])?;
+    Ok(vec![input[0], weight[1], oh, ow])
+}
+
+/// Output shape of square average/max pooling with window and stride `k`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] unless the input is rank-4 and
+/// both spatial extents divide exactly by `k`.
+pub fn pool2d_shape(input: &[usize], k: usize) -> Result<Vec<usize>, TensorError> {
+    if input.len() != 4 {
+        return Err(dim_err(format!("pooling requires [n, c, h, w], got {input:?}")));
+    }
+    if k == 0 {
+        return Err(dim_err("pooling window must be nonzero".to_string()));
+    }
+    if !input[2].is_multiple_of(k) || !input[3].is_multiple_of(k) {
+        return Err(dim_err(format!("pooling window {k} must divide spatial dims of {input:?}")));
+    }
+    Ok(vec![input[0], input[1], input[2] / k, input[3] / k])
+}
+
+/// Output shape of nearest-neighbour 2x upsampling of `[n, c, h, w]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] unless the input is rank-4.
+pub fn upsample2x_shape(input: &[usize]) -> Result<Vec<usize>, TensorError> {
+    if input.len() != 4 {
+        return Err(dim_err(format!("upsample requires [n, c, h, w], got {input:?}")));
+    }
+    Ok(vec![input[0], input[1], input[2] * 2, input[3] * 2])
+}
+
+/// Output shape of concatenating `shapes` along `axis`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when the list is empty, the
+/// axis is out of bounds, or any off-axis extent differs.
+pub fn concat_shape(shapes: &[&[usize]], axis: usize) -> Result<Vec<usize>, TensorError> {
+    let Some(first) = shapes.first() else {
+        return Err(dim_err("concat requires at least one tensor".to_string()));
+    };
+    if axis >= first.len() {
+        return Err(dim_err(format!("concat axis {axis} out of bounds for {first:?}")));
+    }
+    let mut out = first.to_vec();
+    for s in &shapes[1..] {
+        if s.len() != first.len() {
+            return Err(dim_err(format!("concat rank mismatch: {first:?} vs {s:?}")));
+        }
+        for (ax, (&a, &b)) in first.iter().zip(s.iter()).enumerate() {
+            if ax != axis && a != b {
+                return Err(dim_err(format!(
+                    "concat off-axis extent mismatch at axis {ax}: {first:?} vs {s:?}"
+                )));
+            }
+        }
+        out[axis] += s[axis];
+    }
+    Ok(out)
+}
+
+/// Output shape of `narrow(axis, start, len)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when the axis or the range
+/// `start..start + len` is out of bounds.
+pub fn narrow_shape(
+    shape: &[usize],
+    axis: usize,
+    start: usize,
+    len: usize,
+) -> Result<Vec<usize>, TensorError> {
+    if axis >= shape.len() {
+        return Err(dim_err(format!("narrow axis {axis} out of bounds for {shape:?}")));
+    }
+    if start + len > shape[axis] {
+        return Err(dim_err(format!(
+            "narrow range {start}..{} out of bounds for axis {axis} of {shape:?}",
+            start + len
+        )));
+    }
+    let mut out = shape.to_vec();
+    out[axis] = len;
+    Ok(out)
+}
+
+/// Validates that `from` can be reshaped to `to` (equal element counts).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeDataMismatch`] when the element counts differ.
+pub fn reshape_check(from: &[usize], to: &[usize]) -> Result<(), TensorError> {
+    let (expected, actual) = (numel(to), numel(from));
+    if expected != actual {
+        return Err(TensorError::ShapeDataMismatch { expected, actual });
+    }
+    Ok(())
+}
+
+/// Output shape of `permute(axes)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] unless `axes` is a permutation
+/// of `0..shape.len()`.
+pub fn permute_shape(shape: &[usize], axes: &[usize]) -> Result<Vec<usize>, TensorError> {
+    if axes.len() != shape.len() {
+        return Err(dim_err(format!("permute needs one entry per axis: {axes:?} for {shape:?}")));
+    }
+    let mut seen = vec![false; shape.len()];
+    for &a in axes {
+        if a >= shape.len() || seen[a] {
+            return Err(dim_err(format!("permute axes {axes:?} are not a permutation")));
+        }
+        seen[a] = true;
+    }
+    Ok(axes.iter().map(|&a| shape[a]).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +343,51 @@ mod tests {
         assert_eq!(numel(&[2, 3, 4]), 24);
         assert_eq!(numel(&[]), 1);
         assert_eq!(numel(&[0, 5]), 0);
+    }
+
+    #[test]
+    fn matmul_rule() {
+        assert_eq!(matmul_shape(&[2, 3], &[3, 5]).unwrap(), vec![2, 5]);
+        assert!(matmul_shape(&[2, 3], &[4, 5]).is_err());
+        assert!(matmul_shape(&[2, 3, 4], &[4, 5]).is_err());
+    }
+
+    #[test]
+    fn bmm_rule() {
+        assert_eq!(bmm_shape(&[7, 2, 3], &[7, 3, 5]).unwrap(), vec![7, 2, 5]);
+        assert!(bmm_shape(&[7, 2, 3], &[8, 3, 5]).is_err());
+        assert!(bmm_shape(&[7, 2, 3], &[7, 4, 5]).is_err());
+    }
+
+    #[test]
+    fn conv_rules_match_kernels() {
+        assert_eq!(conv2d_shape(&[2, 3, 8, 8], &[16, 3, 3, 3], 2, 1).unwrap(), vec![2, 16, 4, 4]);
+        assert!(conv2d_shape(&[2, 3, 8, 8], &[16, 4, 3, 3], 2, 1).is_err());
+        assert!(conv2d_shape(&[2, 3, 2, 2], &[16, 3, 5, 5], 1, 0).is_err());
+        assert_eq!(
+            conv_transpose2d_shape(&[2, 3, 4, 4], &[3, 5, 2, 2], 2, 0).unwrap(),
+            vec![2, 5, 8, 8]
+        );
+        assert!(conv_transpose2d_shape(&[2, 3, 4, 4], &[5, 3, 2, 2], 2, 0).is_err());
+    }
+
+    #[test]
+    fn pool_and_upsample_rules() {
+        assert_eq!(pool2d_shape(&[1, 2, 8, 8], 2).unwrap(), vec![1, 2, 4, 4]);
+        assert!(pool2d_shape(&[1, 2, 9, 8], 2).is_err());
+        assert_eq!(upsample2x_shape(&[1, 2, 3, 4]).unwrap(), vec![1, 2, 6, 8]);
+    }
+
+    #[test]
+    fn concat_narrow_reshape_permute_rules() {
+        assert_eq!(concat_shape(&[&[2, 3], &[2, 5]], 1).unwrap(), vec![2, 8]);
+        assert!(concat_shape(&[&[2, 3], &[4, 5]], 1).is_err());
+        assert!(concat_shape(&[], 0).is_err());
+        assert_eq!(narrow_shape(&[2, 6], 1, 2, 3).unwrap(), vec![2, 3]);
+        assert!(narrow_shape(&[2, 6], 1, 4, 3).is_err());
+        assert!(reshape_check(&[2, 6], &[3, 4]).is_ok());
+        assert!(reshape_check(&[2, 6], &[5]).is_err());
+        assert_eq!(permute_shape(&[2, 3, 4], &[2, 0, 1]).unwrap(), vec![4, 2, 3]);
+        assert!(permute_shape(&[2, 3, 4], &[0, 0, 1]).is_err());
     }
 }

@@ -1,0 +1,523 @@
+//! Symbolic shapes for static analysis.
+//!
+//! A [`ShapeSpec`] is a shape whose axes may be concrete ([`Dim::Fixed`])
+//! or symbolic ([`Dim::Sym`], e.g. a batch size `B` that is unknown until
+//! runtime). The `sym_*` functions mirror the concrete shape rules in
+//! [`crate::shape`] — whenever every axis is fixed they *delegate* to the
+//! concrete rule, so the analyzer and the runtime kernels can never
+//! disagree about geometry.
+//!
+//! This module is consumed by `aero-nn` (the `Module::infer_shape` hook)
+//! and by `aero-analysis` (the static shape-inference pass).
+
+use crate::shape;
+use crate::TensorError;
+use std::fmt;
+
+/// One axis of a symbolic shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// A concrete extent.
+    Fixed(usize),
+    /// A named symbolic extent (equal only to a symbol of the same name).
+    Sym(String),
+}
+
+impl Dim {
+    /// Creates a symbolic dimension with the given name.
+    pub fn sym(name: &str) -> Self {
+        Dim::Sym(name.to_string())
+    }
+
+    /// The concrete extent, if this dimension is fixed.
+    pub fn as_fixed(&self) -> Option<usize> {
+        match self {
+            Dim::Fixed(n) => Some(*n),
+            Dim::Sym(_) => None,
+        }
+    }
+}
+
+impl From<usize> for Dim {
+    fn from(n: usize) -> Self {
+        Dim::Fixed(n)
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Fixed(n) => write!(f, "{n}"),
+            Dim::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A shape whose axes may be concrete or symbolic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeSpec {
+    dims: Vec<Dim>,
+}
+
+impl ShapeSpec {
+    /// Builds a spec from a list of dimensions.
+    pub fn new(dims: Vec<Dim>) -> Self {
+        ShapeSpec { dims }
+    }
+
+    /// Builds a fully concrete spec.
+    pub fn fixed(shape: &[usize]) -> Self {
+        ShapeSpec { dims: shape.iter().map(|&n| Dim::Fixed(n)).collect() }
+    }
+
+    /// A spec with a leading symbolic batch axis followed by fixed axes.
+    pub fn batched(batch: &str, rest: &[usize]) -> Self {
+        let mut dims = vec![Dim::sym(batch)];
+        dims.extend(rest.iter().map(|&n| Dim::Fixed(n)));
+        ShapeSpec { dims }
+    }
+
+    /// The axes of this spec.
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The concrete shape, if every axis is fixed.
+    pub fn as_fixed(&self) -> Option<Vec<usize>> {
+        self.dims.iter().map(Dim::as_fixed).collect()
+    }
+
+    /// Symbolic element count: the product of fixed extents plus the
+    /// multiset of symbolic names. Two specs can be reshaped into each
+    /// other iff these match.
+    fn sym_numel(&self) -> (usize, Vec<&str>) {
+        let mut coeff = 1usize;
+        let mut syms: Vec<&str> = Vec::new();
+        for d in &self.dims {
+            match d {
+                Dim::Fixed(n) => coeff *= n,
+                Dim::Sym(s) => syms.push(s),
+            }
+        }
+        syms.sort_unstable();
+        (coeff, syms)
+    }
+}
+
+impl fmt::Display for ShapeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+fn dim_err(detail: String) -> TensorError {
+    TensorError::DimensionMismatch { detail }
+}
+
+/// Whether two dimensions are provably equal (same fixed extent or same
+/// symbol). `Fixed` vs `Sym` is conservatively *not* equal.
+pub fn dim_eq(a: &Dim, b: &Dim) -> bool {
+    match (a, b) {
+        (Dim::Fixed(x), Dim::Fixed(y)) => x == y,
+        (Dim::Sym(x), Dim::Sym(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Symbolic broadcast of two specs under NumPy rules.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastMismatch`] (fully fixed) or
+/// [`TensorError::DimensionMismatch`] (symbolic conflict).
+pub fn sym_broadcast(lhs: &ShapeSpec, rhs: &ShapeSpec) -> Result<ShapeSpec, TensorError> {
+    if let (Some(l), Some(r)) = (lhs.as_fixed(), rhs.as_fixed()) {
+        return Ok(ShapeSpec::fixed(&shape::broadcast_shapes(&l, &r)?));
+    }
+    let rank = lhs.rank().max(rhs.rank());
+    let one = Dim::Fixed(1);
+    let mut out = Vec::with_capacity(rank);
+    for i in 0..rank {
+        let l = if i < rank - lhs.rank() { &one } else { &lhs.dims[i - (rank - lhs.rank())] };
+        let r = if i < rank - rhs.rank() { &one } else { &rhs.dims[i - (rank - rhs.rank())] };
+        let d = if dim_eq(l, r) {
+            l.clone()
+        } else if *l == one {
+            r.clone()
+        } else if *r == one {
+            l.clone()
+        } else {
+            return Err(dim_err(format!("shapes {lhs} and {rhs} cannot be broadcast together")));
+        };
+        out.push(d);
+    }
+    Ok(ShapeSpec::new(out))
+}
+
+/// Symbolic rank-2 matrix product `[m, k] x [k, n] -> [m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on rank or inner-dimension
+/// conflict.
+pub fn sym_matmul(lhs: &ShapeSpec, rhs: &ShapeSpec) -> Result<ShapeSpec, TensorError> {
+    if let (Some(l), Some(r)) = (lhs.as_fixed(), rhs.as_fixed()) {
+        return Ok(ShapeSpec::fixed(&shape::matmul_shape(&l, &r)?));
+    }
+    if lhs.rank() != 2 || rhs.rank() != 2 {
+        return Err(dim_err(format!("matmul requires rank-2 operands, got {lhs} x {rhs}")));
+    }
+    if !dim_eq(&lhs.dims[1], &rhs.dims[0]) {
+        return Err(dim_err(format!("matmul inner dimensions differ: {lhs} x {rhs}")));
+    }
+    Ok(ShapeSpec::new(vec![lhs.dims[0].clone(), rhs.dims[1].clone()]))
+}
+
+/// Symbolic batched matrix product `[b, m, k] x [b, k, n] -> [b, m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on rank, batch, or
+/// inner-dimension conflict.
+pub fn sym_bmm(lhs: &ShapeSpec, rhs: &ShapeSpec) -> Result<ShapeSpec, TensorError> {
+    if let (Some(l), Some(r)) = (lhs.as_fixed(), rhs.as_fixed()) {
+        return Ok(ShapeSpec::fixed(&shape::bmm_shape(&l, &r)?));
+    }
+    if lhs.rank() != 3 || rhs.rank() != 3 {
+        return Err(dim_err(format!("bmm requires rank-3 operands, got {lhs} x {rhs}")));
+    }
+    if !dim_eq(&lhs.dims[0], &rhs.dims[0]) {
+        return Err(dim_err(format!("bmm batch dimensions differ: {lhs} x {rhs}")));
+    }
+    if !dim_eq(&lhs.dims[2], &rhs.dims[1]) {
+        return Err(dim_err(format!("bmm inner dimensions differ: {lhs} x {rhs}")));
+    }
+    Ok(ShapeSpec::new(vec![lhs.dims[0].clone(), lhs.dims[1].clone(), rhs.dims[2].clone()]))
+}
+
+fn fixed_spatial(spec: &ShapeSpec, what: &str) -> Result<(usize, usize), TensorError> {
+    match (spec.dims[2].as_fixed(), spec.dims[3].as_fixed()) {
+        (Some(h), Some(w)) => Ok((h, w)),
+        _ => Err(dim_err(format!("{what} requires fixed spatial extents, got {spec}"))),
+    }
+}
+
+/// Symbolic `conv2d`: input `[b, cin, h, w]` (batch may be symbolic,
+/// channels/spatial must be fixed) with concrete weight `[cout, cin, kh, kw]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on rank/channel conflicts or
+/// when the kernel does not fit the padded input.
+pub fn sym_conv2d(
+    input: &ShapeSpec,
+    weight: &[usize],
+    stride: usize,
+    pad: usize,
+) -> Result<ShapeSpec, TensorError> {
+    if let Some(i) = input.as_fixed() {
+        return Ok(ShapeSpec::fixed(&shape::conv2d_shape(&i, weight, stride, pad)?));
+    }
+    if input.rank() != 4 {
+        return Err(dim_err(format!("conv2d input must be [n, cin, h, w], got {input}")));
+    }
+    if weight.len() != 4 {
+        return Err(dim_err(format!("conv2d weight must be [cout, cin, kh, kw], got {weight:?}")));
+    }
+    if !dim_eq(&input.dims[1], &Dim::Fixed(weight[1])) {
+        return Err(dim_err(format!(
+            "conv2d channel mismatch: input {input} has {} channels, weight expects {}",
+            input.dims[1], weight[1]
+        )));
+    }
+    let (h, w) = fixed_spatial(input, "conv2d")?;
+    let oh = shape::conv_out_dim(h, weight[2], stride, pad)?;
+    let ow = shape::conv_out_dim(w, weight[3], stride, pad)?;
+    Ok(ShapeSpec::new(vec![
+        input.dims[0].clone(),
+        Dim::Fixed(weight[0]),
+        Dim::Fixed(oh),
+        Dim::Fixed(ow),
+    ]))
+}
+
+/// Symbolic `conv_transpose2d`: input `[b, cin, h, w]` with concrete weight
+/// `[cin, cout, kh, kw]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] on rank/channel conflicts or
+/// when the parameters imply a non-positive output extent.
+pub fn sym_conv_transpose2d(
+    input: &ShapeSpec,
+    weight: &[usize],
+    stride: usize,
+    pad: usize,
+) -> Result<ShapeSpec, TensorError> {
+    if let Some(i) = input.as_fixed() {
+        return Ok(ShapeSpec::fixed(&shape::conv_transpose2d_shape(&i, weight, stride, pad)?));
+    }
+    if input.rank() != 4 {
+        return Err(dim_err(format!("conv_transpose2d input must be [n, cin, h, w], got {input}")));
+    }
+    if weight.len() != 4 {
+        return Err(dim_err(format!(
+            "conv_transpose2d weight must be [cin, cout, kh, kw], got {weight:?}"
+        )));
+    }
+    let (h, w) = fixed_spatial(input, "conv_transpose2d")?;
+    let probe = vec![1, input.dims[1].as_fixed().unwrap_or(weight[0]), h, w];
+    if !dim_eq(&input.dims[1], &Dim::Fixed(weight[0])) {
+        return Err(dim_err(format!(
+            "conv_transpose2d channel mismatch: input {input} has {} channels, weight expects {}",
+            input.dims[1], weight[0]
+        )));
+    }
+    let out = shape::conv_transpose2d_shape(&probe, weight, stride, pad)?;
+    Ok(ShapeSpec::new(vec![
+        input.dims[0].clone(),
+        Dim::Fixed(out[1]),
+        Dim::Fixed(out[2]),
+        Dim::Fixed(out[3]),
+    ]))
+}
+
+/// Symbolic square pooling with window and stride `k`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] unless the input is rank-4
+/// with fixed spatial extents dividing exactly by `k`.
+pub fn sym_pool2d(input: &ShapeSpec, k: usize) -> Result<ShapeSpec, TensorError> {
+    if let Some(i) = input.as_fixed() {
+        return Ok(ShapeSpec::fixed(&shape::pool2d_shape(&i, k)?));
+    }
+    if input.rank() != 4 {
+        return Err(dim_err(format!("pooling requires [n, c, h, w], got {input}")));
+    }
+    let (h, w) = fixed_spatial(input, "pooling")?;
+    let out = shape::pool2d_shape(&[1, 1, h, w], k)?;
+    Ok(ShapeSpec::new(vec![
+        input.dims[0].clone(),
+        input.dims[1].clone(),
+        Dim::Fixed(out[2]),
+        Dim::Fixed(out[3]),
+    ]))
+}
+
+/// Symbolic nearest-neighbour 2x upsampling.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] unless the input is rank-4
+/// with fixed spatial extents.
+pub fn sym_upsample2x(input: &ShapeSpec) -> Result<ShapeSpec, TensorError> {
+    if let Some(i) = input.as_fixed() {
+        return Ok(ShapeSpec::fixed(&shape::upsample2x_shape(&i)?));
+    }
+    if input.rank() != 4 {
+        return Err(dim_err(format!("upsample requires [n, c, h, w], got {input}")));
+    }
+    let (h, w) = fixed_spatial(input, "upsample")?;
+    Ok(ShapeSpec::new(vec![
+        input.dims[0].clone(),
+        input.dims[1].clone(),
+        Dim::Fixed(h * 2),
+        Dim::Fixed(w * 2),
+    ]))
+}
+
+/// Symbolic concatenation along `axis`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when the list is empty, the
+/// axis is out of bounds, an off-axis extent differs, or the axis extent
+/// cannot be summed (symbolic on more than one operand).
+pub fn sym_concat(specs: &[&ShapeSpec], axis: usize) -> Result<ShapeSpec, TensorError> {
+    let Some(first) = specs.first() else {
+        return Err(dim_err("concat requires at least one tensor".to_string()));
+    };
+    if axis >= first.rank() {
+        return Err(dim_err(format!("concat axis {axis} out of bounds for {first}")));
+    }
+    let mut out = first.dims.to_vec();
+    for s in &specs[1..] {
+        if s.rank() != first.rank() {
+            return Err(dim_err(format!("concat rank mismatch: {first} vs {s}")));
+        }
+        for (ax, (a, b)) in first.dims.iter().zip(s.dims.iter()).enumerate() {
+            if ax != axis && !dim_eq(a, b) {
+                return Err(dim_err(format!(
+                    "concat off-axis extent mismatch at axis {ax}: {first} vs {s}"
+                )));
+            }
+        }
+        out[axis] = match (&out[axis], &s.dims[axis]) {
+            (Dim::Fixed(a), Dim::Fixed(b)) => Dim::Fixed(a + b),
+            _ => {
+                return Err(dim_err(format!(
+                    "concat cannot sum symbolic extents along axis {axis}: {first} vs {s}"
+                )))
+            }
+        };
+    }
+    Ok(ShapeSpec::new(out))
+}
+
+/// Symbolic `narrow(axis, start, len)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when the axis is out of
+/// bounds, the range overruns a fixed extent, or the extent is symbolic.
+pub fn sym_narrow(
+    spec: &ShapeSpec,
+    axis: usize,
+    start: usize,
+    len: usize,
+) -> Result<ShapeSpec, TensorError> {
+    if axis >= spec.rank() {
+        return Err(dim_err(format!("narrow axis {axis} out of bounds for {spec}")));
+    }
+    match spec.dims[axis] {
+        Dim::Fixed(n) => {
+            shape::narrow_shape(&[n], 0, start, len)?;
+        }
+        Dim::Sym(_) => {
+            return Err(dim_err(format!(
+                "narrow cannot bound-check symbolic axis {axis} of {spec}"
+            )))
+        }
+    }
+    let mut out = spec.dims.clone();
+    out[axis] = Dim::Fixed(len);
+    Ok(ShapeSpec::new(out))
+}
+
+/// Validates a symbolic reshape: element counts (fixed coefficient plus
+/// multiset of symbols) must match.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when the symbolic element
+/// counts provably differ.
+pub fn sym_reshape(from: &ShapeSpec, to: &ShapeSpec) -> Result<ShapeSpec, TensorError> {
+    if let (Some(f), Some(t)) = (from.as_fixed(), to.as_fixed()) {
+        shape::reshape_check(&f, &t)?;
+        return Ok(to.clone());
+    }
+    if from.sym_numel() != to.sym_numel() {
+        return Err(dim_err(format!("reshape of {from} to {to} changes element count")));
+    }
+    Ok(to.clone())
+}
+
+/// Symbolic `permute(axes)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] unless `axes` is a
+/// permutation of `0..rank`.
+pub fn sym_permute(spec: &ShapeSpec, axes: &[usize]) -> Result<ShapeSpec, TensorError> {
+    let probe: Vec<usize> = vec![1; spec.rank()];
+    shape::permute_shape(&probe, axes)?;
+    Ok(ShapeSpec::new(axes.iter().map(|&a| spec.dims[a].clone()).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(rest: &[usize]) -> ShapeSpec {
+        ShapeSpec::batched("B", rest)
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        assert_eq!(b(&[4, 8, 8]).to_string(), "[B, 4, 8, 8]");
+        assert_eq!(ShapeSpec::fixed(&[2, 3]).to_string(), "[2, 3]");
+    }
+
+    #[test]
+    fn fixed_specs_delegate_to_concrete_rules() {
+        let m = sym_matmul(&ShapeSpec::fixed(&[2, 3]), &ShapeSpec::fixed(&[3, 5])).unwrap();
+        assert_eq!(m, ShapeSpec::fixed(&[2, 5]));
+        assert!(sym_matmul(&ShapeSpec::fixed(&[2, 3]), &ShapeSpec::fixed(&[4, 5])).is_err());
+    }
+
+    #[test]
+    fn symbolic_batch_flows_through_matmul() {
+        let x = b(&[6]);
+        let w = ShapeSpec::fixed(&[6, 10]);
+        let y = sym_matmul(&x, &w).unwrap();
+        assert_eq!(y, b(&[10]));
+        assert!(sym_matmul(&b(&[7]), &w).is_err());
+    }
+
+    #[test]
+    fn symbolic_broadcast_rules() {
+        let x = b(&[8, 4, 4]);
+        let s = b(&[8, 1, 1]);
+        assert_eq!(sym_broadcast(&x, &s).unwrap(), x);
+        let conflict = b(&[9, 1, 1]);
+        assert!(sym_broadcast(&x, &conflict).is_err());
+        // Sym vs Fixed in the same axis is conservatively rejected.
+        let fixed_batch = ShapeSpec::fixed(&[2, 8, 4, 4]);
+        assert!(sym_broadcast(&x, &fixed_batch).is_err());
+    }
+
+    #[test]
+    fn symbolic_conv_and_pool() {
+        let x = b(&[3, 8, 8]);
+        let y = sym_conv2d(&x, &[16, 3, 3, 3], 2, 1).unwrap();
+        assert_eq!(y, b(&[16, 4, 4]));
+        assert!(sym_conv2d(&x, &[16, 4, 3, 3], 2, 1).is_err());
+        assert_eq!(sym_pool2d(&y, 2).unwrap(), b(&[16, 2, 2]));
+        assert!(sym_pool2d(&b(&[16, 5, 4]), 2).is_err());
+        assert_eq!(sym_upsample2x(&y).unwrap(), b(&[16, 8, 8]));
+        let t = sym_conv_transpose2d(&b(&[3, 4, 4]), &[3, 5, 2, 2], 2, 0).unwrap();
+        assert_eq!(t, b(&[5, 8, 8]));
+    }
+
+    #[test]
+    fn symbolic_reshape_tracks_symbol_multiset() {
+        let from = b(&[8, 4, 4]);
+        let to = b(&[8, 16]);
+        assert_eq!(sym_reshape(&from, &to).unwrap(), to);
+        assert!(sym_reshape(&from, &b(&[8, 15])).is_err());
+        // Symbol replaced by a fixed extent is not provably equal.
+        assert!(sym_reshape(&from, &ShapeSpec::fixed(&[2, 8, 16])).is_err());
+    }
+
+    #[test]
+    fn symbolic_concat_and_narrow() {
+        let a = b(&[4, 8, 8]);
+        let c = sym_concat(&[&a, &a], 1).unwrap();
+        assert_eq!(c, b(&[8, 8, 8]));
+        assert!(sym_concat(&[&a, &b(&[4, 9, 8])], 1).is_err());
+        assert!(sym_concat(&[&a, &a], 0).is_err(), "cannot sum symbolic batch");
+        assert_eq!(sym_narrow(&a, 1, 0, 2).unwrap(), b(&[2, 8, 8]));
+        assert!(sym_narrow(&a, 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn symbolic_permute() {
+        let a = b(&[4, 8, 9]);
+        let p = sym_permute(&a, &[0, 3, 1, 2]).unwrap();
+        assert_eq!(p, b(&[9, 4, 8]));
+        assert!(sym_permute(&a, &[0, 0, 1, 2]).is_err());
+    }
+}

@@ -1,6 +1,8 @@
 //! The owned, row-major ND tensor type.
 
-use crate::shape::{broadcast_shapes, numel, strides_for};
+use crate::shape::{
+    broadcast_shapes, concat_shape, narrow_shape, numel, permute_shape, reshape_check, strides_for,
+};
 use crate::TensorError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -104,10 +106,7 @@ impl Tensor {
             return Tensor::from_vec(vec![start], &[1]);
         }
         let step = (end - start) / (n - 1) as f32;
-        Tensor {
-            data: (0..n).map(|i| start + step * i as f32).collect(),
-            shape: vec![n],
-        }
+        Tensor { data: (0..n).map(|i| start + step * i as f32).collect(), shape: vec![n] }
     }
 
     /// Standard-normal samples drawn from `rng` (Box–Muller).
@@ -135,10 +134,7 @@ impl Tensor {
     pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
         assert!(lo < hi, "rand_uniform requires lo < hi");
         let n = numel(shape);
-        Tensor {
-            data: (0..n).map(|_| rng.gen_range(lo..hi)).collect(),
-            shape: shape.to_vec(),
-        }
+        Tensor { data: (0..n).map(|_| rng.gen_range(lo..hi)).collect(), shape: shape.to_vec() }
     }
 
     // ------------------------------------------------------------ accessors
@@ -224,13 +220,8 @@ impl Tensor {
     ///
     /// Panics if the element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Self {
-        assert_eq!(
-            numel(shape),
-            self.data.len(),
-            "reshape to {:?} incompatible with {} elements",
-            shape,
-            self.data.len()
-        );
+        reshape_check(&self.shape, shape)
+            .unwrap_or_else(|e| panic!("reshape of {:?} to {shape:?}: {e}", self.shape));
         Tensor { data: self.data.clone(), shape: shape.to_vec() }
     }
 
@@ -262,13 +253,7 @@ impl Tensor {
     ///
     /// Panics if `axes` is not a permutation of `0..rank`.
     pub fn permute(&self, axes: &[usize]) -> Self {
-        assert_eq!(axes.len(), self.rank(), "permute needs one entry per axis");
-        let mut seen = vec![false; self.rank()];
-        for &a in axes {
-            assert!(a < self.rank() && !seen[a], "axes must be a permutation");
-            seen[a] = true;
-        }
-        let new_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let new_shape = permute_shape(&self.shape, axes).unwrap_or_else(|e| panic!("permute: {e}"));
         let old_strides = strides_for(&self.shape);
         let new_strides = strides_for(&new_shape);
         let mut data = vec![0.0; self.data.len()];
@@ -294,7 +279,11 @@ impl Tensor {
     pub fn broadcast_to(&self, shape: &[usize]) -> Self {
         let target = broadcast_shapes(&self.shape, shape)
             .unwrap_or_else(|e| panic!("broadcast_to failed: {e}"));
-        assert_eq!(target, shape, "tensor of shape {:?} does not broadcast to {:?}", self.shape, shape);
+        assert_eq!(
+            target, shape,
+            "tensor of shape {:?} does not broadcast to {:?}",
+            self.shape, shape
+        );
         let rank = shape.len();
         let offset = rank - self.rank();
         let src_strides = strides_for(&self.shape);
@@ -321,10 +310,8 @@ impl Tensor {
     ///
     /// Panics if `axis` or `start + len` is out of bounds.
     pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Self {
-        assert!(axis < self.rank(), "axis out of bounds");
-        assert!(start + len <= self.shape[axis], "narrow range out of bounds");
-        let mut new_shape = self.shape.clone();
-        new_shape[axis] = len;
+        let new_shape =
+            narrow_shape(&self.shape, axis, start, len).unwrap_or_else(|e| panic!("narrow: {e}"));
         let outer: usize = self.shape[..axis].iter().product();
         let inner: usize = self.shape[axis + 1..].iter().product();
         let mut data = Vec::with_capacity(numel(&new_shape));
@@ -341,17 +328,9 @@ impl Tensor {
     ///
     /// Panics if `tensors` is empty or shapes differ off-axis.
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Self {
-        assert!(!tensors.is_empty(), "concat requires at least one tensor");
+        let shapes: Vec<&[usize]> = tensors.iter().map(|t| t.shape.as_slice()).collect();
+        let new_shape = concat_shape(&shapes, axis).unwrap_or_else(|e| panic!("concat: {e}"));
         let first = tensors[0];
-        assert!(axis < first.rank(), "axis out of bounds");
-        for t in tensors {
-            assert_eq!(t.rank(), first.rank(), "concat rank mismatch");
-            for (k, (&a, &b)) in t.shape.iter().zip(&first.shape).enumerate() {
-                assert!(k == axis || a == b, "concat off-axis shape mismatch");
-            }
-        }
-        let mut new_shape = first.shape.clone();
-        new_shape[axis] = tensors.iter().map(|t| t.shape[axis]).sum();
         let outer: usize = first.shape[..axis].iter().product();
         let inner: usize = first.shape[axis + 1..].iter().product();
         let mut data = Vec::with_capacity(numel(&new_shape));

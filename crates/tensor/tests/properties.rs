@@ -110,3 +110,77 @@ proptest! {
         prop_assert_eq!(Tensor::concat(&[&a, &b], 0), t);
     }
 }
+
+// ---- shape-rule edge cases: zero-sized axes, rank-0, strides ----
+
+fn shape_with_zeros() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..4, 0..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn strides_are_row_major(shape in shape_with_zeros()) {
+        use aero_tensor::strides_for;
+        let s = strides_for(&shape);
+        prop_assert_eq!(s.len(), shape.len());
+        if let Some(&last) = s.last() {
+            prop_assert_eq!(last, 1);
+        }
+        for i in 0..shape.len().saturating_sub(1) {
+            prop_assert_eq!(s[i], s[i + 1] * shape[i + 1]);
+        }
+        // For fully positive shapes the last element's linear offset is
+        // numel - 1.
+        if shape.iter().all(|&d| d > 0) {
+            let numel: usize = shape.iter().product();
+            let offset: usize =
+                shape.iter().zip(&s).map(|(&d, &st)| (d - 1) * st).sum();
+            prop_assert_eq!(offset, numel - 1);
+        }
+    }
+
+    #[test]
+    fn rank0_broadcasts_with_anything(a in shape_with_zeros()) {
+        let out = broadcast_shapes(&[], &a).unwrap();
+        prop_assert_eq!(out, a);
+    }
+
+    #[test]
+    fn zero_axes_survive_broadcast_with_ones(a in shape_with_zeros()) {
+        let ones = vec![1usize; a.len()];
+        let out = broadcast_shapes(&a, &ones).unwrap();
+        prop_assert_eq!(out, a);
+    }
+
+    #[test]
+    fn zero_axis_against_wider_axis_is_rejected(n in 2usize..5) {
+        prop_assert!(broadcast_shapes(&[0], &[n]).is_err());
+    }
+
+    #[test]
+    fn broadcast_is_absorbing(a in shape_with_zeros(), b in shape_with_zeros()) {
+        // broadcast(broadcast(a, b), a) == broadcast(a, b): the joint
+        // shape absorbs its inputs.
+        if let Ok(ab) = broadcast_shapes(&a, &b) {
+            prop_assert_eq!(broadcast_shapes(&ab, &a).unwrap(), ab);
+        }
+    }
+
+    #[test]
+    fn broadcast_then_reduce_round_trips(m in 1usize..5, k in 1usize..5, seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        // Broadcasting [m] against [k, m] then summing the broadcast axis
+        // must recover k copies of the original vector.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m], &mut rng);
+        let wide = a.add(&Tensor::zeros(&[k, m]));
+        prop_assert_eq!(wide.shape(), &[k, m]);
+        let reduced = wide.sum_axis(0);
+        let expect = a.mul_scalar(k as f32);
+        for (x, y) in reduced.as_slice().iter().zip(expect.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4 * k as f32);
+        }
+    }
+}

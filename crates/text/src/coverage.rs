@@ -58,7 +58,8 @@ pub fn keypoint_coverage(caption: &str, spec: &SceneSpec) -> CoverageReport {
         aero_scene::TimeOfDay::Day => "daytime",
         aero_scene::TimeOfDay::Night => "nighttime",
     });
-    let mentions_viewpoint = has_any(&["altitude", "vantage", "angle", "angled", "down", "perspective"]);
+    let mentions_viewpoint =
+        has_any(&["altitude", "vantage", "angle", "angled", "down", "perspective"]);
     let mentions_positions = has_any(&["left", "right", "center", "top", "bottom"]);
 
     let hist = spec.class_histogram();
@@ -68,8 +69,11 @@ pub fn keypoint_coverage(caption: &str, spec: &SceneSpec) -> CoverageReport {
     let mut named_correct = 0usize;
     for class in ObjectClass::ALL {
         // match singular token of the label's first word ("motorcycle" etc.)
+        // and its plural — including sibilant stems ("bus" → "buses")
         let label_word = class.label().split_whitespace().next().unwrap_or("");
-        let in_caption = words.iter().any(|t| t == label_word || t == &format!("{label_word}s"));
+        let in_caption = words.iter().any(|t| {
+            t == label_word || t == &format!("{label_word}s") || t == &format!("{label_word}es")
+        });
         let in_scene = hist[class.id()] > 0;
         if in_scene {
             present += 1;
@@ -88,7 +92,8 @@ pub fn keypoint_coverage(caption: &str, spec: &SceneSpec) -> CoverageReport {
     let class_precision = if named == 0 { 0.0 } else { named_correct as f32 / named as f32 };
 
     let l = &spec.layout;
-    let mentions_layout = (!l.roads.is_empty() && has_any(&["road", "highway", "walkway", "lanes", "street"]))
+    let mentions_layout = (!l.roads.is_empty()
+        && has_any(&["road", "highway", "walkway", "lanes", "street"]))
         || (!l.buildings.is_empty() && has_any(&["building", "buildings", "stalls"]))
         || (!l.trees.is_empty() && has_any(&["tree", "trees"]))
         || (!l.water.is_empty() && has("pond"));
@@ -123,10 +128,16 @@ mod tests {
         for seed in 0..12u64 {
             let spec = scene(seed);
             let llm = SimulatedLlm::new(LlmProvider::KeypointAware);
-            let rich =
-                llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(seed));
-            let vague =
-                llm.describe(&spec, &PromptTemplate::traditional(), &mut StdRng::seed_from_u64(seed));
+            let rich = llm.describe(
+                &spec,
+                &PromptTemplate::keypoint_aware(),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let vague = llm.describe(
+                &spec,
+                &PromptTemplate::traditional(),
+                &mut StdRng::seed_from_u64(seed),
+            );
             let rs = keypoint_coverage(&rich, &spec).score();
             let vs = keypoint_coverage(&vague, &spec).score();
             if rs > vs {

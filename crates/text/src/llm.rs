@@ -123,7 +123,8 @@ impl SimulatedLlm {
     ) -> String {
         let profile = self.provider.profile();
         let want = &prompt.keypoints;
-        let comply = |requested: bool, rng: &mut R| requested && rng.gen_bool(profile.keypoint_compliance);
+        let comply =
+            |requested: bool, rng: &mut R| requested && rng.gen_bool(profile.keypoint_compliance);
 
         let mut sentences: Vec<String> = Vec::new();
 
@@ -318,7 +319,8 @@ mod tests {
     fn keypoint_caption_includes_time_and_viewpoint() {
         let spec = scene(1);
         let llm = SimulatedLlm::new(LlmProvider::KeypointAware);
-        let cap = llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(0));
+        let cap =
+            llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(0));
         assert!(cap.starts_with(&format!("A {} aerial image", spec.time.phrase())), "{cap}");
         assert!(cap.contains("captured from"), "{cap}");
     }
@@ -327,7 +329,8 @@ mod tests {
     fn keypoint_caption_mentions_every_present_class() {
         let spec = scene(2);
         let llm = SimulatedLlm::new(LlmProvider::KeypointAware);
-        let cap = llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(0));
+        let cap =
+            llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(0));
         let hist = spec.class_histogram();
         for class in ObjectClass::ALL {
             if hist[class.id()] > 0 {
@@ -351,7 +354,8 @@ mod tests {
     fn blip_caption_is_single_sentence() {
         let spec = scene(4);
         let llm = SimulatedLlm::new(LlmProvider::BlipCaption);
-        let cap = llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(0));
+        let cap =
+            llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(0));
         assert_eq!(cap.matches('.').count(), 1, "{cap}");
     }
 
@@ -364,8 +368,11 @@ mod tests {
             let spec = scene(seed);
             for p in LlmProvider::ALL {
                 let llm = SimulatedLlm::new(p);
-                let cap =
-                    llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(seed));
+                let cap = llm.describe(
+                    &spec,
+                    &PromptTemplate::keypoint_aware(),
+                    &mut StdRng::seed_from_u64(seed),
+                );
                 *totals.entry(p).or_insert(0usize) += cap.len();
             }
         }
@@ -386,7 +393,8 @@ mod tests {
     fn viewpoint_transition_changes_caption() {
         let spec = scene(6);
         let llm = SimulatedLlm::new(LlmProvider::KeypointAware);
-        let g = llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(0));
+        let g =
+            llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(0));
         let vp = Viewpoint { altitude: 0.4, pitch_deg: 45.0, heading_deg: 10.0 };
         let g_prime = llm.describe_with_viewpoint(&spec, vp, &mut StdRng::seed_from_u64(0));
         assert_ne!(g, g_prime);
@@ -398,7 +406,8 @@ mod tests {
         let spec = SceneGenerator::default()
             .generate_kind(SceneKind::Market, &mut StdRng::seed_from_u64(7));
         let llm = SimulatedLlm::new(LlmProvider::KeypointAware);
-        let cap = llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(0));
+        let cap =
+            llm.describe(&spec, &PromptTemplate::keypoint_aware(), &mut StdRng::seed_from_u64(0));
         assert!(cap.contains("market"), "{cap}");
     }
 }

@@ -71,7 +71,13 @@ impl PromptTemplate {
             .iter()
             .zip(hist)
             .filter(|(_, n)| *n > 0)
-            .map(|(c, n)| if n == 1 { format!("{n} {}", c.label()) } else { format!("{n} {}", c.plural_label()) })
+            .map(|(c, n)| {
+                if n == 1 {
+                    format!("{n} {}", c.label())
+                } else {
+                    format!("{n} {}", c.plural_label())
+                }
+            })
             .collect();
         format!(
             "Write a description for this image, starting with 'A nighttime aerial image' \
@@ -91,8 +97,7 @@ mod tests {
     use rand::{rngs::StdRng, SeedableRng};
 
     fn scene() -> SceneSpec {
-        SceneGenerator::new(SceneGeneratorConfig::default())
-            .generate(&mut StdRng::seed_from_u64(1))
+        SceneGenerator::new(SceneGeneratorConfig::default()).generate(&mut StdRng::seed_from_u64(1))
     }
 
     #[test]

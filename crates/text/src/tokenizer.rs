@@ -36,13 +36,10 @@ impl Vocabulary {
         let mut words: Vec<(String, usize)> =
             counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
         words.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let mut id_to_word = vec![PAD.to_string(), UNK.to_string(), BOS.to_string(), EOS.to_string()];
+        let mut id_to_word =
+            vec![PAD.to_string(), UNK.to_string(), BOS.to_string(), EOS.to_string()];
         id_to_word.extend(words.into_iter().map(|(w, _)| w));
-        let word_to_id = id_to_word
-            .iter()
-            .enumerate()
-            .map(|(i, w)| (w.clone(), i))
-            .collect();
+        let word_to_id = id_to_word.iter().enumerate().map(|(i, w)| (w.clone(), i)).collect();
         Vocabulary { word_to_id, id_to_word }
     }
 

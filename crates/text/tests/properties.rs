@@ -16,8 +16,8 @@ proptest! {
     fn tokenize_produces_lowercase_alphanumeric(text in ".{0,200}") {
         for tok in tokenize_words(&text) {
             prop_assert!(!tok.is_empty());
-            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
-            prop_assert!(!tok.chars().any(|c| c.is_uppercase()));
+            prop_assert!(tok.chars().all(char::is_alphanumeric));
+            prop_assert!(!tok.chars().any(char::is_uppercase));
         }
     }
 

@@ -101,9 +101,7 @@ impl ClipModel {
         let txt = self.text_encoder.embed(batch);
         let img_n = normalize_rows_var(&img);
         let txt_n = normalize_rows_var(&txt);
-        let logits = img_n
-            .matmul(&txt_n.permute(&[1, 0]))
-            .scale(self.logit_scale); // [n, n]
+        let logits = img_n.matmul(&txt_n.permute(&[1, 0])).scale(self.logit_scale); // [n, n]
         let targets = Tensor::eye(n);
         let loss_i = cross_entropy_rows(&logits, &targets);
         let loss_t = cross_entropy_rows(&logits.permute(&[1, 0]), &targets);
@@ -187,11 +185,7 @@ fn normalize_rows_var(x: &Var) -> Var {
 fn cross_entropy_rows(logits: &Var, targets: &Tensor) -> Var {
     let n = logits.shape()[0] as f32;
     let probs = logits.softmax_last_axis().add_scalar(1e-9);
-    probs
-        .ln()
-        .mul(&Var::constant(targets.clone()))
-        .sum()
-        .scale(-1.0 / n)
+    probs.ln().mul(&Var::constant(targets.clone())).sum().scale(-1.0 / n)
 }
 
 #[cfg(test)]
@@ -212,7 +206,8 @@ mod tests {
                     *v = 0.8;
                 }
                 // small noise
-                let noise = Tensor::randn(&[3, cfg.image_size, cfg.image_size], rng).mul_scalar(0.05);
+                let noise =
+                    Tensor::randn(&[3, cfg.image_size, cfg.image_size], rng).mul_scalar(0.05);
                 let image = img.add(&noise).clamp(0.0, 1.0);
                 let tokens = vec![4 + c; cfg.max_text_len];
                 ClipPair { image, tokens }

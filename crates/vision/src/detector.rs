@@ -101,28 +101,27 @@ impl YoloLite {
     /// Differentiable detection loss for one batch.
     fn loss(&self, images: &Tensor, targets: &Tensor) -> Var {
         let pred = self.raw_forward(&Var::constant(images.clone()));
-        let n = images.shape()[0];
-        let g = self.grid();
         let n_class = ObjectClass::ALL.len();
         let tv = Var::constant(targets.clone());
 
         let obj_pred = pred.narrow(1, 0, 1).sigmoid();
         let obj_tgt = tv.narrow(1, 0, 1);
-        let obj_loss = obj_pred.sub(&obj_tgt).powf(2.0).mean();
+        // Positive cells are rare (an object covers one cell out of g²), so a
+        // plain MSE is dominated by the easy negatives and objectness never
+        // rises above the base rate. Up-weighting positive cells keeps the
+        // detector from collapsing to "nothing anywhere".
+        let obj_weight = Var::constant(targets.narrow(1, 0, 1).mul_scalar(9.0).add_scalar(1.0));
+        let obj_loss = obj_pred.sub(&obj_tgt).powf(2.0).mul(&obj_weight).mean();
 
-        // Positive-cell mask broadcast over box fields and classes.
-        let mask4 = Tensor::concat(
-            &[&targets.narrow(1, 0, 1); 4],
-            1,
-        );
+        // Positive-cell mask broadcast over box fields and classes. Box and
+        // class terms are averaged over *positive* cells only — dividing by
+        // n·g² (mostly empty cells) starves localization of gradient signal.
+        let n_pos = targets.narrow(1, 0, 1).sum().max(1.0);
+        let mask4 = Tensor::concat(&[&targets.narrow(1, 0, 1); 4], 1);
         let box_pred = pred.narrow(1, 1, 4).sigmoid();
         let box_tgt = tv.narrow(1, 1, 4);
-        let box_loss = box_pred
-            .sub(&box_tgt)
-            .mul(&Var::constant(mask4))
-            .powf(2.0)
-            .sum()
-            .scale(1.0 / (n * g * g) as f32);
+        let box_loss =
+            box_pred.sub(&box_tgt).mul(&Var::constant(mask4)).powf(2.0).sum().scale(1.0 / n_pos);
 
         let mask_c = {
             let one = targets.narrow(1, 0, 1);
@@ -135,12 +134,8 @@ impl YoloLite {
             .softmax_last_axis()
             .permute(&[0, 3, 1, 2]);
         let cls_tgt = tv.narrow(1, BOX_FIELDS, n_class);
-        let cls_loss = cls_pred
-            .sub(&cls_tgt)
-            .mul(&Var::constant(mask_c))
-            .powf(2.0)
-            .sum()
-            .scale(1.0 / (n * g * g) as f32);
+        let cls_loss =
+            cls_pred.sub(&cls_tgt).mul(&Var::constant(mask_c)).powf(2.0).sum().scale(1.0 / n_pos);
 
         obj_loss.scale(2.0).add(&box_loss).add(&cls_loss)
     }
@@ -326,7 +321,11 @@ mod tests {
             n_scenes: 10,
             image_size: cfg.image_size,
             seed: 7,
-            generator: SceneGeneratorConfig { min_objects: 5, max_objects: 12, night_probability: 0.0 },
+            generator: SceneGeneratorConfig {
+                min_objects: 5,
+                max_objects: 12,
+                night_probability: 0.0,
+            },
         });
         let samples: Vec<(Tensor, Vec<Annotation>)> = ds
             .iter()
@@ -345,7 +344,8 @@ mod tests {
 
     #[test]
     fn detection_pr_perfect_match() {
-        let truth = vec![Annotation { class: ObjectClass::Car, bbox: BBox::new(0.0, 0.0, 4.0, 4.0) }];
+        let truth =
+            vec![Annotation { class: ObjectClass::Car, bbox: BBox::new(0.0, 0.0, 4.0, 4.0) }];
         let dets = vec![Detection {
             class: ObjectClass::Car,
             bbox: BBox::new(0.0, 0.0, 4.0, 4.0),
@@ -357,7 +357,8 @@ mod tests {
 
     #[test]
     fn detection_pr_class_mismatch_is_fp() {
-        let truth = vec![Annotation { class: ObjectClass::Car, bbox: BBox::new(0.0, 0.0, 4.0, 4.0) }];
+        let truth =
+            vec![Annotation { class: ObjectClass::Car, bbox: BBox::new(0.0, 0.0, 4.0, 4.0) }];
         let dets = vec![Detection {
             class: ObjectClass::Bus,
             bbox: BBox::new(0.0, 0.0, 4.0, 4.0),

@@ -111,7 +111,9 @@ impl TextEncoder {
         let d = config.embed_dim;
         TextEncoder {
             embedding: Embedding::new(vocab, d, rng),
-            positional: Var::parameter(Tensor::randn(&[config.max_text_len, d], rng).mul_scalar(0.02)),
+            positional: Var::parameter(
+                Tensor::randn(&[config.max_text_len, d], rng).mul_scalar(0.02),
+            ),
             attn: MultiHeadAttention::new(d, 2.min(d / 4).max(1), rng),
             norm1: LayerNorm::new(d),
             ff1: Linear::new(d, 2 * d, rng),

@@ -106,9 +106,11 @@ mod tests {
 
     #[test]
     fn f1_of_perfect_report_is_one() {
-        let r = DetectorReport { confidence: 0.5, precision: 1.0, recall: 1.0, mean_detections: 3.0 };
+        let r =
+            DetectorReport { confidence: 0.5, precision: 1.0, recall: 1.0, mean_detections: 3.0 };
         assert_eq!(r.f1(), 1.0);
-        let z = DetectorReport { confidence: 0.5, precision: 0.0, recall: 0.0, mean_detections: 0.0 };
+        let z =
+            DetectorReport { confidence: 0.5, precision: 0.0, recall: 0.0, mean_detections: 0.0 };
         assert_eq!(z.f1(), 0.0);
     }
 

@@ -95,8 +95,7 @@ impl Vae {
 
     /// Non-differentiable decode of diffusion-space latents (descaled).
     pub fn decode_tensor(&self, z: &Tensor) -> Tensor {
-        self.decode(&Var::constant(z.mul_scalar(1.0 / self.latent_scale)))
-            .to_tensor()
+        self.decode(&Var::constant(z.mul_scalar(1.0 / self.latent_scale))).to_tensor()
     }
 
     /// Full reconstruction of an image batch.
@@ -135,12 +134,8 @@ impl Vae {
                 let recon = self.decode(&z);
                 let recon_loss = recon.mse_loss(&x);
                 // KL(q || N(0, I)) = -0.5 Σ (1 + logvar − mu² − e^logvar)
-                let kl = logvar
-                    .add_scalar(1.0)
-                    .sub(&mu.mul(&mu))
-                    .sub(&logvar.exp())
-                    .mean()
-                    .scale(-0.5);
+                let kl =
+                    logvar.add_scalar(1.0).sub(&mu.mul(&mu)).sub(&logvar.exp()).mean().scale(-0.5);
                 let loss = recon_loss.add(&kl.scale(kl_weight));
                 total += loss.value().item();
                 batches += 1;

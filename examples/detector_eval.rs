@@ -21,10 +21,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         seed: 5,
         generator: SceneGeneratorConfig { min_objects: 8, max_objects: 20, night_probability: 0.0 },
     });
-    let samples: Vec<(Tensor, Vec<Annotation>)> = dataset
-        .iter()
-        .map(|i| (i.rendered.image.to_tensor(), i.rendered.boxes.clone()))
-        .collect();
+    let samples: Vec<(Tensor, Vec<Annotation>)> =
+        dataset.iter().map(|i| (i.rendered.image.to_tensor(), i.rendered.boxes.clone())).collect();
     let (train, eval) = samples.split_at(18);
 
     println!("training YOLO-lite on {} images…", train.len());
@@ -37,7 +35,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     println!("\noperating curve on {} held-out images (IoU ≥ 0.3):", eval.len());
-    println!("{:>10} {:>10} {:>8} {:>8} {:>12}", "confidence", "precision", "recall", "F1", "dets/img");
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>12}",
+        "confidence", "precision", "recall", "F1", "dets/img"
+    );
     for report in evaluate_detector(&detector, eval, &[0.3, 0.2, 0.1, 0.05, 0.02], 0.3) {
         println!(
             "{:>10.2} {:>10.2} {:>8.2} {:>8.2} {:>12.1}",

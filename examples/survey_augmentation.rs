@@ -25,10 +25,17 @@ fn main() -> Result<(), Box<dyn Error>> {
         n_scenes: 8,
         image_size: s,
         seed: 17,
-        generator: SceneGeneratorConfig { night_probability: 0.0, ..SceneGeneratorConfig::default() },
+        generator: SceneGeneratorConfig {
+            night_probability: 0.0,
+            ..SceneGeneratorConfig::default()
+        },
     });
     let day_count = survey.iter().filter(|i| i.spec.time == TimeOfDay::Day).count();
-    println!("survey dataset: {} scenes, {day_count} daytime / {} nighttime", survey.len(), survey.len() - day_count);
+    println!(
+        "survey dataset: {} scenes, {day_count} daytime / {} nighttime",
+        survey.len(),
+        survey.len() - day_count
+    );
 
     println!("training AeroDiffusion on the sparse survey…");
     let pipeline = AeroDiffusionPipeline::fit(&survey, config, 23);
@@ -60,6 +67,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         "generated {augmented} augmentation images for missing (viewpoint, lighting) cells -> {}",
         out.display()
     );
-    println!("conditional interpolation turns a {}‑image survey into a balanced training set.", survey.len());
+    println!(
+        "conditional interpolation turns a {}‑image survey into a balanced training set.",
+        survey.len()
+    );
     Ok(())
 }

@@ -1,0 +1,63 @@
+//! Offline stand-in for `crossbeam`, covering `crossbeam::thread::scope`.
+//!
+//! Since Rust 1.63 the standard library's `std::thread::scope` provides the
+//! same structured-concurrency guarantee, so the shim delegates to it. One
+//! behavioural difference: a panicking worker aborts the process via the
+//! std scope's join rather than surfacing as `Err` — callers in this
+//! workspace immediately `.expect()` the result, so the observable outcome
+//! (panic with a message) is identical.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Mirror of `crossbeam::thread::Scope`; wraps the std scope so spawned
+    /// closures receive a `&Scope` argument like crossbeam's do.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure's `&Scope` argument allows
+        /// nested spawns, as with crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads join before return.
+    ///
+    /// # Errors
+    ///
+    /// Kept for signature compatibility with crossbeam; this shim never
+    /// returns `Err` (worker panics propagate as panics instead).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_slots() {
+        let mut slots = vec![0u32; 16];
+        super::thread::scope(|scope| {
+            for (i, chunk) in slots.chunks_mut(4).enumerate() {
+                scope.spawn(move |_| {
+                    for (j, s) in chunk.iter_mut().enumerate() {
+                        *s = (i * 4 + j) as u32;
+                    }
+                });
+            }
+        })
+        .expect("workers joined");
+        assert_eq!(slots, (0..16).collect::<Vec<u32>>());
+    }
+}

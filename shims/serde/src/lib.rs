@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! No serde data format is used anywhere in the workspace (persistence goes
+//! through `aero-nn`'s binary codec), so [`Serialize`] and [`Deserialize`]
+//! are marker traits with blanket impls, and the derive macros (re-exported
+//! from the `serde_derive` shim) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

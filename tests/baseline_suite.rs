@@ -23,11 +23,11 @@ fn every_baseline_fits_and_generates() {
         caption_dataset(&ds, LlmProvider::KeypointAware, &PromptTemplate::keypoint_aware(), 1);
     let bundle = SubstrateBundle::train(&ds, &captions, &cfg, 2);
 
-    let names: Vec<&str> = ["DDPM", "Stable Diffusion", "ARLDM", "Versatile Diffusion", "Make-a-Scene"].to_vec();
+    let names: Vec<&str> =
+        ["DDPM", "Stable Diffusion", "ARLDM", "Versatile Diffusion", "Make-a-Scene"].to_vec();
     let mut seen = Vec::new();
-    for (i, mut model) in all_baselines(BaselineConfig::smoke(cfg.vision.image_size))
-        .into_iter()
-        .enumerate()
+    for (i, mut model) in
+        all_baselines(BaselineConfig::smoke(cfg.vision.image_size)).into_iter().enumerate()
     {
         model.fit(&ds, &bundle, 100 + i as u64);
         let img = model.generate(&ds.items[0], &bundle, &mut StdRng::seed_from_u64(3));

@@ -1,9 +1,9 @@
 //! Cross-crate integration tests: the full pipeline at smoke scale.
 
 use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig, Viewpoint};
+use aero_text::llm::LlmProvider;
 use aerodiffusion::viewpoint::{night_synthesis, viewpoint_transition};
 use aerodiffusion::{AblationVariant, AeroDiffusionPipeline, PipelineConfig};
-use aero_text::llm::LlmProvider;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -32,7 +32,7 @@ fn full_pipeline_trains_generates_and_scores() {
     // metric plumbing across metrics + scene + core
     let extractor = aero_metrics::FeatureExtractor::default();
     let real: Vec<_> = eval.iter().map(|i| i.rendered.image.to_tensor()).collect();
-    let gen: Vec<_> = images.iter().map(|i| i.to_tensor()).collect();
+    let gen: Vec<_> = images.iter().map(aero_scene::Image::to_tensor).collect();
     let fid = aero_metrics::fid(&extractor, &real, &gen).expect("fid");
     assert!(fid.is_finite() && fid >= 0.0);
 }

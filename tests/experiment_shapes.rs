@@ -43,9 +43,7 @@ fn protocol_scoring_is_sound() {
     assert!(m.kid <= 1e-3 && m.kid > -1.0, "self-KID {}", m.kid);
     // black frames must score far worse
     let s = p.eval.image_size;
-    let black: Vec<_> = (0..p.eval.len())
-        .map(|_| aero_scene::Image::new(s, s))
-        .collect();
+    let black: Vec<_> = (0..p.eval.len()).map(|_| aero_scene::Image::new(s, s)).collect();
     let bad = p.score(&black);
     assert!(bad.fid > m.fid);
     assert!(bad.psnr < 30.0);

@@ -71,10 +71,8 @@ fn vae_beats_mean_image_baseline() {
 #[test]
 fn detector_finds_objects_with_nonzero_recall() {
     let (ds, bundle, _) = trained_world();
-    let samples: Vec<(Tensor, Vec<aero_scene::Annotation>)> = ds
-        .iter()
-        .map(|i| (i.rendered.image.to_tensor(), i.rendered.boxes.clone()))
-        .collect();
+    let samples: Vec<(Tensor, Vec<aero_scene::Annotation>)> =
+        ds.iter().map(|i| (i.rendered.image.to_tensor(), i.rendered.boxes.clone())).collect();
     let reports = evaluate_detector(&bundle.detector, &samples, &[0.02], 0.1);
     assert!(
         reports[0].recall > 0.0,

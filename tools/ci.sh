@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Offline CI gate for the AeroDiffusion workspace.
+#
+# Mirrors exactly what a reviewer runs before merging:
+#   1. rustfmt       — formatting must be canonical
+#   2. clippy        — workspace lint policy ([workspace.lints] in Cargo.toml),
+#                      warnings are errors
+#   3. tests         — the full workspace test suite
+#   4. static lint   — aero-analysis shape validation of every shipped
+#                      pipeline preset (the `lint` CLI subcommand)
+#
+# Everything runs with --offline: the build environment has no network and
+# all dependencies are vendored shims (see shims/).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --offline --workspace -q
+
+echo "== static model lint (all shipped presets) =="
+cargo run --offline -q -p aerodiffusion --bin aerodiffusion_cli -- lint --all
+
+echo "CI: all gates passed"
