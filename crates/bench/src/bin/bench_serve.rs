@@ -1,0 +1,144 @@
+//! Serving-throughput benchmark: the same request burst served with the
+//! micro-batcher capped at batch 1, 4 and 8.
+//!
+//! One worker serves every configuration so the measured difference is
+//! purely what coalescing buys: one `[n, c, h, w]` sampler call amortises
+//! the per-op graph overhead that `n` separate `[1, c, h, w]` calls pay
+//! `n` times. A warmup request per prompt runs first so replica hydration
+//! and condition encoding are excluded from the measured window (the
+//! burst itself is all cache hits, identical across configurations).
+//!
+//! Writes `BENCH_serve.json` (requests/sec, p50/p95 latency per batch
+//! cap) to the working directory.
+
+use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
+use aero_serve::{GenerateRequest, Json, ServeConfig, ServeReply, ServeRuntime};
+use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
+use std::time::{Duration, Instant};
+
+const PROMPTS: [&str; 4] = [
+    "an aerial view of a park",
+    "a parking lot at night",
+    "a dense downtown block",
+    "a river through farmland",
+];
+const REQUESTS: usize = 24;
+const STEPS: usize = 4;
+
+struct Run {
+    max_batch: usize,
+    req_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    mean_batch: f64,
+}
+
+fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    let i = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[i] as f64 / 1000.0
+}
+
+fn measure(snapshot: &PipelineSnapshot, max_batch: usize) -> Run {
+    let mut config = ServeConfig::for_pipeline(snapshot.config());
+    config.workers = 1;
+    config.max_batch = max_batch;
+    config.queue_capacity = REQUESTS + PROMPTS.len();
+    config.batch_wait = Duration::from_millis(5);
+    config.steps = STEPS;
+    let runtime = ServeRuntime::start(snapshot.clone(), config);
+    // Warmup: hydrate the replica and fill the condition cache.
+    for (i, prompt) in PROMPTS.iter().enumerate() {
+        let handle = runtime
+            .submit(GenerateRequest::new(format!("warm-{i}"), *prompt, 1000 + i as u64))
+            .expect("warmup submit");
+        assert!(matches!(handle.wait(), ServeReply::Image(_)));
+    }
+    // Measured burst: everything is queued up front, so the batcher can
+    // coalesce up to its cap on every pop.
+    let started = Instant::now();
+    let handles: Vec<_> = (0..REQUESTS)
+        .map(|i| {
+            runtime
+                .submit(GenerateRequest::new(format!("r{i}"), PROMPTS[i % PROMPTS.len()], i as u64))
+                .expect("burst submit")
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(REQUESTS);
+    let mut batch_total = 0usize;
+    for handle in handles {
+        match handle.wait() {
+            ServeReply::Image(img) => {
+                latencies_us.push(img.latency.total_us());
+                batch_total += img.batch_size;
+            }
+            ServeReply::Rejected { id, reason } => panic!("burst request {id} rejected: {reason}"),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let _ = runtime.shutdown();
+    latencies_us.sort_unstable();
+    Run {
+        max_batch,
+        req_per_sec: REQUESTS as f64 / elapsed,
+        p50_ms: percentile_ms(&latencies_us, 0.50),
+        p95_ms: percentile_ms(&latencies_us, 0.95),
+        mean_batch: batch_total as f64 / REQUESTS as f64,
+    }
+}
+
+fn main() {
+    let config = PipelineConfig::smoke();
+    println!("bench_serve: training a smoke pipeline once, serving it at batch caps 1/4/8…");
+    let dataset = build_dataset(&DatasetConfig {
+        n_scenes: 4,
+        image_size: config.vision.image_size,
+        seed: 17,
+        generator: SceneGeneratorConfig::default(),
+    });
+    let snapshot = AeroDiffusionPipeline::fit(&dataset, config, 17).snapshot();
+
+    let runs: Vec<Run> = [1usize, 4, 8].iter().map(|&b| measure(&snapshot, b)).collect();
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>11}",
+        "max_batch", "req/sec", "p50 ms", "p95 ms", "mean batch"
+    );
+    for run in &runs {
+        println!(
+            "{:>10} {:>12.2} {:>10.2} {:>10.2} {:>11.2}",
+            run.max_batch, run.req_per_sec, run.p50_ms, run.p95_ms, run.mean_batch
+        );
+    }
+    let speedup = runs[2].req_per_sec / runs[0].req_per_sec;
+    println!("batch-8 vs batch-1 throughput: {speedup:.2}x");
+    assert!(
+        runs[2].req_per_sec > runs[0].req_per_sec,
+        "coalescing at batch 8 must beat serial batch-1 serving"
+    );
+
+    let json = Json::obj(vec![
+        ("bench", "serve".into()),
+        ("requests", REQUESTS.into()),
+        ("steps", STEPS.into()),
+        ("workers", 1u64.into()),
+        (
+            "results",
+            Json::Arr(
+                runs.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("max_batch", r.max_batch.into()),
+                            ("req_per_sec", r.req_per_sec.into()),
+                            ("p50_ms", r.p50_ms.into()),
+                            ("p95_ms", r.p95_ms.into()),
+                            ("mean_batch", r.mean_batch.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("batch8_vs_batch1_speedup", speedup.into()),
+    ]);
+    std::fs::write("BENCH_serve.json", format!("{}\n", json.render()))
+        .expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -29,6 +29,7 @@ pub mod lint;
 pub mod persist;
 pub mod pipeline;
 pub mod region;
+pub mod snapshot;
 pub mod substrate;
 pub mod viewpoint;
 
@@ -38,4 +39,5 @@ pub use config::PipelineConfig;
 pub use lint::lint_config;
 pub use pipeline::AeroDiffusionPipeline;
 pub use region::RegionAugmenter;
+pub use snapshot::PipelineSnapshot;
 pub use substrate::SubstrateBundle;

@@ -94,34 +94,40 @@ pub(crate) fn write_vocab(vocab: &Vocabulary, path: &Path) -> Result<(), Persist
     Ok(())
 }
 
-pub(crate) fn read_tokenizer(dir: &Path, max_len: usize) -> Result<Tokenizer, PersistError> {
-    let text = fs::read_to_string(dir.join("vocab.txt"))?;
-    let words: Vec<&str> = text.lines().collect();
+/// Rebuilds a [`Vocabulary`] with identical ids from its word list: the
+/// non-special words are fed with descending artificial frequency so
+/// `Vocabulary::build` preserves order. Shared by the on-disk loader and
+/// the in-memory [`crate::snapshot::PipelineSnapshot`] replica path.
+pub(crate) fn vocab_from_words<S: AsRef<str>>(words: &[S]) -> Result<Vocabulary, PersistError> {
     if words.len() < 4 {
         return Err(PersistError::Meta("vocabulary too short".into()));
     }
-    // Rebuild a vocabulary with identical ids: feed the non-special words
-    // with descending artificial frequency so Vocabulary::build preserves
-    // order.
     let mut corpus = String::new();
     let content = &words[4..];
     for (i, w) in content.iter().enumerate() {
         for _ in 0..(content.len() - i) {
-            corpus.push_str(w);
+            corpus.push_str(w.as_ref());
             corpus.push(' ');
         }
     }
     let vocab = Vocabulary::build([corpus.as_str()], 1);
     // sanity: ids must round-trip
     for (i, w) in words.iter().enumerate() {
-        if vocab.word(i) != *w {
+        if vocab.word(i) != w.as_ref() {
             return Err(PersistError::Meta(format!(
-                "vocabulary order not reproducible at id {i}: {w:?} vs {:?}",
+                "vocabulary order not reproducible at id {i}: {:?} vs {:?}",
+                w.as_ref(),
                 vocab.word(i)
             )));
         }
     }
-    Ok(Tokenizer::new(vocab, max_len))
+    Ok(vocab)
+}
+
+pub(crate) fn read_tokenizer(dir: &Path, max_len: usize) -> Result<Tokenizer, PersistError> {
+    let text = fs::read_to_string(dir.join("vocab.txt"))?;
+    let words: Vec<&str> = text.lines().collect();
+    Ok(Tokenizer::new(vocab_from_words(&words)?, max_len))
 }
 
 pub(crate) fn write_meta(meta: &PipelineMeta, path: &Path) -> Result<(), PersistError> {

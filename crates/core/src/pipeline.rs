@@ -18,13 +18,13 @@ use rand::{Rng, SeedableRng};
 /// A fully trained AeroDiffusion system.
 #[derive(Debug)]
 pub struct AeroDiffusionPipeline {
-    config: PipelineConfig,
-    bundle: SubstrateBundle,
-    condition: ConditionNetwork,
-    unet: CondUnet,
-    trainer: DiffusionTrainer,
-    provider: LlmProvider,
-    variant: AblationVariant,
+    pub(crate) config: PipelineConfig,
+    pub(crate) bundle: SubstrateBundle,
+    pub(crate) condition: ConditionNetwork,
+    pub(crate) unet: CondUnet,
+    pub(crate) trainer: DiffusionTrainer,
+    pub(crate) provider: LlmProvider,
+    pub(crate) variant: AblationVariant,
 }
 
 impl AeroDiffusionPipeline {
@@ -227,7 +227,10 @@ impl AeroDiffusionPipeline {
         self.generate_with_description_and_sampler(item, &caption, sampler, rng)
     }
 
-    /// The fully explicit generation entry point.
+    /// The fully explicit generation entry point: encode → sample →
+    /// decode, each stage also callable on its own (the serving runtime
+    /// drives them separately so it can cache conditions and coalesce
+    /// sampler calls).
     pub fn generate_with_description_and_sampler<R: Rng + ?Sized>(
         &self,
         item: &DatasetItem,
@@ -236,23 +239,45 @@ impl AeroDiffusionPipeline {
         rng: &mut R,
     ) -> Image {
         let caption_g = self.caption_for(item, rng);
+        let cond = self.encode_condition(item, &caption_g, g_prime);
+        let [c, h, w] = self.latent_shape();
+        let z_init = Tensor::randn(&[1, c, h, w], rng);
+        let z = self.sample_latents(sampler, z_init, &cond);
+        self.decode_latent(&z.reshape(&[c, h, w]))
+    }
+
+    /// The per-sample latent geometry `[channels, side, side]`.
+    pub fn latent_shape(&self) -> [usize; 3] {
+        let latent_side = self.config.vision.image_size / 4;
+        [LATENT_CHANNELS, latent_side, latent_side]
+    }
+
+    /// Encode stage: the `[1, cond_dim]` condition vector for a reference
+    /// item, source caption `G` and target description `G'`. Deterministic
+    /// in its inputs — the serving runtime caches the result per prompt.
+    pub fn encode_condition(&self, item: &DatasetItem, caption_g: &str, g_prime: &str) -> Tensor {
         let rois = self.propose_rois(&item.rendered.image);
         let inputs = [ConditionInputs {
             image: &item.rendered.image,
-            tokens_g: self.bundle.tokenizer.encode(&caption_g),
+            tokens_g: self.bundle.tokenizer.encode(caption_g),
             tokens_g_prime: self.bundle.tokenizer.encode(g_prime),
             rois: &rois,
         }];
-        let cond = self.condition.build_batch(&self.bundle.clip, &inputs).to_tensor();
-        let latent_side = self.config.vision.image_size / 4;
-        let z = sampler.sample(
-            &self.unet,
-            self.trainer.schedule(),
-            &[1, LATENT_CHANNELS, latent_side, latent_side],
-            Some(&cond),
-            rng,
-        );
-        let decoded = self.bundle.vae.decode_tensor(&z);
+        self.condition.build_batch(&self.bundle.clip, &inputs).to_tensor()
+    }
+
+    /// Sample stage: the deterministic DDIM reverse process from explicit
+    /// initial noise `z_init` of shape `[n, c, h, w]` with conditions
+    /// `[n, cond_dim]`. Row `i` of the output depends only on row `i` of
+    /// the inputs, so callers may batch freely without changing results.
+    pub fn sample_latents(&self, sampler: &DdimSampler, z_init: Tensor, cond: &Tensor) -> Tensor {
+        sampler.sample_from(&self.unet, self.trainer.schedule(), z_init, Some(cond))
+    }
+
+    /// Decode stage: one latent `[c, h, w]` through the VAE to an image.
+    pub fn decode_latent(&self, z: &Tensor) -> Image {
+        let [c, h, w] = self.latent_shape();
+        let decoded = self.bundle.vae.decode_tensor(&z.reshape(&[1, c, h, w]));
         let s = self.config.vision.image_size;
         Image::from_tensor(&decoded.reshape(&[3, s, s]))
     }
@@ -307,15 +332,7 @@ impl AeroDiffusionPipeline {
     /// `G' = G`) — exposed for diagnostics and analysis.
     pub fn condition_vector(&self, item: &DatasetItem) -> Tensor {
         let caption = self.caption_for(item, &mut StdRng::seed_from_u64(0));
-        let rois = self.propose_rois(&item.rendered.image);
-        let tokens = self.bundle.tokenizer.encode(&caption);
-        let inputs = [ConditionInputs {
-            image: &item.rendered.image,
-            tokens_g: tokens.clone(),
-            tokens_g_prime: tokens,
-            rois: &rois,
-        }];
-        self.condition.build_batch(&self.bundle.clip, &inputs).to_tensor()
+        self.encode_condition(item, &caption, &caption)
     }
 
     /// Saves the trained pipeline to a directory (see [`crate::persist`]

@@ -1,0 +1,191 @@
+//! In-memory snapshots of trained pipelines.
+//!
+//! [`AeroDiffusionPipeline`] weights live in `aero-nn` autograd handles
+//! (`Rc<RefCell<…>>`), which cannot cross threads. A [`PipelineSnapshot`]
+//! captures everything a replica needs — configuration, metadata, the
+//! vocabulary, and every module's weights in the `aero-nn` binary codec —
+//! as plain owned data that *is* `Send + Sync`. The serving worker pool
+//! shares one snapshot behind an `Arc` and each worker hydrates its own
+//! thread-local replica, the standard immutable-weights/many-replicas
+//! deployment shape.
+
+use crate::ablation::AblationVariant;
+use crate::condition::ConditionNetwork;
+use crate::config::PipelineConfig;
+use crate::persist::{vocab_from_words, PersistError, PipelineMeta};
+use crate::pipeline::AeroDiffusionPipeline;
+use crate::substrate::SubstrateBundle;
+use aero_diffusion::{CondUnet, DiffusionTrainer};
+use aero_nn::serialize::{decode_tensors, encode_params, load_into_params, LoadWeightsError};
+use aero_nn::{Module, Var};
+use aero_text::llm::LlmProvider;
+use aero_text::tokenizer::Tokenizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A dependency-free, thread-safe copy of a trained pipeline's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSnapshot {
+    config: PipelineConfig,
+    meta: PipelineMeta,
+    vocab: Vec<String>,
+    clip: Vec<u8>,
+    vae: Vec<u8>,
+    detector: Vec<u8>,
+    condition: Vec<u8>,
+    unet: Vec<u8>,
+}
+
+fn params_bytes(params: &[Var]) -> Vec<u8> {
+    encode_params(params).to_vec()
+}
+
+fn restore(params: &[Var], blob: &[u8]) -> Result<(), LoadWeightsError> {
+    load_into_params(params, decode_tensors(blob)?)
+}
+
+impl PipelineSnapshot {
+    /// The configuration the snapshot was trained with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The ablation variant the snapshot was trained as.
+    pub fn variant(&self) -> AblationVariant {
+        self.meta.variant
+    }
+
+    /// The caption provider the snapshot was trained with.
+    pub fn provider(&self) -> LlmProvider {
+        self.meta.provider
+    }
+
+    /// Total size of the serialized weight blobs in bytes.
+    pub fn weight_bytes(&self) -> usize {
+        self.clip.len()
+            + self.vae.len()
+            + self.detector.len()
+            + self.condition.len()
+            + self.unet.len()
+    }
+
+    /// Reconstructs a working pipeline replica from the snapshot. The
+    /// replica generates byte-identical output to the pipeline that was
+    /// snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stored vocabulary or a weight blob does not decode
+    /// against the snapshot's own configuration (possible only if the
+    /// snapshot bytes were corrupted in transit).
+    pub fn hydrate(&self) -> Result<AeroDiffusionPipeline, PersistError> {
+        let tokenizer = Tokenizer::new(vocab_from_words(&self.vocab)?, self.meta.max_len);
+        let mut bundle = SubstrateBundle::new_untrained(tokenizer, &self.config, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let vocab = bundle.tokenizer.vocab().len();
+        let condition = ConditionNetwork::with_components(
+            vocab,
+            &self.config,
+            self.meta.variant.uses_blip(),
+            self.meta.variant.uses_object_detection(),
+            &mut rng,
+        );
+        let unet = CondUnet::new(crate::lint::unet_config(&self.config), &mut rng);
+        restore(&bundle.clip.params(), &self.clip)?;
+        restore(&bundle.vae.params(), &self.vae)?;
+        restore(&bundle.detector.params(), &self.detector)?;
+        restore(&condition.params(), &self.condition)?;
+        restore(&unet.params(), &self.unet)?;
+        bundle.vae.set_latent_scale(self.meta.latent_scale);
+        Ok(AeroDiffusionPipeline {
+            config: self.config,
+            bundle,
+            condition,
+            unet,
+            trainer: DiffusionTrainer::new(self.config.diffusion),
+            provider: self.meta.provider,
+            variant: self.meta.variant,
+        })
+    }
+}
+
+impl AeroDiffusionPipeline {
+    /// Captures the trained pipeline as an owned, `Send + Sync` snapshot
+    /// (see [`PipelineSnapshot`]).
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        let vocab = self.bundle.tokenizer.vocab();
+        PipelineSnapshot {
+            config: self.config,
+            meta: PipelineMeta {
+                max_len: self.bundle.tokenizer.max_len(),
+                latent_scale: self.bundle.vae.latent_scale(),
+                provider: self.provider,
+                variant: self.variant,
+            },
+            vocab: (0..vocab.len()).map(|id| vocab.word(id).to_string()).collect(),
+            clip: params_bytes(&self.bundle.clip.params()),
+            vae: params_bytes(&self.bundle.vae.params()),
+            detector: params_bytes(&self.bundle.detector.params()),
+            condition: params_bytes(&self.condition.params()),
+            unet: params_bytes(&self.unet.params()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn snapshot_is_thread_safe() {
+        assert_send_sync::<PipelineSnapshot>();
+    }
+
+    #[test]
+    fn hydrated_replica_generates_identically() {
+        let config = PipelineConfig::smoke();
+        let ds = build_dataset(&DatasetConfig {
+            n_scenes: 3,
+            image_size: config.vision.image_size,
+            seed: 31,
+            generator: SceneGeneratorConfig {
+                min_objects: 4,
+                max_objects: 6,
+                night_probability: 0.0,
+            },
+        });
+        let pipeline = AeroDiffusionPipeline::fit(&ds, config, 17);
+        let snapshot = pipeline.snapshot();
+        assert!(snapshot.weight_bytes() > 0);
+
+        let replica = snapshot.hydrate().expect("snapshot must hydrate");
+        let a = pipeline.generate(&ds.items[0], &mut StdRng::seed_from_u64(5));
+        let b = replica.generate(&ds.items[0], &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b, "replica must generate byte-identical output");
+    }
+
+    #[test]
+    fn snapshot_survives_a_thread_hop() {
+        let config = PipelineConfig::smoke();
+        let ds = build_dataset(&DatasetConfig {
+            n_scenes: 2,
+            image_size: config.vision.image_size,
+            seed: 32,
+            generator: SceneGeneratorConfig::default(),
+        });
+        let pipeline = AeroDiffusionPipeline::fit(&ds, config, 18);
+        let snapshot = pipeline.snapshot();
+        let expect = pipeline.generate(&ds.items[0], &mut StdRng::seed_from_u64(9));
+        let item = ds.items[0].clone();
+        let got = std::thread::spawn(move || {
+            let replica = snapshot.hydrate().expect("hydrate on worker thread");
+            replica.generate(&item, &mut StdRng::seed_from_u64(9))
+        })
+        .join()
+        .expect("worker thread");
+        assert_eq!(expect, got);
+    }
+}

@@ -6,6 +6,18 @@ use crate::unet::CondUnet;
 use aero_tensor::Tensor;
 use rand::Rng;
 
+/// Shared floor for every denominator of the reverse-process update rules
+/// (`sqrt(alpha)`, `sqrt(alpha_bar)`, `sqrt(1 - alpha_bar)`). Near the ends
+/// of the schedule these terms approach zero and an unguarded division
+/// amplifies prediction error explosively; both samplers clamp through this
+/// one constant so the guard can never drift between them.
+const DENOM_EPS: f32 = 1e-6;
+
+/// `sqrt(x)` guarded for use as a denominator.
+fn guarded_sqrt(x: f32) -> f32 {
+    x.sqrt().max(DENOM_EPS)
+}
+
 /// Ancestral DDPM sampler (the paper's training-time scheduler family).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DdpmSampler;
@@ -19,6 +31,10 @@ impl DdpmSampler {
     /// Samples a batch from pure noise: runs all `T` ancestral steps.
     ///
     /// `shape` is `[n, c, h, w]`; `cond` is `[n, cond_dim]` or `None`.
+    ///
+    /// All batch rows share `rng`, so a row's output depends on its batch
+    /// context; use [`DdpmSampler::sample_with_streams`] when each sample
+    /// must be reproducible independently of how it was batched.
     pub fn sample<R: Rng + ?Sized>(
         &self,
         unet: &CondUnet,
@@ -29,13 +45,11 @@ impl DdpmSampler {
     ) -> Tensor {
         let n = shape[0];
         let mut z = Tensor::randn(shape, rng);
+        let mut ts = vec![0usize; n];
         for t in (0..schedule.timesteps()).rev() {
-            let ts = vec![t; n];
+            ts.fill(t);
             let eps_hat = unet.predict(&z, &ts, cond);
-            let alpha = schedule.alpha(t);
-            let alpha_bar = schedule.alpha_bar(t);
-            let coef = (1.0 - alpha) / (1.0 - alpha_bar).sqrt().max(1e-6);
-            let mean = z.sub(&eps_hat.mul_scalar(coef)).mul_scalar(1.0 / alpha.sqrt());
+            let mean = self.posterior_mean(schedule, t, &z, &eps_hat);
             if t > 0 {
                 let sigma = schedule.beta(t).sqrt();
                 z = mean.add(&Tensor::randn(shape, rng).mul_scalar(sigma));
@@ -45,6 +59,65 @@ impl DdpmSampler {
         }
         z
     }
+
+    /// Samples a batch where every row draws its noise from its *own* RNG
+    /// stream: row `i`'s initial latent and all of its ancestral noise come
+    /// from `rngs[i]` alone, so the output row is identical whether the
+    /// request ran in a batch of 1 or of 8 (the serving batcher relies on
+    /// this).
+    ///
+    /// `sample_shape` is the per-sample `[c, h, w]`; the batch size is
+    /// `rngs.len()`; `cond` is `[n, cond_dim]` or `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs` is empty.
+    pub fn sample_with_streams<R: Rng>(
+        &self,
+        unet: &CondUnet,
+        schedule: &NoiseSchedule,
+        sample_shape: &[usize],
+        cond: Option<&Tensor>,
+        rngs: &mut [R],
+    ) -> Tensor {
+        let n = rngs.len();
+        assert!(n > 0, "need at least one RNG stream");
+        let mut z = stack_noise(sample_shape, rngs);
+        let mut ts = vec![0usize; n];
+        for t in (0..schedule.timesteps()).rev() {
+            ts.fill(t);
+            let eps_hat = unet.predict(&z, &ts, cond);
+            let mean = self.posterior_mean(schedule, t, &z, &eps_hat);
+            if t > 0 {
+                let sigma = schedule.beta(t).sqrt();
+                z = mean.add(&stack_noise(sample_shape, rngs).mul_scalar(sigma));
+            } else {
+                z = mean;
+            }
+        }
+        z
+    }
+
+    /// One ancestral posterior mean `μ(z_t, ε̂)` (Eq. 11 of DDPM).
+    fn posterior_mean(
+        &self,
+        schedule: &NoiseSchedule,
+        t: usize,
+        z: &Tensor,
+        eps_hat: &Tensor,
+    ) -> Tensor {
+        let alpha = schedule.alpha(t);
+        let alpha_bar = schedule.alpha_bar(t);
+        let coef = (1.0 - alpha) / guarded_sqrt(1.0 - alpha_bar);
+        z.sub(&eps_hat.mul_scalar(coef)).mul_scalar(1.0 / guarded_sqrt(alpha))
+    }
+}
+
+/// Per-sample noise rows, one from each stream, stacked to `[n, c, h, w]`.
+fn stack_noise<R: Rng>(sample_shape: &[usize], rngs: &mut [R]) -> Tensor {
+    let rows: Vec<Tensor> = rngs.iter_mut().map(|r| Tensor::randn(sample_shape, r)).collect();
+    let refs: Vec<&Tensor> = rows.iter().collect();
+    Tensor::stack(&refs)
 }
 
 /// DDIM sampler (η = 0, deterministic given the start noise) with
@@ -72,9 +145,9 @@ impl DdimSampler {
 
     /// Samples a batch from pure noise.
     ///
-    /// With a condition and `guidance_scale > 1`, each step evaluates the
-    /// UNet twice (conditional + unconditional) and extrapolates:
-    /// `ε = ε_u + g (ε_c − ε_u)`.
+    /// Draws the initial latent from `rng` and delegates to
+    /// [`DdimSampler::sample_from`]; with η = 0 that draw is the only
+    /// stochastic step.
     pub fn sample<R: Rng + ?Sized>(
         &self,
         unet: &CondUnet,
@@ -83,11 +156,33 @@ impl DdimSampler {
         cond: Option<&Tensor>,
         rng: &mut R,
     ) -> Tensor {
-        let n = shape[0];
-        let mut z = Tensor::randn(shape, rng);
+        self.sample_from(unet, schedule, Tensor::randn(shape, rng), cond)
+    }
+
+    /// Runs the deterministic reverse process from an explicit initial
+    /// latent `z_T` of shape `[n, c, h, w]`.
+    ///
+    /// Because every per-row operation is independent, row `i` of the
+    /// output depends only on row `i` of `z_init` (and of `cond`) — the
+    /// serving batcher uses this to coalesce requests without changing
+    /// any request's result.
+    ///
+    /// With a condition and `guidance_scale > 1`, each step evaluates the
+    /// UNet twice (conditional + unconditional) and extrapolates:
+    /// `ε = ε_u + g (ε_c − ε_u)`.
+    pub fn sample_from(
+        &self,
+        unet: &CondUnet,
+        schedule: &NoiseSchedule,
+        z_init: Tensor,
+        cond: Option<&Tensor>,
+    ) -> Tensor {
+        let n = z_init.shape()[0];
+        let mut z = z_init;
         let ts = schedule.ddim_timesteps(self.steps.min(schedule.timesteps()));
+        let mut batch_ts = vec![0usize; n];
         for (i, &t) in ts.iter().enumerate() {
-            let batch_ts = vec![t; n];
+            batch_ts.fill(t);
             let eps_hat = match cond {
                 Some(c) if self.guidance_scale != 1.0 => {
                     let cond_eps = unet.predict(&z, &batch_ts, Some(c));
@@ -99,7 +194,7 @@ impl DdimSampler {
             let ab_t = schedule.alpha_bar(t);
             let z0_hat = z
                 .sub(&eps_hat.mul_scalar((1.0 - ab_t).sqrt()))
-                .mul_scalar(1.0 / ab_t.sqrt().max(1e-6))
+                .mul_scalar(1.0 / guarded_sqrt(ab_t))
                 .clamp(-self.z0_clip, self.z0_clip);
             let t_prev = ts.get(i + 1).copied();
             match t_prev {
@@ -112,7 +207,6 @@ impl DdimSampler {
                 None => z = z0_hat,
             }
         }
-        let _ = rng;
         z
     }
 }
@@ -183,6 +277,80 @@ mod tests {
             &mut StdRng::seed_from_u64(5),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ddim_sample_matches_sample_from_on_same_noise() {
+        let (unet, schedule) = tiny_setup();
+        let c = Tensor::ones(&[1, 3]);
+        let sampler = DdimSampler::new(4, 2.0);
+        let via_rng = sampler.sample(
+            &unet,
+            &schedule,
+            &[1, 2, 8, 8],
+            Some(&c),
+            &mut StdRng::seed_from_u64(8),
+        );
+        let noise = Tensor::randn(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(8));
+        let via_latent = sampler.sample_from(&unet, &schedule, noise, Some(&c));
+        assert_eq!(via_rng, via_latent);
+    }
+
+    #[test]
+    fn ddim_rows_are_batch_invariant() {
+        // The serving contract: a request's output is byte-identical
+        // whether it ran alone or coalesced into a batch.
+        let (unet, schedule) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(11);
+        let noise_a = Tensor::randn(&[1, 2, 8, 8], &mut rng);
+        let noise_b = Tensor::randn(&[1, 2, 8, 8], &mut rng);
+        let cond_a = Tensor::randn(&[1, 3], &mut rng);
+        let cond_b = Tensor::randn(&[1, 3], &mut rng);
+        let sampler = DdimSampler::new(4, 2.0);
+
+        let batched = sampler.sample_from(
+            &unet,
+            &schedule,
+            Tensor::concat(&[&noise_a, &noise_b], 0),
+            Some(&Tensor::concat(&[&cond_a, &cond_b], 0)),
+        );
+        let solo_a = sampler.sample_from(&unet, &schedule, noise_a, Some(&cond_a));
+        let solo_b = sampler.sample_from(&unet, &schedule, noise_b, Some(&cond_b));
+
+        assert_eq!(batched.narrow(0, 0, 1), solo_a);
+        assert_eq!(batched.narrow(0, 1, 1), solo_b);
+    }
+
+    #[test]
+    fn ddpm_streams_are_batch_invariant() {
+        let (unet, schedule) = tiny_setup();
+        let mut seed_rng = StdRng::seed_from_u64(13);
+        let cond = Tensor::randn(&[2, 3], &mut seed_rng);
+        let sampler = DdpmSampler::new();
+
+        let mut batch_rngs = [StdRng::seed_from_u64(21), StdRng::seed_from_u64(22)];
+        let batched =
+            sampler.sample_with_streams(&unet, &schedule, &[2, 8, 8], Some(&cond), &mut batch_rngs);
+
+        let mut solo_a = [StdRng::seed_from_u64(21)];
+        let a = sampler.sample_with_streams(
+            &unet,
+            &schedule,
+            &[2, 8, 8],
+            Some(&cond.narrow(0, 0, 1)),
+            &mut solo_a,
+        );
+        let mut solo_b = [StdRng::seed_from_u64(22)];
+        let b = sampler.sample_with_streams(
+            &unet,
+            &schedule,
+            &[2, 8, 8],
+            Some(&cond.narrow(0, 1, 1)),
+            &mut solo_b,
+        );
+
+        assert_eq!(batched.narrow(0, 0, 1), a);
+        assert_eq!(batched.narrow(0, 1, 1), b);
     }
 
     #[test]

@@ -93,9 +93,8 @@ impl Default for DatasetConfig {
 pub fn build_dataset(config: &DatasetConfig) -> AerialDataset {
     let generator = SceneGenerator::new(config.generator);
     let rasterizer = Rasterizer::new(config.image_size, config.image_size);
-    let n_threads =
-        std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(4).min(8);
-    let chunk = config.n_scenes.div_ceil(n_threads.max(1)).max(1);
+    let n_threads = aero_tensor::parallel::suggested_threads(8);
+    let chunk = config.n_scenes.div_ceil(n_threads).max(1);
     let mut items: Vec<Option<DatasetItem>> = vec![None; config.n_scenes];
     crossbeam::thread::scope(|scope| {
         for (tid, slot_chunk) in items.chunks_mut(chunk).enumerate() {

@@ -1,0 +1,177 @@
+//! The LRU condition-embedding cache.
+//!
+//! Encoding a condition runs the detector, BLIP fusion, CLIP text encoder
+//! and region augmenter — far more work than a cache probe — and repeated
+//! prompts are the common case for a serving workload. Entries are keyed
+//! by everything the encode depends on: the prompt, the ablation variant,
+//! and the guidance scale.
+
+use aero_tensor::Tensor;
+use aerodiffusion::AblationVariant;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Cache key for one condition embedding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConditionKey {
+    /// The target description `G'`.
+    pub prompt: String,
+    /// The ablation variant the pipeline was trained as.
+    pub variant: AblationVariant,
+    /// Guidance scale bits (f32 is not `Hash`; the bit pattern is).
+    pub guidance_bits: u32,
+}
+
+impl ConditionKey {
+    /// Builds a key.
+    #[must_use]
+    pub fn new(prompt: &str, variant: AblationVariant, guidance_scale: f32) -> Self {
+        ConditionKey {
+            prompt: prompt.to_string(),
+            variant,
+            guidance_bits: guidance_scale.to_bits(),
+        }
+    }
+}
+
+/// A strict-capacity LRU map. `get` refreshes recency; inserting beyond
+/// capacity evicts the least recently used entry.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, V>,
+    /// Keys ordered least → most recently used.
+    order: Vec<K>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache { map: HashMap::new(), order: Vec::new(), capacity }
+    }
+
+    /// Current entry count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let value = self.map.get(key)?.clone();
+        self.touch(key);
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used
+    /// entry if the cache is full. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
+        if self.map.insert(key.clone(), value).is_some() {
+            self.touch(&key);
+            return None;
+        }
+        self.order.push(key);
+        if self.map.len() > self.capacity {
+            let evicted = self.order.remove(0);
+            self.map.remove(&evicted);
+            return Some(evicted);
+        }
+        None
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some(i) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(i);
+            self.order.push(k);
+        }
+    }
+}
+
+/// The concrete cache the serving runtime shares across workers.
+pub type ConditionCache = LruCache<ConditionKey, Tensor>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_strict() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(3, 30), Some(1), "oldest entry must be evicted");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(20));
+        assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(10)); // 2 is now LRU
+        assert_eq!(c.insert(3, 30), Some(2));
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), None); // refresh, not a new entry
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.insert(3, 30), Some(2), "refreshed key 1 must outlive key 2");
+        assert_eq!(c.get(&1), Some(11));
+    }
+
+    #[test]
+    fn eviction_follows_use_order_exactly() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for k in 1..=3 {
+            c.insert(k, k);
+        }
+        c.get(&1);
+        c.get(&3);
+        // use order now 2 (LRU), 1, 3 (MRU)
+        assert_eq!(c.insert(4, 4), Some(2));
+        assert_eq!(c.insert(5, 5), Some(1));
+        assert_eq!(c.insert(6, 6), Some(3));
+    }
+
+    #[test]
+    fn condition_keys_distinguish_all_fields() {
+        let a = ConditionKey::new("p", AblationVariant::Full, 7.0);
+        assert_ne!(a, ConditionKey::new("q", AblationVariant::Full, 7.0));
+        assert_ne!(a, ConditionKey::new("p", AblationVariant::BaseSd, 7.0));
+        assert_ne!(a, ConditionKey::new("p", AblationVariant::Full, 7.5));
+        assert_eq!(a, ConditionKey::new("p", AblationVariant::Full, 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "LRU capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: LruCache<u32, u32> = LruCache::new(0);
+    }
+}

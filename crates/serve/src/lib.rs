@@ -1,0 +1,45 @@
+//! `aero-serve`: a batched inference serving runtime for trained
+//! AeroDiffusion pipelines.
+//!
+//! The runtime turns the research pipeline into a small production-shaped
+//! server:
+//!
+//! - a bounded, deadline-aware [`queue`] with explicit backpressure — a
+//!   full queue rejects with a typed reason instead of blocking;
+//! - a dynamic micro-batcher ([`RequestQueue::pop_batch`]) that coalesces
+//!   concurrent requests into one `[n, c, h, w]` sampler call, where each
+//!   request's seed drives a private noise stream so its image is
+//!   byte-identical whether it ran at batch 1 or batch 8;
+//! - an LRU condition-embedding [`cache`] keyed by prompt, ablation
+//!   variant and guidance scale, shared across workers;
+//! - a worker pool ([`runtime`]) in which every thread hydrates a private
+//!   replica of the immutable trained pipeline from a
+//!   [`aerodiffusion::PipelineSnapshot`], with a graceful
+//!   drain-and-shutdown;
+//! - an NDJSON [`server`] front-end (request per line in, base64 image
+//!   plus per-stage latency per line out) plus a `stats` request type;
+//! - a static shape [`lint`] extending `aero-analysis` with the batcher's
+//!   coalesced-condition contract against the UNet configuration.
+//!
+//! The vendored dependency set has no serde or base64, so [`json`] and
+//! [`base64`] are small self-contained implementations of exactly the
+//! wire format the server speaks.
+
+pub mod base64;
+pub mod cache;
+pub mod json;
+pub mod lint;
+pub mod queue;
+pub mod request;
+pub mod runtime;
+pub mod server;
+pub mod stats;
+
+pub use cache::{ConditionCache, ConditionKey, LruCache};
+pub use json::Json;
+pub use lint::lint_serve;
+pub use queue::{Pending, RequestQueue};
+pub use request::{GenerateRequest, GeneratedImage, RejectReason, ServeReply, StageLatency};
+pub use runtime::{ResponseHandle, ServeConfig, ServeRuntime};
+pub use server::serve_ndjson;
+pub use stats::{StatsCollector, StatsReport};

@@ -1,0 +1,70 @@
+//! Static shape lint for the serving configuration.
+//!
+//! Extends the pipeline shape program with the batcher's contribution:
+//! the micro-batcher concatenates `max_batch` per-request `[1, cond_dim]`
+//! condition rows on axis 0 and feeds the result to the UNet, so the
+//! coalesced tensor must land exactly on `[max_batch, cond_dim]` for the
+//! UNet configuration the pipeline would realise. This is checked
+//! symbolically — no model is built — so `lint --all` catches a serving
+//! misconfiguration before anything trains.
+
+use aero_analysis::{Report, ShapeCtx};
+use aero_tensor::sym::ShapeSpec;
+use aerodiffusion::lint::{pipeline_desc, unet_config};
+use aerodiffusion::PipelineConfig;
+
+use crate::runtime::ServeConfig;
+
+/// Statically validates a serving setup on top of the pipeline lint.
+#[must_use]
+pub fn lint_serve(config: &PipelineConfig, serve: &ServeConfig) -> Report {
+    let mut ctx = ShapeCtx::new();
+    pipeline_desc(config).check(&mut ctx);
+    let unet = unet_config(config);
+    ctx.scoped("serve", |ctx| {
+        ctx.require(
+            serve.max_batch > 0,
+            aero_analysis::DiagCode::ShapeMismatch,
+            "max_batch must be positive",
+        );
+        ctx.scoped("batcher", |ctx| {
+            let row = ShapeSpec::fixed(&[1, unet.cond_dim]);
+            let rows: Vec<&ShapeSpec> = (0..serve.max_batch.max(1)).map(|_| &row).collect();
+            if let Some(coalesced) = ctx.concat(&rows, 0) {
+                ctx.require_same_shape(
+                    &coalesced,
+                    &ShapeSpec::fixed(&[serve.max_batch.max(1), unet.cond_dim]),
+                    "coalesced condition batch fed to the UNet",
+                );
+            }
+        });
+    });
+    ctx.into_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_presets_lint_clean_with_default_serving() {
+        for (name, config) in [
+            ("paper", PipelineConfig::paper()),
+            ("small", PipelineConfig::small()),
+            ("smoke", PipelineConfig::smoke()),
+        ] {
+            let serve = ServeConfig::for_pipeline(&config);
+            let report = lint_serve(&config, &serve);
+            assert!(report.is_clean(), "{name} preset:\n{}", report.render());
+        }
+    }
+
+    #[test]
+    fn zero_max_batch_is_flagged() {
+        let config = PipelineConfig::smoke();
+        let mut serve = ServeConfig::for_pipeline(&config);
+        serve.max_batch = 0;
+        let report = lint_serve(&config, &serve);
+        assert!(!report.is_clean());
+    }
+}

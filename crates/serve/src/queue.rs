@@ -1,0 +1,300 @@
+//! The bounded, deadline-aware request queue feeding the worker pool.
+//!
+//! Backpressure is explicit: a full queue rejects new work with a typed
+//! [`RejectReason::QueueFull`] instead of blocking the submitter forever,
+//! so callers can shed load or retry with jitter. Requests that sit past
+//! their deadline are rejected at dequeue time rather than sampled — by
+//! then the client has given up, and sampling is the expensive stage.
+
+use crate::request::{GenerateRequest, RejectReason, ServeReply};
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A queued request plus its bookkeeping.
+#[derive(Debug)]
+pub struct Pending {
+    /// The request itself.
+    pub request: GenerateRequest,
+    /// When it entered the queue (queue-wait accounting).
+    pub enqueued: Instant,
+    /// Absolute expiry, from the request's relative deadline.
+    pub deadline: Option<Instant>,
+    /// Where the reply goes.
+    pub responder: Sender<ServeReply>,
+}
+
+impl Pending {
+    /// Sends a typed rejection to the waiting client (best-effort: a
+    /// client that dropped its handle is simply gone).
+    pub fn reject(self, reason: RejectReason) {
+        let _ = self.responder.send(ServeReply::Rejected { id: self.request.id.clone(), reason });
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    items: VecDeque<Pending>,
+    shutting_down: bool,
+}
+
+/// The bounded MPMC queue between submitters and workers.
+#[derive(Debug)]
+pub struct RequestQueue {
+    state: Mutex<State>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl RequestQueue {
+    /// Creates a queue admitting at most `capacity` waiting requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        RequestQueue {
+            state: Mutex::new(State { items: VecDeque::new(), shutting_down: false }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently waiting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking worker.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a request, or rejects it with backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::ShuttingDown`] once a drain began,
+    /// [`RejectReason::QueueFull`] at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking worker.
+    pub fn push(&self, pending: Pending) -> Result<(), RejectReason> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.shutting_down {
+            return Err(RejectReason::ShuttingDown);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(RejectReason::QueueFull { capacity: self.capacity });
+        }
+        state.items.push_back(pending);
+        drop(state);
+        self.available.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until work is available, then returns up to `max_batch`
+    /// requests. When fewer than `max_batch` are waiting, lingers up to
+    /// `coalesce_wait` for stragglers to batch with (dynamic batching);
+    /// a drain skips the linger. Expired requests are rejected here, not
+    /// returned. Returns `None` when shutting down with an empty queue —
+    /// the worker's signal to exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking worker.
+    pub fn pop_batch(&self, max_batch: usize, coalesce_wait: Duration) -> Option<Vec<Pending>> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            reject_expired(&mut state.items);
+            if state.items.is_empty() {
+                if state.shutting_down {
+                    return None;
+                }
+                state = self.available.wait(state).expect("queue lock");
+                continue;
+            }
+            if state.items.len() < max_batch && !state.shutting_down {
+                let coalesce_until = Instant::now() + coalesce_wait;
+                while state.items.len() < max_batch && !state.shutting_down {
+                    let left = coalesce_until.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    let (s, _) = self.available.wait_timeout(state, left).expect("queue lock");
+                    state = s;
+                }
+                reject_expired(&mut state.items);
+                if state.items.is_empty() {
+                    continue;
+                }
+            }
+            let n = state.items.len().min(max_batch);
+            return Some(state.items.drain(..n).collect());
+        }
+    }
+
+    /// Starts a drain: new pushes are rejected, workers keep popping until
+    /// the queue is empty and then see `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking worker.
+    pub fn begin_shutdown(&self) {
+        self.state.lock().expect("queue lock").shutting_down = true;
+        self.available.notify_all();
+    }
+}
+
+/// Rejects every entry whose deadline has passed, in place.
+fn reject_expired(items: &mut VecDeque<Pending>) {
+    let now = Instant::now();
+    let mut i = 0;
+    while i < items.len() {
+        if items[i].deadline.is_some_and(|d| d <= now) {
+            if let Some(p) = items.remove(i) {
+                p.reject(RejectReason::DeadlineExceeded);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn pending(id: &str, deadline: Option<Duration>) -> (Pending, mpsc::Receiver<ServeReply>) {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        (
+            Pending {
+                request: GenerateRequest::new(id, "a prompt", 0),
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
+                responder: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn full_queue_rejects_with_typed_error() {
+        let q = RequestQueue::new(2);
+        let (a, _ra) = pending("a", None);
+        let (b, _rb) = pending("b", None);
+        let (c, _rc) = pending("c", None);
+        q.push(a).unwrap();
+        q.push(b).unwrap();
+        assert_eq!(q.push(c), Err(RejectReason::QueueFull { capacity: 2 }));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_drains_old() {
+        let q = RequestQueue::new(4);
+        let (a, _ra) = pending("a", None);
+        q.push(a).unwrap();
+        q.begin_shutdown();
+        let (b, _rb) = pending("b", None);
+        assert_eq!(q.push(b), Err(RejectReason::ShuttingDown));
+        // draining: the queued request is still delivered…
+        let batch = q.pop_batch(8, Duration::from_millis(50)).expect("drain batch");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].request.id, "a");
+        // …and an empty drained queue signals exit.
+        assert!(q.pop_batch(8, Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn pop_coalesces_up_to_max_batch() {
+        let q = RequestQueue::new(8);
+        for i in 0..5 {
+            let (p, _r) = pending(&format!("r{i}"), None);
+            std::mem::forget(_r); // keep responders alive for the test
+            q.push(p).unwrap();
+        }
+        q.begin_shutdown(); // skip the coalesce linger
+        let batch = q.pop_batch(3, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 3);
+        let rest = q.pop_batch(3, Duration::ZERO).unwrap();
+        assert_eq!(rest.len(), 2);
+    }
+
+    #[test]
+    fn expired_requests_are_rejected_not_served() {
+        let q = RequestQueue::new(4);
+        let (dead, dead_rx) = pending("dead", Some(Duration::ZERO));
+        let (live, live_rx) = pending("live", None);
+        q.push(dead).unwrap();
+        q.push(live).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        q.begin_shutdown();
+        let batch = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].request.id, "live");
+        drop(live_rx);
+        match dead_rx.recv().expect("rejection must be delivered") {
+            ServeReply::Rejected { id, reason } => {
+                assert_eq!(id, "dead");
+                assert_eq!(reason, RejectReason::DeadlineExceeded);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_one_worker_drain_everything() {
+        let q = std::sync::Arc::new(RequestQueue::new(64));
+        let mut rxs = Vec::new();
+        std::thread::scope(|scope| {
+            let worker_q = q.clone();
+            let worker = scope.spawn(move || {
+                let mut served = 0;
+                while let Some(batch) = worker_q.pop_batch(4, Duration::from_millis(1)) {
+                    for p in batch {
+                        let _ = p.responder.send(ServeReply::Rejected {
+                            id: p.request.id.clone(),
+                            reason: RejectReason::WorkerFailure,
+                        });
+                        served += 1;
+                    }
+                }
+                served
+            });
+            for i in 0..16 {
+                let (p, rx) = pending(&format!("r{i}"), None);
+                q.push(p).unwrap();
+                rxs.push(rx);
+            }
+            // let the worker drain, then stop it
+            while !q.is_empty() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            q.begin_shutdown();
+            assert_eq!(worker.join().unwrap(), 16);
+        });
+        for rx in rxs {
+            assert!(rx.recv().is_ok(), "every request must get a reply");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Serving protocol types: requests, replies, and typed rejections.
+
+use crate::base64;
+use crate::json::Json;
+use std::fmt;
+use std::time::Duration;
+
+/// One text-to-aerial-image generation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateRequest {
+    /// Client-chosen correlation id, echoed on the reply.
+    pub id: String,
+    /// The target description `G'` steering generation.
+    pub prompt: String,
+    /// Seed driving this request's private noise stream. The same seed
+    /// yields byte-identical output regardless of how the request was
+    /// batched.
+    pub seed: u64,
+    /// Classifier-free guidance scale override (default: the runtime's).
+    pub guidance_scale: Option<f32>,
+    /// DDIM step count override (default: the runtime's).
+    pub steps: Option<usize>,
+    /// Deadline measured from submission; a request still queued when it
+    /// expires is rejected instead of sampled.
+    pub deadline: Option<Duration>,
+}
+
+impl GenerateRequest {
+    /// A request with defaults for everything but id, prompt and seed.
+    #[must_use]
+    pub fn new(id: impl Into<String>, prompt: impl Into<String>, seed: u64) -> Self {
+        GenerateRequest {
+            id: id.into(),
+            prompt: prompt.into(),
+            seed,
+            guidance_scale: None,
+            steps: None,
+            deadline: None,
+        }
+    }
+
+    /// Parses the NDJSON form:
+    /// `{"type":"generate","id":…,"prompt":…,"seed":…,"guidance":…,"steps":…,"deadline_ms":…}`.
+    /// Only `prompt` is required; `id` defaults to `fallback_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing/mistyped field.
+    pub fn from_json(v: &Json, fallback_id: &str) -> Result<Self, String> {
+        let prompt = v
+            .get("prompt")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "generate request needs a string \"prompt\"".to_string())?;
+        let id = v.get("id").and_then(Json::as_str).unwrap_or(fallback_id);
+        let seed = match v.get("seed") {
+            None => 0,
+            Some(s) => {
+                s.as_u64().ok_or_else(|| "\"seed\" must be a non-negative integer".to_string())?
+            }
+        };
+        let guidance_scale = match v.get("guidance") {
+            None => None,
+            Some(g) => {
+                Some(g.as_f64().ok_or_else(|| "\"guidance\" must be a number".to_string())? as f32)
+            }
+        };
+        let steps = match v.get("steps") {
+            None => None,
+            Some(s) => {
+                Some(s.as_u64().ok_or_else(|| "\"steps\" must be a positive integer".to_string())?
+                    as usize)
+            }
+        };
+        let deadline = match v.get("deadline_ms") {
+            None => None,
+            Some(d) => Some(Duration::from_millis(
+                d.as_u64().ok_or_else(|| "\"deadline_ms\" must be milliseconds".to_string())?,
+            )),
+        };
+        Ok(GenerateRequest {
+            id: id.to_string(),
+            prompt: prompt.to_string(),
+            seed,
+            guidance_scale,
+            steps,
+            deadline,
+        })
+    }
+}
+
+/// Why the runtime refused to take (or finish) a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue was at capacity — explicit backpressure, the
+    /// client should retry later or shed load.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The runtime is draining and accepts no new work.
+    ShuttingDown,
+    /// The request's deadline expired while it waited in the queue.
+    DeadlineExceeded,
+    /// The serving worker disappeared before answering (worker panic).
+    WorkerFailure,
+}
+
+impl RejectReason {
+    /// Stable machine-readable tag used on the wire.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::ShuttingDown => "shutting_down",
+            RejectReason::DeadlineExceeded => "deadline_exceeded",
+            RejectReason::WorkerFailure => "worker_failure",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            RejectReason::ShuttingDown => write!(f, "runtime is shutting down"),
+            RejectReason::DeadlineExceeded => write!(f, "deadline expired while queued"),
+            RejectReason::WorkerFailure => write!(f, "serving worker failed"),
+        }
+    }
+}
+
+/// Per-stage wall-clock breakdown of one served request, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageLatency {
+    /// Time spent waiting in the request queue.
+    pub queue_us: u64,
+    /// Condition-encode time (0 on a cache hit).
+    pub encode_us: u64,
+    /// This request's share context: the wall time of the coalesced
+    /// sampler call it rode in.
+    pub sample_us: u64,
+    /// VAE decode + quantization time.
+    pub decode_us: u64,
+}
+
+impl StageLatency {
+    /// Total latency across stages.
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.queue_us + self.encode_us + self.sample_us + self.decode_us
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("queue", self.queue_us.into()),
+            ("encode", self.encode_us.into()),
+            ("sample", self.sample_us.into()),
+            ("decode", self.decode_us.into()),
+        ])
+    }
+}
+
+/// A successfully served image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedImage {
+    /// Echo of the request id.
+    pub id: String,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Channel-major (`[3, h, w]`) RGB bytes, one byte per channel value.
+    pub rgb8: Vec<u8>,
+    /// Per-stage latency breakdown.
+    pub latency: StageLatency,
+    /// How many requests the sampler call was coalesced over.
+    pub batch_size: usize,
+    /// Whether the condition embedding came from the cache.
+    pub cache_hit: bool,
+}
+
+/// The reply to one submitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeReply {
+    /// The request was served.
+    Image(GeneratedImage),
+    /// The request was rejected; the reason says at which stage.
+    Rejected {
+        /// Echo of the request id.
+        id: String,
+        /// The typed rejection.
+        reason: RejectReason,
+    },
+}
+
+impl ServeReply {
+    /// The NDJSON wire form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            ServeReply::Image(img) => Json::obj(vec![
+                ("type", "image".into()),
+                ("id", img.id.clone().into()),
+                ("width", img.width.into()),
+                ("height", img.height.into()),
+                ("rgb8_b64", base64::encode(&img.rgb8).into()),
+                ("batch_size", img.batch_size.into()),
+                ("cache_hit", img.cache_hit.into()),
+                ("latency_us", img.latency.to_json()),
+            ]),
+            ServeReply::Rejected { id, reason } => Json::obj(vec![
+                ("type", "error".into()),
+                ("id", id.clone().into()),
+                ("reason", reason.tag().into()),
+                ("detail", reason.to_string().into()),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_request_parses_full_form() {
+        let v = Json::parse(
+            r#"{"type":"generate","id":"a","prompt":"a park at night","seed":9,"guidance":3.5,"steps":12,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        let r = GenerateRequest::from_json(&v, "fallback").unwrap();
+        assert_eq!(r.id, "a");
+        assert_eq!(r.prompt, "a park at night");
+        assert_eq!(r.seed, 9);
+        assert_eq!(r.guidance_scale, Some(3.5));
+        assert_eq!(r.steps, Some(12));
+        assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn generate_request_defaults() {
+        let v = Json::parse(r#"{"prompt":"x"}"#).unwrap();
+        let r = GenerateRequest::from_json(&v, "req-3").unwrap();
+        assert_eq!(r.id, "req-3");
+        assert_eq!(r.seed, 0);
+        assert_eq!(r.guidance_scale, None);
+    }
+
+    #[test]
+    fn generate_request_requires_prompt() {
+        let v = Json::parse(r#"{"seed":1}"#).unwrap();
+        assert!(GenerateRequest::from_json(&v, "x").is_err());
+    }
+
+    #[test]
+    fn reply_wire_form_round_trips() {
+        let reply = ServeReply::Image(GeneratedImage {
+            id: "r".into(),
+            width: 2,
+            height: 1,
+            rgb8: vec![0, 128, 255, 1, 2, 3],
+            latency: StageLatency { queue_us: 1, encode_us: 2, sample_us: 3, decode_us: 4 },
+            batch_size: 4,
+            cache_hit: true,
+        });
+        let wire = reply.to_json().render();
+        let v = Json::parse(&wire).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("image"));
+        assert_eq!(
+            base64::decode(v.get("rgb8_b64").and_then(Json::as_str).unwrap()).unwrap(),
+            vec![0, 128, 255, 1, 2, 3]
+        );
+        assert_eq!(
+            v.get("latency_us").and_then(|l| l.get("sample")).and_then(Json::as_u64),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! The serving runtime: a worker pool over one immutable trained
+//! pipeline, fed by the bounded queue and the dynamic micro-batcher.
+//!
+//! The trained pipeline itself is not shareable across threads (its
+//! parameters live in `Rc`-backed autograd nodes), so the runtime ships a
+//! [`PipelineSnapshot`] — plain bytes — to every worker and each worker
+//! hydrates a private replica once at startup. That is the standard
+//! immutable-weights / many-replicas deployment shape: weights are frozen
+//! at snapshot time, so replicas are exact clones and any worker may
+//! serve any request.
+//!
+//! Determinism contract: a request's image depends only on its own
+//! `(prompt, seed, steps, guidance)`. Each request's initial latent is
+//! drawn from a private `StdRng` seeded with the request seed, and the
+//! DDIM reverse process is row-independent, so coalescing requests into
+//! one `[n, c, h, w]` sampler call changes throughput, never bytes.
+
+use crate::cache::{ConditionCache, ConditionKey};
+use crate::queue::{Pending, RequestQueue};
+use crate::request::{GenerateRequest, GeneratedImage, RejectReason, ServeReply, StageLatency};
+use crate::stats::{StatsCollector, StatsReport};
+use aero_diffusion::DdimSampler;
+use aero_scene::{build_dataset, DatasetConfig, DatasetItem, SceneGeneratorConfig};
+use aero_tensor::Tensor;
+use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving runtime knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads, each holding one pipeline replica.
+    pub workers: usize,
+    /// Most requests coalesced into one sampler call.
+    pub max_batch: usize,
+    /// Bounded queue capacity; beyond it submissions are rejected.
+    pub queue_capacity: usize,
+    /// How long a worker lingers for stragglers to fill a batch.
+    pub batch_wait: Duration,
+    /// Condition-embedding LRU capacity (entries).
+    pub cache_capacity: usize,
+    /// Default DDIM steps (requests may override per call).
+    pub steps: usize,
+    /// Default guidance scale (requests may override per call).
+    pub guidance_scale: f32,
+    /// Seed of the reference scene used as the conditioning exemplar.
+    pub reference_seed: u64,
+}
+
+impl ServeConfig {
+    /// Defaults matched to a trained pipeline's own sampler settings.
+    #[must_use]
+    pub fn for_pipeline(config: &PipelineConfig) -> Self {
+        ServeConfig {
+            workers: aero_tensor::parallel::suggested_threads(2),
+            max_batch: 8,
+            queue_capacity: 32,
+            batch_wait: Duration::from_millis(2),
+            cache_capacity: 64,
+            steps: config.diffusion.ddim_steps,
+            guidance_scale: config.diffusion.guidance_scale,
+            reference_seed: 0,
+        }
+    }
+}
+
+/// Handle for one submitted request; resolves to exactly one reply.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    id: String,
+    rx: Receiver<ServeReply>,
+    stats: Arc<StatsCollector>,
+}
+
+impl ResponseHandle {
+    /// The request id this handle resolves.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Blocks until the reply arrives. A worker that died without
+    /// answering surfaces as a typed [`RejectReason::WorkerFailure`].
+    #[must_use]
+    pub fn wait(self) -> ServeReply {
+        match self.rx.recv() {
+            Ok(reply) => {
+                if let ServeReply::Rejected { reason, .. } = &reply {
+                    self.stats.record_rejected(reason);
+                }
+                reply
+            }
+            Err(_) => {
+                let reason = RejectReason::WorkerFailure;
+                self.stats.record_rejected(&reason);
+                ServeReply::Rejected { id: self.id, reason }
+            }
+        }
+    }
+}
+
+/// The running worker pool. Dropping it without [`ServeRuntime::shutdown`]
+/// leaks the workers; always shut down for a graceful drain.
+#[derive(Debug)]
+pub struct ServeRuntime {
+    queue: Arc<RequestQueue>,
+    stats: Arc<StatsCollector>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Spawns `config.workers` threads, each hydrating a replica from the
+    /// snapshot, and starts serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0`, `config.max_batch == 0`, or a
+    /// worker thread cannot be spawned. A snapshot that fails to hydrate
+    /// panics inside the worker, surfacing as worker failures.
+    #[must_use]
+    pub fn start(snapshot: PipelineSnapshot, config: ServeConfig) -> Self {
+        assert!(config.workers > 0, "serve runtime needs at least one worker");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        let snapshot = Arc::new(snapshot);
+        let queue = Arc::new(RequestQueue::new(config.queue_capacity));
+        let stats = Arc::new(StatsCollector::new());
+        let cache = Arc::new(Mutex::new(ConditionCache::new(config.cache_capacity)));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let snapshot = Arc::clone(&snapshot);
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                let cache = Arc::clone(&cache);
+                std::thread::Builder::new()
+                    .name(format!("aero-serve-{i}"))
+                    .spawn(move || worker_loop(&snapshot, &queue, &cache, &stats, config))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServeRuntime { queue, stats, workers }
+    }
+
+    /// Enqueues a request, returning a handle for its reply.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::QueueFull`] under backpressure,
+    /// [`RejectReason::ShuttingDown`] once a drain began.
+    pub fn submit(&self, request: GenerateRequest) -> Result<ResponseHandle, RejectReason> {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let id = request.id.clone();
+        let deadline = request.deadline.map(|d| now + d);
+        let pending = Pending { request, enqueued: now, deadline, responder: tx };
+        match self.queue.push(pending) {
+            Ok(()) => Ok(ResponseHandle { id, rx, stats: Arc::clone(&self.stats) }),
+            Err(reason) => {
+                self.stats.record_rejected(&reason);
+                Err(reason)
+            }
+        }
+    }
+
+    /// Requests currently waiting in the queue.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A point-in-time statistics report.
+    #[must_use]
+    pub fn stats(&self) -> StatsReport {
+        self.stats.report()
+    }
+
+    /// Graceful drain: stops admitting work, lets the workers finish
+    /// everything already queued, joins them, and returns final stats.
+    #[must_use]
+    pub fn shutdown(self) -> StatsReport {
+        self.queue.begin_shutdown();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        self.stats.report()
+    }
+}
+
+/// One worker: hydrate a replica, build the conditioning exemplar, then
+/// serve batches until the queue drains out.
+fn worker_loop(
+    snapshot: &PipelineSnapshot,
+    queue: &RequestQueue,
+    cache: &Mutex<ConditionCache>,
+    stats: &StatsCollector,
+    config: ServeConfig,
+) {
+    let replica = snapshot.hydrate().expect("hydrate serving replica");
+    let reference = build_dataset(&DatasetConfig {
+        n_scenes: 1,
+        image_size: replica.config().vision.image_size,
+        seed: config.reference_seed,
+        generator: SceneGeneratorConfig::default(),
+    });
+    let item = &reference.items[0];
+    // A fixed caption G makes the encode a pure function of the request's
+    // prompt (G'), which is what lets the condition cache key on it.
+    let caption_g = replica.caption_for(item, &mut StdRng::seed_from_u64(0));
+    while let Some(batch) = queue.pop_batch(config.max_batch, config.batch_wait) {
+        serve_batch(&replica, item, &caption_g, batch, cache, stats, &config);
+    }
+}
+
+/// A request annotated with everything measured before sampling.
+struct Job {
+    pending: Pending,
+    queue_us: u64,
+    encode_us: u64,
+    cache_hit: bool,
+    cond: Tensor,
+}
+
+/// Serves one popped batch: group by sampler settings, encode through the
+/// cache, run one coalesced sampler call per group, decode per request.
+fn serve_batch(
+    replica: &AeroDiffusionPipeline,
+    item: &DatasetItem,
+    caption_g: &str,
+    batch: Vec<Pending>,
+    cache: &Mutex<ConditionCache>,
+    stats: &StatsCollector,
+    config: &ServeConfig,
+) {
+    let dequeued = Instant::now();
+    // Requests only share a sampler call when they agree on the settings
+    // that alter it; override combinations are grouped in arrival order.
+    let mut groups: Vec<((usize, u32), Vec<Pending>)> = Vec::new();
+    for pending in batch {
+        let steps = pending.request.steps.unwrap_or(config.steps).max(1);
+        let guidance = pending.request.guidance_scale.unwrap_or(config.guidance_scale);
+        let key = (steps, guidance.to_bits());
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(pending),
+            None => groups.push((key, vec![pending])),
+        }
+    }
+    for ((steps, guidance_bits), members) in groups {
+        let guidance = f32::from_bits(guidance_bits);
+        let sampler = DdimSampler::new(steps, guidance);
+        stats.record_batch(members.len());
+        let jobs: Vec<Job> = members
+            .into_iter()
+            .map(|pending| {
+                let queue_us = micros(dequeued.saturating_duration_since(pending.enqueued));
+                let started = Instant::now();
+                let key = ConditionKey::new(&pending.request.prompt, replica.variant(), guidance);
+                let cached = cache.lock().expect("condition cache lock").get(&key);
+                let (cond, cache_hit) = match cached {
+                    Some(cond) => (cond, true),
+                    None => {
+                        let cond =
+                            replica.encode_condition(item, caption_g, &pending.request.prompt);
+                        cache.lock().expect("condition cache lock").insert(key, cond.clone());
+                        (cond, false)
+                    }
+                };
+                let encode_us = micros(started.elapsed());
+                Job { pending, queue_us, encode_us, cache_hit, cond }
+            })
+            .collect();
+        let n = jobs.len();
+        let [c, h, w] = replica.latent_shape();
+        let conds: Vec<&Tensor> = jobs.iter().map(|j| &j.cond).collect();
+        let cond_batch = Tensor::concat(&conds, 0);
+        // Each request's private noise stream: same seed, same bytes,
+        // whatever else rides in the batch.
+        let noise: Vec<Tensor> = jobs
+            .iter()
+            .map(|j| {
+                Tensor::randn(&[1, c, h, w], &mut StdRng::seed_from_u64(j.pending.request.seed))
+            })
+            .collect();
+        let noise_refs: Vec<&Tensor> = noise.iter().collect();
+        let z_init = Tensor::concat(&noise_refs, 0);
+        let sample_started = Instant::now();
+        let z = replica.sample_latents(&sampler, z_init, &cond_batch);
+        let sample_us = micros(sample_started.elapsed());
+        for (i, job) in jobs.into_iter().enumerate() {
+            let decode_started = Instant::now();
+            let image = replica.decode_latent(&z.narrow(0, i, 1).reshape(&[c, h, w]));
+            let rgb8: Vec<u8> = image
+                .to_tensor()
+                .as_slice()
+                .iter()
+                .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+                .collect();
+            let latency = StageLatency {
+                queue_us: job.queue_us,
+                encode_us: job.encode_us,
+                sample_us,
+                decode_us: micros(decode_started.elapsed()),
+            };
+            stats.record_completed(latency, job.cache_hit);
+            let reply = ServeReply::Image(GeneratedImage {
+                id: job.pending.request.id.clone(),
+                width: image.width(),
+                height: image.height(),
+                rgb8,
+                latency,
+                batch_size: n,
+                cache_hit: job.cache_hit,
+            });
+            // A client that dropped its handle is gone; nothing to do.
+            let _ = job.pending.responder.send(reply);
+        }
+    }
+}
+
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_config_tracks_pipeline_sampler_settings() {
+        let pc = PipelineConfig::smoke();
+        let sc = ServeConfig::for_pipeline(&pc);
+        assert_eq!(sc.steps, pc.diffusion.ddim_steps);
+        assert_eq!(sc.guidance_scale, pc.diffusion.guidance_scale);
+        assert!(sc.workers >= 1);
+        assert!(sc.max_batch >= 1);
+    }
+}

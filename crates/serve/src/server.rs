@@ -1,0 +1,116 @@
+//! The newline-delimited-JSON front-end: one request per input line, one
+//! reply per output line, replies in submission order.
+//!
+//! The reader thread parses and submits as fast as input arrives — that
+//! is what gives the micro-batcher something to coalesce — while a
+//! collector thread resolves the reply handles in FIFO order so output
+//! lines line up with input lines. `stats` requests are resolved when the
+//! collector reaches them, i.e. after every earlier request has been
+//! answered, which makes transcript stats deterministic.
+
+use crate::json::Json;
+use crate::request::{GenerateRequest, ServeReply};
+use crate::runtime::{ResponseHandle, ServeRuntime};
+use crate::stats::StatsReport;
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+
+/// One unit of ordered output.
+enum Entry {
+    /// A submitted request; the collector blocks on its reply.
+    Reply(ResponseHandle),
+    /// An immediate reply (rejection or parse error), already final.
+    Immediate(Json),
+    /// A stats probe, resolved when the collector reaches it.
+    Stats,
+}
+
+/// A `{"type":"error",…}` line for input that never became a request.
+fn bad_request(id: &str, detail: &str) -> Json {
+    Json::obj(vec![
+        ("type", "error".into()),
+        ("id", id.into()),
+        ("reason", "bad_request".into()),
+        ("detail", detail.into()),
+    ])
+}
+
+/// Serves NDJSON from `input` to `output` until EOF, then drains the
+/// runtime and returns the final statistics.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading `input` or writing `output`; the
+/// runtime is drained and shut down even on an output error.
+pub fn serve_ndjson(
+    runtime: ServeRuntime,
+    input: impl BufRead,
+    mut output: impl Write + Send,
+) -> std::io::Result<StatsReport> {
+    let (tx, rx) = mpsc::channel::<Entry>();
+    let (read_result, write_result) = std::thread::scope(|scope| {
+        let runtime = &runtime;
+        let collector = scope.spawn(move || -> std::io::Result<()> {
+            for entry in rx {
+                let reply = match entry {
+                    Entry::Reply(handle) => handle.wait().to_json(),
+                    Entry::Immediate(json) => json,
+                    Entry::Stats => runtime.stats().to_json(),
+                };
+                writeln!(output, "{}", reply.render())?;
+                output.flush()?;
+            }
+            Ok(())
+        });
+        let read_result = read_loop(runtime, input, &tx);
+        drop(tx);
+        let write_result = collector.join().expect("reply collector panicked");
+        (read_result, write_result)
+    });
+    let stats = runtime.shutdown();
+    read_result?;
+    write_result?;
+    Ok(stats)
+}
+
+/// Parses and submits every input line, pushing ordered entries to the
+/// collector.
+fn read_loop(
+    runtime: &ServeRuntime,
+    input: impl BufRead,
+    tx: &mpsc::Sender<Entry>,
+) -> std::io::Result<()> {
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fallback_id = format!("req-{lineno}");
+        let entry = match Json::parse(&line) {
+            Err(e) => Entry::Immediate(bad_request(&fallback_id, &format!("invalid JSON: {e}"))),
+            Ok(v) => match v.get("type").and_then(Json::as_str).unwrap_or("generate") {
+                "stats" => Entry::Stats,
+                "generate" => match GenerateRequest::from_json(&v, &fallback_id) {
+                    Err(detail) => Entry::Immediate(bad_request(&fallback_id, &detail)),
+                    Ok(request) => {
+                        let id = request.id.clone();
+                        match runtime.submit(request) {
+                            Ok(handle) => Entry::Reply(handle),
+                            Err(reason) => {
+                                Entry::Immediate(ServeReply::Rejected { id, reason }.to_json())
+                            }
+                        }
+                    }
+                },
+                other => Entry::Immediate(bad_request(
+                    &fallback_id,
+                    &format!("unknown request type {other:?}"),
+                )),
+            },
+        };
+        if tx.send(entry).is_err() {
+            break; // collector died on an output error; its result says why
+        }
+    }
+    Ok(())
+}

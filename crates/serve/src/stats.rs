@@ -1,0 +1,226 @@
+//! Aggregate serving statistics, queryable live via the `stats` request
+//! type and returned once more by a graceful shutdown.
+
+use crate::json::Json;
+use crate::request::{RejectReason, StageLatency};
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct Inner {
+    completed: u64,
+    rejected_full: u64,
+    rejected_deadline: u64,
+    rejected_shutdown: u64,
+    rejected_worker: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// `batch_hist[n]` counts sampler calls coalesced over `n` requests.
+    batch_hist: Vec<u64>,
+    queue_us: u64,
+    encode_us: u64,
+    sample_us: u64,
+    decode_us: u64,
+}
+
+/// Thread-safe accumulator shared by submitters and workers.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    inner: Mutex<Inner>,
+}
+
+impl StatsCollector {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        StatsCollector::default()
+    }
+
+    /// Records one coalesced sampler call over `n` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats mutex was poisoned.
+    pub fn record_batch(&self, n: usize) {
+        let mut inner = self.inner.lock().expect("stats lock");
+        if inner.batch_hist.len() <= n {
+            inner.batch_hist.resize(n + 1, 0);
+        }
+        inner.batch_hist[n] += 1;
+    }
+
+    /// Records one served request's latency breakdown and cache outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats mutex was poisoned.
+    pub fn record_completed(&self, latency: StageLatency, cache_hit: bool) {
+        let mut inner = self.inner.lock().expect("stats lock");
+        inner.completed += 1;
+        inner.queue_us += latency.queue_us;
+        inner.encode_us += latency.encode_us;
+        inner.sample_us += latency.sample_us;
+        inner.decode_us += latency.decode_us;
+        if cache_hit {
+            inner.cache_hits += 1;
+        } else {
+            inner.cache_misses += 1;
+        }
+    }
+
+    /// Records one rejection by reason.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats mutex was poisoned.
+    pub fn record_rejected(&self, reason: &RejectReason) {
+        let mut inner = self.inner.lock().expect("stats lock");
+        match reason {
+            RejectReason::QueueFull { .. } => inner.rejected_full += 1,
+            RejectReason::DeadlineExceeded => inner.rejected_deadline += 1,
+            RejectReason::ShuttingDown => inner.rejected_shutdown += 1,
+            RejectReason::WorkerFailure => inner.rejected_worker += 1,
+        }
+    }
+
+    /// A consistent point-in-time report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats mutex was poisoned.
+    #[must_use]
+    pub fn report(&self) -> StatsReport {
+        let inner = self.inner.lock().expect("stats lock");
+        let lookups = inner.cache_hits + inner.cache_misses;
+        let mean = |total_us: u64| {
+            if inner.completed == 0 {
+                0.0
+            } else {
+                total_us as f64 / inner.completed as f64
+            }
+        };
+        StatsReport {
+            completed: inner.completed,
+            rejected_queue_full: inner.rejected_full,
+            rejected_deadline: inner.rejected_deadline,
+            rejected_shutting_down: inner.rejected_shutdown,
+            rejected_worker_failure: inner.rejected_worker,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                inner.cache_hits as f64 / lookups as f64
+            },
+            batch_size_hist: inner.batch_hist.clone(),
+            mean_queue_us: mean(inner.queue_us),
+            mean_encode_us: mean(inner.encode_us),
+            mean_sample_us: mean(inner.sample_us),
+            mean_decode_us: mean(inner.decode_us),
+        }
+    }
+}
+
+/// A snapshot of the aggregate counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Requests served with an image.
+    pub completed: u64,
+    /// Requests rejected by queue backpressure.
+    pub rejected_queue_full: u64,
+    /// Requests whose deadline expired while queued.
+    pub rejected_deadline: u64,
+    /// Requests rejected because a drain had begun.
+    pub rejected_shutting_down: u64,
+    /// Requests lost to a worker failure.
+    pub rejected_worker_failure: u64,
+    /// Condition-cache hit rate over all lookups (0 when none).
+    pub cache_hit_rate: f64,
+    /// `hist[n]` = sampler calls that coalesced `n` requests.
+    pub batch_size_hist: Vec<u64>,
+    /// Mean queue wait per served request, microseconds.
+    pub mean_queue_us: f64,
+    /// Mean encode time per served request, microseconds.
+    pub mean_encode_us: f64,
+    /// Mean sampler share per served request, microseconds.
+    pub mean_sample_us: f64,
+    /// Mean decode time per served request, microseconds.
+    pub mean_decode_us: f64,
+}
+
+impl StatsReport {
+    /// The NDJSON wire form (`{"type":"stats",…}`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("type", "stats".into()),
+            ("completed", self.completed.into()),
+            (
+                "rejected",
+                Json::obj(vec![
+                    ("queue_full", self.rejected_queue_full.into()),
+                    ("deadline_exceeded", self.rejected_deadline.into()),
+                    ("shutting_down", self.rejected_shutting_down.into()),
+                    ("worker_failure", self.rejected_worker_failure.into()),
+                ]),
+            ),
+            ("cache_hit_rate", self.cache_hit_rate.into()),
+            (
+                "batch_size_hist",
+                Json::Arr(self.batch_size_hist.iter().map(|&c| c.into()).collect()),
+            ),
+            (
+                "mean_latency_us",
+                Json::obj(vec![
+                    ("queue", self.mean_queue_us.into()),
+                    ("encode", self.mean_encode_us.into()),
+                    ("sample", self.mean_sample_us.into()),
+                    ("decode", self.mean_decode_us.into()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_latency_and_cache_rate() {
+        let stats = StatsCollector::new();
+        stats.record_batch(2);
+        stats.record_completed(
+            StageLatency { queue_us: 10, encode_us: 20, sample_us: 30, decode_us: 40 },
+            true,
+        );
+        stats.record_completed(
+            StageLatency { queue_us: 30, encode_us: 0, sample_us: 50, decode_us: 60 },
+            false,
+        );
+        stats.record_rejected(&RejectReason::QueueFull { capacity: 4 });
+        let r = stats.report();
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.rejected_queue_full, 1);
+        assert!((r.cache_hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(r.batch_size_hist, vec![0, 0, 1]);
+        assert!((r.mean_queue_us - 20.0).abs() < 1e-12);
+        assert!((r.mean_sample_us - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = StatsCollector::new().report();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.cache_hit_rate, 0.0);
+        assert_eq!(r.mean_queue_us, 0.0);
+    }
+
+    #[test]
+    fn wire_form_parses_back() {
+        let stats = StatsCollector::new();
+        stats.record_batch(1);
+        stats.record_completed(StageLatency::default(), false);
+        let wire = stats.report().to_json().render();
+        let v = Json::parse(&wire).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("stats"));
+        assert_eq!(v.get("completed").and_then(Json::as_u64), Some(1));
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end serving tests against a real (smoke-scale) trained
+//! pipeline. One pipeline is trained once and snapshotted; every test
+//! spins its own runtime from the shared snapshot.
+
+use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
+use aero_serve::{
+    serve_ndjson, GenerateRequest, Json, RejectReason, ServeConfig, ServeReply, ServeRuntime,
+};
+use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
+use std::io::Cursor;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn snapshot() -> &'static PipelineSnapshot {
+    static SNAPSHOT: OnceLock<PipelineSnapshot> = OnceLock::new();
+    SNAPSHOT.get_or_init(|| {
+        let config = PipelineConfig::smoke();
+        let ds = build_dataset(&DatasetConfig {
+            n_scenes: 3,
+            image_size: config.vision.image_size,
+            seed: 11,
+            generator: SceneGeneratorConfig::default(),
+        });
+        AeroDiffusionPipeline::fit(&ds, config, 7).snapshot()
+    })
+}
+
+fn serve_config() -> ServeConfig {
+    let mut config = ServeConfig::for_pipeline(snapshot().config());
+    config.workers = 1;
+    config.steps = 4; // keep sampling cheap; determinism is what's under test
+    config
+}
+
+fn image_of(reply: ServeReply) -> aero_serve::GeneratedImage {
+    match reply {
+        ServeReply::Image(img) => img,
+        ServeReply::Rejected { id, reason } => panic!("request {id} rejected: {reason}"),
+    }
+}
+
+/// The headline contract: a request's bytes depend only on its own seed
+/// and prompt, never on what else rode in the coalesced sampler call.
+#[test]
+fn batched_output_is_byte_identical_to_batch_one() {
+    let prompts = [
+        "an aerial view of a park",
+        "a parking lot at night",
+        "an aerial view of a park",
+        "a dense downtown block",
+    ];
+    // Serial reference: batch size is pinned to 1.
+    let mut solo = serve_config();
+    solo.max_batch = 1;
+    solo.batch_wait = Duration::ZERO;
+    let runtime = ServeRuntime::start(snapshot().clone(), solo);
+    let mut reference = Vec::new();
+    for (i, prompt) in prompts.iter().enumerate() {
+        let handle =
+            runtime.submit(GenerateRequest::new(format!("s{i}"), *prompt, i as u64 + 40)).unwrap();
+        reference.push(image_of(handle.wait()));
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 4);
+    assert!(reference.iter().all(|img| img.batch_size == 1));
+
+    // Batched run: submit everything up front so the worker (still
+    // hydrating its replica) finds all four waiting and coalesces them.
+    let mut batched = serve_config();
+    batched.max_batch = 8;
+    batched.batch_wait = Duration::from_millis(200);
+    let runtime = ServeRuntime::start(snapshot().clone(), batched);
+    let handles: Vec<_> = prompts
+        .iter()
+        .enumerate()
+        .map(|(i, prompt)| {
+            runtime.submit(GenerateRequest::new(format!("b{i}"), *prompt, i as u64 + 40)).unwrap()
+        })
+        .collect();
+    let images: Vec<_> = handles.into_iter().map(|h| image_of(h.wait())).collect();
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 4);
+    assert!(
+        images.iter().any(|img| img.batch_size > 1),
+        "expected the up-front submissions to coalesce into one sampler call"
+    );
+    for (slow, fast) in reference.iter().zip(&images) {
+        assert_eq!(slow.width, fast.width);
+        assert_eq!(slow.rgb8, fast.rgb8, "batching changed request bytes");
+    }
+}
+
+#[test]
+fn repeated_prompts_hit_the_condition_cache() {
+    let runtime = ServeRuntime::start(snapshot().clone(), serve_config());
+    let first = image_of(
+        runtime.submit(GenerateRequest::new("c0", "a river through farmland", 1)).unwrap().wait(),
+    );
+    let second = image_of(
+        runtime.submit(GenerateRequest::new("c1", "a river through farmland", 2)).unwrap().wait(),
+    );
+    assert!(!first.cache_hit, "first encode of a prompt cannot hit");
+    assert!(second.cache_hit, "same prompt + variant + guidance must hit");
+    assert_ne!(first.rgb8, second.rgb8, "different seeds must still differ");
+    let stats = runtime.shutdown();
+    assert!((stats.cache_hit_rate - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn full_queue_applies_backpressure_with_typed_error() {
+    let mut config = serve_config();
+    config.queue_capacity = 1;
+    config.max_batch = 1;
+    config.batch_wait = Duration::ZERO;
+    let runtime = ServeRuntime::start(snapshot().clone(), config);
+    let mut accepted = Vec::new();
+    let mut rejected = 0;
+    for i in 0..8 {
+        match runtime.submit(GenerateRequest::new(format!("p{i}"), "a plaza", i)) {
+            Ok(handle) => accepted.push(handle),
+            Err(reason) => {
+                assert_eq!(reason, RejectReason::QueueFull { capacity: 1 });
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 0, "a burst of 8 into capacity 1 must shed load");
+    for handle in accepted {
+        image_of(handle.wait());
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.rejected_queue_full, rejected);
+}
+
+#[test]
+fn shutdown_drains_queued_work_before_exiting() {
+    let mut config = serve_config();
+    config.max_batch = 2;
+    let runtime = ServeRuntime::start(snapshot().clone(), config);
+    let handles: Vec<_> = (0..3)
+        .map(|i| runtime.submit(GenerateRequest::new(format!("d{i}"), "a harbor", i)).unwrap())
+        .collect();
+    // Shutdown begins while the worker may not even have hydrated yet;
+    // everything already accepted must still be served.
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 3);
+    for handle in handles {
+        image_of(handle.wait());
+    }
+}
+
+#[test]
+fn expired_deadline_is_rejected_not_sampled() {
+    let runtime = ServeRuntime::start(snapshot().clone(), serve_config());
+    let mut request = GenerateRequest::new("late", "a stadium", 0);
+    request.deadline = Some(Duration::ZERO);
+    let reply = runtime.submit(request).unwrap().wait();
+    match reply {
+        ServeReply::Rejected { id, reason } => {
+            assert_eq!(id, "late");
+            assert_eq!(reason, RejectReason::DeadlineExceeded);
+        }
+        ServeReply::Image(_) => panic!("expired request must not be sampled"),
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.rejected_deadline, 1);
+}
+
+#[test]
+fn ndjson_round_trip_preserves_order_and_reports_stats() {
+    let input = concat!(
+        r#"{"type":"generate","id":"a","prompt":"an aerial view of a park","seed":5}"#,
+        "\n",
+        r#"{"type":"generate","id":"b","prompt":"a parking lot at night","seed":6}"#,
+        "\n",
+        "not json\n",
+        r#"{"type":"stats"}"#,
+        "\n",
+    );
+    let runtime = ServeRuntime::start(snapshot().clone(), serve_config());
+    let mut output = Vec::new();
+    let stats = serve_ndjson(runtime, Cursor::new(input), &mut output).unwrap();
+    assert_eq!(stats.completed, 2);
+    let lines: Vec<Json> =
+        String::from_utf8(output).unwrap().lines().map(|l| Json::parse(l).unwrap()).collect();
+    assert_eq!(lines.len(), 4, "one reply line per input line");
+    assert_eq!(lines[0].get("type").and_then(Json::as_str), Some("image"));
+    assert_eq!(lines[0].get("id").and_then(Json::as_str), Some("a"));
+    assert_eq!(lines[1].get("id").and_then(Json::as_str), Some("b"));
+    let px = aero_serve::base64::decode(lines[0].get("rgb8_b64").and_then(Json::as_str).unwrap())
+        .unwrap();
+    let side = snapshot().config().vision.image_size;
+    assert_eq!(px.len(), 3 * side * side);
+    assert_eq!(lines[2].get("reason").and_then(Json::as_str), Some("bad_request"));
+    // The stats probe resolves after both images, so it must see them.
+    assert_eq!(lines[3].get("type").and_then(Json::as_str), Some("stats"));
+    assert_eq!(lines[3].get("completed").and_then(Json::as_u64), Some(2));
+}

@@ -24,6 +24,7 @@
 mod error;
 mod linalg;
 mod ops;
+pub mod parallel;
 mod shape;
 pub mod sym;
 mod tensor;

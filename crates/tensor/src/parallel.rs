@@ -1,0 +1,40 @@
+//! Thread-count selection shared by every crate that fans work out over
+//! std threads (dataset rendering, the serving worker pool).
+
+/// Suggested worker-thread count: the machine's available parallelism,
+/// clamped to `cap`. Always at least 1 (`available_parallelism` returns a
+/// `NonZero`, and the 4-thread fallback plus the clamp keep the result
+/// positive), so callers can divide by it directly.
+///
+/// # Panics
+///
+/// Panics if `cap == 0` — a zero-width pool is always a caller bug.
+#[must_use]
+pub fn suggested_threads(cap: usize) -> usize {
+    assert!(cap > 0, "thread cap must be positive");
+    std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(4).min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_positive_and_capped() {
+        for cap in [1, 2, 8, 64] {
+            let n = suggested_threads(cap);
+            assert!(n >= 1 && n <= cap, "cap {cap} gave {n}");
+        }
+    }
+
+    #[test]
+    fn cap_one_serializes() {
+        assert_eq!(suggested_threads(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread cap must be positive")]
+    fn zero_cap_panics() {
+        let _ = suggested_threads(0);
+    }
+}

@@ -4,20 +4,30 @@
 //! ```text
 //! aerodiffusion_cli train  <model-dir> [--scenes N] [--seed S] [--scale smoke|small|paper]
 //! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--scale …]
+//! aerodiffusion_cli serve  <model-dir>|--demo [--workers N] [--max-batch N] [--scale …]
 //! aerodiffusion_cli info   <model-dir>
 //! aerodiffusion_cli lint   [--scale smoke|small|paper] [--all]
 //! ```
 //!
 //! `lint` statically validates the model geometry a configuration would
-//! realise — symbolic shape inference over the whole pipeline — and exits
-//! non-zero if any `ADxxxx` error is found, without training anything.
+//! realise — symbolic shape inference over the whole pipeline plus the
+//! serving batcher's coalesced-condition contract — and exits non-zero if
+//! any `ADxxxx` error is found, without training anything.
+//!
+//! `serve` speaks newline-delimited JSON over stdin/stdout: one
+//! `{"type":"generate","prompt":…,"seed":…}` request per input line, one
+//! reply (base64 RGB image + per-stage latency, or a typed rejection) per
+//! output line, plus a `{"type":"stats"}` probe. `--demo` trains a
+//! smoke-scale pipeline in-process instead of loading one from disk.
 
 use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
-use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig};
+use aero_serve::{lint_serve, serve_ndjson, ServeConfig, ServeRuntime};
+use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -36,13 +46,16 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         _ => {
             eprintln!(
-                "usage: aerodiffusion_cli <train|sample|info|lint> [args]\n\
+                "usage: aerodiffusion_cli <train|sample|serve|info|lint> [args]\n\
                  \n  train  <dir> [--scenes N] [--seed S] [--scale smoke|small|paper]\n\
                  \n  sample <dir> <out.ppm> [--seed S] [--night] [--scale …]\n\
+                 \n  serve  <dir>|--demo [--workers N] [--max-batch N] [--queue N]\n\
+                 \n         [--batch-wait-ms MS] [--cache N] [--steps N] [--guidance G] [--scale …]\n\
                  \n  info   <dir>\n\
                  \n  lint   [--scale smoke|small|paper] [--all]"
             );
@@ -102,6 +115,80 @@ fn cmd_sample(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// The trained weights to serve: a persisted model directory, or a
+/// smoke-scale pipeline trained in-process for `--demo`.
+fn serve_snapshot(
+    args: &[String],
+    config: PipelineConfig,
+) -> Result<PipelineSnapshot, Box<dyn Error>> {
+    if args.iter().any(|a| a == "--demo") {
+        let n_scenes: usize =
+            parse_flag(args, "--scenes").map(|v| v.parse()).transpose()?.unwrap_or(6);
+        let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(42);
+        eprintln!("--demo: training a throwaway {n_scenes}-scene pipeline in-process…");
+        let dataset = build_dataset(&DatasetConfig {
+            n_scenes,
+            image_size: config.vision.image_size,
+            seed,
+            generator: SceneGeneratorConfig::default(),
+        });
+        Ok(AeroDiffusionPipeline::fit(&dataset, config, seed).snapshot())
+    } else {
+        let dir = args
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("serve requires a model directory or --demo")?;
+        Ok(AeroDiffusionPipeline::load(dir, config)?.snapshot())
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let snapshot = serve_snapshot(args, scale_config(args))?;
+    let mut serve = ServeConfig::for_pipeline(snapshot.config());
+    if let Some(v) = parse_flag(args, "--workers") {
+        serve.workers = v.parse()?;
+    }
+    if let Some(v) = parse_flag(args, "--max-batch") {
+        serve.max_batch = v.parse()?;
+    }
+    if let Some(v) = parse_flag(args, "--queue") {
+        serve.queue_capacity = v.parse()?;
+    }
+    if let Some(v) = parse_flag(args, "--batch-wait-ms") {
+        serve.batch_wait = Duration::from_millis(v.parse()?);
+    }
+    if let Some(v) = parse_flag(args, "--cache") {
+        serve.cache_capacity = v.parse()?;
+    }
+    if let Some(v) = parse_flag(args, "--steps") {
+        serve.steps = v.parse()?;
+    }
+    if let Some(v) = parse_flag(args, "--guidance") {
+        serve.guidance_scale = v.parse()?;
+    }
+    let report = lint_serve(snapshot.config(), &serve);
+    if !report.is_clean() {
+        eprint!("{}", report.render());
+        return Err("serving configuration failed the static lint".into());
+    }
+    eprintln!(
+        "serving NDJSON on stdin → stdout ({} workers, max batch {}, queue {})",
+        serve.workers, serve.max_batch, serve.queue_capacity
+    );
+    let runtime = ServeRuntime::start(snapshot, serve);
+    let stats = serve_ndjson(runtime, std::io::stdin().lock(), std::io::stdout())?;
+    eprintln!(
+        "drained: {} served, {} rejected, cache hit rate {:.0}%",
+        stats.completed,
+        stats.rejected_queue_full
+            + stats.rejected_deadline
+            + stats.rejected_shutting_down
+            + stats.rejected_worker_failure,
+        stats.cache_hit_rate * 100.0
+    );
+    Ok(())
+}
+
 fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
     let configs: Vec<(String, PipelineConfig)> = if args.iter().any(|a| a == "--all") {
         vec![
@@ -123,7 +210,9 @@ fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
     };
     let mut failed = false;
     for (name, config) in configs {
-        let report = aerodiffusion::lint_config(&config);
+        // The serve lint is a strict superset of the pipeline lint: it
+        // runs the same shape program and adds the batcher's contract.
+        let report = lint_serve(&config, &ServeConfig::for_pipeline(&config));
         println!("== {name} ==");
         print!("{}", report.render());
         failed |= !report.is_clean();

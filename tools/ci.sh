@@ -7,7 +7,10 @@
 #                      warnings are errors
 #   3. tests         — the full workspace test suite
 #   4. static lint   — aero-analysis shape validation of every shipped
-#                      pipeline preset (the `lint` CLI subcommand)
+#                      pipeline preset plus the serving batcher contract
+#                      (the `lint` CLI subcommand)
+#   5. serve smoke   — two NDJSON requests piped through `serve --demo`,
+#                      asserting image replies and the stats probe
 #
 # Everything runs with --offline: the build environment has no network and
 # all dependencies are vendored shims (see shims/).
@@ -25,6 +28,21 @@ echo "== cargo test =="
 cargo test --offline --workspace -q
 
 echo "== static model lint (all shipped presets) =="
-cargo run --offline -q -p aerodiffusion --bin aerodiffusion_cli -- lint --all
+cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- lint --all
+
+echo "== serving smoke test (NDJSON over stdin/stdout) =="
+# Two generate requests plus a stats probe piped through a demo server;
+# assert two image replies and a stats line that counted both.
+serve_out="$(printf '%s\n%s\n%s\n' \
+  '{"type":"generate","id":"ci-a","prompt":"an aerial view of a park","seed":1}' \
+  '{"type":"generate","id":"ci-b","prompt":"a parking lot at night","seed":2}' \
+  '{"type":"stats"}' \
+  | cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+      serve --demo --scenes 3 --workers 1 --steps 4)"
+echo "$serve_out" | head -c 400; echo
+[ "$(echo "$serve_out" | grep -c '"type":"image"')" -eq 2 ] \
+  || { echo "serve smoke: expected 2 image replies"; exit 1; }
+echo "$serve_out" | grep -q '"type":"stats","completed":2' \
+  || { echo "serve smoke: stats line missing or wrong count"; exit 1; }
 
 echo "CI: all gates passed"
