@@ -36,8 +36,9 @@ pub mod viewpoint;
 pub use ablation::{AblationSpec, AblationVariant};
 pub use condition::ConditionNetwork;
 pub use config::PipelineConfig;
-pub use lint::lint_config;
-pub use pipeline::AeroDiffusionPipeline;
+pub use lint::{lint_checkpoint, lint_config};
+pub use persist::PersistError;
+pub use pipeline::{AeroDiffusionPipeline, FitReport};
 pub use region::RegionAugmenter;
 pub use snapshot::PipelineSnapshot;
 pub use substrate::SubstrateBundle;

@@ -44,6 +44,49 @@ pub fn lint_config(config: &PipelineConfig) -> Report {
     ctx.into_report()
 }
 
+/// Self-checks the checkpoint/persistence integrity machinery: the CRC32
+/// implementation against the IEEE 802.3 check vector, the manifest text
+/// round-trip, and rejection of unsupported manifest versions. A build
+/// whose integrity primitives are broken would silently accept corrupt
+/// checkpoints, so `lint --all` verifies them up front.
+#[must_use]
+pub fn lint_checkpoint() -> Report {
+    use aero_analysis::DiagCode;
+    use aero_nn::integrity::{crc32, IntegrityError, Manifest, ManifestEntry, MANIFEST_VERSION};
+    let mut ctx = ShapeCtx::new();
+    ctx.scoped("checkpoint", |ctx| {
+        ctx.require(
+            crc32(b"123456789") == 0xCBF4_3926,
+            DiagCode::InvalidConfig,
+            "crc32 must match the IEEE 802.3 check vector 0xCBF43926",
+        );
+        ctx.require(crc32(b"") == 0, DiagCode::InvalidConfig, "crc32 of empty input must be 0");
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            entries: vec![ManifestEntry { name: "unet.aero".into(), crc32: 0xDEAD_BEEF, len: 42 }],
+        };
+        ctx.require(
+            matches!(Manifest::parse(&manifest.render()), Ok(m) if m == manifest),
+            DiagCode::InvalidConfig,
+            "manifest text form must round-trip losslessly",
+        );
+        ctx.require(
+            matches!(
+                Manifest::parse("version=999\n"),
+                Err(IntegrityError::VersionMismatch { found: 999, .. })
+            ),
+            DiagCode::InvalidConfig,
+            "unsupported manifest versions must be rejected as VersionMismatch",
+        );
+        ctx.require(
+            matches!(Manifest::parse("version=1\nbadline"), Err(IntegrityError::Malformed(_))),
+            DiagCode::InvalidConfig,
+            "truncated manifest entries must be rejected as Malformed",
+        );
+    });
+    ctx.into_report()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +101,12 @@ mod tests {
             let report = lint_config(&config);
             assert!(report.is_clean(), "{name} preset:\n{}", report.render());
         }
+    }
+
+    #[test]
+    fn checkpoint_integrity_machinery_lints_clean() {
+        let report = lint_checkpoint();
+        assert!(report.is_clean(), "{}", report.render());
     }
 
     #[test]

@@ -17,16 +17,36 @@
 //! Loading reconstructs the models from a [`PipelineConfig`] and the
 //! stored vocabulary, then restores every weight tensor; the config must
 //! match the one the pipeline was trained with.
+//!
+//! Every file is written atomically (tmp + rename) and the directory
+//! carries a `manifest.txt` recording a format version plus the CRC32
+//! and length of each blob. Loads verify the manifest *before* decoding
+//! anything, so a bit flip surfaces as [`PersistError::Corrupt`] naming
+//! the damaged file rather than as a garbage model. Directories written
+//! before manifests existed (no `manifest.txt`) still load.
 
 use crate::ablation::AblationVariant;
 use crate::config::PipelineConfig;
-use aero_nn::serialize::{load_params, save_params, LoadWeightsError};
+use aero_nn::integrity::{write_atomic, IntegrityError, Manifest};
+use aero_nn::serialize::{encode_params, load_params, LoadWeightsError};
 use aero_text::llm::LlmProvider;
 use aero_text::tokenizer::{Tokenizer, Vocabulary};
 use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::path::Path;
+
+/// Every file a pipeline directory contains, in manifest order.
+pub(crate) const PIPELINE_FILES: [&str; 8] = [
+    "vocab.txt",
+    "meta.txt",
+    "config.txt",
+    "clip.aero",
+    "vae.aero",
+    "detector.aero",
+    "condition.aero",
+    "unet.aero",
+];
 
 /// Error loading or saving a pipeline directory.
 #[derive(Debug)]
@@ -37,6 +57,20 @@ pub enum PersistError {
     Weights(LoadWeightsError),
     /// The metadata file is malformed.
     Meta(String),
+    /// A stored blob fails its manifest checksum or length.
+    Corrupt {
+        /// The file that failed verification.
+        file: String,
+        /// What exactly mismatched.
+        detail: String,
+    },
+    /// The directory was written by an unsupported format version.
+    VersionMismatch {
+        /// The version recorded on disk.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -45,6 +79,15 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "i/o failure: {e}"),
             PersistError::Weights(e) => write!(f, "weight failure: {e}"),
             PersistError::Meta(d) => write!(f, "malformed metadata: {d}"),
+            PersistError::Corrupt { file, detail } => {
+                write!(f, "corrupt pipeline file {file}: {detail}")
+            }
+            PersistError::VersionMismatch { found, supported } => {
+                write!(
+                    f,
+                    "pipeline format version {found} unsupported (this build reads {supported})"
+                )
+            }
         }
     }
 }
@@ -54,7 +97,7 @@ impl Error for PersistError {
         match self {
             PersistError::Io(e) => Some(e),
             PersistError::Weights(e) => Some(e),
-            PersistError::Meta(_) => None,
+            _ => None,
         }
     }
 }
@@ -69,6 +112,50 @@ impl From<LoadWeightsError> for PersistError {
     fn from(e: LoadWeightsError) -> Self {
         PersistError::Weights(e)
     }
+}
+
+impl From<aero_diffusion::CheckpointError> for PersistError {
+    fn from(e: aero_diffusion::CheckpointError) -> Self {
+        use aero_diffusion::CheckpointError;
+        match e {
+            CheckpointError::Io(io) => PersistError::Io(io),
+            CheckpointError::Integrity(i) => i.into(),
+            CheckpointError::Weights(w) => PersistError::Weights(w),
+            CheckpointError::Meta(d) => PersistError::Meta(d),
+        }
+    }
+}
+
+impl From<IntegrityError> for PersistError {
+    fn from(e: IntegrityError) -> Self {
+        match e {
+            IntegrityError::Io(io) => PersistError::Io(io),
+            IntegrityError::Malformed(d) => PersistError::Meta(format!("manifest: {d}")),
+            IntegrityError::VersionMismatch { found, supported } => {
+                PersistError::VersionMismatch { found, supported }
+            }
+            IntegrityError::Corrupt { file, detail } => PersistError::Corrupt { file, detail },
+        }
+    }
+}
+
+/// Writes `dir/manifest.txt` covering every pipeline file. Called last in
+/// a save, after all blobs are on disk.
+pub(crate) fn write_manifest(dir: &Path) -> Result<(), PersistError> {
+    Manifest::for_files(dir, &PIPELINE_FILES)?.write(dir)?;
+    Ok(())
+}
+
+/// Verifies the directory against its manifest before anything is
+/// decoded. A directory without a manifest predates this format and is
+/// accepted as-is (legacy load path).
+pub(crate) fn verify_manifest(dir: &Path) -> Result<(), PersistError> {
+    if !dir.join("manifest.txt").exists() {
+        return Ok(());
+    }
+    let manifest = Manifest::read(dir)?;
+    manifest.verify_dir(dir)?;
+    Ok(())
 }
 
 /// The dataset-independent state restored on load.
@@ -90,7 +177,7 @@ pub(crate) fn write_vocab(vocab: &Vocabulary, path: &Path) -> Result<(), Persist
         out.push_str(vocab.word(id));
         out.push('\n');
     }
-    fs::write(path, out)?;
+    write_atomic(path, out.as_bytes())?;
     Ok(())
 }
 
@@ -143,12 +230,13 @@ pub(crate) fn write_meta(meta: &PipelineMeta, path: &Path) -> Result<(), Persist
         AblationVariant::WithKeypointText => "with_keypoint_text",
         AblationVariant::Full => "full",
     };
-    fs::write(
+    write_atomic(
         path,
         format!(
             "max_len={}\nlatent_scale={}\nprovider={provider}\nvariant={variant}\n",
             meta.max_len, meta.latent_scale
-        ),
+        )
+        .as_bytes(),
     )?;
     Ok(())
 }
@@ -195,7 +283,7 @@ pub(crate) fn read_meta(path: &Path) -> Result<PipelineMeta, PersistError> {
 }
 
 pub(crate) fn save_module(params: &[aero_nn::Var], path: &Path) -> Result<(), PersistError> {
-    save_params(params, path)?;
+    write_atomic(path, &encode_params(params))?;
     Ok(())
 }
 
@@ -262,5 +350,64 @@ mod tests {
         let a = config_fingerprint(&PipelineConfig::smoke());
         let b = config_fingerprint(&PipelineConfig::small());
         assert_ne!(a, b);
+    }
+
+    /// Builds a synthetic pipeline directory with every manifest-covered
+    /// file present (contents are arbitrary; only integrity is under test).
+    fn synthetic_pipeline_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("aero_persist_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        for (i, file) in PIPELINE_FILES.iter().enumerate() {
+            fs::write(dir.join(file), format!("blob-{i}-{file}")).unwrap();
+        }
+        write_manifest(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn single_bit_flip_in_unet_weights_is_corrupt() {
+        let dir = synthetic_pipeline_dir("bitflip");
+        verify_manifest(&dir).unwrap();
+        let path = dir.join("unet.aero");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[2] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        match verify_manifest(&dir) {
+            Err(PersistError::Corrupt { file, .. }) => assert_eq!(file, "unet.aero"),
+            other => panic!("expected Corrupt for unet.aero, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_manifest_is_a_meta_error() {
+        let dir = synthetic_pipeline_dir("truncated");
+        let manifest = fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        // Cut mid-entry: the last line loses its name field.
+        let cut = manifest.trim_end().rfind(' ').unwrap();
+        fs::write(dir.join("manifest.txt"), &manifest[..cut]).unwrap();
+        assert!(
+            matches!(verify_manifest(&dir), Err(PersistError::Meta(_))),
+            "a truncated manifest must surface as a Meta error"
+        );
+    }
+
+    #[test]
+    fn unsupported_manifest_version_is_typed() {
+        let dir = synthetic_pipeline_dir("version");
+        let manifest = fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        fs::write(dir.join("manifest.txt"), manifest.replacen("version=1", "version=9", 1))
+            .unwrap();
+        assert!(matches!(
+            verify_manifest(&dir),
+            Err(PersistError::VersionMismatch { found: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_manifest_is_accepted_as_legacy() {
+        let dir = synthetic_pipeline_dir("legacy");
+        fs::remove_file(dir.join("manifest.txt")).unwrap();
+        verify_manifest(&dir).unwrap();
     }
 }

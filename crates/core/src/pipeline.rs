@@ -4,7 +4,7 @@ use crate::ablation::AblationVariant;
 use crate::condition::{ConditionInputs, ConditionNetwork};
 use crate::config::PipelineConfig;
 use crate::substrate::{caption_dataset, SubstrateBundle};
-use aero_diffusion::{CondUnet, DdimSampler, DiffusionTrainer};
+use aero_diffusion::{CheckpointConfig, CondUnet, DdimSampler, DiffusionTrainer, TrainCursor};
 use aero_nn::optim::Adam;
 use aero_nn::Module;
 use aero_scene::{AerialDataset, Annotation, DatasetItem, Image};
@@ -14,6 +14,23 @@ use aero_text::prompt::PromptTemplate;
 use aero_vision::vae::LATENT_CHANNELS;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// What a checkpointed [`AeroDiffusionPipeline::fit_with_checkpoints`]
+/// run did: how far it got and how it got there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitReport {
+    /// Joint-training optimizer steps completed (including steps from a
+    /// resumed earlier run).
+    pub steps: u64,
+    /// Whether all epochs finished (`false` when `max_steps` hit first).
+    pub completed: bool,
+    /// The checkpoint step training resumed from, if any.
+    pub resumed_from: Option<u64>,
+    /// Corrupt checkpoints skipped while searching for the resume point.
+    pub skipped_corrupt: usize,
+    /// Loss of the last executed step, if any step ran.
+    pub last_loss: Option<f32>,
+}
 
 /// A fully trained AeroDiffusion system.
 #[derive(Debug)]
@@ -76,10 +93,81 @@ impl AeroDiffusionPipeline {
         pipeline
     }
 
+    /// Trains like [`AeroDiffusionPipeline::fit_with_options`] but with
+    /// crash-safe checkpoints of the joint diffusion stage: the run can be
+    /// killed at an arbitrary step and re-invoked with the same arguments,
+    /// and it continues from the newest valid checkpoint on a
+    /// bit-identical trajectory (optimizer moments, RNG state, and the
+    /// in-epoch batch order are all restored). Corrupt checkpoints are
+    /// skipped, not trusted.
+    ///
+    /// `max_steps` bounds the joint-training steps (used to simulate a
+    /// mid-run kill in tests and to bound CI smoke runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint save/scan failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit_with_checkpoints(
+        dataset: &AerialDataset,
+        config: PipelineConfig,
+        provider: LlmProvider,
+        variant: AblationVariant,
+        seed: u64,
+        checkpoint: &CheckpointConfig,
+        max_steps: Option<u64>,
+    ) -> Result<(Self, FitReport), crate::persist::PersistError> {
+        assert!(!dataset.is_empty(), "cannot fit on an empty dataset");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prompt = variant.prompt();
+        let captions = caption_dataset(dataset, provider, &prompt, seed);
+        let bundle = SubstrateBundle::train(dataset, &captions, &config, seed);
+
+        let vocab = bundle.tokenizer.vocab().len();
+        let condition = ConditionNetwork::with_components(
+            vocab,
+            &config,
+            variant.uses_blip(),
+            variant.uses_object_detection(),
+            &mut rng,
+        );
+        let unet = CondUnet::new(crate::lint::unet_config(&config), &mut rng);
+        let trainer = DiffusionTrainer::new(config.diffusion);
+
+        let mut pipeline =
+            AeroDiffusionPipeline { config, bundle, condition, unet, trainer, provider, variant };
+        let report = pipeline.train_joint_checkpointed(
+            dataset,
+            &captions,
+            &mut rng,
+            Some(checkpoint),
+            max_steps,
+        )?;
+        Ok((pipeline, report))
+    }
+
     /// The joint diffusion + condition-network training stage (Eq. 6:
     /// "both the parameters θ of the denoising network and those involved
     /// in generating the condition vector C are jointly updated").
     fn train_joint(&mut self, dataset: &AerialDataset, captions: &[String], rng: &mut StdRng) {
+        self.train_joint_checkpointed(dataset, captions, rng, None, None)
+            .expect("uncheckpointed joint training performs no fallible i/o");
+    }
+
+    /// [`Self::train_joint`] with optional checkpointing: resumes from the
+    /// newest valid checkpoint in `checkpoint.dir` when one exists, and
+    /// saves every `checkpoint.every` steps plus once at completion.
+    fn train_joint_checkpointed(
+        &mut self,
+        dataset: &AerialDataset,
+        captions: &[String],
+        rng: &mut StdRng,
+        checkpoint: Option<&CheckpointConfig>,
+        max_steps: Option<u64>,
+    ) -> Result<FitReport, crate::persist::PersistError> {
         // Precompute frozen quantities: latents, tokens, ROIs.
         let latents: Vec<Tensor> = dataset
             .iter()
@@ -118,6 +206,9 @@ impl AeroDiffusionPipeline {
         if joint {
             params.extend(self.condition.params());
         }
+        // Vars are shared handles; keep a second list of the optimized
+        // parameters for checkpoint save/restore alongside the optimizer.
+        let ckpt_params = params.clone();
         let mut opt = Adam::new(params, self.config.diffusion_lr).with_weight_decay(1e-5);
 
         // Frozen-condition fast path: precompute every condition vector
@@ -141,12 +232,44 @@ impl AeroDiffusionPipeline {
                 .collect()
         };
 
-        let mut order: Vec<usize> = (0..dataset.len()).collect();
-        for _ in 0..self.config.diffusion_epochs {
-            for i in (1..order.len()).rev() {
-                order.swap(i, rng.gen_range(0..=i));
+        // Resume: restore weights, moments, RNG and the in-epoch cursor
+        // from the newest valid checkpoint; corrupt ones are skipped.
+        let mut resumed_from = None;
+        let mut skipped_corrupt = 0;
+        let mut start_epoch = 0;
+        let mut chunk_start = 0;
+        let mut pending_order: Option<Vec<usize>> = None;
+        let mut step: u64 = 0;
+        if let Some(ckpt) = checkpoint {
+            let resume = aero_diffusion::resume_latest(&ckpt.dir, &ckpt_params, &mut opt)?;
+            skipped_corrupt = resume.skipped_corrupt;
+            if let Some(cursor) = resume.cursor {
+                *rng = StdRng::from_state(cursor.rng);
+                resumed_from = Some(cursor.step);
+                step = cursor.step;
+                start_epoch = cursor.epoch;
+                chunk_start = cursor.batch;
+                pending_order = Some(cursor.order);
             }
-            for chunk in order.chunks(self.config.diffusion_batch_size.max(1)) {
+        }
+
+        let batch_size = self.config.diffusion_batch_size.max(1);
+        let mut last_loss = None;
+        let mut completed = true;
+        let mut last_saved = resumed_from;
+        'epochs: for epoch in start_epoch..self.config.diffusion_epochs {
+            let order: Vec<usize> = match pending_order.take() {
+                Some(order) => order,
+                None => {
+                    let mut order: Vec<usize> = (0..dataset.len()).collect();
+                    for i in (1..order.len()).rev() {
+                        order.swap(i, rng.gen_range(0..=i));
+                    }
+                    order
+                }
+            };
+            let chunks: Vec<&[usize]> = order.chunks(batch_size).collect();
+            for (ci, &chunk) in chunks.iter().enumerate().skip(chunk_start) {
                 let cond = if joint {
                     let inputs: Vec<ConditionInputs<'_>> = chunk
                         .iter()
@@ -175,10 +298,46 @@ impl AeroDiffusionPipeline {
                 let z0 = Tensor::stack(&refs);
                 opt.zero_grad();
                 let loss = self.trainer.loss(&self.unet, &z0, Some(&cond), rng);
+                let value = loss.value().item();
                 loss.backward();
                 opt.step();
+                step += 1;
+                last_loss = Some(value);
+                if let Some(ckpt) = checkpoint {
+                    if ckpt.every > 0 && step.is_multiple_of(ckpt.every) {
+                        let cursor = TrainCursor {
+                            step,
+                            epoch,
+                            batch: ci + 1,
+                            order: order.clone(),
+                            rng: rng.state(),
+                        };
+                        aero_diffusion::save_checkpoint(ckpt, &cursor, &ckpt_params, &opt)?;
+                        last_saved = Some(step);
+                    }
+                }
+                if max_steps.is_some_and(|max| step >= max) {
+                    completed = false;
+                    break 'epochs;
+                }
+            }
+            chunk_start = 0;
+        }
+        if let Some(ckpt) = checkpoint {
+            // A final checkpoint marks the run complete so a re-invocation
+            // resumes past the loop instead of repeating work.
+            if completed && step > 0 && last_saved != Some(step) {
+                let cursor = TrainCursor {
+                    step,
+                    epoch: self.config.diffusion_epochs,
+                    batch: 0,
+                    order: Vec::new(),
+                    rng: rng.state(),
+                };
+                aero_diffusion::save_checkpoint(ckpt, &cursor, &ckpt_params, &opt)?;
             }
         }
+        Ok(FitReport { steps: step, completed, resumed_from, skipped_corrupt, last_loss })
     }
 
     /// ROIs for an image: detector output ordered by confidence. When the
@@ -358,12 +517,17 @@ impl AeroDiffusionPipeline {
             },
             &dir.join("meta.txt"),
         )?;
-        std::fs::write(dir.join("config.txt"), persist::config_fingerprint(&self.config))?;
+        aero_nn::integrity::write_atomic(
+            &dir.join("config.txt"),
+            persist::config_fingerprint(&self.config).as_bytes(),
+        )?;
         persist::save_module(&self.bundle.clip.params(), &dir.join("clip.aero"))?;
         persist::save_module(&self.bundle.vae.params(), &dir.join("vae.aero"))?;
         persist::save_module(&self.bundle.detector.params(), &dir.join("detector.aero"))?;
         persist::save_module(&self.condition.params(), &dir.join("condition.aero"))?;
         persist::save_module(&self.unet.params(), &dir.join("unet.aero"))?;
+        // Written last: the manifest only ever describes a complete save.
+        persist::write_manifest(dir)?;
         Ok(())
     }
 
@@ -380,6 +544,10 @@ impl AeroDiffusionPipeline {
     ) -> Result<Self, crate::persist::PersistError> {
         use crate::persist;
         let dir = dir.as_ref();
+        // Integrity first: a bit flip anywhere fails typed before any
+        // blob is decoded. Directories without a manifest are legacy
+        // saves and load unchecked.
+        persist::verify_manifest(dir)?;
         let fingerprint = std::fs::read_to_string(dir.join("config.txt"))?;
         if fingerprint != persist::config_fingerprint(&config) {
             return Err(crate::persist::PersistError::Meta(format!(
@@ -471,6 +639,94 @@ mod tests {
         );
         let diff = a.to_tensor().sub(&b.to_tensor()).abs().max();
         assert!(diff > 1e-6, "target description must steer generation");
+    }
+
+    #[test]
+    fn save_writes_manifest_and_load_rejects_bit_flips() {
+        let ds = tiny_dataset(4);
+        let pipeline = AeroDiffusionPipeline::fit(&ds, PipelineConfig::smoke(), 8);
+        let dir = std::env::temp_dir().join("aero_pipeline_manifest_e2e");
+        let _ = std::fs::remove_dir_all(&dir);
+        pipeline.save(&dir).unwrap();
+        assert!(dir.join("manifest.txt").exists());
+        AeroDiffusionPipeline::load(&dir, PipelineConfig::smoke()).unwrap();
+
+        let path = dir.join("unet.aero");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, bytes).unwrap();
+        match AeroDiffusionPipeline::load(&dir, PipelineConfig::smoke()) {
+            Err(crate::persist::PersistError::Corrupt { file, .. }) => {
+                assert_eq!(file, "unet.aero");
+            }
+            other => panic!("expected Corrupt for flipped unet.aero, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpointed_fit_resumes_bit_identically_after_a_kill() {
+        use aero_nn::Module;
+        let ds = tiny_dataset(4);
+        // Smoke defaults yield 2 joint steps; widen to 8 (4 epochs × 2
+        // chunks) so a kill can land mid-epoch between checkpoints.
+        let mut config = PipelineConfig::smoke();
+        config.diffusion_epochs = 4;
+        config.diffusion_batch_size = 2;
+        let params_of = |p: &AeroDiffusionPipeline| -> Vec<Vec<f32>> {
+            p.unet.params().iter().map(|v| v.to_tensor().as_slice().to_vec()).collect()
+        };
+        let fresh = |name: &str| {
+            let dir = std::env::temp_dir().join(format!("aero_fit_ckpt_{name}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            CheckpointConfig::new(dir, 2)
+        };
+
+        let reference_ckpt = fresh("reference");
+        let (reference, ref_report) = AeroDiffusionPipeline::fit_with_checkpoints(
+            &ds,
+            config,
+            LlmProvider::KeypointAware,
+            AblationVariant::Full,
+            13,
+            &reference_ckpt,
+            None,
+        )
+        .unwrap();
+        assert!(ref_report.completed);
+        assert!(ref_report.steps > 3, "need enough steps to kill mid-run");
+
+        let ckpt = fresh("killed");
+        let (_, killed) = AeroDiffusionPipeline::fit_with_checkpoints(
+            &ds,
+            config,
+            LlmProvider::KeypointAware,
+            AblationVariant::Full,
+            13,
+            &ckpt,
+            Some(3),
+        )
+        .unwrap();
+        assert!(!killed.completed);
+
+        let (resumed, report) = AeroDiffusionPipeline::fit_with_checkpoints(
+            &ds,
+            config,
+            LlmProvider::KeypointAware,
+            AblationVariant::Full,
+            13,
+            &ckpt,
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.resumed_from, Some(2), "newest checkpoint before the kill");
+        assert!(report.completed);
+        assert_eq!(report.steps, ref_report.steps);
+        assert_eq!(
+            params_of(&resumed),
+            params_of(&reference),
+            "resumed fit must land on the uninterrupted trajectory"
+        );
     }
 
     #[test]

@@ -107,6 +107,17 @@ impl PipelineSnapshot {
             variant: self.meta.variant,
         })
     }
+
+    /// A copy whose UNet weight blob is truncated mid-stream — a snapshot
+    /// guaranteed to fail [`PipelineSnapshot::hydrate`]. Exists for the
+    /// serving fault-injection harness: worker-hydration failure paths
+    /// need a realistic corrupt snapshot to exercise.
+    #[must_use]
+    pub fn with_truncated_unet(&self) -> PipelineSnapshot {
+        let mut copy = self.clone();
+        copy.unet.truncate(copy.unet.len() / 2);
+        copy
+    }
 }
 
 impl AeroDiffusionPipeline {
@@ -165,6 +176,23 @@ mod tests {
         let a = pipeline.generate(&ds.items[0], &mut StdRng::seed_from_u64(5));
         let b = replica.generate(&ds.items[0], &mut StdRng::seed_from_u64(5));
         assert_eq!(a, b, "replica must generate byte-identical output");
+    }
+
+    #[test]
+    fn truncated_unet_snapshot_fails_hydration_typed() {
+        let config = PipelineConfig::smoke();
+        let ds = build_dataset(&DatasetConfig {
+            n_scenes: 2,
+            image_size: config.vision.image_size,
+            seed: 33,
+            generator: SceneGeneratorConfig::default(),
+        });
+        let pipeline = AeroDiffusionPipeline::fit(&ds, config, 19);
+        let bad = pipeline.snapshot().with_truncated_unet();
+        match bad.hydrate() {
+            Err(PersistError::Weights(_)) => {}
+            other => panic!("expected a typed weight failure, got {other:?}"),
+        }
     }
 
     #[test]

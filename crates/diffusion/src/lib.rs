@@ -11,11 +11,18 @@
 //! The paper's exact hyperparameters are the defaults of
 //! [`DiffusionConfig::paper`]; tests and benches use reduced presets.
 
+pub mod checkpoint;
+pub mod guard;
 pub mod sampler;
 pub mod schedule;
 pub mod trainer;
 pub mod unet;
 
+pub use checkpoint::{
+    list_checkpoints, load_checkpoint, resume_latest, save_checkpoint, train_resumable,
+    CheckpointConfig, CheckpointError, TrainCursor, TrainRun, TrainRunOptions,
+};
+pub use guard::{GuardConfig, GuardStats, GuardVerdict, TrainGuard};
 pub use sampler::{DdimSampler, DdpmSampler};
 pub use schedule::{BetaSchedule, NoiseSchedule};
 pub use trainer::{DiffusionTrainer, TrainBatch};

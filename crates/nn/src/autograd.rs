@@ -130,6 +130,19 @@ impl Var {
         self.inner.borrow_mut().grad = None;
     }
 
+    /// Overwrites the accumulated gradient (used by gradient clipping:
+    /// the training guard rescales stored gradients in place before the
+    /// optimizer consumes them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient's shape differs from the value's shape.
+    pub fn set_grad(&self, grad: Tensor) {
+        let mut node = self.inner.borrow_mut();
+        assert_eq!(node.value.shape(), grad.shape(), "set_grad must preserve shape");
+        node.grad = Some(grad);
+    }
+
     /// Overwrites the value of a leaf (used by optimizers).
     ///
     /// # Panics

@@ -29,6 +29,7 @@
 mod autograd;
 pub mod gradcheck;
 pub mod init;
+pub mod integrity;
 pub mod layers;
 pub mod optim;
 pub mod serialize;

@@ -59,12 +59,20 @@ impl From<io::Error> for LoadWeightsError {
 
 /// Encodes parameters into the binary weight format.
 pub fn encode_params(params: &[Var]) -> Bytes {
+    let tensors: Vec<Tensor> = params.iter().map(Var::to_tensor).collect();
+    let refs: Vec<&Tensor> = tensors.iter().collect();
+    encode_tensors(&refs)
+}
+
+/// Encodes raw tensors into the same binary format [`encode_params`]
+/// writes — used for optimizer moments and other non-parameter state
+/// that checkpoints must carry.
+pub fn encode_tensors(tensors: &[&Tensor]) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
-    buf.put_u32_le(params.len() as u32);
-    for p in params {
-        let t = p.value();
+    buf.put_u32_le(tensors.len() as u32);
+    for t in tensors {
         buf.put_u32_le(t.rank() as u32);
         for &d in t.shape() {
             buf.put_u32_le(d as u32);

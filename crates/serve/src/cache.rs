@@ -97,6 +97,16 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         None
     }
 
+    /// Removes an entry outright (e.g. one found to hold corrupt data),
+    /// returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let value = self.map.remove(key)?;
+        if let Some(i) = self.order.iter().position(|k| k == key) {
+            self.order.remove(i);
+        }
+        Some(value)
+    }
+
     fn touch(&mut self, key: &K) {
         if let Some(i) = self.order.iter().position(|k| k == key) {
             let k = self.order.remove(i);
@@ -158,6 +168,19 @@ mod tests {
         assert_eq!(c.insert(4, 4), Some(2));
         assert_eq!(c.insert(5, 5), Some(1));
         assert_eq!(c.insert(6, 6), Some(3));
+    }
+
+    #[test]
+    fn remove_frees_capacity_and_order_slot() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.remove(&1), Some(10));
+        assert_eq!(c.remove(&1), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.insert(3, 30), None, "removal must free a slot");
+        assert_eq!(c.get(&2), Some(20));
+        assert_eq!(c.get(&3), Some(30));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   replica of the immutable trained pipeline from a
 //!   [`aerodiffusion::PipelineSnapshot`], with a graceful
 //!   drain-and-shutdown;
+//! - per-request panic isolation, non-finite output guards, cache
+//!   corruption recovery and a watchdog that respawns dead workers —
+//!   all driven deterministically in tests by a [`fault::FaultPlan`];
 //! - an NDJSON [`server`] front-end (request per line in, base64 image
 //!   plus per-stage latency per line out) plus a `stats` request type;
 //! - a static shape [`lint`] extending `aero-analysis` with the batcher's
@@ -27,6 +30,7 @@
 
 pub mod base64;
 pub mod cache;
+pub mod fault;
 pub mod json;
 pub mod lint;
 pub mod queue;
@@ -36,6 +40,7 @@ pub mod server;
 pub mod stats;
 
 pub use cache::{ConditionCache, ConditionKey, LruCache};
+pub use fault::{Fault, FaultPlan};
 pub use json::Json;
 pub use lint::lint_serve;
 pub use queue::{Pending, RequestQueue};

@@ -17,6 +17,10 @@ use std::time::{Duration, Instant};
 pub struct Pending {
     /// The request itself.
     pub request: GenerateRequest,
+    /// Runtime-assigned submission ordinal (0, 1, 2, …). Stable across
+    /// requeues, so the fault-injection harness can target "the Nth
+    /// request submitted" deterministically.
+    pub ordinal: u64,
     /// When it entered the queue (queue-wait accounting).
     pub enqueued: Instant,
     /// Absolute expiry, from the request's relative deadline.
@@ -151,6 +155,38 @@ impl RequestQueue {
         }
     }
 
+    /// Returns already-admitted requests to the *front* of the queue, in
+    /// order. Used by a dying worker to hand its unserved batch back so a
+    /// replacement can finish it: these requests were admitted once, so
+    /// capacity and shutdown checks do not apply — dropping them here
+    /// would silently lose replies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking worker.
+    pub fn requeue(&self, batch: Vec<Pending>) {
+        let mut state = self.state.lock().expect("queue lock");
+        for pending in batch.into_iter().rev() {
+            state.items.push_front(pending);
+        }
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Removes and returns every waiting request. Used when the last
+    /// live worker is gone and nobody will ever pop again — the caller
+    /// rejects each request with a typed error instead of hanging the
+    /// clients forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking worker.
+    #[must_use]
+    pub fn drain_all(&self) -> Vec<Pending> {
+        let mut state = self.state.lock().expect("queue lock");
+        state.items.drain(..).collect()
+    }
+
     /// Starts a drain: new pushes are rejected, workers keep popping until
     /// the queue is empty and then see `None`.
     ///
@@ -189,6 +225,7 @@ mod tests {
         (
             Pending {
                 request: GenerateRequest::new(id, "a prompt", 0),
+                ordinal: 0,
                 enqueued: now,
                 deadline: deadline.map(|d| now + d),
                 responder: tx,
@@ -259,6 +296,44 @@ mod tests {
                 assert_eq!(reason, RejectReason::DeadlineExceeded);
             }
             other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requeue_puts_requests_back_at_the_front_in_order() {
+        let q = RequestQueue::new(4);
+        let (a, _ra) = pending("a", None);
+        let (b, _rb) = pending("b", None);
+        q.push(a).unwrap();
+        q.begin_shutdown();
+        let batch = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1);
+        // A dying worker hands back its batch even mid-shutdown, ahead of
+        // anything still queued.
+        q.push(b).unwrap_err(); // new work is still refused
+        q.requeue(batch);
+        let again = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(again[0].request.id, "a");
+    }
+
+    #[test]
+    fn drain_all_empties_the_queue_for_terminal_rejection() {
+        let q = RequestQueue::new(4);
+        let (a, ra) = pending("a", None);
+        let (b, rb) = pending("b", None);
+        q.push(a).unwrap();
+        q.push(b).unwrap();
+        let orphans = q.drain_all();
+        assert_eq!(orphans.len(), 2);
+        assert!(q.is_empty());
+        for p in orphans {
+            p.reject(RejectReason::WorkerError { detail: "no live workers".into() });
+        }
+        for rx in [ra, rb] {
+            match rx.recv().unwrap() {
+                ServeReply::Rejected { reason: RejectReason::WorkerError { .. }, .. } => {}
+                other => panic!("expected worker_error, got {other:?}"),
+            }
         }
     }
 

@@ -103,6 +103,13 @@ pub enum RejectReason {
     DeadlineExceeded,
     /// The serving worker disappeared before answering (worker panic).
     WorkerFailure,
+    /// The worker hit a recoverable fault while serving this specific
+    /// request (a panic caught mid-request, a non-finite sampler output,
+    /// or a failed replica hydration); other requests were unaffected.
+    WorkerError {
+        /// Human-readable description of what failed.
+        detail: String,
+    },
 }
 
 impl RejectReason {
@@ -114,6 +121,7 @@ impl RejectReason {
             RejectReason::ShuttingDown => "shutting_down",
             RejectReason::DeadlineExceeded => "deadline_exceeded",
             RejectReason::WorkerFailure => "worker_failure",
+            RejectReason::WorkerError { .. } => "worker_error",
         }
     }
 }
@@ -127,6 +135,7 @@ impl fmt::Display for RejectReason {
             RejectReason::ShuttingDown => write!(f, "runtime is shutting down"),
             RejectReason::DeadlineExceeded => write!(f, "deadline expired while queued"),
             RejectReason::WorkerFailure => write!(f, "serving worker failed"),
+            RejectReason::WorkerError { detail } => write!(f, "worker error: {detail}"),
         }
     }
 }

@@ -1,5 +1,6 @@
-//! The serving runtime: a worker pool over one immutable trained
-//! pipeline, fed by the bounded queue and the dynamic micro-batcher.
+//! The serving runtime: a supervised worker pool over one immutable
+//! trained pipeline, fed by the bounded queue and the dynamic
+//! micro-batcher.
 //!
 //! The trained pipeline itself is not shareable across threads (its
 //! parameters live in `Rc`-backed autograd nodes), so the runtime ships a
@@ -14,8 +15,32 @@
 //! drawn from a private `StdRng` seeded with the request seed, and the
 //! DDIM reverse process is row-independent, so coalescing requests into
 //! one `[n, c, h, w]` sampler call changes throughput, never bytes.
+//!
+//! Fault-tolerance contract: one bad request must never take the service
+//! down, and one dead worker must never strand queued work.
+//!
+//! - Per-request preparation runs under `catch_unwind`; a panic answers
+//!   *that* request with a typed `worker_error` reply while the rest of
+//!   the batch is still served. The worker that caught the panic is
+//!   treated as suspect: it finishes its batch, exits, and the watchdog
+//!   respawns a fresh replica in its place (up to
+//!   [`ServeConfig::max_worker_restarts`]).
+//! - A worker that dies outright hands its unserved batch back to the
+//!   front of the queue first, so the replacement worker — or any
+//!   surviving peer — finishes it with zero dropped replies.
+//! - Sampler outputs are checked for non-finite values before decode;
+//!   a NaN latent becomes a typed reply, never a garbage image.
+//! - Cached condition embeddings are validated on every hit; a corrupt
+//!   entry is evicted, counted, and recomputed.
+//! - If every worker is gone and no restarts remain, the watchdog drains
+//!   the queue and rejects each request with a typed reason instead of
+//!   hanging the clients forever.
+//!
+//! All of these paths are driven deterministically in tests by a
+//! [`FaultPlan`] (see [`crate::fault`]); production runtimes pass none.
 
 use crate::cache::{ConditionCache, ConditionKey};
+use crate::fault::{Fault, FaultPlan};
 use crate::queue::{Pending, RequestQueue};
 use crate::request::{GenerateRequest, GeneratedImage, RejectReason, ServeReply, StageLatency};
 use crate::stats::{StatsCollector, StatsReport};
@@ -24,8 +49,11 @@ use aero_scene::{build_dataset, DatasetConfig, DatasetItem, SceneGeneratorConfig
 use aero_tensor::Tensor;
 use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
 use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,6 +76,9 @@ pub struct ServeConfig {
     pub guidance_scale: f32,
     /// Seed of the reference scene used as the conditioning exemplar.
     pub reference_seed: u64,
+    /// Total worker respawns the watchdog may perform over the runtime's
+    /// life before it stops replacing dead workers.
+    pub max_worker_restarts: usize,
 }
 
 impl ServeConfig {
@@ -63,6 +94,7 @@ impl ServeConfig {
             steps: config.diffusion.ddim_steps,
             guidance_scale: config.diffusion.guidance_scale,
             reference_seed: 0,
+            max_worker_restarts: 4,
         }
     }
 }
@@ -102,45 +134,88 @@ impl ResponseHandle {
     }
 }
 
+/// Everything a worker shares with its peers and the watchdog.
+#[derive(Clone)]
+struct WorkerShared {
+    queue: Arc<RequestQueue>,
+    cache: Arc<Mutex<ConditionCache>>,
+    stats: Arc<StatsCollector>,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// How a worker thread ended, as seen by the watchdog. A thread that
+/// panicked instead of returning shows up as `Err` from `join`.
+enum WorkerOutcome {
+    /// Clean exit: the queue drained out under shutdown.
+    Drained,
+    /// The snapshot would not hydrate. Deterministic — the same bytes
+    /// fail the same way — so the watchdog does not burn restarts on it.
+    HydrationFailed,
+    /// The worker caught an in-request panic, answered it with a typed
+    /// reply, finished its batch, and exited so a fresh replica can take
+    /// its slot.
+    Suspect,
+}
+
 /// The running worker pool. Dropping it without [`ServeRuntime::shutdown`]
 /// leaks the workers; always shut down for a graceful drain.
 #[derive(Debug)]
 pub struct ServeRuntime {
     queue: Arc<RequestQueue>,
     stats: Arc<StatsCollector>,
-    workers: Vec<JoinHandle<()>>,
+    next_ordinal: AtomicU64,
+    watchdog: JoinHandle<()>,
 }
 
 impl ServeRuntime {
     /// Spawns `config.workers` threads, each hydrating a replica from the
-    /// snapshot, and starts serving.
+    /// snapshot, plus a watchdog that respawns dead workers, and starts
+    /// serving.
     ///
     /// # Panics
     ///
     /// Panics if `config.workers == 0`, `config.max_batch == 0`, or a
-    /// worker thread cannot be spawned. A snapshot that fails to hydrate
-    /// panics inside the worker, surfacing as worker failures.
+    /// thread cannot be spawned. A snapshot that fails to hydrate does
+    /// *not* panic: the affected workers exit with a typed failure
+    /// recorded in stats, and queued requests are rejected with
+    /// `worker_error` once no worker remains.
     #[must_use]
     pub fn start(snapshot: PipelineSnapshot, config: ServeConfig) -> Self {
+        ServeRuntime::start_with_faults(snapshot, config, None)
+    }
+
+    /// [`ServeRuntime::start`], plus a deterministic [`FaultPlan`] the
+    /// workers consult per request. Tests use this to trigger panics,
+    /// worker deaths, NaN outputs and cache corruption on exact requests.
+    ///
+    /// # Panics
+    ///
+    /// As [`ServeRuntime::start`].
+    #[must_use]
+    pub fn start_with_faults(
+        snapshot: PipelineSnapshot,
+        config: ServeConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         assert!(config.workers > 0, "serve runtime needs at least one worker");
         assert!(config.max_batch > 0, "max_batch must be positive");
         let snapshot = Arc::new(snapshot);
         let queue = Arc::new(RequestQueue::new(config.queue_capacity));
         let stats = Arc::new(StatsCollector::new());
-        let cache = Arc::new(Mutex::new(ConditionCache::new(config.cache_capacity)));
-        let workers = (0..config.workers)
-            .map(|i| {
-                let snapshot = Arc::clone(&snapshot);
-                let queue = Arc::clone(&queue);
-                let stats = Arc::clone(&stats);
-                let cache = Arc::clone(&cache);
-                std::thread::Builder::new()
-                    .name(format!("aero-serve-{i}"))
-                    .spawn(move || worker_loop(&snapshot, &queue, &cache, &stats, config))
-                    .expect("spawn serve worker")
-            })
+        let shared = WorkerShared {
+            queue: Arc::clone(&queue),
+            cache: Arc::new(Mutex::new(ConditionCache::new(config.cache_capacity))),
+            stats: Arc::clone(&stats),
+            faults,
+        };
+        let mut slots: Vec<Option<JoinHandle<WorkerOutcome>>> = (0..config.workers)
+            .map(|i| Some(spawn_worker(i, 0, Arc::clone(&snapshot), shared.clone(), config)))
             .collect();
-        ServeRuntime { queue, stats, workers }
+        let watchdog = std::thread::Builder::new()
+            .name("aero-serve-watchdog".into())
+            .spawn(move || watchdog_loop(&snapshot, &shared, config, &mut slots))
+            .expect("spawn serve watchdog");
+        ServeRuntime { queue, stats, next_ordinal: AtomicU64::new(0), watchdog }
     }
 
     /// Enqueues a request, returning a handle for its reply.
@@ -148,13 +223,15 @@ impl ServeRuntime {
     /// # Errors
     ///
     /// [`RejectReason::QueueFull`] under backpressure,
-    /// [`RejectReason::ShuttingDown`] once a drain began.
+    /// [`RejectReason::ShuttingDown`] once a drain began (including the
+    /// terminal drain after every worker died).
     pub fn submit(&self, request: GenerateRequest) -> Result<ResponseHandle, RejectReason> {
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         let id = request.id.clone();
         let deadline = request.deadline.map(|d| now + d);
-        let pending = Pending { request, enqueued: now, deadline, responder: tx };
+        let ordinal = self.next_ordinal.fetch_add(1, Ordering::SeqCst);
+        let pending = Pending { request, ordinal, enqueued: now, deadline, responder: tx };
         match self.queue.push(pending) {
             Ok(()) => Ok(ResponseHandle { id, rx, stats: Arc::clone(&self.stats) }),
             Err(reason) => {
@@ -181,23 +258,93 @@ impl ServeRuntime {
     #[must_use]
     pub fn shutdown(self) -> StatsReport {
         self.queue.begin_shutdown();
-        for worker in self.workers {
-            let _ = worker.join();
-        }
+        let _ = self.watchdog.join();
         self.stats.report()
     }
 }
 
+fn spawn_worker(
+    slot: usize,
+    generation: usize,
+    snapshot: Arc<PipelineSnapshot>,
+    shared: WorkerShared,
+    config: ServeConfig,
+) -> JoinHandle<WorkerOutcome> {
+    std::thread::Builder::new()
+        .name(format!("aero-serve-{slot}.{generation}"))
+        .spawn(move || worker_loop(&snapshot, &shared, config))
+        .expect("spawn serve worker")
+}
+
+/// Supervises the worker slots: joins finished workers, respawns the ones
+/// that died (panic or suspect exit) while restarts remain, and — once no
+/// worker is left — fails all queued work with a typed reason so clients
+/// never hang on a dead pool.
+fn watchdog_loop(
+    snapshot: &Arc<PipelineSnapshot>,
+    shared: &WorkerShared,
+    config: ServeConfig,
+    slots: &mut [Option<JoinHandle<WorkerOutcome>>],
+) {
+    let mut restarts = 0usize;
+    let mut generation = 0usize;
+    loop {
+        let mut live = 0usize;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(JoinHandle::is_finished) {
+                let outcome = slot.take().expect("finished slot has a handle").join();
+                match outcome {
+                    Ok(WorkerOutcome::Drained | WorkerOutcome::HydrationFailed) => {}
+                    // A worker that died is replaced even mid-shutdown:
+                    // its requeued batch still has to be drained, and the
+                    // restart budget bounds the loop either way.
+                    Ok(WorkerOutcome::Suspect) | Err(_) => {
+                        if restarts < config.max_worker_restarts {
+                            restarts += 1;
+                            generation += 1;
+                            shared.stats.record_worker_restart();
+                            *slot = Some(spawn_worker(
+                                i,
+                                generation,
+                                Arc::clone(snapshot),
+                                shared.clone(),
+                                config,
+                            ));
+                        }
+                    }
+                }
+            }
+            if slot.is_some() {
+                live += 1;
+            }
+        }
+        if live == 0 {
+            // Nobody will ever pop again. On a graceful shutdown the queue
+            // is already drained and this is a no-op; on a collapsed pool
+            // it converts every stranded request into a typed rejection.
+            shared.queue.begin_shutdown();
+            for pending in shared.queue.drain_all() {
+                pending.reject(RejectReason::WorkerError {
+                    detail: "no live serving workers remain".into(),
+                });
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
 /// One worker: hydrate a replica, build the conditioning exemplar, then
-/// serve batches until the queue drains out.
+/// serve batches until the queue drains out or the worker turns suspect.
 fn worker_loop(
     snapshot: &PipelineSnapshot,
-    queue: &RequestQueue,
-    cache: &Mutex<ConditionCache>,
-    stats: &StatsCollector,
+    shared: &WorkerShared,
     config: ServeConfig,
-) {
-    let replica = snapshot.hydrate().expect("hydrate serving replica");
+) -> WorkerOutcome {
+    let Ok(replica) = snapshot.hydrate() else {
+        shared.stats.record_hydration_failure();
+        return WorkerOutcome::HydrationFailed;
+    };
     let reference = build_dataset(&DatasetConfig {
         n_scenes: 1,
         image_size: replica.config().vision.image_size,
@@ -208,9 +355,26 @@ fn worker_loop(
     // A fixed caption G makes the encode a pure function of the request's
     // prompt (G'), which is what lets the condition cache key on it.
     let caption_g = replica.caption_for(item, &mut StdRng::seed_from_u64(0));
-    while let Some(batch) = queue.pop_batch(config.max_batch, config.batch_wait) {
-        serve_batch(&replica, item, &caption_g, batch, cache, stats, &config);
+    while let Some(batch) = shared.queue.pop_batch(config.max_batch, config.batch_wait) {
+        if !serve_batch(&replica, item, &caption_g, batch, shared, &config) {
+            // An in-request panic was caught and answered, but this
+            // replica's internal state is no longer above suspicion.
+            // Exit after the batch; the watchdog brings up a fresh one.
+            return WorkerOutcome::Suspect;
+        }
     }
+    WorkerOutcome::Drained
+}
+
+/// Locks the condition cache, recovering from poison: the cache holds
+/// only recomputable embeddings, so a panic in one worker must not
+/// cascade lock panics through every survivor.
+fn lock_cache(cache: &Mutex<ConditionCache>) -> MutexGuard<'_, ConditionCache> {
+    cache.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn tensor_is_finite(t: &Tensor) -> bool {
+    t.as_slice().iter().all(|v| v.is_finite())
 }
 
 /// A request annotated with everything measured before sampling.
@@ -220,20 +384,47 @@ struct Job {
     encode_us: u64,
     cache_hit: bool,
     cond: Tensor,
+    /// Injected [`Fault::NanLatents`]: poison this request's latents
+    /// after sampling so the output guard has something to catch.
+    nan_latents: bool,
 }
 
 /// Serves one popped batch: group by sampler settings, encode through the
 /// cache, run one coalesced sampler call per group, decode per request.
+/// Returns `false` if the worker caught an in-request panic and should be
+/// replaced after this batch.
 fn serve_batch(
     replica: &AeroDiffusionPipeline,
     item: &DatasetItem,
     caption_g: &str,
     batch: Vec<Pending>,
-    cache: &Mutex<ConditionCache>,
-    stats: &StatsCollector,
+    shared: &WorkerShared,
     config: &ServeConfig,
-) {
+) -> bool {
     let dequeued = Instant::now();
+    // Pull this batch's scheduled faults up front. KillWorker must fire
+    // before any request is served: the whole batch goes back to the
+    // queue (so a replacement finishes it), any other faults taken with
+    // it are re-scheduled for the retry, and the worker dies the way a
+    // real crash would — an uncaught panic.
+    let mut batch_faults: HashMap<u64, Fault> = HashMap::new();
+    if let Some(plan) = &shared.faults {
+        for pending in &batch {
+            if let Some(fault) = plan.take(pending.ordinal) {
+                batch_faults.insert(pending.ordinal, fault);
+            }
+        }
+        if batch_faults.values().any(|f| matches!(f, Fault::KillWorker)) {
+            for (ordinal, fault) in batch_faults {
+                if !matches!(fault, Fault::KillWorker) {
+                    plan.schedule(ordinal, fault);
+                }
+            }
+            shared.queue.requeue(batch);
+            panic!("injected fault: worker killed mid-batch");
+        }
+    }
+    let mut healthy = true;
     // Requests only share a sampler call when they agree on the settings
     // that alter it; override combinations are grouped in arrival order.
     let mut groups: Vec<((usize, u32), Vec<Pending>)> = Vec::new();
@@ -249,28 +440,58 @@ fn serve_batch(
     for ((steps, guidance_bits), members) in groups {
         let guidance = f32::from_bits(guidance_bits);
         let sampler = DdimSampler::new(steps, guidance);
-        stats.record_batch(members.len());
-        let jobs: Vec<Job> = members
-            .into_iter()
-            .map(|pending| {
-                let queue_us = micros(dequeued.saturating_duration_since(pending.enqueued));
-                let started = Instant::now();
-                let key = ConditionKey::new(&pending.request.prompt, replica.variant(), guidance);
-                let cached = cache.lock().expect("condition cache lock").get(&key);
-                let (cond, cache_hit) = match cached {
-                    Some(cond) => (cond, true),
-                    None => {
-                        let cond =
-                            replica.encode_condition(item, caption_g, &pending.request.prompt);
-                        cache.lock().expect("condition cache lock").insert(key, cond.clone());
-                        (cond, false)
-                    }
-                };
-                let encode_us = micros(started.elapsed());
-                Job { pending, queue_us, encode_us, cache_hit, cond }
-            })
-            .collect();
+        let mut jobs: Vec<Job> = Vec::new();
+        for pending in members {
+            let fault = batch_faults.remove(&pending.ordinal);
+            if let Some(Fault::DelayMs(ms)) = fault {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            let queue_us = micros(dequeued.saturating_duration_since(pending.enqueued));
+            let started = Instant::now();
+            let id = pending.request.id.clone();
+            let responder = pending.responder.clone();
+            // Everything per-request and fallible runs under the unwind
+            // guard: a panic here costs one reply, not the whole batch.
+            let prepared = catch_unwind(AssertUnwindSafe(|| {
+                if matches!(fault, Some(Fault::PanicRequest)) {
+                    panic!("injected fault: panic while preparing request");
+                }
+                prepare_condition(
+                    replica,
+                    item,
+                    caption_g,
+                    &pending.request,
+                    guidance,
+                    fault,
+                    shared,
+                )
+            }));
+            match prepared {
+                Ok((cond, cache_hit)) => jobs.push(Job {
+                    pending,
+                    queue_us,
+                    encode_us: micros(started.elapsed()),
+                    cache_hit,
+                    cond,
+                    nan_latents: matches!(fault, Some(Fault::NanLatents)),
+                }),
+                Err(_) => {
+                    shared.stats.record_worker_panic();
+                    healthy = false;
+                    let _ = responder.send(ServeReply::Rejected {
+                        id,
+                        reason: RejectReason::WorkerError {
+                            detail: "panic caught while serving this request".into(),
+                        },
+                    });
+                }
+            }
+        }
+        if jobs.is_empty() {
+            continue;
+        }
         let n = jobs.len();
+        shared.stats.record_batch(n);
         let [c, h, w] = replica.latent_shape();
         let conds: Vec<&Tensor> = jobs.iter().map(|j| &j.cond).collect();
         let cond_batch = Tensor::concat(&conds, 0);
@@ -289,7 +510,23 @@ fn serve_batch(
         let sample_us = micros(sample_started.elapsed());
         for (i, job) in jobs.into_iter().enumerate() {
             let decode_started = Instant::now();
-            let image = replica.decode_latent(&z.narrow(0, i, 1).reshape(&[c, h, w]));
+            let latent = if job.nan_latents {
+                Tensor::full(&[c, h, w], f32::NAN)
+            } else {
+                z.narrow(0, i, 1).reshape(&[c, h, w])
+            };
+            // Output guard: never decode (or return) a non-finite latent.
+            if !tensor_is_finite(&latent) {
+                shared.stats.record_nonfinite_output();
+                let _ = job.pending.responder.send(ServeReply::Rejected {
+                    id: job.pending.request.id.clone(),
+                    reason: RejectReason::WorkerError {
+                        detail: "sampler produced non-finite latents".into(),
+                    },
+                });
+                continue;
+            }
+            let image = replica.decode_latent(&latent);
             let rgb8: Vec<u8> = image
                 .to_tensor()
                 .as_slice()
@@ -302,7 +539,7 @@ fn serve_batch(
                 sample_us,
                 decode_us: micros(decode_started.elapsed()),
             };
-            stats.record_completed(latency, job.cache_hit);
+            shared.stats.record_completed(latency, job.cache_hit);
             let reply = ServeReply::Image(GeneratedImage {
                 id: job.pending.request.id.clone(),
                 width: image.width(),
@@ -316,6 +553,52 @@ fn serve_batch(
             let _ = job.pending.responder.send(reply);
         }
     }
+    healthy
+}
+
+/// Resolves one request's condition embedding through the cache,
+/// validating cached entries and applying a [`Fault::CorruptCacheEntry`]
+/// injection after the fact.
+fn prepare_condition(
+    replica: &AeroDiffusionPipeline,
+    item: &DatasetItem,
+    caption_g: &str,
+    request: &GenerateRequest,
+    guidance: f32,
+    fault: Option<Fault>,
+    shared: &WorkerShared,
+) -> (Tensor, bool) {
+    let key = ConditionKey::new(&request.prompt, replica.variant(), guidance);
+    // One lock scope for the whole lookup: matching directly on the
+    // locked `get` would keep the guard alive across the arms and
+    // self-deadlock on the eviction below.
+    let cached = {
+        let mut cache = lock_cache(&shared.cache);
+        match cache.get(&key) {
+            Some(cond) if tensor_is_finite(&cond) => Some(cond),
+            Some(_) => {
+                // A corrupt entry must not poison every future request
+                // that shares this prompt: evict, count, recompute below.
+                cache.remove(&key);
+                drop(cache);
+                shared.stats.record_cache_corruption();
+                None
+            }
+            None => None,
+        }
+    };
+    let (cond, cache_hit) = match cached {
+        Some(cond) => (cond, true),
+        None => {
+            let cond = replica.encode_condition(item, caption_g, &request.prompt);
+            lock_cache(&shared.cache).insert(key.clone(), cond.clone());
+            (cond, false)
+        }
+    };
+    if matches!(fault, Some(Fault::CorruptCacheEntry)) {
+        lock_cache(&shared.cache).insert(key, Tensor::full(cond.shape(), f32::NAN));
+    }
+    (cond, cache_hit)
 }
 
 fn micros(d: Duration) -> u64 {
@@ -334,5 +617,6 @@ mod tests {
         assert_eq!(sc.guidance_scale, pc.diffusion.guidance_scale);
         assert!(sc.workers >= 1);
         assert!(sc.max_batch >= 1);
+        assert!(sc.max_worker_restarts >= 1);
     }
 }

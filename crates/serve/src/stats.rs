@@ -12,6 +12,12 @@ struct Inner {
     rejected_deadline: u64,
     rejected_shutdown: u64,
     rejected_worker: u64,
+    rejected_worker_error: u64,
+    worker_panics: u64,
+    worker_restarts: u64,
+    hydration_failures: u64,
+    nonfinite_outputs: u64,
+    cache_corruptions: u64,
     cache_hits: u64,
     cache_misses: u64,
     /// `batch_hist[n]` counts sampler calls coalesced over `n` requests.
@@ -79,7 +85,57 @@ impl StatsCollector {
             RejectReason::DeadlineExceeded => inner.rejected_deadline += 1,
             RejectReason::ShuttingDown => inner.rejected_shutdown += 1,
             RejectReason::WorkerFailure => inner.rejected_worker += 1,
+            RejectReason::WorkerError { .. } => inner.rejected_worker_error += 1,
         }
+    }
+
+    /// Records one caught in-worker panic (the request got a typed
+    /// `worker_error` reply; the worker is respawned by the watchdog).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats mutex was poisoned.
+    pub fn record_worker_panic(&self) {
+        self.inner.lock().expect("stats lock").worker_panics += 1;
+    }
+
+    /// Records one worker respawned by the watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats mutex was poisoned.
+    pub fn record_worker_restart(&self) {
+        self.inner.lock().expect("stats lock").worker_restarts += 1;
+    }
+
+    /// Records one failed snapshot hydration (a worker that could not
+    /// build its replica and exited).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats mutex was poisoned.
+    pub fn record_hydration_failure(&self) {
+        self.inner.lock().expect("stats lock").hydration_failures += 1;
+    }
+
+    /// Records one sampler output rejected for containing non-finite
+    /// values instead of being decoded and returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats mutex was poisoned.
+    pub fn record_nonfinite_output(&self) {
+        self.inner.lock().expect("stats lock").nonfinite_outputs += 1;
+    }
+
+    /// Records one condition-cache entry discarded as corrupt (non-finite
+    /// values) and recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats mutex was poisoned.
+    pub fn record_cache_corruption(&self) {
+        self.inner.lock().expect("stats lock").cache_corruptions += 1;
     }
 
     /// A consistent point-in-time report.
@@ -104,6 +160,12 @@ impl StatsCollector {
             rejected_deadline: inner.rejected_deadline,
             rejected_shutting_down: inner.rejected_shutdown,
             rejected_worker_failure: inner.rejected_worker,
+            rejected_worker_error: inner.rejected_worker_error,
+            worker_panics: inner.worker_panics,
+            worker_restarts: inner.worker_restarts,
+            hydration_failures: inner.hydration_failures,
+            nonfinite_outputs: inner.nonfinite_outputs,
+            cache_corruptions: inner.cache_corruptions,
             cache_hit_rate: if lookups == 0 {
                 0.0
             } else {
@@ -131,6 +193,19 @@ pub struct StatsReport {
     pub rejected_shutting_down: u64,
     /// Requests lost to a worker failure.
     pub rejected_worker_failure: u64,
+    /// Requests answered with a typed `worker_error` (caught panic,
+    /// non-finite output, or failed hydration).
+    pub rejected_worker_error: u64,
+    /// In-worker panics caught and converted to typed replies.
+    pub worker_panics: u64,
+    /// Workers respawned by the watchdog after dying.
+    pub worker_restarts: u64,
+    /// Workers that failed to hydrate a replica from the snapshot.
+    pub hydration_failures: u64,
+    /// Sampler outputs rejected for containing NaN/Inf values.
+    pub nonfinite_outputs: u64,
+    /// Condition-cache entries discarded as corrupt and recomputed.
+    pub cache_corruptions: u64,
     /// Condition-cache hit rate over all lookups (0 when none).
     pub cache_hit_rate: f64,
     /// `hist[n]` = sampler calls that coalesced `n` requests.
@@ -159,6 +234,7 @@ impl StatsReport {
                     ("deadline_exceeded", self.rejected_deadline.into()),
                     ("shutting_down", self.rejected_shutting_down.into()),
                     ("worker_failure", self.rejected_worker_failure.into()),
+                    ("worker_error", self.rejected_worker_error.into()),
                 ]),
             ),
             ("cache_hit_rate", self.cache_hit_rate.into()),
@@ -173,6 +249,16 @@ impl StatsReport {
                     ("encode", self.mean_encode_us.into()),
                     ("sample", self.mean_sample_us.into()),
                     ("decode", self.mean_decode_us.into()),
+                ]),
+            ),
+            (
+                "faults",
+                Json::obj(vec![
+                    ("worker_panics", self.worker_panics.into()),
+                    ("worker_restarts", self.worker_restarts.into()),
+                    ("hydration_failures", self.hydration_failures.into()),
+                    ("nonfinite_outputs", self.nonfinite_outputs.into()),
+                    ("cache_corruptions", self.cache_corruptions.into()),
                 ]),
             ),
         ])
@@ -203,6 +289,32 @@ mod tests {
         assert_eq!(r.batch_size_hist, vec![0, 0, 1]);
         assert!((r.mean_queue_us - 20.0).abs() < 1e-12);
         assert!((r.mean_sample_us - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_counters_survive_to_the_wire_form() {
+        let stats = StatsCollector::new();
+        stats.record_worker_panic();
+        stats.record_worker_restart();
+        stats.record_worker_restart();
+        stats.record_hydration_failure();
+        stats.record_nonfinite_output();
+        stats.record_cache_corruption();
+        stats.record_rejected(&RejectReason::WorkerError { detail: "boom".into() });
+        let r = stats.report();
+        assert_eq!(r.worker_panics, 1);
+        assert_eq!(r.worker_restarts, 2);
+        assert_eq!(r.hydration_failures, 1);
+        assert_eq!(r.nonfinite_outputs, 1);
+        assert_eq!(r.cache_corruptions, 1);
+        assert_eq!(r.rejected_worker_error, 1);
+        let v = Json::parse(&r.to_json().render()).unwrap();
+        let faults = v.get("faults").expect("faults object");
+        assert_eq!(faults.get("worker_restarts").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            v.get("rejected").and_then(|r| r.get("worker_error")).and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     #[test]

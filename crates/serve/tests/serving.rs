@@ -4,12 +4,13 @@
 
 use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
 use aero_serve::{
-    serve_ndjson, GenerateRequest, Json, RejectReason, ServeConfig, ServeReply, ServeRuntime,
+    serve_ndjson, Fault, FaultPlan, GenerateRequest, Json, RejectReason, ServeConfig, ServeReply,
+    ServeRuntime,
 };
 use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
 use std::io::Cursor;
-use std::sync::OnceLock;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 fn snapshot() -> &'static PipelineSnapshot {
     static SNAPSHOT: OnceLock<PipelineSnapshot> = OnceLock::new();
@@ -164,6 +165,164 @@ fn expired_deadline_is_rejected_not_sampled() {
     }
     let stats = runtime.shutdown();
     assert_eq!(stats.rejected_deadline, 1);
+}
+
+/// Polls runtime stats until `probe` holds or ~5s elapse. Worker respawns
+/// happen on the watchdog's clock, not the test's, so assertions about
+/// them must wait rather than race.
+fn await_stats(runtime: &ServeRuntime, probe: impl Fn(&aero_serve::StatsReport) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !probe(&runtime.stats()) {
+        assert!(Instant::now() < deadline, "stats probe never satisfied: {:?}", runtime.stats());
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn injected_request_panic_is_isolated_and_the_worker_is_replaced() {
+    let plan = Arc::new(FaultPlan::new().inject(1, Fault::PanicRequest));
+    let runtime = ServeRuntime::start_with_faults(snapshot().clone(), serve_config(), Some(plan));
+    let handles: Vec<_> = (0..4)
+        .map(|i| runtime.submit(GenerateRequest::new(format!("f{i}"), "a park", i)).unwrap())
+        .collect();
+    let replies: Vec<_> = handles.into_iter().map(aero_serve::ResponseHandle::wait).collect();
+    // Exactly the faulted request fails, with a typed reason; every other
+    // request in (and after) its batch is still served.
+    for (i, reply) in replies.iter().enumerate() {
+        match reply {
+            ServeReply::Image(img) if i != 1 => assert_eq!(img.id, format!("f{i}")),
+            ServeReply::Rejected { id, reason: RejectReason::WorkerError { .. } } if i == 1 => {
+                assert_eq!(id, "f1");
+            }
+            other => panic!("request {i}: unexpected reply {other:?}"),
+        }
+    }
+    // The suspect worker exits after its batch and the watchdog replaces
+    // it (on its own schedule — wait, don't race).
+    await_stats(&runtime, |s| s.worker_restarts >= 1);
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.rejected_worker_error, 1);
+    assert!(stats.worker_restarts >= 1);
+}
+
+#[test]
+fn killed_worker_hands_its_batch_back_and_nothing_is_dropped() {
+    let plan = Arc::new(FaultPlan::new().inject(0, Fault::KillWorker));
+    let mut config = serve_config();
+    config.batch_wait = Duration::from_millis(100); // coalesce all three
+    let runtime = ServeRuntime::start_with_faults(snapshot().clone(), config, Some(plan));
+    let handles: Vec<_> = (0..3)
+        .map(|i| runtime.submit(GenerateRequest::new(format!("k{i}"), "a harbor", i)).unwrap())
+        .collect();
+    // The lone worker dies holding all three requests; the respawned one
+    // must serve every single one of them.
+    for handle in handles {
+        image_of(handle.wait());
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 3);
+    assert!(stats.worker_restarts >= 1, "a replacement worker must have served the batch");
+    assert_eq!(stats.rejected_worker_error, 0, "a requeued batch loses no requests");
+}
+
+#[test]
+fn corrupt_cache_entry_is_evicted_and_recomputed() {
+    let plan = Arc::new(FaultPlan::new().inject(0, Fault::CorruptCacheEntry));
+    let runtime = ServeRuntime::start_with_faults(snapshot().clone(), serve_config(), Some(plan));
+    let prompt = "a river through farmland";
+    let first = image_of(runtime.submit(GenerateRequest::new("x0", prompt, 1)).unwrap().wait());
+    let second = image_of(runtime.submit(GenerateRequest::new("x1", prompt, 1)).unwrap().wait());
+    let third = image_of(runtime.submit(GenerateRequest::new("x2", prompt, 1)).unwrap().wait());
+    assert!(!first.cache_hit);
+    assert!(!second.cache_hit, "the poisoned entry must be evicted, not served");
+    assert_eq!(first.rgb8, second.rgb8, "recomputed condition must reproduce the image");
+    assert!(third.cache_hit, "the recomputed entry must be cached again");
+    let stats = runtime.shutdown();
+    assert_eq!(stats.cache_corruptions, 1);
+    assert_eq!(stats.completed, 3);
+}
+
+#[test]
+fn nonfinite_latents_become_a_typed_reply_not_an_image() {
+    let plan = Arc::new(FaultPlan::new().inject(0, Fault::NanLatents));
+    let runtime = ServeRuntime::start_with_faults(snapshot().clone(), serve_config(), Some(plan));
+    let bad = runtime.submit(GenerateRequest::new("n0", "a stadium", 3)).unwrap().wait();
+    match bad {
+        ServeReply::Rejected { id, reason: RejectReason::WorkerError { detail } } => {
+            assert_eq!(id, "n0");
+            assert!(detail.contains("non-finite"), "detail should name the cause: {detail}");
+        }
+        other => panic!("NaN latents must not decode into an image: {other:?}"),
+    }
+    // The worker itself is healthy (immutable weights; the NaN came from
+    // injection) and keeps serving.
+    image_of(runtime.submit(GenerateRequest::new("n1", "a stadium", 3)).unwrap().wait());
+    let stats = runtime.shutdown();
+    assert_eq!(stats.nonfinite_outputs, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.worker_restarts, 0);
+}
+
+#[test]
+fn unhydratable_snapshot_fails_typed_and_never_hangs_clients() {
+    let mut config = serve_config();
+    config.workers = 2;
+    let runtime = ServeRuntime::start(snapshot().with_truncated_unet(), config);
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        match runtime.submit(GenerateRequest::new(format!("h{i}"), "a plaza", i)) {
+            Ok(handle) => handles.push(handle),
+            // The watchdog may already have begun the terminal drain.
+            Err(reason) => assert_eq!(reason, RejectReason::ShuttingDown),
+        }
+    }
+    // Every accepted request must resolve — to a typed error, not a hang.
+    for handle in handles {
+        match handle.wait() {
+            ServeReply::Rejected {
+                reason:
+                    RejectReason::WorkerError { .. }
+                    | RejectReason::WorkerFailure
+                    | RejectReason::ShuttingDown,
+                ..
+            } => {}
+            other => panic!("expected typed rejection from a dead pool, got {other:?}"),
+        }
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.hydration_failures, 2, "both workers must report the bad snapshot");
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn seeded_chaos_plan_resolves_every_request() {
+    // A reproducible mixed-fault run: whatever the plan throws at the
+    // pool, every submitted request must resolve to exactly one reply.
+    let plan = Arc::new(FaultPlan::seeded(7, 8));
+    let mut config = serve_config();
+    config.max_worker_restarts = 16;
+    let runtime = ServeRuntime::start_with_faults(snapshot().clone(), config, Some(plan));
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            runtime.submit(GenerateRequest::new(format!("c{i}"), "a downtown block", i)).unwrap()
+        })
+        .collect();
+    let mut images = 0;
+    let mut typed_errors = 0;
+    for handle in handles {
+        match handle.wait() {
+            ServeReply::Image(_) => images += 1,
+            ServeReply::Rejected { reason: RejectReason::WorkerError { .. }, .. } => {
+                typed_errors += 1;
+            }
+            other => panic!("unexpected reply under chaos: {other:?}"),
+        }
+    }
+    assert_eq!(images + typed_errors, 8, "zero dropped replies under injected faults");
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, images);
 }
 
 #[test]

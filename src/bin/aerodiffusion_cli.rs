@@ -3,11 +3,25 @@
 //!
 //! ```text
 //! aerodiffusion_cli train  <model-dir> [--scenes N] [--seed S] [--scale smoke|small|paper]
+//!                          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]
 //! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--scale …]
 //! aerodiffusion_cli serve  <model-dir>|--demo [--workers N] [--max-batch N] [--scale …]
+//!                          [--max-worker-restarts N] [--inject-panic-at N[,N…]]
 //! aerodiffusion_cli info   <model-dir>
 //! aerodiffusion_cli lint   [--scale smoke|small|paper] [--all]
 //! ```
+//!
+//! With `--checkpoint-dir`, `train` writes crash-safe checkpoints of the
+//! joint diffusion stage every `--checkpoint-every` steps (CRC-verified,
+//! written atomically). A killed run re-invoked with `--resume` continues
+//! from the newest valid checkpoint on a bit-identical trajectory;
+//! corrupt checkpoints are skipped. `--max-steps` stops the joint stage
+//! early — checkpointed but unsaved — which is how CI simulates a crash.
+//!
+//! `--inject-panic-at` schedules a deterministic in-worker panic on the
+//! Nth submitted request (0-based): the request is answered with a typed
+//! `worker_error` reply, everything else is still served, and the
+//! watchdog respawns the worker.
 //!
 //! `lint` statically validates the model geometry a configuration would
 //! realise — symbolic shape inference over the whole pipeline plus the
@@ -21,7 +35,7 @@
 //! smoke-scale pipeline in-process instead of loading one from disk.
 
 use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
-use aero_serve::{lint_serve, serve_ndjson, ServeConfig, ServeRuntime};
+use aero_serve::{lint_serve, serve_ndjson, Fault, FaultPlan, ServeConfig, ServeRuntime};
 use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,9 +67,11 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: aerodiffusion_cli <train|sample|serve|info|lint> [args]\n\
                  \n  train  <dir> [--scenes N] [--seed S] [--scale smoke|small|paper]\n\
+                 \n         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]\n\
                  \n  sample <dir> <out.ppm> [--seed S] [--night] [--scale …]\n\
                  \n  serve  <dir>|--demo [--workers N] [--max-batch N] [--queue N]\n\
                  \n         [--batch-wait-ms MS] [--cache N] [--steps N] [--guidance G] [--scale …]\n\
+                 \n         [--max-worker-restarts N] [--inject-panic-at N[,N…]]\n\
                  \n  info   <dir>\n\
                  \n  lint   [--scale smoke|small|paper] [--all]"
             );
@@ -84,9 +100,48 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn Error>> {
         generator: SceneGeneratorConfig::default(),
     });
     println!("training pipeline (this is CPU-bound)…");
-    let pipeline = AeroDiffusionPipeline::fit(&dataset, config, seed);
-    pipeline.save(dir)?;
-    println!("saved trained pipeline to {dir}");
+    let Some(ckpt_dir) = parse_flag(args, "--checkpoint-dir") else {
+        let pipeline = AeroDiffusionPipeline::fit(&dataset, config, seed);
+        pipeline.save(dir)?;
+        println!("saved trained pipeline to {dir}");
+        return Ok(());
+    };
+    let every: u64 =
+        parse_flag(args, "--checkpoint-every").map(|v| v.parse()).transpose()?.unwrap_or(10);
+    let max_steps: Option<u64> = parse_flag(args, "--max-steps").map(|v| v.parse()).transpose()?;
+    if !args.iter().any(|a| a == "--resume") && std::path::Path::new(&ckpt_dir).exists() {
+        // A fresh run must not silently continue someone else's training.
+        std::fs::remove_dir_all(&ckpt_dir)?;
+    }
+    let checkpoint = aero_diffusion::CheckpointConfig::new(&ckpt_dir, every.max(1));
+    let (pipeline, report) = AeroDiffusionPipeline::fit_with_checkpoints(
+        &dataset,
+        config,
+        aero_text::llm::LlmProvider::KeypointAware,
+        aerodiffusion::AblationVariant::Full,
+        seed,
+        &checkpoint,
+        max_steps,
+    )?;
+    if let Some(step) = report.resumed_from {
+        println!(
+            "resumed from checkpoint step {step} ({} corrupt skipped)",
+            report.skipped_corrupt
+        );
+    }
+    match report.last_loss {
+        Some(loss) => println!("final loss: {loss:.6}"),
+        None => println!("final loss: n/a (no new steps ran)"),
+    }
+    if report.completed {
+        pipeline.save(dir)?;
+        println!("saved trained pipeline to {dir}");
+    } else {
+        println!(
+            "stopped at step {} (--max-steps); checkpoints in {ckpt_dir}, rerun with --resume",
+            report.steps
+        );
+    }
     Ok(())
 }
 
@@ -166,6 +221,20 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     if let Some(v) = parse_flag(args, "--guidance") {
         serve.guidance_scale = v.parse()?;
     }
+    if let Some(v) = parse_flag(args, "--max-worker-restarts") {
+        serve.max_worker_restarts = v.parse()?;
+    }
+    let faults = match parse_flag(args, "--inject-panic-at") {
+        None => None,
+        Some(list) => {
+            let mut plan = FaultPlan::new();
+            for ordinal in list.split(',') {
+                plan = plan.inject(ordinal.trim().parse()?, Fault::PanicRequest);
+            }
+            eprintln!("fault injection armed: worker panic on request(s) {list}");
+            Some(std::sync::Arc::new(plan))
+        }
+    };
     let report = lint_serve(snapshot.config(), &serve);
     if !report.is_clean() {
         eprint!("{}", report.render());
@@ -175,16 +244,20 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
         "serving NDJSON on stdin → stdout ({} workers, max batch {}, queue {})",
         serve.workers, serve.max_batch, serve.queue_capacity
     );
-    let runtime = ServeRuntime::start(snapshot, serve);
+    let runtime = ServeRuntime::start_with_faults(snapshot, serve, faults);
     let stats = serve_ndjson(runtime, std::io::stdin().lock(), std::io::stdout())?;
     eprintln!(
-        "drained: {} served, {} rejected, cache hit rate {:.0}%",
+        "drained: {} served, {} rejected, cache hit rate {:.0}%, \
+         {} worker panic(s) caught, {} worker restart(s)",
         stats.completed,
         stats.rejected_queue_full
             + stats.rejected_deadline
             + stats.rejected_shutting_down
-            + stats.rejected_worker_failure,
-        stats.cache_hit_rate * 100.0
+            + stats.rejected_worker_failure
+            + stats.rejected_worker_error,
+        stats.cache_hit_rate * 100.0,
+        stats.worker_panics,
+        stats.worker_restarts
     );
     Ok(())
 }
@@ -214,6 +287,14 @@ fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
         // runs the same shape program and adds the batcher's contract.
         let report = lint_serve(&config, &ServeConfig::for_pipeline(&config));
         println!("== {name} ==");
+        print!("{}", report.render());
+        failed |= !report.is_clean();
+    }
+    if args.iter().any(|a| a == "--all") {
+        // Config-independent: the checkpoint/persistence integrity
+        // machinery (CRC32, manifest round-trip, version gating).
+        let report = aerodiffusion::lint_checkpoint();
+        println!("== checkpoint ==");
         print!("{}", report.render());
         failed |= !report.is_clean();
     }
