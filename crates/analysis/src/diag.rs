@@ -38,6 +38,11 @@ pub enum DiagCode {
     /// `AD0105`: a multiplication by an all-zero constant makes an
     /// entire differentiable branch dead.
     DeadBranch,
+    /// `AD0110`: production code calls a serial reference kernel
+    /// (`matmul_serial`, `conv2d_serial`) instead of the sharded
+    /// parallel entry points. The serial kernels exist only as
+    /// equivalence oracles for the tensor crate's own tests.
+    SerialKernelBypass,
 }
 
 impl DiagCode {
@@ -55,6 +60,7 @@ impl DiagCode {
             DiagCode::UnclampedLn => "AD0103",
             DiagCode::NanProneOp => "AD0104",
             DiagCode::DeadBranch => "AD0105",
+            DiagCode::SerialKernelBypass => "AD0110",
         }
     }
 
@@ -72,6 +78,7 @@ impl DiagCode {
             DiagCode::UnclampedLn => "ln of unclamped input",
             DiagCode::NanProneOp => "NaN-prone arithmetic",
             DiagCode::DeadBranch => "dead differentiable branch",
+            DiagCode::SerialKernelBypass => "serial reference kernel used in production code",
         }
     }
 
@@ -85,7 +92,8 @@ impl DiagCode {
             | DiagCode::ReshapeMismatch
             | DiagCode::DivisibilityViolation
             | DiagCode::InvalidConfig
-            | DiagCode::DetachedParameter => Severity::Error,
+            | DiagCode::DetachedParameter
+            | DiagCode::SerialKernelBypass => Severity::Error,
             DiagCode::DetachedSubgraph
             | DiagCode::UnclampedLn
             | DiagCode::NanProneOp
@@ -239,6 +247,7 @@ mod tests {
             DiagCode::UnclampedLn,
             DiagCode::NanProneOp,
             DiagCode::DeadBranch,
+            DiagCode::SerialKernelBypass,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

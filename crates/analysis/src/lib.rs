@@ -37,6 +37,7 @@ mod diag;
 mod graph_lint;
 mod models;
 mod shape_infer;
+mod source_lint;
 
 pub use diag::{DiagCode, Diagnostic, Report, Severity};
 pub use graph_lint::lint_graph;
@@ -45,3 +46,4 @@ pub use models::{
     VisionShapeDesc, BATCH, LATENT_CHANNELS,
 };
 pub use shape_infer::ShapeCtx;
+pub use source_lint::lint_kernel_callsites;

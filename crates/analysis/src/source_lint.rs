@@ -1,0 +1,152 @@
+//! Source-level lint for serial reference-kernel bypasses.
+//!
+//! `aero_tensor::ops` keeps `matmul_serial` / `conv2d_serial` around as
+//! the bit-exact oracles the parallel-equivalence tests compare against.
+//! Production code must never call them: it would silently forfeit the
+//! sharded kernel layer on the hot path. This pass greps the workspace
+//! sources (excluding the tensor crate itself, test and bench trees, and
+//! vendored shims) and reports every call site as [`AD0110`].
+//!
+//! [`AD0110`]: crate::DiagCode::SerialKernelBypass
+
+use crate::diag::{DiagCode, Report};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Names of the serial reference kernels that only the tensor crate's
+/// own tests may call.
+const SERIAL_KERNELS: [&str; 2] = ["matmul_serial", "conv2d_serial"];
+
+/// Path components that exempt a file: the tensor crate (where the
+/// oracles live), test/bench trees (which compare against them by
+/// design), vendored shims, build output, and this pass itself (whose
+/// string literals necessarily name the kernels).
+const EXEMPT_COMPONENTS: [&str; 6] =
+    ["tensor", "tests", "benches", "shims", "target", "source_lint.rs"];
+
+fn is_exempt(path: &Path) -> bool {
+    path.components()
+        .any(|c| c.as_os_str().to_str().is_some_and(|name| EXEMPT_COMPONENTS.contains(&name)))
+}
+
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if is_exempt(&path) {
+            continue;
+        }
+        if path.is_dir() {
+            rust_files_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+fn lint_file(path: &Path, root: &Path, report: &mut Report) {
+    let Ok(text) = fs::read_to_string(path) else { return };
+    let shown = path.strip_prefix(root).unwrap_or(path).display().to_string();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        // Doc and line comments may *mention* the serial kernels freely.
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        for kernel in SERIAL_KERNELS {
+            if trimmed.contains(kernel) {
+                report.push(
+                    DiagCode::SerialKernelBypass,
+                    format!("{shown}:{}", idx + 1),
+                    format!(
+                        "`{kernel}` is a test-only reference oracle; \
+                         call the parallel entry point instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Scans the workspace rooted at `root` for production call sites of the
+/// serial reference kernels, reporting each as `AD0110`.
+///
+/// Walks `crates/*/src` and the top-level `src/`, skipping the tensor
+/// crate, `tests/`/`benches/` trees, `shims/`, and `target/`. Missing
+/// directories are silently ignored, so the lint is a no-op when run
+/// away from a source checkout.
+#[must_use]
+pub fn lint_kernel_callsites(root: &Path) -> Report {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        let mut members: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        members.sort();
+        for member in members {
+            if !is_exempt(&member) {
+                rust_files_under(&member.join("src"), &mut files);
+            }
+        }
+    }
+    rust_files_under(&root.join("src"), &mut files);
+    let mut report = Report::new();
+    for file in &files {
+        lint_file(file, root, &mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(path: &Path, content: &str) {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, content).unwrap();
+    }
+
+    #[test]
+    fn flags_serial_kernel_calls_outside_the_tensor_crate() {
+        let root = std::env::temp_dir().join("aero_source_lint_fixture");
+        let _ = fs::remove_dir_all(&root);
+        write(
+            &root.join("crates/vision/src/vae.rs"),
+            "fn f(a: &Tensor, b: &Tensor) -> Tensor {\n    a.matmul_serial(b)\n}\n",
+        );
+        write(
+            &root.join("crates/tensor/src/ops.rs"),
+            "pub fn matmul_serial() {}\npub fn conv2d_serial() {}\n",
+        );
+        write(
+            &root.join("crates/nn/src/layers.rs"),
+            "// matmul_serial is only mentioned in this comment\nfn ok() {}\n",
+        );
+        write(
+            &root.join("crates/nn/tests/equiv.rs"),
+            "fn oracle(a: &Tensor, b: &Tensor) -> Tensor { a.matmul_serial(b) }\n",
+        );
+        let report = lint_kernel_callsites(&root);
+        assert_eq!(report.error_count(), 1, "{}", report.render());
+        assert!(report.has_code(DiagCode::SerialKernelBypass));
+        let site = &report.diagnostics()[0].site;
+        assert!(site.contains("vae.rs:2"), "unexpected site {site}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_root_is_clean() {
+        let report = lint_kernel_callsites(Path::new("/nonexistent/aero_source_lint_nowhere"));
+        assert!(report.is_clean());
+        assert_eq!(report.diagnostics().len(), 0);
+    }
+
+    #[test]
+    fn this_workspace_has_no_bypasses() {
+        // The real tree must stay clean: production code goes through
+        // the sharded kernels only.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = lint_kernel_callsites(&root);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+}

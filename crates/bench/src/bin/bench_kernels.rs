@@ -1,0 +1,146 @@
+//! Kernel-layer benchmark: serial vs. sharded-parallel tensor kernels.
+//!
+//! Times four workloads — a square matmul, a batched conv2d, one UNet
+//! denoise step, and one full DDIM sample — at 1, 2, 4 and 8 kernel
+//! threads, asserting along the way that every thread count produces
+//! bit-identical output bytes (the kernel layer's core contract).
+//!
+//! Writes `BENCH_kernels.json` to the working directory. The file
+//! records the host's `available_parallelism` because speedups are only
+//! meaningful relative to it: on a single-core container every
+//! configuration times the same serial execution plus thread overhead.
+//! The ≥2× matmul / UNet-step speedup gate therefore only arms on hosts
+//! with at least 4 cores; elsewhere the numbers are recorded honestly
+//! and the gate is reported as skipped.
+//!
+//! `BENCH_KERNELS_SMOKE=1` shrinks every workload to smoke size and
+//! skips the file write — used by CI as a threshold-free liveness check.
+
+use aero_diffusion::{BetaSchedule, CondUnet, DdimSampler, NoiseSchedule, UnetConfig};
+use aero_serve::Json;
+use aero_tensor::parallel::with_threads;
+use aero_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const COND_DIM: usize = 48;
+
+struct Workload {
+    name: &'static str,
+    /// Best-of-N wall time per thread count, in microseconds, aligned
+    /// with [`THREAD_COUNTS`].
+    best_us: Vec<u64>,
+}
+
+/// Times `f` at every thread count, asserting all runs produce the same
+/// output bytes, and returns the per-count best-of-`reps` wall times.
+fn measure<F>(name: &'static str, reps: usize, f: F) -> Workload
+where
+    F: Fn() -> Tensor,
+{
+    let reference: Vec<u32> = with_threads(1, &f).as_slice().iter().map(|v| v.to_bits()).collect();
+    let mut best_us = Vec::with_capacity(THREAD_COUNTS.len());
+    for &threads in &THREAD_COUNTS {
+        with_threads(threads, &f); // warmup
+        let mut best = u64::MAX;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let out = with_threads(threads, &f);
+            best = best.min(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+            let bits: Vec<u32> = out.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, reference, "{name}: output diverged at {threads} threads");
+        }
+        best_us.push(best);
+    }
+    Workload { name, best_us }
+}
+
+fn speedup(w: &Workload, threads: usize) -> f64 {
+    let i = THREAD_COUNTS.iter().position(|&t| t == threads).unwrap();
+    w.best_us[0] as f64 / (w.best_us[i].max(1)) as f64
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_KERNELS_SMOKE").is_ok_and(|v| v == "1");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!("bench_kernels: host has {cores} core(s){}", if smoke { ", smoke mode" } else { "" });
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let (mm_side, reps) = if smoke { (32, 2) } else { (256, 5) };
+    let a = Tensor::randn(&[mm_side, mm_side], &mut rng);
+    let b = Tensor::randn(&[mm_side, mm_side], &mut rng);
+    let matmul = measure("matmul", reps, || a.matmul(&b));
+
+    let (ch, side) = if smoke { (4, 8) } else { (16, 32) };
+    let x = Tensor::randn(&[2, ch, side, side], &mut rng);
+    let w = Tensor::randn(&[2 * ch, ch, 3, 3], &mut rng);
+    let bias = Tensor::zeros(&[2 * ch]);
+    let conv = measure("conv2d", reps, || x.conv2d(&w, Some(&bias), 1, 1));
+
+    let unet = CondUnet::new(UnetConfig::latent(COND_DIM), &mut rng);
+    let z = Tensor::randn(&[1, 4, 8, 8], &mut rng);
+    let cond = Tensor::randn(&[1, COND_DIM], &mut rng);
+    let step = measure("unet_denoise_step", reps, || unet.predict(&z, &[5], Some(&cond)));
+
+    let schedule =
+        NoiseSchedule::new(BetaSchedule::Linear { beta_start: 0.001, beta_end: 0.012 }, 64);
+    let sampler = DdimSampler::new(if smoke { 2 } else { 8 }, 2.0);
+    let z_init = Tensor::randn(&[1, 4, 8, 8], &mut rng);
+    let ddim = measure("ddim_sample", if smoke { 1 } else { 2 }, || {
+        sampler.sample_from(&unet, &schedule, z_init.clone(), Some(&cond))
+    });
+
+    let workloads = [matmul, conv, step, ddim];
+    println!("{:>20} {:>10} {:>10} {:>10} {:>10}", "workload", "1t µs", "2t µs", "4t µs", "8t µs");
+    for w in &workloads {
+        println!(
+            "{:>20} {:>10} {:>10} {:>10} {:>10}",
+            w.name, w.best_us[0], w.best_us[1], w.best_us[2], w.best_us[3]
+        );
+    }
+
+    // The ≥2× speedup gate is only physically meaningful with ≥4 cores.
+    let gated = !smoke && cores >= 4;
+    if gated {
+        for name in ["matmul", "unet_denoise_step"] {
+            let w = workloads.iter().find(|w| w.name == name).unwrap();
+            let s = speedup(w, 4);
+            println!("{name}: {s:.2}x at 4 threads");
+            assert!(s >= 2.0, "{name} must reach 2x at 4 threads on a {cores}-core host");
+        }
+    } else {
+        println!("speedup gate skipped ({cores} core(s), smoke={smoke})");
+    }
+
+    if smoke {
+        println!("smoke mode: all outputs bit-identical across 1/2/4/8 threads, no file written");
+        return;
+    }
+    let json = Json::obj(vec![
+        ("bench", "kernels".into()),
+        ("available_parallelism", (cores as u64).into()),
+        ("thread_counts", Json::Arr(THREAD_COUNTS.iter().map(|&t| (t as u64).into()).collect())),
+        ("speedup_gate_armed", gated.into()),
+        (
+            "results",
+            Json::Arr(
+                workloads
+                    .iter()
+                    .map(|w| {
+                        Json::obj(vec![
+                            ("workload", w.name.into()),
+                            ("best_us", Json::Arr(w.best_us.iter().map(|&u| u.into()).collect())),
+                            ("speedup_4t", speedup(w, 4).into()),
+                            ("bit_identical", true.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write("BENCH_kernels.json", format!("{}\n", json.render()))
+        .expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

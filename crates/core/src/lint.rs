@@ -11,6 +11,8 @@
 
 use crate::config::PipelineConfig;
 use aero_analysis::{PipelineShapeDesc, Report, ShapeCtx};
+
+pub use aero_analysis::lint_kernel_callsites;
 use aero_diffusion::UnetConfig;
 use aero_vision::vae::LATENT_CHANNELS;
 

@@ -730,6 +730,81 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_resume_is_bit_identical_across_thread_count_change() {
+        // A worker killed on a 1-thread host and resumed on a wider one
+        // must land on the uninterrupted trajectory exactly: the sharded
+        // kernels are bit-identical at any width, so checkpoint resume
+        // composes with thread-policy changes for free.
+        use aero_nn::Module;
+        use aero_tensor::parallel::with_threads;
+        let ds = tiny_dataset(4);
+        let config = PipelineConfig::smoke();
+        let bits_of = |p: &AeroDiffusionPipeline| -> Vec<Vec<u32>> {
+            p.unet
+                .params()
+                .iter()
+                .map(|v| v.to_tensor().as_slice().iter().map(|x| x.to_bits()).collect())
+                .collect()
+        };
+        let fresh = |name: &str| {
+            let dir = std::env::temp_dir().join(format!("aero_fit_ckpt_{name}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            CheckpointConfig::new(dir, 1)
+        };
+
+        let (reference, ref_report) = with_threads(1, || {
+            AeroDiffusionPipeline::fit_with_checkpoints(
+                &ds,
+                config,
+                LlmProvider::KeypointAware,
+                AblationVariant::Full,
+                23,
+                &fresh("threads_ref"),
+                None,
+            )
+        })
+        .unwrap();
+        assert!(ref_report.completed);
+        assert!(ref_report.steps > 1, "need at least two steps to kill between");
+
+        let ckpt = fresh("threads_kill");
+        let (_, killed) = with_threads(1, || {
+            AeroDiffusionPipeline::fit_with_checkpoints(
+                &ds,
+                config,
+                LlmProvider::KeypointAware,
+                AblationVariant::Full,
+                23,
+                &ckpt,
+                Some(1),
+            )
+        })
+        .unwrap();
+        assert!(!killed.completed);
+
+        let (resumed, report) = with_threads(4, || {
+            AeroDiffusionPipeline::fit_with_checkpoints(
+                &ds,
+                config,
+                LlmProvider::KeypointAware,
+                AblationVariant::Full,
+                23,
+                &ckpt,
+                None,
+            )
+        })
+        .unwrap();
+        assert_eq!(report.resumed_from, Some(1));
+        assert!(report.completed);
+        assert_eq!(report.steps, ref_report.steps);
+        assert_eq!(
+            bits_of(&resumed),
+            bits_of(&reference),
+            "resume under a different thread count must stay bit-identical"
+        );
+    }
+
+    #[test]
     fn clip_score_runs_on_generated_batch() {
         let ds = tiny_dataset(4);
         let pipeline = AeroDiffusionPipeline::fit(&ds, PipelineConfig::smoke(), 6);

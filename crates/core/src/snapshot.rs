@@ -18,16 +18,26 @@ use crate::substrate::SubstrateBundle;
 use aero_diffusion::{CondUnet, DiffusionTrainer};
 use aero_nn::serialize::{decode_tensors, encode_params, load_into_params, LoadWeightsError};
 use aero_nn::{Module, Var};
+use aero_tensor::parallel::{self, ParallelConfig};
 use aero_text::llm::LlmProvider;
 use aero_text::tokenizer::Tokenizer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// A dependency-free, thread-safe copy of a trained pipeline's state.
+///
+/// Besides weights and configuration, a snapshot carries the
+/// [`ParallelConfig`] that was active when it was captured, so serving
+/// workers hydrating replicas run the tensor kernels under the same
+/// thread policy as the training process. The policy is purely a
+/// performance knob — kernel outputs are bit-identical at any thread
+/// count — so replicas stay byte-identical either way; carrying it just
+/// keeps the deployment's performance behaviour uniform.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineSnapshot {
     config: PipelineConfig,
     meta: PipelineMeta,
+    parallel: ParallelConfig,
     vocab: Vec<String>,
     clip: Vec<u8>,
     vae: Vec<u8>,
@@ -60,6 +70,21 @@ impl PipelineSnapshot {
         self.meta.provider
     }
 
+    /// The kernel thread policy carried by the snapshot.
+    pub fn parallel(&self) -> ParallelConfig {
+        self.parallel
+    }
+
+    /// A copy carrying a different kernel thread policy. Replicas
+    /// hydrated from it generate byte-identical output regardless —
+    /// this changes wall-clock behaviour only.
+    #[must_use]
+    pub fn with_parallel(&self, parallel: ParallelConfig) -> PipelineSnapshot {
+        let mut copy = self.clone();
+        copy.parallel = parallel;
+        copy
+    }
+
     /// Total size of the serialized weight blobs in bytes.
     pub fn weight_bytes(&self) -> usize {
         self.clip.len()
@@ -79,6 +104,10 @@ impl PipelineSnapshot {
     /// against the snapshot's own configuration (possible only if the
     /// snapshot bytes were corrupted in transit).
     pub fn hydrate(&self) -> Result<AeroDiffusionPipeline, PersistError> {
+        // Adopt the snapshot's kernel thread policy on the hydrating
+        // thread: serving workers call hydrate() on their own thread,
+        // so every replica runs under the policy the snapshot carries.
+        parallel::adopt_thread_policy(self.parallel);
         let tokenizer = Tokenizer::new(vocab_from_words(&self.vocab)?, self.meta.max_len);
         let mut bundle = SubstrateBundle::new_untrained(tokenizer, &self.config, 0);
         let mut rng = StdRng::seed_from_u64(0);
@@ -127,6 +156,7 @@ impl AeroDiffusionPipeline {
         let vocab = self.bundle.tokenizer.vocab();
         PipelineSnapshot {
             config: self.config,
+            parallel: ParallelConfig::with_threads(parallel::active_threads()),
             meta: PipelineMeta {
                 max_len: self.bundle.tokenizer.max_len(),
                 latent_scale: self.bundle.vae.latent_scale(),
@@ -172,7 +202,12 @@ mod tests {
         let snapshot = pipeline.snapshot();
         assert!(snapshot.weight_bytes() > 0);
 
-        let replica = snapshot.hydrate().expect("snapshot must hydrate");
+        // Hydrate under a *different* kernel thread policy than the one
+        // the pipeline trained with: the sharded kernels are bit-exact
+        // at any width, so the replica must still match byte-for-byte.
+        let widened = snapshot.with_parallel(ParallelConfig::with_threads(2));
+        assert_eq!(widened.parallel().threads(), 2);
+        let replica = widened.hydrate().expect("snapshot must hydrate");
         let a = pipeline.generate(&ds.items[0], &mut StdRng::seed_from_u64(5));
         let b = replica.generate(&ds.items[0], &mut StdRng::seed_from_u64(5));
         assert_eq!(a, b, "replica must generate byte-identical output");

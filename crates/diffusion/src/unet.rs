@@ -7,6 +7,11 @@
 //! into every hidden layer alongside the time embedding — the learned
 //! projection plays the role of the paper's per-layer concatenation while
 //! keeping channel counts fixed.
+//!
+//! Every convolution, matmul, and attention here executes on the sharded
+//! kernel layer (`aero_tensor::par_kernels`), which is bit-identical at
+//! any thread count — so denoising output never depends on the active
+//! `ParallelConfig`.
 
 use aero_nn::layers::{Conv2d, GroupNorm, Linear, MultiHeadAttention};
 use aero_nn::{Module, Var};

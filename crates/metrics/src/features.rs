@@ -1,4 +1,9 @@
 //! The fixed feature extractor behind FID and KID.
+//!
+//! The extractor's convolutions run on the sharded parallel kernel layer
+//! (`aero_tensor::par_kernels`); because that layer is bit-identical at
+//! any thread count, FID/KID values are reproducible across machines
+//! regardless of the active `ParallelConfig`.
 
 use aero_tensor::Tensor;
 use rand::rngs::StdRng;

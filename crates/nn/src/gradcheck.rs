@@ -62,6 +62,27 @@ where
     GradCheckReport { max_rel_error: max_rel, checked }
 }
 
+/// [`check_gradient`] with the tensor kernels pinned to `threads`
+/// workers for both the analytic backward pass and every finite-
+/// difference forward evaluation.
+///
+/// The sharded kernels are bit-identical at any thread count, so this
+/// must report exactly the same error as the serial check — the
+/// parallel-backward tests assert that, which turns every gradcheck
+/// into a determinism check for the backward kernels too.
+pub fn check_gradient_with_threads<F>(
+    f: F,
+    x0: &Tensor,
+    eps: f32,
+    max_coords: usize,
+    threads: usize,
+) -> GradCheckReport
+where
+    F: Fn(&Var) -> Var,
+{
+    aero_tensor::parallel::with_threads(threads, || check_gradient(f, x0, eps, max_coords))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +96,22 @@ mod tests {
         let report = check_gradient(|x| x.tanh().mul(x).mean(), &x0, 1e-3, 9);
         assert!(report.passes(1e-2), "max rel err {}", report.max_rel_error);
         assert_eq!(report.checked, 9);
+    }
+
+    #[test]
+    fn threaded_check_reports_identical_error() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let x0 = Tensor::randn(&[4, 4], &mut rng);
+        let f = |x: &Var| x.tanh().mul(x).mean();
+        let serial = check_gradient_with_threads(f, &x0, 1e-3, 8, 1);
+        for threads in [2, 4, 8] {
+            let par = check_gradient_with_threads(f, &x0, 1e-3, 8, threads);
+            assert_eq!(
+                par.max_rel_error.to_bits(),
+                serial.max_rel_error.to_bits(),
+                "gradcheck diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //! (symmetric eigendecomposition, matrix square root) needed by the FID
 //! metric.
 //!
-//! The design goal is *correct and predictable*, not peak performance:
-//! everything is plain safe Rust over `Vec<f32>`, seeded and deterministic.
+//! The design goal is *correct and predictable* first: everything is
+//! plain safe Rust over `Vec<f32>`, seeded and deterministic. The dense
+//! kernels additionally fan out over scoped std threads through
+//! [`par_kernels`], sharded so the parallel result is bit-identical to
+//! the serial reference at any thread count (policy in [`parallel`]).
 //!
 //! # Example
 //!
@@ -24,6 +27,7 @@
 mod error;
 mod linalg;
 mod ops;
+pub mod par_kernels;
 pub mod parallel;
 mod shape;
 pub mod sym;
@@ -31,6 +35,7 @@ mod tensor;
 
 pub use error::TensorError;
 pub use linalg::{cholesky, covariance, matrix_sqrt_psd, symmetric_eigen, trace};
+pub use parallel::ParallelConfig;
 pub use shape::{
     bmm_shape, broadcast_shapes, concat_shape, conv2d_shape, conv_out_dim, conv_transpose2d_shape,
     matmul_shape, narrow_shape, permute_shape, pool2d_shape, reshape_check, strides_for,

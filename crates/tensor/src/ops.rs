@@ -3,12 +3,23 @@
 //! Convolutions use the im2col strategy: patches are gathered into a
 //! matrix and the convolution reduces to one matmul, which keeps the inner
 //! loop cache-friendly without unsafe code.
+//!
+//! Every kernel executes through the deterministic sharded layer in
+//! [`crate::par_kernels`], fanning out over the thread count resolved by
+//! [`crate::parallel::active_threads`]. Sharding assigns each output
+//! region to exactly one thread running the identical serial inner loop,
+//! so results are bit-identical at every thread count; the
+//! `*_serial` methods are the independent single-threaded references the
+//! equivalence suite compares against.
 
+use crate::par_kernels::{self, ConvGeom};
 use crate::shape::{bmm_shape, conv2d_shape, conv_transpose2d_shape, matmul_shape, pool2d_shape};
 use crate::tensor::Tensor;
+use crate::TensorError;
 
 impl Tensor {
-    /// Matrix product of two rank-2 tensors.
+    /// Matrix product of two rank-2 tensors, sharded over output rows
+    /// (bit-identical to [`Tensor::matmul_serial`] at any thread count).
     ///
     /// # Panics
     ///
@@ -16,6 +27,26 @@ impl Tensor {
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let out_shape =
             matmul_shape(self.shape(), other.shape()).unwrap_or_else(|e| panic!("matmul: {e}"));
+        let (m, n) = (out_shape[0], out_shape[1]);
+        let k = self.shape()[1];
+        let out = par_kernels::matmul(self.as_slice(), other.as_slice(), m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Single-threaded reference matmul: the exact accumulation order
+    /// ([`Tensor::matmul`]'s "ikj" loop) run without the worker pool.
+    ///
+    /// Exists for the parallel-equivalence test suite and benchmarks
+    /// only. Production call sites must go through [`Tensor::matmul`];
+    /// `aero-analysis` flags `matmul_serial` uses outside this crate's
+    /// tests (diagnostic `AD0110`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
+    pub fn matmul_serial(&self, other: &Tensor) -> Tensor {
+        let out_shape = matmul_shape(self.shape(), other.shape())
+            .unwrap_or_else(|e| panic!("matmul_serial: {e}"));
         let (m, n) = (out_shape[0], out_shape[1]);
         let k = self.shape()[1];
         let a = self.as_slice();
@@ -26,9 +57,6 @@ impl Tensor {
             let out_row = &mut out[i * n..(i + 1) * n];
             for p in 0..k {
                 let av = a[i * k + p];
-                if av == 0.0 {
-                    continue;
-                }
                 let b_row = &b[p * n..(p + 1) * n];
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
                     *o += av * bv;
@@ -38,7 +66,8 @@ impl Tensor {
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// Batched matrix product of two rank-3 tensors `[b, m, k] x [b, k, n]`.
+    /// Batched matrix product of two rank-3 tensors `[b, m, k] x [b, k, n]`,
+    /// sharded over all `b * m` output rows.
     ///
     /// # Panics
     ///
@@ -48,24 +77,188 @@ impl Tensor {
             bmm_shape(self.shape(), other.shape()).unwrap_or_else(|e| panic!("bmm: {e}"));
         let (b, m, n) = (out_shape[0], out_shape[1], out_shape[2]);
         let k = self.shape()[2];
-        let mut out = Tensor::zeros(&[b, m, n]);
-        for i in 0..b {
-            let lhs = self.narrow(0, i, 1).reshape(&[m, k]);
-            let rhs = other.narrow(0, i, 1).reshape(&[k, n]);
-            let prod = lhs.matmul(&rhs);
-            out.as_mut_slice()[i * m * n..(i + 1) * m * n].copy_from_slice(prod.as_slice());
-        }
-        out
+        let out = par_kernels::bmm(self.as_slice(), other.as_slice(), b, m, k, n);
+        Tensor::from_vec(out, &[b, m, n])
     }
 
     /// Gathers sliding `kh`×`kw` patches of an `[n, c, h, w]` tensor into a
-    /// `[n, c*kh*kw, oh*ow]` matrix (the "im2col" layout).
+    /// `[n, c*kh*kw, oh*ow]` matrix (the "im2col" layout), sharded over
+    /// `(batch, channel)` blocks.
     ///
     /// # Panics
     ///
     /// Panics unless the tensor is rank-4 and the padded input fits at
     /// least one window.
     pub fn im2col(&self, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
+        assert_eq!(self.rank(), 4, "im2col requires [n, c, h, w]");
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let oh = crate::shape::conv_out_dim(h, kh, stride, pad)
+            .unwrap_or_else(|e| panic!("im2col: {e}"));
+        let ow = crate::shape::conv_out_dim(w, kw, stride, pad)
+            .unwrap_or_else(|e| panic!("im2col: {e}"));
+        let g = ConvGeom { n, c, h, w, kh, kw, stride, pad, oh, ow };
+        let out = par_kernels::im2col(self.as_slice(), g);
+        Tensor::from_vec(out, &[n, c * kh * kw, oh * ow])
+    }
+
+    /// Scatter-adds an im2col matrix back to image layout (adjoint of
+    /// [`Tensor::im2col`]), sharded over `(batch, channel)` output planes
+    /// with the serial per-element accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column layout is inconsistent with the target shape.
+    pub fn col2im(
+        &self,
+        out_shape: &[usize],
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        assert_eq!(self.rank(), 3, "col2im requires [n, c*kh*kw, oh*ow]");
+        assert_eq!(out_shape.len(), 4, "col2im target must be [n, c, h, w]");
+        let (n, c, h, w) = (out_shape[0], out_shape[1], out_shape[2], out_shape[3]);
+        let oh = (h + 2 * pad - kh) / stride + 1;
+        let ow = (w + 2 * pad - kw) / stride + 1;
+        assert_eq!(self.shape()[0], n, "col2im batch mismatch");
+        assert_eq!(self.shape()[1], c * kh * kw, "col2im channel-patch mismatch");
+        assert_eq!(self.shape()[2], oh * ow, "col2im spatial mismatch");
+        let g = ConvGeom { n, c, h, w, kh, kw, stride, pad, oh, ow };
+        let out = par_kernels::col2im(self.as_slice(), g);
+        Tensor::from_vec(out, out_shape)
+    }
+
+    /// 2-D convolution of `[n, cin, h, w]` with weights `[cout, cin, kh, kw]`,
+    /// executed as a sharded im2col gather plus a sharded batched matmul.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel mismatches, including a bias whose
+    /// length differs from `cout` (see [`Tensor::try_conv2d`] for the
+    /// fallible variant).
+    pub fn conv2d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        self.try_conv2d(weight, bias, stride, pad).unwrap_or_else(|e| panic!("conv2d: {e}"))
+    }
+
+    /// Fallible variant of [`Tensor::conv2d`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] on rank/channel
+    /// mismatches — including a `bias` whose element count differs from
+    /// `out_channels`, which the panicking path used to let through in
+    /// release builds (only a debug assert guarded it).
+    pub fn try_conv2d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> crate::Result<Tensor> {
+        let out_shape = conv2d_shape(self.shape(), weight.shape(), stride, pad)?;
+        let (n, cin) = (self.shape()[0], self.shape()[1]);
+        let (cout, kh, kw) = (weight.shape()[0], weight.shape()[2], weight.shape()[3]);
+        let (oh, ow) = (out_shape[2], out_shape[3]);
+        if let Some(bias) = bias {
+            if bias.numel() != cout {
+                return Err(TensorError::DimensionMismatch {
+                    detail: format!(
+                        "conv2d bias has {} elements but out_channels is {cout}",
+                        bias.numel()
+                    ),
+                });
+            }
+        }
+        let g = ConvGeom {
+            n,
+            c: cin,
+            h: self.shape()[2],
+            w: self.shape()[3],
+            kh,
+            kw,
+            stride,
+            pad,
+            oh,
+            ow,
+        };
+        let cols = par_kernels::im2col(self.as_slice(), g);
+        let wmat = weight.reshape(&[cout, cin * kh * kw]);
+        let out_data = par_kernels::batched_matmul_shared_lhs(
+            wmat.as_slice(),
+            &cols,
+            n,
+            cout,
+            cin * kh * kw,
+            oh * ow,
+        );
+        let mut out = Tensor::from_vec(out_data, &out_shape);
+        if let Some(bias) = bias {
+            par_kernels::add_channel_bias(out.as_mut_slice(), bias.as_slice(), oh * ow);
+        }
+        Ok(out)
+    }
+
+    /// Single-threaded reference convolution: a fully serial im2col
+    /// gather followed by per-batch [`Tensor::matmul_serial`] products
+    /// in the same accumulation order [`Tensor::conv2d`] uses.
+    ///
+    /// Exists for the parallel-equivalence test suite and benchmarks
+    /// only. Production call sites must go through [`Tensor::conv2d`];
+    /// `aero-analysis` flags `conv2d_serial` uses outside this crate's
+    /// tests (diagnostic `AD0110`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel mismatches.
+    pub fn conv2d_serial(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let out_shape = conv2d_shape(self.shape(), weight.shape(), stride, pad)
+            .unwrap_or_else(|e| panic!("conv2d_serial: {e}"));
+        let (n, cin) = (self.shape()[0], self.shape()[1]);
+        let (cout, kh, kw) = (weight.shape()[0], weight.shape()[2], weight.shape()[3]);
+        let (oh, ow) = (out_shape[2], out_shape[3]);
+        if let Some(bias) = bias {
+            assert_eq!(bias.numel(), cout, "conv2d_serial bias must have cout elements");
+        }
+        let cols = self.im2col_serial(kh, kw, stride, pad);
+        let wmat = weight.reshape(&[cout, cin * kh * kw]);
+        let mut out = Tensor::zeros(&out_shape);
+        for b in 0..n {
+            let col_b = cols.narrow(0, b, 1).reshape(&[cin * kh * kw, oh * ow]);
+            let res = wmat.matmul_serial(&col_b);
+            out.as_mut_slice()[b * cout * oh * ow..(b + 1) * cout * oh * ow]
+                .copy_from_slice(res.as_slice());
+        }
+        if let Some(bias) = bias {
+            let bslice = bias.as_slice().to_vec();
+            let plane = oh * ow;
+            let data = out.as_mut_slice();
+            for b in 0..n {
+                for (co, &bv) in bslice.iter().enumerate() {
+                    let base = (b * cout + co) * plane;
+                    for v in &mut data[base..base + plane] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serial im2col gather backing [`Tensor::conv2d_serial`].
+    fn im2col_serial(&self, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
         assert_eq!(self.rank(), 4, "im2col requires [n, c, h, w]");
         let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
         let oh = crate::shape::conv_out_dim(h, kh, stride, pad)
@@ -102,101 +295,6 @@ impl Tensor {
         Tensor::from_vec(out, &[n, c * kh * kw, oh * ow])
     }
 
-    /// Scatter-adds an im2col matrix back to image layout (adjoint of
-    /// [`Tensor::im2col`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the column layout is inconsistent with the target shape.
-    pub fn col2im(
-        &self,
-        out_shape: &[usize],
-        kh: usize,
-        kw: usize,
-        stride: usize,
-        pad: usize,
-    ) -> Tensor {
-        assert_eq!(self.rank(), 3, "col2im requires [n, c*kh*kw, oh*ow]");
-        assert_eq!(out_shape.len(), 4, "col2im target must be [n, c, h, w]");
-        let (n, c, h, w) = (out_shape[0], out_shape[1], out_shape[2], out_shape[3]);
-        let oh = (h + 2 * pad - kh) / stride + 1;
-        let ow = (w + 2 * pad - kw) / stride + 1;
-        assert_eq!(self.shape()[0], n, "col2im batch mismatch");
-        assert_eq!(self.shape()[1], c * kh * kw, "col2im channel-patch mismatch");
-        assert_eq!(self.shape()[2], oh * ow, "col2im spatial mismatch");
-        let src = self.as_slice();
-        let mut out = vec![0.0f32; n * c * h * w];
-        let col_stride = oh * ow;
-        for b in 0..n {
-            for ch in 0..c {
-                for ky in 0..kh {
-                    for kx in 0..kw {
-                        let row =
-                            ((ch * kh + ky) * kw + kx) * col_stride + b * c * kh * kw * col_stride;
-                        for oy in 0..oh {
-                            let iy = (oy * stride + ky) as isize - pad as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for ox in 0..ow {
-                                let ix = (ox * stride + kx) as isize - pad as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                out[((b * c + ch) * h + iy as usize) * w + ix as usize] +=
-                                    src[row + oy * ow + ox];
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(out, out_shape)
-    }
-
-    /// 2-D convolution of `[n, cin, h, w]` with weights `[cout, cin, kh, kw]`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on rank or channel mismatches.
-    pub fn conv2d(
-        &self,
-        weight: &Tensor,
-        bias: Option<&Tensor>,
-        stride: usize,
-        pad: usize,
-    ) -> Tensor {
-        let out_shape = conv2d_shape(self.shape(), weight.shape(), stride, pad)
-            .unwrap_or_else(|e| panic!("conv2d: {e}"));
-        let (n, cin) = (self.shape()[0], self.shape()[1]);
-        let (cout, kh, kw) = (weight.shape()[0], weight.shape()[2], weight.shape()[3]);
-        let (oh, ow) = (out_shape[2], out_shape[3]);
-        let cols = self.im2col(kh, kw, stride, pad);
-        let wmat = weight.reshape(&[cout, cin * kh * kw]);
-        let mut out = Tensor::zeros(&[n, cout, oh, ow]);
-        for b in 0..n {
-            let col_b = cols.narrow(0, b, 1).reshape(&[cin * kh * kw, oh * ow]);
-            let res = wmat.matmul(&col_b);
-            out.as_mut_slice()[b * cout * oh * ow..(b + 1) * cout * oh * ow]
-                .copy_from_slice(res.as_slice());
-        }
-        if let Some(bias) = bias {
-            assert_eq!(bias.numel(), cout, "conv2d bias must have cout elements");
-            let bslice = bias.as_slice().to_vec();
-            let plane = oh * ow;
-            let data = out.as_mut_slice();
-            for b in 0..n {
-                for (co, &bv) in bslice.iter().enumerate() {
-                    let base = (b * cout + co) * plane;
-                    for v in &mut data[base..base + plane] {
-                        *v += bv;
-                    }
-                }
-            }
-        }
-        out
-    }
-
     /// Transposed 2-D convolution (fractionally strided) of `[n, cin, h, w]`
     /// with weights `[cin, cout, kh, kw]`.
     ///
@@ -217,95 +315,90 @@ impl Tensor {
         let (n, cin, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
         let (cout, kh, kw) = (weight.shape()[1], weight.shape()[2], weight.shape()[3]);
         let (oh, ow) = (out_shape[2], out_shape[3]);
-        // cols[b] = W^T @ x[b]  with W viewed as [cin, cout*kh*kw]
-        let wmat = weight.reshape(&[cin, cout * kh * kw]).transpose(); // [cout*kh*kw, cin]
-        let mut cols = Tensor::zeros(&[n, cout * kh * kw, h * w]);
-        for b in 0..n {
-            let x_b = self.narrow(0, b, 1).reshape(&[cin, h * w]);
-            let res = wmat.matmul(&x_b);
-            let len = cout * kh * kw * h * w;
-            cols.as_mut_slice()[b * len..(b + 1) * len].copy_from_slice(res.as_slice());
-        }
-        let mut out = cols.col2im(&[n, cout, oh, ow], kh, kw, stride, pad);
         if let Some(bias) = bias {
             assert_eq!(bias.numel(), cout, "conv_transpose2d bias must have cout elements");
-            let plane = oh * ow;
-            let bslice = bias.as_slice().to_vec();
-            let data = out.as_mut_slice();
-            for b in 0..n {
-                for (co, &bv) in bslice.iter().enumerate() {
-                    let base = (b * cout + co) * plane;
-                    for v in &mut data[base..base + plane] {
-                        *v += bv;
-                    }
-                }
-            }
+        }
+        // cols[b] = W^T @ x[b]  with W viewed as [cin, cout*kh*kw]
+        let wmat = weight.reshape(&[cin, cout * kh * kw]).transpose(); // [cout*kh*kw, cin]
+        let cols = par_kernels::batched_matmul_shared_lhs(
+            wmat.as_slice(),
+            self.as_slice(),
+            n,
+            cout * kh * kw,
+            cin,
+            h * w,
+        );
+        // The col2im grid dims are the *input* spatial dims.
+        let g = ConvGeom { n, c: cout, h: oh, w: ow, kh, kw, stride, pad, oh: h, ow: w };
+        let out_data = par_kernels::col2im(&cols, g);
+        let mut out = Tensor::from_vec(out_data, &out_shape);
+        if let Some(bias) = bias {
+            par_kernels::add_channel_bias(out.as_mut_slice(), bias.as_slice(), oh * ow);
         }
         out
     }
 
-    /// 2-D average pooling with square window `k` and stride `k`.
+    /// 2-D average pooling with square window `k` and stride `k`,
+    /// sharded over `(batch, channel)` planes.
     ///
     /// # Panics
     ///
     /// Panics unless the tensor is rank-4 and `h`, `w` divide by `k`.
     pub fn avg_pool2d(&self, k: usize) -> Tensor {
         let out_shape = pool2d_shape(self.shape(), k).unwrap_or_else(|e| panic!("avg_pool2d: {e}"));
-        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (h, w) = (self.shape()[2], self.shape()[3]);
         let (oh, ow) = (out_shape[2], out_shape[3]);
         let src = self.as_slice();
-        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut out = vec![0.0f32; out_shape.iter().product()];
         let inv = 1.0 / (k * k) as f32;
-        for b in 0..n {
-            for ch in 0..c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0;
-                        for ky in 0..k {
-                            for kx in 0..k {
-                                acc += src[((b * c + ch) * h + oy * k + ky) * w + ox * k + kx];
-                            }
+        par_kernels::run_units(&mut out, oh * ow, k * k, |bc, out_plane| {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += src[(bc * h + oy * k + ky) * w + ox * k + kx];
                         }
-                        out[((b * c + ch) * oh + oy) * ow + ox] = acc * inv;
                     }
+                    out_plane[oy * ow + ox] = acc * inv;
                 }
             }
-        }
-        Tensor::from_vec(out, &[n, c, oh, ow])
+        });
+        Tensor::from_vec(out, &out_shape)
     }
 
-    /// 2-D max pooling with square window `k` and stride `k`.
+    /// 2-D max pooling with square window `k` and stride `k`, sharded
+    /// over `(batch, channel)` planes.
     ///
     /// # Panics
     ///
     /// Panics unless the tensor is rank-4 and `h`, `w` divide by `k`.
     pub fn max_pool2d(&self, k: usize) -> Tensor {
         let out_shape = pool2d_shape(self.shape(), k).unwrap_or_else(|e| panic!("max_pool2d: {e}"));
-        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (h, w) = (self.shape()[2], self.shape()[3]);
         let (oh, ow) = (out_shape[2], out_shape[3]);
         let src = self.as_slice();
-        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
-        for b in 0..n {
-            for ch in 0..c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let dst = ((b * c + ch) * oh + oy) * ow + ox;
-                        for ky in 0..k {
-                            for kx in 0..k {
-                                let v = src[((b * c + ch) * h + oy * k + ky) * w + ox * k + kx];
-                                if v > out[dst] {
-                                    out[dst] = v;
-                                }
+        let mut out = vec![f32::NEG_INFINITY; out_shape.iter().product()];
+        par_kernels::run_units(&mut out, oh * ow, k * k, |bc, out_plane| {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let dst = oy * ow + ox;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let v = src[(bc * h + oy * k + ky) * w + ox * k + kx];
+                            if v > out_plane[dst] {
+                                out_plane[dst] = v;
                             }
                         }
                     }
                 }
             }
-        }
-        Tensor::from_vec(out, &[n, c, oh, ow])
+        });
+        Tensor::from_vec(out, &out_shape)
     }
 
-    /// Nearest-neighbour 2× upsampling of an `[n, c, h, w]` tensor.
+    /// Nearest-neighbour 2× upsampling of an `[n, c, h, w]` tensor,
+    /// sharded over `(batch, channel)` planes.
     ///
     /// # Panics
     ///
@@ -316,20 +409,18 @@ impl Tensor {
         let src = self.as_slice();
         let mut out = vec![0.0f32; n * c * 4 * h * w];
         let (oh, ow) = (2 * h, 2 * w);
-        for b in 0..n {
-            for ch in 0..c {
-                for y in 0..oh {
-                    for x in 0..ow {
-                        out[((b * c + ch) * oh + y) * ow + x] =
-                            src[((b * c + ch) * h + y / 2) * w + x / 2];
-                    }
+        par_kernels::run_units(&mut out, oh * ow, 1, |bc, out_plane| {
+            for y in 0..oh {
+                for x in 0..ow {
+                    out_plane[y * ow + x] = src[(bc * h + y / 2) * w + x / 2];
                 }
             }
-        }
+        });
         Tensor::from_vec(out, &[n, c, oh, ow])
     }
 
-    /// Numerically stable softmax along the last axis.
+    /// Numerically stable softmax along the last axis, sharded over
+    /// rows.
     ///
     /// # Panics
     ///
@@ -338,7 +429,7 @@ impl Tensor {
         assert!(self.rank() >= 1, "softmax requires rank >= 1");
         let last = *self.shape().last().expect("nonzero rank");
         let mut out = self.clone();
-        for row in out.as_mut_slice().chunks_mut(last) {
+        par_kernels::run_units(out.as_mut_slice(), last, 16, |_, row| {
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
@@ -348,7 +439,7 @@ impl Tensor {
             for v in row.iter_mut() {
                 *v /= sum;
             }
-        }
+        });
         out
     }
 }
@@ -371,6 +462,19 @@ mod tests {
         let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
         let c = a.matmul(&b);
         assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_serial_agrees_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::randn(&[7, 5], &mut rng);
+        let b = Tensor::randn(&[5, 9], &mut rng);
+        let par = a.matmul(&b);
+        let ser = a.matmul_serial(&b);
+        assert_eq!(par.shape(), ser.shape());
+        for (x, y) in par.as_slice().iter().zip(ser.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]
@@ -415,6 +519,44 @@ mod tests {
         assert_eq!(y.shape(), &[1, 2, 2, 2]);
         assert_eq!(y.get(&[0, 0, 0, 0]), 4.5);
         assert_eq!(y.get(&[0, 1, 0, 0]), 3.5);
+    }
+
+    #[test]
+    fn conv2d_rejects_bias_length_mismatch_typed() {
+        // Regression: the release build used to accept a wrong-length
+        // bias silently (only a debug assert guarded it).
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let w = Tensor::ones(&[2, 1, 2, 2]);
+        let bad_bias = Tensor::from_vec(vec![0.5, -0.5, 1.0], &[3]);
+        match x.try_conv2d(&w, Some(&bad_bias), 2, 0) {
+            Err(TensorError::DimensionMismatch { detail }) => {
+                assert!(detail.contains('3') && detail.contains('2'), "detail: {detail}");
+            }
+            other => panic!("expected a typed bias mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "conv2d")]
+    fn conv2d_panicking_path_rejects_bias_mismatch() {
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let w = Tensor::ones(&[2, 1, 2, 2]);
+        let bad_bias = Tensor::from_vec(vec![0.5], &[1]);
+        let _ = x.conv2d(&w, Some(&bad_bias), 2, 0);
+    }
+
+    #[test]
+    fn conv2d_serial_agrees_bitwise() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let b = Tensor::randn(&[4], &mut rng);
+        let par = x.conv2d(&w, Some(&b), 1, 1);
+        let ser = x.conv2d_serial(&w, Some(&b), 1, 1);
+        assert_eq!(par.shape(), ser.shape());
+        for (p, s) in par.as_slice().iter().zip(ser.as_slice()) {
+            assert_eq!(p.to_bits(), s.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! Deterministic sharded CPU kernels for the tensor hot path.
+//!
+//! Every kernel here is parallelised the same way: the **output** buffer
+//! is split into disjoint, contiguous units (matmul rows, im2col blocks,
+//! image planes), contiguous ranges of units are handed to scoped std
+//! threads, and each unit is produced by the *identical* serial inner
+//! loop the single-threaded reference uses. No thread ever writes or
+//! accumulates into another thread's unit, so the per-element floating-
+//! point accumulation order is fixed by construction and the parallel
+//! result is **bit-identical** to the serial one at any thread count —
+//! the property `crates/tensor/tests/par_equivalence.rs` proves
+//! exhaustively and `DESIGN.md` §10 documents.
+//!
+//! The fan-out width comes from the ambient policy in
+//! [`crate::parallel`] (`active_threads`), gated by a work-size
+//! threshold so small kernels never pay thread-spawn overhead. Because
+//! sharding cannot change numerics, the threshold is a pure performance
+//! heuristic and needs no determinism carve-out.
+
+use crate::parallel::active_threads;
+use std::ops::Range;
+
+/// Minimum estimated scalar-op count before a kernel fans out; below
+/// this, thread-spawn overhead dominates any speedup.
+const PAR_WORK_THRESHOLD: usize = 16 * 1024;
+
+/// Elementwise ops are far cheaper per element than matmul rows, so they
+/// use a higher element-count threshold before fanning out.
+const ELEM_PAR_THRESHOLD: usize = 64 * 1024;
+
+/// Splits `units` work units into at most `shards` contiguous,
+/// near-even ranges covering `0..units` in order. The first
+/// `units % shards` ranges get one extra unit. Returns fewer ranges
+/// when there are fewer units than shards; never returns an empty
+/// range.
+#[must_use]
+pub fn shard_ranges(units: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, units.max(1));
+    if units == 0 {
+        return Vec::new();
+    }
+    let base = units / shards;
+    let extra = units % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+fn plan_threads(work: usize) -> usize {
+    if work < PAR_WORK_THRESHOLD {
+        1
+    } else {
+        active_threads()
+    }
+}
+
+/// Runs `kernel(unit_index, unit_out)` over every `unit_len`-sized chunk
+/// of `out`, fanning contiguous unit ranges out over scoped threads when
+/// the estimated work (`out.len() * flops_per_elem`) is large enough.
+///
+/// Each unit is written by exactly one thread with the same inner loop
+/// the single-threaded path runs, so scheduling cannot affect a single
+/// output bit.
+pub(crate) fn run_units<F>(out: &mut [f32], unit_len: usize, flops_per_elem: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if out.is_empty() || unit_len == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len() % unit_len, 0, "output must be whole units");
+    let units = out.len() / unit_len;
+    let threads = plan_threads(out.len().saturating_mul(flops_per_elem.max(1))).min(units);
+    if threads <= 1 {
+        for (u, unit_out) in out.chunks_mut(unit_len).enumerate() {
+            kernel(u, unit_out);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let kernel = &kernel;
+        let mut rest = out;
+        for range in shard_ranges(units, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * unit_len);
+            rest = tail;
+            let start = range.start;
+            s.spawn(move || {
+                for (off, unit_out) in chunk.chunks_mut(unit_len).enumerate() {
+                    kernel(start + off, unit_out);
+                }
+            });
+        }
+    });
+}
+
+/// Fills `out` by running `fill(start_index, chunk)` over contiguous
+/// chunks, one per thread. Used for elementwise map/zip where the unit
+/// is a single element and per-unit dispatch would be pure overhead.
+pub(crate) fn fill_chunked<F>(out: &mut [f32], fill: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    let threads = if out.len() < ELEM_PAR_THRESHOLD { 1 } else { active_threads().min(out.len()) };
+    if threads <= 1 {
+        fill(0, out);
+        return;
+    }
+    std::thread::scope(|s| {
+        let fill = &fill;
+        let mut rest = out;
+        for range in shard_ranges(rest.len(), threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let start = range.start;
+            s.spawn(move || fill(start, chunk));
+        }
+    });
+}
+
+/// Accumulates `out_row += a_row @ b` for one output row, streaming
+/// through the rows of `b` in ascending `p` (the "ikj" order). This one
+/// loop defines the accumulation order for *every* matmul-family kernel
+/// — serial reference, parallel matmul, bmm, and the batched conv
+/// matmuls all bottom out here, which is what makes them mutually
+/// bit-identical.
+#[inline]
+pub(crate) fn matmul_row_kernel(a_row: &[f32], b: &[f32], out_row: &mut [f32]) {
+    let n = out_row.len();
+    for (p, &av) in a_row.iter().enumerate() {
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// `[m, k] @ [k, n]` sharded over output rows.
+pub(crate) fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    run_units(&mut out, n, 2 * k, |i, out_row| {
+        matmul_row_kernel(&a[i * k..(i + 1) * k], b, out_row);
+    });
+    out
+}
+
+/// Batched `[nb, m, k] @ [nb, k, n]` sharded over all `nb * m` output
+/// rows, so small batches of large matrices and large batches of small
+/// matrices both spread evenly.
+pub(crate) fn bmm(a: &[f32], b: &[f32], nb: usize, m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; nb * m * n];
+    if m == 0 {
+        return out;
+    }
+    run_units(&mut out, n, 2 * k, |row, out_row| {
+        let batch = row / m;
+        let i = row % m;
+        matmul_row_kernel(&a[(batch * m + i) * k..][..k], &b[batch * k * n..][..k * n], out_row);
+    });
+    out
+}
+
+/// `out[b] = a @ rhs[b]` with one shared left matrix `a: [rows, k]` and
+/// `nb` right blocks `rhs[b]: [k, n]`, sharded over all `nb * rows`
+/// output rows. This is the conv2d inner product: `a` is the reshaped
+/// weight and `rhs` the im2col matrix.
+pub(crate) fn batched_matmul_shared_lhs(
+    a: &[f32],
+    rhs: &[f32],
+    nb: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; nb * rows * n];
+    if rows == 0 {
+        return out;
+    }
+    run_units(&mut out, n, 2 * k, |row, out_row| {
+        let batch = row / rows;
+        let r = row % rows;
+        matmul_row_kernel(&a[r * k..][..k], &rhs[batch * k * n..][..k * n], out_row);
+    });
+    out
+}
+
+/// Geometry of a conv2d/col2im problem, grouped so the kernels below
+/// stay within sane argument counts.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ConvGeom {
+    /// Batch size.
+    pub n: usize,
+    /// Channels of the *image-layout* side ([`col2im`]'s output, [`im2col`]'s input).
+    pub c: usize,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Convolution stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+    /// Output-grid height (`conv_out_dim(h, kh, stride, pad)`).
+    pub oh: usize,
+    /// Output-grid width.
+    pub ow: usize,
+}
+
+/// Gathers sliding patches into the `[n, c*kh*kw, oh*ow]` im2col layout,
+/// sharded over `(batch, channel)` blocks — each block is a contiguous
+/// `kh*kw*oh*ow` slice of the output, written by exactly one thread.
+/// Pure gather (no accumulation), so sharding is trivially exact.
+pub(crate) fn im2col(src: &[f32], g: ConvGeom) -> Vec<f32> {
+    let col_stride = g.oh * g.ow;
+    let unit = g.kh * g.kw * col_stride;
+    let mut out = vec![0.0f32; g.n * g.c * unit];
+    run_units(&mut out, unit, 2, |bc, block| {
+        im2col_block(src, g, bc / g.c, bc % g.c, block);
+    });
+    out
+}
+
+fn im2col_block(src: &[f32], g: ConvGeom, b: usize, ch: usize, block: &mut [f32]) {
+    let col_stride = g.oh * g.ow;
+    for ky in 0..g.kh {
+        for kx in 0..g.kw {
+            let row = (ky * g.kw + kx) * col_stride;
+            for oy in 0..g.oh {
+                let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                if iy < 0 || iy >= g.h as isize {
+                    continue;
+                }
+                for ox in 0..g.ow {
+                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                    if ix < 0 || ix >= g.w as isize {
+                        continue;
+                    }
+                    block[row + oy * g.ow + ox] =
+                        src[((b * g.c + ch) * g.h + iy as usize) * g.w + ix as usize];
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds an im2col matrix back to `[n, c, h, w]` image layout
+/// (the adjoint of [`im2col`]), sharded over `(batch, channel)` output
+/// planes. Every plane sums only its own channel's patch rows, visited
+/// in the same `ky, kx, oy, ox` order as the serial loop, so each
+/// output element sees the identical accumulation sequence regardless
+/// of thread count.
+pub(crate) fn col2im(src: &[f32], g: ConvGeom) -> Vec<f32> {
+    let plane = g.h * g.w;
+    let mut out = vec![0.0f32; g.n * g.c * plane];
+    run_units(&mut out, plane, 2 * g.kh * g.kw, |bc, out_plane| {
+        col2im_plane(src, g, bc / g.c, bc % g.c, out_plane);
+    });
+    out
+}
+
+fn col2im_plane(src: &[f32], g: ConvGeom, b: usize, ch: usize, out_plane: &mut [f32]) {
+    let col_stride = g.oh * g.ow;
+    for ky in 0..g.kh {
+        for kx in 0..g.kw {
+            let row =
+                ((ch * g.kh + ky) * g.kw + kx) * col_stride + b * g.c * g.kh * g.kw * col_stride;
+            for oy in 0..g.oh {
+                let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                if iy < 0 || iy >= g.h as isize {
+                    continue;
+                }
+                for ox in 0..g.ow {
+                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                    if ix < 0 || ix >= g.w as isize {
+                        continue;
+                    }
+                    out_plane[iy as usize * g.w + ix as usize] += src[row + oy * g.ow + ox];
+                }
+            }
+        }
+    }
+}
+
+/// Adds one bias value per channel plane of an `[n, cout, oh, ow]`
+/// buffer, sharded over `(batch, channel)` planes.
+pub(crate) fn add_channel_bias(data: &mut [f32], bias: &[f32], plane: usize) {
+    let cout = bias.len();
+    if cout == 0 {
+        return;
+    }
+    run_units(data, plane, 1, |bc, chunk| {
+        let bv = bias[bc % cout];
+        for v in chunk {
+            *v += bv;
+        }
+    });
+}
+
+/// Elementwise map into a fresh buffer, chunk-parallel above the
+/// elementwise threshold.
+pub(crate) fn map_into<F>(src: &[f32], f: F) -> Vec<f32>
+where
+    F: Fn(f32) -> f32 + Sync,
+{
+    let mut out = vec![0.0f32; src.len()];
+    fill_chunked(&mut out, |start, chunk| {
+        let len = chunk.len();
+        for (o, &v) in chunk.iter_mut().zip(&src[start..start + len]) {
+            *o = f(v);
+        }
+    });
+    out
+}
+
+/// Elementwise in-place map, chunk-parallel above the elementwise
+/// threshold.
+pub(crate) fn map_inplace<F>(data: &mut [f32], f: F)
+where
+    F: Fn(f32) -> f32 + Sync,
+{
+    fill_chunked(data, |_, chunk| {
+        for v in chunk {
+            *v = f(*v);
+        }
+    });
+}
+
+/// Elementwise binary op over two same-length buffers, chunk-parallel
+/// above the elementwise threshold.
+pub(crate) fn zip_same<F>(a: &[f32], b: &[f32], f: F) -> Vec<f32>
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    debug_assert_eq!(a.len(), b.len());
+    let mut out = vec![0.0f32; a.len()];
+    fill_chunked(&mut out, |start, chunk| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            *o = f(a[start + i], b[start + i]);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::with_threads;
+
+    #[test]
+    fn shard_ranges_cover_exactly_in_order() {
+        for units in [0usize, 1, 2, 7, 8, 9, 100] {
+            for shards in [1usize, 2, 3, 8] {
+                let ranges = shard_ranges(units, shards);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "ranges must be contiguous");
+                    assert!(!r.is_empty(), "no empty shards");
+                    next = r.end;
+                }
+                assert_eq!(next, units, "ranges must cover all units");
+                assert!(ranges.len() <= shards);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_near_even() {
+        let ranges = shard_ranges(10, 4);
+        let lens: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn run_units_visits_every_unit_once() {
+        let mut out = vec![0.0f32; 12];
+        run_units(&mut out, 3, usize::MAX, |u, unit| {
+            for v in unit.iter_mut() {
+                *v += (u + 1) as f32;
+            }
+        });
+        assert_eq!(out, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn run_units_handles_empty_and_degenerate() {
+        let mut empty: Vec<f32> = Vec::new();
+        run_units(&mut empty, 4, 1, |_, _| panic!("no units to visit"));
+        let mut out = vec![0.0f32; 4];
+        run_units(&mut out, 0, 1, |_, _| panic!("zero-length units are skipped"));
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        // [[1,2,3],[4,5,6]] @ [[7,8],[9,10],[11,12]]
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        for t in 1..=4 {
+            let out = with_threads(t, || matmul(&a, &b, 2, 3, 2));
+            assert_eq!(out, vec![58.0, 64.0, 139.0, 154.0], "threads={t}");
+        }
+    }
+
+    #[test]
+    fn fill_chunked_covers_with_correct_offsets() {
+        let mut out = vec![0.0f32; 1000];
+        fill_chunked(&mut out, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (start + i) as f32;
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f32);
+        }
+    }
+}

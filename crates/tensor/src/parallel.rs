@@ -1,5 +1,146 @@
-//! Thread-count selection shared by every crate that fans work out over
-//! std threads (dataset rendering, the serving worker pool).
+//! Thread-count selection and the ambient parallel policy for the
+//! deterministic kernel layer ([`crate::par_kernels`]).
+//!
+//! Every dense kernel in this crate asks [`active_threads`] how wide to
+//! fan out. The answer is resolved from three layers, most specific
+//! first:
+//!
+//! 1. a **thread-local override** installed by [`with_threads`] or
+//!    [`adopt_thread_policy`] (serving workers adopt the policy carried
+//!    by the pipeline snapshot they hydrate),
+//! 2. a **process-global default** set once by [`set_global_threads`]
+//!    (the CLI's `--threads` flag),
+//! 3. the **environment default**: `AERO_THREADS` if set and valid,
+//!    otherwise [`suggested_threads`] capped at [`MAX_KERNEL_THREADS`].
+//!
+//! Because the kernels are bit-identical at every thread count (see
+//! `DESIGN.md` §10), this policy only ever changes wall-clock time —
+//! never a single output bit — so it is safe to resolve it ambiently
+//! instead of threading a handle through every call site.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default cap on kernel worker threads; oversubscribing tiny matmuls
+/// past this point only adds spawn overhead.
+pub const MAX_KERNEL_THREADS: usize = 8;
+
+/// Hard ceiling accepted from any configuration source.
+const THREADS_CEILING: usize = 64;
+
+/// The parallel execution policy for a pipeline: how many worker
+/// threads the tensor kernels may fan out over.
+///
+/// Carried by `PipelineSnapshot` so training, sampling, and every
+/// serving worker run under one policy. Purely a performance knob —
+/// kernel outputs are bit-identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    threads: usize,
+}
+
+impl ParallelConfig {
+    /// A policy with exactly `threads` workers (clamped to `1..=64`).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig { threads: threads.clamp(1, THREADS_CEILING) }
+    }
+
+    /// The single-threaded policy.
+    #[must_use]
+    pub fn serial() -> Self {
+        ParallelConfig::with_threads(1)
+    }
+
+    /// The policy resolved from the environment: `AERO_THREADS` if set
+    /// to a positive integer, otherwise [`suggested_threads`] capped at
+    /// [`MAX_KERNEL_THREADS`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        ParallelConfig::with_threads(env_default_threads())
+    }
+
+    /// The configured worker-thread count (always at least 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::from_env()
+    }
+}
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("AERO_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .map_or_else(|| suggested_threads(MAX_KERNEL_THREADS), |n| n.min(THREADS_CEILING))
+    })
+}
+
+/// The thread count kernels on the current thread should fan out over.
+///
+/// Resolution order: thread-local override, then the process-global
+/// default, then the environment default (`AERO_THREADS`, read once).
+#[must_use]
+pub fn active_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local != 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    env_default_threads()
+}
+
+/// Sets the process-global kernel thread count (clamped to `1..=64`).
+/// Thread-local overrides installed by [`with_threads`] or
+/// [`adopt_thread_policy`] still win on their threads.
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads.clamp(1, THREADS_CEILING), Ordering::Relaxed);
+}
+
+/// Installs `config` as the current thread's kernel policy for the rest
+/// of the thread's lifetime. Serving workers call this right after
+/// hydrating a snapshot so replicas run under the snapshot's policy.
+pub fn adopt_thread_policy(config: ParallelConfig) {
+    LOCAL_THREADS.with(|c| c.set(config.threads()));
+}
+
+/// Runs `f` with the current thread's kernel policy temporarily set to
+/// `threads` (clamped to `1..=64`), restoring the previous policy on
+/// exit — including on panic, so tests can assert unwinding behaviour
+/// without poisoning later tests on the same thread.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_THREADS.with(|c| {
+        let p = c.get();
+        c.set(threads.clamp(1, THREADS_CEILING));
+        p
+    });
+    let _restore = Restore(prev);
+    f()
+}
 
 /// Suggested worker-thread count: the machine's available parallelism,
 /// clamped to `cap`. Always at least 1 (`available_parallelism` returns a
@@ -36,5 +177,50 @@ mod tests {
     #[should_panic(expected = "thread cap must be positive")]
     fn zero_cap_panics() {
         let _ = suggested_threads(0);
+    }
+
+    #[test]
+    fn config_clamps_to_at_least_one() {
+        assert_eq!(ParallelConfig::with_threads(0).threads(), 1);
+        assert_eq!(ParallelConfig::with_threads(4).threads(), 4);
+        assert_eq!(ParallelConfig::with_threads(10_000).threads(), 64);
+        assert_eq!(ParallelConfig::serial().threads(), 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = active_threads();
+        let inner = with_threads(3, || {
+            assert_eq!(active_threads(), 3);
+            with_threads(5, active_threads)
+        });
+        assert_eq!(inner, 5);
+        assert_eq!(active_threads(), outer, "override must be scoped");
+    }
+
+    #[test]
+    fn with_threads_restores_after_panic() {
+        let outer = active_threads();
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(7, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(active_threads(), outer);
+    }
+
+    #[test]
+    fn adopt_policy_pins_a_worker_thread() {
+        let got = std::thread::spawn(|| {
+            adopt_thread_policy(ParallelConfig::with_threads(6));
+            active_threads()
+        })
+        .join()
+        .expect("worker");
+        assert_eq!(got, 6);
+    }
+
+    #[test]
+    fn active_threads_is_positive() {
+        assert!(active_threads() >= 1);
     }
 }

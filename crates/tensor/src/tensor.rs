@@ -378,33 +378,34 @@ impl Tensor {
 
     // ---------------------------------------------------------- elementwise
 
-    /// Applies `f` to every element.
-    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Self {
-        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+    /// Applies `f` to every element (chunk-parallel for large tensors;
+    /// chunking preserves element order, so the result is bit-identical
+    /// at any thread count).
+    pub fn map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Self {
+        Tensor { data: crate::par_kernels::map_into(&self.data, f), shape: self.shape.clone() }
     }
 
-    /// Applies `f` in place to every element.
-    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    /// Applies `f` in place to every element (chunk-parallel for large
+    /// tensors).
+    pub fn map_inplace<F: Fn(f32) -> f32 + Sync>(&mut self, f: F) {
+        crate::par_kernels::map_inplace(&mut self.data, f);
     }
 
-    /// Broadcasting binary operation.
+    /// Broadcasting binary operation (chunk-parallel for large tensors).
     ///
     /// # Panics
     ///
     /// Panics if the shapes are not broadcast-compatible.
-    pub fn zip<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Self {
+    pub fn zip<F: Fn(f32, f32) -> f32 + Sync>(&self, other: &Tensor, f: F) -> Self {
         if self.shape == other.shape {
-            let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+            let data = crate::par_kernels::zip_same(&self.data, &other.data, f);
             return Tensor { data, shape: self.shape.clone() };
         }
         let out_shape = broadcast_shapes(&self.shape, &other.shape)
             .unwrap_or_else(|e| panic!("zip failed: {e}"));
         let a = self.broadcast_to(&out_shape);
         let b = other.broadcast_to(&out_shape);
-        let data = a.data.iter().zip(&b.data).map(|(&x, &y)| f(x, y)).collect();
+        let data = crate::par_kernels::zip_same(&a.data, &b.data, f);
         Tensor { data, shape: out_shape }
     }
 

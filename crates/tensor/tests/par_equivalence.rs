@@ -1,0 +1,303 @@
+//! Parallel-vs-serial equivalence suite for the sharded kernel layer.
+//!
+//! Every assertion here is **byte-for-byte** (`f32::to_bits`), not
+//! approximate: the determinism contract of `aero_tensor::par_kernels`
+//! is that the parallel kernels produce the *identical* bit pattern as
+//! the single-threaded reference at every thread count, because each
+//! output region is written by exactly one thread running the identical
+//! serial inner loop. Shapes, strides, and padding are randomized in
+//! the proptest style of `properties.rs`, and thread counts sweep 1–8 —
+//! beyond the container's core count on purpose: oversubscription must
+//! not change a single bit either.
+//!
+//! Small kernels stay below the fan-out work threshold and run serially
+//! no matter the policy; the shape ranges below deliberately straddle
+//! the threshold so both the gated and the fanned-out paths are hit.
+
+use aero_tensor::parallel::with_threads;
+use aero_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The bit pattern of a tensor, for exact comparisons.
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn assert_bitwise_eq(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+    assert_eq!(bits(got), bits(want), "{what}: bit pattern diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_matches_serial_at_every_thread_count(
+        m in 1usize..48,
+        k in 0usize..32,
+        n in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let reference = a.matmul_serial(&b);
+        for threads in 1..=8 {
+            let par = with_threads(threads, || a.matmul(&b));
+            prop_assert_eq!(par.shape(), reference.shape());
+            prop_assert_eq!(
+                bits(&par), bits(&reference),
+                "matmul [{}, {}] x [{}, {}] diverged at {} threads",
+                m, k, k, n, threads
+            );
+        }
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_serial_matmul(
+        nb in 1usize..5,
+        m in 1usize..12,
+        k in 0usize..10,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[nb, m, k], &mut rng);
+        let b = Tensor::randn(&[nb, k, n], &mut rng);
+        // Independent reference: batches multiplied one by one with the
+        // serial kernel, concatenated in order.
+        let mut reference = Tensor::zeros(&[nb, m, n]);
+        for i in 0..nb {
+            let lhs = a.narrow(0, i, 1).reshape(&[m, k]);
+            let rhs = b.narrow(0, i, 1).reshape(&[k, n]);
+            let prod = lhs.matmul_serial(&rhs);
+            reference.as_mut_slice()[i * m * n..(i + 1) * m * n]
+                .copy_from_slice(prod.as_slice());
+        }
+        for threads in 1..=8 {
+            let par = with_threads(threads, || a.bmm(&b));
+            prop_assert_eq!(
+                bits(&par), bits(&reference),
+                "bmm [{}, {}, {}] diverged at {} threads", nb, m, k, threads
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_serial_over_random_strides_and_padding(
+        n in 1usize..3,
+        cin in 1usize..5,
+        cout in 1usize..7,
+        h in 3usize..13,
+        w in 3usize..13,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        // kh, kw < 4 <= h, w (+ padding), so every window fits.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[n, cin, h, w], &mut rng);
+        let wt = Tensor::randn(&[cout, cin, kh, kw], &mut rng);
+        let b = Tensor::randn(&[cout], &mut rng);
+        let reference = x.conv2d_serial(&wt, Some(&b), stride, pad);
+        for threads in 1..=8 {
+            let par = with_threads(threads, || x.conv2d(&wt, Some(&b), stride, pad));
+            prop_assert_eq!(
+                bits(&par), bits(&reference),
+                "conv2d {}x{} k{}x{} s{} p{} diverged at {} threads",
+                h, w, kh, kw, stride, pad, threads
+            );
+        }
+    }
+
+    #[test]
+    fn conv_transpose2d_is_thread_count_invariant(
+        n in 1usize..3,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        h in 2usize..8,
+        w in 2usize..8,
+        k in 1usize..4,
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        // col2im scatter-adds overlapping windows, the one kernel where
+        // accumulation *order* (not just partitioning) must be pinned.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[n, cin, h, w], &mut rng);
+        let wt = Tensor::randn(&[cin, cout, k, k], &mut rng);
+        let b = Tensor::randn(&[cout], &mut rng);
+        let reference = with_threads(1, || x.conv_transpose2d(&wt, Some(&b), stride, 0));
+        for threads in 2..=8 {
+            let par = with_threads(threads, || x.conv_transpose2d(&wt, Some(&b), stride, 0));
+            prop_assert_eq!(
+                bits(&par), bits(&reference),
+                "conv_transpose2d diverged at {} threads", threads
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_attention_chain_is_thread_count_invariant(
+        b in 1usize..3,
+        t in 1usize..24,
+        d in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        // The attention hot path as the nn crate runs it: scores = q k^T
+        // (bmm), softmax over the last axis, then the value product.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = Tensor::randn(&[b, t, d], &mut rng);
+        let key = Tensor::randn(&[b, t, d], &mut rng);
+        let v = Tensor::randn(&[b, t, d], &mut rng);
+        let attn = |threads: usize| {
+            with_threads(threads, || {
+                let scores = q.bmm(&key.permute(&[0, 2, 1])).mul_scalar(1.0 / (d as f32).sqrt());
+                scores.softmax_last_axis().bmm(&v)
+            })
+        };
+        let reference = attn(1);
+        for threads in 2..=8 {
+            let par = attn(threads);
+            prop_assert_eq!(
+                bits(&par), bits(&reference),
+                "attention chain diverged at {} threads", threads
+            );
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_roundtrip_is_thread_count_invariant(
+        n in 1usize..3,
+        c in 1usize..4,
+        h in 3usize..10,
+        w in 3usize..10,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        // k < 4 <= h, w (+ padding), so every window fits.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[n, c, h, w], &mut rng);
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let cols = x.im2col(k, k, stride, pad);
+                let back = cols.col2im(&[n, c, h, w], k, k, stride, pad);
+                (cols, back)
+            })
+        };
+        let (cols_ref, back_ref) = run(1);
+        for threads in 2..=8 {
+            let (cols, back) = run(threads);
+            prop_assert_eq!(bits(&cols), bits(&cols_ref), "im2col diverged at {}", threads);
+            prop_assert_eq!(bits(&back), bits(&back_ref), "col2im diverged at {}", threads);
+        }
+    }
+
+    #[test]
+    fn pooling_and_upsample_are_thread_count_invariant(
+        n in 1usize..3,
+        c in 1usize..5,
+        hw in 1usize..6,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (h, w) = (hw * k, hw * k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[n, c, h, w], &mut rng);
+        let reference = with_threads(1, || {
+            (x.avg_pool2d(k), x.max_pool2d(k), x.upsample_nearest2x())
+        });
+        for threads in 2..=8 {
+            let (avg, mx, up) = with_threads(threads, || {
+                (x.avg_pool2d(k), x.max_pool2d(k), x.upsample_nearest2x())
+            });
+            prop_assert_eq!(bits(&avg), bits(&reference.0), "avg_pool diverged at {}", threads);
+            prop_assert_eq!(bits(&mx), bits(&reference.1), "max_pool diverged at {}", threads);
+            prop_assert_eq!(bits(&up), bits(&reference.2), "upsample diverged at {}", threads);
+        }
+    }
+}
+
+// ---- degenerate shapes the sharding math must survive exactly ----
+
+#[test]
+fn matmul_zero_inner_dim_is_all_zeros_at_every_thread_count() {
+    let a = Tensor::zeros(&[5, 0]);
+    let b = Tensor::zeros(&[0, 7]);
+    for threads in 1..=8 {
+        let out = with_threads(threads, || a.matmul(&b));
+        assert_eq!(out.shape(), &[5, 7]);
+        assert!(out.as_slice().iter().all(|&v| v.to_bits() == 0.0f32.to_bits()));
+    }
+}
+
+#[test]
+fn single_row_matmul_matches_serial() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Tensor::randn(&[1, 33], &mut rng);
+    let b = Tensor::randn(&[33, 129], &mut rng);
+    let reference = a.matmul_serial(&b);
+    for threads in 1..=8 {
+        let par = with_threads(threads, || a.matmul(&b));
+        assert_bitwise_eq(&par, &reference, "single-row matmul");
+    }
+}
+
+#[test]
+fn one_by_one_conv_matches_serial() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let x = Tensor::randn(&[2, 3, 5, 5], &mut rng);
+    let w = Tensor::randn(&[4, 3, 1, 1], &mut rng);
+    let b = Tensor::randn(&[4], &mut rng);
+    let reference = x.conv2d_serial(&w, Some(&b), 1, 0);
+    for threads in 1..=8 {
+        let par = with_threads(threads, || x.conv2d(&w, Some(&b), 1, 0));
+        assert_bitwise_eq(&par, &reference, "1x1 conv");
+    }
+}
+
+#[test]
+fn large_matmul_above_fanout_threshold_matches_serial() {
+    // Big enough that the worker pool genuinely engages (out.len() *
+    // 2k well past the work threshold) rather than the gated path.
+    let mut rng = StdRng::seed_from_u64(9);
+    let a = Tensor::randn(&[96, 64], &mut rng);
+    let b = Tensor::randn(&[64, 96], &mut rng);
+    let reference = a.matmul_serial(&b);
+    for threads in [2, 3, 4, 5, 8] {
+        let par = with_threads(threads, || a.matmul(&b));
+        assert_bitwise_eq(&par, &reference, "large matmul");
+    }
+}
+
+#[test]
+fn elementwise_map_and_zip_fan_out_bit_identically() {
+    // Above the elementwise threshold (64 Ki elements) so the chunked
+    // path really runs; chunking preserves element order exactly.
+    let mut rng = StdRng::seed_from_u64(10);
+    let a = Tensor::randn(&[80_000], &mut rng);
+    let b = Tensor::randn(&[80_000], &mut rng);
+    let reference = with_threads(1, || (a.map(|v| (v * 1.7).tanh()), a.mul(&b)));
+    for threads in [2, 4, 8] {
+        let got = with_threads(threads, || (a.map(|v| (v * 1.7).tanh()), a.mul(&b)));
+        assert_bitwise_eq(&got.0, &reference.0, "map");
+        assert_bitwise_eq(&got.1, &reference.1, "zip");
+    }
+}
+
+#[test]
+fn large_softmax_above_threshold_is_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let x = Tensor::randn(&[256, 64], &mut rng).mul_scalar(6.0);
+    let reference = with_threads(1, || x.softmax_last_axis());
+    for threads in [2, 4, 8] {
+        let par = with_threads(threads, || x.softmax_last_axis());
+        assert_bitwise_eq(&par, &reference, "softmax");
+    }
+}

@@ -6,7 +6,9 @@
 //! tokens (keys/values) through multi-head cross-attention, and the
 //! attended sequence is pooled and projected into the condition space.
 //! Its parameters are trained jointly with the diffusion model, exactly
-//! as Eq. (6) prescribes for the condition-vector parameters.
+//! as Eq. (6) prescribes for the condition-vector parameters. The
+//! cross-attention stack runs on the sharded parallel kernel layer and
+//! produces bit-identical fusions at every thread count.
 
 use crate::encoders::{ImageEncoder, TextEncoder};
 use crate::VisionConfig;

@@ -4,7 +4,8 @@
 //! `G'_i` into the condition branch `C_g` and to compute the CLIP-score
 //! metric. No checkpoint is available here, so this model is trained from
 //! scratch with the symmetric InfoNCE objective on our paired synthetic
-//! dataset.
+//! dataset. Both encoders run on the sharded parallel kernel layer, so
+//! embeddings (and hence CLIP scores) do not vary with the thread count.
 
 use crate::encoders::{ImageEncoder, TextEncoder};
 use crate::VisionConfig;

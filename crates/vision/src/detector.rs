@@ -4,7 +4,9 @@
 //! for region-level feature augmentation. This is a faithful miniature:
 //! a convolutional backbone maps the image to a `g × g` grid; each cell
 //! predicts objectness, a box (centre offset + size, all normalized), and
-//! class logits; inference applies a confidence threshold and NMS.
+//! class logits; inference applies a confidence threshold and NMS. The
+//! backbone convolutions run on the sharded parallel kernel layer, so
+//! detections (and the ROIs downstream) are thread-count invariant.
 
 use crate::VisionConfig;
 use aero_nn::layers::Conv2d;

@@ -4,6 +4,10 @@
 //! into `[zc, s/4, s/4]` latents (`z_0 = E(X_i)` in the paper's forward
 //! diffusion) and decodes sampled latents back to RGB. Trained with
 //! reconstruction MSE plus a KL term toward the standard normal.
+//!
+//! Encode/decode convolutions run on the sharded parallel kernel layer
+//! (`aero_tensor::par_kernels`); latents and reconstructions are
+//! bit-identical at every thread count.
 
 use crate::VisionConfig;
 use aero_nn::layers::{Conv2d, ConvTranspose2d};

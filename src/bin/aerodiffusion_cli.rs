@@ -3,9 +3,11 @@
 //!
 //! ```text
 //! aerodiffusion_cli train  <model-dir> [--scenes N] [--seed S] [--scale smoke|small|paper]
+//!                          [--threads N]
 //!                          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]
-//! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--scale …]
+//! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--scale …] [--threads N]
 //! aerodiffusion_cli serve  <model-dir>|--demo [--workers N] [--max-batch N] [--scale …]
+//!                          [--threads N]
 //!                          [--max-worker-restarts N] [--inject-panic-at N[,N…]]
 //! aerodiffusion_cli info   <model-dir>
 //! aerodiffusion_cli lint   [--scale smoke|small|paper] [--all]
@@ -17,6 +19,11 @@
 //! from the newest valid checkpoint on a bit-identical trajectory;
 //! corrupt checkpoints are skipped. `--max-steps` stops the joint stage
 //! early — checkpointed but unsaved — which is how CI simulates a crash.
+//!
+//! `--threads` pins the tensor-kernel worker pool (default: the
+//! `AERO_THREADS` env var, else the host's available parallelism, capped
+//! at 8). The sharded kernels are bit-identical at every thread count,
+//! so this only changes wall-clock time, never output bytes.
 //!
 //! `--inject-panic-at` schedules a deterministic in-worker panic on the
 //! Nth submitted request (0-based): the request is answered with a typed
@@ -55,6 +62,17 @@ fn scale_config(args: &[String]) -> PipelineConfig {
     }
 }
 
+/// Applies `--threads N` (falling back to the `AERO_THREADS` env var and
+/// then the host's available parallelism) as the process-wide kernel
+/// thread policy. Purely a performance knob: outputs are bit-identical
+/// at any thread count.
+fn apply_threads_flag(args: &[String]) -> Result<(), Box<dyn Error>> {
+    if let Some(v) = parse_flag(args, "--threads") {
+        aero_tensor::parallel::set_global_threads(v.parse()?);
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -66,12 +84,12 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: aerodiffusion_cli <train|sample|serve|info|lint> [args]\n\
-                 \n  train  <dir> [--scenes N] [--seed S] [--scale smoke|small|paper]\n\
+                 \n  train  <dir> [--scenes N] [--seed S] [--scale smoke|small|paper] [--threads N]\n\
                  \n         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]\n\
-                 \n  sample <dir> <out.ppm> [--seed S] [--night] [--scale …]\n\
+                 \n  sample <dir> <out.ppm> [--seed S] [--night] [--scale …] [--threads N]\n\
                  \n  serve  <dir>|--demo [--workers N] [--max-batch N] [--queue N]\n\
                  \n         [--batch-wait-ms MS] [--cache N] [--steps N] [--guidance G] [--scale …]\n\
-                 \n         [--max-worker-restarts N] [--inject-panic-at N[,N…]]\n\
+                 \n         [--threads N] [--max-worker-restarts N] [--inject-panic-at N[,N…]]\n\
                  \n  info   <dir>\n\
                  \n  lint   [--scale smoke|small|paper] [--all]"
             );
@@ -88,6 +106,7 @@ fn main() -> ExitCode {
 }
 
 fn cmd_train(args: &[String]) -> Result<(), Box<dyn Error>> {
+    apply_threads_flag(args)?;
     let dir = args.first().ok_or("train requires a model directory")?;
     let n_scenes: usize = parse_flag(args, "--scenes").map(|v| v.parse()).transpose()?.unwrap_or(8);
     let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(42);
@@ -146,6 +165,7 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_sample(args: &[String]) -> Result<(), Box<dyn Error>> {
+    apply_threads_flag(args)?;
     let dir = args.first().ok_or("sample requires a model directory")?;
     let out = args.get(1).ok_or("sample requires an output .ppm path")?;
     let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(7);
@@ -198,6 +218,7 @@ fn serve_snapshot(
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
+    apply_threads_flag(args)?;
     let snapshot = serve_snapshot(args, scale_config(args))?;
     let mut serve = ServeConfig::for_pipeline(snapshot.config());
     if let Some(v) = parse_flag(args, "--workers") {
@@ -295,6 +316,12 @@ fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
         // machinery (CRC32, manifest round-trip, version gating).
         let report = aerodiffusion::lint_checkpoint();
         println!("== checkpoint ==");
+        print!("{}", report.render());
+        failed |= !report.is_clean();
+        // Source-level: no production call sites of the serial
+        // reference kernels (AD0110). A no-op away from a checkout.
+        let report = aerodiffusion::lint_kernel_callsites(std::path::Path::new("."));
+        println!("== kernels ==");
         print!("{}", report.render());
         failed |= !report.is_clean();
     }

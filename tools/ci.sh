@@ -16,6 +16,12 @@
 #                      final loss, and a serve run with an injected
 #                      per-request worker panic that still answers every
 #                      request and restarts the worker
+#   7. thread smokes — the same sample rendered with --threads 1 and with
+#                      AERO_THREADS=4 must be byte-identical (the sharded
+#                      kernel layer's determinism contract, end to end
+#                      through the full pipeline), plus a threshold-free
+#                      bench_kernels liveness run (BENCH_KERNELS_SMOKE=1)
+#                      that asserts bit-identity per workload
 #
 # Everything runs with --offline: the build environment has no network and
 # all dependencies are vendored shims (see shims/).
@@ -97,5 +103,20 @@ echo "$fault_out" | grep -q '"reason":"worker_error"' \
 grep -Eq '[1-9][0-9]* worker restart' "$work/serve_fault.log" \
   || { echo "fault smoke: expected a nonzero worker restart count"; \
        cat "$work/serve_fault.log"; exit 1; }
+
+echo "== thread smoke: sample determinism across thread counts =="
+# The model trained by the fault smoke is reused; one sample rendered
+# under a pinned single-thread policy and one under a 4-thread policy
+# (via the env knob, so both configuration paths are exercised) must
+# produce byte-identical images.
+cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  sample "$work/model" "$work/t1.ppm" --seed 11 --threads 1
+AERO_THREADS=4 cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  sample "$work/model" "$work/t4.ppm" --seed 11
+cmp "$work/t1.ppm" "$work/t4.ppm" \
+  || { echo "thread smoke: 1-thread and 4-thread samples differ"; exit 1; }
+
+echo "== thread smoke: bench_kernels liveness =="
+BENCH_KERNELS_SMOKE=1 cargo run --offline -q -p aero-bench --bin bench_kernels
 
 echo "CI: all gates passed"
