@@ -43,6 +43,11 @@ pub enum DiagCode {
     /// parallel entry points. The serial kernels exist only as
     /// equivalence oracles for the tensor crate's own tests.
     SerialKernelBypass,
+    /// `AD0111`: long-lived serving code (`aero-serve`, the core
+    /// pipeline crate) calls a panicking tensor kernel directly instead
+    /// of its `try_*` variant. A shape mismatch there must surface as a
+    /// typed reply, not take a worker down.
+    PanickingKernelCall,
 }
 
 impl DiagCode {
@@ -61,6 +66,7 @@ impl DiagCode {
             DiagCode::NanProneOp => "AD0104",
             DiagCode::DeadBranch => "AD0105",
             DiagCode::SerialKernelBypass => "AD0110",
+            DiagCode::PanickingKernelCall => "AD0111",
         }
     }
 
@@ -79,6 +85,7 @@ impl DiagCode {
             DiagCode::NanProneOp => "NaN-prone arithmetic",
             DiagCode::DeadBranch => "dead differentiable branch",
             DiagCode::SerialKernelBypass => "serial reference kernel used in production code",
+            DiagCode::PanickingKernelCall => "panicking tensor kernel called on a serving path",
         }
     }
 
@@ -93,7 +100,8 @@ impl DiagCode {
             | DiagCode::DivisibilityViolation
             | DiagCode::InvalidConfig
             | DiagCode::DetachedParameter
-            | DiagCode::SerialKernelBypass => Severity::Error,
+            | DiagCode::SerialKernelBypass
+            | DiagCode::PanickingKernelCall => Severity::Error,
             DiagCode::DetachedSubgraph
             | DiagCode::UnclampedLn
             | DiagCode::NanProneOp
@@ -248,6 +256,7 @@ mod tests {
             DiagCode::NanProneOp,
             DiagCode::DeadBranch,
             DiagCode::SerialKernelBypass,
+            DiagCode::PanickingKernelCall,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

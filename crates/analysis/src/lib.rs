@@ -46,4 +46,4 @@ pub use models::{
     VisionShapeDesc, BATCH, LATENT_CHANNELS,
 };
 pub use shape_infer::ShapeCtx;
-pub use source_lint::lint_kernel_callsites;
+pub use source_lint::{lint_kernel_callsites, lint_panicking_callsites};

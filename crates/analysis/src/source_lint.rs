@@ -1,13 +1,23 @@
-//! Source-level lint for serial reference-kernel bypasses.
+//! Source-level lints over the workspace tree.
 //!
-//! `aero_tensor::ops` keeps `matmul_serial` / `conv2d_serial` around as
-//! the bit-exact oracles the parallel-equivalence tests compare against.
-//! Production code must never call them: it would silently forfeit the
-//! sharded kernel layer on the hot path. This pass greps the workspace
-//! sources (excluding the tensor crate itself, test and bench trees, and
-//! vendored shims) and reports every call site as [`AD0110`].
+//! Two passes share the same comment-skipping line scan:
+//!
+//! - **Serial reference-kernel bypasses** ([`AD0110`]).
+//!   `aero_tensor::ops` keeps `matmul_serial` / `conv2d_serial` around
+//!   as the bit-exact oracles the parallel-equivalence tests compare
+//!   against. Production code must never call them: it would silently
+//!   forfeit the sharded kernel layer on the hot path. This pass greps
+//!   the workspace sources (excluding the tensor crate itself, test and
+//!   bench trees, and vendored shims) and reports every call site.
+//! - **Panicking kernels on serving paths** ([`AD0111`]). Every
+//!   shape-checked tensor op has a `try_*` variant returning
+//!   `TensorError`; long-lived serving code (`aero-serve` and the core
+//!   pipeline crate) must use those so a malformed request surfaces as
+//!   a typed reply instead of killing a worker thread. This pass flags
+//!   direct calls of the panicking forms inside those crates.
 //!
 //! [`AD0110`]: crate::DiagCode::SerialKernelBypass
+//! [`AD0111`]: crate::DiagCode::PanickingKernelCall
 
 use crate::diag::{DiagCode, Report};
 use std::fs;
@@ -97,6 +107,79 @@ pub fn lint_kernel_callsites(root: &Path) -> Report {
     report
 }
 
+/// Panicking tensor ops that have a `try_*` twin, written as the method
+/// call tokens the scan looks for. `.matmul(` does not match
+/// `.try_matmul(` (the preceding character is `_`) or `.matmul_serial(`
+/// (the following character is not `(`).
+const PANICKING_KERNELS: [&str; 10] = [
+    ".matmul(",
+    ".bmm(",
+    ".conv2d(",
+    ".im2col(",
+    ".col2im(",
+    ".conv_transpose2d(",
+    ".avg_pool2d(",
+    ".max_pool2d(",
+    ".upsample_nearest2x(",
+    ".softmax_last_axis(",
+];
+
+/// The crates whose `src/` trees count as long-lived serving paths: a
+/// shape panic there takes a worker thread (or the whole server) down
+/// instead of failing one request.
+const SERVING_CRATES: [&str; 2] = ["serve", "core"];
+
+fn lint_panicking_file(path: &Path, root: &Path, report: &mut Report) {
+    let Ok(text) = fs::read_to_string(path) else { return };
+    let shown = path.strip_prefix(root).unwrap_or(path).display().to_string();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        // In-file unit tests exercise panicking forms deliberately;
+        // everything after the test-module marker is out of scope.
+        if trimmed.starts_with("#[cfg(test)]") {
+            return;
+        }
+        for kernel in PANICKING_KERNELS {
+            if trimmed.contains(kernel) {
+                let name = &kernel[1..kernel.len() - 1];
+                report.push(
+                    DiagCode::PanickingKernelCall,
+                    format!("{shown}:{}", idx + 1),
+                    format!(
+                        "`{name}` panics on shape mismatch; serving paths must call \
+                         `try_{name}` and turn the error into a typed reply"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Scans the long-lived serving crates (`crates/serve`, `crates/core`)
+/// for direct calls of panicking tensor kernels that have `try_*`
+/// variants, reporting each as `AD0111`.
+///
+/// Missing directories are silently ignored, so the lint is a no-op when
+/// run away from a source checkout.
+#[must_use]
+pub fn lint_panicking_callsites(root: &Path) -> Report {
+    let mut files = Vec::new();
+    for member in SERVING_CRATES {
+        // `core` sits on the AD0110 walk too, but this pass owns its own
+        // file list so the two lints stay independently callable.
+        rust_files_under(&root.join("crates").join(member).join("src"), &mut files);
+    }
+    files.sort();
+    let mut report = Report::new();
+    for file in &files {
+        lint_panicking_file(file, root, &mut report);
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +222,36 @@ mod tests {
         let report = lint_kernel_callsites(Path::new("/nonexistent/aero_source_lint_nowhere"));
         assert!(report.is_clean());
         assert_eq!(report.diagnostics().len(), 0);
+        let report = lint_panicking_callsites(Path::new("/nonexistent/aero_source_lint_nowhere"));
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn flags_panicking_kernels_in_serving_crates_only() {
+        let root = std::env::temp_dir().join("aero_panicking_lint_fixture");
+        let _ = fs::remove_dir_all(&root);
+        write(
+            &root.join("crates/serve/src/worker.rs"),
+            "fn f(a: &Tensor, b: &Tensor) -> Tensor {\n    a.matmul(b)\n}\n",
+        );
+        write(
+            &root.join("crates/core/src/pipeline.rs"),
+            "fn g(x: &Tensor) -> Result<Tensor> {\n    x.try_softmax_last_axis()\n}\n\
+             // a comment may mention .bmm( freely\n\
+             #[cfg(test)]\nmod tests {\n    fn t(x: &Tensor) { x.bmm(x); }\n}\n",
+        );
+        // Model crates keep the panicking convention; only serving
+        // crates are in scope.
+        write(
+            &root.join("crates/nn/src/layers.rs"),
+            "fn h(a: &Tensor, b: &Tensor) -> Tensor { a.matmul(b) }\n",
+        );
+        let report = lint_panicking_callsites(&root);
+        assert_eq!(report.error_count(), 1, "{}", report.render());
+        assert!(report.has_code(DiagCode::PanickingKernelCall));
+        let site = &report.diagnostics()[0].site;
+        assert!(site.contains("worker.rs:2"), "unexpected site {site}");
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]
@@ -147,6 +260,15 @@ mod tests {
         // the sharded kernels only.
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let report = lint_kernel_callsites(&root);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn this_workspace_serves_through_fallible_kernels() {
+        // Serving crates must reach shape-checked tensor ops through
+        // their `try_*` forms only (AD0111).
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = lint_panicking_callsites(&root);
         assert!(report.is_clean(), "{}", report.render());
     }
 }

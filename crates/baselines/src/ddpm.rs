@@ -1,7 +1,9 @@
 //! The unconditional pixel-space DDPM baseline.
 
 use crate::model::{BaselineConfig, GenerativeModel};
-use aero_diffusion::{CondUnet, DdpmSampler, DiffusionTrainer, TrainBatch, UnetConfig};
+use aero_diffusion::{
+    CondUnet, DdpmSampler, DiffusionTrainer, SampleOptions, Sampler, TrainBatch, UnetConfig,
+};
 use aero_scene::{AerialDataset, DatasetItem, Image};
 use aero_tensor::Tensor;
 use aerodiffusion::SubstrateBundle;
@@ -66,7 +68,11 @@ impl GenerativeModel for DdpmBaseline {
     fn generate(&self, _item: &DatasetItem, _bundle: &SubstrateBundle, rng: &mut StdRng) -> Image {
         let unet = self.unet.as_ref().expect("fit() must be called before generate()");
         let s = self.config.image_size;
-        let x = DdpmSampler::new().sample(unet, self.trainer.schedule(), &[1, 3, s, s], None, rng);
+        let x = Sampler::Ddpm(DdpmSampler::new()).run(
+            unet,
+            self.trainer.schedule(),
+            SampleOptions::from_rng(&[1, 3, s, s], rng),
+        );
         let rgb = x.add_scalar(1.0).mul_scalar(0.5).clamp(0.0, 1.0);
         Image::from_tensor(&rgb.reshape(&[3, s, s]))
     }

@@ -1,7 +1,9 @@
 //! Shared latent-diffusion machinery for the conditional baselines.
 
 use crate::model::BaselineConfig;
-use aero_diffusion::{CondUnet, DdimSampler, DiffusionTrainer, TrainBatch, UnetConfig};
+use aero_diffusion::{
+    CondUnet, DdimSampler, DiffusionTrainer, SampleOptions, Sampler, TrainBatch, UnetConfig,
+};
 use aero_scene::{AerialDataset, Image};
 use aero_tensor::Tensor;
 use aero_vision::vae::LATENT_CHANNELS;
@@ -95,12 +97,11 @@ impl LatentCore {
             self.config.diffusion.ddim_steps,
             self.config.diffusion.guidance_scale,
         );
-        let z = sampler.sample(
+        let z = Sampler::Ddim(sampler).run(
             unet,
             self.trainer.schedule(),
-            &[1, LATENT_CHANNELS, latent_side, latent_side],
-            Some(cond),
-            rng,
+            SampleOptions::from_rng(&[1, LATENT_CHANNELS, latent_side, latent_side], rng)
+                .with_cond(cond),
         );
         let decoded = bundle.vae.decode_tensor(&z);
         Image::from_tensor(&decoded.reshape(&[3, s, s]))

@@ -13,10 +13,17 @@
 //! with at least 4 cores; elsewhere the numbers are recorded honestly
 //! and the gate is reported as skipped.
 //!
+//! Also measures span-tracing overhead: the DDIM workload is re-timed
+//! inside an [`aero_obs::span::collect`] scope and the relative cost is
+//! recorded as `tracing_overhead_pct` (target <2%; recorded, not gated —
+//! single-core CI containers are too noisy to assert on).
+//!
 //! `BENCH_KERNELS_SMOKE=1` shrinks every workload to smoke size and
 //! skips the file write — used by CI as a threshold-free liveness check.
 
-use aero_diffusion::{BetaSchedule, CondUnet, DdimSampler, NoiseSchedule, UnetConfig};
+use aero_diffusion::{
+    BetaSchedule, CondUnet, DdimSampler, NoiseSchedule, SampleOptions, Sampler, UnetConfig,
+};
 use aero_serve::Json;
 use aero_tensor::parallel::with_threads;
 use aero_tensor::Tensor;
@@ -62,6 +69,24 @@ fn speedup(w: &Workload, threads: usize) -> f64 {
     w.best_us[0] as f64 / (w.best_us[i].max(1)) as f64
 }
 
+/// Best-of-`reps` wall time of `f` in microseconds. With `traced`, each
+/// run executes inside a span-collection scope (and the run is checked
+/// to have actually recorded spans, so the overhead number is honest).
+fn best_us<F: Fn() -> Tensor>(reps: usize, traced: bool, f: &F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let started = Instant::now();
+        if traced {
+            let (_, trace) = aero_obs::span::collect(f);
+            assert!(!trace.is_empty(), "traced run recorded no spans");
+        } else {
+            f();
+        }
+        best = best.min(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    best
+}
+
 fn main() {
     let smoke = std::env::var("BENCH_KERNELS_SMOKE").is_ok_and(|v| v == "1");
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
@@ -89,7 +114,11 @@ fn main() {
     let sampler = DdimSampler::new(if smoke { 2 } else { 8 }, 2.0);
     let z_init = Tensor::randn(&[1, 4, 8, 8], &mut rng);
     let ddim = measure("ddim_sample", if smoke { 1 } else { 2 }, || {
-        sampler.sample_from(&unet, &schedule, z_init.clone(), Some(&cond))
+        Sampler::Ddim(sampler).run(
+            &unet,
+            &schedule,
+            SampleOptions::from_latent(z_init.clone()).with_cond(&cond),
+        )
     });
 
     let workloads = [matmul, conv, step, ddim];
@@ -100,6 +129,28 @@ fn main() {
             w.name, w.best_us[0], w.best_us[1], w.best_us[2], w.best_us[3]
         );
     }
+
+    // Span-tracing overhead on the DDIM workload: best-of-N with the
+    // thread-local collector off vs. installed. Recorded, not gated —
+    // the <2% target is meaningful on quiet hosts only.
+    let trace_reps = if smoke { 2 } else { 8 };
+    let ddim_run = || {
+        Sampler::Ddim(sampler).run(
+            &unet,
+            &schedule,
+            SampleOptions::from_latent(z_init.clone()).with_cond(&cond),
+        )
+    };
+    ddim_run(); // warmup
+    let tracing_off_us = best_us(trace_reps, false, &ddim_run);
+    let tracing_on_us = best_us(trace_reps, true, &ddim_run);
+    let tracing_overhead_pct = (tracing_on_us as f64 - tracing_off_us as f64).max(0.0)
+        / tracing_off_us.max(1) as f64
+        * 100.0;
+    println!(
+        "tracing overhead on ddim_sample: {tracing_overhead_pct:.2}% \
+         ({tracing_off_us} µs off, {tracing_on_us} µs on; target <2%)"
+    );
 
     // The ≥2× speedup gate is only physically meaningful with ≥4 cores.
     let gated = !smoke && cores >= 4;
@@ -123,6 +174,9 @@ fn main() {
         ("available_parallelism", (cores as u64).into()),
         ("thread_counts", Json::Arr(THREAD_COUNTS.iter().map(|&t| (t as u64).into()).collect())),
         ("speedup_gate_armed", gated.into()),
+        ("tracing_off_us", tracing_off_us.into()),
+        ("tracing_on_us", tracing_on_us.into()),
+        ("tracing_overhead_pct", tracing_overhead_pct.into()),
         (
             "results",
             Json::Arr(

@@ -6,7 +6,8 @@
 //! than cross-condition samples, the UNet + sampler + CFG chain works.
 
 use aero_diffusion::{
-    CondUnet, DdimSampler, DiffusionConfig, DiffusionTrainer, TrainBatch, UnetConfig,
+    CondUnet, DdimSampler, DiffusionConfig, DiffusionTrainer, SampleOptions, Sampler, TrainBatch,
+    UnetConfig,
 };
 use aero_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -55,19 +56,19 @@ fn main() {
     let mut cross_sum = 0.0;
     #[allow(clippy::needless_range_loop)] // `i` indexes two rotated views, not one slice
     for i in 0..n_scenes {
-        let own = sampler.sample(
+        let own_cond = onehot(i);
+        let own = Sampler::Ddim(sampler).run(
             &unet,
             trainer.schedule(),
-            &[1, 4, 8, 8],
-            Some(&onehot(i)),
-            &mut StdRng::seed_from_u64(50 + i as u64),
+            SampleOptions::from_rng(&[1, 4, 8, 8], &mut StdRng::seed_from_u64(50 + i as u64))
+                .with_cond(&own_cond),
         );
-        let cross = sampler.sample(
+        let cross_cond = onehot((i + 1) % n_scenes);
+        let cross = Sampler::Ddim(sampler).run(
             &unet,
             trainer.schedule(),
-            &[1, 4, 8, 8],
-            Some(&onehot((i + 1) % n_scenes)),
-            &mut StdRng::seed_from_u64(50 + i as u64),
+            SampleOptions::from_rng(&[1, 4, 8, 8], &mut StdRng::seed_from_u64(50 + i as u64))
+                .with_cond(&cross_cond),
         );
         let target = latents[i].reshape(&[1, 4, 8, 8]);
         let d_own = own.sub(&target).powf(2.0).mean();

@@ -12,7 +12,7 @@
 use crate::config::PipelineConfig;
 use aero_analysis::{PipelineShapeDesc, Report, ShapeCtx};
 
-pub use aero_analysis::lint_kernel_callsites;
+pub use aero_analysis::{lint_kernel_callsites, lint_panicking_callsites};
 use aero_diffusion::UnetConfig;
 use aero_vision::vae::LATENT_CHANNELS;
 

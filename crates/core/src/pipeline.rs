@@ -4,9 +4,12 @@ use crate::ablation::AblationVariant;
 use crate::condition::{ConditionInputs, ConditionNetwork};
 use crate::config::PipelineConfig;
 use crate::substrate::{caption_dataset, SubstrateBundle};
-use aero_diffusion::{CheckpointConfig, CondUnet, DdimSampler, DiffusionTrainer, TrainCursor};
+use aero_diffusion::{
+    CheckpointConfig, CondUnet, DdimSampler, DiffusionTrainer, SampleOptions, Sampler, TrainCursor,
+};
 use aero_nn::optim::Adam;
 use aero_nn::Module;
+use aero_obs::span;
 use aero_scene::{AerialDataset, Annotation, DatasetItem, Image};
 use aero_tensor::Tensor;
 use aero_text::llm::{LlmProvider, SimulatedLlm};
@@ -296,13 +299,20 @@ impl AeroDiffusionPipeline {
                     .collect();
                 let refs: Vec<&Tensor> = z_refs.iter().collect();
                 let z0 = Tensor::stack(&refs);
+                let step_start = std::time::Instant::now();
+                let _step_span = span!("train.step");
                 opt.zero_grad();
                 let loss = self.trainer.loss(&self.unet, &z0, Some(&cond), rng);
                 let value = loss.value().item();
                 loss.backward();
                 opt.step();
+                drop(_step_span);
                 step += 1;
                 last_loss = Some(value);
+                aero_obs::counter!("train.steps").inc();
+                aero_obs::gauge!("train.last_loss").set(f64::from(value));
+                aero_obs::histogram!("train.step_time_us", aero_obs::Histogram::exponential_us())
+                    .observe(u64::try_from(step_start.elapsed().as_micros()).unwrap_or(u64::MAX));
                 if let Some(ckpt) = checkpoint {
                     if ckpt.every > 0 && step.is_multiple_of(ckpt.every) {
                         let cursor = TrainCursor {
@@ -415,6 +425,7 @@ impl AeroDiffusionPipeline {
     /// item, source caption `G` and target description `G'`. Deterministic
     /// in its inputs — the serving runtime caches the result per prompt.
     pub fn encode_condition(&self, item: &DatasetItem, caption_g: &str, g_prime: &str) -> Tensor {
+        let _span = span!("pipeline.encode_condition");
         let rois = self.propose_rois(&item.rendered.image);
         let inputs = [ConditionInputs {
             image: &item.rendered.image,
@@ -430,11 +441,17 @@ impl AeroDiffusionPipeline {
     /// `[n, cond_dim]`. Row `i` of the output depends only on row `i` of
     /// the inputs, so callers may batch freely without changing results.
     pub fn sample_latents(&self, sampler: &DdimSampler, z_init: Tensor, cond: &Tensor) -> Tensor {
-        sampler.sample_from(&self.unet, self.trainer.schedule(), z_init, Some(cond))
+        let _span = span!("pipeline.sample_latents");
+        Sampler::Ddim(*sampler).run(
+            &self.unet,
+            self.trainer.schedule(),
+            SampleOptions::from_latent(z_init).with_cond(cond),
+        )
     }
 
     /// Decode stage: one latent `[c, h, w]` through the VAE to an image.
     pub fn decode_latent(&self, z: &Tensor) -> Image {
+        let _span = span!("pipeline.decode_latent");
         let [c, h, w] = self.latent_shape();
         let decoded = self.bundle.vae.decode_tensor(&z.reshape(&[1, c, h, w]));
         let s = self.config.vision.image_size;

@@ -208,6 +208,7 @@ pub fn save_checkpoint(
     }
     fs::rename(&tmp_dir, &final_dir)?;
     prune(config)?;
+    aero_obs::counter!("train.checkpoint.saves").inc();
     Ok(final_dir)
 }
 
@@ -302,8 +303,14 @@ pub fn resume_latest(
     let mut skipped_corrupt = 0;
     for (_, path) in ckpts {
         match load_checkpoint(&path, params, opt) {
-            Ok(cursor) => return Ok(ResumeReport { cursor: Some(cursor), skipped_corrupt }),
-            Err(_) => skipped_corrupt += 1,
+            Ok(cursor) => {
+                aero_obs::counter!("train.checkpoint.resumes").inc();
+                return Ok(ResumeReport { cursor: Some(cursor), skipped_corrupt });
+            }
+            Err(_) => {
+                skipped_corrupt += 1;
+                aero_obs::counter!("train.checkpoint.corrupt_skipped").inc();
+            }
         }
     }
     Ok(ResumeReport { cursor: None, skipped_corrupt })

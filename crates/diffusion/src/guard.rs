@@ -22,7 +22,10 @@
 //!    rescaled to the threshold before stepping.
 //!
 //! Every decision is counted in [`GuardStats`] and returned as a
-//! [`GuardVerdict`] so callers can log and tests can assert.
+//! [`GuardVerdict`] so callers can log and tests can assert; each
+//! counter is also mirrored into the process-global `aero_obs` registry
+//! under `train.guard.*` so one metrics snapshot covers training
+//! health.
 
 use crate::trainer::{DiffusionTrainer, TrainBatch};
 use crate::unet::CondUnet;
@@ -146,12 +149,14 @@ impl TrainGuard {
     pub fn apply(&mut self, loss: &Var, loss_value: f32, opt: &mut Adam) -> GuardVerdict {
         if !loss_value.is_finite() {
             self.stats.nonfinite_losses += 1;
+            aero_obs::counter!("train.guard.nonfinite_losses").inc();
             return GuardVerdict::SkippedNonFiniteLoss;
         }
         if self.stats.steps >= self.config.warmup_steps {
             if let Some(ema) = self.ema {
                 if loss_value > self.config.spike_factor * ema {
                     self.stats.loss_spikes += 1;
+                    aero_obs::counter!("train.guard.loss_spikes").inc();
                     if let Some((values, state)) = &self.last_good {
                         for (p, value) in opt.params().iter().zip(values) {
                             p.assign(value.clone());
@@ -160,6 +165,7 @@ impl TrainGuard {
                         opt.restore_state(state)
                             .expect("last-good snapshot must match its own optimizer");
                         self.stats.rollbacks += 1;
+                        aero_obs::counter!("train.guard.rollbacks").inc();
                     }
                     return GuardVerdict::RolledBackSpike { loss: loss_value, ema };
                 }
@@ -169,6 +175,7 @@ impl TrainGuard {
         let norm = global_grad_norm(opt.params());
         if !norm.is_finite() {
             self.stats.nonfinite_grads += 1;
+            aero_obs::counter!("train.guard.nonfinite_grads").inc();
             return GuardVerdict::SkippedNonFiniteGrad;
         }
         let mut clipped = false;
@@ -184,9 +191,11 @@ impl TrainGuard {
             }
             clipped = true;
             self.stats.clipped += 1;
+            aero_obs::counter!("train.guard.clipped").inc();
         }
         opt.step();
         self.stats.steps += 1;
+        aero_obs::counter!("train.guard.steps").inc();
         self.ema = Some(match self.ema {
             Some(ema) => self.config.ema_beta * ema + (1.0 - self.config.ema_beta) * loss_value,
             None => loss_value,

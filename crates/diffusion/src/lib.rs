@@ -23,7 +23,7 @@ pub use checkpoint::{
     CheckpointConfig, CheckpointError, TrainCursor, TrainRun, TrainRunOptions,
 };
 pub use guard::{GuardConfig, GuardStats, GuardVerdict, TrainGuard};
-pub use sampler::{DdimSampler, DdpmSampler};
+pub use sampler::{DdimSampler, DdpmSampler, NoiseSpec, SampleOptions, Sampler};
 pub use schedule::{BetaSchedule, NoiseSchedule};
 pub use trainer::{DiffusionTrainer, TrainBatch};
 pub use unet::{CondUnet, UnetConfig};

@@ -1,9 +1,20 @@
 //! Reverse-process samplers: DDPM ancestral and DDIM with classifier-free
 //! guidance.
+//!
+//! The single public entry point is [`Sampler::run`], driven by a
+//! [`SampleOptions`] value that bundles the noise source
+//! ([`NoiseSpec`]), the optional condition, and an optional
+//! [`TraceSink`] receiving the span trace of the run. The per-variant
+//! methods that accreted across earlier revisions (`sample`,
+//! `sample_from`, `sample_with_streams`) survive one release as thin
+//! deprecated shims delegating here.
 
 use crate::schedule::NoiseSchedule;
 use crate::unet::CondUnet;
+use aero_obs::span;
+use aero_obs::TraceSink;
 use aero_tensor::Tensor;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Shared floor for every denominator of the reverse-process update rules
@@ -18,6 +29,186 @@ fn guarded_sqrt(x: f32) -> f32 {
     x.sqrt().max(DENOM_EPS)
 }
 
+/// Where a run's starting noise (and, for DDPM, per-step noise) comes
+/// from.
+///
+/// The three variants correspond to the three reproducibility contracts
+/// the workspace needs:
+///
+/// - [`Latent`](NoiseSpec::Latent): the caller fixed `z_T` explicitly —
+///   fully deterministic, the serving batcher's contract.
+/// - [`Shared`](NoiseSpec::Shared): all batch rows draw from one RNG —
+///   cheapest, but a row's output depends on its batch context.
+/// - [`PerSample`](NoiseSpec::PerSample): row `i` draws only from
+///   `rngs[i]`, so each row is identical whether it ran in a batch of 1
+///   or of 8.
+pub enum NoiseSpec<'a, R = StdRng> {
+    /// An explicit initial latent `z_T` of shape `[n, c, h, w]`.
+    ///
+    /// DDIM (η = 0) is fully deterministic from here. DDPM cannot run
+    /// from a bare latent — ancestral steps need fresh noise — so
+    /// [`Sampler::run`] panics on this combination.
+    Latent(Tensor),
+    /// Draw everything from one shared RNG; `shape` is `[n, c, h, w]`.
+    Shared {
+        /// Full batch shape `[n, c, h, w]`.
+        shape: &'a [usize],
+        /// The single RNG all rows share.
+        rng: &'a mut R,
+    },
+    /// One independent RNG stream per batch row; the batch size is
+    /// `rngs.len()` and `sample_shape` is the per-sample `[c, h, w]`.
+    PerSample {
+        /// Per-sample shape `[c, h, w]`.
+        sample_shape: &'a [usize],
+        /// One stream per row; must be non-empty.
+        rngs: &'a mut [R],
+    },
+}
+
+/// Options driving one [`Sampler::run`] call: noise source, optional
+/// condition, optional trace sink.
+pub struct SampleOptions<'a, R = StdRng> {
+    /// Where the run's noise comes from.
+    pub noise: NoiseSpec<'a, R>,
+    /// Conditioning batch `[n, cond_dim]`, or `None` for unconditional.
+    pub cond: Option<&'a Tensor>,
+    /// When set, the run executes under span collection and the
+    /// finished trace is handed to this sink. Observation never
+    /// perturbs the sampled tensor.
+    pub trace: Option<&'a mut dyn TraceSink>,
+}
+
+impl<'a> SampleOptions<'a, StdRng> {
+    /// Starts from an explicit initial latent (DDIM only). Named on the
+    /// `StdRng` instantiation so type inference works without an RNG in
+    /// sight.
+    pub fn from_latent(z_init: Tensor) -> Self {
+        SampleOptions { noise: NoiseSpec::Latent(z_init), cond: None, trace: None }
+    }
+}
+
+impl<'a, R: Rng> SampleOptions<'a, R> {
+    /// Draws all noise from one shared RNG; `shape` is `[n, c, h, w]`.
+    pub fn from_rng(shape: &'a [usize], rng: &'a mut R) -> Self {
+        SampleOptions { noise: NoiseSpec::Shared { shape, rng }, cond: None, trace: None }
+    }
+
+    /// One independent RNG stream per batch row (`sample_shape` is the
+    /// per-sample `[c, h, w]`; the batch size is `rngs.len()`).
+    pub fn from_streams(sample_shape: &'a [usize], rngs: &'a mut [R]) -> Self {
+        SampleOptions {
+            noise: NoiseSpec::PerSample { sample_shape, rngs },
+            cond: None,
+            trace: None,
+        }
+    }
+
+    /// Sets the conditioning batch.
+    #[must_use]
+    pub fn with_cond(mut self, cond: &'a Tensor) -> Self {
+        self.cond = Some(cond);
+        self
+    }
+
+    /// Sets the conditioning batch from an `Option` (ergonomic for
+    /// callers that already hold `Option<&Tensor>`).
+    #[must_use]
+    pub fn with_cond_opt(mut self, cond: Option<&'a Tensor>) -> Self {
+        self.cond = cond;
+        self
+    }
+
+    /// Collects the run's span trace into `sink`.
+    #[must_use]
+    pub fn with_trace(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+}
+
+/// A reverse-process sampler: the one public sampling entry point is
+/// [`Sampler::run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampler {
+    /// Deterministic DDIM with classifier-free guidance.
+    Ddim(DdimSampler),
+    /// Ancestral DDPM.
+    Ddpm(DdpmSampler),
+}
+
+impl Sampler {
+    /// Runs the reverse process described by `opts`.
+    ///
+    /// Emits `sampler.ddim` / `sampler.ddpm` spans with one
+    /// `unet.denoise_step` child per step; when `opts.trace` is set the
+    /// run executes under span collection and the finished trace goes
+    /// to the sink. Tracing never changes the returned tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked to run ancestral DDPM from a bare
+    /// [`NoiseSpec::Latent`] (the ancestral chain needs fresh per-step
+    /// noise), or when [`NoiseSpec::PerSample`] has no streams.
+    pub fn run<R: Rng>(
+        &self,
+        unet: &CondUnet,
+        schedule: &NoiseSchedule,
+        opts: SampleOptions<'_, R>,
+    ) -> Tensor {
+        let SampleOptions { noise, cond, trace } = opts;
+        match trace {
+            Some(sink) => {
+                let (out, trace) =
+                    aero_obs::span::collect(|| self.run_inner(unet, schedule, noise, cond));
+                sink.consume(&trace);
+                out
+            }
+            None => self.run_inner(unet, schedule, noise, cond),
+        }
+    }
+
+    fn run_inner<R: Rng>(
+        &self,
+        unet: &CondUnet,
+        schedule: &NoiseSchedule,
+        noise: NoiseSpec<'_, R>,
+        cond: Option<&Tensor>,
+    ) -> Tensor {
+        match self {
+            Sampler::Ddim(s) => {
+                let _span = span!("sampler.ddim");
+                let z_init = match noise {
+                    NoiseSpec::Latent(z) => z,
+                    NoiseSpec::Shared { shape, rng } => Tensor::randn(shape, rng),
+                    NoiseSpec::PerSample { sample_shape, rngs } => {
+                        assert!(!rngs.is_empty(), "need at least one RNG stream");
+                        stack_noise(sample_shape, rngs)
+                    }
+                };
+                s.denoise(unet, schedule, z_init, cond)
+            }
+            Sampler::Ddpm(s) => {
+                let _span = span!("sampler.ddpm");
+                match noise {
+                    NoiseSpec::Latent(_) => panic!(
+                        "ancestral DDPM needs fresh per-step noise; \
+                         pass NoiseSpec::Shared or NoiseSpec::PerSample (or use DDIM for a \
+                         deterministic run from a fixed latent)"
+                    ),
+                    NoiseSpec::Shared { shape, rng } => {
+                        s.ancestral_shared(unet, schedule, shape, cond, rng)
+                    }
+                    NoiseSpec::PerSample { sample_shape, rngs } => {
+                        assert!(!rngs.is_empty(), "need at least one RNG stream");
+                        s.ancestral_streams(unet, schedule, sample_shape, cond, rngs)
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Ancestral DDPM sampler (the paper's training-time scheduler family).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DdpmSampler;
@@ -28,14 +219,60 @@ impl DdpmSampler {
         DdpmSampler
     }
 
-    /// Samples a batch from pure noise: runs all `T` ancestral steps.
-    ///
-    /// `shape` is `[n, c, h, w]`; `cond` is `[n, cond_dim]` or `None`.
+    /// Deprecated shim for the consolidated entry point.
     ///
     /// All batch rows share `rng`, so a row's output depends on its batch
-    /// context; use [`DdpmSampler::sample_with_streams`] when each sample
-    /// must be reproducible independently of how it was batched.
+    /// context; use per-sample streams when each sample must be
+    /// reproducible independently of how it was batched.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use Sampler::Ddpm(self).run(unet, schedule, SampleOptions::from_rng(shape, rng))"
+    )]
     pub fn sample<R: Rng + ?Sized>(
+        &self,
+        unet: &CondUnet,
+        schedule: &NoiseSchedule,
+        shape: &[usize],
+        cond: Option<&Tensor>,
+        rng: &mut R,
+    ) -> Tensor {
+        let mut rng = rng;
+        Sampler::Ddpm(*self).run(
+            unet,
+            schedule,
+            SampleOptions::from_rng(shape, &mut rng).with_cond_opt(cond),
+        )
+    }
+
+    /// Deprecated shim for the consolidated entry point with per-sample
+    /// noise streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs` is empty.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use Sampler::Ddpm(self).run(unet, schedule, \
+                SampleOptions::from_streams(sample_shape, rngs))"
+    )]
+    pub fn sample_with_streams<R: Rng>(
+        &self,
+        unet: &CondUnet,
+        schedule: &NoiseSchedule,
+        sample_shape: &[usize],
+        cond: Option<&Tensor>,
+        rngs: &mut [R],
+    ) -> Tensor {
+        Sampler::Ddpm(*self).run(
+            unet,
+            schedule,
+            SampleOptions::from_streams(sample_shape, rngs).with_cond_opt(cond),
+        )
+    }
+
+    /// Runs all `T` ancestral steps with every row drawing from the one
+    /// shared `rng`. `shape` is `[n, c, h, w]`.
+    fn ancestral_shared<R: Rng + ?Sized>(
         &self,
         unet: &CondUnet,
         schedule: &NoiseSchedule,
@@ -47,6 +284,7 @@ impl DdpmSampler {
         let mut z = Tensor::randn(shape, rng);
         let mut ts = vec![0usize; n];
         for t in (0..schedule.timesteps()).rev() {
+            let _step = span!("unet.denoise_step");
             ts.fill(t);
             let eps_hat = unet.predict(&z, &ts, cond);
             let mean = self.posterior_mean(schedule, t, &z, &eps_hat);
@@ -60,19 +298,11 @@ impl DdpmSampler {
         z
     }
 
-    /// Samples a batch where every row draws its noise from its *own* RNG
-    /// stream: row `i`'s initial latent and all of its ancestral noise come
-    /// from `rngs[i]` alone, so the output row is identical whether the
-    /// request ran in a batch of 1 or of 8 (the serving batcher relies on
-    /// this).
-    ///
-    /// `sample_shape` is the per-sample `[c, h, w]`; the batch size is
-    /// `rngs.len()`; `cond` is `[n, cond_dim]` or `None`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rngs` is empty.
-    pub fn sample_with_streams<R: Rng>(
+    /// Runs all `T` ancestral steps where row `i`'s initial latent and
+    /// every ancestral draw come from `rngs[i]` alone, so the output row
+    /// is identical whether the request ran in a batch of 1 or of 8
+    /// (the serving batcher relies on this).
+    fn ancestral_streams<R: Rng>(
         &self,
         unet: &CondUnet,
         schedule: &NoiseSchedule,
@@ -81,10 +311,10 @@ impl DdpmSampler {
         rngs: &mut [R],
     ) -> Tensor {
         let n = rngs.len();
-        assert!(n > 0, "need at least one RNG stream");
         let mut z = stack_noise(sample_shape, rngs);
         let mut ts = vec![0usize; n];
         for t in (0..schedule.timesteps()).rev() {
+            let _step = span!("unet.denoise_step");
             ts.fill(t);
             let eps_hat = unet.predict(&z, &ts, cond);
             let mean = self.posterior_mean(schedule, t, &z, &eps_hat);
@@ -143,11 +373,11 @@ impl DdimSampler {
         DdimSampler { steps, guidance_scale, z0_clip: 3.0 }
     }
 
-    /// Samples a batch from pure noise.
-    ///
-    /// Draws the initial latent from `rng` and delegates to
-    /// [`DdimSampler::sample_from`]; with η = 0 that draw is the only
-    /// stochastic step.
+    /// Deprecated shim for the consolidated entry point.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use Sampler::Ddim(self).run(unet, schedule, SampleOptions::from_rng(shape, rng))"
+    )]
     pub fn sample<R: Rng + ?Sized>(
         &self,
         unet: &CondUnet,
@@ -156,7 +386,31 @@ impl DdimSampler {
         cond: Option<&Tensor>,
         rng: &mut R,
     ) -> Tensor {
-        self.sample_from(unet, schedule, Tensor::randn(shape, rng), cond)
+        let mut rng = rng;
+        Sampler::Ddim(*self).run(
+            unet,
+            schedule,
+            SampleOptions::from_rng(shape, &mut rng).with_cond_opt(cond),
+        )
+    }
+
+    /// Deprecated shim for the consolidated entry point.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use Sampler::Ddim(self).run(unet, schedule, SampleOptions::from_latent(z_init))"
+    )]
+    pub fn sample_from(
+        &self,
+        unet: &CondUnet,
+        schedule: &NoiseSchedule,
+        z_init: Tensor,
+        cond: Option<&Tensor>,
+    ) -> Tensor {
+        Sampler::Ddim(*self).run(
+            unet,
+            schedule,
+            SampleOptions::from_latent(z_init).with_cond_opt(cond),
+        )
     }
 
     /// Runs the deterministic reverse process from an explicit initial
@@ -170,7 +424,7 @@ impl DdimSampler {
     /// With a condition and `guidance_scale > 1`, each step evaluates the
     /// UNet twice (conditional + unconditional) and extrapolates:
     /// `ε = ε_u + g (ε_c − ε_u)`.
-    pub fn sample_from(
+    fn denoise(
         &self,
         unet: &CondUnet,
         schedule: &NoiseSchedule,
@@ -182,6 +436,7 @@ impl DdimSampler {
         let ts = schedule.ddim_timesteps(self.steps.min(schedule.timesteps()));
         let mut batch_ts = vec![0usize; n];
         for (i, &t) in ts.iter().enumerate() {
+            let _step = span!("unet.denoise_step");
             batch_ts.fill(t);
             let eps_hat = match cond {
                 Some(c) if self.guidance_scale != 1.0 => {
@@ -216,6 +471,7 @@ mod tests {
     use super::*;
     use crate::schedule::BetaSchedule;
     use crate::unet::UnetConfig;
+    use aero_obs::TableTraceSink;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -242,7 +498,11 @@ mod tests {
         let (unet, schedule) = tiny_setup();
         let mut rng = StdRng::seed_from_u64(2);
         let c = Tensor::randn(&[2, 3], &mut rng);
-        let out = DdpmSampler::new().sample(&unet, &schedule, &[2, 2, 8, 8], Some(&c), &mut rng);
+        let out = Sampler::Ddpm(DdpmSampler::new()).run(
+            &unet,
+            &schedule,
+            SampleOptions::from_rng(&[2, 2, 8, 8], &mut rng).with_cond(&c),
+        );
         assert_eq!(out.shape(), &[2, 2, 8, 8]);
         assert!(out.as_slice().iter().all(|v| v.is_finite()));
     }
@@ -252,8 +512,11 @@ mod tests {
         let (unet, schedule) = tiny_setup();
         let mut rng = StdRng::seed_from_u64(3);
         let c = Tensor::randn(&[1, 3], &mut rng);
-        let out =
-            DdimSampler::new(4, 2.0).sample(&unet, &schedule, &[1, 2, 8, 8], Some(&c), &mut rng);
+        let out = Sampler::Ddim(DdimSampler::new(4, 2.0)).run(
+            &unet,
+            &schedule,
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut rng).with_cond(&c),
+        );
         assert_eq!(out.shape(), &[1, 2, 8, 8]);
         assert!(out.as_slice().iter().all(|v| v.is_finite()));
     }
@@ -262,37 +525,33 @@ mod tests {
     fn ddim_deterministic_given_rng_seed() {
         let (unet, schedule) = tiny_setup();
         let c = Tensor::ones(&[1, 3]);
-        let a = DdimSampler::new(4, 1.0).sample(
+        let sampler = Sampler::Ddim(DdimSampler::new(4, 1.0));
+        let a = sampler.run(
             &unet,
             &schedule,
-            &[1, 2, 8, 8],
-            Some(&c),
-            &mut StdRng::seed_from_u64(5),
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(5)).with_cond(&c),
         );
-        let b = DdimSampler::new(4, 1.0).sample(
+        let b = sampler.run(
             &unet,
             &schedule,
-            &[1, 2, 8, 8],
-            Some(&c),
-            &mut StdRng::seed_from_u64(5),
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(5)).with_cond(&c),
         );
         assert_eq!(a, b);
     }
 
     #[test]
-    fn ddim_sample_matches_sample_from_on_same_noise() {
+    fn ddim_from_rng_matches_from_latent_on_same_noise() {
         let (unet, schedule) = tiny_setup();
         let c = Tensor::ones(&[1, 3]);
-        let sampler = DdimSampler::new(4, 2.0);
-        let via_rng = sampler.sample(
+        let sampler = Sampler::Ddim(DdimSampler::new(4, 2.0));
+        let via_rng = sampler.run(
             &unet,
             &schedule,
-            &[1, 2, 8, 8],
-            Some(&c),
-            &mut StdRng::seed_from_u64(8),
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(8)).with_cond(&c),
         );
         let noise = Tensor::randn(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(8));
-        let via_latent = sampler.sample_from(&unet, &schedule, noise, Some(&c));
+        let via_latent =
+            sampler.run(&unet, &schedule, SampleOptions::from_latent(noise).with_cond(&c));
         assert_eq!(via_rng, via_latent);
     }
 
@@ -306,16 +565,19 @@ mod tests {
         let noise_b = Tensor::randn(&[1, 2, 8, 8], &mut rng);
         let cond_a = Tensor::randn(&[1, 3], &mut rng);
         let cond_b = Tensor::randn(&[1, 3], &mut rng);
-        let sampler = DdimSampler::new(4, 2.0);
+        let sampler = Sampler::Ddim(DdimSampler::new(4, 2.0));
 
-        let batched = sampler.sample_from(
+        let batch_cond = Tensor::concat(&[&cond_a, &cond_b], 0);
+        let batched = sampler.run(
             &unet,
             &schedule,
-            Tensor::concat(&[&noise_a, &noise_b], 0),
-            Some(&Tensor::concat(&[&cond_a, &cond_b], 0)),
+            SampleOptions::from_latent(Tensor::concat(&[&noise_a, &noise_b], 0))
+                .with_cond(&batch_cond),
         );
-        let solo_a = sampler.sample_from(&unet, &schedule, noise_a, Some(&cond_a));
-        let solo_b = sampler.sample_from(&unet, &schedule, noise_b, Some(&cond_b));
+        let solo_a =
+            sampler.run(&unet, &schedule, SampleOptions::from_latent(noise_a).with_cond(&cond_a));
+        let solo_b =
+            sampler.run(&unet, &schedule, SampleOptions::from_latent(noise_b).with_cond(&cond_b));
 
         assert_eq!(batched.narrow(0, 0, 1), solo_a);
         assert_eq!(batched.narrow(0, 1, 1), solo_b);
@@ -326,27 +588,28 @@ mod tests {
         let (unet, schedule) = tiny_setup();
         let mut seed_rng = StdRng::seed_from_u64(13);
         let cond = Tensor::randn(&[2, 3], &mut seed_rng);
-        let sampler = DdpmSampler::new();
+        let sampler = Sampler::Ddpm(DdpmSampler::new());
 
         let mut batch_rngs = [StdRng::seed_from_u64(21), StdRng::seed_from_u64(22)];
-        let batched =
-            sampler.sample_with_streams(&unet, &schedule, &[2, 8, 8], Some(&cond), &mut batch_rngs);
-
-        let mut solo_a = [StdRng::seed_from_u64(21)];
-        let a = sampler.sample_with_streams(
+        let batched = sampler.run(
             &unet,
             &schedule,
-            &[2, 8, 8],
-            Some(&cond.narrow(0, 0, 1)),
-            &mut solo_a,
+            SampleOptions::from_streams(&[2, 8, 8], &mut batch_rngs).with_cond(&cond),
         );
-        let mut solo_b = [StdRng::seed_from_u64(22)];
-        let b = sampler.sample_with_streams(
+
+        let cond_a = cond.narrow(0, 0, 1);
+        let mut solo_a = [StdRng::seed_from_u64(21)];
+        let a = sampler.run(
             &unet,
             &schedule,
-            &[2, 8, 8],
-            Some(&cond.narrow(0, 1, 1)),
-            &mut solo_b,
+            SampleOptions::from_streams(&[2, 8, 8], &mut solo_a).with_cond(&cond_a),
+        );
+        let cond_b = cond.narrow(0, 1, 1);
+        let mut solo_b = [StdRng::seed_from_u64(22)];
+        let b = sampler.run(
+            &unet,
+            &schedule,
+            SampleOptions::from_streams(&[2, 8, 8], &mut solo_b).with_cond(&cond_b),
         );
 
         assert_eq!(batched.narrow(0, 0, 1), a);
@@ -357,20 +620,78 @@ mod tests {
     fn guidance_changes_output() {
         let (unet, schedule) = tiny_setup();
         let c = Tensor::ones(&[1, 3]);
-        let low = DdimSampler::new(4, 1.0).sample(
+        let low = Sampler::Ddim(DdimSampler::new(4, 1.0)).run(
             &unet,
             &schedule,
-            &[1, 2, 8, 8],
-            Some(&c),
-            &mut StdRng::seed_from_u64(6),
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(6)).with_cond(&c),
         );
-        let high = DdimSampler::new(4, 7.0).sample(
+        let high = Sampler::Ddim(DdimSampler::new(4, 7.0)).run(
             &unet,
             &schedule,
-            &[1, 2, 8, 8],
-            Some(&c),
-            &mut StdRng::seed_from_u64(6),
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(6)).with_cond(&c),
         );
         assert!(low.sub(&high).abs().max() > 1e-6);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_consolidated_entry_point() {
+        let (unet, schedule) = tiny_setup();
+        let c = Tensor::ones(&[1, 3]);
+
+        let ddim = DdimSampler::new(4, 2.0);
+        let via_shim =
+            ddim.sample(&unet, &schedule, &[1, 2, 8, 8], Some(&c), &mut StdRng::seed_from_u64(17));
+        let via_run = Sampler::Ddim(ddim).run(
+            &unet,
+            &schedule,
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(17)).with_cond(&c),
+        );
+        assert_eq!(via_shim, via_run);
+
+        let ddpm = DdpmSampler::new();
+        let mut shim_rngs = [StdRng::seed_from_u64(18)];
+        let shim_streams =
+            ddpm.sample_with_streams(&unet, &schedule, &[2, 8, 8], Some(&c), &mut shim_rngs);
+        let mut run_rngs = [StdRng::seed_from_u64(18)];
+        let run_streams = Sampler::Ddpm(ddpm).run(
+            &unet,
+            &schedule,
+            SampleOptions::from_streams(&[2, 8, 8], &mut run_rngs).with_cond(&c),
+        );
+        assert_eq!(shim_streams, run_streams);
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_output() {
+        let (unet, schedule) = tiny_setup();
+        let c = Tensor::ones(&[1, 3]);
+        let sampler = Sampler::Ddim(DdimSampler::new(4, 2.0));
+        let plain = sampler.run(
+            &unet,
+            &schedule,
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(23)).with_cond(&c),
+        );
+        let mut sink = TableTraceSink::new();
+        let traced = sampler.run(
+            &unet,
+            &schedule,
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(23))
+                .with_cond(&c)
+                .with_trace(&mut sink),
+        );
+        assert_eq!(plain, traced);
+        let rendered = sink.take_rendered();
+        assert!(rendered.contains("sampler.ddim"), "{rendered}");
+        assert!(rendered.contains("unet.denoise_step ×4"), "{rendered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "per-step noise")]
+    fn ddpm_from_latent_is_rejected() {
+        let (unet, schedule) = tiny_setup();
+        let z = Tensor::zeros(&[1, 2, 8, 8]);
+        let _ =
+            Sampler::Ddpm(DdpmSampler::new()).run(&unet, &schedule, SampleOptions::from_latent(z));
     }
 }

@@ -80,12 +80,18 @@ impl DiffusionTrainer {
         batch: &TrainBatch,
         rng: &mut R,
     ) -> f32 {
+        let _span = aero_obs::span!("train.step");
+        let start = std::time::Instant::now();
         opt.zero_grad();
         let cond_var = batch.cond.as_ref().map(|c| Var::constant(c.clone()));
         let loss = self.loss(unet, &batch.z0, cond_var.as_ref(), rng);
         let value = loss.value().item();
         loss.backward();
         opt.step();
+        aero_obs::counter!("train.steps").inc();
+        aero_obs::gauge!("train.last_loss").set(f64::from(value));
+        aero_obs::histogram!("train.step_time_us", aero_obs::Histogram::exponential_us())
+            .observe(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
         value
     }
 

@@ -1,0 +1,40 @@
+//! `aero-obs`: zero-dependency, offline, thread-safe observability for
+//! the AeroDiffusion stack.
+//!
+//! The crate provides three independent layers:
+//!
+//! - **Metrics** ([`metrics`]): typed [`Counter`]s, [`Gauge`]s and
+//!   [`Histogram`]s held in a [`Registry`]. The hot path is a single
+//!   relaxed atomic operation on a pre-resolved handle; name resolution
+//!   (one mutex-guarded map lookup) happens once, at handle-acquisition
+//!   time. A process-global registry ([`global`]) collects the
+//!   instrumentation baked into the tensor kernels, the diffusion
+//!   trainer and the pipeline; subsystems that need isolated counters
+//!   (the serving runtime, tests) own private [`Registry`] instances
+//!   and merge snapshots when reporting.
+//! - **Spans** ([`span`]): hierarchical wall-clock spans with monotonic
+//!   timing. Tracing is *opt-in per thread*: [`span::collect`] installs
+//!   a collector for the duration of a closure and returns the finished
+//!   [`Trace`]; outside a `collect` scope the [`span!`] macro costs one
+//!   thread-local read and a branch, and allocates nothing.
+//! - **Sinks** ([`sink`]): where finished traces go. [`NdjsonTraceSink`]
+//!   renders one JSON object per aggregated span path (the serve
+//!   server's wire format), [`TableTraceSink`] renders the
+//!   human-readable tree the `profile` CLI subcommand prints, and
+//!   [`NoopSink`] is an empty inline method the compiler erases.
+//!
+//! **Determinism guarantee:** nothing in this crate feeds back into
+//! computation. Counters count, spans time, sinks format — no numeric
+//! result anywhere in the workspace may depend on whether observation
+//! was enabled, and `tools/ci.sh` byte-compares a sampled image with
+//! tracing on and off to hold the line.
+
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use sink::{NdjsonTraceSink, NoopSink, TableTraceSink, TraceSink};
+pub use span::{SpanGuard, SpanNode, Trace};

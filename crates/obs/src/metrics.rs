@@ -1,0 +1,464 @@
+//! Typed counters, gauges and histograms in a thread-safe registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are shared `Arc`s
+//! resolved from a [`Registry`] by name once; every subsequent
+//! observation is a relaxed atomic operation with no locking, so
+//! instrumented hot paths (tensor kernels, per-request serving code)
+//! pay nanoseconds, not mutexes. Snapshots are point-in-time copies
+//! ordered by metric name, rendered either as an aligned text table or
+//! as NDJSON objects.
+//!
+//! Metric names are `&'static str` identifiers (`"tensor.matmul.calls"`);
+//! they are emitted verbatim into NDJSON, so they must not contain
+//! quotes or backslashes — which identifier-style dotted names never do.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point value (queue depth, last loss).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value (0.0 before the first `set`).
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations (latencies in
+/// microseconds, batch sizes).
+///
+/// Bucket `i` counts observations `<=` `bounds[i]`; one implicit
+/// overflow bucket counts everything above the last bound. `sum` and
+/// `count` are tracked exactly, so means are exact even though
+/// percentiles are bucket-resolution approximations.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bounds (plus
+    /// the implicit overflow bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    #[must_use]
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly ascending");
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds, buckets, sum: AtomicU64::new(0), count: AtomicU64::new(0) }
+    }
+
+    /// Exponential microsecond bounds `1, 2, 4, … ~67s`: the default
+    /// latency scale.
+    #[must_use]
+    pub fn exponential_us() -> Vec<u64> {
+        (0..27).map(|i| 1u64 << i).collect()
+    }
+
+    /// Linear bounds `0, 1, …, max`: the batch-occupancy scale, where
+    /// each bucket is one exact size.
+    #[must_use]
+    pub fn linear(max: u64) -> Vec<u64> {
+        (0..=max).collect()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of bounds and bucket counts.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending upper bounds; `buckets` has one extra overflow entry.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Exact sum of observed values.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// The upper bound of the bucket containing quantile `q` (0..=1) —
+    /// a bucket-resolution approximation. Returns 0 when empty; the
+    /// overflow bucket reports the last finite bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(*self.bounds.last().expect("bounds"));
+            }
+        }
+        *self.bounds.last().expect("bounds")
+    }
+
+    /// Mean of observed values (exact, from `sum`/`count`).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A named family of metrics. Instantiable — the serving runtime owns a
+/// private registry per runtime so concurrent runtimes (and tests)
+/// never share counters — with one process-global instance ([`global`])
+/// for ambient instrumentation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Metric maps hold only atomics; a panic mid-insert cannot leave
+    // them in a state worth poisoning every other thread over.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    #[must_use]
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(lock(&self.counters).entry(name).or_default())
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(lock(&self.gauges).entry(name).or_insert_with(|| Arc::new(Gauge::new())))
+    }
+
+    /// The histogram registered under `name`, creating it with `bounds`
+    /// on first use (later calls ignore `bounds` and return the
+    /// existing instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a first-use `bounds` is empty or not ascending.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str, bounds: &[u64]) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new(bounds.to_vec()))),
+        )
+    }
+
+    /// A consistent point-in-time copy of every registered metric,
+    /// ordered by name.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters).iter().map(|(&n, c)| (n.into(), c.get())).collect(),
+            gauges: lock(&self.gauges).iter().map(|(&n, g)| (n.into(), g.get())).collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(&n, h)| (n.into(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-global registry for ambient instrumentation (tensor
+/// kernels, diffusion training, pipeline stages).
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Resolves a process-global [`Counter`] once per call site and caches
+/// the `Arc` handle in a static, so the per-call cost after the first
+/// hit is one relaxed atomic add.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::global().counter($name)).as_ref()
+    }};
+}
+
+/// Resolves a process-global [`Gauge`] once per call site and caches
+/// the `Arc` handle in a static.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::global().gauge($name)).as_ref()
+    }};
+}
+
+/// Resolves a process-global [`Histogram`] once per call site and
+/// caches the `Arc` handle in a static. The bounds expression is
+/// evaluated only on the first hit.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $bounds:expr) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::global().histogram($name, &$bounds)).as_ref()
+    }};
+}
+
+/// A point-in-time copy of a registry, ordered by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` per histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Appends another snapshot's metrics (used to merge a subsystem
+    /// registry with the global one into a single report).
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        self.counters.sort();
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// The counter total under `name`, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// An aligned human-readable table of every metric.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:<width$}  {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name:<width$}  {v:.3}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<width$}  count {}  mean {:.1}  p50 {}  p99 {}\n",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+            ));
+        }
+        out
+    }
+
+    /// One NDJSON line per metric (`{"metric":…,"type":…,…}`). Names
+    /// are emitted verbatim; see the module docs for the identifier
+    /// constraint that makes this safe without an escaper.
+    #[must_use]
+    pub fn render_ndjson(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (name, v) in &self.counters {
+            lines.push(format!("{{\"metric\":\"{name}\",\"type\":\"counter\",\"value\":{v}}}"));
+        }
+        for (name, v) in &self.gauges {
+            lines.push(format!("{{\"metric\":\"{name}\",\"type\":\"gauge\",\"value\":{v}}}"));
+        }
+        for (name, h) in &self.histograms {
+            let buckets: Vec<String> = h
+                .bounds
+                .iter()
+                .map(ToString::to_string)
+                .chain(std::iter::once("null".to_string()))
+                .zip(&h.buckets)
+                .map(|(le, c)| format!("[{le},{c}]"))
+                .collect();
+            lines.push(format!(
+                "{{\"metric\":\"{name}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\
+                 \"buckets\":[{}]}}",
+                h.count,
+                h.sum,
+                buckets.join(",")
+            ));
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("test.events");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name resolves to the same instance.
+        assert_eq!(r.counter("test.events").get(), 5);
+        let g = r.gauge("test.depth");
+        g.set(3.5);
+        assert_eq!(r.gauge("test.depth").get(), 3.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(vec![1, 2, 4, 8]);
+        for v in [0, 1, 2, 3, 5, 9, 100] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 120);
+        // <=1: {0,1}, <=2: {2}, <=4: {3}, <=8: {5}, overflow: {9,100}
+        assert_eq!(s.buckets, vec![2, 1, 1, 1, 2]);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.quantile(0.5), 4);
+        assert_eq!(s.quantile(1.0), 8); // overflow reports the last bound
+        assert!((s.mean() - 120.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let s = Histogram::new(Histogram::exponential_us()).snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_merges() {
+        let a = Registry::new();
+        a.counter("b.second").inc();
+        a.counter("a.first").add(2);
+        let mut snap = a.snapshot();
+        assert_eq!(snap.counters[0].0, "a.first");
+        let b = Registry::new();
+        b.counter("a.extra").add(7);
+        snap.merge(b.snapshot());
+        assert_eq!(snap.counter("a.extra"), Some(7));
+        assert_eq!(snap.counters.len(), 3);
+        assert_eq!(snap.counters[0].0, "a.extra");
+    }
+
+    #[test]
+    fn ndjson_lines_are_wellformed() {
+        let r = Registry::new();
+        r.counter("x.calls").add(3);
+        r.histogram("x.lat", &[1, 10]).observe(5);
+        let lines = r.snapshot().render_ndjson();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"metric\":\"x.calls\""));
+        assert!(lines[1].contains("\"buckets\":[[1,0],[10,1],[null,0]]"), "{}", lines[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![4, 2]);
+    }
+}

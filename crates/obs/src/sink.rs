@@ -1,0 +1,119 @@
+//! Pluggable destinations for finished traces.
+//!
+//! A [`TraceSink`] receives each finished [`Trace`] and decides how to
+//! persist or render it. The three built-ins cover the workspace's
+//! needs: [`NoopSink`] (an empty inline method the compiler erases),
+//! [`NdjsonTraceSink`] (one JSON object per aggregated span path — the
+//! serve server's wire format), and [`TableTraceSink`] (the indented
+//! human-readable tree the `profile` CLI subcommand prints).
+
+use crate::span::Trace;
+
+/// A destination for finished traces.
+pub trait TraceSink {
+    /// Consumes one finished trace.
+    fn consume(&mut self, trace: &Trace);
+}
+
+/// Discards every trace. `consume` is an empty inline method, so a
+/// generic caller monomorphised over `NoopSink` compiles the sink call
+/// away entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline(always)]
+    fn consume(&mut self, _trace: &Trace) {}
+}
+
+/// Buffers each trace as NDJSON lines — one JSON object per aggregated
+/// span path. Drain with [`take_lines`](NdjsonTraceSink::take_lines).
+#[derive(Debug, Default)]
+pub struct NdjsonTraceSink {
+    lines: Vec<String>,
+}
+
+impl NdjsonTraceSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        NdjsonTraceSink::default()
+    }
+
+    /// Returns and clears the buffered NDJSON lines.
+    pub fn take_lines(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.lines)
+    }
+}
+
+impl TraceSink for NdjsonTraceSink {
+    fn consume(&mut self, trace: &Trace) {
+        self.lines.extend(trace.render_ndjson_objects());
+    }
+}
+
+/// Buffers each trace as the indented tree [`Trace::render_tree`]
+/// produces. Drain with [`take_rendered`](TableTraceSink::take_rendered).
+#[derive(Debug, Default)]
+pub struct TableTraceSink {
+    rendered: String,
+}
+
+impl TableTraceSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        TableTraceSink::default()
+    }
+
+    /// Returns and clears the accumulated rendered text.
+    pub fn take_rendered(&mut self) -> String {
+        std::mem::take(&mut self.rendered)
+    }
+}
+
+impl TraceSink for TableTraceSink {
+    fn consume(&mut self, trace: &Trace) {
+        self.rendered.push_str(&trace.render_tree());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{collect, enter};
+
+    fn sample_trace() -> Trace {
+        let (_, trace) = collect(|| {
+            let _root = enter("root");
+            let _leaf = enter("leaf");
+        });
+        trace
+    }
+
+    #[test]
+    fn noop_sink_accepts_traces() {
+        let mut sink = NoopSink;
+        sink.consume(&sample_trace());
+    }
+
+    #[test]
+    fn ndjson_sink_buffers_and_drains() {
+        let mut sink = NdjsonTraceSink::new();
+        sink.consume(&sample_trace());
+        let lines = sink.take_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"span\":\"root\""), "{}", lines[0]);
+        assert!(sink.take_lines().is_empty());
+    }
+
+    #[test]
+    fn table_sink_renders_tree() {
+        let mut sink = TableTraceSink::new();
+        sink.consume(&sample_trace());
+        let text = sink.take_rendered();
+        assert!(text.contains("root"), "{text}");
+        assert!(text.contains("  leaf"), "{text}");
+        assert!(sink.take_rendered().is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based invariants for the metrics layer.
+
+use aero_obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucket counts (including overflow) always sum to the observation
+    /// count, and the exact sum matches.
+    #[test]
+    fn histogram_buckets_sum_to_count(values in prop::collection::vec(0u64..200_000, 0..200)) {
+        let hist = Histogram::new(Histogram::exponential_us());
+        for &v in &values {
+            hist.observe(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.buckets.len(), snap.bounds.len() + 1);
+    }
+
+    /// Each observation lands in exactly the first bucket whose bound
+    /// admits it.
+    #[test]
+    fn observation_lands_in_correct_bucket(v in 0u64..100_000) {
+        let bounds = Histogram::exponential_us();
+        let hist = Histogram::new(bounds.clone());
+        hist.observe(v);
+        let snap = hist.snapshot();
+        let expected = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+        for (i, &c) in snap.buckets.iter().enumerate() {
+            prop_assert_eq!(c, u64::from(i == expected), "value {} bucket {}", v, i);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by the bucket range.
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(0u64..10_000, 1..100)) {
+        let hist = Histogram::new(Histogram::exponential_us());
+        for &v in &values {
+            hist.observe(v);
+        }
+        let snap = hist.snapshot();
+        let p50 = snap.quantile(0.5);
+        let p90 = snap.quantile(0.9);
+        let p99 = snap.quantile(0.99);
+        prop_assert!(p50 <= p90 && p90 <= p99, "{} {} {}", p50, p90, p99);
+        let max = *values.iter().max().expect("nonempty");
+        // The containing bucket's upper bound is >= the true quantile value.
+        prop_assert!(p99 >= max.min(snap.bounds[snap.bounds.len() - 1]) / 2);
+    }
+}

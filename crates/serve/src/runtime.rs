@@ -233,7 +233,10 @@ impl ServeRuntime {
         let ordinal = self.next_ordinal.fetch_add(1, Ordering::SeqCst);
         let pending = Pending { request, ordinal, enqueued: now, deadline, responder: tx };
         match self.queue.push(pending) {
-            Ok(()) => Ok(ResponseHandle { id, rx, stats: Arc::clone(&self.stats) }),
+            Ok(()) => {
+                self.stats.set_queue_depth(self.queue.len());
+                Ok(ResponseHandle { id, rx, stats: Arc::clone(&self.stats) })
+            }
             Err(reason) => {
                 self.stats.record_rejected(&reason);
                 Err(reason)
@@ -251,6 +254,14 @@ impl ServeRuntime {
     #[must_use]
     pub fn stats(&self) -> StatsReport {
         self.stats.report()
+    }
+
+    /// The unified metric snapshot: this runtime's serving counters
+    /// merged with the process-global ambient metrics (tensor kernels,
+    /// sampler spans, training counters).
+    #[must_use]
+    pub fn metrics(&self) -> aero_obs::MetricsSnapshot {
+        self.stats.metrics_snapshot()
     }
 
     /// Graceful drain: stops admitting work, lets the workers finish
@@ -402,6 +413,7 @@ fn serve_batch(
     config: &ServeConfig,
 ) -> bool {
     let dequeued = Instant::now();
+    shared.stats.set_queue_depth(shared.queue.len());
     // Pull this batch's scheduled faults up front. KillWorker must fire
     // before any request is served: the whole batch goes back to the
     // queue (so a replacement finishes it), any other faults taken with

@@ -6,12 +6,16 @@
 //! collector thread resolves the reply handles in FIFO order so output
 //! lines line up with input lines. `stats` requests are resolved when the
 //! collector reaches them, i.e. after every earlier request has been
-//! answered, which makes transcript stats deterministic.
+//! answered, which makes transcript stats deterministic. `metrics`
+//! requests work the same way but return the unified metric registry —
+//! serving counters merged with the process-global ambient metrics
+//! (tensor kernels, sampler spans, training counters) — as one line.
 
 use crate::json::Json;
 use crate::request::{GenerateRequest, ServeReply};
 use crate::runtime::{ResponseHandle, ServeRuntime};
 use crate::stats::StatsReport;
+use aero_obs::MetricsSnapshot;
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
 
@@ -23,6 +27,43 @@ enum Entry {
     Immediate(Json),
     /// A stats probe, resolved when the collector reaches it.
     Stats,
+    /// A unified-metrics probe, resolved when the collector reaches it.
+    Metrics,
+}
+
+/// The single-line `{"type":"metrics",…}` wire form of a merged
+/// snapshot: counters and gauges verbatim, histograms summarized to
+/// `count`/`sum`/`mean`/`p50`/`p99` (full buckets stay available through
+/// the `profile` CLI's NDJSON export).
+fn metrics_json(snap: &MetricsSnapshot) -> Json {
+    Json::obj(vec![
+        ("type", "metrics".into()),
+        (
+            "counters",
+            Json::Obj(snap.counters.iter().map(|(n, v)| (n.clone(), (*v).into())).collect()),
+        ),
+        ("gauges", Json::Obj(snap.gauges.iter().map(|(n, v)| (n.clone(), (*v).into())).collect())),
+        (
+            "histograms",
+            Json::Obj(
+                snap.histograms
+                    .iter()
+                    .map(|(n, h)| {
+                        (
+                            n.clone(),
+                            Json::obj(vec![
+                                ("count", h.count.into()),
+                                ("sum", h.sum.into()),
+                                ("mean", h.mean().into()),
+                                ("p50", h.quantile(0.5).into()),
+                                ("p99", h.quantile(0.99).into()),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// A `{"type":"error",…}` line for input that never became a request.
@@ -56,6 +97,7 @@ pub fn serve_ndjson(
                     Entry::Reply(handle) => handle.wait().to_json(),
                     Entry::Immediate(json) => json,
                     Entry::Stats => runtime.stats().to_json(),
+                    Entry::Metrics => metrics_json(&runtime.metrics()),
                 };
                 writeln!(output, "{}", reply.render())?;
                 output.flush()?;
@@ -90,6 +132,7 @@ fn read_loop(
             Err(e) => Entry::Immediate(bad_request(&fallback_id, &format!("invalid JSON: {e}"))),
             Ok(v) => match v.get("type").and_then(Json::as_str).unwrap_or("generate") {
                 "stats" => Entry::Stats,
+                "metrics" => Entry::Metrics,
                 "generate" => match GenerateRequest::from_json(&v, &fallback_id) {
                     Err(detail) => Entry::Immediate(bad_request(&fallback_id, &detail)),
                     Ok(request) => {

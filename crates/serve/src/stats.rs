@@ -1,183 +1,223 @@
 //! Aggregate serving statistics, queryable live via the `stats` request
 //! type and returned once more by a graceful shutdown.
+//!
+//! The collector is a thin veneer over a private [`aero_obs::Registry`]:
+//! every count lands in a named metric (`serve.completed`,
+//! `serve.rejected.queue_full`, `serve.batch_occupancy`, …) so the same
+//! numbers surface both through the legacy [`StatsReport`] wire form and
+//! through the unified `metrics` endpoint, which merges this registry
+//! with the process-global one (tensor kernels, sampler spans, training
+//! counters). The registry is per-collector — concurrent runtimes and
+//! tests never share serving counters — and every observation is a
+//! relaxed atomic, so there is no stats mutex left to contend or poison.
 
 use crate::json::Json;
 use crate::request::{RejectReason, StageLatency};
-use std::sync::Mutex;
+use aero_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use std::sync::Arc;
 
-#[derive(Debug, Default)]
-struct Inner {
-    completed: u64,
-    rejected_full: u64,
-    rejected_deadline: u64,
-    rejected_shutdown: u64,
-    rejected_worker: u64,
-    rejected_worker_error: u64,
-    worker_panics: u64,
-    worker_restarts: u64,
-    hydration_failures: u64,
-    nonfinite_outputs: u64,
-    cache_corruptions: u64,
-    cache_hits: u64,
-    cache_misses: u64,
-    /// `batch_hist[n]` counts sampler calls coalesced over `n` requests.
-    batch_hist: Vec<u64>,
-    queue_us: u64,
-    encode_us: u64,
-    sample_us: u64,
-    decode_us: u64,
-}
+/// Largest batch size tracked with an exact linear bucket; coalesced
+/// calls beyond it fold into the overflow bucket. Comfortably above any
+/// realistic `max_batch`.
+const BATCH_OCCUPANCY_MAX: u64 = 64;
 
 /// Thread-safe accumulator shared by submitters and workers.
-#[derive(Debug, Default)]
+///
+/// All handles are pre-resolved `Arc`s into the private registry, so the
+/// record paths are lock-free atomic adds.
+#[derive(Debug)]
 pub struct StatsCollector {
-    inner: Mutex<Inner>,
+    registry: Registry,
+    completed: Arc<Counter>,
+    rejected_full: Arc<Counter>,
+    rejected_deadline: Arc<Counter>,
+    rejected_shutdown: Arc<Counter>,
+    rejected_worker: Arc<Counter>,
+    rejected_worker_error: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    worker_restarts: Arc<Counter>,
+    hydration_failures: Arc<Counter>,
+    nonfinite_outputs: Arc<Counter>,
+    cache_corruptions: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    queue_us: Arc<Counter>,
+    encode_us: Arc<Counter>,
+    sample_us: Arc<Counter>,
+    decode_us: Arc<Counter>,
+    batch_occupancy: Arc<Histogram>,
+    e2e_us: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+}
+
+impl Default for StatsCollector {
+    fn default() -> Self {
+        StatsCollector::new()
+    }
 }
 
 impl StatsCollector {
-    /// Creates an empty collector.
+    /// Creates an empty collector with its own metric registry.
     #[must_use]
     pub fn new() -> Self {
-        StatsCollector::default()
+        let registry = Registry::new();
+        StatsCollector {
+            completed: registry.counter("serve.completed"),
+            rejected_full: registry.counter("serve.rejected.queue_full"),
+            rejected_deadline: registry.counter("serve.rejected.deadline_exceeded"),
+            rejected_shutdown: registry.counter("serve.rejected.shutting_down"),
+            rejected_worker: registry.counter("serve.rejected.worker_failure"),
+            rejected_worker_error: registry.counter("serve.rejected.worker_error"),
+            worker_panics: registry.counter("serve.fault.worker_panics"),
+            worker_restarts: registry.counter("serve.fault.worker_restarts"),
+            hydration_failures: registry.counter("serve.fault.hydration_failures"),
+            nonfinite_outputs: registry.counter("serve.fault.nonfinite_outputs"),
+            cache_corruptions: registry.counter("serve.fault.cache_corruptions"),
+            cache_hits: registry.counter("serve.cache.hits"),
+            cache_misses: registry.counter("serve.cache.misses"),
+            queue_us: registry.counter("serve.latency.queue_us_total"),
+            encode_us: registry.counter("serve.latency.encode_us_total"),
+            sample_us: registry.counter("serve.latency.sample_us_total"),
+            decode_us: registry.counter("serve.latency.decode_us_total"),
+            batch_occupancy: registry
+                .histogram("serve.batch_occupancy", &Histogram::linear(BATCH_OCCUPANCY_MAX)),
+            e2e_us: registry.histogram("serve.request.e2e_us", &Histogram::exponential_us()),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            registry,
+        }
     }
 
     /// Records one coalesced sampler call over `n` requests.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats mutex was poisoned.
     pub fn record_batch(&self, n: usize) {
-        let mut inner = self.inner.lock().expect("stats lock");
-        if inner.batch_hist.len() <= n {
-            inner.batch_hist.resize(n + 1, 0);
-        }
-        inner.batch_hist[n] += 1;
+        self.batch_occupancy.observe(u64::try_from(n).unwrap_or(u64::MAX));
     }
 
     /// Records one served request's latency breakdown and cache outcome.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats mutex was poisoned.
     pub fn record_completed(&self, latency: StageLatency, cache_hit: bool) {
-        let mut inner = self.inner.lock().expect("stats lock");
-        inner.completed += 1;
-        inner.queue_us += latency.queue_us;
-        inner.encode_us += latency.encode_us;
-        inner.sample_us += latency.sample_us;
-        inner.decode_us += latency.decode_us;
+        self.completed.inc();
+        self.queue_us.add(latency.queue_us);
+        self.encode_us.add(latency.encode_us);
+        self.sample_us.add(latency.sample_us);
+        self.decode_us.add(latency.decode_us);
+        self.e2e_us.observe(
+            latency
+                .queue_us
+                .saturating_add(latency.encode_us)
+                .saturating_add(latency.sample_us)
+                .saturating_add(latency.decode_us),
+        );
         if cache_hit {
-            inner.cache_hits += 1;
+            self.cache_hits.inc();
         } else {
-            inner.cache_misses += 1;
+            self.cache_misses.inc();
         }
     }
 
     /// Records one rejection by reason.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats mutex was poisoned.
     pub fn record_rejected(&self, reason: &RejectReason) {
-        let mut inner = self.inner.lock().expect("stats lock");
         match reason {
-            RejectReason::QueueFull { .. } => inner.rejected_full += 1,
-            RejectReason::DeadlineExceeded => inner.rejected_deadline += 1,
-            RejectReason::ShuttingDown => inner.rejected_shutdown += 1,
-            RejectReason::WorkerFailure => inner.rejected_worker += 1,
-            RejectReason::WorkerError { .. } => inner.rejected_worker_error += 1,
+            RejectReason::QueueFull { .. } => self.rejected_full.inc(),
+            RejectReason::DeadlineExceeded => self.rejected_deadline.inc(),
+            RejectReason::ShuttingDown => self.rejected_shutdown.inc(),
+            RejectReason::WorkerFailure => self.rejected_worker.inc(),
+            RejectReason::WorkerError { .. } => self.rejected_worker_error.inc(),
         }
     }
 
     /// Records one caught in-worker panic (the request got a typed
     /// `worker_error` reply; the worker is respawned by the watchdog).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats mutex was poisoned.
     pub fn record_worker_panic(&self) {
-        self.inner.lock().expect("stats lock").worker_panics += 1;
+        self.worker_panics.inc();
     }
 
     /// Records one worker respawned by the watchdog.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats mutex was poisoned.
     pub fn record_worker_restart(&self) {
-        self.inner.lock().expect("stats lock").worker_restarts += 1;
+        self.worker_restarts.inc();
     }
 
     /// Records one failed snapshot hydration (a worker that could not
     /// build its replica and exited).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats mutex was poisoned.
     pub fn record_hydration_failure(&self) {
-        self.inner.lock().expect("stats lock").hydration_failures += 1;
+        self.hydration_failures.inc();
     }
 
     /// Records one sampler output rejected for containing non-finite
     /// values instead of being decoded and returned.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats mutex was poisoned.
     pub fn record_nonfinite_output(&self) {
-        self.inner.lock().expect("stats lock").nonfinite_outputs += 1;
+        self.nonfinite_outputs.inc();
     }
 
     /// Records one condition-cache entry discarded as corrupt (non-finite
     /// values) and recomputed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats mutex was poisoned.
     pub fn record_cache_corruption(&self) {
-        self.inner.lock().expect("stats lock").cache_corruptions += 1;
+        self.cache_corruptions.inc();
     }
 
-    /// A consistent point-in-time report.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats mutex was poisoned.
+    /// Publishes the current queue depth (requests waiting).
+    pub fn set_queue_depth(&self, depth: usize) {
+        #[allow(clippy::cast_precision_loss)]
+        self.queue_depth.set(depth as f64);
+    }
+
+    /// A consistent point-in-time report in the legacy aggregate shape.
     #[must_use]
     pub fn report(&self) -> StatsReport {
-        let inner = self.inner.lock().expect("stats lock");
-        let lookups = inner.cache_hits + inner.cache_misses;
+        let completed = self.completed.get();
+        let hits = self.cache_hits.get();
+        let lookups = hits + self.cache_misses.get();
         let mean = |total_us: u64| {
-            if inner.completed == 0 {
+            if completed == 0 {
                 0.0
             } else {
-                total_us as f64 / inner.completed as f64
+                total_us as f64 / completed as f64
             }
         };
         StatsReport {
-            completed: inner.completed,
-            rejected_queue_full: inner.rejected_full,
-            rejected_deadline: inner.rejected_deadline,
-            rejected_shutting_down: inner.rejected_shutdown,
-            rejected_worker_failure: inner.rejected_worker,
-            rejected_worker_error: inner.rejected_worker_error,
-            worker_panics: inner.worker_panics,
-            worker_restarts: inner.worker_restarts,
-            hydration_failures: inner.hydration_failures,
-            nonfinite_outputs: inner.nonfinite_outputs,
-            cache_corruptions: inner.cache_corruptions,
-            cache_hit_rate: if lookups == 0 {
-                0.0
-            } else {
-                inner.cache_hits as f64 / lookups as f64
-            },
-            batch_size_hist: inner.batch_hist.clone(),
-            mean_queue_us: mean(inner.queue_us),
-            mean_encode_us: mean(inner.encode_us),
-            mean_sample_us: mean(inner.sample_us),
-            mean_decode_us: mean(inner.decode_us),
+            completed,
+            rejected_queue_full: self.rejected_full.get(),
+            rejected_deadline: self.rejected_deadline.get(),
+            rejected_shutting_down: self.rejected_shutdown.get(),
+            rejected_worker_failure: self.rejected_worker.get(),
+            rejected_worker_error: self.rejected_worker_error.get(),
+            worker_panics: self.worker_panics.get(),
+            worker_restarts: self.worker_restarts.get(),
+            hydration_failures: self.hydration_failures.get(),
+            nonfinite_outputs: self.nonfinite_outputs.get(),
+            cache_corruptions: self.cache_corruptions.get(),
+            cache_hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+            batch_size_hist: batch_hist_from(&self.batch_occupancy.snapshot()),
+            mean_queue_us: mean(self.queue_us.get()),
+            mean_encode_us: mean(self.encode_us.get()),
+            mean_sample_us: mean(self.sample_us.get()),
+            mean_decode_us: mean(self.decode_us.get()),
         }
     }
+
+    /// Every serving metric plus the process-global ambient metrics
+    /// (tensor kernels, training counters, pipeline gauges) in one
+    /// name-ordered snapshot: the payload behind the `metrics` request.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.merge(aero_obs::global().snapshot());
+        snap
+    }
+}
+
+/// Reconstructs the legacy dense `hist[n]` vector from the linear
+/// occupancy histogram: bucket `n` holds exactly the batches of size
+/// `n`, overflow folds into the last tracked size, trailing zeros are
+/// trimmed so an idle collector reports an empty vector.
+fn batch_hist_from(snapshot: &aero_obs::HistogramSnapshot) -> Vec<u64> {
+    let mut hist = snapshot.buckets.clone();
+    let overflow = hist.pop().unwrap_or(0);
+    if let Some(last) = hist.last_mut() {
+        *last += overflow;
+    }
+    while hist.last() == Some(&0) {
+        hist.pop();
+    }
+    hist
 }
 
 /// A snapshot of the aggregate counters.
@@ -323,6 +363,7 @@ mod tests {
         assert_eq!(r.completed, 0);
         assert_eq!(r.cache_hit_rate, 0.0);
         assert_eq!(r.mean_queue_us, 0.0);
+        assert_eq!(r.batch_size_hist, Vec::<u64>::new());
     }
 
     #[test]
@@ -334,5 +375,48 @@ mod tests {
         let v = Json::parse(&wire).unwrap();
         assert_eq!(v.get("type").and_then(Json::as_str), Some("stats"));
         assert_eq!(v.get("completed").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn registry_backs_the_report() {
+        let stats = StatsCollector::new();
+        stats.record_completed(
+            StageLatency { queue_us: 1, encode_us: 2, sample_us: 3, decode_us: 4 },
+            true,
+        );
+        stats.record_batch(1);
+        stats.set_queue_depth(5);
+        let snap = stats.metrics_snapshot();
+        assert_eq!(snap.counter("serve.completed"), Some(1));
+        assert_eq!(snap.counter("serve.cache.hits"), Some(1));
+        assert_eq!(snap.counter("serve.latency.sample_us_total"), Some(3));
+        let depth = snap.gauges.iter().find(|(n, _)| n == "serve.queue_depth").map(|&(_, v)| v);
+        assert_eq!(depth, Some(5.0));
+        let e2e = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "serve.request.e2e_us")
+            .map(|(_, h)| h.clone())
+            .expect("e2e histogram registered");
+        assert_eq!(e2e.count, 1);
+        assert_eq!(e2e.sum, 10);
+    }
+
+    #[test]
+    fn collectors_do_not_share_counters() {
+        let a = StatsCollector::new();
+        let b = StatsCollector::new();
+        a.record_worker_panic();
+        assert_eq!(a.report().worker_panics, 1);
+        assert_eq!(b.report().worker_panics, 0);
+    }
+
+    #[test]
+    fn oversized_batches_fold_into_the_last_bucket() {
+        let stats = StatsCollector::new();
+        stats.record_batch(super::BATCH_OCCUPANCY_MAX as usize + 10);
+        let hist = stats.report().batch_size_hist;
+        assert_eq!(hist.len(), super::BATCH_OCCUPANCY_MAX as usize + 1);
+        assert_eq!(*hist.last().unwrap(), 1);
     }
 }

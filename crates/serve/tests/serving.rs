@@ -335,6 +335,8 @@ fn ndjson_round_trip_preserves_order_and_reports_stats() {
         "not json\n",
         r#"{"type":"stats"}"#,
         "\n",
+        r#"{"type":"metrics"}"#,
+        "\n",
     );
     let runtime = ServeRuntime::start(snapshot().clone(), serve_config());
     let mut output = Vec::new();
@@ -342,7 +344,7 @@ fn ndjson_round_trip_preserves_order_and_reports_stats() {
     assert_eq!(stats.completed, 2);
     let lines: Vec<Json> =
         String::from_utf8(output).unwrap().lines().map(|l| Json::parse(l).unwrap()).collect();
-    assert_eq!(lines.len(), 4, "one reply line per input line");
+    assert_eq!(lines.len(), 5, "one reply line per input line");
     assert_eq!(lines[0].get("type").and_then(Json::as_str), Some("image"));
     assert_eq!(lines[0].get("id").and_then(Json::as_str), Some("a"));
     assert_eq!(lines[1].get("id").and_then(Json::as_str), Some("b"));
@@ -354,4 +356,18 @@ fn ndjson_round_trip_preserves_order_and_reports_stats() {
     // The stats probe resolves after both images, so it must see them.
     assert_eq!(lines[3].get("type").and_then(Json::as_str), Some("stats"));
     assert_eq!(lines[3].get("completed").and_then(Json::as_u64), Some(2));
+    // The unified metrics probe carries the serving registry (merged
+    // with the process-global ambient metrics) as one line.
+    assert_eq!(lines[4].get("type").and_then(Json::as_str), Some("metrics"));
+    let counters = lines[4].get("counters").expect("counters object");
+    assert_eq!(counters.get("serve.completed").and_then(Json::as_u64), Some(2));
+    assert!(counters.get("serve.cache.misses").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    let e2e = lines[4]
+        .get("histograms")
+        .and_then(|h| h.get("serve.request.e2e_us"))
+        .expect("e2e latency histogram");
+    assert_eq!(e2e.get("count").and_then(Json::as_u64), Some(2));
+    // The ambient half of the merge: the sampler ran, so the global
+    // tensor kernel counters must be present and non-zero.
+    assert!(counters.get("tensor.matmul.calls").and_then(Json::as_u64).unwrap_or(0) >= 1);
 }

@@ -23,14 +23,24 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
+    /// Panics unless `self` is `[m, k]` and `other` is `[k, n]` (see
+    /// [`Tensor::try_matmul`] for the fallible variant).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        let out_shape =
-            matmul_shape(self.shape(), other.shape()).unwrap_or_else(|e| panic!("matmul: {e}"));
+        self.try_matmul(other).unwrap_or_else(|e| panic!("matmul: {e}"))
+    }
+
+    /// Fallible variant of [`Tensor::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] unless `self` is
+    /// `[m, k]` and `other` is `[k, n]`.
+    pub fn try_matmul(&self, other: &Tensor) -> crate::Result<Tensor> {
+        let out_shape = matmul_shape(self.shape(), other.shape())?;
         let (m, n) = (out_shape[0], out_shape[1]);
         let k = self.shape()[1];
         let out = par_kernels::matmul(self.as_slice(), other.as_slice(), m, k, n);
-        Tensor::from_vec(out, &[m, n])
+        Ok(Tensor::from_vec(out, &[m, n]))
     }
 
     /// Single-threaded reference matmul: the exact accumulation order
@@ -71,14 +81,24 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics on rank or batch/inner dimension mismatch.
+    /// Panics on rank or batch/inner dimension mismatch (see
+    /// [`Tensor::try_bmm`] for the fallible variant).
     pub fn bmm(&self, other: &Tensor) -> Tensor {
-        let out_shape =
-            bmm_shape(self.shape(), other.shape()).unwrap_or_else(|e| panic!("bmm: {e}"));
+        self.try_bmm(other).unwrap_or_else(|e| panic!("bmm: {e}"))
+    }
+
+    /// Fallible variant of [`Tensor::bmm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] on rank or batch/inner
+    /// dimension mismatch.
+    pub fn try_bmm(&self, other: &Tensor) -> crate::Result<Tensor> {
+        let out_shape = bmm_shape(self.shape(), other.shape())?;
         let (b, m, n) = (out_shape[0], out_shape[1], out_shape[2]);
         let k = self.shape()[2];
         let out = par_kernels::bmm(self.as_slice(), other.as_slice(), b, m, k, n);
-        Tensor::from_vec(out, &[b, m, n])
+        Ok(Tensor::from_vec(out, &[b, m, n]))
     }
 
     /// Gathers sliding `kh`×`kw` patches of an `[n, c, h, w]` tensor into a
@@ -88,17 +108,36 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics unless the tensor is rank-4 and the padded input fits at
-    /// least one window.
+    /// least one window (see [`Tensor::try_im2col`] for the fallible
+    /// variant).
     pub fn im2col(&self, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
-        assert_eq!(self.rank(), 4, "im2col requires [n, c, h, w]");
+        self.try_im2col(kh, kw, stride, pad).unwrap_or_else(|e| panic!("im2col: {e}"))
+    }
+
+    /// Fallible variant of [`Tensor::im2col`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] unless the tensor is
+    /// rank-4 and the padded input fits at least one window.
+    pub fn try_im2col(
+        &self,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> crate::Result<Tensor> {
+        if self.rank() != 4 {
+            return Err(TensorError::DimensionMismatch {
+                detail: format!("im2col requires [n, c, h, w], got {:?}", self.shape()),
+            });
+        }
         let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
-        let oh = crate::shape::conv_out_dim(h, kh, stride, pad)
-            .unwrap_or_else(|e| panic!("im2col: {e}"));
-        let ow = crate::shape::conv_out_dim(w, kw, stride, pad)
-            .unwrap_or_else(|e| panic!("im2col: {e}"));
+        let oh = crate::shape::conv_out_dim(h, kh, stride, pad)?;
+        let ow = crate::shape::conv_out_dim(w, kw, stride, pad)?;
         let g = ConvGeom { n, c, h, w, kh, kw, stride, pad, oh, ow };
         let out = par_kernels::im2col(self.as_slice(), g);
-        Tensor::from_vec(out, &[n, c * kh * kw, oh * ow])
+        Ok(Tensor::from_vec(out, &[n, c * kh * kw, oh * ow]))
     }
 
     /// Scatter-adds an im2col matrix back to image layout (adjoint of
@@ -107,7 +146,8 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if the column layout is inconsistent with the target shape.
+    /// Panics if the column layout is inconsistent with the target shape
+    /// (see [`Tensor::try_col2im`] for the fallible variant).
     pub fn col2im(
         &self,
         out_shape: &[usize],
@@ -116,17 +156,59 @@ impl Tensor {
         stride: usize,
         pad: usize,
     ) -> Tensor {
-        assert_eq!(self.rank(), 3, "col2im requires [n, c*kh*kw, oh*ow]");
-        assert_eq!(out_shape.len(), 4, "col2im target must be [n, c, h, w]");
+        self.try_col2im(out_shape, kh, kw, stride, pad).unwrap_or_else(|e| panic!("col2im: {e}"))
+    }
+
+    /// Fallible variant of [`Tensor::col2im`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] if the column layout is
+    /// inconsistent with the target shape.
+    pub fn try_col2im(
+        &self,
+        out_shape: &[usize],
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> crate::Result<Tensor> {
+        let dim_err = |detail: String| TensorError::DimensionMismatch { detail };
+        if self.rank() != 3 {
+            return Err(dim_err(format!(
+                "col2im requires [n, c*kh*kw, oh*ow], got {:?}",
+                self.shape()
+            )));
+        }
+        if out_shape.len() != 4 {
+            return Err(dim_err(format!("col2im target must be [n, c, h, w], got {out_shape:?}")));
+        }
         let (n, c, h, w) = (out_shape[0], out_shape[1], out_shape[2], out_shape[3]);
-        let oh = (h + 2 * pad - kh) / stride + 1;
-        let ow = (w + 2 * pad - kw) / stride + 1;
-        assert_eq!(self.shape()[0], n, "col2im batch mismatch");
-        assert_eq!(self.shape()[1], c * kh * kw, "col2im channel-patch mismatch");
-        assert_eq!(self.shape()[2], oh * ow, "col2im spatial mismatch");
+        let oh = crate::shape::conv_out_dim(h, kh, stride, pad)?;
+        let ow = crate::shape::conv_out_dim(w, kw, stride, pad)?;
+        if self.shape()[0] != n {
+            return Err(dim_err(format!(
+                "col2im batch mismatch: columns have {} but target wants {n}",
+                self.shape()[0]
+            )));
+        }
+        if self.shape()[1] != c * kh * kw {
+            return Err(dim_err(format!(
+                "col2im channel-patch mismatch: columns have {} rows but c*kh*kw is {}",
+                self.shape()[1],
+                c * kh * kw
+            )));
+        }
+        if self.shape()[2] != oh * ow {
+            return Err(dim_err(format!(
+                "col2im spatial mismatch: columns have {} positions but oh*ow is {}",
+                self.shape()[2],
+                oh * ow
+            )));
+        }
         let g = ConvGeom { n, c, h, w, kh, kw, stride, pad, oh, ow };
         let out = par_kernels::col2im(self.as_slice(), g);
-        Tensor::from_vec(out, out_shape)
+        Ok(Tensor::from_vec(out, out_shape))
     }
 
     /// 2-D convolution of `[n, cin, h, w]` with weights `[cout, cin, kh, kw]`,
@@ -302,7 +384,8 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics on rank or channel mismatches.
+    /// Panics on rank or channel mismatches (see
+    /// [`Tensor::try_conv_transpose2d`] for the fallible variant).
     pub fn conv_transpose2d(
         &self,
         weight: &Tensor,
@@ -310,13 +393,37 @@ impl Tensor {
         stride: usize,
         pad: usize,
     ) -> Tensor {
-        let out_shape = conv_transpose2d_shape(self.shape(), weight.shape(), stride, pad)
-            .unwrap_or_else(|e| panic!("conv_transpose2d: {e}"));
+        self.try_conv_transpose2d(weight, bias, stride, pad)
+            .unwrap_or_else(|e| panic!("conv_transpose2d: {e}"))
+    }
+
+    /// Fallible variant of [`Tensor::conv_transpose2d`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] on rank/channel
+    /// mismatches, including a `bias` whose element count differs from
+    /// the output channel count.
+    pub fn try_conv_transpose2d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> crate::Result<Tensor> {
+        let out_shape = conv_transpose2d_shape(self.shape(), weight.shape(), stride, pad)?;
         let (n, cin, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
         let (cout, kh, kw) = (weight.shape()[1], weight.shape()[2], weight.shape()[3]);
         let (oh, ow) = (out_shape[2], out_shape[3]);
         if let Some(bias) = bias {
-            assert_eq!(bias.numel(), cout, "conv_transpose2d bias must have cout elements");
+            if bias.numel() != cout {
+                return Err(TensorError::DimensionMismatch {
+                    detail: format!(
+                        "conv_transpose2d bias has {} elements but out_channels is {cout}",
+                        bias.numel()
+                    ),
+                });
+            }
         }
         // cols[b] = W^T @ x[b]  with W viewed as [cin, cout*kh*kw]
         let wmat = weight.reshape(&[cin, cout * kh * kw]).transpose(); // [cout*kh*kw, cin]
@@ -335,7 +442,7 @@ impl Tensor {
         if let Some(bias) = bias {
             par_kernels::add_channel_bias(out.as_mut_slice(), bias.as_slice(), oh * ow);
         }
-        out
+        Ok(out)
     }
 
     /// 2-D average pooling with square window `k` and stride `k`,
@@ -343,9 +450,20 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics unless the tensor is rank-4 and `h`, `w` divide by `k`.
+    /// Panics unless the tensor is rank-4 and `h`, `w` divide by `k`
+    /// (see [`Tensor::try_avg_pool2d`] for the fallible variant).
     pub fn avg_pool2d(&self, k: usize) -> Tensor {
-        let out_shape = pool2d_shape(self.shape(), k).unwrap_or_else(|e| panic!("avg_pool2d: {e}"));
+        self.try_avg_pool2d(k).unwrap_or_else(|e| panic!("avg_pool2d: {e}"))
+    }
+
+    /// Fallible variant of [`Tensor::avg_pool2d`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] unless the tensor is
+    /// rank-4 and `h`, `w` divide by `k`.
+    pub fn try_avg_pool2d(&self, k: usize) -> crate::Result<Tensor> {
+        let out_shape = pool2d_shape(self.shape(), k)?;
         let (h, w) = (self.shape()[2], self.shape()[3]);
         let (oh, ow) = (out_shape[2], out_shape[3]);
         let src = self.as_slice();
@@ -364,7 +482,7 @@ impl Tensor {
                 }
             }
         });
-        Tensor::from_vec(out, &out_shape)
+        Ok(Tensor::from_vec(out, &out_shape))
     }
 
     /// 2-D max pooling with square window `k` and stride `k`, sharded
@@ -372,9 +490,20 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics unless the tensor is rank-4 and `h`, `w` divide by `k`.
+    /// Panics unless the tensor is rank-4 and `h`, `w` divide by `k`
+    /// (see [`Tensor::try_max_pool2d`] for the fallible variant).
     pub fn max_pool2d(&self, k: usize) -> Tensor {
-        let out_shape = pool2d_shape(self.shape(), k).unwrap_or_else(|e| panic!("max_pool2d: {e}"));
+        self.try_max_pool2d(k).unwrap_or_else(|e| panic!("max_pool2d: {e}"))
+    }
+
+    /// Fallible variant of [`Tensor::max_pool2d`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] unless the tensor is
+    /// rank-4 and `h`, `w` divide by `k`.
+    pub fn try_max_pool2d(&self, k: usize) -> crate::Result<Tensor> {
+        let out_shape = pool2d_shape(self.shape(), k)?;
         let (h, w) = (self.shape()[2], self.shape()[3]);
         let (oh, ow) = (out_shape[2], out_shape[3]);
         let src = self.as_slice();
@@ -394,7 +523,7 @@ impl Tensor {
                 }
             }
         });
-        Tensor::from_vec(out, &out_shape)
+        Ok(Tensor::from_vec(out, &out_shape))
     }
 
     /// Nearest-neighbour 2× upsampling of an `[n, c, h, w]` tensor,
@@ -402,13 +531,24 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics unless the tensor is rank-4.
+    /// Panics unless the tensor is rank-4 (see
+    /// [`Tensor::try_upsample_nearest2x`] for the fallible variant).
     pub fn upsample_nearest2x(&self) -> Tensor {
-        assert_eq!(self.rank(), 4, "upsample requires [n, c, h, w]");
+        self.try_upsample_nearest2x().unwrap_or_else(|e| panic!("upsample_nearest2x: {e}"))
+    }
+
+    /// Fallible variant of [`Tensor::upsample_nearest2x`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] unless the tensor is
+    /// rank-4.
+    pub fn try_upsample_nearest2x(&self) -> crate::Result<Tensor> {
+        let out_shape = crate::shape::upsample2x_shape(self.shape())?;
         let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
         let src = self.as_slice();
         let mut out = vec![0.0f32; n * c * 4 * h * w];
-        let (oh, ow) = (2 * h, 2 * w);
+        let (oh, ow) = (out_shape[2], out_shape[3]);
         par_kernels::run_units(&mut out, oh * ow, 1, |bc, out_plane| {
             for y in 0..oh {
                 for x in 0..ow {
@@ -416,7 +556,7 @@ impl Tensor {
                 }
             }
         });
-        Tensor::from_vec(out, &[n, c, oh, ow])
+        Ok(Tensor::from_vec(out, &out_shape))
     }
 
     /// Numerically stable softmax along the last axis, sharded over
@@ -424,10 +564,23 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics on a rank-0 tensor.
+    /// Panics on a rank-0 tensor (see [`Tensor::try_softmax_last_axis`]
+    /// for the fallible variant).
     pub fn softmax_last_axis(&self) -> Tensor {
-        assert!(self.rank() >= 1, "softmax requires rank >= 1");
-        let last = *self.shape().last().expect("nonzero rank");
+        self.try_softmax_last_axis().unwrap_or_else(|e| panic!("softmax_last_axis: {e}"))
+    }
+
+    /// Fallible variant of [`Tensor::softmax_last_axis`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimensionMismatch`] for a rank-0 tensor.
+    pub fn try_softmax_last_axis(&self) -> crate::Result<Tensor> {
+        let Some(&last) = self.shape().last() else {
+            return Err(TensorError::DimensionMismatch {
+                detail: "softmax requires rank >= 1".to_string(),
+            });
+        };
         let mut out = self.clone();
         par_kernels::run_units(out.as_mut_slice(), last, 16, |_, row| {
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -440,7 +593,7 @@ impl Tensor {
                 *v /= sum;
             }
         });
-        out
+        Ok(out)
     }
 }
 
@@ -619,6 +772,39 @@ mod tests {
         let x = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
         let s = x.softmax_last_axis();
         assert!(s.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn try_variants_return_typed_shape_errors() {
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[4, 5]);
+        assert!(matches!(a.try_matmul(&b), Err(TensorError::DimensionMismatch { .. })));
+        let x3 = Tensor::ones(&[2, 2, 2]);
+        assert!(x3.try_bmm(&Tensor::ones(&[3, 2, 2])).is_err());
+        assert!(x3.try_im2col(2, 2, 1, 0).is_err());
+        assert!(x3.try_col2im(&[1, 1, 3, 3], 2, 2, 1, 0).is_err());
+        let x4 = Tensor::ones(&[1, 1, 4, 4]);
+        assert!(x4.try_avg_pool2d(3).is_err());
+        assert!(x4.try_max_pool2d(0).is_err());
+        assert!(x3.try_upsample_nearest2x().is_err());
+        assert!(Tensor::from_vec(vec![1.0], &[]).try_softmax_last_axis().is_err());
+        let bad_bias = Tensor::ones(&[3]);
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        assert!(x4.try_conv_transpose2d(&w, Some(&bad_bias), 1, 0).is_err());
+    }
+
+    #[test]
+    fn try_variants_agree_bitwise_with_panicking_forms() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Tensor::randn(&[4, 3], &mut rng);
+        let b = Tensor::randn(&[3, 5], &mut rng);
+        assert_eq!(a.try_matmul(&b).unwrap(), a.matmul(&b));
+        let x = Tensor::randn(&[2, 3, 4, 4], &mut rng);
+        assert_eq!(x.try_avg_pool2d(2).unwrap(), x.avg_pool2d(2));
+        assert_eq!(x.try_max_pool2d(2).unwrap(), x.max_pool2d(2));
+        assert_eq!(x.try_upsample_nearest2x().unwrap(), x.upsample_nearest2x());
+        assert_eq!(x.try_softmax_last_axis().unwrap(), x.softmax_last_axis());
+        assert_eq!(x.try_im2col(2, 2, 1, 0).unwrap(), x.im2col(2, 2, 1, 0));
     }
 
     #[test]

@@ -20,6 +20,18 @@
 use crate::parallel::active_threads;
 use std::ops::Range;
 
+/// Records one kernel invocation plus the number of output elements it
+/// produced under `tensor.<kernel>.calls` / `tensor.<kernel>.elements`.
+/// `aero_obs::counter!` caches the handle per call site, so the cost is
+/// two relaxed atomic adds. Observation never feeds back into
+/// computation — see the determinism note in `aero_obs`'s crate docs.
+macro_rules! record_kernel {
+    ($calls:literal, $elements:literal, $n:expr) => {
+        aero_obs::counter!($calls).inc();
+        aero_obs::counter!($elements).add($n as u64);
+    };
+}
+
 /// Minimum estimated scalar-op count before a kernel fans out; below
 /// this, thread-spawn overhead dominates any speedup.
 const PAR_WORK_THRESHOLD: usize = 16 * 1024;
@@ -77,11 +89,13 @@ where
     let units = out.len() / unit_len;
     let threads = plan_threads(out.len().saturating_mul(flops_per_elem.max(1))).min(units);
     if threads <= 1 {
+        aero_obs::counter!("tensor.dispatch.serial").inc();
         for (u, unit_out) in out.chunks_mut(unit_len).enumerate() {
             kernel(u, unit_out);
         }
         return;
     }
+    aero_obs::counter!("tensor.dispatch.parallel").inc();
     std::thread::scope(|s| {
         let kernel = &kernel;
         let mut rest = out;
@@ -110,9 +124,11 @@ where
     }
     let threads = if out.len() < ELEM_PAR_THRESHOLD { 1 } else { active_threads().min(out.len()) };
     if threads <= 1 {
+        aero_obs::counter!("tensor.dispatch.serial").inc();
         fill(0, out);
         return;
     }
+    aero_obs::counter!("tensor.dispatch.parallel").inc();
     std::thread::scope(|s| {
         let fill = &fill;
         let mut rest = out;
@@ -144,6 +160,7 @@ pub(crate) fn matmul_row_kernel(a_row: &[f32], b: &[f32], out_row: &mut [f32]) {
 
 /// `[m, k] @ [k, n]` sharded over output rows.
 pub(crate) fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    record_kernel!("tensor.matmul.calls", "tensor.matmul.elements", m * n);
     let mut out = vec![0.0f32; m * n];
     run_units(&mut out, n, 2 * k, |i, out_row| {
         matmul_row_kernel(&a[i * k..(i + 1) * k], b, out_row);
@@ -155,6 +172,7 @@ pub(crate) fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<
 /// rows, so small batches of large matrices and large batches of small
 /// matrices both spread evenly.
 pub(crate) fn bmm(a: &[f32], b: &[f32], nb: usize, m: usize, k: usize, n: usize) -> Vec<f32> {
+    record_kernel!("tensor.bmm.calls", "tensor.bmm.elements", nb * m * n);
     let mut out = vec![0.0f32; nb * m * n];
     if m == 0 {
         return out;
@@ -179,6 +197,7 @@ pub(crate) fn batched_matmul_shared_lhs(
     k: usize,
     n: usize,
 ) -> Vec<f32> {
+    record_kernel!("tensor.conv_matmul.calls", "tensor.conv_matmul.elements", nb * rows * n);
     let mut out = vec![0.0f32; nb * rows * n];
     if rows == 0 {
         return out;
@@ -224,6 +243,7 @@ pub(crate) struct ConvGeom {
 pub(crate) fn im2col(src: &[f32], g: ConvGeom) -> Vec<f32> {
     let col_stride = g.oh * g.ow;
     let unit = g.kh * g.kw * col_stride;
+    record_kernel!("tensor.im2col.calls", "tensor.im2col.elements", g.n * g.c * unit);
     let mut out = vec![0.0f32; g.n * g.c * unit];
     run_units(&mut out, unit, 2, |bc, block| {
         im2col_block(src, g, bc / g.c, bc % g.c, block);
@@ -262,6 +282,7 @@ fn im2col_block(src: &[f32], g: ConvGeom, b: usize, ch: usize, block: &mut [f32]
 /// of thread count.
 pub(crate) fn col2im(src: &[f32], g: ConvGeom) -> Vec<f32> {
     let plane = g.h * g.w;
+    record_kernel!("tensor.col2im.calls", "tensor.col2im.elements", g.n * g.c * plane);
     let mut out = vec![0.0f32; g.n * g.c * plane];
     run_units(&mut out, plane, 2 * g.kh * g.kw, |bc, out_plane| {
         col2im_plane(src, g, bc / g.c, bc % g.c, out_plane);
@@ -313,6 +334,7 @@ pub(crate) fn map_into<F>(src: &[f32], f: F) -> Vec<f32>
 where
     F: Fn(f32) -> f32 + Sync,
 {
+    record_kernel!("tensor.elementwise.calls", "tensor.elementwise.elements", src.len());
     let mut out = vec![0.0f32; src.len()];
     fill_chunked(&mut out, |start, chunk| {
         let len = chunk.len();
@@ -329,6 +351,7 @@ pub(crate) fn map_inplace<F>(data: &mut [f32], f: F)
 where
     F: Fn(f32) -> f32 + Sync,
 {
+    record_kernel!("tensor.elementwise.calls", "tensor.elementwise.elements", data.len());
     fill_chunked(data, |_, chunk| {
         for v in chunk {
             *v = f(*v);
@@ -343,6 +366,7 @@ where
     F: Fn(f32, f32) -> f32 + Sync,
 {
     debug_assert_eq!(a.len(), b.len());
+    record_kernel!("tensor.elementwise.calls", "tensor.elementwise.elements", a.len());
     let mut out = vec![0.0f32; a.len()];
     fill_chunked(&mut out, |start, chunk| {
         for (i, o) in chunk.iter_mut().enumerate() {
@@ -410,6 +434,23 @@ mod tests {
             let out = with_threads(t, || matmul(&a, &b, 2, 3, 2));
             assert_eq!(out, vec![58.0, 64.0, 139.0, 154.0], "threads={t}");
         }
+    }
+
+    #[test]
+    fn kernels_report_to_global_registry() {
+        let snap = |name: &str| aero_obs::global().snapshot().counter(name).unwrap_or(0);
+        let (calls, elems, serial) = (
+            snap("tensor.matmul.calls"),
+            snap("tensor.matmul.elements"),
+            snap("tensor.dispatch.serial"),
+        );
+        let out = matmul(&[1.0, 2.0], &[3.0, 4.0], 1, 2, 1);
+        assert_eq!(out, vec![11.0]);
+        // Counters are process-global and other tests run concurrently,
+        // so assert monotone growth, not exact deltas.
+        assert!(snap("tensor.matmul.calls") > calls);
+        assert!(snap("tensor.matmul.elements") > elems);
+        assert!(snap("tensor.dispatch.serial") > serial);
     }
 
     #[test]

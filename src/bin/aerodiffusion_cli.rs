@@ -5,7 +5,9 @@
 //! aerodiffusion_cli train  <model-dir> [--scenes N] [--seed S] [--scale smoke|small|paper]
 //!                          [--threads N]
 //!                          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]
-//! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--scale …] [--threads N]
+//! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--trace FILE]
+//!                          [--scale …] [--threads N]
+//! aerodiffusion_cli profile <model-dir> [--seed S] [--ndjson FILE] [--scale …] [--threads N]
 //! aerodiffusion_cli serve  <model-dir>|--demo [--workers N] [--max-batch N] [--scale …]
 //!                          [--threads N]
 //!                          [--max-worker-restarts N] [--inject-panic-at N[,N…]]
@@ -29,6 +31,15 @@
 //! Nth submitted request (0-based): the request is answered with a typed
 //! `worker_error` reply, everything else is still served, and the
 //! watchdog respawns the worker.
+//!
+//! `profile` runs one conditioned DDIM generation with span collection
+//! enabled and prints the aggregated span tree (inclusive/exclusive
+//! wall-clock per stage, sampler steps collapsed to one `×N` line)
+//! followed by the process-global metric registry. `sample --trace FILE`
+//! does the same collection around a normal sample and writes the spans
+//! plus metrics as NDJSON to `FILE` — observation never perturbs the
+//! output image, which stays byte-identical with tracing on or off (CI
+//! compares the two).
 //!
 //! `lint` statically validates the model geometry a configuration would
 //! realise — symbolic shape inference over the whole pipeline plus the
@@ -78,15 +89,17 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         _ => {
             eprintln!(
-                "usage: aerodiffusion_cli <train|sample|serve|info|lint> [args]\n\
+                "usage: aerodiffusion_cli <train|sample|profile|serve|info|lint> [args]\n\
                  \n  train  <dir> [--scenes N] [--seed S] [--scale smoke|small|paper] [--threads N]\n\
                  \n         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]\n\
-                 \n  sample <dir> <out.ppm> [--seed S] [--night] [--scale …] [--threads N]\n\
+                 \n  sample <dir> <out.ppm> [--seed S] [--night] [--trace FILE] [--scale …] [--threads N]\n\
+                 \n  profile <dir> [--seed S] [--ndjson FILE] [--scale …] [--threads N]\n\
                  \n  serve  <dir>|--demo [--workers N] [--max-batch N] [--queue N]\n\
                  \n         [--batch-wait-ms MS] [--cache N] [--steps N] [--guidance G] [--scale …]\n\
                  \n         [--threads N] [--max-worker-restarts N] [--inject-panic-at N[,N…]]\n\
@@ -180,13 +193,85 @@ fn cmd_sample(args: &[String]) -> Result<(), Box<dyn Error>> {
     });
     let item = &dataset.items[0];
     let mut rng = StdRng::seed_from_u64(seed);
-    let image = if args.iter().any(|a| a == "--night") {
-        aerodiffusion::viewpoint::night_synthesis(&pipeline, item, &mut rng).image
-    } else {
-        pipeline.generate(item, &mut rng)
+    let night = args.iter().any(|a| a == "--night");
+    let render = |rng: &mut StdRng| {
+        if night {
+            aerodiffusion::viewpoint::night_synthesis(&pipeline, item, rng).image
+        } else {
+            pipeline.generate(item, rng)
+        }
+    };
+    // `--trace` turns on span collection around the exact same call;
+    // observation never changes the generated bytes (CI compares).
+    let image = match parse_flag(args, "--trace") {
+        None => render(&mut rng),
+        Some(path) => {
+            let (image, trace) = aero_obs::span::collect(|| render(&mut rng));
+            write_obs_ndjson(&path, &trace, &aero_obs::global().snapshot())?;
+            eprintln!("wrote trace ({} spans) to {path}", trace.span_count());
+            image
+        }
     };
     image.save_ppm(out)?;
     println!("wrote {out} ({}x{})", image.width(), image.height());
+    Ok(())
+}
+
+/// Writes one NDJSON line per aggregated span path followed by one per
+/// registered metric.
+fn write_obs_ndjson(
+    path: &str,
+    trace: &aero_obs::Trace,
+    metrics: &aero_obs::MetricsSnapshot,
+) -> Result<(), Box<dyn Error>> {
+    use aero_obs::TraceSink;
+    let mut sink = aero_obs::NdjsonTraceSink::new();
+    sink.consume(trace);
+    let mut lines = sink.take_lines();
+    lines.extend(metrics.render_ndjson());
+    let mut body = lines.join("\n");
+    body.push('\n');
+    std::fs::write(path, body)?;
+    Ok(())
+}
+
+/// Runs one conditioned generation under span collection and prints the
+/// profile: the aggregated span tree (inclusive / self wall-clock per
+/// stage) and the process-global metric registry.
+fn cmd_profile(args: &[String]) -> Result<(), Box<dyn Error>> {
+    apply_threads_flag(args)?;
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("profile requires a model directory")?;
+    let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(7);
+    let config = scale_config(args);
+    let pipeline = AeroDiffusionPipeline::load(dir, config)?;
+    let dataset = build_dataset(&DatasetConfig {
+        n_scenes: 1,
+        image_size: config.vision.image_size,
+        seed: seed ^ 0x5EED,
+        generator: SceneGeneratorConfig::default(),
+    });
+    let item = &dataset.items[0];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (image, trace) = aero_obs::span::collect(|| pipeline.generate(item, &mut rng));
+    let metrics = aero_obs::global().snapshot();
+    println!(
+        "profiled one generate() at seed {seed} ({}x{} output)",
+        image.width(),
+        image.height()
+    );
+    println!("\n== span tree ==");
+    let mut tree = aero_obs::TableTraceSink::new();
+    aero_obs::TraceSink::consume(&mut tree, &trace);
+    print!("{}", tree.take_rendered());
+    println!("\n== metrics ==");
+    print!("{}", metrics.render_table());
+    if let Some(path) = parse_flag(args, "--ndjson") {
+        write_obs_ndjson(&path, &trace, &metrics)?;
+        println!("\nwrote NDJSON profile to {path}");
+    }
     Ok(())
 }
 
@@ -322,6 +407,12 @@ fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
         // reference kernels (AD0110). A no-op away from a checkout.
         let report = aerodiffusion::lint_kernel_callsites(std::path::Path::new("."));
         println!("== kernels ==");
+        print!("{}", report.render());
+        failed |= !report.is_clean();
+        // Source-level: serving crates reach shape-checked tensor ops
+        // only through their `try_*` forms (AD0111).
+        let report = aerodiffusion::lint_panicking_callsites(std::path::Path::new("."));
+        println!("== serving kernels ==");
         print!("{}", report.render());
         failed |= !report.is_clean();
     }

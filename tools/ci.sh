@@ -10,7 +10,8 @@
 #                      pipeline preset plus the serving batcher contract
 #                      (the `lint` CLI subcommand)
 #   5. serve smoke   — two NDJSON requests piped through `serve --demo`,
-#                      asserting image replies and the stats probe
+#                      asserting image replies plus the stats and
+#                      metrics probes
 #   6. fault smokes  — a checkpointed training run killed mid-way via
 #                      --max-steps and resumed to completion with a finite
 #                      final loss, and a serve run with an injected
@@ -22,6 +23,10 @@
 #                      through the full pipeline), plus a threshold-free
 #                      bench_kernels liveness run (BENCH_KERNELS_SMOKE=1)
 #                      that asserts bit-identity per workload
+#   8. obs smokes    — the same sample rendered with and without --trace
+#                      must be byte-identical (observation never perturbs
+#                      results), and `profile` must print a span tree
+#                      covering the DDIM denoise loop
 #
 # Everything runs with --offline: the build environment has no network and
 # all dependencies are vendored shims (see shims/).
@@ -42,12 +47,14 @@ echo "== static model lint (all shipped presets) =="
 cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- lint --all
 
 echo "== serving smoke test (NDJSON over stdin/stdout) =="
-# Two generate requests plus a stats probe piped through a demo server;
-# assert two image replies and a stats line that counted both.
-serve_out="$(printf '%s\n%s\n%s\n' \
+# Two generate requests plus stats and metrics probes piped through a
+# demo server; assert two image replies, a stats line that counted both,
+# and a metrics line carrying the registry-backed serve counters.
+serve_out="$(printf '%s\n%s\n%s\n%s\n' \
   '{"type":"generate","id":"ci-a","prompt":"an aerial view of a park","seed":1}' \
   '{"type":"generate","id":"ci-b","prompt":"a parking lot at night","seed":2}' \
   '{"type":"stats"}' \
+  '{"type":"metrics"}' \
   | cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
       serve --demo --scenes 3 --workers 1 --steps 4)"
 echo "$serve_out" | head -c 400; echo
@@ -55,6 +62,10 @@ echo "$serve_out" | head -c 400; echo
   || { echo "serve smoke: expected 2 image replies"; exit 1; }
 echo "$serve_out" | grep -q '"type":"stats","completed":2' \
   || { echo "serve smoke: stats line missing or wrong count"; exit 1; }
+echo "$serve_out" | grep -q '"type":"metrics"' \
+  || { echo "serve smoke: metrics line missing"; exit 1; }
+echo "$serve_out" | grep -q '"serve.completed":2' \
+  || { echo "serve smoke: metrics line missing serve.completed counter"; exit 1; }
 
 echo "== fault smoke: kill + resume a checkpointed training run =="
 work="$(mktemp -d)"
@@ -118,5 +129,26 @@ cmp "$work/t1.ppm" "$work/t4.ppm" \
 
 echo "== thread smoke: bench_kernels liveness =="
 BENCH_KERNELS_SMOKE=1 cargo run --offline -q -p aero-bench --bin bench_kernels
+
+echo "== obs smoke: tracing never perturbs sample output =="
+# Same model, same seed, tracing on vs off: the images must be
+# byte-identical and the trace must actually contain spans.
+cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  sample "$work/model" "$work/traced.ppm" --seed 11 --trace "$work/trace.ndjson"
+cmp "$work/t1.ppm" "$work/traced.ppm" \
+  || { echo "obs smoke: traced and untraced samples differ"; exit 1; }
+grep -q '"span":"pipeline.sample_latents/sampler.ddim/unet.denoise_step"' "$work/trace.ndjson" \
+  || { echo "obs smoke: trace NDJSON missing the denoise-step span"; exit 1; }
+grep -q '"metric":"tensor.matmul.calls"' "$work/trace.ndjson" \
+  || { echo "obs smoke: trace NDJSON missing kernel metrics"; exit 1; }
+
+echo "== obs smoke: profile prints a span tree =="
+profile_out="$(cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  profile "$work/model" --seed 11)"
+echo "$profile_out" | head -c 600; echo
+echo "$profile_out" | grep -q 'unet.denoise_step ×' \
+  || { echo "obs smoke: profile output missing the aggregated denoise line"; exit 1; }
+echo "$profile_out" | grep -q 'tensor.dispatch' \
+  || { echo "obs smoke: profile output missing the metrics table"; exit 1; }
 
 echo "CI: all gates passed"
