@@ -1,0 +1,228 @@
+//! Accepted-diagnostics baselines for CI ratcheting.
+//!
+//! A lint pass that fails on *every* finding can never be turned on over
+//! a codebase with accepted findings, and a pass that fails on none is
+//! decoration. The baseline is the standard middle path: a committed
+//! snapshot of today's accepted diagnostics; CI fails only when a run
+//! produces a finding **not** in the snapshot. Fixing a finding then
+//! shrinking the baseline is the ratchet.
+//!
+//! Entries are keyed `(code, file, message)` — deliberately *without*
+//! line numbers, so editing an unrelated part of a file does not
+//! invalidate its baseline. Keys are counted as a multiset: a file
+//! accepted with two identical findings starts failing on the third.
+//!
+//! The on-disk format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # one entry per accepted finding
+//! AD0201<TAB>crates/nn/src/autograd.rs<TAB>`fetch_add` with `Ordering::Relaxed` …
+//! ```
+
+use crate::diag::{Diagnostic, Report};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A committed multiset of accepted findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String, String), usize>,
+}
+
+/// The file part of a `path:line` diagnostic site.
+fn site_file(site: &str) -> &str {
+    site.rsplit_once(':').map_or(site, |(file, _)| file)
+}
+
+fn key_of(d: &Diagnostic) -> (String, String, String) {
+    (d.code.code().to_string(), site_file(&d.site).to_string(), d.message.clone())
+}
+
+impl Baseline {
+    /// An empty baseline (every finding is fresh).
+    #[must_use]
+    pub fn new() -> Self {
+        Baseline::default()
+    }
+
+    /// Parses the on-disk format. Blank lines and `#` comments are
+    /// ignored; malformed lines (fewer than three tab-separated fields)
+    /// are skipped rather than fatal, so a hand-edited file degrades to
+    /// "stricter", never to "accepts everything".
+    #[must_use]
+    pub fn parse(text: &str) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (Some(code), Some(file), Some(message)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            *counts
+                .entry((code.to_string(), file.to_string(), message.to_string()))
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Builds a baseline accepting every finding in `report`.
+    #[must_use]
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for d in report.diagnostics() {
+            *counts.entry(key_of(d)).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Renders the on-disk format (sorted, one line per accepted
+    /// finding, duplicates repeated).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Accepted lint findings (code<TAB>file<TAB>message), one line each.\n\
+             # A run fails on any finding not covered here. Regenerate with\n\
+             # `lint --all --write-baseline <path>`; shrink it by fixing findings.\n",
+        );
+        for ((code, file, message), n) in &self.counts {
+            for _ in 0..*n {
+                let _ = writeln!(out, "{code}\t{file}\t{message}");
+            }
+        }
+        out
+    }
+
+    /// Number of accepted findings (multiset size).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// `true` when nothing is accepted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Splits `report` against this baseline: findings beyond the
+    /// accepted multiset are `fresh` (CI-fatal); accepted entries no run
+    /// produced any more are `stale` (informational — time to shrink the
+    /// file).
+    #[must_use]
+    pub fn diff(&self, report: &Report) -> BaselineDiff {
+        let mut seen: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        let mut fresh = Vec::new();
+        for d in report.diagnostics() {
+            let key = key_of(d);
+            let n = seen.entry(key.clone()).or_insert(0);
+            *n += 1;
+            if *n > self.counts.get(&key).copied().unwrap_or(0) {
+                fresh.push(d.clone());
+            }
+        }
+        let mut stale = Vec::new();
+        for (key, &accepted) in &self.counts {
+            let produced = seen.get(key).copied().unwrap_or(0);
+            if produced < accepted {
+                stale.push((key.clone(), accepted - produced));
+            }
+        }
+        BaselineDiff { fresh, stale }
+    }
+}
+
+/// Result of [`Baseline::diff`].
+#[derive(Debug, Clone, Default)]
+pub struct BaselineDiff {
+    /// Findings not covered by the baseline; any entry here fails CI.
+    pub fresh: Vec<Diagnostic>,
+    /// Baseline entries (key, surplus count) the run no longer
+    /// produces; informational.
+    pub stale: Vec<((String, String, String), usize)>,
+}
+
+impl BaselineDiff {
+    /// `true` when no fresh finding appeared.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.fresh.is_empty()
+    }
+
+    /// Human summary: fresh findings rendered rustc-style, stale entries
+    /// listed, and a one-line verdict.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.fresh {
+            let _ = writeln!(out, "{d}\n");
+        }
+        for ((code, file, _), n) in &self.stale {
+            let _ = writeln!(out, "note: {n} stale baseline entr(ies) for {code} in {file} — the finding is gone; shrink the baseline");
+        }
+        if self.fresh.is_empty() {
+            out.push_str("baseline: no new findings\n");
+        } else {
+            let _ =
+                writeln!(out, "baseline: {} new finding(s) not in the baseline", self.fresh.len());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::DiagCode;
+
+    fn report_with(sites: &[(&str, &str)]) -> Report {
+        let mut r = Report::new();
+        for (site, msg) in sites {
+            r.push(DiagCode::AtomicOrderingAudit, *site, *msg);
+        }
+        r
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let report = report_with(&[("a.rs:10", "m1"), ("a.rs:20", "m1"), ("b.rs:5", "m2")]);
+        let base = Baseline::from_report(&report);
+        assert_eq!(base.len(), 3);
+        let reparsed = Baseline::parse(&base.render());
+        assert_eq!(base, reparsed);
+    }
+
+    #[test]
+    fn line_moves_do_not_invalidate_the_baseline() {
+        let base = Baseline::from_report(&report_with(&[("a.rs:10", "m1")]));
+        // The same finding after the file grew by 40 lines.
+        let diff = base.diff(&report_with(&[("a.rs:50", "m1")]));
+        assert!(diff.is_clean(), "{}", diff.render());
+        assert!(diff.stale.is_empty());
+    }
+
+    #[test]
+    fn new_findings_are_fresh_and_fixed_ones_go_stale() {
+        let base = Baseline::from_report(&report_with(&[("a.rs:1", "m1"), ("a.rs:2", "m1")]));
+        // One duplicate fixed, one brand-new finding elsewhere.
+        let diff = base.diff(&report_with(&[("a.rs:1", "m1"), ("c.rs:9", "m3")]));
+        assert_eq!(diff.fresh.len(), 1);
+        assert_eq!(diff.fresh[0].site, "c.rs:9");
+        assert_eq!(diff.stale.len(), 1);
+        assert_eq!(diff.stale[0].1, 1);
+        assert!(!diff.is_clean());
+        assert!(diff.render().contains("1 new finding"));
+    }
+
+    #[test]
+    fn comments_and_malformed_lines_are_ignored() {
+        let base = Baseline::parse("# header\n\nAD0201\ta.rs\tm1\nnot-a-valid-line\n");
+        assert_eq!(base.len(), 1);
+        let diff = base.diff(&report_with(&[("a.rs:3", "m1")]));
+        assert!(diff.is_clean());
+    }
+}

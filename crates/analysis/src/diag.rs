@@ -3,7 +3,9 @@
 //! Every problem the analyzer can detect has a stable `AD`-prefixed code so
 //! that CI scripts and docs can refer to it unambiguously. Codes in the
 //! `AD00xx` range come from the static shape pass; codes in the `AD01xx`
-//! range come from the autograd-graph linter.
+//! range come from the autograd-graph linter and the kernel-callsite
+//! scans; codes in the `AD02xx` range come from the token-level
+//! concurrency and determinism analyses.
 
 use std::fmt;
 
@@ -48,6 +50,27 @@ pub enum DiagCode {
     /// of its `try_*` variant. A shape mismatch there must surface as a
     /// typed reply, not take a worker down.
     PanickingKernelCall,
+    /// `AD0200`: two lock acquisitions form a cycle in the workspace's
+    /// lock-order graph — function A holds lock X while taking Y, and
+    /// some path (possibly through calls) holds Y while taking X. Two
+    /// threads interleaving those paths deadlock.
+    LockOrderCycle,
+    /// `AD0201`: `Ordering::Relaxed` used in a read-modify-write or a
+    /// multi-field publish pattern without a `// lint: relaxed-ok(..)`
+    /// justification. Relaxed RMW is fine for pure counters but silently
+    /// wrong the moment a reader correlates two fields.
+    AtomicOrderingAudit,
+    /// `AD0202`: a nondeterminism source (`HashMap`/`HashSet` iteration
+    /// order, wall clocks, ad-hoc `thread::spawn`) inside a
+    /// determinism-critical crate (`tensor`, `diffusion`, `core`) whose
+    /// outputs must be bitwise reproducible. Threading must route
+    /// through `par_kernels`; randomness through the seeded RNG.
+    NondeterministicPath,
+    /// `AD0203`: `unwrap`/`expect`/slice indexing inside a closure handed
+    /// to `spawn` without the `catch_unwind` recovery layer between the
+    /// panic site and the thread boundary. A panic there kills a worker
+    /// instead of producing a typed error reply.
+    PanicInWorker,
 }
 
 impl DiagCode {
@@ -67,6 +90,10 @@ impl DiagCode {
             DiagCode::DeadBranch => "AD0105",
             DiagCode::SerialKernelBypass => "AD0110",
             DiagCode::PanickingKernelCall => "AD0111",
+            DiagCode::LockOrderCycle => "AD0200",
+            DiagCode::AtomicOrderingAudit => "AD0201",
+            DiagCode::NondeterministicPath => "AD0202",
+            DiagCode::PanicInWorker => "AD0203",
         }
     }
 
@@ -86,6 +113,12 @@ impl DiagCode {
             DiagCode::DeadBranch => "dead differentiable branch",
             DiagCode::SerialKernelBypass => "serial reference kernel used in production code",
             DiagCode::PanickingKernelCall => "panicking tensor kernel called on a serving path",
+            DiagCode::LockOrderCycle => "lock acquisition order forms a cycle",
+            DiagCode::AtomicOrderingAudit => "unaudited relaxed atomic ordering",
+            DiagCode::NondeterministicPath => {
+                "nondeterminism source in a determinism-critical crate"
+            }
+            DiagCode::PanicInWorker => "panic site inside an unprotected worker closure",
         }
     }
 
@@ -101,11 +134,15 @@ impl DiagCode {
             | DiagCode::InvalidConfig
             | DiagCode::DetachedParameter
             | DiagCode::SerialKernelBypass
-            | DiagCode::PanickingKernelCall => Severity::Error,
+            | DiagCode::PanickingKernelCall
+            | DiagCode::LockOrderCycle
+            | DiagCode::PanicInWorker => Severity::Error,
             DiagCode::DetachedSubgraph
             | DiagCode::UnclampedLn
             | DiagCode::NanProneOp
-            | DiagCode::DeadBranch => Severity::Warning,
+            | DiagCode::DeadBranch
+            | DiagCode::AtomicOrderingAudit
+            | DiagCode::NondeterministicPath => Severity::Warning,
         }
     }
 }
@@ -257,6 +294,10 @@ mod tests {
             DiagCode::DeadBranch,
             DiagCode::SerialKernelBypass,
             DiagCode::PanickingKernelCall,
+            DiagCode::LockOrderCycle,
+            DiagCode::AtomicOrderingAudit,
+            DiagCode::NondeterministicPath,
+            DiagCode::PanicInWorker,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

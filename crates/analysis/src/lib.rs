@@ -33,17 +33,25 @@
 //! assert!(!broken.lint().is_clean());
 //! ```
 
+mod baseline;
 mod diag;
 mod graph_lint;
+mod lockorder;
 mod models;
 mod shape_infer;
 mod source_lint;
+pub mod token;
 
+pub use baseline::{Baseline, BaselineDiff};
 pub use diag::{DiagCode, Diagnostic, Report, Severity};
 pub use graph_lint::lint_graph;
+pub use lockorder::lint_lock_order;
 pub use models::{
     ConvDesc, ConvTDesc, LinearDesc, PipelineShapeDesc, ResBlockDesc, UnetShapeDesc,
     VisionShapeDesc, BATCH, LATENT_CHANNELS,
 };
 pub use shape_infer::ShapeCtx;
-pub use source_lint::{lint_kernel_callsites, lint_panicking_callsites};
+pub use source_lint::{
+    lint_atomic_orderings, lint_kernel_callsites, lint_nondeterminism, lint_panicking_callsites,
+    lint_source_all, lint_worker_panics,
+};

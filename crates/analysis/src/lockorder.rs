@@ -1,0 +1,611 @@
+//! Lock-order cycle detection (`AD0200`).
+//!
+//! The serve runtime holds several locks with overlapping lifetimes
+//! (worker handles, the condition cache, the stats registry, the request
+//! queue). Two threads that acquire the same pair of locks in opposite
+//! orders deadlock, and nothing in the type system prevents it. This
+//! pass extracts a conservative *lock-order graph* from the token stream
+//! and reports every cycle.
+//!
+//! # Model
+//!
+//! For each function the pass simulates the body token-by-token:
+//!
+//! - An **acquisition** is `.lock()`, `.read()`, or `.write()` with an
+//!   *empty* argument list (the emptiness requirement keeps
+//!   `io::Read::read(&mut buf)` and friends out of the graph). The lock
+//!   identity is the last field/variable name before the method —
+//!   `self.state.lock()` and `shared.state.lock()` are both lock
+//!   `state` — namespaced by crate so unrelated crates' `state` fields
+//!   are never conflated.
+//! - A call to a workspace function whose return type names
+//!   `MutexGuard` / `RwLockReadGuard` / `RwLockWriteGuard` is also an
+//!   acquisition; the identity comes from the call's first argument
+//!   (this models poison-recovery helpers like `lock_cache(&cache)`).
+//! - A guard bound by `let g = …` is held until its scope's closing
+//!   brace or an explicit `drop(g)`; an unbound (temporary) guard is
+//!   released at the next `;` or `,`.
+//! - While any guard is held, acquiring another lock adds the edge
+//!   *held → acquired*. Calling a free function adds edges from every
+//!   held guard to every lock the callee (transitively) acquires, with
+//!   the callee's parameter-named locks substituted by the caller's
+//!   argument names.
+//!
+//! An edge `a → b` means "some thread holds `a` while taking `b`"; a
+//! cycle in the graph (including a self-loop, i.e. re-acquiring a
+//! non-reentrant lock) is a potential deadlock and renders as one
+//! diagnostic per strongly connected component.
+//!
+//! # Soundness limits (documented, deliberate)
+//!
+//! - Propagation follows *free-function* call syntax only. Method calls
+//!   are not resolved (no type information), so a lock taken inside a
+//!   method reached through `self.helper()` is invisible. This
+//!   under-approximation is what keeps ubiquitous method names (`len`,
+//!   `get`) from wiring the whole workspace together with false edges.
+//! - Lock identity is a field *name*, not a memory location: two
+//!   different `Mutex` fields called `state` in one crate alias to one
+//!   node. Name locks distinctly.
+//! - Temporary guards chained in one statement (`m.lock().x, n.lock().y`)
+//!   release at the separating comma, slightly earlier than real drop
+//!   order; this under-approximation avoids false cycles in struct
+//!   literals that read several locks.
+
+use crate::diag::{DiagCode, Report};
+use crate::source_lint::{load_workspace, SourceFile};
+use crate::token::{self, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Methods whose empty-argument call on a receiver acquires a guard.
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Return-type markers of guard-returning helper functions.
+const GUARD_TYPES: [&str; 3] = ["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+/// A lock named at extraction time: either one of the enclosing
+/// function's parameters (resolved at each callsite) or a concrete
+/// field/variable name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum LockRef {
+    Param(usize),
+    Named(String),
+}
+
+/// One guard currently held during the body walk.
+struct Held {
+    lock: LockRef,
+    /// Brace depth at acquisition; let-bound guards die when the walk
+    /// drops below it.
+    depth: i32,
+    /// `Some(name)` for `let name = …` bindings (released by `drop(name)`
+    /// or scope end), `None` for temporaries (released at `;` / `,`).
+    bound: Option<String>,
+}
+
+/// What one function does with locks, before callsite resolution.
+#[derive(Debug, Default)]
+struct FnSummary {
+    /// Locks acquired anywhere in the body, each with one example site.
+    acquires: Vec<(LockRef, String)>,
+    /// Edges `held → acquired` observed directly in the body.
+    edges: Vec<(LockRef, LockRef, String)>,
+    /// Free-function calls: callee name, per-argument lock names, locks
+    /// held at the call, and the callsite.
+    calls: Vec<(String, Vec<String>, Vec<LockRef>, String)>,
+}
+
+/// Scans the workspace rooted at `root` and reports every cycle in the
+/// lock-order graph as `AD0200`.
+#[must_use]
+pub fn lint_lock_order(root: &Path) -> Report {
+    let files = load_workspace(root);
+
+    // Pass 1: which functions return guards (by name, workspace-wide).
+    let mut guard_fns: BTreeSet<String> = BTreeSet::new();
+    for file in &files {
+        for f in &file.fns {
+            let names_guard = (f.ret.0..f.ret.1).any(|ti| {
+                file.tokens[ti].kind == TokenKind::Ident && GUARD_TYPES.contains(&file.text(ti))
+            });
+            if names_guard {
+                guard_fns.insert(f.name.clone());
+            }
+        }
+    }
+
+    // Pass 2: per-function summaries.
+    let mut summaries: BTreeMap<String, FnSummary> = BTreeMap::new();
+    let mut params: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for file in &files {
+        for f in &file.fns {
+            if f.body.0 >= f.body.1 {
+                continue;
+            }
+            let key = format!("{}::{}", file.crate_name, f.name);
+            let summary = summarize_fn(file, f, &guard_fns);
+            params.insert(key.clone(), f.params.clone());
+            summaries.insert(key, summary);
+        }
+    }
+
+    // Resolve a callee lock through the callsite's argument names: the
+    // callee's `Param(i)` becomes whatever name the caller passed.
+    let resolve = |lock: &LockRef, args: &[String], crate_name: &str| -> Option<String> {
+        match lock {
+            LockRef::Named(n) => Some(format!("{crate_name}::{n}")),
+            LockRef::Param(i) => args.get(*i).map(|a| format!("{crate_name}::{a}")),
+        }
+    };
+
+    // Fixpoint: locks each function (transitively) acquires, as fully
+    // resolved names. Callees are looked up in the caller's crate first,
+    // then anywhere in the workspace.
+    let lookup = |caller_key: &str, callee: &str| -> Option<String> {
+        let crate_name = caller_key.split("::").next().unwrap_or("");
+        let same = format!("{crate_name}::{callee}");
+        if summaries.contains_key(&same) {
+            return Some(same);
+        }
+        summaries.keys().find(|k| k.ends_with(&format!("::{callee}"))).cloned()
+    };
+    let mut reach: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (key, s) in &summaries {
+        let crate_name = key.split("::").next().unwrap_or("");
+        let own: BTreeSet<String> = s
+            .acquires
+            .iter()
+            .filter_map(|(l, _)| {
+                let p = params.get(key).map(Vec::as_slice).unwrap_or(&[]);
+                match l {
+                    LockRef::Named(n) => Some(format!("{crate_name}::{n}")),
+                    LockRef::Param(i) => p.get(*i).map(|n| format!("{crate_name}::{n}")),
+                }
+            })
+            .collect();
+        reach.insert(key.clone(), own);
+    }
+    loop {
+        let mut changed = false;
+        for (key, s) in &summaries {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            let crate_name = key.split("::").next().unwrap_or("");
+            for (callee, args, _, _) in &s.calls {
+                let Some(callee_key) = lookup(key, callee) else { continue };
+                let callee_params =
+                    params.get(&callee_key).map(Vec::as_slice).unwrap_or(&[]).to_vec();
+                for resolved in reach.get(&callee_key).cloned().unwrap_or_default() {
+                    // A callee lock named after one of its params maps to
+                    // the callsite argument; everything else passes through.
+                    let bare = resolved.split("::").nth(1).unwrap_or(&resolved);
+                    let mapped = callee_params
+                        .iter()
+                        .position(|p| p == bare)
+                        .and_then(|i| args.get(i))
+                        .map_or(resolved.clone(), |a| format!("{crate_name}::{a}"));
+                    add.insert(mapped);
+                }
+            }
+            let entry = reach.entry(key.clone()).or_default();
+            for lock in add {
+                changed |= entry.insert(lock);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edge set on resolved lock names.
+    let mut edges: BTreeMap<(String, String), String> = BTreeMap::new();
+    for (key, s) in &summaries {
+        let crate_name = key.split("::").next().unwrap_or("");
+        let p = params.get(key).cloned().unwrap_or_default();
+        let name_of = |l: &LockRef| -> Option<String> {
+            match l {
+                LockRef::Named(n) => Some(format!("{crate_name}::{n}")),
+                LockRef::Param(i) => p.get(*i).map(|n| format!("{crate_name}::{n}")),
+            }
+        };
+        for (held, taken, site) in &s.edges {
+            if let (Some(a), Some(b)) = (name_of(held), name_of(taken)) {
+                edges.entry((a, b)).or_insert_with(|| site.clone());
+            }
+        }
+        for (callee, args, held_at_call, site) in &s.calls {
+            if held_at_call.is_empty() {
+                continue;
+            }
+            let Some(callee_key) = lookup(key, callee) else { continue };
+            let callee_params = params.get(&callee_key).cloned().unwrap_or_default();
+            for resolved in reach.get(&callee_key).cloned().unwrap_or_default() {
+                let bare = resolved.split("::").nth(1).unwrap_or(&resolved).to_string();
+                let mapped = callee_params
+                    .iter()
+                    .position(|pn| *pn == bare)
+                    .and_then(|i| resolve(&LockRef::Param(i), args, crate_name))
+                    .unwrap_or(resolved);
+                for held in held_at_call {
+                    if let Some(a) = name_of(held) {
+                        if a != mapped {
+                            edges.entry((a, mapped.clone())).or_insert_with(|| site.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    report_cycles(&edges)
+}
+
+/// Walks one function body and records its acquisitions, direct edges,
+/// and outgoing free-function calls.
+#[allow(clippy::too_many_lines)]
+fn summarize_fn(file: &SourceFile, f: &token::FnItem, guard_fns: &BTreeSet<String>) -> FnSummary {
+    let mut s = FnSummary::default();
+    // Code tokens of the body, minus any nested fn item's span.
+    let nested: Vec<(usize, usize)> = file
+        .fns
+        .iter()
+        .filter(|g| g.start > f.body.0 && g.body.1 <= f.body.1 && g.body.0 < g.body.1)
+        .map(|g| (g.start, g.body.1))
+        .collect();
+    let body: Vec<usize> = token::code_indices(&file.tokens)
+        .into_iter()
+        .filter(|&ti| {
+            ti > f.body.0
+                && ti < f.body.1 - 1
+                && !nested.iter().any(|&(s0, e0)| ti >= s0 && ti < e0)
+        })
+        .collect();
+
+    let param_of = |name: &str| f.params.iter().position(|p| p == name).map(LockRef::Param);
+    let lock_ref = |name: &str| param_of(name).unwrap_or_else(|| LockRef::Named(name.to_string()));
+
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let acquire = |s: &mut FnSummary,
+                   held: &mut Vec<Held>,
+                   lock: LockRef,
+                   site: String,
+                   depth: i32,
+                   bound: Option<String>| {
+        for h in held.iter() {
+            s.edges.push((h.lock.clone(), lock.clone(), site.clone()));
+        }
+        s.acquires.push((lock.clone(), site.clone()));
+        held.push(Held { lock, depth, bound });
+    };
+
+    // The `let NAME` (if any) the current statement started with.
+    let mut stmt_let: Option<String> = None;
+    let mut w = 0usize;
+    while w < body.len() {
+        let ti = body[w];
+        let text = file.text(ti);
+        match text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth || h.bound.is_none());
+                stmt_let = None;
+            }
+            ";" | "," => {
+                held.retain(|h| h.bound.is_some());
+                if text == ";" {
+                    stmt_let = None;
+                }
+            }
+            "let" => {
+                let mut k = w + 1;
+                if body.get(k).is_some_and(|&j| file.text(j) == "mut") {
+                    k += 1;
+                }
+                stmt_let = body
+                    .get(k)
+                    .filter(|&&j| file.tokens[j].kind == TokenKind::Ident)
+                    .map(|&j| file.text(j).to_string());
+            }
+            "drop"
+                if body.get(w + 1).is_some_and(|&j| file.text(j) == "(")
+                    && body.get(w + 3).is_some_and(|&j| file.text(j) == ")") =>
+            {
+                let victim = file.text(body[w + 2]).to_string();
+                held.retain(|h| h.bound.as_deref() != Some(victim.as_str()));
+            }
+            _ => {}
+        }
+
+        // `.lock()` / `.read()` / `.write()` with empty args.
+        if text == "."
+            && body.get(w + 1).is_some_and(|&j| {
+                file.tokens[j].kind == TokenKind::Ident && ACQUIRE_METHODS.contains(&file.text(j))
+            })
+            && body.get(w + 2).is_some_and(|&j| file.text(j) == "(")
+            && body.get(w + 3).is_some_and(|&j| file.text(j) == ")")
+        {
+            // Lock identity: last ident (or tuple index) before the dot.
+            if w > 0 {
+                let prev = body[w - 1];
+                if matches!(file.tokens[prev].kind, TokenKind::Ident | TokenKind::Num) {
+                    let name = file.text(prev).to_string();
+                    let site = file.site(file.tokens[body[w + 1]].line);
+                    acquire(&mut s, &mut held, lock_ref(&name), site, depth, stmt_let.take());
+                    w += 4;
+                    continue;
+                }
+            }
+        }
+
+        // Guard-returning helper call (free-function syntax only).
+        if file.tokens[ti].kind == TokenKind::Ident
+            && guard_fns.contains(text)
+            && body.get(w + 1).is_some_and(|&j| file.text(j) == "(")
+            && (w == 0 || file.text(body[w - 1]) != ".")
+            && (w == 0 || file.text(body[w - 1]) != "fn")
+        {
+            // Identity: the last ident of the first argument.
+            if let Some(close) = match_paren_in(file, &body, w + 1) {
+                let mut name: Option<String> = None;
+                let mut d = 0i32;
+                for &aj in &body[w + 1..=close] {
+                    match file.text(aj) {
+                        "(" => d += 1,
+                        ")" => d -= 1,
+                        "," if d == 1 => break,
+                        t if file.tokens[aj].kind == TokenKind::Ident
+                            || file.tokens[aj].kind == TokenKind::Num =>
+                        {
+                            name = Some(t.to_string());
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(name) = name {
+                    let site = file.site(file.tokens[ti].line);
+                    acquire(&mut s, &mut held, lock_ref(&name), site, depth, stmt_let.take());
+                    w = close + 1;
+                    continue;
+                }
+            }
+        }
+
+        // Plain free-function call: record for propagation.
+        if file.tokens[ti].kind == TokenKind::Ident
+            && !guard_fns.contains(text)
+            && body.get(w + 1).is_some_and(|&j| file.text(j) == "(")
+            && (w == 0 || !matches!(file.text(body[w - 1]), "." | "fn" | "|" | "&" | "move"))
+            && text != "drop"
+        {
+            if let Some(close) = match_paren_in(file, &body, w + 1) {
+                // Last ident of each top-level argument.
+                let mut args: Vec<String> = Vec::new();
+                let mut current: Option<String> = None;
+                let mut d = 0i32;
+                for &aj in &body[w + 1..=close] {
+                    match file.text(aj) {
+                        "(" => d += 1,
+                        ")" => {
+                            d -= 1;
+                            if d == 0 {
+                                if let Some(cur) = current.take() {
+                                    args.push(cur);
+                                }
+                            }
+                        }
+                        "," if d == 1 => args.push(current.take().unwrap_or_default()),
+                        t if matches!(file.tokens[aj].kind, TokenKind::Ident | TokenKind::Num) => {
+                            current = Some(t.to_string());
+                        }
+                        _ => {}
+                    }
+                }
+                let held_now: Vec<LockRef> = held.iter().map(|h| h.lock.clone()).collect();
+                let site = file.site(file.tokens[ti].line);
+                s.calls.push((text.to_string(), args, held_now, site));
+            }
+        }
+        w += 1;
+    }
+    s
+}
+
+/// Index (into `body`) of the `)` matching the `(` at `body[open]`.
+fn match_paren_in(file: &SourceFile, body: &[usize], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, &ti) in body.iter().enumerate().skip(open) {
+        match file.text(ti) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Finds strongly connected components of the edge set and emits one
+/// `AD0200` diagnostic per cyclic SCC (plus one per self-loop).
+fn report_cycles(edges: &BTreeMap<(String, String), String>) -> Report {
+    let mut report = Report::new();
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let index: BTreeMap<&String, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let names: Vec<&String> = nodes.iter().copied().collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (a, b) in edges.keys() {
+        adj[index[a]].push(index[b]);
+    }
+
+    // Self-loops first: re-acquiring a non-reentrant lock.
+    for ((a, b), site) in edges {
+        if a == b {
+            let bare = a.split("::").nth(1).unwrap_or(a);
+            report.push(
+                DiagCode::LockOrderCycle,
+                site.clone(),
+                format!(
+                    "lock `{bare}` is re-acquired while already held; a std Mutex/RwLock is not \
+                     reentrant, so this self-deadlocks"
+                ),
+            );
+        }
+    }
+
+    // Iterative Tarjan SCC.
+    let n = names.len();
+    let mut ids = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_id = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if ids[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+            if *ei == 0 {
+                ids[v] = next_id;
+                low[v] = next_id;
+                next_id += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ei < adj[v].len() {
+                let u = adj[v][*ei];
+                *ei += 1;
+                if ids[u] == usize::MAX {
+                    call.push((u, 0));
+                } else if on_stack[u] {
+                    low[v] = low[v].min(ids[u]);
+                }
+            } else {
+                if low[v] == ids[v] {
+                    let mut comp = Vec::new();
+                    while let Some(u) = stack.pop() {
+                        on_stack[u] = false;
+                        comp.push(u);
+                        if u == v {
+                            break;
+                        }
+                    }
+                    if comp.len() > 1 {
+                        sccs.push(comp);
+                    }
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+
+    for comp in sccs {
+        let mut locks: Vec<&str> =
+            comp.iter().map(|&i| names[i].split("::").nth(1).unwrap_or(names[i])).collect();
+        locks.sort_unstable();
+        let comp_set: BTreeSet<usize> = comp.iter().copied().collect();
+        let mut sites: Vec<String> = edges
+            .iter()
+            .filter(|((a, b), _)| {
+                a != b && comp_set.contains(&index[a]) && comp_set.contains(&index[b])
+            })
+            .map(|((a, b), site)| {
+                format!(
+                    "`{}` held while taking `{}` at {site}",
+                    a.split("::").nth(1).unwrap_or(a),
+                    b.split("::").nth(1).unwrap_or(b),
+                )
+            })
+            .collect();
+        sites.sort();
+        let first =
+            sites.first().and_then(|s| s.rsplit(" at ").next()).unwrap_or("<unknown>").to_string();
+        report.push(
+            DiagCode::LockOrderCycle,
+            first,
+            format!(
+                "locks {} are acquired in conflicting orders ({}); two threads interleaving \
+                 these paths deadlock — pick one global order",
+                locks.iter().map(|l| format!("`{l}`")).collect::<Vec<_>>().join(", "),
+                sites.join("; "),
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn write(path: &Path, content: &str) {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, content).unwrap();
+    }
+
+    #[test]
+    fn opposite_order_in_two_functions_is_a_cycle() {
+        let root = std::env::temp_dir().join("aero_lockorder_cycle");
+        let _ = fs::remove_dir_all(&root);
+        write(
+            &root.join("crates/demo/src/lib.rs"),
+            "fn ab(s: &Shared) {\n\
+             \x20   let a = s.alpha.lock().unwrap();\n\
+             \x20   let b = s.beta.lock().unwrap();\n\
+             \x20   drop(b); drop(a);\n\
+             }\n\
+             fn ba(s: &Shared) {\n\
+             \x20   let b = s.beta.lock().unwrap();\n\
+             \x20   let a = s.alpha.lock().unwrap();\n\
+             \x20   drop(a); drop(b);\n\
+             }\n",
+        );
+        let report = lint_lock_order(&root);
+        assert!(report.has_code(DiagCode::LockOrderCycle), "{}", report.render());
+        let msg = &report.diagnostics()[0].message;
+        assert!(msg.contains("`alpha`") && msg.contains("`beta`"), "{msg}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let root = std::env::temp_dir().join("aero_lockorder_clean");
+        let _ = fs::remove_dir_all(&root);
+        write(
+            &root.join("crates/demo/src/lib.rs"),
+            "fn one(s: &Shared) {\n\
+             \x20   let a = s.alpha.lock().unwrap();\n\
+             \x20   let b = s.beta.lock().unwrap();\n\
+             \x20   drop(b); drop(a);\n\
+             }\n\
+             fn two(s: &Shared) {\n\
+             \x20   let a = s.alpha.lock().unwrap();\n\
+             \x20   let b = s.beta.lock().unwrap();\n\
+             \x20   drop(b); drop(a);\n\
+             }\n\
+             fn sequential(s: &Shared) {\n\
+             \x20   { let b = s.beta.lock().unwrap(); drop(b); }\n\
+             \x20   { let a = s.alpha.lock().unwrap(); drop(a); }\n\
+             }\n",
+        );
+        let report = lint_lock_order(&root);
+        assert!(report.is_clean(), "{}", report.render());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn this_workspace_lock_order_is_acyclic() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = lint_lock_order(&root);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+}

@@ -1,0 +1,26 @@
+// AD0201 known-negative: the RMW is justified, plain loads/stores are
+// fine relaxed, the publish pairs Release with the flag, and mentions in
+// comments or strings never count.
+
+fn bump(counter: &AtomicU64) {
+    // lint: relaxed-ok(monotonic counter; readers tolerate staleness)
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn read(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+fn set_depth(depth: &AtomicU64, value: u64) {
+    depth.store(value, Ordering::Relaxed);
+}
+
+fn publish(state: &State, value: u64) {
+    state.payload.store(value, Ordering::Relaxed);
+    state.ready.store(1, Ordering::Release);
+}
+
+fn doc_only() -> &'static str {
+    // A comment may say `fetch_add(1, Ordering::Relaxed)` freely.
+    "fetch_add(1, Ordering::Relaxed)"
+}

@@ -1,0 +1,11 @@
+// AD0201 known-positive: an unannotated relaxed read-modify-write and a
+// relaxed two-field publish.
+
+fn next_id(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+fn publish(state: &State, value: u64) {
+    state.payload.store(value, Ordering::Relaxed);
+    state.ready.store(1, Ordering::Relaxed);
+}

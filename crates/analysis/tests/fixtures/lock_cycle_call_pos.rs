@@ -1,0 +1,32 @@
+// AD0200 known-positive through call propagation and a guard-returning
+// helper: `submit` holds the queue lock while a callee takes the stats
+// lock; `drain` holds stats (via the poison-recovering helper) while a
+// callee takes queue.
+
+fn lock_stats(stats: &Mutex<Stats>) -> MutexGuard<'_, Stats> {
+    stats.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn bump_counters(shared: &Shared) {
+    let stats = shared.stats.lock().unwrap();
+    stats.bump();
+    drop(stats);
+}
+
+fn requeue(shared: &Shared) {
+    let queue = shared.queue.lock().unwrap();
+    queue.push_front(0);
+    drop(queue);
+}
+
+fn submit(shared: &Shared) {
+    let queue = shared.queue.lock().unwrap();
+    bump_counters(shared);
+    drop(queue);
+}
+
+fn drain(shared: &Shared) {
+    let stats = lock_stats(&shared.stats);
+    requeue(shared);
+    drop(stats);
+}

@@ -1,0 +1,18 @@
+// AD0200 known-positive: the serve runtime's worker/cache/stats locks
+// acquired in opposite orders by two paths.
+
+fn record_batch(shared: &WorkerShared) {
+    let cache = shared.cache.lock().unwrap();
+    let stats = shared.stats.lock().unwrap();
+    stats.note(cache.len());
+    drop(stats);
+    drop(cache);
+}
+
+fn evict_cold(shared: &WorkerShared) {
+    let stats = shared.stats.lock().unwrap();
+    let cache = shared.cache.lock().unwrap();
+    cache.evict(stats.pressure());
+    drop(cache);
+    drop(stats);
+}

@@ -1,0 +1,35 @@
+// AD0200 known-negative: every path agrees on cache-before-stats, and
+// the sequential path never overlaps the two guards at all.
+
+fn record_batch(shared: &WorkerShared) {
+    let cache = shared.cache.lock().unwrap();
+    let stats = shared.stats.lock().unwrap();
+    stats.note(cache.len());
+    drop(stats);
+    drop(cache);
+}
+
+fn evict_cold(shared: &WorkerShared) {
+    let cache = shared.cache.lock().unwrap();
+    let stats = shared.stats.lock().unwrap();
+    cache.evict(stats.pressure());
+    drop(stats);
+    drop(cache);
+}
+
+fn sequential(shared: &WorkerShared) {
+    {
+        let stats = shared.stats.lock().unwrap();
+        stats.flush();
+    }
+    {
+        let cache = shared.cache.lock().unwrap();
+        cache.compact();
+    }
+}
+
+// Mentions in comments (`a.lock()` then `b.lock()`) and strings must
+// never contribute edges.
+fn doc_only() -> &'static str {
+    "first cache.lock(), then stats.lock()"
+}

@@ -1,0 +1,21 @@
+// AD0202 known-negative: annotated timing, ordered containers, and
+// mentions inside comments/strings.
+
+fn timed_step() -> Duration {
+    // lint: nondet-ok(wall-clock feeds the duration metric only, never tensors)
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+fn tally(names: &[String]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for name in names {
+        *counts.entry(name.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn doc_only() -> &'static str {
+    // `HashMap` in a comment, `SystemTime` in a string: neither counts.
+    "HashMap and SystemTime are only mentioned here"
+}

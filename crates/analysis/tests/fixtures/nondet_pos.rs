@@ -1,0 +1,25 @@
+// AD0202 known-positive: wall clocks, hash-ordered containers, and an
+// ad-hoc thread spawn in a determinism-critical crate.
+
+fn time_step() -> Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+fn wall_clock() -> SystemTime {
+    SystemTime::now()
+}
+
+fn tally(names: &[String]) -> HashMap<String, usize> {
+    let mut counts = HashMap::new();
+    for name in names {
+        *counts.entry(name.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn fan_out(work: Vec<Job>) {
+    for job in work {
+        std::thread::spawn(move || job.run());
+    }
+}

@@ -1,0 +1,36 @@
+// AD0203 known-negative: the panic-prone request work runs under
+// catch_unwind, the closure itself handles its errors, and panic sites
+// outside any spawned closure (or after #[cfg(test)]) are out of scope.
+
+fn start(shared: Arc<Shared>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("demo-worker".into())
+        .spawn(move || loop {
+            let Some(batch) = shared.queue.pop() else { return };
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                serve_one(&shared, batch).expect("request work is recovered")
+            }));
+            if outcome.is_err() {
+                shared.stats.record_panic();
+            }
+        })
+        .expect("spawn demo worker")
+}
+
+fn serve_one(shared: &Shared, batch: Batch) -> Result<(), ServeError> {
+    shared.replica.apply(batch)
+}
+
+fn startup_outside_any_worker(config: &Config) -> Replica {
+    // Main-thread startup may still fail fast.
+    config.snapshot().hydrate().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let handle = std::thread::spawn(|| VALUES[0].parse::<u32>().unwrap());
+        handle.join().unwrap();
+    }
+}

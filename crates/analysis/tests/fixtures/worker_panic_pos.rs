@@ -1,0 +1,17 @@
+// AD0203 known-positive: panic sites inside a spawned closure and
+// inside a same-file free function the closure calls.
+
+fn start(shared: Arc<Shared>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("demo-worker".into())
+        .spawn(move || {
+            let replica = shared.snapshot.hydrate().unwrap();
+            run_worker(&replica, &shared);
+        })
+        .expect("spawn demo worker")
+}
+
+fn run_worker(replica: &Replica, shared: &Shared) {
+    let first = &shared.batches[0];
+    replica.config().expect("replica config").apply(first);
+}

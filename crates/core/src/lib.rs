@@ -36,7 +36,10 @@ pub mod viewpoint;
 pub use ablation::{AblationSpec, AblationVariant};
 pub use condition::ConditionNetwork;
 pub use config::PipelineConfig;
-pub use lint::{lint_checkpoint, lint_config, lint_kernel_callsites, lint_panicking_callsites};
+pub use lint::{
+    lint_checkpoint, lint_config, lint_kernel_callsites, lint_panicking_callsites, lint_source_all,
+    Baseline, BaselineDiff,
+};
 pub use persist::PersistError;
 pub use pipeline::{AeroDiffusionPipeline, FitReport};
 pub use region::RegionAugmenter;

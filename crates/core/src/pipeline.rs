@@ -299,6 +299,7 @@ impl AeroDiffusionPipeline {
                     .collect();
                 let refs: Vec<&Tensor> = z_refs.iter().collect();
                 let z0 = Tensor::stack(&refs);
+                // lint: nondet-ok(wall-clock feeds the step-duration metric only, never tensors)
                 let step_start = std::time::Instant::now();
                 let _step_span = span!("train.step");
                 opt.zero_grad();

@@ -81,6 +81,7 @@ impl DiffusionTrainer {
         rng: &mut R,
     ) -> f32 {
         let _span = aero_obs::span!("train.step");
+        // lint: nondet-ok(wall-clock feeds the step-duration metric only, never tensors)
         let start = std::time::Instant::now();
         opt.zero_grad();
         let cond_var = batch.cond.as_ref().map(|c| Var::constant(c.clone()));

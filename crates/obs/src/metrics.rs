@@ -30,6 +30,7 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // lint: relaxed-ok(monotonic counter; readers only ever see a stale total)
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -112,8 +113,11 @@ impl Histogram {
     #[inline]
     pub fn observe(&self, value: u64) {
         let idx = self.bounds.partition_point(|&b| b < value);
+        // lint: relaxed-ok(histogram fields are independently monotonic; snapshots tolerate tearing)
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // lint: relaxed-ok(histogram fields are independently monotonic; snapshots tolerate tearing)
         self.sum.fetch_add(value, Ordering::Relaxed);
+        // lint: relaxed-ok(histogram fields are independently monotonic; snapshots tolerate tearing)
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 

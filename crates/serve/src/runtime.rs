@@ -209,7 +209,11 @@ impl ServeRuntime {
             faults,
         };
         let mut slots: Vec<Option<JoinHandle<WorkerOutcome>>> = (0..config.workers)
-            .map(|i| Some(spawn_worker(i, 0, Arc::clone(&snapshot), shared.clone(), config)))
+            .map(|i| {
+                let handle = spawn_worker(i, 0, Arc::clone(&snapshot), shared.clone(), config)
+                    .expect("spawn serve worker");
+                Some(handle)
+            })
             .collect();
         let watchdog = std::thread::Builder::new()
             .name("aero-serve-watchdog".into())
@@ -280,11 +284,10 @@ fn spawn_worker(
     snapshot: Arc<PipelineSnapshot>,
     shared: WorkerShared,
     config: ServeConfig,
-) -> JoinHandle<WorkerOutcome> {
+) -> std::io::Result<JoinHandle<WorkerOutcome>> {
     std::thread::Builder::new()
         .name(format!("aero-serve-{slot}.{generation}"))
         .spawn(move || worker_loop(&snapshot, &shared, config))
-        .expect("spawn serve worker")
 }
 
 /// Supervises the worker slots: joins finished workers, respawns the ones
@@ -303,24 +306,28 @@ fn watchdog_loop(
         let mut live = 0usize;
         for (i, slot) in slots.iter_mut().enumerate() {
             if slot.as_ref().is_some_and(JoinHandle::is_finished) {
-                let outcome = slot.take().expect("finished slot has a handle").join();
-                match outcome {
+                let Some(handle) = slot.take() else { continue };
+                match handle.join() {
                     Ok(WorkerOutcome::Drained | WorkerOutcome::HydrationFailed) => {}
                     // A worker that died is replaced even mid-shutdown:
                     // its requeued batch still has to be drained, and the
-                    // restart budget bounds the loop either way.
+                    // restart budget bounds the loop either way. A failed
+                    // respawn leaves the slot empty; the live count below
+                    // then treats it like any other dead worker.
                     Ok(WorkerOutcome::Suspect) | Err(_) => {
                         if restarts < config.max_worker_restarts {
-                            restarts += 1;
-                            generation += 1;
-                            shared.stats.record_worker_restart();
-                            *slot = Some(spawn_worker(
+                            if let Ok(replacement) = spawn_worker(
                                 i,
-                                generation,
+                                generation + 1,
                                 Arc::clone(snapshot),
                                 shared.clone(),
                                 config,
-                            ));
+                            ) {
+                                restarts += 1;
+                                generation += 1;
+                                shared.stats.record_worker_restart();
+                                *slot = Some(replacement);
+                            }
                         }
                     }
                 }
@@ -362,7 +369,12 @@ fn worker_loop(
         seed: config.reference_seed,
         generator: SceneGeneratorConfig::default(),
     });
-    let item = &reference.items[0];
+    let Some(item) = reference.items.first() else {
+        // An empty reference dataset is as unservable as a failed
+        // hydration; surface it the same way instead of panicking.
+        shared.stats.record_hydration_failure();
+        return WorkerOutcome::HydrationFailed;
+    };
     // A fixed caption G makes the encode a pure function of the request's
     // prompt (G'), which is what lets the condition cache key on it.
     let caption_g = replica.caption_for(item, &mut StdRng::seed_from_u64(0));

@@ -104,7 +104,8 @@ fn main() -> ExitCode {
                  \n         [--batch-wait-ms MS] [--cache N] [--steps N] [--guidance G] [--scale …]\n\
                  \n         [--threads N] [--max-worker-restarts N] [--inject-panic-at N[,N…]]\n\
                  \n  info   <dir>\n\
-                 \n  lint   [--scale smoke|small|paper] [--all]"
+                 \n  lint   [--scale smoke|small|paper] [--all] [--source-root DIR]\n\
+                 \n         [--baseline FILE | --write-baseline FILE]"
             );
             return ExitCode::from(2);
         }
@@ -403,18 +404,29 @@ fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
         println!("== checkpoint ==");
         print!("{}", report.render());
         failed |= !report.is_clean();
-        // Source-level: no production call sites of the serial
-        // reference kernels (AD0110). A no-op away from a checkout.
-        let report = aerodiffusion::lint_kernel_callsites(std::path::Path::new("."));
-        println!("== kernels ==");
-        print!("{}", report.render());
-        failed |= !report.is_clean();
-        // Source-level: serving crates reach shape-checked tensor ops
-        // only through their `try_*` forms (AD0111).
-        let report = aerodiffusion::lint_panicking_callsites(std::path::Path::new("."));
-        println!("== serving kernels ==");
-        print!("{}", report.render());
-        failed |= !report.is_clean();
+        // Source-level: all six token-level passes over the workspace
+        // tree (AD0110/AD0111 kernel discipline, AD0200 lock order,
+        // AD0201 atomics, AD0202 determinism, AD0203 worker panics).
+        // A no-op away from a checkout.
+        let source_root = parse_flag(args, "--source-root").unwrap_or_else(|| ".".to_string());
+        let report = aerodiffusion::lint_source_all(std::path::Path::new(&source_root));
+        println!("== source ==");
+        if let Some(path) = parse_flag(args, "--write-baseline") {
+            let baseline = aerodiffusion::Baseline::from_report(&report);
+            std::fs::write(&path, baseline.render())?;
+            println!("wrote {} accepted finding(s) to {path}", baseline.len());
+        } else if let Some(path) = parse_flag(args, "--baseline") {
+            // Diff mode: accepted findings don't block, anything new does
+            // — warnings included, which is what makes the warning-level
+            // passes enforceable at all.
+            let baseline = aerodiffusion::Baseline::parse(&std::fs::read_to_string(&path)?);
+            let diff = baseline.diff(&report);
+            print!("{}", diff.render());
+            failed |= !diff.is_clean();
+        } else {
+            print!("{}", report.render());
+            failed |= !report.is_clean();
+        }
     }
     if failed {
         return Err("lint found errors".into());

@@ -7,8 +7,13 @@
 #                      warnings are errors
 #   3. tests         — the full workspace test suite
 #   4. static lint   — aero-analysis shape validation of every shipped
-#                      pipeline preset plus the serving batcher contract
-#                      (the `lint` CLI subcommand)
+#                      pipeline preset plus the serving batcher contract,
+#                      and the token-level source passes (AD01xx/AD02xx)
+#                      gated against the committed diagnostics baseline:
+#                      any finding not in tools/lint_baseline.txt fails
+#                      (the `lint` CLI subcommand); plus a lock-order
+#                      smoke that plants a deliberate AD0200 cycle in a
+#                      temp workspace and asserts the analyzer trips
 #   5. serve smoke   — two NDJSON requests piped through `serve --demo`,
 #                      asserting image replies plus the stats and
 #                      metrics probes
@@ -43,8 +48,38 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --offline --workspace -q
 
-echo "== static model lint (all shipped presets) =="
-cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- lint --all
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+echo "== static model + source lint (baseline-gated) =="
+cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  lint --all --baseline tools/lint_baseline.txt
+
+echo "== lock-order smoke: a planted AD0200 cycle must fail the gate =="
+# Two functions taking the same two locks in opposite orders; the
+# analyzer must refuse even though the baseline is supplied.
+mkdir -p "$work/lockcycle/crates/demo/src"
+cat > "$work/lockcycle/crates/demo/src/lib.rs" <<'EOF'
+fn forward(s: &Shared) {
+    let a = s.alpha.lock().unwrap();
+    let b = s.beta.lock().unwrap();
+    a.feed(&b);
+}
+
+fn backward(s: &Shared) {
+    let b = s.beta.lock().unwrap();
+    let a = s.alpha.lock().unwrap();
+    b.feed(&a);
+}
+EOF
+if cycle_out="$(cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  lint --all --baseline tools/lint_baseline.txt \
+  --source-root "$work/lockcycle" 2>&1)"; then
+  echo "lock-order smoke: planted cycle was not rejected"; exit 1
+fi
+echo "$cycle_out" | grep -q 'AD0200' \
+  || { echo "lock-order smoke: failure did not cite AD0200"; \
+       echo "$cycle_out"; exit 1; }
 
 echo "== serving smoke test (NDJSON over stdin/stdout) =="
 # Two generate requests plus stats and metrics probes piped through a
@@ -68,8 +103,6 @@ echo "$serve_out" | grep -q '"serve.completed":2' \
   || { echo "serve smoke: metrics line missing serve.completed counter"; exit 1; }
 
 echo "== fault smoke: kill + resume a checkpointed training run =="
-work="$(mktemp -d)"
-trap 'rm -rf "$work"' EXIT
 # Kill the joint stage after its first step (checkpoint every step; the
 # smoke preset runs 2 joint steps total, so the resumed run still has
 # real work left to do)…
