@@ -1,6 +1,6 @@
 //! Pipeline configuration presets.
 
-use aero_diffusion::DiffusionConfig;
+use aero_diffusion::{BetaSchedule, DiffusionConfig};
 use aero_vision::VisionConfig;
 
 /// All hyperparameters of the end-to-end pipeline.
@@ -122,6 +122,130 @@ impl PipelineConfig {
     pub fn cond_dim(&self) -> usize {
         3 * self.vision.embed_dim
     }
+
+    /// Serializes every field as sorted `key=value` lines. Floats are
+    /// stored as hexadecimal bit patterns, so the round trip through
+    /// [`PipelineConfig::parse_kv`] is exact and the rendering is
+    /// byte-stable — the model-artifact metadata section depends on both.
+    #[must_use]
+    pub fn render_kv(&self) -> String {
+        let (schedule, beta_start, beta_end) = match self.diffusion.schedule {
+            BetaSchedule::Linear { beta_start, beta_end } => ("linear", beta_start, beta_end),
+            BetaSchedule::Cosine => ("cosine", 0.0, 0.0),
+            BetaSchedule::ScaledLinear { beta_start, beta_end } => {
+                ("scaled_linear", beta_start, beta_end)
+            }
+        };
+        let mut lines = vec![
+            format!("batch_size={}", self.batch_size),
+            format!("clip_epochs={}", self.clip_epochs),
+            format!("detector_epochs={}", self.detector_epochs),
+            format!("diffusion.beta_end=0x{:08x}", beta_end.to_bits()),
+            format!("diffusion.beta_start=0x{:08x}", beta_start.to_bits()),
+            format!("diffusion.cond_dropout=0x{:016x}", self.diffusion.cond_dropout.to_bits()),
+            format!("diffusion.ddim_steps={}", self.diffusion.ddim_steps),
+            format!("diffusion.guidance_scale=0x{:08x}", self.diffusion.guidance_scale.to_bits()),
+            format!("diffusion.schedule={schedule}"),
+            format!("diffusion.timesteps={}", self.diffusion.timesteps),
+            format!("diffusion_batch_size={}", self.diffusion_batch_size),
+            format!("diffusion_epochs={}", self.diffusion_epochs),
+            format!("diffusion_lr=0x{:08x}", self.diffusion_lr.to_bits()),
+            format!("joint_condition_training={}", self.joint_condition_training),
+            format!("max_rois={}", self.max_rois),
+            format!("roi_confidence=0x{:08x}", self.roi_confidence.to_bits()),
+            format!("substrate_lr=0x{:08x}", self.substrate_lr.to_bits()),
+            format!("unet_channels={}", self.unet_channels),
+            format!("vae_epochs={}", self.vae_epochs),
+            format!("vision.base_channels={}", self.vision.base_channels),
+            format!("vision.embed_dim={}", self.vision.embed_dim),
+            format!("vision.image_size={}", self.vision.image_size),
+            format!("vision.max_text_len={}", self.vision.max_text_len),
+        ];
+        lines.sort_unstable();
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Parses the `key=value` rendering produced by
+    /// [`PipelineConfig::render_kv`] back into a config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first missing or
+    /// malformed field.
+    pub fn parse_kv(text: &str) -> Result<PipelineConfig, String> {
+        let mut kv = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line.split_once('=').ok_or_else(|| format!("not key=value: {line}"))?;
+            kv.insert(k.to_string(), v.to_string());
+        }
+        let usize_field = |k: &str| -> Result<usize, String> {
+            kv.get(k)
+                .ok_or_else(|| format!("missing {k}"))?
+                .parse()
+                .map_err(|e| format!("bad {k}: {e}"))
+        };
+        let f32_field = |k: &str| -> Result<f32, String> {
+            let v = kv.get(k).ok_or_else(|| format!("missing {k}"))?;
+            let hex = v.strip_prefix("0x").ok_or_else(|| format!("{k} not a bit pattern: {v}"))?;
+            u32::from_str_radix(hex, 16).map(f32::from_bits).map_err(|e| format!("bad {k}: {e}"))
+        };
+        let f64_field = |k: &str| -> Result<f64, String> {
+            let v = kv.get(k).ok_or_else(|| format!("missing {k}"))?;
+            let hex = v.strip_prefix("0x").ok_or_else(|| format!("{k} not a bit pattern: {v}"))?;
+            u64::from_str_radix(hex, 16).map(f64::from_bits).map_err(|e| format!("bad {k}: {e}"))
+        };
+        let schedule = match kv.get("diffusion.schedule").map(String::as_str) {
+            Some("linear") => BetaSchedule::Linear {
+                beta_start: f32_field("diffusion.beta_start")?,
+                beta_end: f32_field("diffusion.beta_end")?,
+            },
+            Some("cosine") => BetaSchedule::Cosine,
+            Some("scaled_linear") => BetaSchedule::ScaledLinear {
+                beta_start: f32_field("diffusion.beta_start")?,
+                beta_end: f32_field("diffusion.beta_end")?,
+            },
+            Some(other) => return Err(format!("unknown diffusion.schedule {other}")),
+            None => return Err("missing diffusion.schedule".into()),
+        };
+        let joint = kv
+            .get("joint_condition_training")
+            .ok_or("missing joint_condition_training")?
+            .parse()
+            .map_err(|e| format!("bad joint_condition_training: {e}"))?;
+        Ok(PipelineConfig {
+            vision: VisionConfig {
+                image_size: usize_field("vision.image_size")?,
+                embed_dim: usize_field("vision.embed_dim")?,
+                base_channels: usize_field("vision.base_channels")?,
+                max_text_len: usize_field("vision.max_text_len")?,
+            },
+            diffusion: DiffusionConfig {
+                timesteps: usize_field("diffusion.timesteps")?,
+                schedule,
+                ddim_steps: usize_field("diffusion.ddim_steps")?,
+                guidance_scale: f32_field("diffusion.guidance_scale")?,
+                cond_dropout: f64_field("diffusion.cond_dropout")?,
+            },
+            clip_epochs: usize_field("clip_epochs")?,
+            vae_epochs: usize_field("vae_epochs")?,
+            detector_epochs: usize_field("detector_epochs")?,
+            diffusion_epochs: usize_field("diffusion_epochs")?,
+            batch_size: usize_field("batch_size")?,
+            diffusion_batch_size: usize_field("diffusion_batch_size")?,
+            substrate_lr: f32_field("substrate_lr")?,
+            diffusion_lr: f32_field("diffusion_lr")?,
+            max_rois: usize_field("max_rois")?,
+            roi_confidence: f32_field("roi_confidence")?,
+            unet_channels: usize_field("unet_channels")?,
+            joint_condition_training: joint,
+        })
+    }
 }
 
 impl Default for PipelineConfig {
@@ -138,6 +262,34 @@ mod tests {
     fn cond_dim_is_three_blocks() {
         let c = PipelineConfig::smoke();
         assert_eq!(c.cond_dim(), 3 * c.vision.embed_dim);
+    }
+
+    #[test]
+    fn kv_codec_round_trips_every_preset() {
+        for config in [PipelineConfig::paper(), PipelineConfig::small(), PipelineConfig::smoke()] {
+            let text = config.render_kv();
+            let back = PipelineConfig::parse_kv(&text).unwrap();
+            assert_eq!(back, config);
+            // byte-stable: rendering the parse result reproduces the text
+            assert_eq!(back.render_kv(), text);
+        }
+    }
+
+    #[test]
+    fn kv_codec_rejects_missing_and_malformed_fields() {
+        let text = PipelineConfig::smoke().render_kv();
+        let without = text.lines().filter(|l| !l.starts_with("unet_channels")).fold(
+            String::new(),
+            |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            },
+        );
+        assert!(PipelineConfig::parse_kv(&without).unwrap_err().contains("unet_channels"));
+        assert!(PipelineConfig::parse_kv("not-a-kv-line\n").is_err());
+        let bad_float = text.replace("substrate_lr=0x", "substrate_lr=");
+        assert!(PipelineConfig::parse_kv(&bad_float).unwrap_err().contains("substrate_lr"));
     }
 
     #[test]

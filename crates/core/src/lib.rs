@@ -40,8 +40,11 @@ pub use lint::{
     lint_checkpoint, lint_config, lint_kernel_callsites, lint_panicking_callsites, lint_source_all,
     Baseline, BaselineDiff,
 };
-pub use persist::PersistError;
+pub use persist::{
+    parse_provider_tag, parse_variant_tag, provider_tag, variant_tag, PersistError, PipelineMeta,
+    PIPELINE_FORMAT_VERSION,
+};
 pub use pipeline::{AeroDiffusionPipeline, FitReport};
 pub use region::RegionAugmenter;
-pub use snapshot::PipelineSnapshot;
+pub use snapshot::{PipelineSnapshot, MODULE_NAMES};
 pub use substrate::SubstrateBundle;

@@ -36,6 +36,14 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
+/// The on-disk pipeline format version, shared by every persistence
+/// layer: the directory manifest (`manifest.txt`), and the single-file
+/// model artifact header in `aero-model`. Keeping one typed constant
+/// means the two layers cannot silently diverge — bump it here and both
+/// readers reject the other's future files with a typed
+/// [`PersistError::VersionMismatch`].
+pub const PIPELINE_FORMAT_VERSION: u32 = aero_nn::integrity::MANIFEST_VERSION;
+
 /// Every file a pipeline directory contains, in manifest order.
 pub(crate) const PIPELINE_FILES: [&str; 8] = [
     "vocab.txt",
@@ -217,19 +225,63 @@ pub(crate) fn read_tokenizer(dir: &Path, max_len: usize) -> Result<Tokenizer, Pe
     Ok(Tokenizer::new(vocab_from_words(&words)?, max_len))
 }
 
-pub(crate) fn write_meta(meta: &PipelineMeta, path: &Path) -> Result<(), PersistError> {
-    let provider = match meta.provider {
+/// The stable on-disk tag for a caption provider, shared by `meta.txt`
+/// and the model-artifact metadata section.
+#[must_use]
+pub fn provider_tag(provider: LlmProvider) -> &'static str {
+    match provider {
         LlmProvider::KeypointAware => "keypoint",
         LlmProvider::GeminiLike => "gemini",
         LlmProvider::Gpt4oLike => "gpt4o",
         LlmProvider::BlipCaption => "blip",
-    };
-    let variant = match meta.variant {
+    }
+}
+
+/// Parses a [`provider_tag`] back to its provider.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Meta`] on an unknown tag.
+pub fn parse_provider_tag(tag: &str) -> Result<LlmProvider, PersistError> {
+    match tag {
+        "keypoint" => Ok(LlmProvider::KeypointAware),
+        "gemini" => Ok(LlmProvider::GeminiLike),
+        "gpt4o" => Ok(LlmProvider::Gpt4oLike),
+        "blip" => Ok(LlmProvider::BlipCaption),
+        other => Err(PersistError::Meta(format!("unknown provider {other}"))),
+    }
+}
+
+/// The stable on-disk tag for an ablation variant, shared by `meta.txt`
+/// and the model-artifact metadata section.
+#[must_use]
+pub fn variant_tag(variant: AblationVariant) -> &'static str {
+    match variant {
         AblationVariant::BaseSd => "base_sd",
         AblationVariant::WithBlip => "with_blip",
         AblationVariant::WithKeypointText => "with_keypoint_text",
         AblationVariant::Full => "full",
-    };
+    }
+}
+
+/// Parses a [`variant_tag`] back to its variant.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Meta`] on an unknown tag.
+pub fn parse_variant_tag(tag: &str) -> Result<AblationVariant, PersistError> {
+    match tag {
+        "base_sd" => Ok(AblationVariant::BaseSd),
+        "with_blip" => Ok(AblationVariant::WithBlip),
+        "with_keypoint_text" => Ok(AblationVariant::WithKeypointText),
+        "full" => Ok(AblationVariant::Full),
+        other => Err(PersistError::Meta(format!("unknown variant {other}"))),
+    }
+}
+
+pub(crate) fn write_meta(meta: &PipelineMeta, path: &Path) -> Result<(), PersistError> {
+    let provider = provider_tag(meta.provider);
+    let variant = variant_tag(meta.variant);
     write_atomic(
         path,
         format!(
@@ -252,24 +304,8 @@ pub(crate) fn read_meta(path: &Path) -> Result<PipelineMeta, PersistError> {
         match k {
             "max_len" => max_len = v.parse().ok(),
             "latent_scale" => latent_scale = v.parse().ok(),
-            "provider" => {
-                provider = Some(match v {
-                    "keypoint" => LlmProvider::KeypointAware,
-                    "gemini" => LlmProvider::GeminiLike,
-                    "gpt4o" => LlmProvider::Gpt4oLike,
-                    "blip" => LlmProvider::BlipCaption,
-                    other => return Err(PersistError::Meta(format!("unknown provider {other}"))),
-                });
-            }
-            "variant" => {
-                variant = Some(match v {
-                    "base_sd" => AblationVariant::BaseSd,
-                    "with_blip" => AblationVariant::WithBlip,
-                    "with_keypoint_text" => AblationVariant::WithKeypointText,
-                    "full" => AblationVariant::Full,
-                    other => return Err(PersistError::Meta(format!("unknown variant {other}"))),
-                });
-            }
+            "provider" => provider = Some(parse_provider_tag(v)?),
+            "variant" => variant = Some(parse_variant_tag(v)?),
             _ => {}
         }
     }

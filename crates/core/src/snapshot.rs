@@ -54,10 +54,54 @@ fn restore(params: &[Var], blob: &[u8]) -> Result<(), LoadWeightsError> {
     load_into_params(params, decode_tensors(blob)?)
 }
 
+/// The five weight-carrying modules of a snapshot, in the order
+/// [`PipelineSnapshot::module_blobs`] yields them and
+/// [`PipelineSnapshot::from_parts`] expects them.
+pub const MODULE_NAMES: [&str; 5] = ["clip", "vae", "detector", "condition", "unet"];
+
 impl PipelineSnapshot {
     /// The configuration the snapshot was trained with.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The dataset-independent metadata the snapshot carries.
+    pub fn meta(&self) -> &PipelineMeta {
+        &self.meta
+    }
+
+    /// The vocabulary words in id order.
+    pub fn vocab_words(&self) -> &[String] {
+        &self.vocab
+    }
+
+    /// Every module's serialized weight blob, named, in
+    /// [`MODULE_NAMES`] order. This is the model-artifact export path.
+    pub fn module_blobs(&self) -> [(&'static str, &[u8]); 5] {
+        [
+            ("clip", self.clip.as_slice()),
+            ("vae", self.vae.as_slice()),
+            ("detector", self.detector.as_slice()),
+            ("condition", self.condition.as_slice()),
+            ("unet", self.unet.as_slice()),
+        ]
+    }
+
+    /// Reassembles a snapshot from its parts — the model-artifact
+    /// hydration path. `modules` must be the weight blobs in
+    /// [`MODULE_NAMES`] order; nothing is decoded here, so a corrupted
+    /// blob surfaces later, from [`PipelineSnapshot::hydrate`], as a
+    /// typed error.
+    #[must_use]
+    pub fn from_parts(
+        config: PipelineConfig,
+        meta: PipelineMeta,
+        parallel: ParallelConfig,
+        vocab: Vec<String>,
+        modules: [Vec<u8>; 5],
+    ) -> PipelineSnapshot {
+        let [clip, vae, detector, condition, unet] = modules;
+        PipelineSnapshot { config, meta, parallel, vocab, clip, vae, detector, condition, unet }
     }
 
     /// The ablation variant the snapshot was trained as.

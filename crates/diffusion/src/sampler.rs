@@ -6,8 +6,8 @@
 //! ([`NoiseSpec`]), the optional condition, and an optional
 //! [`TraceSink`] receiving the span trace of the run. The per-variant
 //! methods that accreted across earlier revisions (`sample`,
-//! `sample_from`, `sample_with_streams`) survive one release as thin
-//! deprecated shims delegating here.
+//! `sample_from`, `sample_with_streams`) were removed after one release
+//! as deprecated shims; every caller goes through [`Sampler::run`].
 
 use crate::schedule::NoiseSchedule;
 use crate::unet::CondUnet;
@@ -219,59 +219,6 @@ impl DdpmSampler {
         DdpmSampler
     }
 
-    /// Deprecated shim for the consolidated entry point.
-    ///
-    /// All batch rows share `rng`, so a row's output depends on its batch
-    /// context; use per-sample streams when each sample must be
-    /// reproducible independently of how it was batched.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use Sampler::Ddpm(self).run(unet, schedule, SampleOptions::from_rng(shape, \
-                rng)); this shim will be removed in the next release"
-    )]
-    pub fn sample<R: Rng + ?Sized>(
-        &self,
-        unet: &CondUnet,
-        schedule: &NoiseSchedule,
-        shape: &[usize],
-        cond: Option<&Tensor>,
-        rng: &mut R,
-    ) -> Tensor {
-        let mut rng = rng;
-        Sampler::Ddpm(*self).run(
-            unet,
-            schedule,
-            SampleOptions::from_rng(shape, &mut rng).with_cond_opt(cond),
-        )
-    }
-
-    /// Deprecated shim for the consolidated entry point with per-sample
-    /// noise streams.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rngs` is empty.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use Sampler::Ddpm(self).run(unet, schedule, \
-                SampleOptions::from_streams(sample_shape, rngs)); this shim will be removed in \
-                the next release"
-    )]
-    pub fn sample_with_streams<R: Rng>(
-        &self,
-        unet: &CondUnet,
-        schedule: &NoiseSchedule,
-        sample_shape: &[usize],
-        cond: Option<&Tensor>,
-        rngs: &mut [R],
-    ) -> Tensor {
-        Sampler::Ddpm(*self).run(
-            unet,
-            schedule,
-            SampleOptions::from_streams(sample_shape, rngs).with_cond_opt(cond),
-        )
-    }
-
     /// Runs all `T` ancestral steps with every row drawing from the one
     /// shared `rng`. `shape` is `[n, c, h, w]`.
     fn ancestral_shared<R: Rng + ?Sized>(
@@ -373,49 +320,6 @@ impl DdimSampler {
     /// (and the default `z0` clip of 3 standard deviations).
     pub fn new(steps: usize, guidance_scale: f32) -> Self {
         DdimSampler { steps, guidance_scale, z0_clip: 3.0 }
-    }
-
-    /// Deprecated shim for the consolidated entry point.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use Sampler::Ddim(self).run(unet, schedule, SampleOptions::from_rng(shape, \
-                rng)); this shim will be removed in the next release"
-    )]
-    pub fn sample<R: Rng + ?Sized>(
-        &self,
-        unet: &CondUnet,
-        schedule: &NoiseSchedule,
-        shape: &[usize],
-        cond: Option<&Tensor>,
-        rng: &mut R,
-    ) -> Tensor {
-        let mut rng = rng;
-        Sampler::Ddim(*self).run(
-            unet,
-            schedule,
-            SampleOptions::from_rng(shape, &mut rng).with_cond_opt(cond),
-        )
-    }
-
-    /// Deprecated shim for the consolidated entry point.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use Sampler::Ddim(self).run(unet, schedule, \
-                SampleOptions::from_latent(z_init)); this shim will be removed in the next \
-                release"
-    )]
-    pub fn sample_from(
-        &self,
-        unet: &CondUnet,
-        schedule: &NoiseSchedule,
-        z_init: Tensor,
-        cond: Option<&Tensor>,
-    ) -> Tensor {
-        Sampler::Ddim(*self).run(
-            unet,
-            schedule,
-            SampleOptions::from_latent(z_init).with_cond_opt(cond),
-        )
     }
 
     /// Runs the deterministic reverse process from an explicit initial

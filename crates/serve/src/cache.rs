@@ -97,6 +97,13 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         None
     }
 
+    /// Drops every entry (e.g. after a model hot-swap invalidates all
+    /// cached embeddings at once). Capacity is unchanged.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
     /// Removes an entry outright (e.g. one found to hold corrupt data),
     /// returning its value if it was present.
     pub fn remove(&mut self, key: &K) -> Option<V> {

@@ -42,11 +42,26 @@ pub enum Fault {
     DelayMs(u64),
 }
 
-/// A fixed schedule of faults keyed by request ordinal. Shared across
-/// workers; each scheduled fault fires exactly once.
+/// One injectable failure on the model hot-swap control path, attached
+/// to a *swap* ordinal (the Nth swap attempted on the runtime, counted
+/// from 0) rather than a request ordinal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapFault {
+    /// Flip a byte of the resolved artifact's bytes after they are read
+    /// from the registry but before they are parsed. The artifact's
+    /// trailing CRC must reject the corruption, the swap must fail with
+    /// a typed error, and the previously installed model must keep
+    /// serving every in-flight and subsequent request.
+    CorruptArtifact,
+}
+
+/// A fixed schedule of faults keyed by request ordinal (plus swap faults
+/// keyed by swap ordinal). Shared across workers; each scheduled fault
+/// fires exactly once.
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     faults: Mutex<HashMap<u64, Fault>>,
+    swap_faults: Mutex<HashMap<u64, SwapFault>>,
 }
 
 impl FaultPlan {
@@ -114,7 +129,29 @@ impl FaultPlan {
         self.faults.lock().expect("fault plan lock").remove(&ordinal)
     }
 
-    /// Faults still waiting to fire.
+    /// Builder: schedules `fault` for the swap attempt with this ordinal
+    /// (the Nth call to the runtime's swap entry point, from 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan mutex was poisoned.
+    #[must_use]
+    pub fn inject_swap(self, ordinal: u64, fault: SwapFault) -> Self {
+        self.swap_faults.lock().expect("fault plan lock").insert(ordinal, fault);
+        self
+    }
+
+    /// Takes the fault scheduled for swap attempt `ordinal`, if any.
+    /// One-shot, like request faults: a retried swap goes through clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan mutex was poisoned.
+    pub fn take_swap(&self, ordinal: u64) -> Option<SwapFault> {
+        self.swap_faults.lock().expect("fault plan lock").remove(&ordinal)
+    }
+
+    /// Faults still waiting to fire (request and swap faults combined).
     ///
     /// # Panics
     ///
@@ -122,6 +159,7 @@ impl FaultPlan {
     #[must_use]
     pub fn remaining(&self) -> usize {
         self.faults.lock().expect("fault plan lock").len()
+            + self.swap_faults.lock().expect("fault plan lock").len()
     }
 }
 
@@ -154,6 +192,19 @@ mod tests {
         for ordinal in 0..64 {
             assert_eq!(a.take(ordinal), b.take(ordinal), "plans diverged at {ordinal}");
         }
+    }
+
+    #[test]
+    fn swap_faults_are_one_shot_and_independent_of_request_faults() {
+        let plan = FaultPlan::new()
+            .inject(0, Fault::PanicRequest)
+            .inject_swap(0, SwapFault::CorruptArtifact);
+        assert_eq!(plan.remaining(), 2);
+        assert_eq!(plan.take_swap(1), None);
+        assert_eq!(plan.take_swap(0), Some(SwapFault::CorruptArtifact));
+        assert_eq!(plan.take_swap(0), None, "a taken swap fault must not re-fire");
+        assert_eq!(plan.take(0), Some(Fault::PanicRequest), "request faults untouched");
+        assert_eq!(plan.remaining(), 0);
     }
 
     #[test]

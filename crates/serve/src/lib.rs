@@ -19,8 +19,15 @@
 //! - per-request panic isolation, non-finite output guards, cache
 //!   corruption recovery and a watchdog that respawns dead workers —
 //!   all driven deterministically in tests by a [`fault::FaultPlan`];
+//! - a registry-backed model control path: the runtime can attach an
+//!   [`aero_model::ModelRegistry`] and hot-swap the worker pool onto any
+//!   published artifact ([`ServeRuntime::swap_from_registry`]) —
+//!   in-flight batches finish on the outgoing replicas, workers
+//!   rehydrate before their next batch, and a corrupt artifact is
+//!   rejected by its CRC with the old model left serving;
 //! - an NDJSON [`server`] front-end (request per line in, base64 image
-//!   plus per-stage latency per line out) plus a `stats` request type;
+//!   plus per-stage latency per line out) plus `stats`, `models` and
+//!   `swap` request types;
 //! - a static shape [`lint`] extending `aero-analysis` with the batcher's
 //!   coalesced-condition contract against the UNet configuration.
 //!
@@ -40,11 +47,11 @@ pub mod server;
 pub mod stats;
 
 pub use cache::{ConditionCache, ConditionKey, LruCache};
-pub use fault::{Fault, FaultPlan};
+pub use fault::{Fault, FaultPlan, SwapFault};
 pub use json::Json;
 pub use lint::lint_serve;
 pub use queue::{Pending, RequestQueue};
 pub use request::{GenerateRequest, GeneratedImage, RejectReason, ServeReply, StageLatency};
-pub use runtime::{ResponseHandle, ServeConfig, ServeRuntime};
+pub use runtime::{ResponseHandle, ServeConfig, ServeRuntime, SwapOutcome};
 pub use server::serve_ndjson;
 pub use stats::{StatsCollector, StatsReport};

@@ -40,11 +40,14 @@
 //! [`FaultPlan`] (see [`crate::fault`]); production runtimes pass none.
 
 use crate::cache::{ConditionCache, ConditionKey};
-use crate::fault::{Fault, FaultPlan};
+use crate::fault::{Fault, FaultPlan, SwapFault};
 use crate::queue::{Pending, RequestQueue};
 use crate::request::{GenerateRequest, GeneratedImage, RejectReason, ServeReply, StageLatency};
 use crate::stats::{StatsCollector, StatsReport};
 use aero_diffusion::DdimSampler;
+use aero_model::{
+    snapshot_from_artifact, IntegrityState, ModelArtifact, ModelError, ModelRegistry, RegistryEntry,
+};
 use aero_scene::{build_dataset, DatasetConfig, DatasetItem, SceneGeneratorConfig};
 use aero_tensor::Tensor;
 use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
@@ -134,6 +137,50 @@ impl ResponseHandle {
     }
 }
 
+/// The hot-swappable model: the snapshot every (re)spawned or swapping
+/// worker hydrates from, plus a generation counter that lets workers
+/// detect a swap with one atomic load per batch.
+///
+/// The swap protocol is drain-free by construction: installing a new
+/// snapshot only changes what *future* hydrations read. A worker that
+/// already popped a batch finishes it on its current replica; it notices
+/// the new generation before the *next* batch and rehydrates then. No
+/// request is ever dropped or re-queued by a swap.
+#[derive(Debug)]
+struct ModelSlot {
+    /// Current snapshot and its generation, updated together.
+    current: Mutex<(Arc<PipelineSnapshot>, u64)>,
+    /// Mirror of the generation inside `current`, readable without the
+    /// lock so the per-batch check stays off the swap mutex.
+    generation: AtomicU64,
+}
+
+impl ModelSlot {
+    fn new(snapshot: Arc<PipelineSnapshot>) -> ModelSlot {
+        ModelSlot { current: Mutex::new((snapshot, 0)), generation: AtomicU64::new(0) }
+    }
+
+    /// The latest snapshot and its generation.
+    fn current(&self) -> (Arc<PipelineSnapshot>, u64) {
+        let guard = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        (Arc::clone(&guard.0), guard.1)
+    }
+
+    /// Generation of the latest snapshot (lock-free).
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Installs a new snapshot and returns its generation.
+    fn install(&self, snapshot: PipelineSnapshot) -> u64 {
+        let mut guard = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        let generation = guard.1 + 1;
+        *guard = (Arc::new(snapshot), generation);
+        self.generation.store(generation, Ordering::SeqCst);
+        generation
+    }
+}
+
 /// Everything a worker shares with its peers and the watchdog.
 #[derive(Clone)]
 struct WorkerShared {
@@ -141,6 +188,7 @@ struct WorkerShared {
     cache: Arc<Mutex<ConditionCache>>,
     stats: Arc<StatsCollector>,
     faults: Option<Arc<FaultPlan>>,
+    slot: Arc<ModelSlot>,
 }
 
 /// How a worker thread ended, as seen by the watchdog. A thread that
@@ -157,13 +205,29 @@ enum WorkerOutcome {
     Suspect,
 }
 
+/// Outcome of a successful registry-backed model swap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapOutcome {
+    /// The registry entry that was installed.
+    pub entry: RegistryEntry,
+    /// The model-slot generation the swap produced; workers rehydrate to
+    /// it before their next batch.
+    pub generation: u64,
+}
+
 /// The running worker pool. Dropping it without [`ServeRuntime::shutdown`]
 /// leaks the workers; always shut down for a graceful drain.
 #[derive(Debug)]
 pub struct ServeRuntime {
     queue: Arc<RequestQueue>,
     stats: Arc<StatsCollector>,
+    cache: Arc<Mutex<ConditionCache>>,
+    slot: Arc<ModelSlot>,
+    faults: Option<Arc<FaultPlan>>,
+    registry: Mutex<Option<ModelRegistry>>,
+    active_model: Mutex<Option<(String, u32)>>,
     next_ordinal: AtomicU64,
+    next_swap_ordinal: AtomicU64,
     watchdog: JoinHandle<()>,
 }
 
@@ -199,27 +263,40 @@ impl ServeRuntime {
     ) -> Self {
         assert!(config.workers > 0, "serve runtime needs at least one worker");
         assert!(config.max_batch > 0, "max_batch must be positive");
-        let snapshot = Arc::new(snapshot);
+        let slot = Arc::new(ModelSlot::new(Arc::new(snapshot)));
         let queue = Arc::new(RequestQueue::new(config.queue_capacity));
         let stats = Arc::new(StatsCollector::new());
+        let cache = Arc::new(Mutex::new(ConditionCache::new(config.cache_capacity)));
         let shared = WorkerShared {
             queue: Arc::clone(&queue),
-            cache: Arc::new(Mutex::new(ConditionCache::new(config.cache_capacity))),
+            cache: Arc::clone(&cache),
             stats: Arc::clone(&stats),
-            faults,
+            faults: faults.clone(),
+            slot: Arc::clone(&slot),
         };
         let mut slots: Vec<Option<JoinHandle<WorkerOutcome>>> = (0..config.workers)
             .map(|i| {
-                let handle = spawn_worker(i, 0, Arc::clone(&snapshot), shared.clone(), config)
-                    .expect("spawn serve worker");
+                let handle =
+                    spawn_worker(i, 0, shared.clone(), config).expect("spawn serve worker");
                 Some(handle)
             })
             .collect();
         let watchdog = std::thread::Builder::new()
             .name("aero-serve-watchdog".into())
-            .spawn(move || watchdog_loop(&snapshot, &shared, config, &mut slots))
+            .spawn(move || watchdog_loop(&shared, config, &mut slots))
             .expect("spawn serve watchdog");
-        ServeRuntime { queue, stats, next_ordinal: AtomicU64::new(0), watchdog }
+        ServeRuntime {
+            queue,
+            stats,
+            cache,
+            slot,
+            faults,
+            registry: Mutex::new(None),
+            active_model: Mutex::new(None),
+            next_ordinal: AtomicU64::new(0),
+            next_swap_ordinal: AtomicU64::new(0),
+            watchdog,
+        }
     }
 
     /// Enqueues a request, returning a handle for its reply.
@@ -268,6 +345,118 @@ impl ServeRuntime {
         self.stats.metrics_snapshot()
     }
 
+    /// Attaches (or replaces) the model registry backing
+    /// [`ServeRuntime::swap_from_registry`] and [`ServeRuntime::list_models`].
+    pub fn set_registry(&self, registry: ModelRegistry) {
+        *self.registry.lock().unwrap_or_else(PoisonError::into_inner) = Some(registry);
+    }
+
+    /// The registry model currently serving, as `(name, version)`. `None`
+    /// when the runtime still serves its boot snapshot.
+    #[must_use]
+    pub fn active_model(&self) -> Option<(String, u32)> {
+        self.active_model.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// The model-slot generation workers are converging to.
+    #[must_use]
+    pub fn model_generation(&self) -> u64 {
+        self.slot.generation()
+    }
+
+    /// Every model in the attached registry with its integrity state.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Meta`] when no registry is attached or its index is
+    /// malformed.
+    pub fn list_models(&self) -> Result<Vec<(RegistryEntry, IntegrityState)>, ModelError> {
+        let registry = self
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+            .ok_or_else(|| ModelError::Meta("no model registry attached".into()))?;
+        let entries = registry.entries()?;
+        let mut out = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let state = registry.verify(&entry)?;
+            out.push((entry, state));
+        }
+        Ok(out)
+    }
+
+    /// Installs a new snapshot directly. In-flight batches finish on the
+    /// old replicas; each worker rehydrates before its next batch, so no
+    /// request is dropped. The condition cache is cleared — its entries
+    /// were computed by the outgoing model.
+    pub fn swap_snapshot(&self, snapshot: PipelineSnapshot) -> u64 {
+        let generation = self.slot.install(snapshot);
+        lock_cache(&self.cache).clear();
+        aero_obs::counter!("serve.swap.count").inc();
+        aero_obs::gauge!("serve.swap.generation").set(generation as f64);
+        generation
+    }
+
+    /// Resolves `name` (optionally pinned to a version) in the attached
+    /// registry, loads and CRC-verifies the artifact, and installs the
+    /// reassembled snapshot via [`ServeRuntime::swap_snapshot`].
+    ///
+    /// Failure at any point — unknown model, corrupt artifact, malformed
+    /// metadata — leaves the currently installed model serving untouched;
+    /// a swap is atomic from the workers' point of view.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Meta`] when no registry is attached or the name does
+    /// not resolve; [`ModelError::Corrupt`] /
+    /// [`ModelError::VersionMismatch`] when the artifact fails
+    /// verification.
+    pub fn swap_from_registry(
+        &self,
+        name: &str,
+        version: Option<u32>,
+    ) -> Result<SwapOutcome, ModelError> {
+        let ordinal = self.next_swap_ordinal.fetch_add(1, Ordering::SeqCst);
+        let result = self.try_swap_from_registry(name, version, ordinal);
+        if result.is_err() {
+            aero_obs::counter!("serve.swap.rejected").inc();
+        }
+        result
+    }
+
+    fn try_swap_from_registry(
+        &self,
+        name: &str,
+        version: Option<u32>,
+        swap_ordinal: u64,
+    ) -> Result<SwapOutcome, ModelError> {
+        let registry = self
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+            .ok_or_else(|| ModelError::Meta("no model registry attached".into()))?;
+        let entry = registry.resolve(name, version)?;
+        let mut bytes = std::fs::read(registry.path_of(&entry))?;
+        if let Some(SwapFault::CorruptArtifact) =
+            self.faults.as_ref().and_then(|plan| plan.take_swap(swap_ordinal))
+        {
+            let mid = bytes.len() / 2;
+            if let Some(byte) = bytes.get_mut(mid) {
+                *byte ^= 0x01;
+            }
+        }
+        // CRC and structural verification happen here, before anything
+        // reaches the model slot.
+        let artifact = ModelArtifact::from_bytes(bytes)?;
+        let snapshot = snapshot_from_artifact(&artifact)?;
+        let generation = self.swap_snapshot(snapshot);
+        *self.active_model.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some((entry.name.clone(), entry.version));
+        Ok(SwapOutcome { entry, generation })
+    }
+
     /// Graceful drain: stops admitting work, lets the workers finish
     /// everything already queued, joins them, and returns final stats.
     #[must_use]
@@ -281,21 +470,20 @@ impl ServeRuntime {
 fn spawn_worker(
     slot: usize,
     generation: usize,
-    snapshot: Arc<PipelineSnapshot>,
     shared: WorkerShared,
     config: ServeConfig,
 ) -> std::io::Result<JoinHandle<WorkerOutcome>> {
     std::thread::Builder::new()
         .name(format!("aero-serve-{slot}.{generation}"))
-        .spawn(move || worker_loop(&snapshot, &shared, config))
+        .spawn(move || worker_loop(&shared, config))
 }
 
 /// Supervises the worker slots: joins finished workers, respawns the ones
 /// that died (panic or suspect exit) while restarts remain, and — once no
 /// worker is left — fails all queued work with a typed reason so clients
-/// never hang on a dead pool.
+/// never hang on a dead pool. Respawned workers hydrate from the model
+/// slot, so they always come up on the latest installed model.
 fn watchdog_loop(
-    snapshot: &Arc<PipelineSnapshot>,
     shared: &WorkerShared,
     config: ServeConfig,
     slots: &mut [Option<JoinHandle<WorkerOutcome>>],
@@ -316,13 +504,9 @@ fn watchdog_loop(
                     // then treats it like any other dead worker.
                     Ok(WorkerOutcome::Suspect) | Err(_) => {
                         if restarts < config.max_worker_restarts {
-                            if let Ok(replacement) = spawn_worker(
-                                i,
-                                generation + 1,
-                                Arc::clone(snapshot),
-                                shared.clone(),
-                                config,
-                            ) {
+                            if let Ok(replacement) =
+                                spawn_worker(i, generation + 1, shared.clone(), config)
+                            {
                                 restarts += 1;
                                 generation += 1;
                                 shared.stats.record_worker_restart();
@@ -352,34 +536,74 @@ fn watchdog_loop(
     }
 }
 
-/// One worker: hydrate a replica, build the conditioning exemplar, then
-/// serve batches until the queue drains out or the worker turns suspect.
-fn worker_loop(
-    snapshot: &PipelineSnapshot,
-    shared: &WorkerShared,
-    config: ServeConfig,
-) -> WorkerOutcome {
-    let Ok(replica) = snapshot.hydrate() else {
+/// One worker's private serving state: a hydrated replica plus the
+/// conditioning exemplar and fixed caption it derives from. Rebuilt
+/// whenever the worker adopts a new model-slot generation.
+struct Replica {
+    pipeline: AeroDiffusionPipeline,
+    item: DatasetItem,
+    caption_g: String,
+}
+
+impl Replica {
+    /// Hydrates a fresh replica from `snapshot`. `None` mirrors a failed
+    /// hydration — the snapshot's bytes do not decode, or the reference
+    /// dataset came up empty.
+    fn build(snapshot: &PipelineSnapshot, config: &ServeConfig) -> Option<Replica> {
+        let pipeline = snapshot.hydrate().ok()?;
+        let reference = build_dataset(&DatasetConfig {
+            n_scenes: 1,
+            image_size: pipeline.config().vision.image_size,
+            seed: config.reference_seed,
+            generator: SceneGeneratorConfig::default(),
+        });
+        let item = reference.items.into_iter().next()?;
+        // A fixed caption G makes the encode a pure function of the
+        // request's prompt (G'), which is what lets the condition cache
+        // key on it.
+        let caption_g = pipeline.caption_for(&item, &mut StdRng::seed_from_u64(0));
+        Some(Replica { pipeline, item, caption_g })
+    }
+}
+
+/// One worker: hydrate a replica from the model slot, then serve batches
+/// until the queue drains out or the worker turns suspect. Before each
+/// batch the worker compares its generation against the slot; on a
+/// mismatch it rehydrates from the newly installed snapshot, so a swap
+/// never interrupts a batch already being served.
+fn worker_loop(shared: &WorkerShared, config: ServeConfig) -> WorkerOutcome {
+    let (snapshot, mut generation) = shared.slot.current();
+    let Some(mut replica) = Replica::build(&snapshot, &config) else {
         shared.stats.record_hydration_failure();
         return WorkerOutcome::HydrationFailed;
     };
-    let reference = build_dataset(&DatasetConfig {
-        n_scenes: 1,
-        image_size: replica.config().vision.image_size,
-        seed: config.reference_seed,
-        generator: SceneGeneratorConfig::default(),
-    });
-    let Some(item) = reference.items.first() else {
-        // An empty reference dataset is as unservable as a failed
-        // hydration; surface it the same way instead of panicking.
-        shared.stats.record_hydration_failure();
-        return WorkerOutcome::HydrationFailed;
-    };
-    // A fixed caption G makes the encode a pure function of the request's
-    // prompt (G'), which is what lets the condition cache key on it.
-    let caption_g = replica.caption_for(item, &mut StdRng::seed_from_u64(0));
     while let Some(batch) = shared.queue.pop_batch(config.max_batch, config.batch_wait) {
-        if !serve_batch(&replica, item, &caption_g, batch, shared, &config) {
+        if shared.slot.generation() != generation {
+            let (snapshot, new_generation) = shared.slot.current();
+            match Replica::build(&snapshot, &config) {
+                Some(fresh) => {
+                    replica = fresh;
+                    aero_obs::counter!("serve.swap.worker_rehydrated").inc();
+                }
+                // The new snapshot won't hydrate: keep serving on the old
+                // replica rather than dying with work in hand. Adopting
+                // the generation anyway stops this worker from re-failing
+                // the hydration on every subsequent batch.
+                None => {
+                    shared.stats.record_hydration_failure();
+                    aero_obs::counter!("serve.swap.fallback").inc();
+                }
+            }
+            generation = new_generation;
+        }
+        if !serve_batch(
+            &replica.pipeline,
+            &replica.item,
+            &replica.caption_g,
+            batch,
+            shared,
+            &config,
+        ) {
             // An in-request panic was caught and answered, but this
             // replica's internal state is no longer above suspicion.
             // Exit after the batch; the watchdog brings up a fresh one.

@@ -66,6 +66,80 @@ fn metrics_json(snap: &MetricsSnapshot) -> Json {
     ])
 }
 
+/// The `{"type":"models",…}` reply: the attached registry's contents
+/// with per-entry integrity, plus which model is actively serving.
+fn models_json(runtime: &ServeRuntime) -> Json {
+    match runtime.list_models() {
+        Ok(models) => Json::obj(vec![
+            ("type", "models".into()),
+            ("generation", runtime.model_generation().into()),
+            (
+                "active",
+                match runtime.active_model() {
+                    Some((name, version)) => format!("{name}@{version}").into(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "models",
+                Json::Arr(
+                    models
+                        .iter()
+                        .map(|(entry, state)| {
+                            Json::obj(vec![
+                                ("name", entry.name.as_str().into()),
+                                ("version", u64::from(entry.version).into()),
+                                ("file", entry.file.as_str().into()),
+                                ("len", entry.len.into()),
+                                (
+                                    "integrity",
+                                    match state {
+                                        aero_model::IntegrityState::Verified => "verified".into(),
+                                        aero_model::IntegrityState::Missing => "missing".into(),
+                                        aero_model::IntegrityState::Corrupt { detail } => {
+                                            format!("corrupt: {detail}").into()
+                                        }
+                                    },
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Err(e) => Json::obj(vec![
+            ("type", "models".into()),
+            ("ok", false.into()),
+            ("detail", e.to_string().into()),
+        ]),
+    }
+}
+
+/// Executes a `{"type":"swap","name":…[,"version":…]}` control line
+/// against the registry. The swap is synchronous from the front-end's
+/// point of view: every request on a later input line is served by the
+/// new model (in-flight ones finish on the old replicas).
+fn swap_json(runtime: &ServeRuntime, v: &Json, fallback_id: &str) -> Json {
+    let Some(name) = v.get("name").and_then(Json::as_str) else {
+        return bad_request(fallback_id, "swap requires a \"name\" field");
+    };
+    let version = v.get("version").and_then(Json::as_f64).map(|f| f as u32);
+    match runtime.swap_from_registry(name, version) {
+        Ok(outcome) => Json::obj(vec![
+            ("type", "swap".into()),
+            ("ok", true.into()),
+            ("name", outcome.entry.name.as_str().into()),
+            ("version", u64::from(outcome.entry.version).into()),
+            ("generation", outcome.generation.into()),
+        ]),
+        Err(e) => Json::obj(vec![
+            ("type", "swap".into()),
+            ("ok", false.into()),
+            ("detail", e.to_string().into()),
+        ]),
+    }
+}
+
 /// A `{"type":"error",…}` line for input that never became a request.
 fn bad_request(id: &str, detail: &str) -> Json {
     Json::obj(vec![
@@ -133,6 +207,12 @@ fn read_loop(
             Ok(v) => match v.get("type").and_then(Json::as_str).unwrap_or("generate") {
                 "stats" => Entry::Stats,
                 "metrics" => Entry::Metrics,
+                "models" => Entry::Immediate(models_json(runtime)),
+                // The swap runs here, in line order: requests on earlier
+                // lines were already submitted (they finish on whichever
+                // replica pops them), requests on later lines meet the
+                // swapped-in model.
+                "swap" => Entry::Immediate(swap_json(runtime, &v, &fallback_id)),
                 "generate" => match GenerateRequest::from_json(&v, &fallback_id) {
                     Err(detail) => Entry::Immediate(bad_request(&fallback_id, &detail)),
                     Ok(request) => {

@@ -371,3 +371,167 @@ fn ndjson_round_trip_preserves_order_and_reports_stats() {
     // tensor kernel counters must be present and non-zero.
     assert!(counters.get("tensor.matmul.calls").and_then(Json::as_u64).unwrap_or(0) >= 1);
 }
+
+/// A second trained model, distinct from [`snapshot`], for swap targets.
+fn alt_snapshot() -> &'static PipelineSnapshot {
+    static ALT: OnceLock<PipelineSnapshot> = OnceLock::new();
+    ALT.get_or_init(|| {
+        let config = PipelineConfig::smoke();
+        let ds = build_dataset(&DatasetConfig {
+            n_scenes: 3,
+            image_size: config.vision.image_size,
+            seed: 12,
+            generator: SceneGeneratorConfig::default(),
+        });
+        AeroDiffusionPipeline::fit(&ds, config, 99).snapshot()
+    })
+}
+
+/// A fresh registry directory holding [`alt_snapshot`] as `alt` v1.
+fn registry_with_alt(tag: &str) -> aero_model::ModelRegistry {
+    let dir = std::env::temp_dir().join(format!("aero_serve_registry_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = aero_model::ModelRegistry::open(&dir).unwrap();
+    let (bytes, _report) =
+        aero_model::export_snapshot(alt_snapshot(), aero_model::Quantization::F32).unwrap();
+    registry.publish("alt", &bytes).unwrap();
+    registry
+}
+
+#[test]
+fn hot_swap_serves_the_new_model_with_zero_dropped_requests() {
+    let prompt = "an aerial view of a park";
+    let runtime = ServeRuntime::start(snapshot().clone(), serve_config());
+    runtime.set_registry(registry_with_alt("hot_swap"));
+    assert_eq!(runtime.active_model(), None);
+    assert_eq!(runtime.model_generation(), 0);
+
+    let before = image_of(runtime.submit(GenerateRequest::new("pre", prompt, 40)).unwrap().wait());
+
+    let outcome = runtime.swap_from_registry("alt", None).unwrap();
+    assert_eq!((outcome.entry.name.as_str(), outcome.entry.version), ("alt", 1));
+    assert_eq!(outcome.generation, 1);
+    assert_eq!(runtime.active_model(), Some(("alt".into(), 1)));
+
+    let after = image_of(runtime.submit(GenerateRequest::new("post", prompt, 40)).unwrap().wait());
+    assert_ne!(before.rgb8, after.rgb8, "the swapped-in model must actually serve");
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 2, "a swap must not drop or reject any request");
+    assert_eq!(stats.rejected_worker_failure, 0);
+
+    // The post-swap bytes are exactly what a runtime booted from the
+    // swap target would serve: the f32 artifact round trip is lossless
+    // and the condition cache was cleared at swap time.
+    let reference = ServeRuntime::start(alt_snapshot().clone(), serve_config());
+    let expected =
+        image_of(reference.submit(GenerateRequest::new("ref", prompt, 40)).unwrap().wait());
+    let _ = reference.shutdown();
+    assert_eq!(after.rgb8, expected.rgb8, "swapped model must serve byte-identically");
+}
+
+#[test]
+fn corrupt_artifact_swap_is_rejected_and_the_old_model_keeps_serving() {
+    let prompt = "a parking lot at night";
+    let plan = Arc::new(FaultPlan::new().inject_swap(0, aero_serve::SwapFault::CorruptArtifact));
+    let mut config = serve_config();
+    config.max_batch = 2;
+    let runtime =
+        ServeRuntime::start_with_faults(snapshot().clone(), config, Some(Arc::clone(&plan)));
+    runtime.set_registry(registry_with_alt("corrupt_swap"));
+
+    // Load the pool, then yank the swap lever while requests are in
+    // flight: the corrupt artifact must be rejected by its CRC and every
+    // request — submitted before or after the attempt — must resolve on
+    // the old model.
+    let in_flight: Vec<_> = (0..4)
+        .map(|i| {
+            runtime.submit(GenerateRequest::new(format!("in-{i}"), prompt, 60 + i as u64)).unwrap()
+        })
+        .collect();
+    let err = runtime.swap_from_registry("alt", None).unwrap_err();
+    assert!(
+        matches!(err, aero_model::ModelError::Corrupt { .. }),
+        "corrupt artifact must fail typed, got {err:?}"
+    );
+    assert_eq!(plan.remaining(), 0, "the swap fault fired");
+    assert_eq!(runtime.active_model(), None, "the failed swap must not be recorded active");
+    assert_eq!(runtime.model_generation(), 0, "the failed swap must not touch the slot");
+
+    let before =
+        image_of(runtime.submit(GenerateRequest::new("probe-a", prompt, 7)).unwrap().wait());
+    for handle in in_flight {
+        let _ = image_of(handle.wait());
+    }
+    // A second attempt (fault is one-shot) goes through clean…
+    let outcome = runtime.swap_from_registry("alt", None).unwrap();
+    assert_eq!(outcome.generation, 1);
+    // …which confirms the first failure really was the injected fault.
+    let stats = runtime.shutdown();
+    assert_eq!(stats.completed, 5, "zero dropped requests across both swap attempts");
+    assert_eq!(stats.rejected_worker_failure, 0);
+
+    // And the pre-retry probe was served by the original model.
+    let reference = ServeRuntime::start(snapshot().clone(), serve_config());
+    let expected =
+        image_of(reference.submit(GenerateRequest::new("ref", prompt, 7)).unwrap().wait());
+    let _ = reference.shutdown();
+    assert_eq!(before.rgb8, expected.rgb8, "old model must keep serving after a failed swap");
+}
+
+#[test]
+fn ndjson_models_and_swap_lines_drive_the_registry() {
+    let input = concat!(
+        r#"{"type":"models"}"#,
+        "\n",
+        r#"{"type":"generate","id":"pre","prompt":"an aerial view of a park","seed":3}"#,
+        "\n",
+        r#"{"type":"swap","name":"alt"}"#,
+        "\n",
+        r#"{"type":"generate","id":"post","prompt":"an aerial view of a park","seed":3}"#,
+        "\n",
+        r#"{"type":"swap","name":"no-such-model"}"#,
+        "\n",
+        r#"{"type":"models"}"#,
+        "\n",
+    );
+    let runtime = ServeRuntime::start(snapshot().clone(), serve_config());
+    runtime.set_registry(registry_with_alt("ndjson"));
+    let mut output = Vec::new();
+    let stats = serve_ndjson(runtime, Cursor::new(input), &mut output).unwrap();
+    assert_eq!(stats.completed, 2);
+    let lines: Vec<Json> =
+        String::from_utf8(output).unwrap().lines().map(|l| Json::parse(l).unwrap()).collect();
+    assert_eq!(lines.len(), 6, "one reply line per input line");
+
+    assert_eq!(lines[0].get("type").and_then(Json::as_str), Some("models"));
+    let listed = match lines[0].get("models") {
+        Some(Json::Arr(items)) => items.clone(),
+        other => panic!("models reply must carry an array, got {other:?}"),
+    };
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].get("name").and_then(Json::as_str), Some("alt"));
+    assert_eq!(listed[0].get("integrity").and_then(Json::as_str), Some("verified"));
+
+    assert_eq!(lines[1].get("type").and_then(Json::as_str), Some("image"));
+    assert_eq!(lines[2].get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(lines[2].get("generation").and_then(Json::as_u64), Some(1));
+    assert_eq!(lines[3].get("type").and_then(Json::as_str), Some("image"));
+    // A request on a line after the swap is guaranteed to be served by
+    // the swapped-in model (the "pre" request races the swap — it may be
+    // popped on either side, which is exactly the drain-free contract).
+    let post_px =
+        aero_serve::base64::decode(lines[3].get("rgb8_b64").and_then(Json::as_str).unwrap())
+            .unwrap();
+    let reference = ServeRuntime::start(alt_snapshot().clone(), serve_config());
+    let expected = image_of(
+        reference
+            .submit(GenerateRequest::new("ref", "an aerial view of a park", 3))
+            .unwrap()
+            .wait(),
+    );
+    let _ = reference.shutdown();
+    assert_eq!(post_px, expected.rgb8, "post-swap lines must be served by the new model");
+    assert_eq!(lines[4].get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(lines[5].get("active").and_then(Json::as_str), Some("alt@1"));
+}

@@ -29,6 +29,7 @@ mod linalg;
 mod ops;
 pub mod par_kernels;
 pub mod parallel;
+pub mod quant;
 mod shape;
 pub mod sym;
 mod tensor;
@@ -36,6 +37,7 @@ mod tensor;
 pub use error::TensorError;
 pub use linalg::{cholesky, covariance, matrix_sqrt_psd, symmetric_eigen, trace};
 pub use parallel::ParallelConfig;
+pub use quant::{Q8Tensor, Q8_BLOCK};
 pub use shape::{
     bmm_shape, broadcast_shapes, concat_shape, conv2d_shape, conv_out_dim, conv_transpose2d_shape,
     matmul_shape, narrow_shape, permute_shape, pool2d_shape, reshape_check, strides_for,

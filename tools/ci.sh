@@ -32,6 +32,14 @@
 #                      must be byte-identical (observation never perturbs
 #                      results), and `profile` must print a span tree
 #                      covering the DDIM denoise loop
+#   9. model smokes  — the trained model exported to a single `.amdl`
+#                      artifact, inspected (CRC verified), published into
+#                      a registry, and served from it with a sample
+#                      byte-identical to the directory loader's; a
+#                      one-bit-flipped copy must be rejected with a typed
+#                      corruption error; plus a bench_model liveness run
+#                      (BENCH_MODEL_SMOKE=1) asserting q8 < f32 size and
+#                      f32 round-trip losslessness
 #
 # Everything runs with --offline: the build environment has no network and
 # all dependencies are vendored shims (see shims/).
@@ -162,6 +170,59 @@ cmp "$work/t1.ppm" "$work/t4.ppm" \
 
 echo "== thread smoke: bench_kernels liveness =="
 BENCH_KERNELS_SMOKE=1 cargo run --offline -q -p aero-bench --bin bench_kernels
+
+echo "== model smoke: export → inspect → reload → byte-identical sample =="
+# Pack the fault-smoke model into a single f32 artifact, verify it loads
+# (CRC + header decode via `inspect`), publish it into a registry, and
+# require a sample served straight off the artifact to be byte-identical
+# to the directory loader's.
+cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  model export "$work/model" "$work/model.amdl" \
+  --registry "$work/registry" --name smoke
+inspect_out="$(cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  model inspect "$work/model.amdl")"
+echo "$inspect_out" | grep -q 'checksum verified' \
+  || { echo "model smoke: inspect did not verify the checksum"; exit 1; }
+echo "$inspect_out" | grep -q 'unet\.' \
+  || { echo "model smoke: inspect tensor table missing unet tensors"; exit 1; }
+cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  model list "$work/registry" | grep -q 'smoke@1 .*verified' \
+  || { echo "model smoke: registry list missing a verified smoke@1"; exit 1; }
+# Byte-compare: the NDJSON server booted from the registry artifact must
+# produce the exact image the directory-loaded server produces (only the
+# latency telemetry may differ between runs, so compare the pixels).
+req='{"type":"generate","id":"ci-m","prompt":"an aerial view of a park","seed":41}'
+pixels() { sed -n 's/.*"rgb8_b64":"\([^"]*\)".*/\1/p'; }
+dir_img="$(printf '%s\n' "$req" \
+  | cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+      serve "$work/model" --workers 1 --steps 4 | pixels)"
+amdl_img="$(printf '%s\n' "$req" \
+  | cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+      serve --workers 1 --steps 4 --registry "$work/registry" --model smoke@1 \
+  | pixels)"
+[ -n "$dir_img" ] && [ "$dir_img" = "$amdl_img" ] \
+  || { echo "model smoke: artifact-served sample differs from directory-served"; exit 1; }
+
+echo "== model smoke: a corrupt artifact is rejected typed =="
+cp "$work/model.amdl" "$work/model-corrupt.amdl"
+# Flip one bit in the middle of the payload; the CRC gate must refuse
+# before any tensor is decoded.
+size="$(wc -c < "$work/model-corrupt.amdl")"
+mid="$((size / 2))"
+byte="$(od -An -tu1 -j "$mid" -N1 "$work/model-corrupt.amdl" | tr -d ' ')"
+printf "$(printf '\\%03o' "$((byte ^ 1))")" \
+  | dd of="$work/model-corrupt.amdl" bs=1 seek="$mid" count=1 conv=notrunc status=none
+if corrupt_out="$(cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  model inspect "$work/model-corrupt.amdl" 2>&1)"; then
+  echo "model smoke: corrupt artifact was not rejected"; exit 1
+fi
+echo "$corrupt_out" | grep -qi 'corrupt' \
+  || { echo "model smoke: corrupt-artifact error was not typed"; \
+       echo "$corrupt_out"; exit 1; }
+
+echo "== model smoke: bench_model liveness =="
+(cd "$work" && BENCH_MODEL_SMOKE=1 cargo run --offline -q \
+  --manifest-path "$OLDPWD/Cargo.toml" -p aero-bench --bin bench_model)
 
 echo "== obs smoke: tracing never perturbs sample output =="
 # Same model, same seed, tracing on vs off: the images must be
