@@ -5,7 +5,8 @@ use crate::condition::{ConditionInputs, ConditionNetwork};
 use crate::config::PipelineConfig;
 use crate::substrate::{caption_dataset, SubstrateBundle};
 use aero_diffusion::{
-    CheckpointConfig, CondUnet, DdimSampler, DiffusionTrainer, SampleOptions, Sampler, TrainCursor,
+    CancelSignal, CheckpointConfig, CondUnet, DdimSampler, DiffusionTrainer, SampleOptions,
+    Sampler, StepEvent, TrainCursor,
 };
 use aero_nn::optim::Adam;
 use aero_nn::Module;
@@ -442,12 +443,28 @@ impl AeroDiffusionPipeline {
     /// `[n, cond_dim]`. Row `i` of the output depends only on row `i` of
     /// the inputs, so callers may batch freely without changing results.
     pub fn sample_latents(&self, sampler: &DdimSampler, z_init: Tensor, cond: &Tensor) -> Tensor {
+        self.sample_latents_controlled(sampler, z_init, cond, None, None)
+    }
+
+    /// [`sample_latents`](Self::sample_latents) with serving-layer
+    /// control: an optional cancel flag checked between DDIM steps (the
+    /// partial latent of the last completed step is returned once it
+    /// trips) and an optional per-step observer for streamed previews.
+    /// Both are pass-through to [`SampleOptions`]; neither perturbs the
+    /// sampled tensor.
+    pub fn sample_latents_controlled<'a>(
+        &self,
+        sampler: &DdimSampler,
+        z_init: Tensor,
+        cond: &'a Tensor,
+        cancel: Option<&'a dyn CancelSignal>,
+        on_step: Option<&'a mut dyn FnMut(StepEvent<'_>)>,
+    ) -> Tensor {
         let _span = span!("pipeline.sample_latents");
-        Sampler::Ddim(*sampler).run(
-            &self.unet,
-            self.trainer.schedule(),
-            SampleOptions::from_latent(z_init).with_cond(cond),
-        )
+        let mut opts = SampleOptions::from_latent(z_init).with_cond(cond);
+        opts.cancel = cancel;
+        opts.on_step = on_step;
+        Sampler::Ddim(*sampler).run(&self.unet, self.trainer.schedule(), opts)
     }
 
     /// Decode stage: one latent `[c, h, w]` through the VAE to an image.

@@ -23,7 +23,10 @@ pub use checkpoint::{
     CheckpointConfig, CheckpointError, TrainCursor, TrainRun, TrainRunOptions,
 };
 pub use guard::{GuardConfig, GuardStats, GuardVerdict, TrainGuard};
-pub use sampler::{DdimSampler, DdpmSampler, NoiseSpec, SampleOptions, Sampler};
+pub use sampler::{
+    CancelSignal, CancelToken, DdimSampler, DdpmSampler, NoiseSpec, SampleOptions, Sampler,
+    StepEvent,
+};
 pub use schedule::{BetaSchedule, NoiseSchedule};
 pub use trainer::{DiffusionTrainer, TrainBatch};
 pub use unet::{CondUnet, UnetConfig};

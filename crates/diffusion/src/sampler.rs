@@ -16,6 +16,8 @@ use aero_obs::TraceSink;
 use aero_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Shared floor for every denominator of the reverse-process update rules
 /// (`sqrt(alpha)`, `sqrt(alpha_bar)`, `sqrt(1 - alpha_bar)`). Near the ends
@@ -27,6 +29,83 @@ const DENOM_EPS: f32 = 1e-6;
 /// `sqrt(x)` guarded for use as a denominator.
 fn guarded_sqrt(x: f32) -> f32 {
     x.sqrt().max(DENOM_EPS)
+}
+
+/// A source of cancellation observed between reverse-process steps.
+///
+/// Checked once at the top of every sampler step; when it reports
+/// cancelled the run stops before evaluating the UNet again and returns
+/// the latent as of the last completed step. Implementors must be cheap
+/// — the check sits on the sampling hot path.
+pub trait CancelSignal: Sync {
+    /// `true` once the run should stop.
+    fn is_cancelled(&self) -> bool;
+}
+
+/// Shared, thread-safe cancellation flag — the standard [`CancelSignal`].
+///
+/// Clones observe the same underlying flag, so a serving layer can hand
+/// one clone to the client-facing side and another to the sampler.
+/// Cancellation is one-way: once set, the token stays cancelled.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl CancelSignal for CancelToken {
+    fn is_cancelled(&self) -> bool {
+        CancelToken::is_cancelled(self)
+    }
+}
+
+/// One completed reverse-process step, handed to
+/// [`SampleOptions::with_on_step`] observers.
+///
+/// `latent` borrows the batch latent `[n, c, h, w]` as of the end of
+/// the step; observers must copy out what they need. Observation never
+/// perturbs the sampled tensor.
+pub struct StepEvent<'t> {
+    /// Zero-based index of the step that just finished.
+    pub step: usize,
+    /// Total number of steps the run will execute if not cancelled.
+    pub total: usize,
+    /// The batch latent after this step's update.
+    pub latent: &'t Tensor,
+}
+
+/// Per-step control threaded through the private sampler loops: the
+/// cancel flag checked at the top of each step and the observer invoked
+/// at the bottom.
+struct StepCtrl<'a, 'b> {
+    cancel: Option<&'a dyn CancelSignal>,
+    on_step: Option<&'b mut dyn FnMut(StepEvent<'_>)>,
+}
+
+impl StepCtrl<'_, '_> {
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelSignal::is_cancelled)
+    }
+
+    fn emit(&mut self, step: usize, total: usize, latent: &Tensor) {
+        if let Some(cb) = self.on_step.as_mut() {
+            cb(StepEvent { step, total, latent });
+        }
+    }
 }
 
 /// Where a run's starting noise (and, for DDPM, per-step noise) comes
@@ -67,7 +146,8 @@ pub enum NoiseSpec<'a, R = StdRng> {
 }
 
 /// Options driving one [`Sampler::run`] call: noise source, optional
-/// condition, optional trace sink.
+/// condition, optional trace sink, optional cancellation flag, optional
+/// per-step observer.
 pub struct SampleOptions<'a, R = StdRng> {
     /// Where the run's noise comes from.
     pub noise: NoiseSpec<'a, R>,
@@ -77,6 +157,12 @@ pub struct SampleOptions<'a, R = StdRng> {
     /// finished trace is handed to this sink. Observation never
     /// perturbs the sampled tensor.
     pub trace: Option<&'a mut dyn TraceSink>,
+    /// Checked between steps; when it reports cancelled the run stops
+    /// early and returns the latent as of the last completed step.
+    pub cancel: Option<&'a dyn CancelSignal>,
+    /// Invoked after every completed step with the current batch latent
+    /// (streamed previews, progress bars). Never perturbs the output.
+    pub on_step: Option<&'a mut dyn FnMut(StepEvent<'_>)>,
 }
 
 impl<'a> SampleOptions<'a, StdRng> {
@@ -84,14 +170,26 @@ impl<'a> SampleOptions<'a, StdRng> {
     /// `StdRng` instantiation so type inference works without an RNG in
     /// sight.
     pub fn from_latent(z_init: Tensor) -> Self {
-        SampleOptions { noise: NoiseSpec::Latent(z_init), cond: None, trace: None }
+        SampleOptions {
+            noise: NoiseSpec::Latent(z_init),
+            cond: None,
+            trace: None,
+            cancel: None,
+            on_step: None,
+        }
     }
 }
 
 impl<'a, R: Rng> SampleOptions<'a, R> {
     /// Draws all noise from one shared RNG; `shape` is `[n, c, h, w]`.
     pub fn from_rng(shape: &'a [usize], rng: &'a mut R) -> Self {
-        SampleOptions { noise: NoiseSpec::Shared { shape, rng }, cond: None, trace: None }
+        SampleOptions {
+            noise: NoiseSpec::Shared { shape, rng },
+            cond: None,
+            trace: None,
+            cancel: None,
+            on_step: None,
+        }
     }
 
     /// One independent RNG stream per batch row (`sample_shape` is the
@@ -101,6 +199,8 @@ impl<'a, R: Rng> SampleOptions<'a, R> {
             noise: NoiseSpec::PerSample { sample_shape, rngs },
             cond: None,
             trace: None,
+            cancel: None,
+            on_step: None,
         }
     }
 
@@ -123,6 +223,23 @@ impl<'a, R: Rng> SampleOptions<'a, R> {
     #[must_use]
     pub fn with_trace(mut self, sink: &'a mut dyn TraceSink) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Stops the run early when `signal` reports cancelled (checked
+    /// between steps; the partial latent of the last completed step is
+    /// returned).
+    #[must_use]
+    pub fn with_cancel(mut self, signal: &'a dyn CancelSignal) -> Self {
+        self.cancel = Some(signal);
+        self
+    }
+
+    /// Observes every completed step ([`StepEvent`] carries the current
+    /// batch latent). Observation never changes the returned tensor.
+    #[must_use]
+    pub fn with_on_step(mut self, observer: &'a mut dyn FnMut(StepEvent<'_>)) -> Self {
+        self.on_step = Some(observer);
         self
     }
 }
@@ -156,15 +273,17 @@ impl Sampler {
         schedule: &NoiseSchedule,
         opts: SampleOptions<'_, R>,
     ) -> Tensor {
-        let SampleOptions { noise, cond, trace } = opts;
+        let SampleOptions { noise, cond, trace, cancel, on_step } = opts;
+        let mut ctrl = StepCtrl { cancel, on_step };
         match trace {
             Some(sink) => {
-                let (out, trace) =
-                    aero_obs::span::collect(|| self.run_inner(unet, schedule, noise, cond));
+                let (out, trace) = aero_obs::span::collect(|| {
+                    self.run_inner(unet, schedule, noise, cond, &mut ctrl)
+                });
                 sink.consume(&trace);
                 out
             }
-            None => self.run_inner(unet, schedule, noise, cond),
+            None => self.run_inner(unet, schedule, noise, cond, &mut ctrl),
         }
     }
 
@@ -174,6 +293,7 @@ impl Sampler {
         schedule: &NoiseSchedule,
         noise: NoiseSpec<'_, R>,
         cond: Option<&Tensor>,
+        ctrl: &mut StepCtrl<'_, '_>,
     ) -> Tensor {
         match self {
             Sampler::Ddim(s) => {
@@ -186,7 +306,7 @@ impl Sampler {
                         stack_noise(sample_shape, rngs)
                     }
                 };
-                s.denoise(unet, schedule, z_init, cond)
+                s.denoise(unet, schedule, z_init, cond, ctrl)
             }
             Sampler::Ddpm(s) => {
                 let _span = span!("sampler.ddpm");
@@ -197,11 +317,11 @@ impl Sampler {
                          deterministic run from a fixed latent)"
                     ),
                     NoiseSpec::Shared { shape, rng } => {
-                        s.ancestral_shared(unet, schedule, shape, cond, rng)
+                        s.ancestral_shared(unet, schedule, shape, cond, rng, ctrl)
                     }
                     NoiseSpec::PerSample { sample_shape, rngs } => {
                         assert!(!rngs.is_empty(), "need at least one RNG stream");
-                        s.ancestral_streams(unet, schedule, sample_shape, cond, rngs)
+                        s.ancestral_streams(unet, schedule, sample_shape, cond, rngs, ctrl)
                     }
                 }
             }
@@ -228,11 +348,16 @@ impl DdpmSampler {
         shape: &[usize],
         cond: Option<&Tensor>,
         rng: &mut R,
+        ctrl: &mut StepCtrl<'_, '_>,
     ) -> Tensor {
         let n = shape[0];
+        let total = schedule.timesteps();
         let mut z = Tensor::randn(shape, rng);
         let mut ts = vec![0usize; n];
-        for t in (0..schedule.timesteps()).rev() {
+        for (i, t) in (0..total).rev().enumerate() {
+            if ctrl.cancelled() {
+                break;
+            }
             let _step = span!("unet.denoise_step");
             ts.fill(t);
             let eps_hat = unet.predict(&z, &ts, cond);
@@ -243,6 +368,7 @@ impl DdpmSampler {
             } else {
                 z = mean;
             }
+            ctrl.emit(i, total, &z);
         }
         z
     }
@@ -258,11 +384,16 @@ impl DdpmSampler {
         sample_shape: &[usize],
         cond: Option<&Tensor>,
         rngs: &mut [R],
+        ctrl: &mut StepCtrl<'_, '_>,
     ) -> Tensor {
         let n = rngs.len();
+        let total = schedule.timesteps();
         let mut z = stack_noise(sample_shape, rngs);
         let mut ts = vec![0usize; n];
-        for t in (0..schedule.timesteps()).rev() {
+        for (i, t) in (0..total).rev().enumerate() {
+            if ctrl.cancelled() {
+                break;
+            }
             let _step = span!("unet.denoise_step");
             ts.fill(t);
             let eps_hat = unet.predict(&z, &ts, cond);
@@ -273,6 +404,7 @@ impl DdpmSampler {
             } else {
                 z = mean;
             }
+            ctrl.emit(i, total, &z);
         }
         z
     }
@@ -339,12 +471,16 @@ impl DdimSampler {
         schedule: &NoiseSchedule,
         z_init: Tensor,
         cond: Option<&Tensor>,
+        ctrl: &mut StepCtrl<'_, '_>,
     ) -> Tensor {
         let n = z_init.shape()[0];
         let mut z = z_init;
         let ts = schedule.ddim_timesteps(self.steps.min(schedule.timesteps()));
         let mut batch_ts = vec![0usize; n];
         for (i, &t) in ts.iter().enumerate() {
+            if ctrl.cancelled() {
+                break;
+            }
             let _step = span!("unet.denoise_step");
             batch_ts.fill(t);
             let eps_hat = match cond {
@@ -370,6 +506,7 @@ impl DdimSampler {
                 }
                 None => z = z0_hat,
             }
+            ctrl.emit(i, ts.len(), &z);
         }
         z
     }
@@ -602,6 +739,97 @@ mod tests {
         let rendered = sink.take_rendered();
         assert!(rendered.contains("sampler.ddim"), "{rendered}");
         assert!(rendered.contains("unet.denoise_step ×4"), "{rendered}");
+    }
+
+    #[test]
+    fn on_step_observes_every_step_without_perturbing_output() {
+        let (unet, schedule) = tiny_setup();
+        let c = Tensor::ones(&[1, 3]);
+        let sampler = Sampler::Ddim(DdimSampler::new(4, 2.0));
+        let plain = sampler.run(
+            &unet,
+            &schedule,
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(29)).with_cond(&c),
+        );
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let mut observer = |ev: StepEvent<'_>| {
+            assert_eq!(ev.latent.shape(), &[1, 2, 8, 8]);
+            seen.push((ev.step, ev.total));
+        };
+        let observed = sampler.run(
+            &unet,
+            &schedule,
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(29))
+                .with_cond(&c)
+                .with_on_step(&mut observer),
+        );
+        assert_eq!(plain, observed);
+        assert_eq!(seen, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_before_final_step() {
+        let (unet, schedule) = tiny_setup();
+        let c = Tensor::ones(&[1, 3]);
+        let sampler = Sampler::Ddim(DdimSampler::new(4, 2.0));
+        let token = CancelToken::new();
+        let mut steps_seen = 0usize;
+        let mut observer = |ev: StepEvent<'_>| {
+            steps_seen += 1;
+            if ev.step == 1 {
+                token.clone().cancel();
+            }
+        };
+        let partial = sampler.run(
+            &unet,
+            &schedule,
+            SampleOptions::from_rng(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(31))
+                .with_cond(&c)
+                .with_cancel(&token)
+                .with_on_step(&mut observer),
+        );
+        // Cancelled during step 1's observer, so step 2 never ran: two
+        // steps completed out of four.
+        assert_eq!(steps_seen, 2);
+        assert!(partial.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(partial.shape(), &[1, 2, 8, 8]);
+    }
+
+    #[test]
+    fn pre_cancelled_run_returns_initial_latent_untouched() {
+        let (unet, schedule) = tiny_setup();
+        let z = Tensor::randn(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(37));
+        let token = CancelToken::new();
+        token.cancel();
+        let out = Sampler::Ddim(DdimSampler::new(4, 1.0)).run(
+            &unet,
+            &schedule,
+            SampleOptions::from_latent(z.clone()).with_cancel(&token),
+        );
+        assert_eq!(out, z);
+    }
+
+    #[test]
+    fn ddpm_cancel_stops_ancestral_chain_early() {
+        let (unet, schedule) = tiny_setup();
+        let token = CancelToken::new();
+        let mut steps_seen = 0usize;
+        let mut observer = |ev: StepEvent<'_>| {
+            steps_seen += 1;
+            if ev.step == 0 {
+                token.clone().cancel();
+            }
+        };
+        let mut rngs = [StdRng::seed_from_u64(41)];
+        let out = Sampler::Ddpm(DdpmSampler::new()).run(
+            &unet,
+            &schedule,
+            SampleOptions::from_streams(&[2, 8, 8], &mut rngs)
+                .with_cancel(&token)
+                .with_on_step(&mut observer),
+        );
+        assert_eq!(steps_seen, 1);
+        assert_eq!(out.shape(), &[1, 2, 8, 8]);
     }
 
     #[test]

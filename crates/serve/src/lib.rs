@@ -12,13 +12,27 @@
 //!   byte-identical whether it ran at batch 1 or batch 8;
 //! - an LRU condition-embedding [`cache`] keyed by prompt, ablation
 //!   variant and guidance scale, shared across workers;
-//! - a worker pool ([`runtime`]) in which every thread hydrates a private
-//!   replica of the immutable trained pipeline from a
+//! - a replica fleet ([`runtime`]): [`ServeConfig::replicas`] worker
+//!   groups, each with its own queue and cache, in which every thread
+//!   hydrates a private replica of the immutable trained pipeline from a
 //!   [`aerodiffusion::PipelineSnapshot`], with a graceful
 //!   drain-and-shutdown;
+//! - a rendezvous shard [`router`] placing each request by its
+//!   `(prompt, variant)` key, so repeats of a prompt hit the group that
+//!   already cached its condition embedding, with minimal-disruption
+//!   re-routing when a group is down;
+//! - [`admission`] control: per-tenant token buckets plus a global
+//!   shed gate on live queue-depth and p95-latency signals, answering
+//!   with typed `overloaded` replies carrying a `retry_after_ms` hint;
+//! - cancellation that propagates mid-sample: a cancelled request is
+//!   swept from the queue with a typed reply, and a coalesced sampler
+//!   call stops between DDIM steps once every rider is cancelled;
+//! - optional streaming of quantized intermediate-latent previews
+//!   (`"stream": true` per request, or fleet-wide via config);
 //! - per-request panic isolation, non-finite output guards, cache
-//!   corruption recovery and a watchdog that respawns dead workers —
-//!   all driven deterministically in tests by a [`fault::FaultPlan`];
+//!   corruption recovery and a supervisor that respawns dead workers —
+//!   and whole killed replica groups, with zero dropped requests — all
+//!   driven deterministically in tests by a [`fault::FaultPlan`];
 //! - a registry-backed model control path: the runtime can attach an
 //!   [`aero_model::ModelRegistry`] and hot-swap the worker pool onto any
 //!   published artifact ([`ServeRuntime::swap_from_registry`]) —
@@ -35,6 +49,7 @@
 //! [`base64`] are small self-contained implementations of exactly the
 //! wire format the server speaks.
 
+pub mod admission;
 pub mod base64;
 pub mod cache;
 pub mod fault;
@@ -42,16 +57,23 @@ pub mod json;
 pub mod lint;
 pub mod queue;
 pub mod request;
+pub mod router;
 pub mod runtime;
 pub mod server;
 pub mod stats;
 
+pub use admission::{AdmissionConfig, AdmissionController, TokenBucket};
+pub use aero_diffusion::CancelToken;
 pub use cache::{ConditionCache, ConditionKey, LruCache};
 pub use fault::{Fault, FaultPlan, SwapFault};
 pub use json::Json;
 pub use lint::lint_serve;
 pub use queue::{Pending, RequestQueue};
-pub use request::{GenerateRequest, GeneratedImage, RejectReason, ServeReply, StageLatency};
+pub use request::{
+    GenerateRequest, GeneratedImage, LatentPreview, OverloadScope, RejectReason, ServeReply,
+    StageLatency,
+};
+pub use router::ShardRouter;
 pub use runtime::{ResponseHandle, ServeConfig, ServeRuntime, SwapOutcome};
 pub use server::serve_ndjson;
 pub use stats::{StatsCollector, StatsReport};

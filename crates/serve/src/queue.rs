@@ -3,11 +3,15 @@
 //! Backpressure is explicit: a full queue rejects new work with a typed
 //! [`RejectReason::QueueFull`] instead of blocking the submitter forever,
 //! so callers can shed load or retry with jitter. Requests that sit past
-//! their deadline are rejected at dequeue time rather than sampled — by
-//! then the client has given up, and sampling is the expensive stage.
+//! their deadline — or whose client cancelled them — are swept with a
+//! typed rejection on every push, every pop, and on the supervisor's
+//! periodic [`RequestQueue::sweep`], so a client never hangs on a reply
+//! that will not come even when no worker is popping.
 
 use crate::request::{GenerateRequest, RejectReason, ServeReply};
+use aero_diffusion::CancelToken;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -25,6 +29,9 @@ pub struct Pending {
     pub enqueued: Instant,
     /// Absolute expiry, from the request's relative deadline.
     pub deadline: Option<Instant>,
+    /// The client-facing cancel flag: set through the response handle,
+    /// observed by queue sweeps and between sampler steps.
+    pub cancel: CancelToken,
     /// Where the reply goes.
     pub responder: Sender<ServeReply>,
 }
@@ -105,7 +112,12 @@ impl RequestQueue {
             return Err(RejectReason::ShuttingDown);
         }
         if state.items.len() >= self.capacity {
-            return Err(RejectReason::QueueFull { capacity: self.capacity });
+            // Dead entries should not cause live rejections: sweep first,
+            // and only reject if the queue is still genuinely full.
+            sweep_items(&mut state.items);
+            if state.items.len() >= self.capacity {
+                return Err(RejectReason::QueueFull { capacity: self.capacity });
+            }
         }
         state.items.push_back(pending);
         drop(state);
@@ -116,28 +128,59 @@ impl RequestQueue {
     /// Blocks until work is available, then returns up to `max_batch`
     /// requests. When fewer than `max_batch` are waiting, lingers up to
     /// `coalesce_wait` for stragglers to batch with (dynamic batching);
-    /// a drain skips the linger. Expired requests are rejected here, not
-    /// returned. Returns `None` when shutting down with an empty queue —
-    /// the worker's signal to exit.
+    /// a drain skips the linger. Expired and cancelled requests are
+    /// rejected here, not returned. Returns `None` when shutting down
+    /// with an empty queue — the worker's signal to exit.
     ///
     /// # Panics
     ///
     /// Panics if the queue mutex was poisoned by a panicking worker.
     pub fn pop_batch(&self, max_batch: usize, coalesce_wait: Duration) -> Option<Vec<Pending>> {
+        static NEVER: AtomicBool = AtomicBool::new(false);
+        self.pop_batch_watch(max_batch, coalesce_wait, &NEVER)
+    }
+
+    /// [`pop_batch`](RequestQueue::pop_batch) that additionally returns
+    /// `None` as soon as `abort` reads true — the replica-kill path: a
+    /// dying group's peers must stop popping *without* draining the
+    /// queue or marking it shut down, so the supervisor can re-route
+    /// what is left and respawn against the same queue. Pair an `abort`
+    /// store with [`wake_all`](RequestQueue::wake_all) so blocked
+    /// workers notice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking worker.
+    pub fn pop_batch_watch(
+        &self,
+        max_batch: usize,
+        coalesce_wait: Duration,
+        abort: &AtomicBool,
+    ) -> Option<Vec<Pending>> {
         let max_batch = max_batch.max(1);
         let mut state = self.state.lock().expect("queue lock");
         loop {
-            reject_expired(&mut state.items);
+            if abort.load(Ordering::SeqCst) {
+                return None;
+            }
+            sweep_items(&mut state.items);
             if state.items.is_empty() {
                 if state.shutting_down {
                     return None;
                 }
-                state = self.available.wait(state).expect("queue lock");
+                let (s, _) = self
+                    .available
+                    .wait_timeout(state, Duration::from_millis(5))
+                    .expect("queue lock");
+                state = s;
                 continue;
             }
             if state.items.len() < max_batch && !state.shutting_down {
                 let coalesce_until = Instant::now() + coalesce_wait;
-                while state.items.len() < max_batch && !state.shutting_down {
+                while state.items.len() < max_batch
+                    && !state.shutting_down
+                    && !abort.load(Ordering::SeqCst)
+                {
                     let left = coalesce_until.saturating_duration_since(Instant::now());
                     if left.is_zero() {
                         break;
@@ -145,7 +188,10 @@ impl RequestQueue {
                     let (s, _) = self.available.wait_timeout(state, left).expect("queue lock");
                     state = s;
                 }
-                reject_expired(&mut state.items);
+                if abort.load(Ordering::SeqCst) {
+                    return None;
+                }
+                sweep_items(&mut state.items);
                 if state.items.is_empty() {
                     continue;
                 }
@@ -153,6 +199,24 @@ impl RequestQueue {
             let n = state.items.len().min(max_batch);
             return Some(state.items.drain(..n).collect());
         }
+    }
+
+    /// Wakes every thread blocked in a pop. Used together with an abort
+    /// flag or after flipping external state the poppers should observe.
+    pub fn wake_all(&self) {
+        self.available.notify_all();
+    }
+
+    /// Rejects every expired or cancelled entry in place, with a typed
+    /// reply. Workers sweep implicitly on push and pop; the supervisor
+    /// calls this on a timer so clients get their rejection even while
+    /// every worker is busy inside a long sampler call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue mutex was poisoned by a panicking worker.
+    pub fn sweep(&self) {
+        sweep_items(&mut self.state.lock().expect("queue lock").items);
     }
 
     /// Returns already-admitted requests to the *front* of the queue, in
@@ -199,17 +263,24 @@ impl RequestQueue {
     }
 }
 
-/// Rejects every entry whose deadline has passed, in place.
-fn reject_expired(items: &mut VecDeque<Pending>) {
+/// Rejects every entry whose deadline has passed or whose client
+/// cancelled it, in place.
+fn sweep_items(items: &mut VecDeque<Pending>) {
     let now = Instant::now();
     let mut i = 0;
     while i < items.len() {
-        if items[i].deadline.is_some_and(|d| d <= now) {
-            if let Some(p) = items.remove(i) {
-                p.reject(RejectReason::DeadlineExceeded);
+        let reason = match items.get(i) {
+            Some(p) if p.deadline.is_some_and(|d| d <= now) => Some(RejectReason::DeadlineExceeded),
+            Some(p) if p.cancel.is_cancelled() => Some(RejectReason::Cancelled),
+            _ => None,
+        };
+        match reason {
+            Some(reason) => {
+                if let Some(p) = items.remove(i) {
+                    p.reject(reason);
+                }
             }
-        } else {
-            i += 1;
+            None => i += 1,
         }
     }
 }
@@ -228,6 +299,7 @@ mod tests {
                 ordinal: 0,
                 enqueued: now,
                 deadline: deadline.map(|d| now + d),
+                cancel: CancelToken::new(),
                 responder: tx,
             },
             rx,
@@ -297,6 +369,91 @@ mod tests {
             }
             other => panic!("expected rejection, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sweep_rejects_expired_entries_with_no_worker_popping() {
+        let q = RequestQueue::new(4);
+        let (dead, dead_rx) = pending("dead", Some(Duration::ZERO));
+        let (live, _live_rx) = pending("live", None);
+        q.push(dead).unwrap();
+        q.push(live).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        // Nobody pops; the supervisor's timer sweep alone must deliver
+        // the typed rejection so the client never hangs.
+        q.sweep();
+        assert_eq!(q.len(), 1);
+        match dead_rx.recv().expect("rejection must be delivered") {
+            ServeReply::Rejected { id, reason } => {
+                assert_eq!(id, "dead");
+                assert_eq!(reason, RejectReason::DeadlineExceeded);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_entry_is_swept_with_typed_reply() {
+        let q = RequestQueue::new(4);
+        let (gone, gone_rx) = pending("gone", None);
+        let token = gone.cancel.clone();
+        let (live, _live_rx) = pending("live", None);
+        q.push(gone).unwrap();
+        q.push(live).unwrap();
+        token.cancel();
+        q.begin_shutdown();
+        let batch = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].request.id, "live");
+        match gone_rx.recv().expect("rejection must be delivered") {
+            ServeReply::Rejected { id, reason } => {
+                assert_eq!(id, "gone");
+                assert_eq!(reason, RejectReason::Cancelled);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_at_capacity_sweeps_dead_entries_before_rejecting() {
+        let q = RequestQueue::new(2);
+        let (dead, _dead_rx) = pending("dead", None);
+        let token = dead.cancel.clone();
+        let (a, _ra) = pending("a", None);
+        q.push(dead).unwrap();
+        q.push(a).unwrap();
+        token.cancel();
+        // The queue is nominally full, but one entry is dead: the push
+        // must sweep it out and admit the live request.
+        let (b, _rb) = pending("b", None);
+        q.push(b).unwrap();
+        assert_eq!(q.len(), 2);
+        // Full of live entries it still rejects.
+        let (c, _rc) = pending("c", None);
+        assert_eq!(q.push(c), Err(RejectReason::QueueFull { capacity: 2 }));
+    }
+
+    #[test]
+    fn pop_batch_watch_returns_none_on_abort_without_draining() {
+        let q = std::sync::Arc::new(RequestQueue::new(4));
+        let (a, _ra) = pending("a", None);
+        q.push(a).unwrap();
+        let abort = std::sync::Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let (wq, wa) = (q.clone(), abort.clone());
+            let worker = scope.spawn(move || {
+                // Batch bigger than the queue + a long linger: only the
+                // abort flag can end this pop early.
+                wq.pop_batch_watch(8, Duration::from_secs(5), &wa)
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            abort.store(true, Ordering::SeqCst);
+            q.wake_all();
+            assert!(worker.join().unwrap().is_none());
+        });
+        // The queued request was not consumed or rejected: it is still
+        // there for the supervisor to re-route.
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

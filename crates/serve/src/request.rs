@@ -1,4 +1,15 @@
 //! Serving protocol types: requests, replies, and typed rejections.
+//!
+//! # Backoff guidance
+//!
+//! Rejections that are worth retrying (`overloaded`, `queue_full`)
+//! carry or imply a backoff. `overloaded` replies include a
+//! `retry_after_ms` field: treat it as the *minimum* wait and add
+//! jitter — e.g. sleep a uniform draw from `[hint, 2·hint]` — before
+//! resubmitting. Retrying at exactly the hint from many clients at once
+//! re-creates the synchronized spike that shed them in the first place.
+//! `queue_full` has no server-side hint; use your own exponential
+//! backoff with jitter, starting around one batch interval.
 
 use crate::base64;
 use crate::json::Json;
@@ -23,6 +34,13 @@ pub struct GenerateRequest {
     /// Deadline measured from submission; a request still queued when it
     /// expires is rejected instead of sampled.
     pub deadline: Option<Duration>,
+    /// Tenant the request is billed against for per-tenant admission
+    /// control. Absent means the shared default tenant.
+    pub tenant: Option<String>,
+    /// When set, the server streams `preview` lines (quantized
+    /// intermediate latents) while this request samples, before the
+    /// final `image` line.
+    pub stream: bool,
 }
 
 impl GenerateRequest {
@@ -36,12 +54,23 @@ impl GenerateRequest {
             guidance_scale: None,
             steps: None,
             deadline: None,
+            tenant: None,
+            stream: false,
         }
     }
 
+    /// The tenant this request bills against (the shared `"default"`
+    /// tenant when none was given).
+    #[must_use]
+    pub fn tenant_id(&self) -> &str {
+        self.tenant.as_deref().unwrap_or("default")
+    }
+
     /// Parses the NDJSON form:
-    /// `{"type":"generate","id":…,"prompt":…,"seed":…,"guidance":…,"steps":…,"deadline_ms":…}`.
-    /// Only `prompt` is required; `id` defaults to `fallback_id`.
+    /// `{"type":"generate","id":…,"prompt":…,"seed":…,"guidance":…,"steps":…,"deadline_ms":…,"tenant":…,"stream":…}`.
+    /// Only `prompt` is required; `id` defaults to `fallback_id`. The
+    /// `tenant` and `stream` fields are recent additions — absent fields
+    /// keep their defaults, so pre-fleet clients parse unchanged.
     ///
     /// # Errors
     ///
@@ -77,6 +106,16 @@ impl GenerateRequest {
                 d.as_u64().ok_or_else(|| "\"deadline_ms\" must be milliseconds".to_string())?,
             )),
         };
+        let tenant = match v.get("tenant") {
+            None => None,
+            Some(t) => Some(
+                t.as_str().ok_or_else(|| "\"tenant\" must be a string".to_string())?.to_string(),
+            ),
+        };
+        let stream = match v.get("stream") {
+            None => false,
+            Some(s) => s.as_bool().ok_or_else(|| "\"stream\" must be a boolean".to_string())?,
+        };
         Ok(GenerateRequest {
             id: id.to_string(),
             prompt: prompt.to_string(),
@@ -84,8 +123,21 @@ impl GenerateRequest {
             guidance_scale,
             steps,
             deadline,
+            tenant,
+            stream,
         })
     }
+}
+
+/// Which admission gate shed an [`RejectReason::Overloaded`] request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadScope {
+    /// The submitting tenant's token bucket ran dry; other tenants are
+    /// unaffected.
+    Tenant,
+    /// The whole fleet is past its load-shedding threshold (queue depth
+    /// or p95 latency).
+    Global,
 }
 
 /// Why the runtime refused to take (or finish) a request.
@@ -97,10 +149,20 @@ pub enum RejectReason {
         /// The configured queue capacity that was hit.
         capacity: usize,
     },
+    /// Admission control shed the request before it was queued. Retry
+    /// after at least `retry_after_ms`, with jitter.
+    Overloaded {
+        /// Minimum milliseconds to wait before resubmitting.
+        retry_after_ms: u64,
+        /// Which gate shed it (tenant bucket vs. global load).
+        scope: OverloadScope,
+    },
     /// The runtime is draining and accepts no new work.
     ShuttingDown,
     /// The request's deadline expired while it waited in the queue.
     DeadlineExceeded,
+    /// The client cancelled the request before it finished.
+    Cancelled,
     /// The serving worker disappeared before answering (worker panic).
     WorkerFailure,
     /// The worker hit a recoverable fault while serving this specific
@@ -118,10 +180,23 @@ impl RejectReason {
     pub fn tag(&self) -> &'static str {
         match self {
             RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::Overloaded { .. } => "overloaded",
             RejectReason::ShuttingDown => "shutting_down",
             RejectReason::DeadlineExceeded => "deadline_exceeded",
+            RejectReason::Cancelled => "cancelled",
             RejectReason::WorkerFailure => "worker_failure",
             RejectReason::WorkerError { .. } => "worker_error",
+        }
+    }
+
+    /// The server's backoff hint, when this rejection carries one. Wired
+    /// onto error replies as `retry_after_ms`; see the module docs for
+    /// the jittered-backoff guidance.
+    #[must_use]
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            RejectReason::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
         }
     }
 }
@@ -132,8 +207,16 @@ impl fmt::Display for RejectReason {
             RejectReason::QueueFull { capacity } => {
                 write!(f, "request queue full (capacity {capacity})")
             }
+            RejectReason::Overloaded { retry_after_ms, scope } => {
+                let gate = match scope {
+                    OverloadScope::Tenant => "tenant rate limit",
+                    OverloadScope::Global => "global load shedding",
+                };
+                write!(f, "overloaded ({gate}); retry after {retry_after_ms}ms with jitter")
+            }
             RejectReason::ShuttingDown => write!(f, "runtime is shutting down"),
             RejectReason::DeadlineExceeded => write!(f, "deadline expired while queued"),
+            RejectReason::Cancelled => write!(f, "cancelled by the client"),
             RejectReason::WorkerFailure => write!(f, "serving worker failed"),
             RejectReason::WorkerError { detail } => write!(f, "worker error: {detail}"),
         }
@@ -190,11 +273,39 @@ pub struct GeneratedImage {
     pub cache_hit: bool,
 }
 
+/// One intermediate-step latent preview streamed to a `stream:true`
+/// request while it samples.
+///
+/// The latent is quantized to `u8` (`q = round(255 * (v - min) /
+/// (max - min))`) so a preview line stays small; clients reconstruct an
+/// approximate latent as `min + q / 255 * (max - min)`. Previews are
+/// observational only — they never change the final image bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatentPreview {
+    /// Echo of the request id.
+    pub id: String,
+    /// Zero-based index of the completed DDIM step.
+    pub step: usize,
+    /// Total steps the request will run if not cancelled.
+    pub total_steps: usize,
+    /// Latent shape `[c, h, w]`.
+    pub shape: [usize; 3],
+    /// Minimum latent value (dequantization offset).
+    pub min: f32,
+    /// Maximum latent value (dequantization scale anchor).
+    pub max: f32,
+    /// Row-major quantized latent bytes, `c*h*w` of them.
+    pub latent_q8: Vec<u8>,
+}
+
 /// The reply to one submitted request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeReply {
     /// The request was served.
     Image(GeneratedImage),
+    /// A streamed intermediate-step preview; zero or more precede the
+    /// terminal reply of a `stream:true` request.
+    Preview(LatentPreview),
     /// The request was rejected; the reason says at which stage.
     Rejected {
         /// Echo of the request id.
@@ -205,6 +316,17 @@ pub enum ServeReply {
 }
 
 impl ServeReply {
+    /// Whether this reply ends its request's stream ([`Image`] and
+    /// [`Rejected`] do; [`Preview`] lines are always followed by more).
+    ///
+    /// [`Image`]: ServeReply::Image
+    /// [`Rejected`]: ServeReply::Rejected
+    /// [`Preview`]: ServeReply::Preview
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, ServeReply::Preview(_))
+    }
+
     /// The NDJSON wire form.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -219,12 +341,28 @@ impl ServeReply {
                 ("cache_hit", img.cache_hit.into()),
                 ("latency_us", img.latency.to_json()),
             ]),
-            ServeReply::Rejected { id, reason } => Json::obj(vec![
-                ("type", "error".into()),
-                ("id", id.clone().into()),
-                ("reason", reason.tag().into()),
-                ("detail", reason.to_string().into()),
+            ServeReply::Preview(p) => Json::obj(vec![
+                ("type", "preview".into()),
+                ("id", p.id.clone().into()),
+                ("step", p.step.into()),
+                ("steps", p.total_steps.into()),
+                ("shape", Json::Arr(p.shape.iter().map(|&d| d.into()).collect())),
+                ("min", f64::from(p.min).into()),
+                ("max", f64::from(p.max).into()),
+                ("latent_q8_b64", base64::encode(&p.latent_q8).into()),
             ]),
+            ServeReply::Rejected { id, reason } => {
+                let mut fields = vec![
+                    ("type", "error".into()),
+                    ("id", id.clone().into()),
+                    ("reason", reason.tag().into()),
+                    ("detail", reason.to_string().into()),
+                ];
+                if let Some(ms) = reason.retry_after_ms() {
+                    fields.push(("retry_after_ms", ms.into()));
+                }
+                Json::obj(fields)
+            }
         }
     }
 }
@@ -255,6 +393,61 @@ mod tests {
         assert_eq!(r.id, "req-3");
         assert_eq!(r.seed, 0);
         assert_eq!(r.guidance_scale, None);
+        // Fleet-era fields are backward compatible: absent means default.
+        assert_eq!(r.tenant, None);
+        assert_eq!(r.tenant_id(), "default");
+        assert!(!r.stream);
+    }
+
+    #[test]
+    fn generate_request_parses_tenant_and_stream() {
+        let v = Json::parse(r#"{"prompt":"x","tenant":"team-a","stream":true}"#).unwrap();
+        let r = GenerateRequest::from_json(&v, "f").unwrap();
+        assert_eq!(r.tenant_id(), "team-a");
+        assert!(r.stream);
+        let bad = Json::parse(r#"{"prompt":"x","stream":"yes"}"#).unwrap();
+        assert!(GenerateRequest::from_json(&bad, "f").is_err());
+    }
+
+    #[test]
+    fn overloaded_reply_carries_retry_after_ms() {
+        let reason = RejectReason::Overloaded { retry_after_ms: 40, scope: OverloadScope::Global };
+        assert_eq!(reason.tag(), "overloaded");
+        assert_eq!(reason.retry_after_ms(), Some(40));
+        let wire =
+            ServeReply::Rejected { id: "r".into(), reason: reason.clone() }.to_json().render();
+        let v = Json::parse(&wire).unwrap();
+        assert_eq!(v.get("reason").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(v.get("retry_after_ms").and_then(Json::as_u64), Some(40));
+        // Rejections without a hint omit the field entirely.
+        let plain = ServeReply::Rejected { id: "r".into(), reason: RejectReason::Cancelled }
+            .to_json()
+            .render();
+        let v = Json::parse(&plain).unwrap();
+        assert_eq!(v.get("reason").and_then(Json::as_str), Some("cancelled"));
+        assert!(v.get("retry_after_ms").is_none());
+    }
+
+    #[test]
+    fn preview_wire_form_round_trips() {
+        let reply = ServeReply::Preview(LatentPreview {
+            id: "p".into(),
+            step: 2,
+            total_steps: 8,
+            shape: [4, 2, 2],
+            min: -1.5,
+            max: 2.5,
+            latent_q8: vec![0, 64, 128, 255],
+        });
+        assert!(!reply.is_terminal());
+        let v = Json::parse(&reply.to_json().render()).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("preview"));
+        assert_eq!(v.get("step").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("steps").and_then(Json::as_u64), Some(8));
+        assert_eq!(
+            base64::decode(v.get("latent_q8_b64").and_then(Json::as_str).unwrap()).unwrap(),
+            vec![0, 64, 128, 255]
+        );
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Rendezvous (highest-random-weight) routing of requests onto replica
+//! worker groups.
+//!
+//! The fleet keys routing on `(prompt, variant)` — the same pair the
+//! condition-embedding cache keys on — so every repeat of a prompt lands
+//! on the replica group that already holds its embedding. Rendezvous
+//! hashing gives the two properties a replica fleet needs from one
+//! mechanism:
+//!
+//! - **locality**: a key maps to the alive group with the highest
+//!   per-group hash weight, deterministically, with no shared routing
+//!   table to keep consistent;
+//! - **minimal disruption**: marking a group down only re-routes the keys
+//!   whose top-weight group *was* that group — every other key keeps its
+//!   assignment, so a replica kill does not shuffle the surviving
+//!   groups' caches.
+//!
+//! Down-ness is a lock-free per-group flag flipped by the worker that
+//! observes the failure and cleared by the supervisor after respawn;
+//! routing never blocks on the supervisor.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Seed folded into every rendezvous weight so the router's hash family
+/// is distinct from any other FNV use in the workspace.
+const ROUTE_SEED: u64 = 0x5143_8d6a_9f20_77c1;
+
+/// FNV-1a over `bytes`, continued from `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(PRIME);
+    }
+    state
+}
+
+/// The fleet's routing table: one alive/down flag per replica group plus
+/// the rendezvous weight function.
+#[derive(Debug)]
+pub struct ShardRouter {
+    down: Vec<AtomicBool>,
+}
+
+impl ShardRouter {
+    /// A router over `groups` replica groups, all initially alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0`.
+    #[must_use]
+    pub fn new(groups: usize) -> Self {
+        assert!(groups > 0, "router needs at least one replica group");
+        ShardRouter { down: (0..groups).map(|_| AtomicBool::new(false)).collect() }
+    }
+
+    /// Number of replica groups routed over (alive or not).
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Marks a group down; its keys re-route to survivors until
+    /// [`mark_up`](ShardRouter::mark_up).
+    pub fn mark_down(&self, group: usize) {
+        if let Some(flag) = self.down.get(group) {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Marks a respawned group alive again; its keys route home on the
+    /// next submission.
+    pub fn mark_up(&self, group: usize) {
+        if let Some(flag) = self.down.get(group) {
+            flag.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether `group` is currently marked down.
+    #[must_use]
+    pub fn is_down(&self, group: usize) -> bool {
+        self.down.get(group).is_some_and(|flag| flag.load(Ordering::SeqCst))
+    }
+
+    /// Alive groups right now.
+    #[must_use]
+    pub fn alive(&self) -> usize {
+        self.down.iter().filter(|flag| !flag.load(Ordering::SeqCst)).count()
+    }
+
+    /// The rendezvous weight of `key` on `group` — exposed so tests can
+    /// predict placements without a router instance.
+    #[must_use]
+    pub fn weight(key: &str, group: usize) -> u64 {
+        let state = fnv1a(ROUTE_SEED, key.as_bytes());
+        fnv1a(state, &group.to_le_bytes())
+    }
+
+    /// Routes `key` to the alive group with the highest rendezvous
+    /// weight. `None` only when every group is down.
+    #[must_use]
+    pub fn route(&self, key: &str) -> Option<usize> {
+        self.route_excluding(key, None)
+    }
+
+    /// [`route`](ShardRouter::route), additionally skipping `excluded`
+    /// (a dying group re-routing its own in-flight batch must not hand
+    /// the work back to itself before its down flag is visible).
+    #[must_use]
+    pub fn route_excluding(&self, key: &str, excluded: Option<usize>) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (group, flag) in self.down.iter().enumerate() {
+            if flag.load(Ordering::SeqCst) || Some(group) == excluded {
+                continue;
+            }
+            let w = ShardRouter::weight(key, group);
+            match best {
+                Some((bw, _)) if bw >= w => {}
+                _ => best = Some((w, group)),
+            }
+        }
+        best.map(|(_, group)| group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let router = ShardRouter::new(4);
+        for key in ["a park", "an airstrip", "a river delta", "warehouses"] {
+            let g = router.route(key).unwrap();
+            assert!(g < 4);
+            assert_eq!(router.route(key), Some(g), "same key must route the same way");
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_groups() {
+        let router = ShardRouter::new(4);
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            let g = router.route(&format!("prompt-{i}")).unwrap();
+            seen[g] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 keys should touch all 4 groups: {seen:?}");
+    }
+
+    #[test]
+    fn down_group_reroutes_only_its_own_keys() {
+        let router = ShardRouter::new(4);
+        let keys: Vec<String> = (0..64).map(|i| format!("prompt-{i}")).collect();
+        let before: Vec<usize> = keys.iter().map(|k| router.route(k).unwrap()).collect();
+        let victim = before[0];
+        router.mark_down(victim);
+        assert_eq!(router.alive(), 3);
+        for (key, &home) in keys.iter().zip(&before) {
+            let now = router.route(key).unwrap();
+            assert_ne!(now, victim, "down group must receive nothing");
+            if home != victim {
+                assert_eq!(now, home, "keys of surviving groups must not move");
+            }
+        }
+        router.mark_up(victim);
+        let after: Vec<usize> = keys.iter().map(|k| router.route(k).unwrap()).collect();
+        assert_eq!(after, before, "recovery must restore the original placement");
+    }
+
+    #[test]
+    fn all_down_routes_nowhere() {
+        let router = ShardRouter::new(2);
+        router.mark_down(0);
+        router.mark_down(1);
+        assert_eq!(router.route("anything"), None);
+        assert_eq!(router.alive(), 0);
+    }
+
+    #[test]
+    fn route_excluding_skips_the_given_group() {
+        let router = ShardRouter::new(2);
+        let home = router.route("k").unwrap();
+        let other = router.route_excluding("k", Some(home)).unwrap();
+        assert_ne!(home, other);
+        assert_eq!(router.route_excluding("k", None), Some(home));
+    }
+
+    #[test]
+    fn single_group_routes_everything_to_it() {
+        let router = ShardRouter::new(1);
+        assert_eq!(router.route("x"), Some(0));
+        assert_eq!(router.route_excluding("x", Some(0)), None);
+    }
+
+    #[test]
+    fn out_of_range_marks_are_ignored() {
+        let router = ShardRouter::new(2);
+        router.mark_down(9);
+        router.mark_up(9);
+        assert!(!router.is_down(9));
+        assert_eq!(router.alive(), 2);
+    }
+}

@@ -1,6 +1,6 @@
-//! The serving runtime: a supervised worker pool over one immutable
-//! trained pipeline, fed by the bounded queue and the dynamic
-//! micro-batcher.
+//! The serving runtime: a supervised fleet of replica worker groups over
+//! one immutable trained pipeline, fronted by a rendezvous shard router
+//! and an admission controller.
 //!
 //! The trained pipeline itself is not shareable across threads (its
 //! parameters live in `Rc`-backed autograd nodes), so the runtime ships a
@@ -10,41 +10,69 @@
 //! at snapshot time, so replicas are exact clones and any worker may
 //! serve any request.
 //!
+//! Scale-out shape: [`ServeConfig::replicas`] independent *replica
+//! groups*, each with its own bounded queue, its own condition-embedding
+//! cache, and [`ServeConfig::workers`] worker threads. The
+//! [`ShardRouter`] places each request by its `(prompt, variant)` key, so
+//! repeats of a prompt land on the group that already cached its
+//! embedding; the [`AdmissionController`] sheds work *before* it touches
+//! any queue, with a typed `overloaded` reply carrying a
+//! `retry_after_ms` hint.
+//!
 //! Determinism contract: a request's image depends only on its own
 //! `(prompt, seed, steps, guidance)`. Each request's initial latent is
 //! drawn from a private `StdRng` seeded with the request seed, and the
 //! DDIM reverse process is row-independent, so coalescing requests into
-//! one `[n, c, h, w]` sampler call changes throughput, never bytes.
+//! one `[n, c, h, w]` sampler call — or moving a request between replica
+//! groups — changes throughput, never bytes.
 //!
 //! Fault-tolerance contract: one bad request must never take the service
-//! down, and one dead worker must never strand queued work.
+//! down, one dead worker must never strand queued work, and one dead
+//! *replica group* must never drop a request.
 //!
 //! - Per-request preparation runs under `catch_unwind`; a panic answers
 //!   *that* request with a typed `worker_error` reply while the rest of
 //!   the batch is still served. The worker that caught the panic is
-//!   treated as suspect: it finishes its batch, exits, and the watchdog
+//!   treated as suspect: it finishes its batch, exits, and the supervisor
 //!   respawns a fresh replica in its place (up to
 //!   [`ServeConfig::max_worker_restarts`]).
 //! - A worker that dies outright hands its unserved batch back to the
-//!   front of the queue first, so the replacement worker — or any
+//!   front of its group's queue first, so the replacement worker — or any
 //!   surviving peer — finishes it with zero dropped replies.
+//! - A *replica kill* ([`Fault::KillReplica`]) takes a whole group down
+//!   mid-batch: the dying worker marks the group down in the router,
+//!   aborts its siblings' pops via the group kill flag, re-routes its
+//!   in-flight batch onto surviving groups, and panics. The supervisor
+//!   then re-routes anything left in the dead group's queue, clears its
+//!   condition cache (the respawned group recomputes, exactly as a swap
+//!   does), respawns every worker from the model slot, and marks the
+//!   group back up — zero requests dropped end to end.
+//! - A cancelled request is swept from the queue with a typed `cancelled`
+//!   reply, or — once sampling started — stops the coalesced sampler call
+//!   between DDIM steps as soon as *every* request in the call is
+//!   cancelled, freeing the batch slot early.
 //! - Sampler outputs are checked for non-finite values before decode;
 //!   a NaN latent becomes a typed reply, never a garbage image.
 //! - Cached condition embeddings are validated on every hit; a corrupt
-//!   entry is evicted, counted, and recomputed.
-//! - If every worker is gone and no restarts remain, the watchdog drains
-//!   the queue and rejects each request with a typed reason instead of
-//!   hanging the clients forever.
+//!   entry is evicted, counted, and recomputed. A *poisoned* cache lock
+//!   ([`Fault::PoisonCacheLock`]) is recovered, never propagated.
+//! - If every worker in every group is gone and no restarts remain, the
+//!   supervisor drains the queues and rejects each request with a typed
+//!   reason instead of hanging the clients forever.
 //!
 //! All of these paths are driven deterministically in tests by a
 //! [`FaultPlan`] (see [`crate::fault`]); production runtimes pass none.
 
+use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::cache::{ConditionCache, ConditionKey};
 use crate::fault::{Fault, FaultPlan, SwapFault};
 use crate::queue::{Pending, RequestQueue};
-use crate::request::{GenerateRequest, GeneratedImage, RejectReason, ServeReply, StageLatency};
+use crate::request::{
+    GenerateRequest, GeneratedImage, LatentPreview, RejectReason, ServeReply, StageLatency,
+};
+use crate::router::ShardRouter;
 use crate::stats::{StatsCollector, StatsReport};
-use aero_diffusion::DdimSampler;
+use aero_diffusion::{CancelSignal, CancelToken, DdimSampler, StepEvent};
 use aero_model::{
     snapshot_from_artifact, IntegrityState, ModelArtifact, ModelError, ModelRegistry, RegistryEntry,
 };
@@ -54,8 +82,8 @@ use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -63,15 +91,20 @@ use std::time::{Duration, Instant};
 /// Serving runtime knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
-    /// Worker threads, each holding one pipeline replica.
+    /// Independent replica worker groups, each with its own queue and
+    /// condition cache, routed over by prompt.
+    pub replicas: usize,
+    /// Worker threads *per replica group*, each holding one pipeline
+    /// replica.
     pub workers: usize,
     /// Most requests coalesced into one sampler call.
     pub max_batch: usize,
-    /// Bounded queue capacity; beyond it submissions are rejected.
+    /// Bounded queue capacity *per replica group*; beyond it submissions
+    /// are rejected.
     pub queue_capacity: usize,
     /// How long a worker lingers for stragglers to fill a batch.
     pub batch_wait: Duration,
-    /// Condition-embedding LRU capacity (entries).
+    /// Condition-embedding LRU capacity (entries, per replica group).
     pub cache_capacity: usize,
     /// Default DDIM steps (requests may override per call).
     pub steps: usize,
@@ -79,9 +112,17 @@ pub struct ServeConfig {
     pub guidance_scale: f32,
     /// Seed of the reference scene used as the conditioning exemplar.
     pub reference_seed: u64,
-    /// Total worker respawns the watchdog may perform over the runtime's
-    /// life before it stops replacing dead workers.
+    /// Total worker respawns the supervisor may perform over the
+    /// runtime's life before it stops replacing dead workers. A whole
+    /// replica-group respawn counts as one restart.
     pub max_worker_restarts: usize,
+    /// Admission-control knobs (tenant token buckets + global shed
+    /// gates). The default admits everything.
+    pub admission: AdmissionConfig,
+    /// Stream quantized intermediate-latent previews for every request,
+    /// even ones that did not ask (`request.stream` enables it per
+    /// request).
+    pub stream_previews: bool,
 }
 
 impl ServeConfig {
@@ -89,6 +130,7 @@ impl ServeConfig {
     #[must_use]
     pub fn for_pipeline(config: &PipelineConfig) -> Self {
         ServeConfig {
+            replicas: 1,
             workers: aero_tensor::parallel::suggested_threads(2),
             max_batch: 8,
             queue_capacity: 32,
@@ -98,15 +140,19 @@ impl ServeConfig {
             guidance_scale: config.diffusion.guidance_scale,
             reference_seed: 0,
             max_worker_restarts: 4,
+            admission: AdmissionConfig::default(),
+            stream_previews: false,
         }
     }
 }
 
-/// Handle for one submitted request; resolves to exactly one reply.
+/// Handle for one submitted request; resolves to exactly one terminal
+/// reply, possibly preceded by streamed [`ServeReply::Preview`] events.
 #[derive(Debug)]
 pub struct ResponseHandle {
     id: String,
     rx: Receiver<ServeReply>,
+    cancel: CancelToken,
     stats: Arc<StatsCollector>,
 }
 
@@ -117,21 +163,56 @@ impl ResponseHandle {
         &self.id
     }
 
-    /// Blocks until the reply arrives. A worker that died without
-    /// answering surfaces as a typed [`RejectReason::WorkerFailure`].
+    /// Requests cancellation: queued, the request is swept with a typed
+    /// `cancelled` reply; sampling, the coalesced call stops between DDIM
+    /// steps once every rider is cancelled. Idempotent, never blocks.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clone of the cancel token, for cancelling after `wait` consumed
+    /// the handle (e.g. from another thread or the NDJSON reader).
     #[must_use]
-    pub fn wait(self) -> ServeReply {
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Blocks for the next reply event: zero or more previews, then
+    /// exactly one terminal reply. `None` after the terminal reply (or if
+    /// the worker died without answering — pair with
+    /// [`wait`](ResponseHandle::wait) when previews are not consumed).
+    #[must_use]
+    pub fn next_event(&self) -> Option<ServeReply> {
         match self.rx.recv() {
             Ok(reply) => {
                 if let ServeReply::Rejected { reason, .. } = &reply {
                     self.stats.record_rejected(reason);
                 }
-                reply
+                Some(reply)
             }
-            Err(_) => {
-                let reason = RejectReason::WorkerFailure;
-                self.stats.record_rejected(&reason);
-                ServeReply::Rejected { id: self.id, reason }
+            Err(_) => None,
+        }
+    }
+
+    /// Blocks until the terminal reply arrives, discarding any streamed
+    /// previews. A worker that died without answering surfaces as a typed
+    /// [`RejectReason::WorkerFailure`].
+    #[must_use]
+    pub fn wait(self) -> ServeReply {
+        loop {
+            match self.rx.recv() {
+                Ok(reply) if !reply.is_terminal() => {}
+                Ok(reply) => {
+                    if let ServeReply::Rejected { reason, .. } = &reply {
+                        self.stats.record_rejected(reason);
+                    }
+                    return reply;
+                }
+                Err(_) => {
+                    let reason = RejectReason::WorkerFailure;
+                    self.stats.record_rejected(&reason);
+                    return ServeReply::Rejected { id: self.id, reason };
+                }
             }
         }
     }
@@ -181,28 +262,44 @@ impl ModelSlot {
     }
 }
 
-/// Everything a worker shares with its peers and the watchdog.
-#[derive(Clone)]
-struct WorkerShared {
+/// One replica worker group: its own queue, its own condition cache, and
+/// a kill flag its workers watch between pops.
+#[derive(Debug)]
+struct ReplicaGroup {
     queue: Arc<RequestQueue>,
     cache: Arc<Mutex<ConditionCache>>,
+    /// Set by the worker that draws a [`Fault::KillReplica`]; aborts the
+    /// sibling workers' pops and gates the supervisor's group respawn.
+    kill: AtomicBool,
+}
+
+/// Everything a worker shares with its peers, the router, and the
+/// supervisor.
+#[derive(Clone)]
+struct FleetShared {
+    groups: Arc<Vec<ReplicaGroup>>,
+    router: Arc<ShardRouter>,
     stats: Arc<StatsCollector>,
     faults: Option<Arc<FaultPlan>>,
     slot: Arc<ModelSlot>,
 }
 
-/// How a worker thread ended, as seen by the watchdog. A thread that
+/// How a worker thread ended, as seen by the supervisor. A thread that
 /// panicked instead of returning shows up as `Err` from `join`.
 enum WorkerOutcome {
     /// Clean exit: the queue drained out under shutdown.
     Drained,
     /// The snapshot would not hydrate. Deterministic — the same bytes
-    /// fail the same way — so the watchdog does not burn restarts on it.
+    /// fail the same way — so the supervisor does not burn restarts on
+    /// it.
     HydrationFailed,
     /// The worker caught an in-request panic, answered it with a typed
     /// reply, finished its batch, and exited so a fresh replica can take
     /// its slot.
     Suspect,
+    /// The worker's whole group was killed; it exits without burning a
+    /// restart and the supervisor respawns the group as a unit.
+    ReplicaKilled,
 }
 
 /// Outcome of a successful registry-backed model swap.
@@ -215,34 +312,36 @@ pub struct SwapOutcome {
     pub generation: u64,
 }
 
-/// The running worker pool. Dropping it without [`ServeRuntime::shutdown`]
+/// The running replica fleet. Dropping it without [`ServeRuntime::shutdown`]
 /// leaks the workers; always shut down for a graceful drain.
 #[derive(Debug)]
 pub struct ServeRuntime {
-    queue: Arc<RequestQueue>,
+    groups: Arc<Vec<ReplicaGroup>>,
+    router: Arc<ShardRouter>,
+    admission: AdmissionController,
     stats: Arc<StatsCollector>,
-    cache: Arc<Mutex<ConditionCache>>,
     slot: Arc<ModelSlot>,
     faults: Option<Arc<FaultPlan>>,
     registry: Mutex<Option<ModelRegistry>>,
     active_model: Mutex<Option<(String, u32)>>,
     next_ordinal: AtomicU64,
     next_swap_ordinal: AtomicU64,
-    watchdog: JoinHandle<()>,
+    supervisor: JoinHandle<()>,
 }
 
 impl ServeRuntime {
-    /// Spawns `config.workers` threads, each hydrating a replica from the
-    /// snapshot, plus a watchdog that respawns dead workers, and starts
+    /// Spawns `config.replicas` worker groups of `config.workers` threads
+    /// each, every thread hydrating a replica from the snapshot, plus a
+    /// supervisor that respawns dead workers and dead groups, and starts
     /// serving.
     ///
     /// # Panics
     ///
-    /// Panics if `config.workers == 0`, `config.max_batch == 0`, or a
-    /// thread cannot be spawned. A snapshot that fails to hydrate does
-    /// *not* panic: the affected workers exit with a typed failure
-    /// recorded in stats, and queued requests are rejected with
-    /// `worker_error` once no worker remains.
+    /// Panics if `config.replicas == 0`, `config.workers == 0`,
+    /// `config.max_batch == 0`, or a thread cannot be spawned. A snapshot
+    /// that fails to hydrate does *not* panic: the affected workers exit
+    /// with a typed failure recorded in stats, and queued requests are
+    /// rejected with `worker_error` once no worker remains.
     #[must_use]
     pub fn start(snapshot: PipelineSnapshot, config: ServeConfig) -> Self {
         ServeRuntime::start_with_faults(snapshot, config, None)
@@ -250,7 +349,8 @@ impl ServeRuntime {
 
     /// [`ServeRuntime::start`], plus a deterministic [`FaultPlan`] the
     /// workers consult per request. Tests use this to trigger panics,
-    /// worker deaths, NaN outputs and cache corruption on exact requests.
+    /// worker deaths, replica kills, NaN outputs and cache corruption on
+    /// exact requests.
     ///
     /// # Panics
     ///
@@ -261,62 +361,104 @@ impl ServeRuntime {
         config: ServeConfig,
         faults: Option<Arc<FaultPlan>>,
     ) -> Self {
-        assert!(config.workers > 0, "serve runtime needs at least one worker");
+        assert!(config.replicas > 0, "serve runtime needs at least one replica group");
+        assert!(config.workers > 0, "serve runtime needs at least one worker per group");
         assert!(config.max_batch > 0, "max_batch must be positive");
         let slot = Arc::new(ModelSlot::new(Arc::new(snapshot)));
-        let queue = Arc::new(RequestQueue::new(config.queue_capacity));
+        let router = Arc::new(ShardRouter::new(config.replicas));
+        let groups: Arc<Vec<ReplicaGroup>> = Arc::new(
+            (0..config.replicas)
+                .map(|_| ReplicaGroup {
+                    queue: Arc::new(RequestQueue::new(config.queue_capacity)),
+                    cache: Arc::new(Mutex::new(ConditionCache::new(config.cache_capacity))),
+                    kill: AtomicBool::new(false),
+                })
+                .collect(),
+        );
         let stats = Arc::new(StatsCollector::new());
-        let cache = Arc::new(Mutex::new(ConditionCache::new(config.cache_capacity)));
-        let shared = WorkerShared {
-            queue: Arc::clone(&queue),
-            cache: Arc::clone(&cache),
+        let shared = FleetShared {
+            groups: Arc::clone(&groups),
+            router: Arc::clone(&router),
             stats: Arc::clone(&stats),
             faults: faults.clone(),
             slot: Arc::clone(&slot),
         };
-        let mut slots: Vec<Option<JoinHandle<WorkerOutcome>>> = (0..config.workers)
-            .map(|i| {
-                let handle =
-                    spawn_worker(i, 0, shared.clone(), config).expect("spawn serve worker");
-                Some(handle)
+        let mut fleet: Vec<Vec<Option<JoinHandle<WorkerOutcome>>>> = (0..config.replicas)
+            .map(|g| {
+                (0..config.workers)
+                    .map(|i| {
+                        let handle = spawn_worker(g, i, 0, shared.clone(), config)
+                            .expect("spawn serve worker");
+                        Some(handle)
+                    })
+                    .collect()
             })
             .collect();
-        let watchdog = std::thread::Builder::new()
-            .name("aero-serve-watchdog".into())
-            .spawn(move || watchdog_loop(&shared, config, &mut slots))
-            .expect("spawn serve watchdog");
+        let supervisor = std::thread::Builder::new()
+            .name("aero-serve-supervisor".into())
+            .spawn(move || supervisor_loop(&shared, config, &mut fleet))
+            .expect("spawn serve supervisor");
         ServeRuntime {
-            queue,
+            groups,
+            router,
+            admission: AdmissionController::new(config.admission),
             stats,
-            cache,
             slot,
             faults,
             registry: Mutex::new(None),
             active_model: Mutex::new(None),
             next_ordinal: AtomicU64::new(0),
             next_swap_ordinal: AtomicU64::new(0),
-            watchdog,
+            supervisor,
         }
     }
 
-    /// Enqueues a request, returning a handle for its reply.
+    /// Enqueues a request, returning a handle for its reply. The request
+    /// first passes admission (tenant token bucket + global shed gates),
+    /// then routes to its `(prompt, variant)` home replica group.
     ///
     /// # Errors
     ///
+    /// [`RejectReason::Overloaded`] when admission sheds it (the
+    /// `retry_after_ms` hint says when to retry — add jitter),
     /// [`RejectReason::QueueFull`] under backpressure,
     /// [`RejectReason::ShuttingDown`] once a drain began (including the
     /// terminal drain after every worker died).
     pub fn submit(&self, request: GenerateRequest) -> Result<ResponseHandle, RejectReason> {
+        let ordinal = self.next_ordinal.fetch_add(1, Ordering::SeqCst);
+        if let Err(reason) =
+            self.admission.admit(request.tenant_id(), self.queue_len(), self.stats.e2e_p95_us())
+        {
+            self.stats.record_rejected(&reason);
+            return Err(reason);
+        }
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         let id = request.id.clone();
         let deadline = request.deadline.map(|d| now + d);
-        let ordinal = self.next_ordinal.fetch_add(1, Ordering::SeqCst);
-        let pending = Pending { request, ordinal, enqueued: now, deadline, responder: tx };
-        match self.queue.push(pending) {
+        let cancel = CancelToken::new();
+        let key = route_key(&request.prompt, self.slot.current().0.variant());
+        // A request whose home group is mid-respawn still lands on *some*
+        // queue: survivors if any are alive, otherwise the home group's
+        // own queue, which outlives the kill and is served after respawn.
+        let group_idx = self.router.route(&key).unwrap_or_else(|| home_group(&key, &self.router));
+        let Some(group) = self.groups.get(group_idx) else {
+            let reason = RejectReason::WorkerError { detail: "no such replica group".into() };
+            self.stats.record_rejected(&reason);
+            return Err(reason);
+        };
+        let pending = Pending {
+            request,
+            ordinal,
+            enqueued: now,
+            deadline,
+            cancel: cancel.clone(),
+            responder: tx,
+        };
+        match group.queue.push(pending) {
             Ok(()) => {
-                self.stats.set_queue_depth(self.queue.len());
-                Ok(ResponseHandle { id, rx, stats: Arc::clone(&self.stats) })
+                self.stats.set_queue_depth(self.queue_len());
+                Ok(ResponseHandle { id, rx, cancel, stats: Arc::clone(&self.stats) })
             }
             Err(reason) => {
                 self.stats.record_rejected(&reason);
@@ -325,10 +467,17 @@ impl ServeRuntime {
         }
     }
 
-    /// Requests currently waiting in the queue.
+    /// Requests currently waiting, summed across every replica group's
+    /// queue.
     #[must_use]
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.groups.iter().map(|g| g.queue.len()).sum()
+    }
+
+    /// Replica groups currently alive in the router.
+    #[must_use]
+    pub fn alive_replicas(&self) -> usize {
+        self.router.alive()
     }
 
     /// A point-in-time statistics report.
@@ -388,11 +537,13 @@ impl ServeRuntime {
 
     /// Installs a new snapshot directly. In-flight batches finish on the
     /// old replicas; each worker rehydrates before its next batch, so no
-    /// request is dropped. The condition cache is cleared — its entries
-    /// were computed by the outgoing model.
+    /// request is dropped. Every replica group's condition cache is
+    /// cleared — its entries were computed by the outgoing model.
     pub fn swap_snapshot(&self, snapshot: PipelineSnapshot) -> u64 {
         let generation = self.slot.install(snapshot);
-        lock_cache(&self.cache).clear();
+        for group in self.groups.iter() {
+            lock_cache(&group.cache).clear();
+        }
         aero_obs::counter!("serve.swap.count").inc();
         aero_obs::gauge!("serve.swap.generation").set(generation as f64);
         generation
@@ -461,74 +612,141 @@ impl ServeRuntime {
     /// everything already queued, joins them, and returns final stats.
     #[must_use]
     pub fn shutdown(self) -> StatsReport {
-        self.queue.begin_shutdown();
-        let _ = self.watchdog.join();
+        for group in self.groups.iter() {
+            group.queue.begin_shutdown();
+        }
+        let _ = self.supervisor.join();
         self.stats.report()
     }
 }
 
+/// The routing key: the same `(prompt, variant)` pair the condition
+/// cache keys on, so routing locality *is* cache locality.
+fn route_key(prompt: &str, variant: impl std::fmt::Debug) -> String {
+    format!("{prompt}\u{1f}{variant:?}")
+}
+
+/// The group `key` would route to if every group were alive — the
+/// fallback target while the whole fleet is mid-respawn.
+fn home_group(key: &str, router: &ShardRouter) -> usize {
+    let mut best = (ShardRouter::weight(key, 0), 0);
+    for group in 1..router.groups() {
+        let w = ShardRouter::weight(key, group);
+        if w > best.0 {
+            best = (w, group);
+        }
+    }
+    best.1
+}
+
 fn spawn_worker(
+    group: usize,
     slot: usize,
     generation: usize,
-    shared: WorkerShared,
+    shared: FleetShared,
     config: ServeConfig,
 ) -> std::io::Result<JoinHandle<WorkerOutcome>> {
     std::thread::Builder::new()
-        .name(format!("aero-serve-{slot}.{generation}"))
-        .spawn(move || worker_loop(&shared, config))
+        .name(format!("aero-serve-{group}.{slot}.{generation}"))
+        .spawn(move || worker_loop(&shared, group, config))
 }
 
-/// Supervises the worker slots: joins finished workers, respawns the ones
-/// that died (panic or suspect exit) while restarts remain, and — once no
-/// worker is left — fails all queued work with a typed reason so clients
-/// never hang on a dead pool. Respawned workers hydrate from the model
-/// slot, so they always come up on the latest installed model.
-fn watchdog_loop(
-    shared: &WorkerShared,
+/// Supervises the fleet: joins finished workers, respawns single workers
+/// that died suspect (panic) while restarts remain, respawns *whole
+/// replica groups* after a kill — re-routing anything stranded in the
+/// dead group's queue first — and, once no worker is left anywhere,
+/// fails all queued work with a typed reason so clients never hang on a
+/// dead pool. It also sweeps every queue on a timer, so expired and
+/// cancelled requests get their typed reply even while all workers are
+/// busy sampling. Respawned workers hydrate from the model slot, so they
+/// always come up on the latest installed model.
+fn supervisor_loop(
+    shared: &FleetShared,
     config: ServeConfig,
-    slots: &mut [Option<JoinHandle<WorkerOutcome>>],
+    fleet: &mut [Vec<Option<JoinHandle<WorkerOutcome>>>],
 ) {
     let mut restarts = 0usize;
     let mut generation = 0usize;
     loop {
         let mut live = 0usize;
-        for (i, slot) in slots.iter_mut().enumerate() {
-            if slot.as_ref().is_some_and(JoinHandle::is_finished) {
-                let Some(handle) = slot.take() else { continue };
-                match handle.join() {
-                    Ok(WorkerOutcome::Drained | WorkerOutcome::HydrationFailed) => {}
-                    // A worker that died is replaced even mid-shutdown:
-                    // its requeued batch still has to be drained, and the
-                    // restart budget bounds the loop either way. A failed
-                    // respawn leaves the slot empty; the live count below
-                    // then treats it like any other dead worker.
-                    Ok(WorkerOutcome::Suspect) | Err(_) => {
-                        if restarts < config.max_worker_restarts {
-                            if let Ok(replacement) =
-                                spawn_worker(i, generation + 1, shared.clone(), config)
+        for (g, slots) in fleet.iter_mut().enumerate() {
+            let Some(group) = shared.groups.get(g) else { continue };
+            group.queue.sweep();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if slot.as_ref().is_some_and(JoinHandle::is_finished) {
+                    let Some(handle) = slot.take() else { continue };
+                    match handle.join() {
+                        Ok(
+                            WorkerOutcome::Drained
+                            | WorkerOutcome::HydrationFailed
+                            | WorkerOutcome::ReplicaKilled,
+                        ) => {}
+                        // A worker that died alone is replaced even
+                        // mid-shutdown: its requeued batch still has to be
+                        // drained, and the restart budget bounds the loop
+                        // either way. While the group is kill-flagged the
+                        // slot stays empty — the group respawns as a unit
+                        // below. A failed respawn leaves the slot empty;
+                        // the live count then treats it like any other
+                        // dead worker.
+                        Ok(WorkerOutcome::Suspect) | Err(_) => {
+                            if !group.kill.load(Ordering::SeqCst)
+                                && restarts < config.max_worker_restarts
                             {
-                                restarts += 1;
-                                generation += 1;
-                                shared.stats.record_worker_restart();
-                                *slot = Some(replacement);
+                                if let Ok(replacement) =
+                                    spawn_worker(g, i, generation + 1, shared.clone(), config)
+                                {
+                                    restarts += 1;
+                                    generation += 1;
+                                    shared.stats.record_worker_restart();
+                                    *slot = Some(replacement);
+                                }
                             }
                         }
                     }
                 }
             }
-            if slot.is_some() {
-                live += 1;
+            // A killed group respawns as a unit once its last worker is
+            // joined: re-route stragglers its dying workers left behind,
+            // drop the cache (the kill may have left it poisoned or
+            // half-written), bring up a full set of fresh workers, and
+            // only then mark the group routable again.
+            if group.kill.load(Ordering::SeqCst) && slots.iter().all(Option::is_none) {
+                let stranded = group.queue.drain_all();
+                reroute_batch(shared, g, stranded);
+                lock_cache(&group.cache).clear();
+                if restarts < config.max_worker_restarts {
+                    restarts += 1;
+                    generation += 1;
+                    let mut respawned = 0usize;
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        if let Ok(handle) = spawn_worker(g, i, generation, shared.clone(), config) {
+                            *slot = Some(handle);
+                            respawned += 1;
+                        }
+                    }
+                    if respawned > 0 {
+                        group.kill.store(false, Ordering::SeqCst);
+                        shared.router.mark_up(g);
+                        shared.stats.record_replica_respawn();
+                        shared.stats.record_worker_restart();
+                    }
+                }
             }
+            live += slots.iter().filter(|slot| slot.is_some()).count();
         }
         if live == 0 {
-            // Nobody will ever pop again. On a graceful shutdown the queue
-            // is already drained and this is a no-op; on a collapsed pool
-            // it converts every stranded request into a typed rejection.
-            shared.queue.begin_shutdown();
-            for pending in shared.queue.drain_all() {
-                pending.reject(RejectReason::WorkerError {
-                    detail: "no live serving workers remain".into(),
-                });
+            // Nobody will ever pop again. On a graceful shutdown the
+            // queues are already drained and this is a no-op; on a
+            // collapsed fleet it converts every stranded request into a
+            // typed rejection.
+            for group in shared.groups.iter() {
+                group.queue.begin_shutdown();
+                for pending in group.queue.drain_all() {
+                    pending.reject(RejectReason::WorkerError {
+                        detail: "no live serving workers remain".into(),
+                    });
+                }
             }
             return;
         }
@@ -566,18 +784,37 @@ impl Replica {
     }
 }
 
-/// One worker: hydrate a replica from the model slot, then serve batches
-/// until the queue drains out or the worker turns suspect. Before each
-/// batch the worker compares its generation against the slot; on a
-/// mismatch it rehydrates from the newly installed snapshot, so a swap
-/// never interrupts a batch already being served.
-fn worker_loop(shared: &WorkerShared, config: ServeConfig) -> WorkerOutcome {
+/// One worker: hydrate a replica from the model slot, then serve its
+/// group's batches until the queue drains out, the group is killed, or
+/// the worker turns suspect. Before each batch the worker compares its
+/// generation against the slot; on a mismatch it rehydrates from the
+/// newly installed snapshot, so a swap never interrupts a batch already
+/// being served.
+fn worker_loop(shared: &FleetShared, group_idx: usize, config: ServeConfig) -> WorkerOutcome {
+    let Some(group) = shared.groups.get(group_idx) else {
+        return WorkerOutcome::Drained;
+    };
     let (snapshot, mut generation) = shared.slot.current();
     let Some(mut replica) = Replica::build(&snapshot, &config) else {
         shared.stats.record_hydration_failure();
         return WorkerOutcome::HydrationFailed;
     };
-    while let Some(batch) = shared.queue.pop_batch(config.max_batch, config.batch_wait) {
+    loop {
+        let Some(batch) =
+            group.queue.pop_batch_watch(config.max_batch, config.batch_wait, &group.kill)
+        else {
+            return if group.kill.load(Ordering::SeqCst) {
+                WorkerOutcome::ReplicaKilled
+            } else {
+                WorkerOutcome::Drained
+            };
+        };
+        // A sibling drew a replica kill after this pop won the race: hand
+        // the batch to survivors and die with the group.
+        if group.kill.load(Ordering::SeqCst) {
+            reroute_batch(shared, group_idx, batch);
+            return WorkerOutcome::ReplicaKilled;
+        }
         if shared.slot.generation() != generation {
             let (snapshot, new_generation) = shared.slot.current();
             match Replica::build(&snapshot, &config) {
@@ -596,21 +833,51 @@ fn worker_loop(shared: &WorkerShared, config: ServeConfig) -> WorkerOutcome {
             }
             generation = new_generation;
         }
-        if !serve_batch(
-            &replica.pipeline,
-            &replica.item,
-            &replica.caption_g,
-            batch,
-            shared,
-            &config,
-        ) {
+        if !serve_batch(&replica, batch, shared, group_idx, group, &config) {
             // An in-request panic was caught and answered, but this
             // replica's internal state is no longer above suspicion.
-            // Exit after the batch; the watchdog brings up a fresh one.
+            // Exit after the batch; the supervisor brings up a fresh one.
             return WorkerOutcome::Suspect;
         }
     }
-    WorkerOutcome::Drained
+}
+
+/// Re-routes a dying group's in-flight requests onto surviving groups,
+/// or — when no survivor exists — back onto the dying group's own queue,
+/// which outlives the kill and is served after respawn. Either way no
+/// request is dropped.
+fn reroute_batch(shared: &FleetShared, from: usize, batch: Vec<Pending>) {
+    if batch.is_empty() {
+        return;
+    }
+    let n = batch.len();
+    let (snapshot, _) = shared.slot.current();
+    let mut per_group: Vec<Vec<Pending>> = (0..shared.groups.len()).map(|_| Vec::new()).collect();
+    let mut home: Vec<Pending> = Vec::new();
+    for pending in batch {
+        let key = route_key(&pending.request.prompt, snapshot.variant());
+        match shared.router.route_excluding(&key, Some(from)) {
+            Some(g) => match per_group.get_mut(g) {
+                Some(bucket) => bucket.push(pending),
+                None => home.push(pending),
+            },
+            None => home.push(pending),
+        }
+    }
+    for (g, bucket) in per_group.into_iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        if let Some(group) = shared.groups.get(g) {
+            group.queue.requeue(bucket);
+        }
+    }
+    if !home.is_empty() {
+        if let Some(group) = shared.groups.get(from) {
+            group.queue.requeue(home);
+        }
+    }
+    shared.stats.record_reroute(n);
 }
 
 /// Locks the condition cache, recovering from poison: the cache holds
@@ -620,8 +887,50 @@ fn lock_cache(cache: &Mutex<ConditionCache>) -> MutexGuard<'_, ConditionCache> {
     cache.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Deliberately poisons a condition-cache mutex: a helper thread takes
+/// the lock and panics while holding it. Drives [`Fault::PoisonCacheLock`];
+/// every real lock site recovers via [`lock_cache`].
+fn poison_cache(cache: &Arc<Mutex<ConditionCache>>) {
+    let cache = Arc::clone(cache);
+    let spawned = std::thread::Builder::new().name("aero-serve-poisoner".into()).spawn(move || {
+        let _guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        panic!("injected fault: poisoning the condition-cache lock");
+    });
+    if let Ok(handle) = spawned {
+        let _ = handle.join();
+    }
+}
+
 fn tensor_is_finite(t: &Tensor) -> bool {
     t.as_slice().iter().all(|v| v.is_finite())
+}
+
+/// The composite cancel signal for one coalesced sampler call: the call
+/// aborts between DDIM steps only when *every* rider is cancelled —
+/// stopping earlier would corrupt the surviving rows.
+struct GroupCancel {
+    tokens: Vec<CancelToken>,
+}
+
+impl CancelSignal for GroupCancel {
+    fn is_cancelled(&self) -> bool {
+        !self.tokens.is_empty() && self.tokens.iter().all(CancelToken::is_cancelled)
+    }
+}
+
+/// Quantizes one request's latent row to 8 bits for a preview reply.
+fn quantize_preview(id: &str, step: usize, total: usize, latent: &Tensor) -> LatentPreview {
+    let dims = latent.shape();
+    let shape = if let [c, h, w] = *dims { [c, h, w] } else { [dims.len(), 0, 0] };
+    let data = latent.as_slice();
+    let (min, max) =
+        data.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (min, max) =
+        if min.is_finite() && max.is_finite() && max > min { (min, max) } else { (0.0, 1.0) };
+    let scale = 255.0 / (max - min);
+    let latent_q8 =
+        data.iter().map(|&v| ((v - min) * scale).clamp(0.0, 255.0).round() as u8).collect();
+    LatentPreview { id: id.to_string(), step, total_steps: total, shape, min, max, latent_q8 }
 }
 
 /// A request annotated with everything measured before sampling.
@@ -637,24 +946,32 @@ struct Job {
 }
 
 /// Serves one popped batch: group by sampler settings, encode through the
-/// cache, run one coalesced sampler call per group, decode per request.
-/// Returns `false` if the worker caught an in-request panic and should be
-/// replaced after this batch.
+/// group's cache, run one coalesced cancellable sampler call per lane,
+/// decode per request. Returns `false` if the worker caught an in-request
+/// panic and should be replaced after this batch.
 fn serve_batch(
-    replica: &AeroDiffusionPipeline,
-    item: &DatasetItem,
-    caption_g: &str,
+    replica: &Replica,
     batch: Vec<Pending>,
-    shared: &WorkerShared,
+    shared: &FleetShared,
+    group_idx: usize,
+    group: &ReplicaGroup,
     config: &ServeConfig,
 ) -> bool {
+    let pipeline = &replica.pipeline;
     let dequeued = Instant::now();
-    shared.stats.set_queue_depth(shared.queue.len());
-    // Pull this batch's scheduled faults up front. KillWorker must fire
-    // before any request is served: the whole batch goes back to the
-    // queue (so a replacement finishes it), any other faults taken with
-    // it are re-scheduled for the retry, and the worker dies the way a
-    // real crash would — an uncaught panic.
+    shared.stats.set_queue_depth(shared.groups.iter().map(|g| g.queue.len()).sum());
+    // Pull this batch's scheduled faults up front. The two kill faults
+    // must fire before any request is served, so the whole batch is
+    // finished by someone else; any other faults taken with them are
+    // re-scheduled for the retry, and the worker dies the way a real
+    // crash would — an uncaught panic.
+    //
+    // KillReplica: mark the group down and kill-flagged first, so the
+    // router stops placing new work here and sibling workers abort their
+    // pops; then hand the in-flight batch to survivors.
+    //
+    // KillWorker: requeue to this group's own queue — the group survives,
+    // only this thread dies.
     let mut batch_faults: HashMap<u64, Fault> = HashMap::new();
     if let Some(plan) = &shared.faults {
         for pending in &batch {
@@ -662,30 +979,43 @@ fn serve_batch(
                 batch_faults.insert(pending.ordinal, fault);
             }
         }
+        if batch_faults.values().any(|f| matches!(f, Fault::KillReplica)) {
+            for (ordinal, fault) in batch_faults {
+                if !matches!(fault, Fault::KillReplica) {
+                    plan.schedule(ordinal, fault);
+                }
+            }
+            shared.stats.record_replica_kill();
+            shared.router.mark_down(group_idx);
+            group.kill.store(true, Ordering::SeqCst);
+            group.queue.wake_all();
+            reroute_batch(shared, group_idx, batch);
+            panic!("injected fault: replica group killed mid-batch");
+        }
         if batch_faults.values().any(|f| matches!(f, Fault::KillWorker)) {
             for (ordinal, fault) in batch_faults {
                 if !matches!(fault, Fault::KillWorker) {
                     plan.schedule(ordinal, fault);
                 }
             }
-            shared.queue.requeue(batch);
+            group.queue.requeue(batch);
             panic!("injected fault: worker killed mid-batch");
         }
     }
     let mut healthy = true;
     // Requests only share a sampler call when they agree on the settings
     // that alter it; override combinations are grouped in arrival order.
-    let mut groups: Vec<((usize, u32), Vec<Pending>)> = Vec::new();
+    let mut lanes: Vec<((usize, u32), Vec<Pending>)> = Vec::new();
     for pending in batch {
         let steps = pending.request.steps.unwrap_or(config.steps).max(1);
         let guidance = pending.request.guidance_scale.unwrap_or(config.guidance_scale);
         let key = (steps, guidance.to_bits());
-        match groups.iter_mut().find(|(k, _)| *k == key) {
+        match lanes.iter_mut().find(|(k, _)| *k == key) {
             Some((_, members)) => members.push(pending),
-            None => groups.push((key, vec![pending])),
+            None => lanes.push((key, vec![pending])),
         }
     }
-    for ((steps, guidance_bits), members) in groups {
+    for ((steps, guidance_bits), members) in lanes {
         let guidance = f32::from_bits(guidance_bits);
         let sampler = DdimSampler::new(steps, guidance);
         let mut jobs: Vec<Job> = Vec::new();
@@ -693,6 +1023,19 @@ fn serve_batch(
             let fault = batch_faults.remove(&pending.ordinal);
             if let Some(Fault::DelayMs(ms)) = fault {
                 std::thread::sleep(Duration::from_millis(ms));
+            }
+            if matches!(fault, Some(Fault::PoisonCacheLock)) {
+                poison_cache(&group.cache);
+            }
+            // A request cancelled while queued or popped never reaches
+            // the sampler; its slot in the coalesced call goes to live
+            // work instead.
+            if pending.cancel.is_cancelled() {
+                let _ = pending.responder.send(ServeReply::Rejected {
+                    id: pending.request.id.clone(),
+                    reason: RejectReason::Cancelled,
+                });
+                continue;
             }
             let queue_us = micros(dequeued.saturating_duration_since(pending.enqueued));
             let started = Instant::now();
@@ -704,15 +1047,7 @@ fn serve_batch(
                 if matches!(fault, Some(Fault::PanicRequest)) {
                     panic!("injected fault: panic while preparing request");
                 }
-                prepare_condition(
-                    replica,
-                    item,
-                    caption_g,
-                    &pending.request,
-                    guidance,
-                    fault,
-                    shared,
-                )
+                prepare_condition(replica, &pending.request, guidance, fault, group, shared)
             }));
             match prepared {
                 Ok((cond, cache_hit)) => jobs.push(Job {
@@ -740,11 +1075,12 @@ fn serve_batch(
         }
         let n = jobs.len();
         shared.stats.record_batch(n);
-        let [c, h, w] = replica.latent_shape();
+        let [c, h, w] = pipeline.latent_shape();
         let conds: Vec<&Tensor> = jobs.iter().map(|j| &j.cond).collect();
         let cond_batch = Tensor::concat(&conds, 0);
         // Each request's private noise stream: same seed, same bytes,
-        // whatever else rides in the batch.
+        // whatever else rides in the batch — or whichever replica group
+        // serves it.
         let noise: Vec<Tensor> = jobs
             .iter()
             .map(|j| {
@@ -753,10 +1089,51 @@ fn serve_batch(
             .collect();
         let noise_refs: Vec<&Tensor> = noise.iter().collect();
         let z_init = Tensor::concat(&noise_refs, 0);
+        // The cancel signal aborts the call only when every rider is
+        // cancelled; the step observer streams previews to the requests
+        // that asked and counts completed steps so an abort is visible.
+        let group_cancel =
+            GroupCancel { tokens: jobs.iter().map(|j| j.pending.cancel.clone()).collect() };
+        let streamers: Vec<(usize, String, Sender<ServeReply>)> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.pending.request.stream || config.stream_previews)
+            .map(|(i, j)| (i, j.pending.request.id.clone(), j.pending.responder.clone()))
+            .collect();
         let sample_started = Instant::now();
-        let z = replica.sample_latents(&sampler, z_init, &cond_batch);
+        let mut steps_done = 0usize;
+        let z = {
+            let mut on_step = |ev: StepEvent<'_>| {
+                steps_done = ev.step + 1;
+                for (row, id, tx) in &streamers {
+                    let view = ev.latent.narrow(0, *row, 1).reshape(&[c, h, w]);
+                    shared.stats.record_preview();
+                    let _ = tx
+                        .send(ServeReply::Preview(quantize_preview(id, ev.step, ev.total, &view)));
+                }
+            };
+            pipeline.sample_latents_controlled(
+                &sampler,
+                z_init,
+                &cond_batch,
+                Some(&group_cancel),
+                Some(&mut on_step),
+            )
+        };
+        if steps_done < steps {
+            shared.stats.record_sampler_abort();
+        }
         let sample_us = micros(sample_started.elapsed());
         for (i, job) in jobs.into_iter().enumerate() {
+            // Cancelled mid-sample (or while a lane-mate finished the
+            // call): a typed reply, never a partial image.
+            if job.pending.cancel.is_cancelled() {
+                let _ = job.pending.responder.send(ServeReply::Rejected {
+                    id: job.pending.request.id.clone(),
+                    reason: RejectReason::Cancelled,
+                });
+                continue;
+            }
             let decode_started = Instant::now();
             let latent = if job.nan_latents {
                 Tensor::full(&[c, h, w], f32::NAN)
@@ -774,7 +1151,7 @@ fn serve_batch(
                 });
                 continue;
             }
-            let image = replica.decode_latent(&latent);
+            let image = pipeline.decode_latent(&latent);
             let rgb8: Vec<u8> = image
                 .to_tensor()
                 .as_slice()
@@ -804,24 +1181,24 @@ fn serve_batch(
     healthy
 }
 
-/// Resolves one request's condition embedding through the cache,
+/// Resolves one request's condition embedding through the group's cache,
 /// validating cached entries and applying a [`Fault::CorruptCacheEntry`]
 /// injection after the fact.
 fn prepare_condition(
-    replica: &AeroDiffusionPipeline,
-    item: &DatasetItem,
-    caption_g: &str,
+    replica: &Replica,
     request: &GenerateRequest,
     guidance: f32,
     fault: Option<Fault>,
-    shared: &WorkerShared,
+    group: &ReplicaGroup,
+    shared: &FleetShared,
 ) -> (Tensor, bool) {
-    let key = ConditionKey::new(&request.prompt, replica.variant(), guidance);
+    let pipeline = &replica.pipeline;
+    let key = ConditionKey::new(&request.prompt, pipeline.variant(), guidance);
     // One lock scope for the whole lookup: matching directly on the
     // locked `get` would keep the guard alive across the arms and
     // self-deadlock on the eviction below.
     let cached = {
-        let mut cache = lock_cache(&shared.cache);
+        let mut cache = lock_cache(&group.cache);
         match cache.get(&key) {
             Some(cond) if tensor_is_finite(&cond) => Some(cond),
             Some(_) => {
@@ -838,13 +1215,14 @@ fn prepare_condition(
     let (cond, cache_hit) = match cached {
         Some(cond) => (cond, true),
         None => {
-            let cond = replica.encode_condition(item, caption_g, &request.prompt);
-            lock_cache(&shared.cache).insert(key.clone(), cond.clone());
+            let cond =
+                pipeline.encode_condition(&replica.item, &replica.caption_g, &request.prompt);
+            lock_cache(&group.cache).insert(key.clone(), cond.clone());
             (cond, false)
         }
     };
     if matches!(fault, Some(Fault::CorruptCacheEntry)) {
-        lock_cache(&shared.cache).insert(key, Tensor::full(cond.shape(), f32::NAN));
+        lock_cache(&group.cache).insert(key, Tensor::full(cond.shape(), f32::NAN));
     }
     (cond, cache_hit)
 }
@@ -863,8 +1241,68 @@ mod tests {
         let sc = ServeConfig::for_pipeline(&pc);
         assert_eq!(sc.steps, pc.diffusion.ddim_steps);
         assert_eq!(sc.guidance_scale, pc.diffusion.guidance_scale);
+        assert_eq!(sc.replicas, 1);
+        assert!(!sc.stream_previews);
+        assert_eq!(sc.admission, AdmissionConfig::default());
         assert!(sc.workers >= 1);
         assert!(sc.max_batch >= 1);
         assert!(sc.max_worker_restarts >= 1);
+    }
+
+    #[test]
+    fn route_key_separates_prompt_from_variant() {
+        // The unit separator keeps ("a", "Xb") and ("aX", "b") shaped
+        // prompts/variants from colliding.
+        assert_ne!(route_key("a park", "Full"), route_key("a park", "BaseSd"));
+        assert_ne!(route_key("a", "bc"), route_key("ab", "c"));
+    }
+
+    #[test]
+    fn home_group_matches_router_with_everything_alive() {
+        let router = ShardRouter::new(4);
+        for i in 0..32 {
+            let key = format!("prompt-{i}");
+            assert_eq!(Some(home_group(&key, &router)), router.route(&key));
+        }
+    }
+
+    #[test]
+    fn group_cancel_requires_every_rider() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let group = GroupCancel { tokens: vec![a.clone(), b.clone()] };
+        assert!(!CancelSignal::is_cancelled(&group));
+        a.cancel();
+        assert!(!CancelSignal::is_cancelled(&group), "one rider must not abort the lane");
+        b.cancel();
+        assert!(CancelSignal::is_cancelled(&group));
+        let empty = GroupCancel { tokens: Vec::new() };
+        assert!(!CancelSignal::is_cancelled(&empty));
+    }
+
+    #[test]
+    fn quantize_preview_round_trips_the_range() {
+        let latent = Tensor::from_vec(vec![-1.0, 0.0, 1.0, 3.0], &[1, 2, 2]);
+        let p = quantize_preview("r1", 2, 8, &latent);
+        assert_eq!(p.shape, [1, 2, 2]);
+        assert_eq!(p.step, 2);
+        assert_eq!(p.total_steps, 8);
+        assert_eq!(p.latent_q8.len(), 4);
+        assert_eq!(p.min, -1.0);
+        assert_eq!(p.max, 3.0);
+        assert_eq!(*p.latent_q8.first().unwrap(), 0);
+        assert_eq!(*p.latent_q8.last().unwrap(), 255);
+    }
+
+    #[test]
+    fn quantize_preview_survives_a_constant_latent() {
+        let latent = Tensor::full(&[1, 2, 2], 0.5);
+        let p = quantize_preview("r1", 0, 4, &latent);
+        assert_eq!(p.latent_q8.len(), 4);
+        assert!(
+            p.latent_q8.iter().all(|&b| b == 128),
+            "constant maps mid-range: {:?}",
+            p.latent_q8
+        );
     }
 }

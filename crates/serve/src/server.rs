@@ -10,12 +10,24 @@
 //! requests work the same way but return the unified metric registry —
 //! serving counters merged with the process-global ambient metrics
 //! (tensor kernels, sampler spans, training counters) — as one line.
+//!
+//! Two streaming extensions ride on the same ordered protocol:
+//!
+//! - a `{"type":"cancel","id":…}` control line flips the named request's
+//!   cancel token the moment the *reader* parses it (cancellation must
+//!   not wait behind the FIFO), and is acknowledged in order with
+//!   `{"type":"cancel","id":…,"ok":…}`;
+//! - a request submitted with `"stream": true` emits zero or more
+//!   `{"type":"preview",…}` lines (quantized intermediate latents)
+//!   immediately before its terminal reply line.
 
 use crate::json::Json;
 use crate::request::{GenerateRequest, ServeReply};
 use crate::runtime::{ResponseHandle, ServeRuntime};
 use crate::stats::StatsReport;
+use aero_diffusion::CancelToken;
 use aero_obs::MetricsSnapshot;
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
 
@@ -168,7 +180,20 @@ pub fn serve_ndjson(
         let collector = scope.spawn(move || -> std::io::Result<()> {
             for entry in rx {
                 let reply = match entry {
-                    Entry::Reply(handle) => handle.wait().to_json(),
+                    Entry::Reply(handle) => loop {
+                        match handle.next_event() {
+                            // Streamed previews go out as their own lines,
+                            // in place, ahead of the terminal reply.
+                            Some(reply) if !reply.is_terminal() => {
+                                writeln!(output, "{}", reply.to_json().render())?;
+                                output.flush()?;
+                            }
+                            Some(reply) => break reply.to_json(),
+                            // The worker died without answering; `wait`
+                            // synthesizes (and records) the typed failure.
+                            None => break handle.wait().to_json(),
+                        }
+                    },
                     Entry::Immediate(json) => json,
                     Entry::Stats => runtime.stats().to_json(),
                     Entry::Metrics => metrics_json(&runtime.metrics()),
@@ -196,6 +221,10 @@ fn read_loop(
     input: impl BufRead,
     tx: &mpsc::Sender<Entry>,
 ) -> std::io::Result<()> {
+    // id → cancel token for every request submitted on this connection,
+    // so a later `cancel` line can reach it while it is queued or
+    // sampling.
+    let mut cancels: HashMap<String, CancelToken> = HashMap::new();
     for (lineno, line) in input.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
@@ -213,12 +242,34 @@ fn read_loop(
                 // replica pops them), requests on later lines meet the
                 // swapped-in model.
                 "swap" => Entry::Immediate(swap_json(runtime, &v, &fallback_id)),
+                // The cancel takes effect here, as soon as the reader
+                // sees the line — only the acknowledgement waits for its
+                // turn in the output order. `ok` is false for ids this
+                // connection never submitted.
+                "cancel" => {
+                    let id = v.get("id").and_then(Json::as_str).unwrap_or(&fallback_id);
+                    let ok = match cancels.get(id) {
+                        Some(token) => {
+                            token.cancel();
+                            true
+                        }
+                        None => false,
+                    };
+                    Entry::Immediate(Json::obj(vec![
+                        ("type", "cancel".into()),
+                        ("id", id.into()),
+                        ("ok", ok.into()),
+                    ]))
+                }
                 "generate" => match GenerateRequest::from_json(&v, &fallback_id) {
                     Err(detail) => Entry::Immediate(bad_request(&fallback_id, &detail)),
                     Ok(request) => {
                         let id = request.id.clone();
                         match runtime.submit(request) {
-                            Ok(handle) => Entry::Reply(handle),
+                            Ok(handle) => {
+                                cancels.insert(id, handle.cancel_token());
+                                Entry::Reply(handle)
+                            }
                             Err(reason) => {
                                 Entry::Immediate(ServeReply::Rejected { id, reason }.to_json())
                             }

@@ -12,7 +12,7 @@
 //! relaxed atomic, so there is no stats mutex left to contend or poison.
 
 use crate::json::Json;
-use crate::request::{RejectReason, StageLatency};
+use crate::request::{OverloadScope, RejectReason, StageLatency};
 use aero_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use std::sync::Arc;
 
@@ -34,11 +34,20 @@ pub struct StatsCollector {
     rejected_shutdown: Arc<Counter>,
     rejected_worker: Arc<Counter>,
     rejected_worker_error: Arc<Counter>,
+    rejected_overloaded: Arc<Counter>,
+    rejected_cancelled: Arc<Counter>,
+    shed_tenant: Arc<Counter>,
+    shed_global: Arc<Counter>,
     worker_panics: Arc<Counter>,
     worker_restarts: Arc<Counter>,
     hydration_failures: Arc<Counter>,
     nonfinite_outputs: Arc<Counter>,
     cache_corruptions: Arc<Counter>,
+    replica_kills: Arc<Counter>,
+    replica_respawns: Arc<Counter>,
+    rerouted: Arc<Counter>,
+    sampler_aborts: Arc<Counter>,
+    previews: Arc<Counter>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     queue_us: Arc<Counter>,
@@ -68,11 +77,20 @@ impl StatsCollector {
             rejected_shutdown: registry.counter("serve.rejected.shutting_down"),
             rejected_worker: registry.counter("serve.rejected.worker_failure"),
             rejected_worker_error: registry.counter("serve.rejected.worker_error"),
+            rejected_overloaded: registry.counter("serve.rejected.overloaded"),
+            rejected_cancelled: registry.counter("serve.rejected.cancelled"),
+            shed_tenant: registry.counter("serve.admission.shed_tenant"),
+            shed_global: registry.counter("serve.admission.shed_global"),
             worker_panics: registry.counter("serve.fault.worker_panics"),
             worker_restarts: registry.counter("serve.fault.worker_restarts"),
             hydration_failures: registry.counter("serve.fault.hydration_failures"),
             nonfinite_outputs: registry.counter("serve.fault.nonfinite_outputs"),
             cache_corruptions: registry.counter("serve.fault.cache_corruptions"),
+            replica_kills: registry.counter("serve.fault.replica_kills"),
+            replica_respawns: registry.counter("serve.fault.replica_respawns"),
+            rerouted: registry.counter("serve.fault.rerouted_requests"),
+            sampler_aborts: registry.counter("serve.cancel.sampler_aborts"),
+            previews: registry.counter("serve.stream.previews"),
             cache_hits: registry.counter("serve.cache.hits"),
             cache_misses: registry.counter("serve.cache.misses"),
             queue_us: registry.counter("serve.latency.queue_us_total"),
@@ -121,6 +139,14 @@ impl StatsCollector {
             RejectReason::ShuttingDown => self.rejected_shutdown.inc(),
             RejectReason::WorkerFailure => self.rejected_worker.inc(),
             RejectReason::WorkerError { .. } => self.rejected_worker_error.inc(),
+            RejectReason::Overloaded { scope, .. } => {
+                self.rejected_overloaded.inc();
+                match scope {
+                    OverloadScope::Tenant => self.shed_tenant.inc(),
+                    OverloadScope::Global => self.shed_global.inc(),
+                }
+            }
+            RejectReason::Cancelled => self.rejected_cancelled.inc(),
         }
     }
 
@@ -153,6 +179,41 @@ impl StatsCollector {
         self.cache_corruptions.inc();
     }
 
+    /// Records one replica group killed (injected or real).
+    pub fn record_replica_kill(&self) {
+        self.replica_kills.inc();
+    }
+
+    /// Records one replica group respawned by the supervisor after a
+    /// kill.
+    pub fn record_replica_respawn(&self) {
+        self.replica_respawns.inc();
+    }
+
+    /// Records `n` in-flight requests re-routed off a dying replica group
+    /// onto survivors.
+    pub fn record_reroute(&self, n: usize) {
+        self.rerouted.add(u64::try_from(n).unwrap_or(u64::MAX));
+    }
+
+    /// Records one sampler call stopped early by cancellation (at least
+    /// one DDIM step was skipped).
+    pub fn record_sampler_abort(&self) {
+        self.sampler_aborts.inc();
+    }
+
+    /// Records one streamed intermediate-latent preview reply.
+    pub fn record_preview(&self) {
+        self.previews.inc();
+    }
+
+    /// Served p95 end-to-end latency in microseconds (0 until anything
+    /// completed) — the live signal behind the admission p95 gate.
+    #[must_use]
+    pub fn e2e_p95_us(&self) -> u64 {
+        self.e2e_us.snapshot().quantile(0.95)
+    }
+
     /// Publishes the current queue depth (requests waiting).
     pub fn set_queue_depth(&self, depth: usize) {
         #[allow(clippy::cast_precision_loss)]
@@ -179,11 +240,18 @@ impl StatsCollector {
             rejected_shutting_down: self.rejected_shutdown.get(),
             rejected_worker_failure: self.rejected_worker.get(),
             rejected_worker_error: self.rejected_worker_error.get(),
+            rejected_overloaded: self.rejected_overloaded.get(),
+            rejected_cancelled: self.rejected_cancelled.get(),
             worker_panics: self.worker_panics.get(),
             worker_restarts: self.worker_restarts.get(),
             hydration_failures: self.hydration_failures.get(),
             nonfinite_outputs: self.nonfinite_outputs.get(),
             cache_corruptions: self.cache_corruptions.get(),
+            replica_kills: self.replica_kills.get(),
+            replica_respawns: self.replica_respawns.get(),
+            rerouted_requests: self.rerouted.get(),
+            sampler_aborts: self.sampler_aborts.get(),
+            previews_streamed: self.previews.get(),
             cache_hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
             batch_size_hist: batch_hist_from(&self.batch_occupancy.snapshot()),
             mean_queue_us: mean(self.queue_us.get()),
@@ -236,6 +304,11 @@ pub struct StatsReport {
     /// Requests answered with a typed `worker_error` (caught panic,
     /// non-finite output, or failed hydration).
     pub rejected_worker_error: u64,
+    /// Requests shed by admission control (tenant throttle or global
+    /// overload gate), each with a `retry_after_ms` hint.
+    pub rejected_overloaded: u64,
+    /// Requests rejected because their client cancelled them.
+    pub rejected_cancelled: u64,
     /// In-worker panics caught and converted to typed replies.
     pub worker_panics: u64,
     /// Workers respawned by the watchdog after dying.
@@ -246,6 +319,16 @@ pub struct StatsReport {
     pub nonfinite_outputs: u64,
     /// Condition-cache entries discarded as corrupt and recomputed.
     pub cache_corruptions: u64,
+    /// Replica groups killed (injected faults or real crashes).
+    pub replica_kills: u64,
+    /// Replica groups respawned whole by the supervisor.
+    pub replica_respawns: u64,
+    /// In-flight requests re-routed off dying replica groups.
+    pub rerouted_requests: u64,
+    /// Sampler calls stopped early by cancellation.
+    pub sampler_aborts: u64,
+    /// Intermediate-latent preview replies streamed.
+    pub previews_streamed: u64,
     /// Condition-cache hit rate over all lookups (0 when none).
     pub cache_hit_rate: f64,
     /// `hist[n]` = sampler calls that coalesced `n` requests.
@@ -275,6 +358,8 @@ impl StatsReport {
                     ("shutting_down", self.rejected_shutting_down.into()),
                     ("worker_failure", self.rejected_worker_failure.into()),
                     ("worker_error", self.rejected_worker_error.into()),
+                    ("overloaded", self.rejected_overloaded.into()),
+                    ("cancelled", self.rejected_cancelled.into()),
                 ]),
             ),
             ("cache_hit_rate", self.cache_hit_rate.into()),
@@ -299,8 +384,13 @@ impl StatsReport {
                     ("hydration_failures", self.hydration_failures.into()),
                     ("nonfinite_outputs", self.nonfinite_outputs.into()),
                     ("cache_corruptions", self.cache_corruptions.into()),
+                    ("replica_kills", self.replica_kills.into()),
+                    ("replica_respawns", self.replica_respawns.into()),
+                    ("rerouted_requests", self.rerouted_requests.into()),
                 ]),
             ),
+            ("sampler_aborts", self.sampler_aborts.into()),
+            ("previews_streamed", self.previews_streamed.into()),
         ])
     }
 }
@@ -355,6 +445,60 @@ mod tests {
             v.get("rejected").and_then(|r| r.get("worker_error")).and_then(Json::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn fleet_counters_survive_to_the_wire_form() {
+        let stats = StatsCollector::new();
+        stats.record_replica_kill();
+        stats.record_replica_respawn();
+        stats.record_reroute(3);
+        stats.record_sampler_abort();
+        stats.record_preview();
+        stats.record_preview();
+        stats.record_rejected(&RejectReason::Overloaded {
+            retry_after_ms: 25,
+            scope: OverloadScope::Global,
+        });
+        stats.record_rejected(&RejectReason::Overloaded {
+            retry_after_ms: 100,
+            scope: OverloadScope::Tenant,
+        });
+        stats.record_rejected(&RejectReason::Cancelled);
+        let r = stats.report();
+        assert_eq!(r.replica_kills, 1);
+        assert_eq!(r.replica_respawns, 1);
+        assert_eq!(r.rerouted_requests, 3);
+        assert_eq!(r.sampler_aborts, 1);
+        assert_eq!(r.previews_streamed, 2);
+        assert_eq!(r.rejected_overloaded, 2);
+        assert_eq!(r.rejected_cancelled, 1);
+        let v = Json::parse(&r.to_json().render()).unwrap();
+        let rej = v.get("rejected").expect("rejected object");
+        assert_eq!(rej.get("overloaded").and_then(Json::as_u64), Some(2));
+        assert_eq!(rej.get("cancelled").and_then(Json::as_u64), Some(1));
+        let faults = v.get("faults").expect("faults object");
+        assert_eq!(faults.get("replica_kills").and_then(Json::as_u64), Some(1));
+        assert_eq!(faults.get("rerouted_requests").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("sampler_aborts").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("previews_streamed").and_then(Json::as_u64), Some(2));
+        let snap = stats.metrics_snapshot();
+        assert_eq!(snap.counter("serve.admission.shed_global"), Some(1));
+        assert_eq!(snap.counter("serve.admission.shed_tenant"), Some(1));
+    }
+
+    #[test]
+    fn e2e_p95_tracks_served_latency() {
+        let stats = StatsCollector::new();
+        assert_eq!(stats.e2e_p95_us(), 0, "empty histogram must not shed anything");
+        for _ in 0..20 {
+            stats.record_completed(
+                StageLatency { queue_us: 0, encode_us: 0, sample_us: 10_000, decode_us: 0 },
+                false,
+            );
+        }
+        let p95 = stats.e2e_p95_us();
+        assert!(p95 >= 10_000, "p95 of 10ms requests must be at least 10ms, got {p95}");
     }
 
     #[test]

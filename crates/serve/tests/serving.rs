@@ -37,6 +37,7 @@ fn image_of(reply: ServeReply) -> aero_serve::GeneratedImage {
     match reply {
         ServeReply::Image(img) => img,
         ServeReply::Rejected { id, reason } => panic!("request {id} rejected: {reason}"),
+        ServeReply::Preview(p) => panic!("wait() must not surface previews, got one for {}", p.id),
     }
 }
 
@@ -161,7 +162,9 @@ fn expired_deadline_is_rejected_not_sampled() {
             assert_eq!(id, "late");
             assert_eq!(reason, RejectReason::DeadlineExceeded);
         }
-        ServeReply::Image(_) => panic!("expired request must not be sampled"),
+        ServeReply::Image(_) | ServeReply::Preview(_) => {
+            panic!("expired request must not be sampled")
+        }
     }
     let stats = runtime.shutdown();
     assert_eq!(stats.rejected_deadline, 1);

@@ -8,9 +8,11 @@
 //! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--trace FILE]
 //!                          [--scale …] [--threads N]
 //! aerodiffusion_cli profile <model-dir> [--seed S] [--ndjson FILE] [--scale …] [--threads N]
-//! aerodiffusion_cli serve  <model-dir>|--demo [--workers N] [--max-batch N] [--scale …]
-//!                          [--threads N] [--registry DIR [--model name[@version]]]
-//!                          [--max-worker-restarts N] [--inject-panic-at N[,N…]]
+//! aerodiffusion_cli serve  <model-dir>|--demo [--replicas N] [--workers N] [--max-batch N]
+//!                          [--scale …] [--threads N] [--registry DIR [--model name[@version]]]
+//!                          [--tenant-rate RPS [--tenant-burst N]] [--shed-queue-depth N]
+//!                          [--shed-p95-ms MS] [--stream] [--max-worker-restarts N]
+//!                          [--inject-panic-at N[,N…]] [--inject-replica-kill-at N[,N…]]
 //! aerodiffusion_cli info   <model-dir>
 //! aerodiffusion_cli lint   [--scale smoke|small|paper] [--all]
 //! aerodiffusion_cli model export  <model-dir> <out.amdl> [--q8] [--scale …]
@@ -45,7 +47,20 @@
 //! `--inject-panic-at` schedules a deterministic in-worker panic on the
 //! Nth submitted request (0-based): the request is answered with a typed
 //! `worker_error` reply, everything else is still served, and the
-//! watchdog respawns the worker.
+//! watchdog respawns the worker. `--inject-replica-kill-at` goes further
+//! and kills the whole replica group holding the Nth request's batch —
+//! survivors absorb the rerouted work, the supervisor respawns the
+//! group, and no request is dropped.
+//!
+//! `--replicas` shards the worker pool into N independent replica groups
+//! (own queue, own condition cache), routed by `(prompt, variant)` so
+//! repeated prompts keep hitting a warm cache. `--tenant-rate`/
+//! `--tenant-burst` arm per-tenant token buckets; `--shed-queue-depth`
+//! and `--shed-p95-ms` arm the global load-shedding gates — shed
+//! requests get a typed `overloaded` reply with a `retry_after_ms` hint.
+//! `--stream` emits quantized intermediate-latent `preview` lines for
+//! every request while it samples (clients can opt in per request with
+//! `"stream":true`, and abort with a `{"type":"cancel","id":…}` line).
 //!
 //! `profile` runs one conditioned DDIM generation with span collection
 //! enabled and prints the aggregated span tree (inclusive/exclusive
@@ -119,10 +134,12 @@ fn main() -> ExitCode {
                  \n         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]\n\
                  \n  sample <dir> <out.ppm> [--seed S] [--night] [--trace FILE] [--scale …] [--threads N]\n\
                  \n  profile <dir> [--seed S] [--ndjson FILE] [--scale …] [--threads N]\n\
-                 \n  serve  <dir>|--demo [--workers N] [--max-batch N] [--queue N]\n\
+                 \n  serve  <dir>|--demo [--replicas N] [--workers N] [--max-batch N] [--queue N]\n\
                  \n         [--batch-wait-ms MS] [--cache N] [--steps N] [--guidance G] [--scale …]\n\
                  \n         [--threads N] [--registry DIR [--model name[@version]]]\n\
-                 \n         [--max-worker-restarts N] [--inject-panic-at N[,N…]]\n\
+                 \n         [--tenant-rate RPS [--tenant-burst N]] [--shed-queue-depth N]\n\
+                 \n         [--shed-p95-ms MS] [--stream] [--max-worker-restarts N]\n\
+                 \n         [--inject-panic-at N[,N…]] [--inject-replica-kill-at N[,N…]]\n\
                  \n  info   <dir>\n\
                  \n  lint   [--scale smoke|small|paper] [--all] [--source-root DIR]\n\
                  \n         [--baseline FILE | --write-baseline FILE]\n\
@@ -353,6 +370,9 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
         _ => serve_snapshot(args, scale_config(args))?,
     };
     let mut serve = ServeConfig::for_pipeline(snapshot.config());
+    if let Some(v) = parse_flag(args, "--replicas") {
+        serve.replicas = v.parse()?;
+    }
     if let Some(v) = parse_flag(args, "--workers") {
         serve.workers = v.parse()?;
     }
@@ -377,25 +397,47 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     if let Some(v) = parse_flag(args, "--max-worker-restarts") {
         serve.max_worker_restarts = v.parse()?;
     }
-    let faults = match parse_flag(args, "--inject-panic-at") {
-        None => None,
-        Some(list) => {
-            let mut plan = FaultPlan::new();
-            for ordinal in list.split(',') {
-                plan = plan.inject(ordinal.trim().parse()?, Fault::PanicRequest);
-            }
-            eprintln!("fault injection armed: worker panic on request(s) {list}");
-            Some(std::sync::Arc::new(plan))
+    // Admission control: every gate defaults off; setting a flag arms it.
+    if let Some(v) = parse_flag(args, "--tenant-rate") {
+        serve.admission.tenant_rate = v.parse()?;
+    }
+    if let Some(v) = parse_flag(args, "--tenant-burst") {
+        serve.admission.tenant_burst = v.parse()?;
+    }
+    if let Some(v) = parse_flag(args, "--shed-queue-depth") {
+        serve.admission.shed_queue_depth = v.parse()?;
+    }
+    if let Some(v) = parse_flag(args, "--shed-p95-ms") {
+        serve.admission.shed_p95_us = v.parse::<u64>()?.saturating_mul(1000);
+    }
+    if args.iter().any(|a| a == "--stream") {
+        serve.stream_previews = true;
+    }
+    let mut plan = FaultPlan::new();
+    let mut armed = false;
+    if let Some(list) = parse_flag(args, "--inject-panic-at") {
+        for ordinal in list.split(',') {
+            plan = plan.inject(ordinal.trim().parse()?, Fault::PanicRequest);
         }
-    };
+        eprintln!("fault injection armed: worker panic on request(s) {list}");
+        armed = true;
+    }
+    if let Some(list) = parse_flag(args, "--inject-replica-kill-at") {
+        for ordinal in list.split(',') {
+            plan = plan.inject_replica_kill(ordinal.trim().parse()?);
+        }
+        eprintln!("fault injection armed: replica kill on request(s) {list}");
+        armed = true;
+    }
+    let faults = armed.then(|| std::sync::Arc::new(plan));
     let report = lint_serve(snapshot.config(), &serve);
     if !report.is_clean() {
         eprint!("{}", report.render());
         return Err("serving configuration failed the static lint".into());
     }
     eprintln!(
-        "serving NDJSON on stdin → stdout ({} workers, max batch {}, queue {})",
-        serve.workers, serve.max_batch, serve.queue_capacity
+        "serving NDJSON on stdin → stdout ({} replica(s) × {} worker(s), max batch {}, queue {})",
+        serve.replicas, serve.workers, serve.max_batch, serve.queue_capacity
     );
     let runtime = ServeRuntime::start_with_faults(snapshot, serve, faults);
     if let Some(registry) = registry {
@@ -409,17 +451,25 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     let stats = serve_ndjson(runtime, std::io::stdin().lock(), std::io::stdout())?;
     eprintln!(
-        "drained: {} served, {} rejected, cache hit rate {:.0}%, \
-         {} worker panic(s) caught, {} worker restart(s)",
+        "drained: {} served, {} rejected ({} shed, {} cancelled), cache hit rate {:.0}%, \
+         {} worker panic(s) caught, {} worker restart(s), \
+         {} replica kill(s) / {} respawn(s), {} rerouted",
         stats.completed,
         stats.rejected_queue_full
             + stats.rejected_deadline
             + stats.rejected_shutting_down
             + stats.rejected_worker_failure
-            + stats.rejected_worker_error,
+            + stats.rejected_worker_error
+            + stats.rejected_overloaded
+            + stats.rejected_cancelled,
+        stats.rejected_overloaded,
+        stats.rejected_cancelled,
         stats.cache_hit_rate * 100.0,
         stats.worker_panics,
-        stats.worker_restarts
+        stats.worker_restarts,
+        stats.replica_kills,
+        stats.replica_respawns,
+        stats.rerouted_requests
     );
     Ok(())
 }

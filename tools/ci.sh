@@ -22,6 +22,16 @@
 #                      final loss, and a serve run with an injected
 #                      per-request worker panic that still answers every
 #                      request and restarts the worker
+#   6b. fleet smokes — a 2-replica serve run with an injected replica-group
+#                      kill must answer every request with bytes identical
+#                      to a 1-replica unfaulted baseline; a tenant-bucket
+#                      overload run must shed typed `overloaded` replies
+#                      with a retry_after_ms hint and admit the retry after
+#                      the bucket refills; a cancelled streaming request
+#                      must resolve as `cancelled` (never an image) while
+#                      the next request is still served; plus a
+#                      threshold-free bench_serve liveness run
+#                      (BENCH_SERVE_SMOKE=1)
 #   7. thread smokes — the same sample rendered with --threads 1 and with
 #                      AERO_THREADS=4 must be byte-identical (the sharded
 #                      kernel layer's determinism contract, end to end
@@ -155,6 +165,77 @@ echo "$fault_out" | grep -q '"reason":"worker_error"' \
 grep -Eq '[1-9][0-9]* worker restart' "$work/serve_fault.log" \
   || { echo "fault smoke: expected a nonzero worker restart count"; \
        cat "$work/serve_fault.log"; exit 1; }
+
+echo "== fleet smoke: replica kill is byte-identical to the unfaulted baseline =="
+# Three requests served by one unfaulted replica, then the same three by a
+# two-replica fleet whose first popped batch kills its whole group: the
+# survivors plus the respawned group must produce the exact same bytes.
+fleet_reqs="$(printf '%s\n%s\n%s\n' \
+  '{"type":"generate","id":"fl-0","prompt":"an aerial view of a park","seed":21}' \
+  '{"type":"generate","id":"fl-1","prompt":"a parking lot at night","seed":22}' \
+  '{"type":"generate","id":"fl-2","prompt":"a dense downtown block","seed":23}')"
+pixels() { sed -n 's/.*"rgb8_b64":"\([^"]*\)".*/\1/p'; }
+base_px="$(printf '%s\n' "$fleet_reqs" \
+  | cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+      serve "$work/model" --workers 1 --steps 4 | pixels)"
+kill_px="$(printf '%s\n' "$fleet_reqs" \
+  | cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+      serve "$work/model" --replicas 2 --workers 1 --steps 4 \
+      --inject-replica-kill-at 0 2>"$work/serve_kill.log" | pixels)"
+[ "$(printf '%s\n' "$base_px" | wc -l)" -eq 3 ] \
+  || { echo "fleet smoke: baseline did not serve 3 images"; exit 1; }
+[ "$base_px" = "$kill_px" ] \
+  || { echo "fleet smoke: replica kill changed output bytes"; exit 1; }
+grep -Eq '[1-9][0-9]* replica kill' "$work/serve_kill.log" \
+  || { echo "fleet smoke: expected a nonzero replica kill count"; \
+       cat "$work/serve_kill.log"; exit 1; }
+
+echo "== fleet smoke: tenant overload sheds typed and the retry succeeds =="
+# Burst of 3 against a 2-token bucket refilling at 4/s: the third request
+# is shed with a retry_after_ms hint; a retry after the bucket refills is
+# admitted and served.
+overload_out="$( { printf '%s\n%s\n%s\n' \
+    '{"type":"generate","id":"ov-0","prompt":"a plaza","seed":1,"tenant":"ci"}' \
+    '{"type":"generate","id":"ov-1","prompt":"a plaza","seed":2,"tenant":"ci"}' \
+    '{"type":"generate","id":"ov-2","prompt":"a plaza","seed":3,"tenant":"ci"}'; \
+    sleep 1; \
+    printf '%s\n%s\n' \
+    '{"type":"generate","id":"ov-retry","prompt":"a plaza","seed":3,"tenant":"ci"}' \
+    '{"type":"stats"}'; } \
+  | cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+      serve "$work/model" --workers 1 --steps 4 --tenant-rate 4 --tenant-burst 2)"
+echo "$overload_out" | grep -q '"id":"ov-2","reason":"overloaded"' \
+  || { echo "fleet smoke: over-budget request must shed typed overloaded"; exit 1; }
+echo "$overload_out" | grep '"id":"ov-2"' | grep -q '"retry_after_ms":' \
+  || { echo "fleet smoke: overloaded reply missing retry_after_ms hint"; exit 1; }
+echo "$overload_out" | grep '"id":"ov-retry"' | grep -q '"type":"image"' \
+  || { echo "fleet smoke: post-refill retry must be served"; exit 1; }
+echo "$overload_out" | grep -q '"completed":3' \
+  || { echo "fleet smoke: expected 3 completed after the shed"; exit 1; }
+
+echo "== fleet smoke: a cancelled request never becomes an image =="
+# The cancel control line lands while ci-c0 is queued or sampling; it must
+# resolve as a typed `cancelled` reply and the next request still serves.
+cancel_out="$(printf '%s\n%s\n%s\n%s\n' \
+  '{"type":"generate","id":"ci-c0","prompt":"a stadium","seed":5,"steps":64,"stream":true}' \
+  '{"type":"cancel","id":"ci-c0"}' \
+  '{"type":"generate","id":"ci-c1","prompt":"a stadium","seed":6}' \
+  '{"type":"stats"}' \
+  | cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+      serve "$work/model" --workers 1 --steps 4)"
+echo "$cancel_out" | grep -q '"id":"ci-c0","reason":"cancelled"' \
+  || { echo "fleet smoke: cancelled request must get a typed cancelled reply"; exit 1; }
+echo "$cancel_out" | grep '"id":"ci-c0"' | grep -q '"type":"image"' \
+  && { echo "fleet smoke: cancelled request must not produce an image"; exit 1; }
+echo "$cancel_out" | grep -q '"type":"cancel","id":"ci-c0","ok":true' \
+  || { echo "fleet smoke: cancel line must be acknowledged"; exit 1; }
+echo "$cancel_out" | grep '"id":"ci-c1"' | grep -q '"type":"image"' \
+  || { echo "fleet smoke: request after a cancel must still be served"; exit 1; }
+echo "$cancel_out" | grep -q '"completed":1' \
+  || { echo "fleet smoke: expected exactly 1 completed around the cancel"; exit 1; }
+
+echo "== fleet smoke: bench_serve liveness =="
+BENCH_SERVE_SMOKE=1 cargo run --offline -q -p aero-bench --bin bench_serve
 
 echo "== thread smoke: sample determinism across thread counts =="
 # The model trained by the fault smoke is reused; one sample rendered
