@@ -50,6 +50,14 @@ pub enum DiagCode {
     /// of its `try_*` variant. A shape mismatch there must surface as a
     /// typed reply, not take a worker down.
     PanickingKernelCall,
+    /// `AD0112`: code outside the tensor crate names a concrete compute
+    /// backend (`ReferenceBackend`, `BlockedBackend`) or calls a
+    /// per-slab backend kernel (`matmul_slab`, …) directly instead of
+    /// going through the dispatched ops. Backend choice is a process
+    /// policy (`BackendKind` + `set_global_backend`/`with_backend`);
+    /// hard-wiring an implementation bypasses both the policy and the
+    /// sharding layer.
+    BackendBypass,
     /// `AD0200`: two lock acquisitions form a cycle in the workspace's
     /// lock-order graph — function A holds lock X while taking Y, and
     /// some path (possibly through calls) holds Y while taking X. Two
@@ -90,6 +98,7 @@ impl DiagCode {
             DiagCode::DeadBranch => "AD0105",
             DiagCode::SerialKernelBypass => "AD0110",
             DiagCode::PanickingKernelCall => "AD0111",
+            DiagCode::BackendBypass => "AD0112",
             DiagCode::LockOrderCycle => "AD0200",
             DiagCode::AtomicOrderingAudit => "AD0201",
             DiagCode::NondeterministicPath => "AD0202",
@@ -113,6 +122,9 @@ impl DiagCode {
             DiagCode::DeadBranch => "dead differentiable branch",
             DiagCode::SerialKernelBypass => "serial reference kernel used in production code",
             DiagCode::PanickingKernelCall => "panicking tensor kernel called on a serving path",
+            DiagCode::BackendBypass => {
+                "concrete compute backend hard-wired outside the tensor crate"
+            }
             DiagCode::LockOrderCycle => "lock acquisition order forms a cycle",
             DiagCode::AtomicOrderingAudit => "unaudited relaxed atomic ordering",
             DiagCode::NondeterministicPath => {
@@ -135,6 +147,7 @@ impl DiagCode {
             | DiagCode::DetachedParameter
             | DiagCode::SerialKernelBypass
             | DiagCode::PanickingKernelCall
+            | DiagCode::BackendBypass
             | DiagCode::LockOrderCycle
             | DiagCode::PanicInWorker => Severity::Error,
             DiagCode::DetachedSubgraph
@@ -294,6 +307,7 @@ mod tests {
             DiagCode::DeadBranch,
             DiagCode::SerialKernelBypass,
             DiagCode::PanickingKernelCall,
+            DiagCode::BackendBypass,
             DiagCode::LockOrderCycle,
             DiagCode::AtomicOrderingAudit,
             DiagCode::NondeterministicPath,

@@ -840,6 +840,79 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_resume_is_bit_identical_across_backend_change() {
+        // The compute backend is a per-process performance knob, not part
+        // of a run's identity: checkpoints persist weights, optimizer
+        // state, the RNG, and the batch cursor — never the backend. A run
+        // checkpointed under the `Reference` oracle and resumed under the
+        // `Blocked` microkernels (and vice versa) must land on the exact
+        // uninterrupted trajectory, because both backends are bitwise
+        // identical and nothing backend-specific is persisted.
+        use aero_nn::Module;
+        use aero_tensor::backend::{with_backend, BackendKind};
+        let ds = tiny_dataset(4);
+        let config = PipelineConfig::smoke();
+        let bits_of = |p: &AeroDiffusionPipeline| -> Vec<Vec<u32>> {
+            p.unet
+                .params()
+                .iter()
+                .map(|v| v.to_tensor().as_slice().iter().map(|x| x.to_bits()).collect())
+                .collect()
+        };
+        let fresh = |name: &str| {
+            let dir = std::env::temp_dir().join(format!("aero_fit_ckpt_{name}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            CheckpointConfig::new(dir, 1)
+        };
+        let fit = |ckpt: &CheckpointConfig, kill: Option<u64>| {
+            AeroDiffusionPipeline::fit_with_checkpoints(
+                &ds,
+                config,
+                LlmProvider::KeypointAware,
+                AblationVariant::Full,
+                29,
+                ckpt,
+                kill,
+            )
+            .unwrap()
+        };
+
+        let (reference, ref_report) =
+            with_backend(BackendKind::Reference, || fit(&fresh("backend_ref"), None));
+        assert!(ref_report.completed);
+        assert!(ref_report.steps > 1, "need at least two steps to kill between");
+        let expect = bits_of(&reference);
+
+        // Reference → Blocked.
+        let ckpt = fresh("backend_r2b");
+        let (_, killed) = with_backend(BackendKind::Reference, || fit(&ckpt, Some(1)));
+        assert!(!killed.completed);
+        let (resumed, report) = with_backend(BackendKind::Blocked, || fit(&ckpt, None));
+        assert_eq!(report.resumed_from, Some(1));
+        assert!(report.completed);
+        assert_eq!(report.steps, ref_report.steps);
+        assert_eq!(
+            bits_of(&resumed),
+            expect,
+            "Reference-checkpointed run resumed under Blocked must stay bit-identical"
+        );
+
+        // Blocked → Reference.
+        let ckpt = fresh("backend_b2r");
+        let (_, killed) = with_backend(BackendKind::Blocked, || fit(&ckpt, Some(1)));
+        assert!(!killed.completed);
+        let (resumed, report) = with_backend(BackendKind::Reference, || fit(&ckpt, None));
+        assert_eq!(report.resumed_from, Some(1));
+        assert!(report.completed);
+        assert_eq!(report.steps, ref_report.steps);
+        assert_eq!(
+            bits_of(&resumed),
+            expect,
+            "Blocked-checkpointed run resumed under Reference must stay bit-identical"
+        );
+    }
+
+    #[test]
     fn clip_score_runs_on_generated_batch() {
         let ds = tiny_dataset(4);
         let pipeline = AeroDiffusionPipeline::fit(&ds, PipelineConfig::smoke(), 6);

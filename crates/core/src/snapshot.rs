@@ -29,10 +29,11 @@ use rand::SeedableRng;
 /// Besides weights and configuration, a snapshot carries the
 /// [`ParallelConfig`] that was active when it was captured, so serving
 /// workers hydrating replicas run the tensor kernels under the same
-/// thread policy as the training process. The policy is purely a
-/// performance knob — kernel outputs are bit-identical at any thread
-/// count — so replicas stay byte-identical either way; carrying it just
-/// keeps the deployment's performance behaviour uniform.
+/// thread policy and compute backend as the training process. The
+/// policy is purely a performance knob — kernel outputs are
+/// bit-identical at any thread count and under either backend — so
+/// replicas stay byte-identical either way; carrying it just keeps the
+/// deployment's performance behaviour uniform.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineSnapshot {
     config: PipelineConfig,
@@ -114,14 +115,15 @@ impl PipelineSnapshot {
         self.meta.provider
     }
 
-    /// The kernel thread policy carried by the snapshot.
+    /// The kernel thread policy and compute backend carried by the
+    /// snapshot.
     pub fn parallel(&self) -> ParallelConfig {
         self.parallel
     }
 
-    /// A copy carrying a different kernel thread policy. Replicas
-    /// hydrated from it generate byte-identical output regardless —
-    /// this changes wall-clock behaviour only.
+    /// A copy carrying a different kernel thread policy or compute
+    /// backend. Replicas hydrated from it generate byte-identical
+    /// output regardless — this changes wall-clock behaviour only.
     #[must_use]
     pub fn with_parallel(&self, parallel: ParallelConfig) -> PipelineSnapshot {
         let mut copy = self.clone();
@@ -148,9 +150,10 @@ impl PipelineSnapshot {
     /// against the snapshot's own configuration (possible only if the
     /// snapshot bytes were corrupted in transit).
     pub fn hydrate(&self) -> Result<AeroDiffusionPipeline, PersistError> {
-        // Adopt the snapshot's kernel thread policy on the hydrating
-        // thread: serving workers call hydrate() on their own thread,
-        // so every replica runs under the policy the snapshot carries.
+        // Adopt the snapshot's kernel thread policy and compute backend
+        // on the hydrating thread: serving workers call hydrate() on
+        // their own thread, so every replica runs under the policy the
+        // snapshot carries.
         parallel::adopt_thread_policy(self.parallel);
         let tokenizer = Tokenizer::new(vocab_from_words(&self.vocab)?, self.meta.max_len);
         let mut bundle = SubstrateBundle::new_untrained(tokenizer, &self.config, 0);
@@ -246,11 +249,15 @@ mod tests {
         let snapshot = pipeline.snapshot();
         assert!(snapshot.weight_bytes() > 0);
 
-        // Hydrate under a *different* kernel thread policy than the one
-        // the pipeline trained with: the sharded kernels are bit-exact
-        // at any width, so the replica must still match byte-for-byte.
-        let widened = snapshot.with_parallel(ParallelConfig::with_threads(2));
+        // Hydrate under a *different* kernel thread policy and compute
+        // backend than the one the pipeline trained with: the sharded
+        // kernels are bit-exact at any width and under either backend,
+        // so the replica must still match byte-for-byte.
+        let swapped =
+            ParallelConfig::with_threads(2).with_backend(aero_tensor::BackendKind::Reference);
+        let widened = snapshot.with_parallel(swapped);
         assert_eq!(widened.parallel().threads(), 2);
+        assert_eq!(widened.parallel().backend(), aero_tensor::BackendKind::Reference);
         let replica = widened.hydrate().expect("snapshot must hydrate");
         let a = pipeline.generate(&ds.items[0], &mut StdRng::seed_from_u64(5));
         let b = replica.generate(&ds.items[0], &mut StdRng::seed_from_u64(5));

@@ -24,6 +24,7 @@
 //! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
 //! ```
 
+pub mod backend;
 mod error;
 mod linalg;
 mod ops;
@@ -34,6 +35,7 @@ mod shape;
 pub mod sym;
 mod tensor;
 
+pub use backend::BackendKind;
 pub use error::TensorError;
 pub use linalg::{cholesky, covariance, matrix_sqrt_psd, symmetric_eigen, trace};
 pub use parallel::ParallelConfig;

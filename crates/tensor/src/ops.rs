@@ -212,7 +212,10 @@ impl Tensor {
     }
 
     /// 2-D convolution of `[n, cin, h, w]` with weights `[cout, cin, kh, kw]`,
-    /// executed as a sharded im2col gather plus a sharded batched matmul.
+    /// executed by the ambient compute backend ([`crate::backend`]): an
+    /// im2col gather plus a sharded batched matmul on the reference
+    /// path, a direct tiled kernel for stride-1 1×1/3×3 on the blocked
+    /// path — bit-identical either way.
     ///
     /// # Panics
     ///
@@ -270,16 +273,7 @@ impl Tensor {
             oh,
             ow,
         };
-        let cols = par_kernels::im2col(self.as_slice(), g);
-        let wmat = weight.reshape(&[cout, cin * kh * kw]);
-        let out_data = par_kernels::batched_matmul_shared_lhs(
-            wmat.as_slice(),
-            &cols,
-            n,
-            cout,
-            cin * kh * kw,
-            oh * ow,
-        );
+        let out_data = par_kernels::conv2d(self.as_slice(), weight.as_slice(), g, cout);
         let mut out = Tensor::from_vec(out_data, &out_shape);
         if let Some(bias) = bias {
             par_kernels::add_channel_bias(out.as_mut_slice(), bias.as_slice(), oh * ow);
@@ -582,17 +576,7 @@ impl Tensor {
             });
         };
         let mut out = self.clone();
-        par_kernels::run_units(out.as_mut_slice(), last, 16, |_, row| {
-            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - mx).exp();
-                sum += *v;
-            }
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
-        });
+        par_kernels::softmax(out.as_mut_slice(), last);
         Ok(out)
     }
 }

@@ -3,21 +3,29 @@
 //! Every kernel here is parallelised the same way: the **output** buffer
 //! is split into disjoint, contiguous units (matmul rows, im2col blocks,
 //! image planes), contiguous ranges of units are handed to scoped std
-//! threads, and each unit is produced by the *identical* serial inner
-//! loop the single-threaded reference uses. No thread ever writes or
-//! accumulates into another thread's unit, so the per-element floating-
-//! point accumulation order is fixed by construction and the parallel
-//! result is **bit-identical** to the serial one at any thread count —
-//! the property `crates/tensor/tests/par_equivalence.rs` proves
-//! exhaustively and `DESIGN.md` §10 documents.
+//! threads, and each range is produced by a [`crate::backend`]
+//! implementation whose per-element accumulation order is the *identical*
+//! serial reference sequence. No thread ever writes or accumulates into
+//! another thread's unit, so the per-element floating-point accumulation
+//! order is fixed by construction and the parallel result is
+//! **bit-identical** to the serial one at any thread count *and* under
+//! either backend — the property `crates/tensor/tests/par_equivalence.rs`
+//! proves exhaustively and `DESIGN.md` §10/§15 document.
+//!
+//! This module owns *sharding and dispatch*; the per-slab compute
+//! strategy lives behind the [`crate::backend::ComputeBackend`] trait
+//! (the `Reference` oracle row kernels vs. the register-tiled `Blocked`
+//! microkernels).
 //!
 //! The fan-out width comes from the ambient policy in
-//! [`crate::parallel`] (`active_threads`), gated by a work-size
-//! threshold so small kernels never pay thread-spawn overhead. Because
-//! sharding cannot change numerics, the threshold is a pure performance
-//! heuristic and needs no determinism carve-out.
+//! [`crate::parallel`] (`active_threads`), clamped by [`planned_threads`]:
+//! a work-size floor, the machine's physical core count, and a per-thread
+//! work budget, so small kernels never pay thread-spawn overhead and no
+//! kernel oversubscribes the cores it actually has. Because sharding
+//! cannot change numerics, the plan is a pure performance heuristic and
+//! needs no determinism carve-out.
 
-use crate::parallel::active_threads;
+use crate::parallel::{active_threads, effective_cores};
 use std::ops::Range;
 
 /// Records one kernel invocation plus the number of output elements it
@@ -33,8 +41,15 @@ macro_rules! record_kernel {
 }
 
 /// Minimum estimated scalar-op count before a kernel fans out; below
-/// this, thread-spawn overhead dominates any speedup.
-const PAR_WORK_THRESHOLD: usize = 16 * 1024;
+/// this, thread-spawn overhead dominates any speedup. Retuned upward
+/// (16 Ki → 256 Ki) after BENCH_kernels.json showed conv2d and the UNet
+/// denoise step *losing* to serial under the old gate.
+const PAR_WORK_THRESHOLD: usize = 256 * 1024;
+
+/// Once a kernel fans out, each spawned thread should own at least this
+/// many estimated scalar ops — otherwise the spawn cost outweighs the
+/// shard it amortises over.
+const PAR_WORK_PER_THREAD: usize = 128 * 1024;
 
 /// Elementwise ops are far cheaper per element than matmul rows, so they
 /// use a higher element-count threshold before fanning out.
@@ -63,12 +78,21 @@ pub fn shard_ranges(units: usize, shards: usize) -> Vec<Range<usize>> {
     ranges
 }
 
-fn plan_threads(work: usize) -> usize {
+/// The thread count the dispatcher would fan out over for `work`
+/// estimated scalar ops: 1 below [`PAR_WORK_THRESHOLD`], otherwise the
+/// ambient [`active_threads`] clamped to the machine's physical cores
+/// (oversubscribing a compute-bound kernel never wins) and to one thread
+/// per [`PAR_WORK_PER_THREAD`] ops.
+///
+/// Public as introspection for the dispatcher regression tests and
+/// benchmarks; kernels call it internally.
+#[must_use]
+pub fn planned_threads(work: usize) -> usize {
     if work < PAR_WORK_THRESHOLD {
-        1
-    } else {
-        active_threads()
+        return 1;
     }
+    let budget = (work / PAR_WORK_PER_THREAD).max(1);
+    active_threads().min(effective_cores()).min(budget).max(1)
 }
 
 /// Runs `kernel(unit_index, unit_out)` over every `unit_len`-sized chunk
@@ -87,7 +111,7 @@ where
     }
     debug_assert_eq!(out.len() % unit_len, 0, "output must be whole units");
     let units = out.len() / unit_len;
-    let threads = plan_threads(out.len().saturating_mul(flops_per_elem.max(1))).min(units);
+    let threads = planned_threads(out.len().saturating_mul(flops_per_elem.max(1))).min(units);
     if threads <= 1 {
         aero_obs::counter!("tensor.dispatch.serial").inc();
         for (u, unit_out) in out.chunks_mut(unit_len).enumerate() {
@@ -112,6 +136,68 @@ where
     });
 }
 
+/// Runs `kernel(first_unit, slab)` over contiguous ranges of
+/// `unit_len`-sized units of `out` — one call per shard (or a single
+/// call covering everything on the serial path), in contrast to
+/// [`run_units`]'s per-unit calls. This is the granularity the blocked
+/// backend needs: a slab of whole output rows it can tile and pack
+/// across.
+///
+/// Shards are disjoint and contiguous and the per-slab kernels preserve
+/// the serial per-element accumulation order, so scheduling cannot
+/// affect a single output bit.
+pub(crate) fn run_slabs<F>(out: &mut [f32], unit_len: usize, flops_per_elem: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if out.is_empty() || unit_len == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len() % unit_len, 0, "output must be whole units");
+    let units = out.len() / unit_len;
+    let threads = planned_threads(out.len().saturating_mul(flops_per_elem.max(1))).min(units);
+    if threads <= 1 {
+        aero_obs::counter!("tensor.dispatch.serial").inc();
+        kernel(0, out);
+        return;
+    }
+    aero_obs::counter!("tensor.dispatch.parallel").inc();
+    std::thread::scope(|s| {
+        let kernel = &kernel;
+        let mut rest = out;
+        for range in shard_ranges(units, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * unit_len);
+            rest = tail;
+            let start = range.start;
+            s.spawn(move || kernel(start, chunk));
+        }
+    });
+}
+
+/// Splits a slab that may straddle batch boundaries into per-batch row
+/// chunks: `f(batch, first_row_in_batch, rows, chunk)` for each maximal
+/// run of rows belonging to one batch. `row0` is the slab's first global
+/// row, `n` the row length, and `rows_per_batch` the batch height.
+pub(crate) fn for_batch_chunks(
+    row0: usize,
+    slab: &mut [f32],
+    n: usize,
+    rows_per_batch: usize,
+    mut f: impl FnMut(usize, usize, usize, &mut [f32]),
+) {
+    let mut row = row0;
+    let mut rest = slab;
+    while !rest.is_empty() {
+        let batch = row / rows_per_batch;
+        let r = row % rows_per_batch;
+        let take = (rows_per_batch - r).min(rest.len() / n);
+        let (chunk, tail) = rest.split_at_mut(take * n);
+        f(batch, r, take, chunk);
+        rest = tail;
+        row += take;
+    }
+}
+
 /// Fills `out` by running `fill(start_index, chunk)` over contiguous
 /// chunks, one per thread. Used for elementwise map/zip where the unit
 /// is a single element and per-unit dispatch would be pure overhead.
@@ -122,7 +208,11 @@ where
     if out.is_empty() {
         return;
     }
-    let threads = if out.len() < ELEM_PAR_THRESHOLD { 1 } else { active_threads().min(out.len()) };
+    let threads = if out.len() < ELEM_PAR_THRESHOLD {
+        1
+    } else {
+        active_threads().min(effective_cores()).min(out.len())
+    };
     if threads <= 1 {
         aero_obs::counter!("tensor.dispatch.serial").inc();
         fill(0, out);
@@ -158,12 +248,15 @@ pub(crate) fn matmul_row_kernel(a_row: &[f32], b: &[f32], out_row: &mut [f32]) {
     }
 }
 
-/// `[m, k] @ [k, n]` sharded over output rows.
+/// `[m, k] @ [k, n]` sharded over output rows, each slab computed by the
+/// ambient [`crate::backend`].
 pub(crate) fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     record_kernel!("tensor.matmul.calls", "tensor.matmul.elements", m * n);
     let mut out = vec![0.0f32; m * n];
-    run_units(&mut out, n, 2 * k, |i, out_row| {
-        matmul_row_kernel(&a[i * k..(i + 1) * k], b, out_row);
+    let be = crate::backend::active();
+    run_slabs(&mut out, n, 2 * k, |row0, slab| {
+        let rows = slab.len() / n;
+        be.matmul_slab(&a[row0 * k..(row0 + rows) * k], b, k, n, slab);
     });
     out
 }
@@ -177,10 +270,17 @@ pub(crate) fn bmm(a: &[f32], b: &[f32], nb: usize, m: usize, k: usize, n: usize)
     if m == 0 {
         return out;
     }
-    run_units(&mut out, n, 2 * k, |row, out_row| {
-        let batch = row / m;
-        let i = row % m;
-        matmul_row_kernel(&a[(batch * m + i) * k..][..k], &b[batch * k * n..][..k * n], out_row);
+    let be = crate::backend::active();
+    run_slabs(&mut out, n, 2 * k, |row0, slab| {
+        for_batch_chunks(row0, slab, n, m, |batch, i, rows, chunk| {
+            be.matmul_slab(
+                &a[(batch * m + i) * k..][..rows * k],
+                &b[batch * k * n..][..k * n],
+                k,
+                n,
+                chunk,
+            );
+        });
     });
     out
 }
@@ -202,18 +302,35 @@ pub(crate) fn batched_matmul_shared_lhs(
     if rows == 0 {
         return out;
     }
-    run_units(&mut out, n, 2 * k, |row, out_row| {
-        let batch = row / rows;
-        let r = row % rows;
-        matmul_row_kernel(&a[r * k..][..k], &rhs[batch * k * n..][..k * n], out_row);
+    let be = crate::backend::active();
+    run_slabs(&mut out, n, 2 * k, |row0, slab| {
+        for_batch_chunks(row0, slab, n, rows, |batch, r, nrows, chunk| {
+            be.matmul_slab(&a[r * k..][..nrows * k], &rhs[batch * k * n..][..k * n], k, n, chunk);
+        });
     });
     out
 }
 
+/// Full 2-D convolution (bias applied by the caller), strategy chosen by
+/// the ambient [`crate::backend`]: im2col-then-matmul on the reference
+/// path, a direct tiled kernel for stride-1 1×1/3×3 on the blocked path.
+pub(crate) fn conv2d(src: &[f32], weight: &[f32], g: ConvGeom, cout: usize) -> Vec<f32> {
+    crate::backend::active().conv2d(src, weight, g, cout)
+}
+
+/// Numerically stable softmax over each `n`-length row of `data`,
+/// sharded over rows and computed by the ambient [`crate::backend`].
+pub(crate) fn softmax(data: &mut [f32], n: usize) {
+    let be = crate::backend::active();
+    run_slabs(data, n, 16, |_, slab| be.softmax_slab(slab, n));
+}
+
 /// Geometry of a conv2d/col2im problem, grouped so the kernels below
-/// stay within sane argument counts.
+/// stay within sane argument counts. Public because it appears in the
+/// [`crate::backend::ComputeBackend`] convolution signature; constructed
+/// only by this crate's ops layer.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct ConvGeom {
+pub struct ConvGeom {
     /// Batch size.
     pub n: usize,
     /// Channels of the *image-layout* side ([`col2im`]'s output, [`im2col`]'s input).
@@ -379,7 +496,64 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parallel::with_threads;
+    use crate::parallel::{with_assumed_cores, with_threads};
+
+    #[test]
+    fn planned_threads_respects_threshold_cores_and_budget() {
+        with_threads(8, || {
+            with_assumed_cores(8, || {
+                assert_eq!(planned_threads(PAR_WORK_THRESHOLD - 1), 1, "below the fan-out floor");
+                assert_eq!(
+                    planned_threads(PAR_WORK_THRESHOLD),
+                    PAR_WORK_THRESHOLD / PAR_WORK_PER_THREAD,
+                    "just past the floor, the per-thread budget caps the width"
+                );
+                assert_eq!(planned_threads(8 * PAR_WORK_PER_THREAD), 8);
+                assert_eq!(planned_threads(usize::MAX), 8, "ambient threads cap");
+            });
+            with_assumed_cores(3, || {
+                assert_eq!(planned_threads(usize::MAX), 3, "physical cores cap");
+            });
+        });
+    }
+
+    #[test]
+    fn bench_conv_shape_stays_serial_on_single_core() {
+        // Regression for BENCH_kernels.json: the [2,16,32,32] ⊛
+        // [32,16,3,3] conv matmul used to fan out even on a one-core
+        // machine, losing ~1.4× to serial. The physical-core clamp must
+        // keep it serial there while still fanning out on real cores.
+        let work = 2 * 32 * (32 * 32) * 2 * (16 * 3 * 3);
+        with_threads(4, || {
+            with_assumed_cores(1, || assert_eq!(planned_threads(work), 1));
+            with_assumed_cores(4, || assert_eq!(planned_threads(work), 4));
+        });
+    }
+
+    #[test]
+    fn run_slabs_covers_each_unit_exactly_once() {
+        let mut out = vec![0.0f32; 12];
+        run_slabs(&mut out, 3, usize::MAX, |first, slab| {
+            for (off, unit) in slab.chunks_mut(3).enumerate() {
+                for v in unit.iter_mut() {
+                    *v += (first + off + 1) as f32;
+                }
+            }
+        });
+        assert_eq!(out, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn for_batch_chunks_splits_at_batch_boundaries() {
+        // 3 batches of 2 rows (n = 1): a slab starting mid-batch at row
+        // 1 and covering rows 1..=4 must split as [1], [2, 3], [4].
+        let mut slab = vec![0.0f32; 4];
+        let mut seen = Vec::new();
+        for_batch_chunks(1, &mut slab, 1, 2, |batch, first, rows, chunk| {
+            seen.push((batch, first, rows, chunk.len()));
+        });
+        assert_eq!(seen, vec![(0, 1, 1, 1), (1, 0, 2, 2), (2, 0, 1, 1)]);
+    }
 
     #[test]
     fn shard_ranges_cover_exactly_in_order() {

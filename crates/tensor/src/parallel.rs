@@ -18,6 +18,7 @@
 //! never a single output bit — so it is safe to resolve it ambiently
 //! instead of threading a handle through every call site.
 
+use crate::backend::BackendKind;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -30,24 +31,34 @@ pub const MAX_KERNEL_THREADS: usize = 8;
 const THREADS_CEILING: usize = 64;
 
 /// The parallel execution policy for a pipeline: how many worker
-/// threads the tensor kernels may fan out over.
+/// threads the tensor kernels may fan out over, and which
+/// [`BackendKind`] computes each shard.
 ///
 /// Carried by `PipelineSnapshot` so training, sampling, and every
 /// serving worker run under one policy. Purely a performance knob —
-/// kernel outputs are bit-identical at any thread count.
+/// kernel outputs are bit-identical at any thread count and under
+/// either backend, which is also why the backend choice is **never
+/// persisted**: checkpoints and model artifacts store no backend, so a
+/// run checkpointed under one backend resumes bit-identically under the
+/// other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
     threads: usize,
+    backend: BackendKind,
 }
 
 impl ParallelConfig {
-    /// A policy with exactly `threads` workers (clamped to `1..=64`).
+    /// A policy with exactly `threads` workers (clamped to `1..=64`) and
+    /// the ambient backend ([`crate::backend::active_backend`]).
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        ParallelConfig { threads: threads.clamp(1, THREADS_CEILING) }
+        ParallelConfig {
+            threads: threads.clamp(1, THREADS_CEILING),
+            backend: crate::backend::active_backend(),
+        }
     }
 
-    /// The single-threaded policy.
+    /// The single-threaded policy (ambient backend).
     #[must_use]
     pub fn serial() -> Self {
         ParallelConfig::with_threads(1)
@@ -55,7 +66,8 @@ impl ParallelConfig {
 
     /// The policy resolved from the environment: `AERO_THREADS` if set
     /// to a positive integer, otherwise [`suggested_threads`] capped at
-    /// [`MAX_KERNEL_THREADS`].
+    /// [`MAX_KERNEL_THREADS`]; backend from `AERO_BACKEND` (via the
+    /// ambient resolution chain).
     #[must_use]
     pub fn from_env() -> Self {
         ParallelConfig::with_threads(env_default_threads())
@@ -65,6 +77,18 @@ impl ParallelConfig {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured compute backend.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// This policy with the backend replaced by `backend`.
+    #[must_use]
+    pub fn with_backend(self, backend: BackendKind) -> Self {
+        ParallelConfig { backend, ..self }
     }
 }
 
@@ -115,11 +139,13 @@ pub fn set_global_threads(threads: usize) {
     GLOBAL_THREADS.store(threads.clamp(1, THREADS_CEILING), Ordering::Relaxed);
 }
 
-/// Installs `config` as the current thread's kernel policy for the rest
-/// of the thread's lifetime. Serving workers call this right after
-/// hydrating a snapshot so replicas run under the snapshot's policy.
+/// Installs `config` as the current thread's kernel policy — thread
+/// count *and* compute backend — for the rest of the thread's lifetime.
+/// Serving workers call this right after hydrating a snapshot so
+/// replicas run under the snapshot's policy.
 pub fn adopt_thread_policy(config: ParallelConfig) {
     LOCAL_THREADS.with(|c| c.set(config.threads()));
+    crate::backend::adopt_backend(config.backend());
 }
 
 /// Runs `f` with the current thread's kernel policy temporarily set to
@@ -154,6 +180,58 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 pub fn suggested_threads(cap: usize) -> usize {
     assert!(cap > 0, "thread cap must be positive");
     std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(4).min(cap)
+}
+
+thread_local! {
+    static ASSUMED_CORES: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The machine's physical parallelism, cached once. The kernel
+/// dispatcher clamps fan-out to this: spawning more compute-bound
+/// threads than cores only adds context-switch overhead (the exact
+/// regression BENCH_kernels.json exposed on a one-core host).
+fn machine_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(4)
+    })
+}
+
+/// The core count the dispatcher plans against: a scoped
+/// [`with_assumed_cores`] override if one is installed, otherwise the
+/// real machine parallelism.
+#[must_use]
+pub fn effective_cores() -> usize {
+    let assumed = ASSUMED_CORES.with(Cell::get);
+    if assumed != 0 {
+        assumed
+    } else {
+        machine_cores()
+    }
+}
+
+/// Runs `f` pretending the machine has `cores` cores (clamped to at
+/// least 1), restoring the real value on exit — including on panic.
+///
+/// Test/bench hook only: it lets the equivalence suite and CI exercise
+/// the parallel dispatch paths on small hosts where the physical-core
+/// clamp would otherwise keep every kernel serial. Production code must
+/// never install an assumption — oversubscribing real cores is exactly
+/// what the clamp exists to prevent.
+pub fn with_assumed_cores<R>(cores: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ASSUMED_CORES.with(|c| c.set(self.0));
+        }
+    }
+    let prev = ASSUMED_CORES.with(|c| {
+        let p = c.get();
+        c.set(cores.max(1));
+        p
+    });
+    let _restore = Restore(prev);
+    f()
 }
 
 #[cfg(test)]
@@ -217,6 +295,41 @@ mod tests {
         .join()
         .expect("worker");
         assert_eq!(got, 6);
+    }
+
+    #[test]
+    fn adopt_policy_pins_backend_too() {
+        let got = std::thread::spawn(|| {
+            adopt_thread_policy(
+                ParallelConfig::with_threads(2).with_backend(BackendKind::Reference),
+            );
+            crate::backend::active_backend()
+        })
+        .join()
+        .expect("worker");
+        assert_eq!(got, BackendKind::Reference);
+    }
+
+    #[test]
+    fn config_carries_ambient_backend_and_override() {
+        let cfg = crate::backend::with_backend(BackendKind::Reference, || {
+            ParallelConfig::with_threads(3)
+        });
+        assert_eq!(cfg.backend(), BackendKind::Reference);
+        assert_eq!(cfg.with_backend(BackendKind::Blocked).backend(), BackendKind::Blocked);
+        assert_eq!(cfg.with_backend(BackendKind::Blocked).threads(), 3);
+    }
+
+    #[test]
+    fn assumed_cores_scopes_and_restores() {
+        let real = effective_cores();
+        assert!(real >= 1);
+        let inner = with_assumed_cores(5, || {
+            assert_eq!(effective_cores(), 5);
+            with_assumed_cores(0, effective_cores)
+        });
+        assert_eq!(inner, 1, "zero clamps to one core");
+        assert_eq!(effective_cores(), real, "override must be scoped");
     }
 
     #[test]

@@ -194,13 +194,17 @@ impl Q8Tensor {
         let bpr = blocks_per_row(k);
         let mut out = vec![0.0f32; m * n];
         let b = other.as_slice();
-        par_kernels::run_units(&mut out, n, 2 * k, |i, out_row| {
-            q8_row_kernel(
-                &self.scales[i * bpr..(i + 1) * bpr],
-                &self.quants[i * bpr * Q8_BLOCK..(i + 1) * bpr * Q8_BLOCK],
+        let be = crate::backend::active();
+        par_kernels::run_slabs(&mut out, n, 2 * k, |row0, slab| {
+            let rows = slab.len() / n;
+            be.q8_matmul_slab(
+                &self.scales[row0 * bpr..(row0 + rows) * bpr],
+                &self.quants[row0 * bpr * Q8_BLOCK..(row0 + rows) * bpr * Q8_BLOCK],
+                bpr,
                 k,
                 b,
-                out_row,
+                n,
+                slab,
             );
         });
         Tensor::from_vec(out, &[m, n])
@@ -240,9 +244,17 @@ impl Q8Tensor {
 /// dequantizing per block and streaming through the rows of `b` in
 /// ascending `p` — the q8 twin of
 /// [`crate::par_kernels::matmul_row_kernel`], defining the accumulation
-/// order for both the serial oracle and the sharded path.
+/// order for both the serial oracle and the backend-dispatched path
+/// (the blocked backend packs the identical `scale * q` products into
+/// its tiles).
 #[inline]
-fn q8_row_kernel(scales: &[f32], quants: &[i8], k: usize, b: &[f32], out_row: &mut [f32]) {
+pub(crate) fn q8_row_kernel(
+    scales: &[f32],
+    quants: &[i8],
+    k: usize,
+    b: &[f32],
+    out_row: &mut [f32],
+) {
     let n = out_row.len();
     for p in 0..k {
         let block = p / Q8_BLOCK;

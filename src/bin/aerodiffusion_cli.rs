@@ -3,13 +3,15 @@
 //!
 //! ```text
 //! aerodiffusion_cli train  <model-dir> [--scenes N] [--seed S] [--scale smoke|small|paper]
-//!                          [--threads N]
+//!                          [--threads N] [--backend reference|blocked]
 //!                          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]
 //! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--trace FILE]
-//!                          [--scale …] [--threads N]
+//!                          [--scale …] [--threads N] [--backend reference|blocked]
 //! aerodiffusion_cli profile <model-dir> [--seed S] [--ndjson FILE] [--scale …] [--threads N]
+//!                          [--backend reference|blocked]
 //! aerodiffusion_cli serve  <model-dir>|--demo [--replicas N] [--workers N] [--max-batch N]
-//!                          [--scale …] [--threads N] [--registry DIR [--model name[@version]]]
+//!                          [--scale …] [--threads N] [--backend reference|blocked]
+//!                          [--registry DIR [--model name[@version]]]
 //!                          [--tenant-rate RPS [--tenant-burst N]] [--shed-queue-depth N]
 //!                          [--shed-p95-ms MS] [--stream] [--max-worker-restarts N]
 //!                          [--inject-panic-at N[,N…]] [--inject-replica-kill-at N[,N…]]
@@ -41,8 +43,12 @@
 //!
 //! `--threads` pins the tensor-kernel worker pool (default: the
 //! `AERO_THREADS` env var, else the host's available parallelism, capped
-//! at 8). The sharded kernels are bit-identical at every thread count,
-//! so this only changes wall-clock time, never output bytes.
+//! at 8). `--backend` picks the compute backend: `blocked` (default) runs
+//! the cache-blocked microkernels, `reference` the serial oracle kernels
+//! (default: the `AERO_BACKEND` env var, else `blocked`). Both are purely
+//! performance knobs: the kernels are bit-identical at every thread count
+//! and under either backend, so they only change wall-clock time, never
+//! output bytes (CI byte-compares a sample across backends).
 //!
 //! `--inject-panic-at` schedules a deterministic in-worker panic on the
 //! Nth submitted request (0-based): the request is answered with a typed
@@ -108,11 +114,16 @@ fn scale_config(args: &[String]) -> PipelineConfig {
 
 /// Applies `--threads N` (falling back to the `AERO_THREADS` env var and
 /// then the host's available parallelism) as the process-wide kernel
-/// thread policy. Purely a performance knob: outputs are bit-identical
-/// at any thread count.
-fn apply_threads_flag(args: &[String]) -> Result<(), Box<dyn Error>> {
+/// thread policy, and `--backend reference|blocked` (falling back to the
+/// `AERO_BACKEND` env var, then `blocked`) as the process-wide compute
+/// backend. Purely performance knobs: outputs are bit-identical at any
+/// thread count and under either backend.
+fn apply_kernel_flags(args: &[String]) -> Result<(), Box<dyn Error>> {
     if let Some(v) = parse_flag(args, "--threads") {
         aero_tensor::parallel::set_global_threads(v.parse()?);
+    }
+    if let Some(v) = parse_flag(args, "--backend") {
+        aero_tensor::backend::set_global_backend(v.parse::<aero_tensor::BackendKind>()?);
     }
     Ok(())
 }
@@ -131,12 +142,16 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: aerodiffusion_cli <train|sample|profile|serve|info|lint> [args]\n\
                  \n  train  <dir> [--scenes N] [--seed S] [--scale smoke|small|paper] [--threads N]\n\
+                 \n         [--backend reference|blocked]\n\
                  \n         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]\n\
                  \n  sample <dir> <out.ppm> [--seed S] [--night] [--trace FILE] [--scale …] [--threads N]\n\
+                 \n         [--backend reference|blocked]\n\
                  \n  profile <dir> [--seed S] [--ndjson FILE] [--scale …] [--threads N]\n\
+                 \n         [--backend reference|blocked]\n\
                  \n  serve  <dir>|--demo [--replicas N] [--workers N] [--max-batch N] [--queue N]\n\
                  \n         [--batch-wait-ms MS] [--cache N] [--steps N] [--guidance G] [--scale …]\n\
-                 \n         [--threads N] [--registry DIR [--model name[@version]]]\n\
+                 \n         [--threads N] [--backend reference|blocked]\n\
+                 \n         [--registry DIR [--model name[@version]]]\n\
                  \n         [--tenant-rate RPS [--tenant-burst N]] [--shed-queue-depth N]\n\
                  \n         [--shed-p95-ms MS] [--stream] [--max-worker-restarts N]\n\
                  \n         [--inject-panic-at N[,N…]] [--inject-replica-kill-at N[,N…]]\n\
@@ -161,7 +176,7 @@ fn main() -> ExitCode {
 }
 
 fn cmd_train(args: &[String]) -> Result<(), Box<dyn Error>> {
-    apply_threads_flag(args)?;
+    apply_kernel_flags(args)?;
     let dir = args.first().ok_or("train requires a model directory")?;
     let n_scenes: usize = parse_flag(args, "--scenes").map(|v| v.parse()).transpose()?.unwrap_or(8);
     let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(42);
@@ -220,7 +235,7 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_sample(args: &[String]) -> Result<(), Box<dyn Error>> {
-    apply_threads_flag(args)?;
+    apply_kernel_flags(args)?;
     let dir = args.first().ok_or("sample requires a model directory")?;
     let out = args.get(1).ok_or("sample requires an output .ppm path")?;
     let seed: u64 = parse_flag(args, "--seed").map(|v| v.parse()).transpose()?.unwrap_or(7);
@@ -281,7 +296,7 @@ fn write_obs_ndjson(
 /// profile: the aggregated span tree (inclusive / self wall-clock per
 /// stage) and the process-global metric registry.
 fn cmd_profile(args: &[String]) -> Result<(), Box<dyn Error>> {
-    apply_threads_flag(args)?;
+    apply_kernel_flags(args)?;
     let dir = args
         .first()
         .filter(|a| !a.starts_with("--"))
@@ -353,7 +368,7 @@ fn parse_model_spec(spec: &str) -> Result<(&str, Option<u32>), Box<dyn Error>> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
-    apply_threads_flag(args)?;
+    apply_kernel_flags(args)?;
     let registry = parse_flag(args, "--registry")
         .map(|dir| ModelRegistry::open(std::path::Path::new(&dir)))
         .transpose()?;
@@ -509,10 +524,11 @@ fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
         println!("== checkpoint ==");
         print!("{}", report.render());
         failed |= !report.is_clean();
-        // Source-level: all six token-level passes over the workspace
-        // tree (AD0110/AD0111 kernel discipline, AD0200 lock order,
-        // AD0201 atomics, AD0202 determinism, AD0203 worker panics).
-        // A no-op away from a checkout.
+        // Source-level: all seven token-level passes over the workspace
+        // tree (AD0110/AD0111 kernel discipline, AD0112 backend
+        // dispatch, AD0200 lock order, AD0201 atomics, AD0202
+        // determinism, AD0203 worker panics). A no-op away from a
+        // checkout.
         let source_root = parse_flag(args, "--source-root").unwrap_or_else(|| ".".to_string());
         let report = aerodiffusion::lint_source_all(std::path::Path::new(&source_root));
         println!("== source ==");
@@ -568,7 +584,7 @@ fn cmd_model(args: &[String]) -> Result<(), Box<dyn Error>> {
 /// optionally quantized, optionally published into a registry, with the
 /// per-layer quantization-error report on stderr.
 fn cmd_model_export(args: &[String]) -> Result<(), Box<dyn Error>> {
-    apply_threads_flag(args)?;
+    apply_kernel_flags(args)?;
     let dir = args.first().ok_or("model export requires a model directory")?;
     let out = args.get(1).ok_or("model export requires an output .amdl path")?;
     let config = scale_config(args);

@@ -37,7 +37,12 @@
 #                      kernel layer's determinism contract, end to end
 #                      through the full pipeline), plus a threshold-free
 #                      bench_kernels liveness run (BENCH_KERNELS_SMOKE=1)
-#                      that asserts bit-identity per workload
+#                      that asserts bit-identity per workload and backend
+#   7b. backend smoke — the same sample rendered under --backend reference
+#                      and under AERO_BACKEND=blocked must be byte-identical
+#                      (the ComputeBackend oracle-equivalence contract, end
+#                      to end through the full pipeline; AD0112 keeps every
+#                      caller on the dispatched path)
 #   8. obs smokes    — the same sample rendered with and without --trace
 #                      must be byte-identical (observation never perturbs
 #                      results), and `profile` must print a span tree
@@ -248,6 +253,20 @@ AERO_THREADS=4 cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion
   sample "$work/model" "$work/t4.ppm" --seed 11
 cmp "$work/t1.ppm" "$work/t4.ppm" \
   || { echo "thread smoke: 1-thread and 4-thread samples differ"; exit 1; }
+
+echo "== backend smoke: sample determinism across compute backends =="
+# Same model, same seed: the serial Reference oracle (via the CLI flag)
+# and the cache-blocked Blocked backend (via the env knob, so both
+# configuration paths are exercised) must produce byte-identical images —
+# and both must match the earlier default-backend thread-smoke sample.
+cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  sample "$work/model" "$work/bref.ppm" --seed 11 --threads 1 --backend reference
+AERO_BACKEND=blocked cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  sample "$work/model" "$work/bblk.ppm" --seed 11 --threads 1
+cmp "$work/bref.ppm" "$work/bblk.ppm" \
+  || { echo "backend smoke: reference and blocked samples differ"; exit 1; }
+cmp "$work/t1.ppm" "$work/bblk.ppm" \
+  || { echo "backend smoke: blocked sample differs from the default-backend sample"; exit 1; }
 
 echo "== thread smoke: bench_kernels liveness =="
 BENCH_KERNELS_SMOKE=1 cargo run --offline -q -p aero-bench --bin bench_kernels
