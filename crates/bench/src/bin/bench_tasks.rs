@@ -1,0 +1,135 @@
+//! Task-pipeline benchmark: per-task end-to-end sampling latency for the
+//! four [`TaskSpec`] workloads (text, view translation, inpainting, and
+//! the two-stage super-resolution cascade) on one smoke-trained
+//! pipeline.
+//!
+//! Besides the latency table, the run asserts the API contracts CI cares
+//! about at every scale: each task is deterministic in `(task, sampler,
+//! seed)` (two runs byte-compare equal) and produces a native-resolution
+//! image. `BENCH_TASKS_SMOKE=1` drops the repetition count so CI can use
+//! this as a liveness gate. Writes `BENCH_tasks.json` to the working
+//! directory.
+
+use aero_diffusion::{DdimSampler, StepSink};
+use aero_scene::{
+    build_dataset, Annotation, BBox, DatasetConfig, Homography, ObjectClass, SceneGeneratorConfig,
+    Viewpoint,
+};
+use aero_serve::Json;
+use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, TaskSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f` (median, not mean, so
+/// one cold-cache outlier cannot dominate a smoke run).
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_TASKS_SMOKE").is_ok_and(|v| v == "1");
+    let reps = if smoke { 3 } else { 9 };
+    let config = PipelineConfig::smoke();
+    println!("bench_tasks: training a smoke pipeline once, timing task pipelines (reps={reps})…");
+    let dataset = build_dataset(&DatasetConfig {
+        n_scenes: 4,
+        image_size: config.vision.image_size,
+        seed: 23,
+        generator: SceneGeneratorConfig::default(),
+    });
+    let pipeline = AeroDiffusionPipeline::fit(&dataset, config, 23);
+    let sampler = DdimSampler::new(4, config.diffusion.guidance_scale);
+    let s = config.vision.image_size;
+
+    let item = &dataset.items[0];
+    let caption = pipeline.caption_for(item, &mut StdRng::seed_from_u64(0));
+    let source = dataset.items[1].rendered.image.clone();
+    let homography = Homography::between(
+        source.width(),
+        source.height(),
+        &Viewpoint::default(),
+        &Viewpoint { altitude: 0.6, pitch_deg: 60.0, heading_deg: 30.0 },
+    );
+    let tasks = [
+        ("text", TaskSpec::text(item, &caption, "an aerial view of a park")),
+        ("view", TaskSpec::view(source.clone(), homography, "the park from the north")),
+        (
+            "inpaint",
+            TaskSpec::inpaint(
+                source,
+                vec![Annotation {
+                    class: ObjectClass::ALL[0],
+                    bbox: BBox::new(4.0, 4.0, 11.0, 10.0),
+                }],
+                "a truck at the center",
+            ),
+        ),
+    ];
+
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("bench", "tasks".into()),
+        ("smoke", smoke.into()),
+        ("reps", reps.into()),
+        ("ddim_steps", sampler.steps.into()),
+    ];
+    println!("{:>10} {:>14}", "task", "median ms");
+    for (name, task) in &tasks {
+        let reference = pipeline.run_task(task, &sampler, 31, StepSink::none());
+        assert_eq!(
+            (reference.width(), reference.height()),
+            (s, s),
+            "{name} must produce a native-resolution image"
+        );
+        assert_eq!(
+            reference,
+            pipeline.run_task(task, &sampler, 31, StepSink::none()),
+            "{name} must be deterministic in (task, sampler, seed)"
+        );
+        let secs = median_secs(reps, || {
+            let _ = pipeline.run_task(task, &sampler, 31, StepSink::none());
+        });
+        println!("{:>10} {:>14.2}", name, secs * 1e3);
+        fields.push((name, Json::obj(vec![("median_ms", (secs * 1e3).into())])));
+    }
+
+    // The cascade is its own dataflow (draft → downscale → re-denoise),
+    // so it is timed end to end rather than as a bare run_task.
+    let cascade_ref =
+        pipeline.super_res_cascade(item, "a sharper aerial photo", &sampler, 31, StepSink::none());
+    assert_eq!(
+        (cascade_ref.width(), cascade_ref.height()),
+        (s, s),
+        "superres cascade must produce a native-resolution image"
+    );
+    assert_eq!(
+        cascade_ref,
+        pipeline.super_res_cascade(item, "a sharper aerial photo", &sampler, 31, StepSink::none()),
+        "superres cascade must be deterministic in (prompt, sampler, seed)"
+    );
+    let cascade_secs = median_secs(reps, || {
+        let _ = pipeline.super_res_cascade(
+            item,
+            "a sharper aerial photo",
+            &sampler,
+            31,
+            StepSink::none(),
+        );
+    });
+    println!("{:>10} {:>14.2}", "superres", cascade_secs * 1e3);
+    fields.push(("superres", Json::obj(vec![("median_ms", (cascade_secs * 1e3).into())])));
+    fields.push(("deterministic", true.into()));
+
+    let json = Json::obj(fields);
+    std::fs::write("BENCH_tasks.json", format!("{}\n", json.render()))
+        .expect("write BENCH_tasks.json");
+    println!("wrote BENCH_tasks.json");
+}

@@ -4,17 +4,19 @@ use crate::ablation::AblationVariant;
 use crate::condition::{ConditionInputs, ConditionNetwork};
 use crate::config::PipelineConfig;
 use crate::substrate::{caption_dataset, SubstrateBundle};
+use crate::task::{ConditionSource, TaskSpec};
 use aero_diffusion::{
-    CancelSignal, CheckpointConfig, CondUnet, DdimSampler, DiffusionTrainer, SampleOptions,
-    Sampler, StepEvent, TrainCursor,
+    CancelSignal, CheckpointConfig, CondUnet, DdimSampler, DiffusionTrainer, LatentPin,
+    SampleOptions, Sampler, StepSink, TrainCursor,
 };
 use aero_nn::optim::Adam;
 use aero_nn::Module;
 use aero_obs::span;
-use aero_scene::{AerialDataset, Annotation, DatasetItem, Image};
+use aero_scene::{AerialDataset, Annotation, DatasetItem, Image, ObjectClass};
 use aero_tensor::Tensor;
 use aero_text::llm::{LlmProvider, SimulatedLlm};
 use aero_text::prompt::PromptTemplate;
+use aero_text::task::{task_caption, TaskCaption};
 use aero_vision::vae::LATENT_CHANNELS;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -410,7 +412,7 @@ impl AeroDiffusionPipeline {
         rng: &mut R,
     ) -> Image {
         let caption_g = self.caption_for(item, rng);
-        let cond = self.encode_condition(item, &caption_g, g_prime);
+        let cond = self.encode_task(&TaskSpec::text(item, &caption_g, g_prime));
         let [c, h, w] = self.latent_shape();
         let z_init = Tensor::randn(&[1, c, h, w], rng);
         let z = self.sample_latents(sampler, z_init, &cond);
@@ -423,19 +425,196 @@ impl AeroDiffusionPipeline {
         [LATENT_CHANNELS, latent_side, latent_side]
     }
 
-    /// Encode stage: the `[1, cond_dim]` condition vector for a reference
-    /// item, source caption `G` and target description `G'`. Deterministic
-    /// in its inputs — the serving runtime caches the result per prompt.
-    pub fn encode_condition(&self, item: &DatasetItem, caption_g: &str, g_prime: &str) -> Tensor {
-        let _span = span!("pipeline.encode_condition");
-        let rois = self.propose_rois(&item.rendered.image);
+    /// Lowers a task to its conditioning inputs: the image the condition
+    /// network sees, the source caption `G`, the target description `G'`,
+    /// and the region set for the feature-augmentation branch.
+    ///
+    /// Text-to-image reproduces the pre-task conditioning exactly
+    /// (reference render + detector ROIs). View translation warps the
+    /// source through the homography prior before region proposal;
+    /// inpainting passes the request's keypoint boxes as the regions
+    /// directly; super-resolution resizes the base up to the pipeline's
+    /// native resolution. The image-conditioned captions come from
+    /// [`aero_text::task::task_caption`] and are pure functions of the
+    /// task, keeping the encode stage cacheable.
+    pub fn condition_source(&self, task: &TaskSpec) -> ConditionSource {
+        match task {
+            TaskSpec::TextToImage { reference, caption_g, prompt } => ConditionSource {
+                image: reference.rendered.image.clone(),
+                caption_g: caption_g.clone(),
+                g_prime: prompt.clone(),
+                rois: self.propose_rois(&reference.rendered.image),
+            },
+            TaskSpec::ViewTranslation { source, homography, prompt } => {
+                let warped = source.warp(homography);
+                let rois = self.propose_rois(&warped);
+                ConditionSource {
+                    caption_g: task_caption(&TaskCaption::ViewTranslation, prompt),
+                    g_prime: prompt.clone(),
+                    image: warped,
+                    rois,
+                }
+            }
+            TaskSpec::Inpaint { source, regions, prompt } => {
+                let labels: Vec<ObjectClass> = regions.iter().map(|r| r.class).collect();
+                ConditionSource {
+                    image: source.clone(),
+                    caption_g: task_caption(&TaskCaption::Inpaint { labels: &labels }, prompt),
+                    g_prime: prompt.clone(),
+                    rois: regions.clone(),
+                }
+            }
+            TaskSpec::SuperResolve { base, prompt } => {
+                let s = self.config.vision.image_size;
+                let resized = if (base.width(), base.height()) == (s, s) {
+                    base.clone()
+                } else {
+                    base.resize(s, s)
+                };
+                let rois = self.propose_rois(&resized);
+                ConditionSource {
+                    caption_g: task_caption(&TaskCaption::SuperResolve, prompt),
+                    g_prime: prompt.clone(),
+                    image: resized,
+                    rois,
+                }
+            }
+        }
+    }
+
+    /// Encode stage: the `[1, cond_dim]` condition vector for a task.
+    /// Deterministic in the task's inputs — the serving runtime caches
+    /// the result per (kind, prompt, source digest).
+    pub fn encode_task(&self, task: &TaskSpec) -> Tensor {
+        let _span = span!("pipeline.encode_task");
+        let source = self.condition_source(task);
         let inputs = [ConditionInputs {
-            image: &item.rendered.image,
-            tokens_g: self.bundle.tokenizer.encode(caption_g),
-            tokens_g_prime: self.bundle.tokenizer.encode(g_prime),
-            rois: &rois,
+            image: &source.image,
+            tokens_g: self.bundle.tokenizer.encode(&source.caption_g),
+            tokens_g_prime: self.bundle.tokenizer.encode(&source.g_prime),
+            rois: &source.rois,
         }];
         self.condition.build_batch(&self.bundle.clip, &inputs).to_tensor()
+    }
+
+    /// The pre-task positional encode stage.
+    #[deprecated(
+        note = "build a `TaskSpec` (e.g. `TaskSpec::text`) and call `encode_task` instead"
+    )]
+    pub fn encode_condition(&self, item: &DatasetItem, caption_g: &str, g_prime: &str) -> Tensor {
+        self.encode_task(&TaskSpec::text(item, caption_g, g_prime))
+    }
+
+    /// The `[1, c, h, w]` diffusion-space latent of one native-resolution
+    /// image (the inpainting reference the sampler pins to).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image is not at the pipeline's native resolution.
+    pub fn encode_image_latent(&self, image: &Image) -> Tensor {
+        let s = self.config.vision.image_size;
+        assert_eq!(
+            (image.width(), image.height()),
+            (s, s),
+            "latent encoding expects a {s}x{s} image"
+        );
+        self.bundle.vae.encode_tensor(&image.to_tensor().reshape(&[1, 3, s, s]))
+    }
+
+    /// The `[1, c, h, w]` re-denoise mask for a set of keypoint boxes:
+    /// `1.0` on latent cells whose decoded pixel block intersects any
+    /// box (free to change), `0.0` elsewhere (pinned to the source).
+    pub fn latent_mask(&self, regions: &[Annotation]) -> Tensor {
+        let [c, h, w] = self.latent_shape();
+        let cell = (self.config.vision.image_size / w) as f32;
+        let mut mask = vec![0.0f32; c * h * w];
+        for ly in 0..h {
+            for lx in 0..w {
+                let (px0, py0) = (lx as f32 * cell, ly as f32 * cell);
+                let (px1, py1) = (px0 + cell, py0 + cell);
+                let hit = regions.iter().any(|r| {
+                    r.bbox.x0 < px1 && r.bbox.x1 > px0 && r.bbox.y0 < py1 && r.bbox.y1 > py0
+                });
+                if hit {
+                    for ch in 0..c {
+                        mask[ch * h * w + ly * w + lx] = 1.0;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(mask, &[1, c, h, w])
+    }
+
+    /// The inpainting pin for a task, drawing the pin noise from `rng`.
+    /// Non-inpainting tasks need no pin. Callers must draw the initial
+    /// latent noise from the same `rng` *before* calling this, so that a
+    /// batched run and a batch-1 run consume the stream identically.
+    pub fn task_pin<R: Rng + ?Sized>(&self, task: &TaskSpec, rng: &mut R) -> Option<LatentPin> {
+        match task {
+            TaskSpec::Inpaint { source, regions, .. } => {
+                let [c, h, w] = self.latent_shape();
+                let mask = self.latent_mask(regions);
+                let reference = self.encode_image_latent(source);
+                let noise = Tensor::randn(&[1, c, h, w], rng);
+                Some(LatentPin::new(mask, reference, noise))
+            }
+            _ => None,
+        }
+    }
+
+    /// Runs one task end to end — encode, sample (with the inpainting
+    /// pin when the task calls for one), decode — deterministically in
+    /// `(task, sampler, seed)`. The per-task RNG draws the initial
+    /// latent first and the pin noise second; the serving batcher uses
+    /// the same order per job, which is what makes a coalesced
+    /// heterogeneous batch row-identical to batch-1 runs.
+    pub fn run_task(
+        &self,
+        task: &TaskSpec,
+        sampler: &DdimSampler,
+        seed: u64,
+        mut sink: StepSink<'_>,
+    ) -> Image {
+        let cond = self.encode_task(task);
+        let [c, h, w] = self.latent_shape();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let z_init = Tensor::randn(&[1, c, h, w], &mut rng);
+        let pin = self.task_pin(task, &mut rng);
+        // Reborrow the sink so its lifetime shrinks to this call: the
+        // locally owned `cond`/`pin` must outlive the options struct.
+        let z = self.sample_latents_controlled(
+            sampler,
+            z_init,
+            &cond,
+            pin.as_ref(),
+            None,
+            sink.stage(),
+        );
+        self.decode_latent(&z.reshape(&[c, h, w]))
+    }
+
+    /// Two-stage super-resolution cascade (RSDiff-style): a
+    /// text-to-image draft at half the DDIM budget is downscaled to half
+    /// resolution, then that base conditions a full-budget
+    /// [`TaskSpec::SuperResolve`] denoise at native resolution. Both
+    /// stages report into the same `sink` — the observer handle reborrows
+    /// per stage, so one streaming callback sees the whole cascade.
+    pub fn super_res_cascade(
+        &self,
+        reference: &DatasetItem,
+        prompt: &str,
+        sampler: &DdimSampler,
+        seed: u64,
+        mut sink: StepSink<'_>,
+    ) -> Image {
+        let caption_g = self.caption_for(reference, &mut StdRng::seed_from_u64(0));
+        let draft_sampler = DdimSampler::new((sampler.steps / 2).max(1), sampler.guidance_scale);
+        let draft_task = TaskSpec::text(reference, &caption_g, prompt);
+        let draft = self.run_task(&draft_task, &draft_sampler, seed, sink.stage());
+        let s = self.config.vision.image_size;
+        let base = draft.resize((s / 2).max(1), (s / 2).max(1));
+        let task = TaskSpec::superres(base, prompt);
+        self.run_task(&task, sampler, seed.wrapping_add(1), sink.stage())
     }
 
     /// Sample stage: the deterministic DDIM reverse process from explicit
@@ -443,27 +622,30 @@ impl AeroDiffusionPipeline {
     /// `[n, cond_dim]`. Row `i` of the output depends only on row `i` of
     /// the inputs, so callers may batch freely without changing results.
     pub fn sample_latents(&self, sampler: &DdimSampler, z_init: Tensor, cond: &Tensor) -> Tensor {
-        self.sample_latents_controlled(sampler, z_init, cond, None, None)
+        self.sample_latents_controlled(sampler, z_init, cond, None, None, StepSink::none())
     }
 
     /// [`sample_latents`](Self::sample_latents) with serving-layer
-    /// control: an optional cancel flag checked between DDIM steps (the
-    /// partial latent of the last completed step is returned once it
-    /// trips) and an optional per-step observer for streamed previews.
-    /// Both are pass-through to [`SampleOptions`]; neither perturbs the
-    /// sampled tensor.
+    /// control: an optional inpainting pin applied around every DDIM
+    /// step, an optional cancel flag checked between steps (the partial
+    /// latent of the last completed step is returned once it trips), and
+    /// a [`StepSink`] observer for streamed previews. All are
+    /// pass-through to [`SampleOptions`]; the cancel flag and sink never
+    /// perturb the sampled tensor.
     pub fn sample_latents_controlled<'a>(
         &self,
         sampler: &DdimSampler,
         z_init: Tensor,
         cond: &'a Tensor,
+        pin: Option<&'a LatentPin>,
         cancel: Option<&'a dyn CancelSignal>,
-        on_step: Option<&'a mut dyn FnMut(StepEvent<'_>)>,
+        sink: StepSink<'a>,
     ) -> Tensor {
         let _span = span!("pipeline.sample_latents");
         let mut opts = SampleOptions::from_latent(z_init).with_cond(cond);
         opts.cancel = cancel;
-        opts.on_step = on_step;
+        opts.on_step = sink.into_on_step();
+        opts.pin = pin;
         Sampler::Ddim(*sampler).run(&self.unet, self.trainer.schedule(), opts)
     }
 
@@ -526,7 +708,7 @@ impl AeroDiffusionPipeline {
     /// `G' = G`) — exposed for diagnostics and analysis.
     pub fn condition_vector(&self, item: &DatasetItem) -> Tensor {
         let caption = self.caption_for(item, &mut StdRng::seed_from_u64(0));
-        self.encode_condition(item, &caption, &caption)
+        self.encode_task(&TaskSpec::text(item, &caption, &caption))
     }
 
     /// Saves the trained pipeline to a directory (see [`crate::persist`]

@@ -24,8 +24,8 @@ pub use checkpoint::{
 };
 pub use guard::{GuardConfig, GuardStats, GuardVerdict, TrainGuard};
 pub use sampler::{
-    CancelSignal, CancelToken, DdimSampler, DdpmSampler, NoiseSpec, SampleOptions, Sampler,
-    StepEvent,
+    CancelSignal, CancelToken, DdimSampler, DdpmSampler, LatentPin, NoiseSpec, SampleOptions,
+    Sampler, StepEvent, StepSink,
 };
 pub use schedule::{BetaSchedule, NoiseSchedule};
 pub use trainer::{DiffusionTrainer, TrainBatch};

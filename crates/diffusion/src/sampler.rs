@@ -8,6 +8,12 @@
 //! methods that accreted across earlier revisions (`sample`,
 //! `sample_from`, `sample_with_streams`) were removed after one release
 //! as deprecated shims; every caller goes through [`Sampler::run`].
+//!
+//! Two helpers extend the options for image-conditioned tasks:
+//! [`StepSink`] is a reusable per-step observer handle that multi-stage
+//! cascades re-borrow per stage via [`StepSink::stage`], and
+//! [`LatentPin`] implements masked re-denoise (inpainting) by
+//! recomposing pinned latent cells after every DDIM step.
 
 use crate::schedule::NoiseSchedule;
 use crate::unet::CondUnet;
@@ -88,6 +94,113 @@ pub struct StepEvent<'t> {
     pub latent: &'t Tensor,
 }
 
+/// A reusable handle on an optional per-step observer.
+///
+/// `Option<&mut dyn FnMut(StepEvent)>` is consumed by value by the first
+/// sampling call it is passed to, which forced multi-stage callers (the
+/// super-resolution cascade) into manual `as_mut().map(|f| &mut **f)`
+/// re-borrow gymnastics. `StepSink` owns that re-borrow: hold one sink,
+/// call [`StepSink::stage`] once per sampling stage, and every stage
+/// reports into the same underlying observer.
+#[derive(Default)]
+pub struct StepSink<'a> {
+    inner: Option<&'a mut dyn FnMut(StepEvent<'_>)>,
+}
+
+impl<'a> StepSink<'a> {
+    /// A sink that observes nothing.
+    pub fn none() -> Self {
+        StepSink { inner: None }
+    }
+
+    /// Wraps an observer callback.
+    pub fn new(observer: &'a mut dyn FnMut(StepEvent<'_>)) -> Self {
+        StepSink { inner: Some(observer) }
+    }
+
+    /// Re-borrows the sink for one sampling stage. The original sink
+    /// stays usable afterwards, so a cascade can thread one observer
+    /// through several sequential stages.
+    pub fn stage(&mut self) -> StepSink<'_> {
+        StepSink { inner: self.inner.as_mut().map(|f| &mut **f as &mut dyn FnMut(StepEvent<'_>)) }
+    }
+
+    /// Whether an observer is attached.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Unwraps into the raw optional callback [`SampleOptions`] carries.
+    pub fn into_on_step(self) -> Option<&'a mut dyn FnMut(StepEvent<'_>)> {
+        self.inner
+    }
+}
+
+impl<'a> From<Option<&'a mut dyn FnMut(StepEvent<'_>)>> for StepSink<'a> {
+    fn from(inner: Option<&'a mut dyn FnMut(StepEvent<'_>)>) -> Self {
+        StepSink { inner }
+    }
+}
+
+/// Per-row latent pinning for masked re-denoise (inpainting).
+///
+/// After every DDIM step the latent is recomposed elementwise: where
+/// `mask` is non-zero the sampler's value is kept (the region being
+/// re-denoised), elsewhere the value is replaced with the clean
+/// `reference` latent re-noised to the step's own noise level
+/// (`√ᾱ·ref + √(1−ᾱ)·noise`, RePaint-style). On the final step the
+/// pinned cells are set to `reference` exactly, so pixels whose decoder
+/// receptive field never touches a masked cell come out byte-identical
+/// to decoding `reference` directly.
+///
+/// Rows whose mask is all ones are bitwise untouched — pinning composes
+/// with batch coalescing, so inpaint rows can share a batch with
+/// text-to-image rows without perturbing them.
+#[derive(Debug, Clone)]
+pub struct LatentPin {
+    mask: Tensor,
+    reference: Tensor,
+    noise: Tensor,
+}
+
+impl LatentPin {
+    /// Builds a pin from a writable-region mask (non-zero = sampler may
+    /// write), the clean reference latent, and the fixed noise used to
+    /// re-noise the reference at intermediate steps. All three must share
+    /// the batch latent shape `[n, c, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes disagree.
+    pub fn new(mask: Tensor, reference: Tensor, noise: Tensor) -> Self {
+        assert_eq!(mask.shape(), reference.shape(), "pin mask/reference shape mismatch");
+        assert_eq!(mask.shape(), noise.shape(), "pin mask/noise shape mismatch");
+        LatentPin { mask, reference, noise }
+    }
+
+    /// The writable-region mask.
+    pub fn mask(&self) -> &Tensor {
+        &self.mask
+    }
+
+    /// Recomposes `z` at noise level `alpha_bar`: exact elementwise
+    /// select, so fully-writable rows (and cells) are bitwise untouched.
+    fn apply(&self, z: &Tensor, alpha_bar: f32) -> Tensor {
+        let (sa, sn) = (alpha_bar.sqrt(), (1.0 - alpha_bar).sqrt());
+        let mut out = z.as_slice().to_vec();
+        let mask = self.mask.as_slice();
+        let reference = self.reference.as_slice();
+        let noise = self.noise.as_slice();
+        for (i, value) in out.iter_mut().enumerate() {
+            if mask[i] == 0.0 {
+                *value =
+                    if alpha_bar >= 1.0 { reference[i] } else { sa * reference[i] + sn * noise[i] };
+            }
+        }
+        Tensor::from_vec(out, z.shape())
+    }
+}
+
 /// Per-step control threaded through the private sampler loops: the
 /// cancel flag checked at the top of each step and the observer invoked
 /// at the bottom.
@@ -163,6 +276,9 @@ pub struct SampleOptions<'a, R = StdRng> {
     /// Invoked after every completed step with the current batch latent
     /// (streamed previews, progress bars). Never perturbs the output.
     pub on_step: Option<&'a mut dyn FnMut(StepEvent<'_>)>,
+    /// Per-row masked re-denoise: pinned latent cells are recomposed
+    /// after every step (DDIM only; see [`LatentPin`]).
+    pub pin: Option<&'a LatentPin>,
 }
 
 impl<'a> SampleOptions<'a, StdRng> {
@@ -176,6 +292,7 @@ impl<'a> SampleOptions<'a, StdRng> {
             trace: None,
             cancel: None,
             on_step: None,
+            pin: None,
         }
     }
 }
@@ -189,6 +306,7 @@ impl<'a, R: Rng> SampleOptions<'a, R> {
             trace: None,
             cancel: None,
             on_step: None,
+            pin: None,
         }
     }
 
@@ -201,6 +319,7 @@ impl<'a, R: Rng> SampleOptions<'a, R> {
             trace: None,
             cancel: None,
             on_step: None,
+            pin: None,
         }
     }
 
@@ -242,6 +361,23 @@ impl<'a, R: Rng> SampleOptions<'a, R> {
         self.on_step = Some(observer);
         self
     }
+
+    /// Attaches a (possibly empty) [`StepSink`] stage as the observer —
+    /// the multi-stage-friendly form of
+    /// [`with_on_step`](SampleOptions::with_on_step).
+    #[must_use]
+    pub fn with_sink(mut self, sink: StepSink<'a>) -> Self {
+        self.on_step = sink.into_on_step();
+        self
+    }
+
+    /// Pins latent cells outside a mask to a reference latent after every
+    /// step (masked re-denoise; DDIM only).
+    #[must_use]
+    pub fn with_pin(mut self, pin: &'a LatentPin) -> Self {
+        self.pin = Some(pin);
+        self
+    }
 }
 
 /// A reverse-process sampler: the one public sampling entry point is
@@ -266,24 +402,25 @@ impl Sampler {
     ///
     /// Panics when asked to run ancestral DDPM from a bare
     /// [`NoiseSpec::Latent`] (the ancestral chain needs fresh per-step
-    /// noise), or when [`NoiseSpec::PerSample`] has no streams.
+    /// noise) or with a [`LatentPin`] (masked re-denoise is a DDIM
+    /// contract), or when [`NoiseSpec::PerSample`] has no streams.
     pub fn run<R: Rng>(
         &self,
         unet: &CondUnet,
         schedule: &NoiseSchedule,
         opts: SampleOptions<'_, R>,
     ) -> Tensor {
-        let SampleOptions { noise, cond, trace, cancel, on_step } = opts;
+        let SampleOptions { noise, cond, trace, cancel, on_step, pin } = opts;
         let mut ctrl = StepCtrl { cancel, on_step };
         match trace {
             Some(sink) => {
                 let (out, trace) = aero_obs::span::collect(|| {
-                    self.run_inner(unet, schedule, noise, cond, &mut ctrl)
+                    self.run_inner(unet, schedule, noise, cond, pin, &mut ctrl)
                 });
                 sink.consume(&trace);
                 out
             }
-            None => self.run_inner(unet, schedule, noise, cond, &mut ctrl),
+            None => self.run_inner(unet, schedule, noise, cond, pin, &mut ctrl),
         }
     }
 
@@ -293,6 +430,7 @@ impl Sampler {
         schedule: &NoiseSchedule,
         noise: NoiseSpec<'_, R>,
         cond: Option<&Tensor>,
+        pin: Option<&LatentPin>,
         ctrl: &mut StepCtrl<'_, '_>,
     ) -> Tensor {
         match self {
@@ -306,10 +444,14 @@ impl Sampler {
                         stack_noise(sample_shape, rngs)
                     }
                 };
-                s.denoise(unet, schedule, z_init, cond, ctrl)
+                s.denoise(unet, schedule, z_init, cond, pin, ctrl)
             }
             Sampler::Ddpm(s) => {
                 let _span = span!("sampler.ddpm");
+                assert!(
+                    pin.is_none(),
+                    "masked re-denoise (LatentPin) is only defined for deterministic DDIM runs"
+                );
                 match noise {
                     NoiseSpec::Latent(_) => panic!(
                         "ancestral DDPM needs fresh per-step noise; \
@@ -471,6 +613,7 @@ impl DdimSampler {
         schedule: &NoiseSchedule,
         z_init: Tensor,
         cond: Option<&Tensor>,
+        pin: Option<&LatentPin>,
         ctrl: &mut StepCtrl<'_, '_>,
     ) -> Tensor {
         let n = z_init.shape()[0];
@@ -482,6 +625,15 @@ impl DdimSampler {
                 break;
             }
             let _step = span!("unet.denoise_step");
+            if i == 0 {
+                if let Some(p) = pin {
+                    // Replace pinned cells of the start noise with the
+                    // forward-diffused reference at the first timestep, so
+                    // the UNet sees a latent consistent with the known
+                    // region from step one.
+                    z = p.apply(&z, schedule.alpha_bar(t));
+                }
+            }
             batch_ts.fill(t);
             let eps_hat = match cond {
                 Some(c) if self.guidance_scale != 1.0 => {
@@ -503,8 +655,18 @@ impl DdimSampler {
                     z = z0_hat
                         .mul_scalar(ab_p.sqrt())
                         .add(&eps_hat.mul_scalar((1.0 - ab_p).sqrt()));
+                    if let Some(p) = pin {
+                        z = p.apply(&z, ab_p);
+                    }
                 }
-                None => z = z0_hat,
+                None => {
+                    z = z0_hat;
+                    if let Some(p) = pin {
+                        // Final step: pin the known cells to the reference
+                        // exactly (alpha_bar = 1 at t = 0).
+                        z = p.apply(&z, 1.0);
+                    }
+                }
             }
             ctrl.emit(i, ts.len(), &z);
         }
@@ -839,5 +1001,96 @@ mod tests {
         let z = Tensor::zeros(&[1, 2, 8, 8]);
         let _ =
             Sampler::Ddpm(DdpmSampler::new()).run(&unet, &schedule, SampleOptions::from_latent(z));
+    }
+
+    #[test]
+    fn pin_with_all_ones_mask_is_bitwise_noop() {
+        let (unet, schedule) = tiny_setup();
+        let z = Tensor::randn(&[2, 2, 8, 8], &mut StdRng::seed_from_u64(51));
+        let reference = Tensor::randn(&[2, 2, 8, 8], &mut StdRng::seed_from_u64(52));
+        let noise = Tensor::randn(&[2, 2, 8, 8], &mut StdRng::seed_from_u64(53));
+        let pin = LatentPin::new(Tensor::from_vec(vec![1.0; 256], &[2, 2, 8, 8]), reference, noise);
+        let sampler = Sampler::Ddim(DdimSampler::new(4, 1.0));
+        let plain = sampler.run(&unet, &schedule, SampleOptions::from_latent(z.clone()));
+        let pinned = sampler.run(&unet, &schedule, SampleOptions::from_latent(z).with_pin(&pin));
+        assert_eq!(plain.as_slice(), pinned.as_slice(), "all-writable pin must be a no-op");
+    }
+
+    #[test]
+    fn pin_forces_masked_cells_to_reference_exactly() {
+        let (unet, schedule) = tiny_setup();
+        let z = Tensor::randn(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(61));
+        let reference = Tensor::randn(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(62));
+        let noise = Tensor::randn(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(63));
+        // Writable only in the top-left 4x4 corner of each channel.
+        let mut mask = vec![0.0f32; 128];
+        for c in 0..2 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    mask[c * 64 + y * 8 + x] = 1.0;
+                }
+            }
+        }
+        let mask = Tensor::from_vec(mask, &[1, 2, 8, 8]);
+        let pin = LatentPin::new(mask.clone(), reference.clone(), noise);
+        let out = Sampler::Ddim(DdimSampler::new(4, 1.0)).run(
+            &unet,
+            &schedule,
+            SampleOptions::from_latent(z).with_pin(&pin),
+        );
+        for (i, (&m, (&o, &r))) in
+            mask.as_slice().iter().zip(out.as_slice().iter().zip(reference.as_slice())).enumerate()
+        {
+            if m == 0.0 {
+                assert_eq!(o.to_bits(), r.to_bits(), "pinned cell {i} must equal the reference");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DDIM")]
+    fn pin_with_ddpm_is_rejected() {
+        let (unet, schedule) = tiny_setup();
+        let shape = &[1, 2, 8, 8];
+        let pin = LatentPin::new(
+            Tensor::from_vec(vec![1.0; 128], shape),
+            Tensor::zeros(shape),
+            Tensor::zeros(shape),
+        );
+        let mut rng = StdRng::seed_from_u64(71);
+        let _ = Sampler::Ddpm(DdpmSampler::new()).run(
+            &unet,
+            &schedule,
+            SampleOptions::from_rng(shape, &mut rng).with_pin(&pin),
+        );
+    }
+
+    #[test]
+    fn step_sink_threads_one_observer_through_two_stages() {
+        let (unet, schedule) = tiny_setup();
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let mut observer = |ev: StepEvent<'_>| seen.push((ev.step, ev.total));
+        let sampler = Sampler::Ddim(DdimSampler::new(3, 1.0));
+        {
+            // The sink borrows the observer; scope it so `seen` can be
+            // read back afterwards.
+            let mut sink = StepSink::new(&mut observer);
+            for seed in [81u64, 82] {
+                let z = Tensor::randn(&[1, 2, 8, 8], &mut StdRng::seed_from_u64(seed));
+                let _ = sampler.run(
+                    &unet,
+                    &schedule,
+                    SampleOptions::from_latent(z).with_sink(sink.stage()),
+                );
+            }
+        }
+        assert_eq!(seen, vec![(0, 3), (1, 3), (2, 3), (0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn inactive_step_sink_reports_inactive() {
+        assert!(!StepSink::none().is_active());
+        let mut observer = |_: StepEvent<'_>| {};
+        assert!(StepSink::new(&mut observer).is_active());
     }
 }

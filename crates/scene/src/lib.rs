@@ -40,7 +40,7 @@ pub use dataset::{
     ObjectCountStats,
 };
 pub use layout::{Layout, RoadSegment, SceneGenerator, SceneGeneratorConfig};
-pub use raster::{Image, Rasterizer};
+pub use raster::{AnnotatedImage, Homography, Image, Rasterizer};
 pub use types::{
     Annotation, BBox, ObjectClass, SceneKind, SceneObject, SceneSpec, TimeOfDay, Viewpoint,
 };

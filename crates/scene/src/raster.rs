@@ -129,6 +129,173 @@ impl Image {
         }
         f.write_all(&buf)
     }
+
+    /// Reads a binary PPM (P6) file written by [`Image::save_ppm`] (or any
+    /// 8-bit P6 writer), mapping bytes back into `[0, 1]` channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for I/O failures or malformed headers/payloads.
+    pub fn load_ppm<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::decode_ppm(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Decodes an in-memory binary PPM (P6) payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed header field or a
+    /// short pixel payload.
+    pub fn decode_ppm(bytes: &[u8]) -> Result<Self, String> {
+        // Header: "P6" <ws> width <ws> height <ws> maxval <single ws> data.
+        let mut pos = 0usize;
+        let mut field = |bytes: &[u8]| -> Result<String, String> {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            let start = pos;
+            while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if start == pos {
+                return Err("truncated PPM header".into());
+            }
+            String::from_utf8(bytes[start..pos].to_vec()).map_err(|_| "non-ASCII header".into())
+        };
+        if field(bytes)? != "P6" {
+            return Err("not a P6 PPM".into());
+        }
+        let width: usize = field(bytes)?.parse().map_err(|_| "bad width")?;
+        let height: usize = field(bytes)?.parse().map_err(|_| "bad height")?;
+        if field(bytes)? != "255" {
+            return Err("only maxval 255 is supported".into());
+        }
+        pos += 1; // the single whitespace byte before the payload
+        let plane = width * height;
+        let payload = bytes.get(pos..pos + 3 * plane).ok_or("short PPM payload")?;
+        let mut data = vec![0.0f32; 3 * plane];
+        for i in 0..plane {
+            for c in 0..3 {
+                data[c * plane + i] = f32::from(payload[3 * i + c]) / 255.0;
+            }
+        }
+        Ok(Image { width, height, data })
+    }
+
+    /// Warps this image through a pixel-to-pixel [`Homography`]: output
+    /// pixel `(x, y)` samples the source at `h.apply(x, y)` with
+    /// nearest-neighbour lookup, clamped to the image (edge extension).
+    pub fn warp(&self, h: &Homography) -> Image {
+        let mut out = Image::new(self.width, self.height);
+        for oy in 0..self.height {
+            for ox in 0..self.width {
+                let (sx, sy) = h.apply(ox as f32 + 0.5, oy as f32 + 0.5);
+                let sx = (sx.floor().max(0.0) as usize).min(self.width - 1);
+                let sy = (sy.floor().max(0.0) as usize).min(self.height - 1);
+                out.set_pixel(ox, oy, self.pixel(sx, sy));
+            }
+        }
+        out
+    }
+}
+
+/// An affine pixel-to-pixel homography derived from the parametric drone
+/// camera (heading rotation, altitude zoom, pitch foreshortening).
+///
+/// The camera model in [`Rasterizer::world_to_pixel`] is affine, so the
+/// composition `pixel →(view A)→ world →(view B)→ pixel` is exactly
+/// representable as a 3×3 matrix with last row `[0, 0, 1]`. This is the
+/// cross-view warp prior used by the view-translation workload: warp the
+/// source view into the target view's frame before conditioning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Homography {
+    /// Row-major 3×3 matrix; maps homogeneous `(x, y, 1)` pixel coords.
+    pub m: [[f32; 3]; 3],
+}
+
+impl Homography {
+    /// The identity warp.
+    pub fn identity() -> Self {
+        Homography { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+    }
+
+    /// The warp taking **target-view** pixel coordinates to **source-view**
+    /// pixel coordinates on a `width`×`height` raster: the inverse camera
+    /// of `target` into world space composed with the forward camera of
+    /// `source`. `image.warp(&h)` with this homography renders the source
+    /// image as it would appear from the target viewpoint.
+    pub fn between(width: usize, height: usize, source: &Viewpoint, target: &Viewpoint) -> Self {
+        let to_source = camera_matrix(width, height, source);
+        let from_target = invert_affine(&camera_matrix(width, height, target));
+        Homography { m: mat_mul(&to_source, &from_target) }
+    }
+
+    /// Applies the homography to a pixel coordinate.
+    pub fn apply(&self, x: f32, y: f32) -> (f32, f32) {
+        let m = &self.m;
+        (m[0][0] * x + m[0][1] * y + m[0][2], m[1][0] * x + m[1][1] * y + m[1][2])
+    }
+
+    /// The inverse warp.
+    pub fn invert(&self) -> Self {
+        Homography { m: invert_affine(&self.m) }
+    }
+
+    /// A stable 64-bit fingerprint of the matrix (FNV-1a over the f32 bit
+    /// patterns), used in condition-cache and shard-router keys.
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for row in &self.m {
+            for &value in row {
+                for byte in value.to_bits().to_le_bytes() {
+                    hash ^= u64::from(byte);
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+        }
+        hash
+    }
+}
+
+/// The affine world→pixel camera matrix of [`Rasterizer::world_to_pixel`].
+fn camera_matrix(width: usize, height: usize, vp: &Viewpoint) -> [[f32; 3]; 3] {
+    let theta = vp.heading_deg.to_radians();
+    let zoom = 1.0 / vp.altitude.max(0.1);
+    let fore = vp.pitch_deg.to_radians().sin().max(0.2);
+    let (c, s) = (theta.cos(), theta.sin());
+    let (w, h) = (width as f32, height as f32);
+    let (sx, sy) = (zoom * w, zoom * fore * h);
+    // x = ((u-0.5)c - (v-0.5)s)·zoom·W + 0.5W, y likewise with fore·H.
+    [
+        [sx * c, -sx * s, sx * (0.5 * s - 0.5 * c) + 0.5 * w],
+        [sy * s, sy * c, sy * (-0.5 * s - 0.5 * c) + 0.5 * h],
+        [0.0, 0.0, 1.0],
+    ]
+}
+
+fn mat_mul(a: &[[f32; 3]; 3], b: &[[f32; 3]; 3]) -> [[f32; 3]; 3] {
+    let mut out = [[0.0f32; 3]; 3];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = (0..3).map(|k| a[i][k] * b[k][j]).sum();
+        }
+    }
+    out
+}
+
+/// Inverts an affine matrix (last row `[0, 0, 1]`). The camera's 2×2
+/// block is rotation·diagonal-scale with strictly positive scales, so it
+/// is always invertible.
+fn invert_affine(m: &[[f32; 3]; 3]) -> [[f32; 3]; 3] {
+    let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+    let inv = [[m[1][1] / det, -m[0][1] / det], [-m[1][0] / det, m[0][0] / det]];
+    [
+        [inv[0][0], inv[0][1], -(inv[0][0] * m[0][2] + inv[0][1] * m[1][2])],
+        [inv[1][0], inv[1][1], -(inv[1][0] * m[0][2] + inv[1][1] * m[1][2])],
+        [0.0, 0.0, 1.0],
+    ]
 }
 
 /// A rendered scene: the image plus its pixel-space annotations.
@@ -240,7 +407,10 @@ impl Rasterizer {
         (x * self.width as f32, y * self.height as f32)
     }
 
-    fn pixel_to_world(&self, px: f32, py: f32, vp: &Viewpoint) -> (f32, f32) {
+    /// Maps a pixel coordinate back into the scene's world frame — the
+    /// exact inverse of [`Rasterizer::world_to_pixel`]. Public so camera
+    /// consumers (e.g. the cross-view homography) can compose the two.
+    pub fn pixel_to_world(&self, px: f32, py: f32, vp: &Viewpoint) -> (f32, f32) {
         let theta = vp.heading_deg.to_radians();
         let zoom = 1.0 / vp.altitude.max(0.1);
         let fore = vp.pitch_deg.to_radians().sin().max(0.2);
@@ -484,6 +654,72 @@ mod tests {
             }
         }
         assert!(blue > 10, "expected pond pixels, found {blue}");
+    }
+
+    #[test]
+    fn homography_matches_camera_composition() {
+        // The matrix form must agree with pixel_to_world ∘ world_to_pixel
+        // computed pointwise through the rasterizer.
+        let r = Rasterizer::new(32, 32);
+        let source = Viewpoint { altitude: 0.6, pitch_deg: 55.0, heading_deg: 25.0 };
+        let target = Viewpoint { altitude: 0.9, pitch_deg: 80.0, heading_deg: -40.0 };
+        let h = Homography::between(32, 32, &source, &target);
+        for &(px, py) in &[(0.5f32, 0.5f32), (17.0, 4.5), (31.5, 31.5), (3.25, 28.0)] {
+            let (u, v) = r.pixel_to_world(px, py, &target);
+            let (ex, ey) = r.world_to_pixel(u, v, &source);
+            let (hx, hy) = h.apply(px, py);
+            assert!((hx - ex).abs() < 1e-3 && (hy - ey).abs() < 1e-3, "({hx},{hy}) vs ({ex},{ey})");
+        }
+    }
+
+    #[test]
+    fn homography_inverse_round_trips() {
+        let source = Viewpoint { altitude: 0.5, pitch_deg: 45.0, heading_deg: 70.0 };
+        let target = Viewpoint::top_down(1.0);
+        let h = Homography::between(48, 48, &source, &target);
+        let inv = h.invert();
+        let (x, y) = h.apply(12.0, 30.0);
+        let (bx, by) = inv.apply(x, y);
+        assert!((bx - 12.0).abs() < 1e-3 && (by - 30.0).abs() < 1e-3, "({bx}, {by})");
+        // Same-viewpoint warp is the identity.
+        let id = Homography::between(48, 48, &target, &target);
+        let (ix, iy) = id.apply(7.5, 9.5);
+        assert!((ix - 7.5).abs() < 1e-4 && (iy - 9.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identity_warp_preserves_the_image() {
+        let img = Rasterizer::new(16, 16).render(&sample_scene(9)).image;
+        assert_eq!(img.warp(&Homography::identity()), img);
+    }
+
+    #[test]
+    fn homography_digest_distinguishes_viewpoints() {
+        let a = Homography::between(32, 32, &Viewpoint::top_down(1.0), &Viewpoint::top_down(0.5));
+        let b = Homography::between(32, 32, &Viewpoint::top_down(1.0), &Viewpoint::top_down(0.6));
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.digest());
+    }
+
+    #[test]
+    fn ppm_round_trips_through_load() {
+        let dir = std::env::temp_dir().join("aero_scene_ppm_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("rt.ppm");
+        let img = Rasterizer::new(12, 9).render(&sample_scene(10)).image;
+        img.save_ppm(&p).unwrap();
+        let back = Image::load_ppm(&p).unwrap();
+        assert_eq!((back.width(), back.height()), (12, 9));
+        // 8-bit quantization (truncating writer): within one step.
+        for y in 0..9 {
+            for x in 0..12 {
+                let (a, b) = (img.pixel(x, y), back.pixel(x, y));
+                for c in 0..3 {
+                    assert!((a[c] - b[c]).abs() <= 1.0 / 255.0 + 1e-6, "{a:?} vs {b:?}");
+                }
+            }
+        }
+        let _ = std::fs::remove_file(p);
     }
 
     #[test]

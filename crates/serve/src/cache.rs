@@ -4,10 +4,12 @@
 //! and region augmenter — far more work than a cache probe — and repeated
 //! prompts are the common case for a serving workload. Entries are keyed
 //! by everything the encode depends on: the prompt, the ablation variant,
-//! and the guidance scale.
+//! the guidance scale, and — for image-conditioned tasks — the task kind
+//! plus a digest of the conditioning image and its geometry/region
+//! metadata ([`aerodiffusion::TaskSpec::source_digest`]).
 
 use aero_tensor::Tensor;
-use aerodiffusion::AblationVariant;
+use aerodiffusion::{AblationVariant, TaskKind};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -20,16 +22,38 @@ pub struct ConditionKey {
     pub variant: AblationVariant,
     /// Guidance scale bits (f32 is not `Hash`; the bit pattern is).
     pub guidance_bits: u32,
+    /// The workload discriminant ([`TaskKind::Text`] for plain
+    /// text-to-image, whose keys are unchanged from the pre-task era).
+    pub task_kind: TaskKind,
+    /// [`aerodiffusion::TaskSpec::source_digest`] of the image-side
+    /// conditioning inputs (0 for text-to-image).
+    pub source_digest: u64,
 }
 
 impl ConditionKey {
-    /// Builds a key.
+    /// Builds a text-to-image key (the pre-task constructor; kept so
+    /// text keys are field-for-field what they always were).
     #[must_use]
     pub fn new(prompt: &str, variant: AblationVariant, guidance_scale: f32) -> Self {
+        ConditionKey::for_task(prompt, variant, guidance_scale, TaskKind::Text, 0)
+    }
+
+    /// Builds a key for any task kind from its discriminant and source
+    /// digest.
+    #[must_use]
+    pub fn for_task(
+        prompt: &str,
+        variant: AblationVariant,
+        guidance_scale: f32,
+        task_kind: TaskKind,
+        source_digest: u64,
+    ) -> Self {
         ConditionKey {
             prompt: prompt.to_string(),
             variant,
             guidance_bits: guidance_scale.to_bits(),
+            task_kind,
+            source_digest,
         }
     }
 }
@@ -197,6 +221,14 @@ mod tests {
         assert_ne!(a, ConditionKey::new("p", AblationVariant::BaseSd, 7.0));
         assert_ne!(a, ConditionKey::new("p", AblationVariant::Full, 7.5));
         assert_eq!(a, ConditionKey::new("p", AblationVariant::Full, 7.0));
+        // Task kind and source digest both split the key space; the
+        // text constructor is the (Text, 0) corner of it.
+        let t =
+            |kind, digest| ConditionKey::for_task("p", AblationVariant::Full, 7.0, kind, digest);
+        assert_eq!(a, t(TaskKind::Text, 0));
+        assert_ne!(a, t(TaskKind::Inpaint, 0));
+        assert_ne!(t(TaskKind::Inpaint, 1), t(TaskKind::Inpaint, 2));
+        assert_ne!(t(TaskKind::View, 1), t(TaskKind::SuperRes, 1));
     }
 
     #[test]

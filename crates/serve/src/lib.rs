@@ -70,8 +70,8 @@ pub use json::Json;
 pub use lint::lint_serve;
 pub use queue::{Pending, RequestQueue};
 pub use request::{
-    GenerateRequest, GeneratedImage, LatentPreview, OverloadScope, RejectReason, ServeReply,
-    StageLatency,
+    GenerateRequest, GeneratedImage, ImagePayload, LatentPreview, OverloadScope, RejectReason,
+    ServeReply, StageLatency, TaskPayload,
 };
 pub use router::ShardRouter;
 pub use runtime::{ResponseHandle, ServeConfig, ServeRuntime, SwapOutcome};

@@ -1,5 +1,40 @@
 //! Serving protocol types: requests, replies, and typed rejections.
 //!
+//! # Generate request fields
+//!
+//! | field         | type    | required | default                     |
+//! |---------------|---------|----------|-----------------------------|
+//! | `prompt`      | string  | yes*     | — (*optional when `task.prompt` is given) |
+//! | `id`          | string  | no       | connection-assigned id      |
+//! | `seed`        | u64     | no       | `0`                         |
+//! | `guidance`    | number  | no       | runtime guidance scale      |
+//! | `steps`       | integer | no       | runtime step count          |
+//! | `deadline_ms` | integer | no       | no deadline                 |
+//! | `tenant`      | string  | no       | `"default"` tenant          |
+//! | `stream`      | boolean | no       | `false`                     |
+//! | `task`        | object  | no       | text-to-image               |
+//!
+//! The optional `task` object selects an image-conditioned workload and
+//! may override the sampling knobs for just that task:
+//!
+//! | task field    | type    | applies to      | default                 |
+//! |---------------|---------|-----------------|-------------------------|
+//! | `kind`        | string  | all             | `"text"` (`text\|view\|inpaint\|superres`) |
+//! | `prompt`      | string  | all             | top-level `prompt`      |
+//! | `guidance`    | number  | all             | top-level `guidance`    |
+//! | `steps`       | integer | all             | top-level `steps`       |
+//! | `image`       | object  | view/inpaint/superres | — (required)      |
+//! | `source_view` | object  | view            | nadir (`altitude` 1.0, `pitch` 90, `heading` 0) |
+//! | `target_view` | object  | view            | nadir                   |
+//! | `boxes`       | array   | inpaint         | — (required, may be empty) |
+//!
+//! `image` is `{"width":…,"height":…,"rgb8_b64":…}` with channel-major
+//! (`[3, h, w]`) RGB bytes — the same layout `image` replies use. Each
+//! `boxes` entry is `{"label":…,"x0":…,"y0":…,"x1":…,"y1":…}` in pixel
+//! coordinates with an object-class label (`"car"`, `"truck"`, …).
+//! A request without a `task` key (or with `kind":"text"` and no other
+//! task fields) parses exactly as the pre-task schema did.
+//!
 //! # Backoff guidance
 //!
 //! Rejections that are worth retrying (`overloaded`, `queue_full`)
@@ -13,8 +48,302 @@
 
 use crate::base64;
 use crate::json::Json;
+use aero_scene::{Annotation, BBox, Homography, Image, ObjectClass, Viewpoint};
+use aero_tensor::Tensor;
+use aerodiffusion::{TaskKind, TaskSpec};
 use std::fmt;
 use std::time::Duration;
+
+/// A client-supplied conditioning image on the wire: channel-major
+/// (`[3, h, w]`) RGB bytes, one byte per channel value, base64-encoded
+/// as `rgb8_b64` — the same layout `image` replies use, so a reply can
+/// be fed straight back in as a task source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImagePayload {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Channel-major RGB bytes (`3 * height * width` of them).
+    pub rgb8: Vec<u8>,
+}
+
+impl ImagePayload {
+    /// Quantizes an image to its wire payload (round-to-nearest byte).
+    #[must_use]
+    pub fn from_image(image: &Image) -> Self {
+        let rgb8 = image
+            .to_tensor()
+            .as_slice()
+            .iter()
+            .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+            .collect();
+        ImagePayload { width: image.width(), height: image.height(), rgb8 }
+    }
+
+    /// Decodes the payload back to an image (`byte / 255`).
+    #[must_use]
+    pub fn to_image(&self) -> Image {
+        let data: Vec<f32> = self.rgb8.iter().map(|&b| f32::from(b) / 255.0).collect();
+        Image::from_tensor(&Tensor::from_vec(data, &[3, self.height, self.width]))
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let width = v
+            .get("width")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "task image needs an integer \"width\"".to_string())?
+            as usize;
+        let height = v
+            .get("height")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "task image needs an integer \"height\"".to_string())?
+            as usize;
+        let b64 = v
+            .get("rgb8_b64")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "task image needs a base64 string \"rgb8_b64\"".to_string())?;
+        let rgb8 = base64::decode(b64).map_err(|e| format!("task image rgb8_b64: {e}"))?;
+        if width == 0 || height == 0 || rgb8.len() != 3 * width * height {
+            return Err(format!(
+                "task image must carry 3*{width}*{height} rgb bytes, got {}",
+                rgb8.len()
+            ));
+        }
+        Ok(ImagePayload { width, height, rgb8 })
+    }
+
+    /// The wire form (`{"width":…,"height":…,"rgb8_b64":…}`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("width", self.width.into()),
+            ("height", self.height.into()),
+            ("rgb8_b64", base64::encode(&self.rgb8).into()),
+        ])
+    }
+}
+
+/// The image-conditioned workload of a request, if any. `None` on a
+/// [`GenerateRequest`] means plain text-to-image — the pre-task schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskPayload {
+    /// Cross-view translation: re-project `image` from `source_view` to
+    /// `target_view` through the parametric-camera homography prior.
+    View {
+        /// Source-view image.
+        image: ImagePayload,
+        /// Camera the source image was taken from.
+        source_view: Viewpoint,
+        /// Camera to re-project into.
+        target_view: Viewpoint,
+    },
+    /// Keypoint-box inpainting: re-draw only the latent cells under
+    /// `boxes`, pinning everything else to the source image.
+    Inpaint {
+        /// Image to edit. Must match the model's native resolution.
+        image: ImagePayload,
+        /// Labelled pixel-space boxes to re-draw.
+        boxes: Vec<Annotation>,
+    },
+    /// Super-resolution: condition a full-resolution denoise on a
+    /// low-resolution base image.
+    SuperRes {
+        /// Low-resolution base image (any size).
+        image: ImagePayload,
+    },
+}
+
+impl TaskPayload {
+    /// The task discriminant.
+    #[must_use]
+    pub fn kind(&self) -> TaskKind {
+        match self {
+            TaskPayload::View { .. } => TaskKind::View,
+            TaskPayload::Inpaint { .. } => TaskKind::Inpaint,
+            TaskPayload::SuperRes { .. } => TaskKind::SuperRes,
+        }
+    }
+
+    /// Lowers the wire payload to the typed task the pipeline runs.
+    #[must_use]
+    pub fn to_spec(&self, prompt: &str) -> TaskSpec {
+        match self {
+            TaskPayload::View { image, source_view, target_view } => {
+                let source = image.to_image();
+                let homography =
+                    Homography::between(image.width, image.height, source_view, target_view);
+                TaskSpec::view(source, homography, prompt)
+            }
+            TaskPayload::Inpaint { image, boxes } => {
+                TaskSpec::inpaint(image.to_image(), boxes.clone(), prompt)
+            }
+            TaskPayload::SuperRes { image } => TaskSpec::superres(image.to_image(), prompt),
+        }
+    }
+
+    /// The wire form of the `task` object (without the sampling-knob
+    /// overrides, which live beside it).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let viewpoint_json = |vp: &Viewpoint| {
+            Json::obj(vec![
+                ("altitude", f64::from(vp.altitude).into()),
+                ("pitch", f64::from(vp.pitch_deg).into()),
+                ("heading", f64::from(vp.heading_deg).into()),
+            ])
+        };
+        match self {
+            TaskPayload::View { image, source_view, target_view } => Json::obj(vec![
+                ("kind", self.kind().as_str().into()),
+                ("image", image.to_json()),
+                ("source_view", viewpoint_json(source_view)),
+                ("target_view", viewpoint_json(target_view)),
+            ]),
+            TaskPayload::Inpaint { image, boxes } => Json::obj(vec![
+                ("kind", self.kind().as_str().into()),
+                ("image", image.to_json()),
+                (
+                    "boxes",
+                    Json::Arr(
+                        boxes
+                            .iter()
+                            .map(|b| {
+                                Json::obj(vec![
+                                    ("label", b.class.label().into()),
+                                    ("x0", f64::from(b.bbox.x0).into()),
+                                    ("y0", f64::from(b.bbox.y0).into()),
+                                    ("x1", f64::from(b.bbox.x1).into()),
+                                    ("y1", f64::from(b.bbox.y1).into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            TaskPayload::SuperRes { image } => {
+                Json::obj(vec![("kind", self.kind().as_str().into()), ("image", image.to_json())])
+            }
+        }
+    }
+}
+
+/// The parsed `task` object: the payload plus its sampling-knob
+/// overrides, all still optional.
+struct TaskEnvelope {
+    payload: Option<TaskPayload>,
+    prompt: Option<String>,
+    guidance: Option<f32>,
+    steps: Option<usize>,
+}
+
+impl TaskEnvelope {
+    fn empty() -> Self {
+        TaskEnvelope { payload: None, prompt: None, guidance: None, steps: None }
+    }
+
+    fn from_json(t: &Json) -> Result<Self, String> {
+        let kind_str = match t.get("kind") {
+            None => "text",
+            Some(k) => k.as_str().ok_or_else(|| "\"task.kind\" must be a string".to_string())?,
+        };
+        let kind = TaskKind::parse(kind_str).ok_or_else(|| {
+            format!("unknown task kind {kind_str:?} (expected text|view|inpaint|superres)")
+        })?;
+        let payload = match kind {
+            TaskKind::Text => None,
+            TaskKind::View => Some(TaskPayload::View {
+                image: Self::image_field(t)?,
+                source_view: Self::viewpoint_field(t, "source_view")?,
+                target_view: Self::viewpoint_field(t, "target_view")?,
+            }),
+            TaskKind::Inpaint => Some(TaskPayload::Inpaint {
+                image: Self::image_field(t)?,
+                boxes: Self::boxes_field(t)?,
+            }),
+            TaskKind::SuperRes => Some(TaskPayload::SuperRes { image: Self::image_field(t)? }),
+        };
+        let prompt = match t.get("prompt") {
+            None => None,
+            Some(p) => Some(
+                p.as_str()
+                    .ok_or_else(|| "\"task.prompt\" must be a string".to_string())?
+                    .to_string(),
+            ),
+        };
+        let guidance = match t.get("guidance") {
+            None => None,
+            Some(g) => {
+                Some(g.as_f64().ok_or_else(|| "\"task.guidance\" must be a number".to_string())?
+                    as f32)
+            }
+        };
+        let steps = match t.get("steps") {
+            None => None,
+            Some(s) => Some(
+                s.as_u64().ok_or_else(|| "\"task.steps\" must be a positive integer".to_string())?
+                    as usize,
+            ),
+        };
+        Ok(TaskEnvelope { payload, prompt, guidance, steps })
+    }
+
+    fn image_field(t: &Json) -> Result<ImagePayload, String> {
+        let v =
+            t.get("image").ok_or_else(|| "this task kind needs an \"image\" object".to_string())?;
+        ImagePayload::from_json(v)
+    }
+
+    fn viewpoint_field(t: &Json, field: &str) -> Result<Viewpoint, String> {
+        let Some(v) = t.get(field) else {
+            return Ok(Viewpoint::default());
+        };
+        let angle = |key: &str, default: f32| -> Result<f32, String> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(a) => Ok(a
+                    .as_f64()
+                    .ok_or_else(|| format!("\"task.{field}.{key}\" must be a number"))?
+                    as f32),
+            }
+        };
+        Ok(Viewpoint {
+            altitude: angle("altitude", 1.0)?,
+            pitch_deg: angle("pitch", 90.0)?,
+            heading_deg: angle("heading", 0.0)?,
+        })
+    }
+
+    fn boxes_field(t: &Json) -> Result<Vec<Annotation>, String> {
+        let v = t.get("boxes").ok_or_else(|| "inpaint tasks need a \"boxes\" array".to_string())?;
+        let Json::Arr(items) = v else {
+            return Err("\"task.boxes\" must be an array".to_string());
+        };
+        items
+            .iter()
+            .map(|b| {
+                let label = b
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "each box needs a string \"label\"".to_string())?;
+                let class = ObjectClass::ALL
+                    .into_iter()
+                    .find(|c| c.label() == label)
+                    .ok_or_else(|| format!("unknown box label {label:?}"))?;
+                let coord = |key: &str| -> Result<f32, String> {
+                    Ok(b.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("each box needs a number \"{key}\""))?
+                        as f32)
+                };
+                Ok(Annotation {
+                    class,
+                    bbox: BBox::new(coord("x0")?, coord("y0")?, coord("x1")?, coord("y1")?),
+                })
+            })
+            .collect()
+    }
+}
 
 /// One text-to-aerial-image generation request.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +370,9 @@ pub struct GenerateRequest {
     /// intermediate latents) while this request samples, before the
     /// final `image` line.
     pub stream: bool,
+    /// The image-conditioned workload, if any. `None` (and `kind:"text"`
+    /// on the wire) is plain text-to-image — the pre-task behavior.
+    pub task: Option<TaskPayload>,
 }
 
 impl GenerateRequest {
@@ -56,7 +388,15 @@ impl GenerateRequest {
             deadline: None,
             tenant: None,
             stream: false,
+            task: None,
         }
+    }
+
+    /// The workload discriminant ([`TaskKind::Text`] when no task was
+    /// attached).
+    #[must_use]
+    pub fn task_kind(&self) -> TaskKind {
+        self.task.as_ref().map_or(TaskKind::Text, TaskPayload::kind)
     }
 
     /// The tenant this request bills against (the shared `"default"`
@@ -67,19 +407,29 @@ impl GenerateRequest {
     }
 
     /// Parses the NDJSON form:
-    /// `{"type":"generate","id":…,"prompt":…,"seed":…,"guidance":…,"steps":…,"deadline_ms":…,"tenant":…,"stream":…}`.
-    /// Only `prompt` is required; `id` defaults to `fallback_id`. The
-    /// `tenant` and `stream` fields are recent additions — absent fields
-    /// keep their defaults, so pre-fleet clients parse unchanged.
+    /// `{"type":"generate","id":…,"prompt":…,"seed":…,"guidance":…,"steps":…,"deadline_ms":…,"tenant":…,"stream":…,"task":…}`.
+    /// Only `prompt` is required (and it may instead live inside the
+    /// optional `task` object); `id` defaults to `fallback_id`. Absent
+    /// fields keep their defaults — see the module-level field tables —
+    /// so pre-task clients parse unchanged. A nested `task.prompt`,
+    /// `task.guidance`, or `task.steps` takes precedence over its
+    /// top-level twin.
     ///
     /// # Errors
     ///
     /// Returns a message naming the missing/mistyped field.
     pub fn from_json(v: &Json, fallback_id: &str) -> Result<Self, String> {
-        let prompt = v
-            .get("prompt")
-            .and_then(Json::as_str)
-            .ok_or_else(|| "generate request needs a string \"prompt\"".to_string())?;
+        let envelope = match v.get("task") {
+            None => TaskEnvelope::empty(),
+            Some(t) => TaskEnvelope::from_json(t)?,
+        };
+        let prompt = match &envelope.prompt {
+            Some(p) => p.as_str(),
+            None => v
+                .get("prompt")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "generate request needs a string \"prompt\"".to_string())?,
+        };
         let id = v.get("id").and_then(Json::as_str).unwrap_or(fallback_id);
         let seed = match v.get("seed") {
             None => 0,
@@ -120,11 +470,12 @@ impl GenerateRequest {
             id: id.to_string(),
             prompt: prompt.to_string(),
             seed,
-            guidance_scale,
-            steps,
+            guidance_scale: envelope.guidance.or(guidance_scale),
+            steps: envelope.steps.or(steps),
             deadline,
             tenant,
             stream,
+            task: envelope.payload,
         })
     }
 }
@@ -454,6 +805,142 @@ mod tests {
     fn generate_request_requires_prompt() {
         let v = Json::parse(r#"{"seed":1}"#).unwrap();
         assert!(GenerateRequest::from_json(&v, "x").is_err());
+    }
+
+    #[test]
+    fn old_format_lines_parse_identically_to_pre_task_schema() {
+        // A pre-task wire line must produce exactly the request the old
+        // parser did: every new field at its default, nothing re-read.
+        let v = Json::parse(
+            r#"{"type":"generate","id":"a","prompt":"a park","seed":9,"guidance":3.5,"steps":12,"deadline_ms":250,"tenant":"t","stream":true}"#,
+        )
+        .unwrap();
+        let parsed = GenerateRequest::from_json(&v, "f").unwrap();
+        let expected = GenerateRequest {
+            id: "a".into(),
+            prompt: "a park".into(),
+            seed: 9,
+            guidance_scale: Some(3.5),
+            steps: Some(12),
+            deadline: Some(Duration::from_millis(250)),
+            tenant: Some("t".into()),
+            stream: true,
+            task: None,
+        };
+        assert_eq!(parsed, expected);
+        // The missing-prompt error is also byte-identical to the old one.
+        let missing = Json::parse(r#"{"seed":1}"#).unwrap();
+        assert_eq!(
+            GenerateRequest::from_json(&missing, "x").unwrap_err(),
+            "generate request needs a string \"prompt\""
+        );
+        // An explicit `kind:"text"` task object is the same as no task.
+        let text = Json::parse(r#"{"prompt":"a park","task":{"kind":"text"}}"#).unwrap();
+        assert_eq!(GenerateRequest::from_json(&text, "f").unwrap().task, None);
+    }
+
+    #[test]
+    fn image_payload_round_trips_and_validates_length() {
+        let mut img = Image::new(3, 2);
+        img.set_pixel(1, 0, [0.25, 0.5, 1.0]);
+        let payload = ImagePayload::from_image(&img);
+        assert_eq!(payload.rgb8.len(), 3 * 3 * 2);
+        let wire = payload.to_json().render();
+        let back = ImagePayload::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, payload);
+        // Decoding then re-quantizing is lossless at byte granularity.
+        assert_eq!(ImagePayload::from_image(&back.to_image()), payload);
+        let short = Json::parse(r#"{"width":3,"height":2,"rgb8_b64":"AAAA"}"#).unwrap();
+        assert!(ImagePayload::from_json(&short).unwrap_err().contains("rgb bytes"));
+    }
+
+    #[test]
+    fn task_requests_round_trip_and_fold_overrides() {
+        let image = ImagePayload::from_image(&Image::new(4, 4));
+        let boxes =
+            vec![Annotation { class: ObjectClass::Car, bbox: BBox::new(0.0, 0.0, 2.0, 2.0) }];
+        let payload = TaskPayload::Inpaint { image: image.clone(), boxes: boxes.clone() };
+        let wire = Json::obj(vec![
+            ("prompt", "outer".into()),
+            ("guidance", 2.0.into()),
+            (
+                "task",
+                match payload.to_json() {
+                    Json::Obj(mut fields) => {
+                        fields.push(("prompt".into(), "inner".into()));
+                        fields.push(("steps".into(), 6u64.into()));
+                        Json::Obj(fields)
+                    }
+                    other => other,
+                },
+            ),
+        ])
+        .render();
+        let r = GenerateRequest::from_json(&Json::parse(&wire).unwrap(), "f").unwrap();
+        assert_eq!(r.task, Some(payload));
+        assert_eq!(r.task_kind(), TaskKind::Inpaint);
+        // task.prompt and task.steps win; guidance falls back to top level.
+        assert_eq!(r.prompt, "inner");
+        assert_eq!(r.steps, Some(6));
+        assert_eq!(r.guidance_scale, Some(2.0));
+        // A task-local prompt satisfies the prompt requirement alone.
+        let solo = Json::obj(vec![(
+            "task",
+            match (TaskPayload::SuperRes { image: image.clone() }).to_json() {
+                Json::Obj(mut fields) => {
+                    fields.push(("prompt".into(), "a harbor".into()));
+                    Json::Obj(fields)
+                }
+                other => other,
+            },
+        )])
+        .render();
+        let r = GenerateRequest::from_json(&Json::parse(&solo).unwrap(), "f").unwrap();
+        assert_eq!(r.prompt, "a harbor");
+        assert_eq!(r.task_kind(), TaskKind::SuperRes);
+    }
+
+    #[test]
+    fn view_task_defaults_to_nadir_views_and_rejects_bad_kinds() {
+        let image = ImagePayload::from_image(&Image::new(4, 4));
+        let wire = Json::obj(vec![
+            ("prompt", "p".into()),
+            ("task", Json::obj(vec![("kind", "view".into()), ("image", image.to_json())])),
+        ])
+        .render();
+        let r = GenerateRequest::from_json(&Json::parse(&wire).unwrap(), "f").unwrap();
+        match r.task {
+            Some(TaskPayload::View { source_view, target_view, .. }) => {
+                assert_eq!(source_view, Viewpoint::default());
+                assert_eq!(target_view, Viewpoint::default());
+            }
+            other => panic!("expected a view task, got {other:?}"),
+        }
+        let bad = Json::parse(r#"{"prompt":"p","task":{"kind":"zoom"}}"#).unwrap();
+        assert!(GenerateRequest::from_json(&bad, "f").unwrap_err().contains("unknown task kind"));
+        let bad_label = Json::obj(vec![
+            ("prompt", "p".into()),
+            (
+                "task",
+                Json::obj(vec![
+                    ("kind", "inpaint".into()),
+                    ("image", image.to_json()),
+                    (
+                        "boxes",
+                        Json::Arr(vec![Json::obj(vec![
+                            ("label", "spaceship".into()),
+                            ("x0", 0.0.into()),
+                            ("y0", 0.0.into()),
+                            ("x1", 1.0.into()),
+                            ("y1", 1.0.into()),
+                        ])]),
+                    ),
+                ]),
+            ),
+        ])
+        .render();
+        let err = GenerateRequest::from_json(&Json::parse(&bad_label).unwrap(), "f").unwrap_err();
+        assert!(err.contains("unknown box label"), "{err}");
     }
 
     #[test]

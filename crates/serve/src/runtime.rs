@@ -20,11 +20,12 @@
 //! `retry_after_ms` hint.
 //!
 //! Determinism contract: a request's image depends only on its own
-//! `(prompt, seed, steps, guidance)`. Each request's initial latent is
-//! drawn from a private `StdRng` seeded with the request seed, and the
-//! DDIM reverse process is row-independent, so coalescing requests into
-//! one `[n, c, h, w]` sampler call — or moving a request between replica
-//! groups — changes throughput, never bytes.
+//! `(prompt, seed, steps, guidance, task)`. Each request's initial latent
+//! (and, for inpainting, its pin-noise stream) is drawn from a private
+//! `StdRng` seeded with the request seed, and the DDIM reverse process is
+//! row-independent, so coalescing requests into one `[n, c, h, w]`
+//! sampler call — even a heterogeneous text/view/inpaint mix — or moving
+//! a request between replica groups changes throughput, never bytes.
 //!
 //! Fault-tolerance contract: one bad request must never take the service
 //! down, one dead worker must never strand queued work, and one dead
@@ -69,16 +70,17 @@ use crate::fault::{Fault, FaultPlan, SwapFault};
 use crate::queue::{Pending, RequestQueue};
 use crate::request::{
     GenerateRequest, GeneratedImage, LatentPreview, RejectReason, ServeReply, StageLatency,
+    TaskPayload,
 };
 use crate::router::ShardRouter;
 use crate::stats::{StatsCollector, StatsReport};
-use aero_diffusion::{CancelSignal, CancelToken, DdimSampler, StepEvent};
+use aero_diffusion::{CancelSignal, CancelToken, DdimSampler, LatentPin, StepEvent, StepSink};
 use aero_model::{
     snapshot_from_artifact, IntegrityState, ModelArtifact, ModelError, ModelRegistry, RegistryEntry,
 };
 use aero_scene::{build_dataset, DatasetConfig, DatasetItem, SceneGeneratorConfig};
 use aero_tensor::Tensor;
-use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
+use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot, TaskKind, TaskSpec};
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -437,7 +439,7 @@ impl ServeRuntime {
         let id = request.id.clone();
         let deadline = request.deadline.map(|d| now + d);
         let cancel = CancelToken::new();
-        let key = route_key(&request.prompt, self.slot.current().0.variant());
+        let key = route_key_for(&request, self.slot.current().0.variant());
         // A request whose home group is mid-respawn still lands on *some*
         // queue: survivors if any are alive, otherwise the home group's
         // own queue, which outlives the kill and is served after respawn.
@@ -624,6 +626,22 @@ impl ServeRuntime {
 /// cache keys on, so routing locality *is* cache locality.
 fn route_key(prompt: &str, variant: impl std::fmt::Debug) -> String {
     format!("{prompt}\u{1f}{variant:?}")
+}
+
+/// The routing key of a whole request: the text key, extended with the
+/// task discriminant and source-image digest for image-conditioned
+/// tasks — mirroring [`ConditionKey::for_task`], so task requests that
+/// share a conditioning image also share a condition cache. Text
+/// requests keep the exact pre-task key string.
+fn route_key_for(request: &GenerateRequest, variant: impl std::fmt::Debug) -> String {
+    let base = route_key(&request.prompt, variant);
+    match &request.task {
+        None => base,
+        Some(payload) => {
+            let spec = payload.to_spec(&request.prompt);
+            format!("{base}\u{1f}{}\u{1f}{:016x}", spec.kind().as_str(), spec.source_digest())
+        }
+    }
 }
 
 /// The group `key` would route to if every group were alive — the
@@ -855,7 +873,7 @@ fn reroute_batch(shared: &FleetShared, from: usize, batch: Vec<Pending>) {
     let mut per_group: Vec<Vec<Pending>> = (0..shared.groups.len()).map(|_| Vec::new()).collect();
     let mut home: Vec<Pending> = Vec::new();
     for pending in batch {
-        let key = route_key(&pending.request.prompt, snapshot.variant());
+        let key = route_key_for(&pending.request, snapshot.variant());
         match shared.router.route_excluding(&key, Some(from)) {
             Some(g) => match per_group.get_mut(g) {
                 Some(bucket) => bucket.push(pending),
@@ -940,9 +958,34 @@ struct Job {
     encode_us: u64,
     cache_hit: bool,
     cond: Tensor,
+    /// Inpainting pin `(mask, reference)` rows, both `[1, c, h, w]`;
+    /// `None` for every other task kind. The pin's per-step noise is
+    /// drawn later, from the request's own rng, right after its initial
+    /// latent.
+    pin_parts: Option<(Tensor, Tensor)>,
     /// Injected [`Fault::NanLatents`]: poison this request's latents
     /// after sampling so the output guard has something to catch.
     nan_latents: bool,
+}
+
+/// A task request whose conditioning image cannot feed this replica's
+/// pipeline is a client error: it gets a typed `worker_error` reply, not
+/// a panic (which would also retire the worker as suspect).
+fn task_shape_error(replica: &Replica, request: &GenerateRequest) -> Option<String> {
+    let native = replica.pipeline.config().vision.image_size;
+    match &request.task {
+        Some(TaskPayload::View { image, .. } | TaskPayload::Inpaint { image, .. })
+            if image.width != native || image.height != native =>
+        {
+            Some(format!(
+                "{} tasks need a {native}x{native} source image, got {}x{}",
+                request.task_kind().as_str(),
+                image.width,
+                image.height
+            ))
+        }
+        _ => None,
+    }
 }
 
 /// Serves one popped batch: group by sampler settings, encode through the
@@ -1037,6 +1080,14 @@ fn serve_batch(
                 });
                 continue;
             }
+            if let Some(detail) = task_shape_error(replica, &pending.request) {
+                // The reply handle records the rejection on receipt.
+                let reason = RejectReason::WorkerError { detail };
+                let _ = pending
+                    .responder
+                    .send(ServeReply::Rejected { id: pending.request.id.clone(), reason });
+                continue;
+            }
             let queue_us = micros(dequeued.saturating_duration_since(pending.enqueued));
             let started = Instant::now();
             let id = pending.request.id.clone();
@@ -1050,12 +1101,13 @@ fn serve_batch(
                 prepare_condition(replica, &pending.request, guidance, fault, group, shared)
             }));
             match prepared {
-                Ok((cond, cache_hit)) => jobs.push(Job {
+                Ok((cond, cache_hit, pin_parts)) => jobs.push(Job {
                     pending,
                     queue_us,
                     encode_us: micros(started.elapsed()),
                     cache_hit,
                     cond,
+                    pin_parts,
                     nan_latents: matches!(fault, Some(Fault::NanLatents)),
                 }),
                 Err(_) => {
@@ -1080,15 +1132,42 @@ fn serve_batch(
         let cond_batch = Tensor::concat(&conds, 0);
         // Each request's private noise stream: same seed, same bytes,
         // whatever else rides in the batch — or whichever replica group
-        // serves it.
-        let noise: Vec<Tensor> = jobs
-            .iter()
-            .map(|j| {
-                Tensor::randn(&[1, c, h, w], &mut StdRng::seed_from_u64(j.pending.request.seed))
-            })
-            .collect();
+        // serves it. An inpainting job draws its pin noise from the same
+        // rng right after its initial latent, exactly the order
+        // `AeroDiffusionPipeline::run_task` uses at batch 1; every other
+        // job gets a neutral pin row (mask of ones), which the sampler
+        // leaves bitwise untouched.
+        let mut noise: Vec<Tensor> = Vec::with_capacity(jobs.len());
+        let mut pin_masks: Vec<Tensor> = Vec::with_capacity(jobs.len());
+        let mut pin_refs: Vec<Tensor> = Vec::with_capacity(jobs.len());
+        let mut pin_noise: Vec<Tensor> = Vec::with_capacity(jobs.len());
+        let mut any_pin = false;
+        for j in &jobs {
+            let mut rng = StdRng::seed_from_u64(j.pending.request.seed);
+            noise.push(Tensor::randn(&[1, c, h, w], &mut rng));
+            match &j.pin_parts {
+                Some((mask, reference)) => {
+                    any_pin = true;
+                    pin_masks.push(mask.clone());
+                    pin_refs.push(reference.clone());
+                    pin_noise.push(Tensor::randn(&[1, c, h, w], &mut rng));
+                }
+                None => {
+                    pin_masks.push(Tensor::full(&[1, c, h, w], 1.0));
+                    pin_refs.push(Tensor::full(&[1, c, h, w], 0.0));
+                    pin_noise.push(Tensor::full(&[1, c, h, w], 0.0));
+                }
+            }
+        }
         let noise_refs: Vec<&Tensor> = noise.iter().collect();
         let z_init = Tensor::concat(&noise_refs, 0);
+        let pin = any_pin.then(|| {
+            LatentPin::new(
+                Tensor::concat(&pin_masks.iter().collect::<Vec<_>>(), 0),
+                Tensor::concat(&pin_refs.iter().collect::<Vec<_>>(), 0),
+                Tensor::concat(&pin_noise.iter().collect::<Vec<_>>(), 0),
+            )
+        });
         // The cancel signal aborts the call only when every rider is
         // cancelled; the step observer streams previews to the requests
         // that asked and counts completed steps so an abort is visible.
@@ -1116,8 +1195,9 @@ fn serve_batch(
                 &sampler,
                 z_init,
                 &cond_batch,
+                pin.as_ref(),
                 Some(&group_cancel),
-                Some(&mut on_step),
+                StepSink::new(&mut on_step),
             )
         };
         if steps_done < steps {
@@ -1183,7 +1263,9 @@ fn serve_batch(
 
 /// Resolves one request's condition embedding through the group's cache,
 /// validating cached entries and applying a [`Fault::CorruptCacheEntry`]
-/// injection after the fact.
+/// injection after the fact. Also lowers the request's task (if any) to
+/// its typed spec, returning the inpainting pin rows alongside the
+/// condition.
 fn prepare_condition(
     replica: &Replica,
     request: &GenerateRequest,
@@ -1191,9 +1273,14 @@ fn prepare_condition(
     fault: Option<Fault>,
     group: &ReplicaGroup,
     shared: &FleetShared,
-) -> (Tensor, bool) {
+) -> (Tensor, bool, Option<(Tensor, Tensor)>) {
     let pipeline = &replica.pipeline;
-    let key = ConditionKey::new(&request.prompt, pipeline.variant(), guidance);
+    let spec = request.task.as_ref().map(|t| t.to_spec(&request.prompt));
+    let (kind, digest) = match &spec {
+        None => (TaskKind::Text, 0),
+        Some(s) => (s.kind(), s.source_digest()),
+    };
+    let key = ConditionKey::for_task(&request.prompt, pipeline.variant(), guidance, kind, digest);
     // One lock scope for the whole lookup: matching directly on the
     // locked `get` would keep the guard alive across the arms and
     // self-deadlock on the eviction below.
@@ -1215,8 +1302,17 @@ fn prepare_condition(
     let (cond, cache_hit) = match cached {
         Some(cond) => (cond, true),
         None => {
-            let cond =
-                pipeline.encode_condition(&replica.item, &replica.caption_g, &request.prompt);
+            // The fixed replica item + caption G make the text encode a
+            // pure function of the prompt; image-conditioned tasks carry
+            // their own conditioning source in the spec.
+            let cond = match &spec {
+                None => pipeline.encode_task(&TaskSpec::text(
+                    &replica.item,
+                    &replica.caption_g,
+                    &request.prompt,
+                )),
+                Some(s) => pipeline.encode_task(s),
+            };
             lock_cache(&group.cache).insert(key.clone(), cond.clone());
             (cond, false)
         }
@@ -1224,7 +1320,13 @@ fn prepare_condition(
     if matches!(fault, Some(Fault::CorruptCacheEntry)) {
         lock_cache(&group.cache).insert(key, Tensor::full(cond.shape(), f32::NAN));
     }
-    (cond, cache_hit)
+    let pin_parts = match &spec {
+        Some(TaskSpec::Inpaint { source, regions, .. }) => {
+            Some((pipeline.latent_mask(regions), pipeline.encode_image_latent(source)))
+        }
+        _ => None,
+    };
+    (cond, cache_hit, pin_parts)
 }
 
 fn micros(d: Duration) -> u64 {

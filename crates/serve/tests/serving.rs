@@ -375,6 +375,94 @@ fn ndjson_round_trip_preserves_order_and_reports_stats() {
     assert!(counters.get("tensor.matmul.calls").and_then(Json::as_u64).unwrap_or(0) >= 1);
 }
 
+/// The three image-conditioned task kinds serve end to end, a
+/// heterogeneous batch (text + view + inpaint + superres coalesced into
+/// one sampler call) is byte-identical per row to solo batch-1 runs, and
+/// a wrong-size source image is rejected typed instead of panicking the
+/// worker.
+#[test]
+fn task_requests_serve_end_to_end_and_mix_into_batches() {
+    use aero_scene::{Annotation, BBox, ObjectClass, Viewpoint};
+    use aero_serve::{ImagePayload, TaskPayload};
+    let side = snapshot().config().vision.image_size;
+    let ds = build_dataset(&DatasetConfig {
+        n_scenes: 2,
+        image_size: side,
+        seed: 77,
+        generator: SceneGeneratorConfig::default(),
+    });
+    let source = ImagePayload::from_image(&ds.items[0].rendered.image);
+    let low_res = ImagePayload::from_image(&ds.items[1].rendered.image.resize(side / 2, side / 2));
+    let make_requests = || {
+        let text = GenerateRequest::new("t-text", "an aerial view of a park", 61);
+        let mut view = GenerateRequest::new("t-view", "the park from the north", 62);
+        view.task = Some(TaskPayload::View {
+            image: source.clone(),
+            source_view: Viewpoint::default(),
+            target_view: Viewpoint { altitude: 0.6, pitch_deg: 60.0, heading_deg: 30.0 },
+        });
+        let mut inpaint = GenerateRequest::new("t-inp", "a truck at the center", 63);
+        inpaint.task = Some(TaskPayload::Inpaint {
+            image: source.clone(),
+            boxes: vec![Annotation {
+                class: ObjectClass::Truck,
+                bbox: BBox::new(4.0, 4.0, 11.0, 10.0),
+            }],
+        });
+        let mut superres = GenerateRequest::new("t-sr", "a sharper aerial photo", 64);
+        superres.task = Some(TaskPayload::SuperRes { image: low_res.clone() });
+        vec![text, view, inpaint, superres]
+    };
+
+    // Solo reference: every task sampled alone.
+    let mut solo = serve_config();
+    solo.max_batch = 1;
+    solo.batch_wait = Duration::ZERO;
+    let runtime = ServeRuntime::start(snapshot().clone(), solo);
+    let mut reference = Vec::new();
+    for request in make_requests() {
+        reference.push(image_of(runtime.submit(request).unwrap().wait()));
+    }
+    assert_eq!(runtime.shutdown().completed, 4);
+    assert!(reference.iter().all(|img| (img.width, img.height) == (side, side)));
+
+    // Heterogeneous batch: all four submitted up front coalesce.
+    let mut batched = serve_config();
+    batched.max_batch = 8;
+    batched.batch_wait = Duration::from_millis(200);
+    let runtime = ServeRuntime::start(snapshot().clone(), batched);
+    let handles: Vec<_> = make_requests().into_iter().map(|r| runtime.submit(r).unwrap()).collect();
+    let images: Vec<_> = handles.into_iter().map(|h| image_of(h.wait())).collect();
+    assert_eq!(runtime.shutdown().completed, 4);
+    assert!(
+        images.iter().any(|img| img.batch_size > 1),
+        "expected the up-front task submissions to coalesce into one sampler call"
+    );
+    for (slow, fast) in reference.iter().zip(&images) {
+        assert_eq!(slow.rgb8, fast.rgb8, "task batching changed request bytes");
+    }
+
+    // A wrong-size source is a typed rejection, never a worker panic.
+    let runtime = ServeRuntime::start(snapshot().clone(), serve_config());
+    let mut bad = GenerateRequest::new("t-bad", "a truck at the center", 65);
+    bad.task = Some(TaskPayload::Inpaint {
+        image: ImagePayload::from_image(&ds.items[0].rendered.image.resize(side * 2, side * 2)),
+        boxes: vec![Annotation { class: ObjectClass::Car, bbox: BBox::new(1.0, 1.0, 4.0, 4.0) }],
+    });
+    match runtime.submit(bad).unwrap().wait() {
+        ServeReply::Rejected { id, reason: RejectReason::WorkerError { detail } } => {
+            assert_eq!(id, "t-bad");
+            assert!(detail.contains("source image"), "untyped shape error: {detail}");
+        }
+        other => panic!("wrong-size source must reject typed, got {other:?}"),
+    }
+    let after =
+        image_of(runtime.submit(GenerateRequest::new("t-after", "a plaza", 66)).unwrap().wait());
+    assert_eq!((after.width, after.height), (side, side), "serving must continue after a reject");
+    let stats = runtime.shutdown();
+    assert_eq!((stats.completed, stats.rejected_worker_error), (1, 1));
+}
+
 /// A second trained model, distinct from [`snapshot`], for swap targets.
 fn alt_snapshot() -> &'static PipelineSnapshot {
     static ALT: OnceLock<PipelineSnapshot> = OnceLock::new();

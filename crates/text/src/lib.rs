@@ -33,9 +33,11 @@
 pub mod coverage;
 pub mod llm;
 pub mod prompt;
+pub mod task;
 pub mod tokenizer;
 
 pub use coverage::{keypoint_coverage, CoverageReport};
 pub use llm::{CaptionProfile, LlmProvider, SimulatedLlm};
 pub use prompt::PromptTemplate;
+pub use task::{task_caption, TaskCaption};
 pub use tokenizer::{Tokenizer, Vocabulary};

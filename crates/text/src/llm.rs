@@ -233,7 +233,7 @@ impl SimulatedLlm {
     }
 }
 
-fn count_phrase(n: usize) -> &'static str {
+pub(crate) fn count_phrase(n: usize) -> &'static str {
     match n {
         0 => "no",
         1 => "one",

@@ -1,0 +1,138 @@
+//! Task-aware caption assembly for image-conditioned workloads.
+//!
+//! The simulated captioners in [`crate::llm`] narrate a full scene spec;
+//! the image-conditioned tasks (cross-view translation, keypoint-box
+//! inpainting, super-resolution) have no spec — only a user prompt plus
+//! task metadata. This module deterministically folds that metadata into
+//! the prompt so the text branch of the condition vector still carries
+//! the keypoints the task depends on: the inpainting caption names the
+//! object classes inside the masked boxes (grouped with the same count
+//! phrasing the keypoint-aware captioner uses), the view-translation
+//! caption states that the geometry is re-projected, and the super-res
+//! caption asks for preserved fine detail.
+//!
+//! Unlike [`crate::llm::SimulatedLlm::describe`], assembly takes no RNG:
+//! the same task metadata always yields the same caption, which is what
+//! lets serve cache the encoded condition under a task-derived key.
+
+use crate::llm::count_phrase;
+use aero_scene::ObjectClass;
+
+/// Task metadata that shapes the caption, mirroring the task family in
+/// the core `TaskSpec` without depending on the core crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskCaption<'a> {
+    /// Cross-view translation: the source image is warped by a
+    /// homography before encoding; the caption narrates the re-projection.
+    ViewTranslation,
+    /// Keypoint-box inpainting: only the listed regions are re-denoised;
+    /// the caption names what lives inside them.
+    Inpaint {
+        /// Classes of the objects whose boxes are re-drawn (one entry per
+        /// box; duplicates are grouped into count phrases).
+        labels: &'a [ObjectClass],
+    },
+    /// Second stage of the super-resolution cascade.
+    SuperResolve,
+}
+
+/// Assembles the caption `G` for an image-conditioned task.
+///
+/// The user `prompt` always leads; a task-specific sentence follows. The
+/// output is a pure function of its arguments.
+#[must_use]
+pub fn task_caption(task: &TaskCaption<'_>, prompt: &str) -> String {
+    let prompt = prompt.trim();
+    let lead = if prompt.is_empty() {
+        String::new()
+    } else if prompt.ends_with(['.', '!', '?']) {
+        format!("{prompt} ")
+    } else {
+        format!("{prompt}. ")
+    };
+    match task {
+        TaskCaption::ViewTranslation => format!(
+            "{lead}The same aerial scene re-projected through a new drone camera; \
+             layout and objects are preserved under the viewpoint change."
+        ),
+        TaskCaption::Inpaint { labels } => {
+            format!("{lead}Re-draw only the marked keypoint regions{}.", inventory_phrase(labels))
+        }
+        TaskCaption::SuperResolve => format!(
+            "{lead}A sharper full-resolution rendering of the same aerial scene, \
+             preserving every small object and road marking."
+        ),
+    }
+}
+
+/// Groups box labels into the keypoint-aware count phrasing:
+/// `[Car, Car, Truck]` → `", which contain a few cars and one truck"`.
+fn inventory_phrase(labels: &[ObjectClass]) -> String {
+    let mut counts = [0usize; ObjectClass::ALL.len()];
+    for class in labels {
+        counts[class.id()] += 1;
+    }
+    let mut parts = Vec::new();
+    for class in ObjectClass::ALL {
+        let n = counts[class.id()];
+        if n == 0 {
+            continue;
+        }
+        let noun = if n == 1 { class.label() } else { class.plural_label() };
+        parts.push(format!("{} {noun}", count_phrase(n)));
+    }
+    match parts.len() {
+        0 => String::new(),
+        1 => format!(", which contain {}", parts[0]),
+        _ => {
+            let last = parts.pop().unwrap();
+            format!(", which contain {} and {last}", parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captions_are_deterministic_and_lead_with_prompt() {
+        for task in [
+            TaskCaption::ViewTranslation,
+            TaskCaption::Inpaint { labels: &[ObjectClass::Car] },
+            TaskCaption::SuperResolve,
+        ] {
+            let a = task_caption(&task, "a busy intersection");
+            let b = task_caption(&task, "a busy intersection");
+            assert_eq!(a, b);
+            assert!(a.starts_with("a busy intersection. "), "{a}");
+        }
+    }
+
+    #[test]
+    fn inpaint_caption_groups_duplicate_labels() {
+        let labels = [ObjectClass::Car, ObjectClass::Car, ObjectClass::Truck];
+        let cap = task_caption(&TaskCaption::Inpaint { labels: &labels }, "night scene");
+        assert!(cap.contains("a few cars"), "{cap}");
+        assert!(cap.contains("one truck"), "{cap}");
+        assert!(cap.contains(" and "), "{cap}");
+    }
+
+    #[test]
+    fn inpaint_caption_with_no_labels_omits_inventory() {
+        let cap = task_caption(&TaskCaption::Inpaint { labels: &[] }, "park");
+        assert!(cap.ends_with("marked keypoint regions."), "{cap}");
+    }
+
+    #[test]
+    fn empty_prompt_still_yields_a_caption() {
+        let cap = task_caption(&TaskCaption::SuperResolve, "  ");
+        assert!(cap.starts_with("A sharper"), "{cap}");
+    }
+
+    #[test]
+    fn prompt_punctuation_is_not_doubled() {
+        let cap = task_caption(&TaskCaption::ViewTranslation, "looking down!");
+        assert!(cap.starts_with("looking down! The same"), "{cap}");
+    }
+}

@@ -6,6 +6,9 @@
 //!                          [--threads N] [--backend reference|blocked]
 //!                          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]
 //! aerodiffusion_cli sample <model-dir> <out.ppm> [--seed S] [--night] [--trace FILE]
+//!                          [--task view|inpaint|superres] [--prompt STR] [--source FILE.ppm]
+//!                          [--source-view A,P,H] [--target-view A,P,H]
+//!                          [--box label,x0,y0,x1,y1]…
 //!                          [--scale …] [--threads N] [--backend reference|blocked]
 //! aerodiffusion_cli profile <model-dir> [--seed S] [--ndjson FILE] [--scale …] [--threads N]
 //!                          [--backend reference|blocked]
@@ -77,6 +80,21 @@
 //! output image, which stays byte-identical with tracing on or off (CI
 //! compares the two).
 //!
+//! `sample --task` runs one of the image-conditioned pipelines instead
+//! of the default text-to-image path: `view` warps a source image
+//! through the homography between `--source-view` and `--target-view`
+//! (each an `altitude,pitch,heading` triple; defaults: nadir →
+//! `0.6,60,30`), `inpaint` re-denoises only inside the `--box
+//! label,x0,y0,x1,y1` keypoint regions (repeatable; defaults to the
+//! reference scene's ground-truth boxes), and `superres` runs the
+//! two-stage cascade (half-budget draft → half-resolution base →
+//! full-budget super-resolve). `--source FILE.ppm` supplies the source
+//! image for `view`/`inpaint` (resized to the model's native resolution
+//! if needed; default: a freshly rendered reference scene) and
+//! `--prompt` the target description (default: the reference caption).
+//! Without `--task` the sample path is byte-identical to previous
+//! releases.
+//!
 //! `lint` statically validates the model geometry a configuration would
 //! realise — symbolic shape inference over the whole pipeline plus the
 //! serving batcher's coalesced-condition contract — and exits non-zero if
@@ -88,12 +106,16 @@
 //! output line, plus a `{"type":"stats"}` probe. `--demo` trains a
 //! smoke-scale pipeline in-process instead of loading one from disk.
 
+use aero_diffusion::{DdimSampler, StepSink};
 use aero_model::{
     snapshot_from_artifact, write_snapshot, ModelArtifact, ModelRegistry, Quantization,
 };
-use aero_scene::{build_dataset, DatasetConfig, SceneGeneratorConfig};
+use aero_scene::{
+    build_dataset, Annotation, BBox, DatasetConfig, DatasetItem, Homography, Image, ObjectClass,
+    SceneGeneratorConfig, Viewpoint,
+};
 use aero_serve::{lint_serve, serve_ndjson, Fault, FaultPlan, ServeConfig, ServeRuntime};
-use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot};
+use aerodiffusion::{AeroDiffusionPipeline, PipelineConfig, PipelineSnapshot, TaskSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
@@ -146,6 +168,8 @@ fn main() -> ExitCode {
                  \n         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--max-steps N]\n\
                  \n  sample <dir> <out.ppm> [--seed S] [--night] [--trace FILE] [--scale …] [--threads N]\n\
                  \n         [--backend reference|blocked]\n\
+                 \n         [--task view|inpaint|superres] [--prompt STR] [--source FILE.ppm]\n\
+                 \n         [--source-view A,P,H] [--target-view A,P,H] [--box label,x0,y0,x1,y1]…\n\
                  \n  profile <dir> [--seed S] [--ndjson FILE] [--scale …] [--threads N]\n\
                  \n         [--backend reference|blocked]\n\
                  \n  serve  <dir>|--demo [--replicas N] [--workers N] [--max-batch N] [--queue N]\n\
@@ -251,11 +275,16 @@ fn cmd_sample(args: &[String]) -> Result<(), Box<dyn Error>> {
     let item = &dataset.items[0];
     let mut rng = StdRng::seed_from_u64(seed);
     let night = args.iter().any(|a| a == "--night");
-    let render = |rng: &mut StdRng| {
-        if night {
+    let mode = sample_mode(args, &pipeline, item, seed, night)?;
+    let sampler = DdimSampler::new(config.diffusion.ddim_steps, config.diffusion.guidance_scale);
+    let render = |rng: &mut StdRng| match &mode {
+        SampleMode::Text if night => {
             aerodiffusion::viewpoint::night_synthesis(&pipeline, item, rng).image
-        } else {
-            pipeline.generate(item, rng)
+        }
+        SampleMode::Text => pipeline.generate(item, rng),
+        SampleMode::Task(task) => pipeline.run_task(task, &sampler, seed, StepSink::none()),
+        SampleMode::Cascade(prompt) => {
+            pipeline.super_res_cascade(item, prompt, &sampler, seed, StepSink::none())
         }
     };
     // `--trace` turns on span collection around the exact same call;
@@ -272,6 +301,128 @@ fn cmd_sample(args: &[String]) -> Result<(), Box<dyn Error>> {
     image.save_ppm(out)?;
     println!("wrote {out} ({}x{})", image.width(), image.height());
     Ok(())
+}
+
+/// What `sample` actually runs: the pre-task text path (bit-identical to
+/// previous releases), a single image-conditioned [`TaskSpec`], or the
+/// two-stage super-resolution cascade.
+enum SampleMode {
+    Text,
+    Task(TaskSpec),
+    Cascade(String),
+}
+
+/// Resolves `--task`/`--prompt`/`--source`/`--source-view`/
+/// `--target-view`/`--box` into a [`SampleMode`]. All fallible work
+/// (file I/O, flag parsing) happens here so the render closure stays
+/// infallible and traceable.
+fn sample_mode(
+    args: &[String],
+    pipeline: &AeroDiffusionPipeline,
+    item: &DatasetItem,
+    seed: u64,
+    night: bool,
+) -> Result<SampleMode, Box<dyn Error>> {
+    let kind = match parse_flag(args, "--task") {
+        None => return Ok(SampleMode::Text),
+        Some(kind) if kind == "text" => return Ok(SampleMode::Text),
+        Some(kind) => kind,
+    };
+    if night {
+        return Err("--night only applies to the default text-to-image sample".into());
+    }
+    let prompt = match parse_flag(args, "--prompt") {
+        Some(p) => p,
+        None => pipeline.caption_for(item, &mut StdRng::seed_from_u64(seed)),
+    };
+    match kind.as_str() {
+        "superres" => Ok(SampleMode::Cascade(prompt)),
+        "view" => {
+            let source = load_source_image(args, item, pipeline)?;
+            let source_view = match parse_flag(args, "--source-view") {
+                Some(v) => parse_viewpoint(&v)?,
+                None => Viewpoint::default(),
+            };
+            let target_view = match parse_flag(args, "--target-view") {
+                Some(v) => parse_viewpoint(&v)?,
+                None => Viewpoint { altitude: 0.6, pitch_deg: 60.0, heading_deg: 30.0 },
+            };
+            let homography =
+                Homography::between(source.width(), source.height(), &source_view, &target_view);
+            Ok(SampleMode::Task(TaskSpec::view(source, homography, &prompt)))
+        }
+        "inpaint" => {
+            let source = load_source_image(args, item, pipeline)?;
+            let mut boxes = Vec::new();
+            for (i, arg) in args.iter().enumerate() {
+                if arg == "--box" {
+                    let spec = args.get(i + 1).ok_or("--box needs a label,x0,y0,x1,y1 argument")?;
+                    boxes.push(parse_box(spec)?);
+                }
+            }
+            if boxes.is_empty() {
+                // No explicit keypoints: re-denoise the reference
+                // scene's ground-truth object boxes.
+                boxes = item.rendered.boxes.clone();
+            }
+            Ok(SampleMode::Task(TaskSpec::inpaint(source, boxes, &prompt)))
+        }
+        other => Err(format!("unknown --task {other:?} (expected view|inpaint|superres)").into()),
+    }
+}
+
+/// The source image for `view`/`inpaint`: `--source FILE.ppm` (resized
+/// to the model's native resolution if needed), else the freshly
+/// rendered reference scene.
+fn load_source_image(
+    args: &[String],
+    item: &DatasetItem,
+    pipeline: &AeroDiffusionPipeline,
+) -> Result<Image, Box<dyn Error>> {
+    let Some(path) = parse_flag(args, "--source") else {
+        return Ok(item.rendered.image.clone());
+    };
+    let image = Image::load_ppm(&path)?;
+    let native = pipeline.config().vision.image_size;
+    if image.width() == native && image.height() == native {
+        Ok(image)
+    } else {
+        Ok(image.resize(native, native))
+    }
+}
+
+/// Parses an `altitude,pitch,heading` triple.
+fn parse_viewpoint(spec: &str) -> Result<Viewpoint, Box<dyn Error>> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    let [altitude, pitch, heading] = parts.as_slice() else {
+        return Err(format!("viewpoint {spec:?} must be altitude,pitch,heading").into());
+    };
+    Ok(Viewpoint {
+        altitude: altitude.trim().parse()?,
+        pitch_deg: pitch.trim().parse()?,
+        heading_deg: heading.trim().parse()?,
+    })
+}
+
+/// Parses a `label,x0,y0,x1,y1` keypoint box.
+fn parse_box(spec: &str) -> Result<Annotation, Box<dyn Error>> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    let [label, x0, y0, x1, y1] = parts.as_slice() else {
+        return Err(format!("box {spec:?} must be label,x0,y0,x1,y1").into());
+    };
+    let class = ObjectClass::ALL
+        .into_iter()
+        .find(|c| c.label() == label.trim())
+        .ok_or_else(|| format!("unknown box label {:?}", label.trim()))?;
+    Ok(Annotation {
+        class,
+        bbox: BBox::new(
+            x0.trim().parse()?,
+            y0.trim().parse()?,
+            x1.trim().parse()?,
+            y1.trim().parse()?,
+        ),
+    })
 }
 
 /// Writes one NDJSON line per aggregated span path followed by one per
@@ -524,11 +675,11 @@ fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
         println!("== checkpoint ==");
         print!("{}", report.render());
         failed |= !report.is_clean();
-        // Source-level: all seven token-level passes over the workspace
+        // Source-level: all eight token-level passes over the workspace
         // tree (AD0110/AD0111 kernel discipline, AD0112 backend
-        // dispatch, AD0200 lock order, AD0201 atomics, AD0202
-        // determinism, AD0203 worker panics). A no-op away from a
-        // checkout.
+        // dispatch, AD0113 deprecated condition API, AD0200 lock order,
+        // AD0201 atomics, AD0202 determinism, AD0203 worker panics). A
+        // no-op away from a checkout.
         let source_root = parse_flag(args, "--source-root").unwrap_or_else(|| ".".to_string());
         let report = aerodiffusion::lint_source_all(std::path::Path::new(&source_root));
         println!("== source ==");

@@ -47,6 +47,14 @@
 #                      must be byte-identical (observation never perturbs
 #                      results), and `profile` must print a span tree
 #                      covering the DDIM denoise loop
+#   8b. task smokes  — `sample --task inpaint` run twice with the same
+#                      seed and mask must produce byte-identical images;
+#                      a text-only request in the legacy wire schema and
+#                      the same request folded under `task:{kind:"text"}`
+#                      must serve byte-identical pixels; plus a
+#                      threshold-free bench_tasks liveness run
+#                      (BENCH_TASKS_SMOKE=1) asserting per-task
+#                      determinism
 #   9. model smokes  — the trained model exported to a single `.amdl`
 #                      artifact, inspected (CRC verified), published into
 #                      a registry, and served from it with a sample
@@ -335,6 +343,42 @@ grep -q '"span":"pipeline.sample_latents/sampler.ddim/unet.denoise_step"' "$work
   || { echo "obs smoke: trace NDJSON missing the denoise-step span"; exit 1; }
 grep -q '"metric":"tensor.matmul.calls"' "$work/trace.ndjson" \
   || { echo "obs smoke: trace NDJSON missing kernel metrics"; exit 1; }
+
+echo "== task smoke: inpaint determinism (same seed + mask → identical bytes) =="
+# Two CLI inpaint runs with the same seed, source, and keypoint box must
+# be byte-identical; the view task must also render at native resolution.
+cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  sample "$work/model" "$work/inp1.ppm" --seed 13 --task inpaint \
+  --box car,4,4,11,10 --prompt "a car at the center"
+cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  sample "$work/model" "$work/inp2.ppm" --seed 13 --task inpaint \
+  --box car,4,4,11,10 --prompt "a car at the center"
+cmp "$work/inp1.ppm" "$work/inp2.ppm" \
+  || { echo "task smoke: same-seed inpaint runs differ"; exit 1; }
+cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+  sample "$work/model" "$work/view.ppm" --seed 13 --task view \
+  --target-view 0.6,60,30 | grep -q 'wrote' \
+  || { echo "task smoke: view translation sample failed"; exit 1; }
+
+echo "== task smoke: task:{kind:text} wire form is byte-identical to the legacy schema =="
+# The unified request schema must be a pure superset: a text request in
+# the pre-task wire form and the same request folded under a task object
+# must produce the exact same pixels.
+pixels() { sed -n 's/.*"rgb8_b64":"\([^"]*\)".*/\1/p'; }
+legacy_px="$(printf '%s\n' \
+  '{"type":"generate","id":"sc-old","prompt":"an aerial view of a park","seed":51}' \
+  | cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+      serve "$work/model" --workers 1 --steps 4 | pixels)"
+task_px="$(printf '%s\n' \
+  '{"type":"generate","id":"sc-new","seed":51,"task":{"kind":"text","prompt":"an aerial view of a park"}}' \
+  | cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
+      serve "$work/model" --workers 1 --steps 4 | pixels)"
+[ -n "$legacy_px" ] && [ "$legacy_px" = "$task_px" ] \
+  || { echo "task smoke: task-folded text request differs from the legacy schema"; exit 1; }
+
+echo "== task smoke: bench_tasks liveness =="
+(cd "$work" && BENCH_TASKS_SMOKE=1 cargo run --offline -q \
+  --manifest-path "$OLDPWD/Cargo.toml" -p aero-bench --bin bench_tasks)
 
 echo "== obs smoke: profile prints a span tree =="
 profile_out="$(cargo run --offline -q -p aerodiffusion-suite --bin aerodiffusion_cli -- \
